@@ -1,0 +1,71 @@
+// Ablation C — effect of the ACK-gating window on throughput over a link
+// with propagation delay.
+//
+// The paper's protocol sends publication seq+1 to a subscriber only after
+// the ACK for seq (window = 1), paying one round-trip per message. A wider
+// window pipelines transmissions. With a simulated 2 ms one-way link delay,
+// per-message time should approach (RTT / window) + processing.
+#include <atomic>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace adlp;
+using namespace adlp::bench;
+
+double MessagesPerSecond(std::size_t window, int messages) {
+  pubsub::Master master;
+  proto::LogServer server;
+  Rng rng(17);
+
+  proto::ComponentOptions opts = PaperOptions(proto::LoggingScheme::kAdlp);
+  opts.ack_window = window;
+  opts.link_model.latency_ns = 2'000'000;  // 2 ms one-way
+
+  proto::Component pub("pub", master, server, rng, opts);
+  proto::Component sub("sub", master, server, rng, opts);
+  std::atomic<int> got{0};
+  sub.Subscribe("t", [&](const pubsub::Message&) { got++; });
+  auto& publisher = pub.Advertise("t");
+  publisher.WaitForSubscribers(1);
+
+  Bytes payload = rng.RandomBytes(1024);
+  const Timestamp start = MonotonicNowNs();
+  for (int i = 0; i < messages; ++i) publisher.Publish(payload);
+  while (got.load() < messages) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  const double elapsed_s =
+      static_cast<double>(MonotonicNowNs() - start) / 1e9;
+  pub.Shutdown();
+  sub.Shutdown();
+  return messages / elapsed_s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int messages = argc > 1 ? std::atoi(argv[1]) : 100;
+
+  PrintHeader(
+      "Ablation C: ACK-gating window vs throughput (1 KiB payload, 2 ms "
+      "one-way link)");
+  std::printf("%-8s | %-14s | %s\n", "window", "msgs/sec", "speedup vs w=1");
+  PrintRule(48);
+  double w1 = 0.0;
+  for (std::size_t window : {1u, 2u, 4u, 8u}) {
+    const double rate = MessagesPerSecond(window, messages);
+    if (window == 1) w1 = rate;
+    std::printf("%-8zu | %12.1f   | %.2fx\n", window, rate, rate / w1);
+  }
+  PrintRule(48);
+  std::printf(
+      "shape check: with a 4 ms RTT, window 1 caps throughput near 250 "
+      "msg/s; doubling the\n"
+      "window ~doubles throughput until processing costs dominate. The "
+      "paper's window-1\n"
+      "penalty is the price of its per-message accountability "
+      "acknowledgement.\n");
+  return 0;
+}

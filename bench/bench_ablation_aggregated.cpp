@@ -1,0 +1,80 @@
+// Ablation A (Section VI-E, "Aggregated Logging") — one publisher log entry
+// per publication carrying every subscriber's (hash, signature), instead of
+// one entry per subscriber.
+//
+// Measures publisher-side log bytes per publication as subscriber count
+// grows, with and without aggregation. Expected: without aggregation the
+// publisher's log bytes grow ~linearly in subscribers (each entry repeats
+// the full data!); with aggregation the data is stored once and only the
+// 160-B ack records accumulate — a large saving for Image-sized data.
+#include <atomic>
+
+#include "bench_util.h"
+#include "sim/workload.h"
+
+namespace {
+
+using namespace adlp;
+using namespace adlp::bench;
+
+double PublisherBytesPerPublication(bool aggregate, int subscribers,
+                                    int messages, std::size_t payload_size) {
+  pubsub::Master master;
+  proto::LogServer server;
+  Rng rng(3);
+
+  proto::ComponentOptions opts = PaperOptions(proto::LoggingScheme::kAdlp);
+  opts.adlp.aggregate_publisher_log = aggregate;
+
+  proto::Component pub("image_feeder", master, server, rng, opts);
+  std::vector<std::unique_ptr<proto::Component>> subs;
+  std::atomic<int> got{0};
+  for (int i = 0; i < subscribers; ++i) {
+    subs.push_back(std::make_unique<proto::Component>(
+        "sub_" + std::to_string(i), master, server, rng, opts));
+    subs.back()->Subscribe("image", [&](const pubsub::Message&) { got++; });
+  }
+  auto& publisher = pub.Advertise("image");
+  publisher.WaitForSubscribers(subscribers);
+
+  Bytes payload = sim::MakePayload(rng, payload_size);
+  for (int i = 0; i < messages; ++i) publisher.Publish(payload);
+  while (got.load() < messages * subscribers) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  pub.Shutdown();
+  for (auto& s : subs) s->Shutdown();
+
+  return static_cast<double>(server.BytesFor("image_feeder")) / messages;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int messages = argc > 1 ? std::atoi(argv[1]) : 20;
+  constexpr std::size_t kImage = 921'641;
+
+  PrintHeader(
+      "Ablation A: aggregated publisher logging (Image data, bytes per "
+      "publication)");
+  std::printf("%-6s | %-16s | %-16s | %s\n", "#subs", "Per-subscriber",
+              "Aggregated", "saving");
+  PrintRule(64);
+  for (int subs : {1, 2, 4, 8}) {
+    const double plain =
+        PublisherBytesPerPublication(false, subs, messages, kImage);
+    const double agg =
+        PublisherBytesPerPublication(true, subs, messages, kImage);
+    std::printf("%-6d | %13s    | %13s    | %.1fx\n", subs,
+                HumanBytes(plain).c_str(), HumanBytes(agg).c_str(),
+                plain / agg);
+  }
+  PrintRule(64);
+  std::printf(
+      "shape check: per-subscriber entries replicate the ~900 KB image "
+      "once per subscriber;\n"
+      "aggregation stores it once and adds only fixed-size ACK records — "
+      "the saving factor\n"
+      "approaches the subscriber count.\n");
+  return 0;
+}

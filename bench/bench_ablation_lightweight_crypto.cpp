@@ -1,0 +1,143 @@
+// Ablation D (Section VI-E, "lightweight crypto functions") — the paper's
+// future-work proposal, realized: ADLP running on Ed25519 instead of
+// RSA-1024 + PKCS#1 v1.5.
+//
+// Reports (1) raw sign/verify cost, (2) the protocol's per-message byte
+// overhead (signature size drives it), and (3) end-to-end publish->deliver
+// latency through the full stack under both algorithms.
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+#include <benchmark/benchmark.h>
+
+#include "adlp/wire_msgs.h"
+#include "bench_util.h"
+#include "crypto/sig.h"
+#include "sim/workload.h"
+
+namespace {
+
+using namespace adlp;
+using namespace adlp::bench;
+
+const crypto::SigKeyPair& Key(crypto::SigAlgorithm alg) {
+  static std::map<crypto::SigAlgorithm, crypto::SigKeyPair> cache;
+  auto it = cache.find(alg);
+  if (it == cache.end()) {
+    Rng rng(515 + static_cast<int>(alg));
+    it = cache.emplace(alg, crypto::GenerateSigKeyPair(rng, alg, 1024)).first;
+  }
+  return it->second;
+}
+
+void RawCosts(crypto::SigAlgorithm alg) {
+  const auto& kp = Key(alg);
+  Rng rng(1);
+  const Bytes payload = rng.RandomBytes(sim::PaperDataType("Scan").size_bytes);
+  const crypto::Digest digest = crypto::Sha256Digest(payload);
+
+  const SampleStats sign = ComputeStats(TimeSamplesMs(300, [&] {
+    Bytes s = crypto::SignDigest(kp.priv, digest);
+    benchmark::DoNotOptimize(s);
+  }));
+  const Bytes sig = crypto::SignDigest(kp.priv, digest);
+  const SampleStats verify = ComputeStats(TimeSamplesMs(300, [&] {
+    bool ok = crypto::VerifyDigest(kp.pub, digest, sig);
+    benchmark::DoNotOptimize(ok);
+  }));
+  std::printf("%-18s | sign %8.4f ms | verify %8.4f ms | signature %3zu B\n",
+              std::string(crypto::SigAlgorithmName(alg)).c_str(), sign.mean,
+              verify.mean, kp.pub.SignatureSize());
+}
+
+double MeasureLatencyMs(crypto::SigAlgorithm alg, std::size_t payload_size,
+                        int messages) {
+  pubsub::Master master;
+  proto::LogServer server;
+  Rng rng(42);
+  proto::ComponentOptions opts = PaperOptions(proto::LoggingScheme::kAdlp);
+  opts.sig_algorithm = alg;
+  proto::Component pub("p", master, server, rng, opts);
+  proto::Component sub("s", master, server, rng, opts);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<double> latencies;
+  int delivered = 0;
+  sub.Subscribe("t", [&](const pubsub::Message& m) {
+    const Timestamp now = WallClock::Instance().Now();
+    std::lock_guard lock(mu);
+    latencies.push_back(static_cast<double>(now - m.header.stamp) / 1e6);
+    ++delivered;
+    cv.notify_one();
+  });
+  auto& publisher = pub.Advertise("t");
+  publisher.WaitForSubscribers(1);
+  const Bytes payload = rng.RandomBytes(payload_size);
+  for (int i = 0; i < messages; ++i) {
+    publisher.Publish(payload);
+    std::unique_lock lock(mu);
+    cv.wait(lock, [&] { return delivered == i + 1; });
+  }
+  pub.Shutdown();
+  sub.Shutdown();
+  if (latencies.size() > 1) latencies.erase(latencies.begin());
+  return ComputeStats(std::move(latencies)).mean;
+}
+
+std::size_t MessageOverhead(crypto::SigAlgorithm alg) {
+  const auto& kp = Key(alg);
+  pubsub::Message msg;
+  msg.header.topic = "t";
+  msg.header.publisher = "p";
+  msg.header.seq = 1;
+  msg.header.stamp = 1;
+  msg.payload = Bytes(100, 7);
+  const Bytes sig(kp.pub.SignatureSize(), 1);
+  return proto::SerializeDataMessage(msg, sig).size() -
+         pubsub::SerializeMessage(msg).size();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int messages = argc > 1 ? std::atoi(argv[1]) : 80;
+
+  PrintHeader(
+      "Ablation D: lightweight crypto (Sec. VI-E) — RSA-1024 PKCS#1 vs "
+      "Ed25519");
+
+  std::printf("\nraw cost (32-byte digest):\n");
+  RawCosts(crypto::SigAlgorithm::kRsaPkcs1Sha256);
+  RawCosts(crypto::SigAlgorithm::kEd25519);
+
+  std::printf("\nper-message wire overhead (signature + framing):\n");
+  std::printf("  rsa-pkcs1-sha256: +%zu B   ed25519: +%zu B\n",
+              MessageOverhead(crypto::SigAlgorithm::kRsaPkcs1Sha256),
+              MessageOverhead(crypto::SigAlgorithm::kEd25519));
+
+  std::printf("\nend-to-end ADLP latency (publish -> deliver, avg):\n");
+  std::printf("%-12s | %-12s | %-12s\n", "payload (B)", "RSA-1024",
+              "Ed25519");
+  PrintRule(48);
+  for (std::size_t size : {20u, 8705u, 921641u}) {
+    const double rsa = MeasureLatencyMs(
+        crypto::SigAlgorithm::kRsaPkcs1Sha256, size, messages);
+    const double ed =
+        MeasureLatencyMs(crypto::SigAlgorithm::kEd25519, size, messages);
+    std::printf("%-12zu | %9.4f ms | %9.4f ms\n", size, rsa, ed);
+  }
+  PrintRule(48);
+  std::printf(
+      "shape check: Ed25519 halves the fixed per-message byte overhead "
+      "(64+framing vs\n"
+      "128+framing) and removes the RSA private-op cost from the latency "
+      "floor; at Image\n"
+      "size both converge because SHA-256 hashing dominates. This is the "
+      "scalability\n"
+      "engineering the paper's Sec. VI-E anticipates, with the protocol and "
+      "auditor\n"
+      "unchanged (the signature layer is pluggable).\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Figure 13 — average end-to-end message latency (publisher -> subscriber)
+// vs. data size, ADLP against the baseline (no crypto, data-only messages).
+//
+// Shape to reproduce: the ADLP curve sits above the baseline by roughly
+// twice the hash+sign time (the publisher signs once; the subscriber hashes
+// + signs the ACK before delivering), and the gap is nearly constant until
+// hashing starts to scale with payload size.
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace adlp;
+using namespace adlp::bench;
+
+struct LatencyResult {
+  SampleStats stats;
+};
+
+/// One publisher, one subscriber; measures publish->deliver latency per
+/// message using the message stamp.
+LatencyResult MeasureLatency(proto::LoggingScheme scheme,
+                             std::size_t payload_size, int messages) {
+  pubsub::Master master;
+  proto::LogServer server;
+  Rng rng(42);
+
+  proto::ComponentOptions opts = PaperOptions(scheme);
+  proto::Component pub("bench_pub", master, server, rng, opts);
+  proto::Component sub("bench_sub", master, server, rng, opts);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<double> latencies_ms;
+  int delivered = 0;
+
+  sub.Subscribe("bench_topic", [&](const pubsub::Message& m) {
+    const Timestamp now = WallClock::Instance().Now();
+    std::lock_guard lock(mu);
+    latencies_ms.push_back(static_cast<double>(now - m.header.stamp) / 1e6);
+    ++delivered;
+    cv.notify_one();
+  });
+
+  auto& publisher = pub.Advertise("bench_topic");
+  publisher.WaitForSubscribers(1);
+
+  Bytes payload = rng.RandomBytes(payload_size);
+  for (int i = 0; i < messages; ++i) {
+    publisher.Publish(payload);
+    // Wait for delivery before the next publish so each sample is an
+    // unqueued, cold-path latency (and ACK gating never queues).
+    std::unique_lock lock(mu);
+    cv.wait(lock, [&] { return delivered == i + 1; });
+  }
+
+  pub.Shutdown();
+  sub.Shutdown();
+
+  LatencyResult result;
+  // Drop the first (connection warm-up) sample.
+  if (latencies_ms.size() > 1) {
+    latencies_ms.erase(latencies_ms.begin());
+  }
+  result.stats = ComputeStats(std::move(latencies_ms));
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kMessages = 120;
+  const std::vector<std::size_t> kSizes = {
+      16,       256,       4 * 1024,   16 * 1024,  64 * 1024,
+      256 * 1024, 921641,  1 << 20};
+
+  PrintHeader(
+      "Figure 13: average message latency from publisher to subscriber");
+  std::printf("%-12s | %-26s | %-26s | %s\n", "Size (B)",
+              "Baseline avg (p99) [ms]", "ADLP avg (p99) [ms]",
+              "ADLP - Base [ms]");
+  PrintRule(92);
+
+  for (std::size_t size : kSizes) {
+    const LatencyResult base =
+        MeasureLatency(adlp::proto::LoggingScheme::kNone, size, kMessages);
+    const LatencyResult adlp =
+        MeasureLatency(adlp::proto::LoggingScheme::kAdlp, size, kMessages);
+    std::printf("%-12zu | %10.4f (%8.4f)     | %10.4f (%8.4f)     | %+.4f\n",
+                size, base.stats.mean, base.stats.p99, adlp.stats.mean,
+                adlp.stats.p99, adlp.stats.mean - base.stats.mean);
+  }
+  PrintRule(92);
+  std::printf(
+      "shape checks: ADLP-Base gap ~= 2x(hash+sign) (Table I), roughly "
+      "constant for small\n"
+      "payloads, growing with the hash term at large payloads. Paper "
+      "(PyCrypto) reported a\n"
+      "~6-8 ms gap; our C++ crypto makes both curves faster but preserves "
+      "the ordering.\n");
+  return 0;
+}

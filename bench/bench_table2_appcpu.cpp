@@ -1,0 +1,80 @@
+// Table II — system-wide CPU utilization of the self-driving application
+// under Idle / No Logging / Base Logging / ADLP.
+//
+// The whole application runs in one process here (the paper ran ROS nodes
+// as separate processes on a 4-core NUC), so "system-wide" is process CPU
+// time divided by wall time, normalized by the hardware thread count to get
+// a machine-utilization percentage comparable in spirit to the paper's.
+// "Idle" measures the process with the application constructed but the
+// sensor loop not running.
+#include <thread>
+
+#include "bench_util.h"
+#include "sim/app.h"
+
+namespace {
+
+using namespace adlp;
+using namespace adlp::bench;
+
+double MeasureAppCpuPct(proto::LoggingScheme scheme, double seconds,
+                        bool drive) {
+  pubsub::Master master;
+  proto::LogServer server;
+  sim::AppOptions options;
+  options.component = PaperOptions(scheme);
+  options.realtime = true;
+  sim::SelfDrivingApp app(master, server, options);
+
+  const double cores = std::max(1u, std::thread::hardware_concurrency());
+  const Timestamp wall_start = MonotonicNowNs();
+  const Timestamp cpu_start = ProcessCpuNowNs();
+  if (drive) {
+    app.Run(seconds);
+  } else {
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  }
+  const double wall = static_cast<double>(MonotonicNowNs() - wall_start);
+  const double cpu = static_cast<double>(ProcessCpuNowNs() - cpu_start);
+  app.Shutdown();
+  return 100.0 * cpu / wall / cores;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double seconds = argc > 1 ? std::atof(argv[1]) : 5.0;
+
+  PrintHeader(
+      "Table II: system-wide CPU utilization, self-driving application");
+  std::printf("(measurement window: %.1f s; paper used 5 minutes)\n\n",
+              seconds);
+
+  const double idle =
+      MeasureAppCpuPct(proto::LoggingScheme::kNone, seconds, /*drive=*/false);
+  const double none =
+      MeasureAppCpuPct(proto::LoggingScheme::kNone, seconds, /*drive=*/true);
+  const double base =
+      MeasureAppCpuPct(proto::LoggingScheme::kBase, seconds, /*drive=*/true);
+  const double full =
+      MeasureAppCpuPct(proto::LoggingScheme::kAdlp, seconds, /*drive=*/true);
+
+  std::printf("%-14s | %-10s | %-12s | %-14s | %-8s\n", "", "Idle",
+              "No Logging", "Base Logging", "ADLP");
+  PrintRule(72);
+  std::printf("%-14s | %8.2f %% | %10.2f %% | %12.2f %% | %6.2f %%\n",
+              "measured", idle, none, base, full);
+  std::printf("%-14s | %8.2f %% | %10.2f %% | %12.2f %% | %6.2f %%\n",
+              "paper", 26.03, 77.21, 83.24, 88.69);
+  PrintRule(72);
+  std::printf("deltas: base-none = %+.2f %%  adlp-base = %+.2f %%\n",
+              base - none, full - base);
+  std::printf(
+      "shape checks: Idle << app running; Base adds a visible increment "
+      "over No Logging\n"
+      "(paper ~6%%); ADLP adds a further, comparable-or-smaller increment "
+      "(paper ~5.45%%).\n"
+      "Note the paper's Idle includes OS background load on the NUC; ours "
+      "is process-only.\n");
+  return 0;
+}

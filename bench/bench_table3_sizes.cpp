@@ -1,0 +1,128 @@
+// Table III — message and log-entry sizes for Steering / Scan / Image under
+// the Base scheme and ADLP.
+//
+// Pure accounting (no timing): serializes real protocol messages and log
+// entries produced by the actual protocol factories and reports byte
+// counts. Invariants to reproduce:
+//   * ADLP message overhead over Base is exactly one signature plus framing,
+//     independent of payload size (paper: |D| + 4 + 128);
+//   * ADLP subscriber entries that store h(D) are ~350 B regardless of data
+//     size (paper: 350 B for Scan/Image);
+//   * publisher entries grow by ~2 signatures + 1 hash over Base.
+#include <mutex>
+
+#include "adlp/protocols.h"
+#include "adlp/wire_msgs.h"
+#include "bench_util.h"
+#include "sim/workload.h"
+
+namespace {
+
+using namespace adlp;
+using namespace adlp::bench;
+
+/// Captures entries synchronously.
+class CapturePipe final : public proto::LogPipe {
+ public:
+  void Enter(proto::LogEntry entry) override {
+    entries.push_back(std::move(entry));
+  }
+  std::vector<proto::LogEntry> entries;
+};
+
+struct SizeRow {
+  std::size_t base_message = 0;
+  std::size_t adlp_message = 0;
+  std::size_t base_pub_entry = 0;
+  std::size_t base_sub_entry = 0;
+  std::size_t adlp_pub_entry = 0;
+  std::size_t adlp_sub_entry = 0;
+};
+
+SizeRow MeasureSizes(const sim::DataTypeSpec& spec) {
+  Rng rng(99);
+  SizeRow row;
+
+  pubsub::Message msg;
+  msg.header.topic = spec.name;
+  msg.header.publisher = spec.name + "_publisher";
+  msg.header.seq = 1000;
+  msg.header.stamp = 1'700'000'000'000'000'000;
+  msg.payload = sim::MakePayload(rng, spec.size_bytes);
+
+  const SimClock clock(1'700'000'000'000'000'000);
+
+  // Base scheme.
+  {
+    CapturePipe pub_pipe, sub_pipe;
+    proto::BaseLoggingFactory pub_factory(msg.header.publisher, pub_pipe,
+                                          clock);
+    proto::BaseLoggingFactory sub_factory(spec.name + "_subscriber", sub_pipe,
+                                          clock);
+    auto enc = pub_factory.Encode(msg);
+    row.base_message = enc->wire.size();
+    auto link = sub_factory.MakeSubscriberLink(spec.name,
+                                               msg.header.publisher);
+    (void)link->OnMessage(enc->wire);
+    row.base_pub_entry = proto::SerializeLogEntry(pub_pipe.entries.at(0)).size();
+    row.base_sub_entry = proto::SerializeLogEntry(sub_pipe.entries.at(0)).size();
+  }
+
+  // ADLP (subscriber stores h(D)).
+  {
+    Rng keyrng(1);
+    auto pub_identity = std::make_shared<proto::NodeIdentity>(
+        proto::MakeNodeIdentity(msg.header.publisher, keyrng, 1024));
+    auto sub_identity = std::make_shared<proto::NodeIdentity>(
+        proto::MakeNodeIdentity(spec.name + "_subscriber", keyrng, 1024));
+    CapturePipe pub_pipe, sub_pipe;
+    proto::AdlpFactory pub_factory(pub_identity, pub_pipe, clock);
+    proto::AdlpFactory sub_factory(sub_identity, sub_pipe, clock);
+
+    auto enc = pub_factory.Encode(msg);
+    row.adlp_message = enc->wire.size();
+    auto sub_link = sub_factory.MakeSubscriberLink(spec.name,
+                                                   msg.header.publisher);
+    auto result = sub_link->OnMessage(enc->wire);
+    auto pub_link = pub_factory.MakePublisherLink(
+        spec.name, spec.name + "_subscriber");
+    pub_link->OnAck(*enc, *result.reply);
+
+    row.adlp_pub_entry = proto::SerializeLogEntry(pub_pipe.entries.at(0)).size();
+    row.adlp_sub_entry = proto::SerializeLogEntry(sub_pipe.entries.at(0)).size();
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Table III: message and log entry sizes (bytes)");
+  std::printf("%-10s | %-10s | %-8s | %-12s | %-14s | %s\n", "Type",
+              "Msg size", "Scheme", "Publisher's", "Subscriber's",
+              "msg overhead vs payload");
+  PrintRule(92);
+
+  for (const auto& spec : sim::PaperDataTypes()) {
+    const SizeRow row = MeasureSizes(spec);
+    std::printf("%-10s | %-10zu | %-8s | %-12zu | %-14zu |\n",
+                spec.name.c_str(), row.base_message, "Base", row.base_pub_entry,
+                row.base_sub_entry);
+    std::printf("%-10s | %-10zu | %-8s | %-12zu | %-14zu | +%zu B (%.4f %%)\n",
+                "", row.adlp_message, "ADLP", row.adlp_pub_entry,
+                row.adlp_sub_entry, row.adlp_message - row.base_message,
+                100.0 *
+                    static_cast<double>(row.adlp_message - row.base_message) /
+                    static_cast<double>(spec.size_bytes));
+  }
+  PrintRule(92);
+  std::printf(
+      "paper reference rows -- Steering: msg 152, base 69/84, adlp 359/337;\n"
+      "  Scan: msg 8837, base 8752/8767, adlp 9042/350; Image: msg 921773,\n"
+      "  base 921687/921702, adlp 921977/350.\n"
+      "shape checks: ADLP msg overhead is one 128-B signature + framing, "
+      "independent of size;\n"
+      "ADLP subscriber entries are ~constant (~350 B regime) because they "
+      "store h(D).\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Table IV — system-wide log generation rate of the full self-driving
+// application, Base vs ADLP (subscribers store hashes in both).
+//
+// The application runs in fast (non-realtime) mode for a fixed number of
+// camera frames; the logger's byte counter divided by the simulated
+// duration gives the rate. Shape: ADLP adds ~1% over Base system-wide — the
+// added hashes/signatures are small next to the images the Base scheme
+// already stores.
+#include "bench_util.h"
+#include "sim/app.h"
+
+namespace {
+
+using namespace adlp;
+using namespace adlp::bench;
+
+double MeasureSystemLogRate(proto::LoggingScheme scheme, double sim_seconds,
+                            bool aggregate = false) {
+  pubsub::Master master;
+  proto::LogServer server;
+  sim::AppOptions options;
+  options.component = PaperOptions(scheme);
+  options.component.base.subscriber_stores_data = false;  // hash, like ADLP
+  options.component.adlp.subscriber_stores_hash = true;
+  options.component.adlp.aggregate_publisher_log = aggregate;
+  options.realtime = false;
+  sim::SelfDrivingApp app(master, server, options);
+  app.Run(sim_seconds);
+  app.Shutdown();
+  return static_cast<double>(server.TotalBytes()) / sim_seconds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double sim_seconds = argc > 1 ? std::atof(argv[1]) : 3.0;
+
+  PrintHeader("Table IV: system-wide log generation rate (self-driving app)");
+  std::printf("(simulated duration per scheme: %.1f s)\n\n", sim_seconds);
+
+  const double base =
+      MeasureSystemLogRate(proto::LoggingScheme::kBase, sim_seconds);
+  const double adlp_per_sub =
+      MeasureSystemLogRate(proto::LoggingScheme::kAdlp, sim_seconds);
+  const double adlp_agg = MeasureSystemLogRate(proto::LoggingScheme::kAdlp,
+                                               sim_seconds, /*aggregate=*/true);
+
+  std::printf("%-24s | %16s | %12s | %s\n", "Scheme", "Rate", "Mb/s",
+              "vs Base");
+  PrintRule(76);
+  std::printf("%-24s | %13s/s | %9.3f | %s\n", "Base",
+              HumanBytes(base).c_str(), base * 8 / 1e6, "1.000");
+  std::printf("%-24s | %13s/s | %9.3f | %.3f\n", "ADLP (entry per sub)",
+              HumanBytes(adlp_per_sub).c_str(), adlp_per_sub * 8 / 1e6,
+              adlp_per_sub / base);
+  std::printf("%-24s | %13s/s | %9.3f | %.3f\n", "ADLP (aggregated)",
+              HumanBytes(adlp_agg).c_str(), adlp_agg * 8 / 1e6,
+              adlp_agg / base);
+  PrintRule(76);
+  std::printf(
+      "paper: Base 36.893 Mb/s, ADLP 37.297 Mb/s (ratio 1.011).\n"
+      "shape check: with one publisher entry per *publication* (the "
+      "aggregated accounting,\n"
+      "which matches the paper's near-parity since its pipeline stores "
+      "each image once),\n"
+      "ADLP adds only ~1%% over Base. Per-subscriber entries replicate the "
+      "image for each of\n"
+      "the two image subscribers in our Fig. 11(b) graph — the cost the "
+      "Sec. VI-E aggregated-\n"
+      "logging extension removes.\n");
+  return 0;
+}

@@ -1,0 +1,27 @@
+# Benchmark targets are defined from the top-level CMakeLists (not via
+# add_subdirectory) so that ${CMAKE_BINARY_DIR}/bench contains ONLY the
+# bench binaries — `for b in build/bench/*; do $b; done` runs the whole
+# harness with no stray CMake files in the glob.
+
+function(adlp_bench name)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
+  target_include_directories(${name} PRIVATE ${CMAKE_SOURCE_DIR}/bench)
+  target_link_libraries(${name} PRIVATE
+    adlp_common adlp_crypto adlp_wire adlp_transport adlp_pubsub
+    adlp_core adlp_audit adlp_faults adlp_sim
+    benchmark::benchmark Threads::Threads)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+adlp_bench(bench_table1_crypto)
+adlp_bench(bench_fig13_latency)
+adlp_bench(bench_fig14_cpu)
+adlp_bench(bench_table2_appcpu)
+adlp_bench(bench_table3_sizes)
+adlp_bench(bench_fig15_lograte)
+adlp_bench(bench_table4_syslograte)
+adlp_bench(bench_ablation_aggregated)
+adlp_bench(bench_ablation_hash_vs_data)
+adlp_bench(bench_ablation_ack_window)
+adlp_bench(bench_ablation_lightweight_crypto)

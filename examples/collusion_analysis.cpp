@@ -1,0 +1,153 @@
+// Collusion analysis: what ADLP can and cannot do against colluding
+// components (Section II-A / Fig. 2), plus the temporal-causality analysis
+// of Lemma 4.
+//
+//   build/examples/collusion_analysis
+//
+// Demonstrates three results on synthetic logs:
+//   1. a colluding pair can forge a transmission that audits as valid —
+//      the accepted limitation (L_{V,c} in Fig. 5);
+//   2. the *edge* of a collusion group is still accountable: its
+//      transmissions with outside components cannot be hidden or falsified;
+//   3. timestamp lies that would reorder a causal chain are localized to a
+//      minimal suspect set, and reversing end-to-end precedence implicates
+//      the whole chain.
+#include <cstdio>
+
+#include "audit/auditor.h"
+#include "audit/causality.h"
+#include "faults/fabricate.h"
+
+using namespace adlp;
+
+int main() {
+  Rng rng(77);
+  // Components: A is honest; B and C collude (same shady vendor); D honest.
+  auto a = proto::MakeNodeIdentity("A", rng, 1024);
+  auto b = proto::MakeNodeIdentity("B", rng, 1024);
+  auto c = proto::MakeNodeIdentity("C", rng, 1024);
+
+  crypto::KeyStore keys;
+  keys.Register("A", a.keys.pub);
+  keys.Register("B", b.keys.pub);
+  keys.Register("C", c.keys.pub);
+
+  audit::Topology topology;
+  topology["d_cb"] = {"C", {"B"}};  // inside the collusion group
+  topology["d_ba"] = {"B", {"A"}};  // edge: B -> honest A
+
+  std::vector<proto::LogEntry> log;
+
+  // (1) B and C forge a transmission d_cb that never happened. Both hold
+  // their own private keys, so every signature checks out.
+  faults::FabricationSpec forged_spec;
+  forged_spec.topic = "d_cb";
+  forged_spec.seq = 1;
+  forged_spec.timestamp = 1'000;
+  forged_spec.message_stamp = 999;
+  forged_spec.data = BytesOf("fabricated-sensor-reading");
+  forged_spec.peer = "B";
+  const auto forged = faults::ForgeColludingPair(c, b, forged_spec);
+  log.push_back(forged.publisher_entry);
+  log.push_back(forged.subscriber_entry);
+
+  // (2) B really sends data to honest A but falsifies its own entry; A logs
+  // faithfully. (Emulated with an honest pair + a re-signed fake claim.)
+  faults::FabricationSpec real_spec;
+  real_spec.topic = "d_ba";
+  real_spec.seq = 1;
+  real_spec.timestamp = 2'000;
+  real_spec.message_stamp = 1'999;
+  real_spec.data = BytesOf("the-true-data");
+  real_spec.peer = "A";
+  const auto honest = faults::ForgeColludingPair(b, a, real_spec);
+  // B swaps in a falsified claim, self-signed so it looks authentic.
+  faults::FabricationSpec lie = real_spec;
+  lie.data = BytesOf("what-B-wishes-it-had-sent");
+  proto::LogEntry falsified =
+      faults::FabricatePublisherEntry(b, lie, rng);
+  falsified.peer_data_hash = honest.publisher_entry.peer_data_hash;
+  falsified.peer_signature = honest.publisher_entry.peer_signature;
+  log.push_back(falsified);
+  log.push_back(honest.subscriber_entry);
+
+  const audit::AuditReport report =
+      audit::Auditor(keys).Audit(log, topology);
+  std::printf("%s\n", report.Render().c_str());
+
+  bool forged_pair_accepted = false;
+  bool edge_pinned = false;
+  for (const auto& v : report.verdicts) {
+    if (v.topic == "d_cb" && v.finding == audit::Finding::kOk) {
+      forged_pair_accepted = true;
+    }
+    if (v.topic == "d_ba" &&
+        v.finding == audit::Finding::kPublisherFalsified) {
+      edge_pinned = true;
+    }
+  }
+  std::printf("(1) colluding forgery d_cb audits as valid:   %s  "
+              "(the paper's accepted limitation)\n",
+              forged_pair_accepted ? "yes" : "NO");
+  std::printf("(2) edge transmission d_ba pins B:            %s  "
+              "(Theorem 1 at the group boundary)\n",
+              edge_pinned && report.Blames("B") ? "yes" : "NO");
+
+  // (3) Temporal causality: x -> y -> z chain where y back-dates its
+  // output.
+  auto x = proto::MakeNodeIdentity("x", rng, 1024);
+  auto y = proto::MakeNodeIdentity("y", rng, 1024);
+  auto z = proto::MakeNodeIdentity("z", rng, 1024);
+  crypto::KeyStore chain_keys;
+  chain_keys.Register("x", x.keys.pub);
+  chain_keys.Register("y", y.keys.pub);
+  chain_keys.Register("z", z.keys.pub);
+
+  audit::Topology chain_topo;
+  chain_topo["d_xy"] = {"x", {"y"}};
+  chain_topo["d_yz"] = {"y", {"z"}};
+
+  faults::FabricationSpec s1;
+  s1.topic = "d_xy";
+  s1.seq = 1;
+  s1.timestamp = 100;
+  s1.message_stamp = 100;
+  s1.data = BytesOf("hop1");
+  s1.peer = "y";
+  auto hop1 = faults::ForgeColludingPair(x, y, s1);
+  hop1.subscriber_entry.timestamp = 200;
+
+  faults::FabricationSpec s2 = s1;
+  s2.topic = "d_yz";
+  s2.timestamp = 300;
+  s2.message_stamp = 300;
+  s2.data = BytesOf("hop2");
+  s2.peer = "z";
+  auto hop2 = faults::ForgeColludingPair(y, z, s2);
+  hop2.subscriber_entry.timestamp = 400;
+
+  // y lies: claims it published hop2 *before* it received hop1.
+  hop2.publisher_entry.timestamp = 150;
+
+  audit::LogDatabase db(
+      {hop1.publisher_entry, hop1.subscriber_entry, hop2.publisher_entry,
+       hop2.subscriber_entry},
+      chain_topo);
+  audit::FlowDependency dep{audit::PairKey{"d_xy", 1, "y"},
+                            audit::PairKey{"d_yz", 1, "z"}};
+  const auto violations = audit::CausalityChecker(db).Check({dep});
+  std::printf("(3) y back-dates its output: %zu violation(s):\n",
+              violations.size());
+  for (const auto& v : violations) {
+    std::printf("    constraint %-22s suspects:", v.constraint.c_str());
+    for (const auto& s : v.suspects) std::printf(" %s", s.c_str());
+    std::printf("\n");
+  }
+
+  const bool ok = forged_pair_accepted && edge_pinned &&
+                  report.Blames("B") && !report.Blames("A") &&
+                  !violations.empty();
+  std::printf("\n==> %s\n", ok ? "all three collusion results reproduced."
+                               : "UNEXPECTED outcome.");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,151 @@
+#include "adlp/log_entry.h"
+
+#include "wire/wire.h"
+
+namespace adlp::proto {
+
+namespace {
+
+enum : std::uint32_t {
+  kFieldScheme = 1,
+  kFieldComponent = 2,
+  kFieldTopic = 3,
+  kFieldDirection = 4,
+  kFieldSeq = 5,
+  kFieldTimestamp = 6,
+  kFieldMessageStamp = 7,
+  kFieldData = 8,
+  kFieldDataHash = 9,
+  kFieldSelfSignature = 10,
+  kFieldPeerSignature = 11,
+  kFieldPeerDataHash = 12,
+  kFieldPeer = 13,
+  kFieldAck = 14,
+};
+
+enum : std::uint32_t {
+  kAckFieldSubscriber = 1,
+  kAckFieldDataHash = 2,
+  kAckFieldSignature = 3,
+};
+
+}  // namespace
+
+Bytes SerializeLogEntry(const LogEntry& entry) {
+  wire::Writer w;
+  w.PutU64(kFieldScheme, static_cast<std::uint64_t>(entry.scheme));
+  w.PutString(kFieldComponent, entry.component);
+  w.PutString(kFieldTopic, entry.topic);
+  w.PutU64(kFieldDirection, static_cast<std::uint64_t>(entry.direction));
+  w.PutU64(kFieldSeq, entry.seq);
+  w.PutI64(kFieldTimestamp, entry.timestamp);
+  w.PutI64(kFieldMessageStamp, entry.message_stamp);
+  if (!entry.data.empty()) w.PutBytes(kFieldData, entry.data);
+  if (!entry.data_hash.empty()) w.PutBytes(kFieldDataHash, entry.data_hash);
+  if (!entry.self_signature.empty()) {
+    w.PutBytes(kFieldSelfSignature, entry.self_signature);
+  }
+  if (!entry.peer_signature.empty()) {
+    w.PutBytes(kFieldPeerSignature, entry.peer_signature);
+  }
+  if (!entry.peer_data_hash.empty()) {
+    w.PutBytes(kFieldPeerDataHash, entry.peer_data_hash);
+  }
+  if (!entry.peer.empty()) w.PutString(kFieldPeer, entry.peer);
+  for (const auto& ack : entry.acks) {
+    wire::Writer sub;
+    sub.PutString(kAckFieldSubscriber, ack.subscriber);
+    sub.PutBytes(kAckFieldDataHash, ack.data_hash);
+    sub.PutBytes(kAckFieldSignature, ack.signature);
+    w.PutMessage(kFieldAck, sub);
+  }
+  return std::move(w).Take();
+}
+
+LogEntry DeserializeLogEntry(BytesView data) {
+  LogEntry entry;
+  wire::Reader r(data);
+  std::uint32_t field;
+  wire::WireType type;
+  while (r.NextField(field, type)) {
+    switch (field) {
+      case kFieldScheme:
+        entry.scheme = static_cast<LogScheme>(r.GetU64Value());
+        break;
+      case kFieldComponent:
+        entry.component = r.GetStringValue();
+        break;
+      case kFieldTopic:
+        entry.topic = r.GetStringValue();
+        break;
+      case kFieldDirection:
+        entry.direction = static_cast<Direction>(r.GetU64Value());
+        break;
+      case kFieldSeq:
+        entry.seq = r.GetU64Value();
+        break;
+      case kFieldTimestamp:
+        entry.timestamp = r.GetI64Value();
+        break;
+      case kFieldMessageStamp:
+        entry.message_stamp = r.GetI64Value();
+        break;
+      case kFieldData:
+        entry.data = r.GetBytesValue();
+        break;
+      case kFieldDataHash:
+        entry.data_hash = r.GetBytesValue();
+        break;
+      case kFieldSelfSignature:
+        entry.self_signature = r.GetBytesValue();
+        break;
+      case kFieldPeerSignature:
+        entry.peer_signature = r.GetBytesValue();
+        break;
+      case kFieldPeerDataHash:
+        entry.peer_data_hash = r.GetBytesValue();
+        break;
+      case kFieldPeer:
+        entry.peer = r.GetStringValue();
+        break;
+      case kFieldAck: {
+        wire::Reader sub = r.GetMessageValue();
+        LogEntry::AckRecord ack;
+        std::uint32_t sub_field;
+        wire::WireType sub_type;
+        while (sub.NextField(sub_field, sub_type)) {
+          switch (sub_field) {
+            case kAckFieldSubscriber:
+              ack.subscriber = sub.GetStringValue();
+              break;
+            case kAckFieldDataHash:
+              ack.data_hash = sub.GetBytesValue();
+              break;
+            case kAckFieldSignature:
+              ack.signature = sub.GetBytesValue();
+              break;
+            default:
+              sub.SkipValue(sub_type);
+              break;
+          }
+        }
+        entry.acks.push_back(std::move(ack));
+        break;
+      }
+      default:
+        r.SkipValue(type);
+        break;
+    }
+  }
+  return entry;
+}
+
+std::string_view DirectionName(Direction d) {
+  return d == Direction::kOut ? "out" : "in";
+}
+
+std::string_view SchemeName(LogScheme s) {
+  return s == LogScheme::kBase ? "base" : "adlp";
+}
+
+}  // namespace adlp::proto

@@ -1,0 +1,75 @@
+// Log entry model.
+//
+// One struct serves both schemes, mirroring the prototype ("the same log
+// entry structure (using only the required fields) is used for the naive
+// logging scheme"):
+//
+//   Base (Definition 2):  (id, type(D), direction, seq, t, D)
+//   ADLP publisher L_x:   (id_x, type, out, seq, t_x, D'_x, s'_x, h(D'_y), s'_y)
+//   ADLP subscriber L_y:  (id_y, type, in,  seq, t_y, h(D''_y) [or D''_y],
+//                          s''_x, s''_y)
+//
+// `message_stamp` is the publication stamp from the message header — part of
+// the signed digest — while `timestamp` is the entry owner's local log time
+// used for temporal-causality analysis (Section IV-B2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "crypto/keystore.h"
+
+namespace adlp::proto {
+
+enum class Direction : std::uint8_t { kOut = 0, kIn = 1 };
+
+enum class LogScheme : std::uint8_t { kBase = 0, kAdlp = 1 };
+
+struct LogEntry {
+  LogScheme scheme = LogScheme::kBase;
+  crypto::ComponentId component;  // id_i: the entry owner
+  std::string topic;              // type(D); uniquely identifies the publisher
+  Direction direction = Direction::kOut;
+  std::uint64_t seq = 0;
+  Timestamp timestamp = 0;        // t_k: owner's log time
+  Timestamp message_stamp = 0;    // header stamp (inside the signed digest)
+
+  /// Reported data D. Subscribers may store only `data_hash` instead (the
+  /// h(I_y)-vs-I_y space optimization of Section IV-A).
+  Bytes data;
+  Bytes data_hash;
+
+  // --- ADLP-only fields ---
+  Bytes self_signature;            // s_x in L_x / s_y in L_y
+  Bytes peer_signature;            // s'_y in L_x / s''_x in L_y
+  Bytes peer_data_hash;            // h(D'_y) from the ACK (publisher entries)
+  crypto::ComponentId peer;        // counterpart id
+
+  /// Aggregated-logging extension (Section VI-E): a publisher entry covering
+  /// every subscriber's ACK for one publication.
+  struct AckRecord {
+    crypto::ComponentId subscriber;
+    Bytes data_hash;
+    Bytes signature;
+    bool operator==(const AckRecord&) const = default;
+  };
+  std::vector<AckRecord> acks;
+
+  bool operator==(const LogEntry&) const = default;
+
+  bool IsAdlp() const { return scheme == LogScheme::kAdlp; }
+};
+
+/// Wire serialization of a log entry (the protobuf analogue used both on the
+/// logger connection and on the logger's disk; its size is what Table III
+/// and Figure 15 measure).
+Bytes SerializeLogEntry(const LogEntry& entry);
+LogEntry DeserializeLogEntry(BytesView data);  // throws wire::WireError
+
+std::string_view DirectionName(Direction d);
+std::string_view SchemeName(LogScheme s);
+
+}  // namespace adlp::proto

@@ -1,0 +1,119 @@
+#include "adlp/log_file.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+#include <system_error>
+
+#include "crypto/hashchain.h"
+#include "wire/wire.h"
+
+namespace adlp::proto {
+
+namespace {
+
+constexpr char kMagic[] = "ADLPLOG1";
+constexpr char kTrailerTag[] = "HEAD";
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+void WriteFrame(std::FILE* f, BytesView payload) {
+  const Bytes frame = wire::FramePayload(payload);
+  if (std::fwrite(frame.data(), 1, frame.size(), f) != frame.size()) {
+    throw std::system_error(errno, std::generic_category(),
+                            "log file: write failed");
+  }
+}
+
+/// Reads one frame; returns false on clean EOF before the preamble.
+bool ReadFrame(std::FILE* f, Bytes& payload) {
+  std::uint8_t preamble[wire::kFramePreambleSize];
+  const std::size_t got = std::fread(preamble, 1, sizeof(preamble), f);
+  if (got == 0 && std::feof(f)) return false;
+  if (got != sizeof(preamble)) {
+    throw std::runtime_error("log file: truncated frame preamble");
+  }
+  const std::uint32_t len =
+      wire::ParseFrameLength(BytesView(preamble, sizeof(preamble)));
+  payload.resize(len);
+  if (len > 0 && std::fread(payload.data(), 1, len, f) != len) {
+    throw std::runtime_error("log file: truncated frame payload");
+  }
+  return true;
+}
+
+}  // namespace
+
+void WriteLogRecords(const std::string& path,
+                     const std::vector<Bytes>& records,
+                     const crypto::Digest& chain_head) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) {
+    throw std::system_error(errno, std::generic_category(),
+                            "log file: cannot open for writing: " + path);
+  }
+  WriteFrame(f.get(), BytesOf(kMagic));
+  for (const auto& record : records) WriteFrame(f.get(), record);
+
+  Bytes trailer = BytesOf(kTrailerTag);
+  Append(trailer, BytesView(chain_head.data(), chain_head.size()));
+  WriteFrame(f.get(), trailer);
+
+  if (std::fflush(f.get()) != 0) {
+    throw std::system_error(errno, std::generic_category(),
+                            "log file: flush failed");
+  }
+}
+
+void WriteLogFile(const std::string& path, const LogServer& server) {
+  WriteLogRecords(path, server.SerializedRecords(), server.ChainHead());
+}
+
+LoadedLog ReadLogFile(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) {
+    throw std::system_error(errno, std::generic_category(),
+                            "log file: cannot open: " + path);
+  }
+
+  Bytes frame;
+  if (!ReadFrame(f.get(), frame) || StringOf(frame) != kMagic) {
+    throw std::runtime_error("log file: bad magic");
+  }
+
+  // The trailer is by construction the final frame; no payload sniffing.
+  LoadedLog out;
+  std::vector<Bytes> frames;
+  while (ReadFrame(f.get(), frame)) frames.push_back(frame);
+  if (frames.empty() ||
+      frames.back().size() != 4 + crypto::kSha256DigestSize ||
+      StringOf(BytesView(frames.back().data(), 4)) != kTrailerTag) {
+    throw std::runtime_error("log file: missing chain-head trailer");
+  }
+  std::copy(frames.back().begin() + 4, frames.back().end(),
+            out.chain_head.begin());
+  frames.pop_back();
+  out.records = std::move(frames);
+
+  out.chain_verified = crypto::HashChain::Verify(out.records, out.chain_head);
+  out.entries.reserve(out.records.size());
+  for (const auto& record : out.records) {
+    // A tampered record may no longer parse; evidence handling must not
+    // crash on it (the broken chain already tells the investigator the file
+    // was modified).
+    try {
+      out.entries.push_back(DeserializeLogEntry(record));
+    } catch (const wire::WireError&) {
+      ++out.malformed_records;
+    }
+  }
+  return out;
+}
+
+}  // namespace adlp::proto

@@ -1,0 +1,62 @@
+// Trusted logger.
+//
+// Stores serialized log entries in arrival order under a tamper-evident
+// hash chain, keeps the public-key registry, and exposes the query surface
+// the auditor works from. It has no back-channel to the nodes: entries are
+// pushed in, so a logger failure never interrupts the data plane (no
+// single-point failure for the pub/sub system).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "adlp/log_entry.h"
+#include "adlp/log_sink.h"
+#include "crypto/hashchain.h"
+#include "crypto/keystore.h"
+
+namespace adlp::proto {
+
+class LogServer final : public LogSink {
+ public:
+  // --- LogSink ---
+  void RegisterKey(const crypto::ComponentId& id,
+                   const crypto::PublicKey& key) override;
+  void Append(const LogEntry& entry) override;
+
+  // --- Query surface (auditor / experiments) ---
+  std::vector<LogEntry> Entries() const;
+  std::vector<LogEntry> EntriesFor(const crypto::ComponentId& id) const;
+  std::size_t EntryCount() const;
+
+  /// Total serialized bytes appended (what the log-generation-rate
+  /// experiments in Fig. 15 / Table IV measure).
+  std::uint64_t TotalBytes() const;
+  std::uint64_t BytesFor(const crypto::ComponentId& id) const;
+
+  const crypto::KeyStore& Keys() const { return keys_; }
+
+  // --- Tamper evidence ---
+  crypto::Digest ChainHead() const;
+  /// Recomputes the hash chain over the stored serialized records.
+  bool VerifyChain() const;
+  /// Serialized records, e.g. for offline verification.
+  std::vector<Bytes> SerializedRecords() const;
+
+  /// Test-only: corrupts the stored record at `index` (flips one byte) to
+  /// demonstrate tamper evidence. Returns false if out of range.
+  bool CorruptRecordForTest(std::size_t index);
+
+ private:
+  mutable std::mutex mu_;
+  crypto::KeyStore keys_;
+  crypto::HashChain chain_;
+  std::vector<LogEntry> entries_;
+  std::vector<Bytes> records_;
+  std::uint64_t total_bytes_ = 0;
+  std::map<crypto::ComponentId, std::uint64_t> bytes_by_component_;
+};
+
+}  // namespace adlp::proto

@@ -1,0 +1,40 @@
+// Interfaces between components and the trusted logger.
+//
+// `LogSink` is what the trusted logger exposes (key registration + append).
+// `LogPipe` is the component-side entry point used by the protocol layer;
+// the per-node LoggingThread implements it, and the fault-injection module
+// interposes `UnfaithfulLogPipe` wrappers here — unfaithfulness lives
+// entirely between a component and its own logging, never inside the
+// transport (which, per Eq. (4), always exchanges valid signatures).
+#pragma once
+
+#include "adlp/log_entry.h"
+#include "crypto/keystore.h"
+#include "crypto/sig.h"
+
+namespace adlp::proto {
+
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+
+  /// Key registration (step 1 of the prototype): components push their
+  /// public key at startup.
+  virtual void RegisterKey(const crypto::ComponentId& id,
+                           const crypto::PublicKey& key) = 0;
+
+  /// Appends one entry. Thread-safe; must never block component progress
+  /// for long (the prototype pushes entries one-way so a logger failure
+  /// cannot interrupt ROS nodes).
+  virtual void Append(const LogEntry& entry) = 0;
+};
+
+class LogPipe {
+ public:
+  virtual ~LogPipe() = default;
+
+  /// Enters a log entry on behalf of the owning component.
+  virtual void Enter(LogEntry entry) = 0;
+};
+
+}  // namespace adlp::proto

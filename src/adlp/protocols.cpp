@@ -1,0 +1,388 @@
+#include "adlp/protocols.h"
+
+#include <utility>
+
+#include "adlp/wire_msgs.h"
+#include "wire/wire.h"
+
+namespace adlp::proto {
+
+NodeIdentity MakeNodeIdentity(crypto::ComponentId id, Rng& rng,
+                              std::size_t rsa_bits,
+                              crypto::SigAlgorithm alg) {
+  NodeIdentity identity;
+  identity.id = std::move(id);
+  identity.keys = crypto::GenerateSigKeyPair(rng, alg, rsa_bits);
+  return identity;
+}
+
+// ---------------------------------------------------------------------------
+// NoLogging
+
+namespace {
+
+class PassthroughPublisherLink final : public pubsub::PublisherLinkProtocol {
+ public:
+  bool ExpectsAck() const override { return false; }
+  void OnSent(const pubsub::EncodedPublication&) override {}
+  void OnAck(const pubsub::EncodedPublication&, BytesView) override {}
+};
+
+class PassthroughSubscriberLink final : public pubsub::SubscriberLinkProtocol {
+ public:
+  DecodeResult OnMessage(BytesView wire_bytes) override {
+    DecodeResult result;
+    result.deliver = pubsub::DeserializeMessage(wire_bytes);
+    return result;
+  }
+};
+
+}  // namespace
+
+pubsub::EncodedPublicationPtr NoLoggingFactory::Encode(
+    pubsub::Message message) {
+  auto encoded = std::make_shared<pubsub::EncodedPublication>();
+  encoded->wire = pubsub::SerializeMessage(message);
+  encoded->message = std::move(message);
+  return encoded;
+}
+
+std::unique_ptr<pubsub::PublisherLinkProtocol>
+NoLoggingFactory::MakePublisherLink(const std::string&,
+                                    const crypto::ComponentId&) {
+  return std::make_unique<PassthroughPublisherLink>();
+}
+
+std::unique_ptr<pubsub::SubscriberLinkProtocol>
+NoLoggingFactory::MakeSubscriberLink(const std::string&,
+                                     const crypto::ComponentId&) {
+  return std::make_unique<PassthroughSubscriberLink>();
+}
+
+// ---------------------------------------------------------------------------
+// BaseLogging (Definition 2)
+
+namespace {
+
+class BaseSubscriberLink final : public pubsub::SubscriberLinkProtocol {
+ public:
+  BaseSubscriberLink(crypto::ComponentId id, crypto::ComponentId publisher,
+                     LogPipe& pipe, const Clock& clock, bool store_data)
+      : id_(std::move(id)),
+        publisher_(std::move(publisher)),
+        pipe_(pipe),
+        clock_(clock),
+        store_data_(store_data) {}
+
+  DecodeResult OnMessage(BytesView wire_bytes) override {
+    DecodeResult result;
+    pubsub::Message msg = pubsub::DeserializeMessage(wire_bytes);
+
+    LogEntry entry;
+    entry.scheme = LogScheme::kBase;
+    entry.component = id_;
+    entry.topic = msg.header.topic;
+    entry.direction = Direction::kIn;
+    entry.seq = msg.header.seq;
+    entry.timestamp = clock_.Now();
+    entry.message_stamp = msg.header.stamp;
+    if (store_data_) {
+      entry.data = msg.payload;
+    } else {
+      entry.data_hash = crypto::DigestBytes(pubsub::PayloadHash(msg.payload));
+    }
+    entry.peer = publisher_;
+    pipe_.Enter(std::move(entry));
+
+    result.deliver = std::move(msg);
+    return result;
+  }
+
+ private:
+  crypto::ComponentId id_;
+  crypto::ComponentId publisher_;
+  LogPipe& pipe_;
+  const Clock& clock_;
+  bool store_data_;
+};
+
+}  // namespace
+
+BaseLoggingFactory::BaseLoggingFactory(crypto::ComponentId id, LogPipe& pipe,
+                                       const Clock& clock,
+                                       BaseLoggingOptions options)
+    : id_(std::move(id)), pipe_(pipe), clock_(clock), options_(options) {}
+
+pubsub::EncodedPublicationPtr BaseLoggingFactory::Encode(
+    pubsub::Message message) {
+  // The naive scheme logs once per publication, at publish time, with the
+  // data stored as-is.
+  LogEntry entry;
+  entry.scheme = LogScheme::kBase;
+  entry.component = id_;
+  entry.topic = message.header.topic;
+  entry.direction = Direction::kOut;
+  entry.seq = message.header.seq;
+  entry.timestamp = message.header.stamp;  // publication (action) time
+  entry.message_stamp = message.header.stamp;
+  entry.data = message.payload;
+  pipe_.Enter(std::move(entry));
+
+  auto encoded = std::make_shared<pubsub::EncodedPublication>();
+  encoded->wire = pubsub::SerializeMessage(message);
+  encoded->message = std::move(message);
+  return encoded;
+}
+
+std::unique_ptr<pubsub::PublisherLinkProtocol>
+BaseLoggingFactory::MakePublisherLink(const std::string&,
+                                      const crypto::ComponentId&) {
+  return std::make_unique<PassthroughPublisherLink>();
+}
+
+std::unique_ptr<pubsub::SubscriberLinkProtocol>
+BaseLoggingFactory::MakeSubscriberLink(const std::string&,
+                                       const crypto::ComponentId& publisher) {
+  return std::make_unique<BaseSubscriberLink>(
+      id_, publisher, pipe_, clock_, options_.subscriber_stores_data);
+}
+
+// ---------------------------------------------------------------------------
+// ADLP
+
+struct AdlpFactory::PendingAggregate {
+  // Per-sequence open entries: subscriber links progress independently, so
+  // ACKs for different sequence numbers interleave arbitrarily.
+  std::map<std::uint64_t, LogEntry> open;
+};
+
+class AdlpPublisherLink final : public pubsub::PublisherLinkProtocol {
+ public:
+  AdlpPublisherLink(AdlpFactory* factory, std::string topic,
+                    crypto::ComponentId subscriber)
+      : factory_(factory),
+        topic_(std::move(topic)),
+        subscriber_(std::move(subscriber)) {}
+
+  bool ExpectsAck() const override { return true; }
+
+  void OnSent(const pubsub::EncodedPublication&) override {}
+
+  void OnAck(const pubsub::EncodedPublication& pub,
+             BytesView ack_payload) override {
+    AckMessage ack;
+    try {
+      ack = ParseAckMessage(ack_payload);
+    } catch (const wire::WireError&) {
+      factory_->rejected_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+
+    // The subscriber's view of the data: h(I_y) directly, or computed over
+    // the returned data when the ACK carries I_y itself.
+    Bytes peer_hash = ack.data_hash;
+    if (peer_hash.empty() && !ack.data.empty()) {
+      peer_hash = crypto::DigestBytes(pubsub::PayloadHash(ack.data));
+    }
+
+    if (factory_->options().peer_keys != nullptr) {
+      // Strict mode: check Eq. (4) for the returned signature right here.
+      // The ACK signature covers h(header || h(I_y)); rebind it from the
+      // returned payload hash.
+      const auto key = factory_->options().peer_keys->Find(subscriber_);
+      crypto::Digest payload_hash;
+      const bool hash_ok = peer_hash.size() == payload_hash.size();
+      if (hash_ok) {
+        std::copy(peer_hash.begin(), peer_hash.end(), payload_hash.begin());
+      }
+      const crypto::Digest digest = hash_ok
+          ? pubsub::MessageDigestFromPayloadHash(pub.message.header,
+                                                 payload_hash)
+          : crypto::Digest{};
+      if (!key || !hash_ok ||
+          !crypto::VerifyDigest(*key, digest, ack.signature)) {
+        factory_->rejected_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+    }
+
+    LogEntry entry;
+    entry.scheme = LogScheme::kAdlp;
+    entry.component = factory_->identity().id;
+    entry.topic = topic_;
+    entry.direction = Direction::kOut;
+    entry.seq = pub.message.header.seq;
+    // t_x is the time the publication was *performed* (the header stamp),
+    // not the time the ACK arrived — the causal orderings of Section IV-B2
+    // are over action times.
+    entry.timestamp = pub.message.header.stamp;
+    entry.message_stamp = pub.message.header.stamp;
+    entry.data = pub.message.payload;
+    entry.self_signature = pub.signature;
+
+    if (factory_->options().aggregate_publisher_log) {
+      LogEntry::AckRecord record{subscriber_, std::move(peer_hash),
+                                 std::move(ack.signature)};
+      factory_->AddAggregatedAck(topic_, std::move(entry), std::move(record));
+      return;
+    }
+
+    entry.peer = subscriber_;
+    entry.peer_data_hash = std::move(peer_hash);
+    entry.peer_signature = std::move(ack.signature);
+    factory_->pipe().Enter(std::move(entry));
+  }
+
+ private:
+  AdlpFactory* factory_;
+  std::string topic_;
+  crypto::ComponentId subscriber_;
+};
+
+class AdlpSubscriberLink final : public pubsub::SubscriberLinkProtocol {
+ public:
+  AdlpSubscriberLink(AdlpFactory* factory, std::string topic,
+                     crypto::ComponentId publisher)
+      : factory_(factory),
+        topic_(std::move(topic)),
+        publisher_(std::move(publisher)) {}
+
+  DecodeResult OnMessage(BytesView wire_bytes) override {
+    DecodeResult result;
+    DataMessage data_msg;
+    try {
+      data_msg = ParseDataMessage(wire_bytes);
+    } catch (const wire::WireError&) {
+      factory_->rejected_.fetch_add(1, std::memory_order_relaxed);
+      return result;
+    }
+    const pubsub::Message& msg = data_msg.message;
+
+    // h(I_y) and the signed digest h(header || h(I_y)): the subscriber
+    // hashes what it actually received.
+    const crypto::Digest payload_hash = pubsub::PayloadHash(msg.payload);
+    const crypto::Digest digest =
+        pubsub::MessageDigestFromPayloadHash(msg.header, payload_hash);
+
+    if (factory_->options().peer_keys != nullptr) {
+      const auto key = factory_->options().peer_keys->Find(publisher_);
+      if (!key || !crypto::VerifyDigest(*key, digest, data_msg.signature)) {
+        factory_->rejected_.fetch_add(1, std::memory_order_relaxed);
+        return result;  // drop; no ACK for a protocol-violating message
+      }
+    }
+
+    // Sign and acknowledge before delivering to the application layer.
+    Bytes s_y = crypto::SignDigest(factory_->identity().keys.priv, digest);
+
+    AckMessage ack;
+    ack.seq = msg.header.seq;
+    ack.subscriber = factory_->identity().id;
+    if (factory_->options().ack_carries_data) {
+      ack.data = msg.payload;
+    } else {
+      ack.data_hash = crypto::DigestBytes(payload_hash);
+    }
+    ack.signature = s_y;
+    result.reply = SerializeAckMessage(ack);
+
+    LogEntry entry;
+    entry.scheme = LogScheme::kAdlp;
+    entry.component = factory_->identity().id;
+    entry.topic = topic_;
+    entry.direction = Direction::kIn;
+    entry.seq = msg.header.seq;
+    entry.timestamp = factory_->clock().Now();
+    entry.message_stamp = msg.header.stamp;
+    if (factory_->options().subscriber_stores_hash) {
+      entry.data_hash = crypto::DigestBytes(payload_hash);
+    } else {
+      entry.data = msg.payload;
+    }
+    entry.self_signature = std::move(s_y);
+    entry.peer_signature = std::move(data_msg.signature);
+    entry.peer = publisher_;
+    factory_->pipe().Enter(std::move(entry));
+
+    result.deliver = msg;
+    return result;
+  }
+
+ private:
+  AdlpFactory* factory_;
+  std::string topic_;
+  crypto::ComponentId publisher_;
+};
+
+AdlpFactory::AdlpFactory(std::shared_ptr<const NodeIdentity> identity,
+                         LogPipe& pipe, const Clock& clock,
+                         AdlpOptions options)
+    : identity_(std::move(identity)),
+      pipe_(pipe),
+      clock_(clock),
+      options_(options) {}
+
+AdlpFactory::~AdlpFactory() { FlushAggregated(); }
+
+pubsub::EncodedPublicationPtr AdlpFactory::Encode(pubsub::Message message) {
+  // Hash + sign exactly once per publication (step 2 of the prototype).
+  const crypto::Digest digest =
+      pubsub::MessageDigest(message.header, message.payload);
+  Bytes signature = crypto::SignDigest(identity_->keys.priv, digest);
+
+  auto encoded = std::make_shared<pubsub::EncodedPublication>();
+  encoded->wire = SerializeDataMessage(message, signature);
+  encoded->signature = std::move(signature);
+  encoded->message = std::move(message);
+  return encoded;
+}
+
+std::unique_ptr<pubsub::PublisherLinkProtocol> AdlpFactory::MakePublisherLink(
+    const std::string& topic, const crypto::ComponentId& subscriber) {
+  return std::make_unique<AdlpPublisherLink>(this, topic, subscriber);
+}
+
+std::unique_ptr<pubsub::SubscriberLinkProtocol>
+AdlpFactory::MakeSubscriberLink(const std::string& topic,
+                                const crypto::ComponentId& publisher) {
+  return std::make_unique<AdlpSubscriberLink>(this, topic, publisher);
+}
+
+void AdlpFactory::AddAggregatedAck(const std::string& topic,
+                                   LogEntry entry_template,
+                                   LogEntry::AckRecord ack) {
+  std::lock_guard lock(agg_mu_);
+  auto& slot = aggregates_[topic];
+  if (!slot) slot = std::make_unique<PendingAggregate>();
+
+  const std::uint64_t seq = entry_template.seq;
+  auto [it, inserted] = slot->open.try_emplace(seq, std::move(entry_template));
+  it->second.acks.push_back(std::move(ack));
+
+  // Watermark: once ACKs arrive for a much newer publication, older entries
+  // can no longer gain ACKs (each link delivers in order) — emit them so
+  // memory stays bounded on long runs.
+  constexpr std::uint64_t kLag = 8;
+  while (!slot->open.empty() &&
+         slot->open.begin()->first + kLag < seq) {
+    pipe_.Enter(std::move(slot->open.begin()->second));
+    slot->open.erase(slot->open.begin());
+  }
+}
+
+void AdlpFactory::FlushAggregated() {
+  std::lock_guard lock(agg_mu_);
+  for (auto& [topic, slot] : aggregates_) {
+    if (!slot) continue;
+    for (auto& [seq, entry] : slot->open) {
+      pipe_.Enter(std::move(entry));
+    }
+    slot->open.clear();
+  }
+}
+
+std::uint64_t AdlpFactory::RejectedCount() const {
+  return rejected_.load(std::memory_order_relaxed);
+}
+
+}  // namespace adlp::proto

@@ -1,0 +1,145 @@
+#include "adlp/remote_log.h"
+
+#include "crypto/bigint.h"
+#include "wire/wire.h"
+
+namespace adlp::proto {
+
+namespace {
+
+enum : std::uint32_t {
+  kFieldKind = 1,       // 1 = key registration, 2 = log entry
+  kFieldComponent = 2,
+  kFieldKeyBlob = 3,    // crypto::SerializePublicKey encoding
+  kFieldEntry = 5,
+};
+
+enum : std::uint64_t {
+  kKindKey = 1,
+  kKindEntry = 2,
+};
+
+}  // namespace
+
+Bytes SerializeLogUpload(const crypto::ComponentId& id,
+                         const crypto::PublicKey& key) {
+  wire::Writer w;
+  w.PutU64(kFieldKind, kKindKey);
+  w.PutString(kFieldComponent, id);
+  w.PutBytes(kFieldKeyBlob, crypto::SerializePublicKey(key));
+  return std::move(w).Take();
+}
+
+Bytes SerializeLogUpload(const LogEntry& entry) {
+  wire::Writer w;
+  w.PutU64(kFieldKind, kKindEntry);
+  w.PutBytes(kFieldEntry, SerializeLogEntry(entry));
+  return std::move(w).Take();
+}
+
+void ApplyLogUpload(BytesView frame, LogSink& sink) {
+  wire::Reader r(frame);
+  std::uint64_t kind = 0;
+  crypto::ComponentId component;
+  Bytes key_blob, entry_bytes;
+
+  std::uint32_t field;
+  wire::WireType type;
+  while (r.NextField(field, type)) {
+    switch (field) {
+      case kFieldKind:
+        kind = r.GetU64Value();
+        break;
+      case kFieldComponent:
+        component = r.GetStringValue();
+        break;
+      case kFieldKeyBlob:
+        key_blob = r.GetBytesValue();
+        break;
+      case kFieldEntry:
+        entry_bytes = r.GetBytesValue();
+        break;
+      default:
+        r.SkipValue(type);
+        break;
+    }
+  }
+
+  if (kind == kKindKey) {
+    sink.RegisterKey(component, crypto::ParsePublicKey(key_blob));
+  } else if (kind == kKindEntry) {
+    sink.Append(DeserializeLogEntry(entry_bytes));
+  } else {
+    throw wire::WireError("log upload: unknown kind");
+  }
+}
+
+// --- RemoteLogSink -----------------------------------------------------------
+
+RemoteLogSink::RemoteLogSink(std::uint16_t port)
+    : channel_(transport::TcpConnect(port)) {}
+
+RemoteLogSink::~RemoteLogSink() {
+  if (channel_) channel_->Close();
+}
+
+void RemoteLogSink::RegisterKey(const crypto::ComponentId& id,
+                                const crypto::PublicKey& key) {
+  // Fire-and-forget: a dead logger must not disturb the data plane.
+  (void)channel_->Send(SerializeLogUpload(id, key));
+}
+
+void RemoteLogSink::Append(const LogEntry& entry) {
+  (void)channel_->Send(SerializeLogUpload(entry));
+}
+
+bool RemoteLogSink::Connected() const { return channel_->IsOpen(); }
+
+// --- LogServerService --------------------------------------------------------
+
+LogServerService::LogServerService(LogServer& server, std::uint16_t port)
+    : server_(server), listener_(port) {
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+}
+
+LogServerService::~LogServerService() { Shutdown(); }
+
+void LogServerService::AcceptLoop() {
+  while (auto channel = listener_.Accept()) {
+    std::lock_guard lock(mu_);
+    if (shutting_down_.load()) {
+      channel->Close();
+      return;
+    }
+    connections_.push_back(channel);
+    ingestion_threads_.emplace_back([this, channel] {
+      while (auto frame = channel->Receive()) {
+        try {
+          ApplyLogUpload(*frame, server_);
+        } catch (const wire::WireError&) {
+          // Malformed upload: drop the frame, keep the connection. The
+          // logger is append-only and trusts nothing it cannot parse.
+        }
+      }
+    });
+  }
+}
+
+void LogServerService::Shutdown() {
+  if (shutting_down_.exchange(true)) return;
+  listener_.Close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<transport::ChannelPtr> connections;
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard lock(mu_);
+    connections.swap(connections_);
+    threads.swap(ingestion_threads_);
+  }
+  for (auto& c : connections) c->Close();
+  for (auto& t : threads) {
+    if (t.joinable()) t.join();
+  }
+}
+
+}  // namespace adlp::proto

@@ -1,0 +1,79 @@
+// Remote trusted logger over TCP.
+//
+// The paper's deployment pushes log entries one-way to a log server so that
+// "any failure at the log server does not interrupt a normal operation of
+// the ROS nodes". This module provides:
+//
+//   * RemoteLogSink  — a LogSink that serializes key registrations and log
+//     entries onto a TCP connection (fire-and-forget; a dead server makes
+//     Append a no-op, never an error surfaced to the component);
+//   * LogServerService — accepts connections and feeds a local LogServer.
+//
+// Components therefore run unchanged whether their sink is an in-process
+// LogServer or a RemoteLogSink pointed at another process.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "adlp/log_server.h"
+#include "adlp/log_sink.h"
+#include "transport/channel.h"
+#include "transport/tcp.h"
+
+namespace adlp::proto {
+
+/// Wire encoding of one logger upload (key registration or entry).
+Bytes SerializeLogUpload(const crypto::ComponentId& id,
+                         const crypto::PublicKey& key);
+Bytes SerializeLogUpload(const LogEntry& entry);
+
+/// Applies one upload frame to a sink. Throws wire::WireError on garbage.
+void ApplyLogUpload(BytesView frame, LogSink& sink);
+
+class RemoteLogSink final : public LogSink {
+ public:
+  /// Connects to the log server at 127.0.0.1:`port`.
+  explicit RemoteLogSink(std::uint16_t port);
+  ~RemoteLogSink() override;
+
+  void RegisterKey(const crypto::ComponentId& id,
+                   const crypto::PublicKey& key) override;
+  void Append(const LogEntry& entry) override;
+
+  bool Connected() const;
+
+ private:
+  transport::ChannelPtr channel_;
+};
+
+/// Accept loop feeding `server`. One ingestion thread per connection.
+class LogServerService {
+ public:
+  /// Binds 127.0.0.1:`port` (0 = ephemeral).
+  explicit LogServerService(LogServer& server, std::uint16_t port = 0);
+  ~LogServerService();
+
+  LogServerService(const LogServerService&) = delete;
+  LogServerService& operator=(const LogServerService&) = delete;
+
+  std::uint16_t Port() const { return listener_.Port(); }
+
+  /// Stops accepting and joins all ingestion threads.
+  void Shutdown();
+
+ private:
+  void AcceptLoop();
+
+  LogServer& server_;
+  transport::TcpListener listener_;
+  std::atomic<bool> shutting_down_{false};
+  std::thread accept_thread_;
+  std::mutex mu_;
+  std::vector<std::thread> ingestion_threads_;
+  std::vector<transport::ChannelPtr> connections_;
+};
+
+}  // namespace adlp::proto

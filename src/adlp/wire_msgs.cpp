@@ -1,0 +1,116 @@
+#include "adlp/wire_msgs.h"
+
+#include "wire/wire.h"
+
+namespace adlp::proto {
+
+namespace {
+
+// DataMessage reuses the plain message field numbers (1..5, see
+// pubsub/message.cpp) and appends the signature as field 6, so non-ADLP
+// parsers skip it and size accounting is message + signature framing only.
+enum : std::uint32_t {
+  kFieldTopic = 1,
+  kFieldPublisher = 2,
+  kFieldSeq = 3,
+  kFieldStamp = 4,
+  kFieldPayload = 5,
+  kFieldSignature = 6,
+};
+
+enum : std::uint32_t {
+  kAckSeq = 1,
+  kAckSubscriber = 2,
+  kAckDataHash = 3,
+  kAckData = 4,
+  kAckSignature = 5,
+};
+
+}  // namespace
+
+Bytes SerializeDataMessage(const pubsub::Message& message,
+                           BytesView signature) {
+  wire::Writer w;
+  w.PutString(kFieldTopic, message.header.topic);
+  w.PutString(kFieldPublisher, message.header.publisher);
+  w.PutU64(kFieldSeq, message.header.seq);
+  w.PutI64(kFieldStamp, message.header.stamp);
+  w.PutBytes(kFieldPayload, message.payload);
+  w.PutBytes(kFieldSignature, signature);
+  return std::move(w).Take();
+}
+
+DataMessage ParseDataMessage(BytesView wire_bytes) {
+  DataMessage out;
+  wire::Reader r(wire_bytes);
+  std::uint32_t field;
+  wire::WireType type;
+  while (r.NextField(field, type)) {
+    switch (field) {
+      case kFieldTopic:
+        out.message.header.topic = r.GetStringValue();
+        break;
+      case kFieldPublisher:
+        out.message.header.publisher = r.GetStringValue();
+        break;
+      case kFieldSeq:
+        out.message.header.seq = r.GetU64Value();
+        break;
+      case kFieldStamp:
+        out.message.header.stamp = r.GetI64Value();
+        break;
+      case kFieldPayload:
+        out.message.payload = r.GetBytesValue();
+        break;
+      case kFieldSignature:
+        out.signature = r.GetBytesValue();
+        break;
+      default:
+        r.SkipValue(type);
+        break;
+    }
+  }
+  return out;
+}
+
+Bytes SerializeAckMessage(const AckMessage& ack) {
+  wire::Writer w;
+  w.PutU64(kAckSeq, ack.seq);
+  w.PutString(kAckSubscriber, ack.subscriber);
+  if (!ack.data_hash.empty()) w.PutBytes(kAckDataHash, ack.data_hash);
+  if (!ack.data.empty()) w.PutBytes(kAckData, ack.data);
+  w.PutBytes(kAckSignature, ack.signature);
+  return std::move(w).Take();
+}
+
+AckMessage ParseAckMessage(BytesView wire_bytes) {
+  AckMessage out;
+  wire::Reader r(wire_bytes);
+  std::uint32_t field;
+  wire::WireType type;
+  while (r.NextField(field, type)) {
+    switch (field) {
+      case kAckSeq:
+        out.seq = r.GetU64Value();
+        break;
+      case kAckSubscriber:
+        out.subscriber = r.GetStringValue();
+        break;
+      case kAckDataHash:
+        out.data_hash = r.GetBytesValue();
+        break;
+      case kAckData:
+        out.data = r.GetBytesValue();
+        break;
+      case kAckSignature:
+        out.signature = r.GetBytesValue();
+        break;
+      default:
+        r.SkipValue(type);
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace adlp::proto

@@ -1,0 +1,38 @@
+// On-the-wire protocol messages.
+//
+//   M_x = (message, s_x): the publication with the publisher's signed hash
+//         attached at the transport layer (Fig. 9). Parses as a plain
+//         message plus a signature field, so the encoding's size overhead is
+//         exactly the signature (128 bytes for RSA-1024) — the Table III
+//         accounting.
+//   M_y = (seq, h(I_y) [or I_y], s_y): the subscriber's acknowledgement.
+//         With SHA-256 + RSA-1024 its payload matches the paper's fixed
+//         160 bytes (32-byte hash + 128-byte signature) plus field framing.
+#pragma once
+
+#include "common/bytes.h"
+#include "crypto/keystore.h"
+#include "pubsub/message.h"
+
+namespace adlp::proto {
+
+struct DataMessage {
+  pubsub::Message message;
+  Bytes signature;  // s_x over MessageDigest(header, payload)
+};
+
+Bytes SerializeDataMessage(const pubsub::Message& message, BytesView signature);
+DataMessage ParseDataMessage(BytesView wire_bytes);  // throws wire::WireError
+
+struct AckMessage {
+  std::uint64_t seq = 0;
+  crypto::ComponentId subscriber;
+  Bytes data_hash;  // h(I_y); empty when the ACK carries the data instead
+  Bytes data;       // I_y as-is (small-data option of Section IV-A)
+  Bytes signature;  // s_y over the same message digest
+};
+
+Bytes SerializeAckMessage(const AckMessage& ack);
+AckMessage ParseAckMessage(BytesView wire_bytes);  // throws wire::WireError
+
+}  // namespace adlp::proto

@@ -1,0 +1,424 @@
+#include "audit/auditor.h"
+
+#include <algorithm>
+
+#include "crypto/sig.h"
+#include "pubsub/message.h"
+
+namespace adlp::audit {
+
+namespace {
+
+using proto::Direction;
+using proto::LogEntry;
+using proto::LogScheme;
+
+/// Parses a raw 32-byte payload-hash field (h(D)).
+std::optional<crypto::Digest> PayloadHashFromBytes(BytesView bytes) {
+  if (bytes.size() != crypto::kSha256DigestSize) return std::nullopt;
+  crypto::Digest d;
+  std::copy(bytes.begin(), bytes.end(), d.begin());
+  return d;
+}
+
+pubsub::MessageHeader HeaderOf(const LogEntry& entry,
+                               const crypto::ComponentId& publisher) {
+  pubsub::MessageHeader header;
+  header.topic = entry.topic;
+  header.publisher = publisher;
+  header.seq = entry.seq;
+  header.stamp = entry.message_stamp;
+  return header;
+}
+
+/// h(D) the entry commits to: stored directly (hash-storing subscriber) or
+/// recomputed from the stored data.
+std::optional<crypto::Digest> ClaimedPayloadHash(const LogEntry& entry) {
+  if (!entry.data_hash.empty()) return PayloadHashFromBytes(entry.data_hash);
+  return pubsub::PayloadHash(entry.data);
+}
+
+/// Reconstructs the signed digest h(header || h(D)) an entry commits to.
+/// The header is rebuilt from the entry's own fields — this is what rebinds
+/// a stored payload hash to THIS topic/seq/stamp, defeating replays.
+/// `publisher` is the topic's unique publisher (the entry owner for
+/// out-entries, the recorded peer or manifest publisher for in-entries).
+std::optional<crypto::Digest> ClaimedDigest(
+    const LogEntry& entry, const crypto::ComponentId& publisher) {
+  const auto payload_hash = ClaimedPayloadHash(entry);
+  if (!payload_hash) return std::nullopt;
+  return pubsub::MessageDigestFromPayloadHash(HeaderOf(entry, publisher),
+                                              *payload_hash);
+}
+
+bool VerifySig(const std::optional<crypto::PublicKey>& key,
+               const std::optional<crypto::Digest>& digest, BytesView sig) {
+  return key.has_value() && digest.has_value() && !sig.empty() &&
+         crypto::VerifyDigest(*key, *digest, sig);
+}
+
+}  // namespace
+
+std::string_view FindingName(Finding f) {
+  switch (f) {
+    case Finding::kOk: return "ok";
+    case Finding::kPublisherHidEntry: return "publisher-hid-entry";
+    case Finding::kSubscriberHidEntry: return "subscriber-hid-entry";
+    case Finding::kPublisherFalsified: return "publisher-falsified";
+    case Finding::kSubscriberFalsified: return "subscriber-falsified";
+    case Finding::kPublisherFabricated: return "publisher-fabricated";
+    case Finding::kSubscriberFabricated: return "subscriber-fabricated";
+    case Finding::kPublisherSelfAuthFailed: return "publisher-self-auth-failed";
+    case Finding::kSubscriberSelfAuthFailed:
+      return "subscriber-self-auth-failed";
+    case Finding::kDuplicateEntry: return "duplicate-entry";
+    case Finding::kConflictUnresolvable: return "conflict-unresolvable";
+    case Finding::kUnprovableConsistent: return "unprovable-consistent";
+    case Finding::kUnprovableConflict: return "unprovable-conflict";
+    case Finding::kUnprovableMissing: return "unprovable-missing";
+  }
+  return "unknown";
+}
+
+AuditReport Auditor::Audit(std::vector<proto::LogEntry> entries,
+                           Topology topology) const {
+  return Audit(LogDatabase(std::move(entries), std::move(topology)));
+}
+
+AuditReport Auditor::Audit(const LogDatabase& db) const {
+  AuditReport report;
+  for (const auto& [key, evidence] : db.Pairs()) {
+    const bool is_base =
+        (!evidence.publisher.empty() &&
+         evidence.publisher.front().entry.scheme == LogScheme::kBase) ||
+        (!evidence.subscriber.empty() &&
+         evidence.subscriber.front().scheme == LogScheme::kBase);
+    if (is_base && !options_.include_base_scheme) continue;
+
+    PairVerdict verdict = AuditPair(db, key, evidence);
+
+    // Update per-component stats.
+    auto account = [&](const crypto::ComponentId& id, EntryClass cls) {
+      ComponentStats& s = report.stats[id];
+      switch (cls) {
+        case EntryClass::kValid: ++s.valid; break;
+        case EntryClass::kInvalid: ++s.invalid; break;
+        case EntryClass::kHidden: ++s.hidden; break;
+      }
+    };
+    // A side is accounted when its entry exists, or when the audit proved
+    // the entry should exist but was hidden.
+    if (!verdict.publisher.empty() &&
+        (!evidence.publisher.empty() ||
+         verdict.finding == Finding::kPublisherHidEntry)) {
+      account(verdict.publisher, verdict.publisher_class);
+    }
+    if (!verdict.subscriber.empty() &&
+        (!evidence.subscriber.empty() ||
+         verdict.finding == Finding::kSubscriberHidEntry)) {
+      account(verdict.subscriber, verdict.subscriber_class);
+    }
+    for (const auto& id : verdict.blamed) {
+      report.unfaithful.insert(id);
+      ++report.stats[id].blamed;
+    }
+    report.verdicts.push_back(std::move(verdict));
+  }
+  return report;
+}
+
+PairVerdict Auditor::AuditPair(const LogDatabase& db, const PairKey& key,
+                               const PairEvidence& evidence) const {
+  PairVerdict v;
+  v.topic = key.topic;
+  v.seq = key.seq;
+  v.subscriber = key.subscriber;
+
+  // Resolve the topic's unique publisher: from the manifest, else from the
+  // out-entry owner, else from the in-entry's recorded peer.
+  if (auto p = db.PublisherOf(key.topic)) {
+    v.publisher = *p;
+  } else if (!evidence.publisher.empty()) {
+    v.publisher = evidence.publisher.front().entry.component;
+  } else if (!evidence.subscriber.empty()) {
+    v.publisher = evidence.subscriber.front().peer;
+  }
+
+  const PublisherEvidence* pub_ev =
+      evidence.publisher.empty() ? nullptr : &evidence.publisher.front();
+  const LogEntry* sub_entry =
+      evidence.subscriber.empty() ? nullptr : &evidence.subscriber.front();
+
+  // Replayed sequence numbers: extra entries for the same instance are
+  // invalid on sight.
+  if (evidence.publisher.size() > 1 || evidence.subscriber.size() > 1) {
+    v.finding = Finding::kDuplicateEntry;
+    if (evidence.publisher.size() > 1) {
+      v.blamed.push_back(evidence.publisher.front().entry.component);
+      v.publisher_class = EntryClass::kInvalid;
+    }
+    if (evidence.subscriber.size() > 1) {
+      v.blamed.push_back(evidence.subscriber.front().component);
+      v.subscriber_class = EntryClass::kInvalid;
+    }
+    v.detail = "multiple entries for one (topic, seq, direction, peer)";
+    return v;
+  }
+
+  // An out-entry claiming a component other than the topic's unique
+  // publisher is an impersonation attempt: the type label identifies the
+  // publisher uniquely.
+  if (pub_ev != nullptr && !v.publisher.empty() &&
+      pub_ev->entry.component != v.publisher) {
+    v.finding = Finding::kPublisherSelfAuthFailed;
+    v.publisher_class = EntryClass::kInvalid;
+    v.blamed.push_back(pub_ev->entry.component);
+    v.detail = "out-entry by '" + pub_ev->entry.component +
+               "' for a topic published by '" + v.publisher + "'";
+    return v;
+  }
+
+  const bool is_base =
+      (pub_ev != nullptr && pub_ev->entry.scheme == LogScheme::kBase) ||
+      (sub_entry != nullptr && sub_entry->scheme == LogScheme::kBase);
+  if (is_base) {
+    // Naive scheme: nothing is provable (Section III-B). Report only
+    // consistency.
+    if (pub_ev != nullptr && sub_entry != nullptr) {
+      const bool agree = pub_ev->entry.data == sub_entry->data &&
+                         sub_entry->data_hash.empty();
+      v.finding =
+          agree ? Finding::kUnprovableConsistent : Finding::kUnprovableConflict;
+      v.publisher_class = EntryClass::kValid;
+      v.subscriber_class = EntryClass::kValid;
+      if (!agree) {
+        v.detail = "entries conflict; the naive scheme cannot determine "
+                   "whose log is correct";
+      }
+    } else {
+      v.finding = Finding::kUnprovableMissing;
+      if (pub_ev != nullptr) v.publisher_class = EntryClass::kValid;
+      if (sub_entry != nullptr) v.subscriber_class = EntryClass::kValid;
+      v.detail = "counterpart entry missing; hiding and fabrication are "
+                 "indistinguishable under the naive scheme";
+    }
+    return v;
+  }
+
+  // --- ADLP evaluation ---
+  const auto pub_key = keys_.Find(v.publisher);
+  const auto sub_key = keys_.Find(v.subscriber);
+
+  // Publisher-side evidence.
+  bool pub_self_ok = false;
+  bool pub_ack_ok = false;
+  std::optional<crypto::Digest> pub_digest;
+  if (pub_ev != nullptr) {
+    pub_digest = ClaimedDigest(pub_ev->entry, v.publisher);
+    pub_self_ok = VerifySig(pub_key, pub_digest, pub_ev->entry.self_signature);
+    // The ACK proves receipt of *this* publication only if the subscriber's
+    // payload hash matches the publisher's claim AND the ACK signature
+    // verifies over the digest rebound to this entry's header — a replayed
+    // ACK from an older seq fails because the rebound digest embeds the
+    // sequence number.
+    const auto pub_payload_hash = ClaimedPayloadHash(pub_ev->entry);
+    const auto ack_payload_hash = PayloadHashFromBytes(pub_ev->peer_data_hash);
+    pub_ack_ok = pub_digest.has_value() && pub_payload_hash.has_value() &&
+                 ack_payload_hash.has_value() &&
+                 *ack_payload_hash == *pub_payload_hash &&
+                 VerifySig(sub_key, pub_digest, pub_ev->peer_signature);
+  }
+
+  // Subscriber-side evidence.
+  bool sub_self_ok = false;
+  bool sub_cross_ok = false;
+  std::optional<crypto::Digest> sub_digest;
+  if (sub_entry != nullptr) {
+    sub_digest = ClaimedDigest(*sub_entry, v.publisher);
+    sub_self_ok = VerifySig(sub_key, sub_digest, sub_entry->self_signature);
+    sub_cross_ok = VerifySig(pub_key, sub_digest, sub_entry->peer_signature);
+  }
+
+  if (pub_ev != nullptr && sub_entry != nullptr) {
+    if (!pub_self_ok) {
+      v.finding = Finding::kPublisherSelfAuthFailed;
+      v.publisher_class = EntryClass::kInvalid;
+      v.blamed.push_back(v.publisher);
+      v.subscriber_class = (sub_self_ok && sub_cross_ok) ? EntryClass::kValid
+                                                         : EntryClass::kInvalid;
+      if (v.subscriber_class == EntryClass::kInvalid) {
+        v.blamed.push_back(v.subscriber);
+      }
+      return v;
+    }
+    if (!sub_self_ok) {
+      v.finding = Finding::kSubscriberSelfAuthFailed;
+      v.subscriber_class = EntryClass::kInvalid;
+      v.blamed.push_back(v.subscriber);
+      v.publisher_class =
+          pub_ack_ok ? EntryClass::kValid : EntryClass::kInvalid;
+      if (v.publisher_class == EntryClass::kInvalid) {
+        v.blamed.push_back(v.publisher);
+      }
+      return v;
+    }
+
+    const bool agree = pub_digest.has_value() && sub_digest.has_value() &&
+                       *pub_digest == *sub_digest;
+    if (agree && (sub_cross_ok || pub_ack_ok)) {
+      v.finding = Finding::kOk;
+      v.publisher_class = EntryClass::kValid;
+      v.subscriber_class = EntryClass::kValid;
+      if (!sub_cross_ok) {
+        v.detail = "subscriber entry carries a non-verifying publisher "
+                   "signature, but the publisher's ACK evidence proves the "
+                   "transmission";
+      } else if (!pub_ack_ok) {
+        v.detail = "publisher entry carries non-verifying ACK evidence, but "
+                   "the subscriber's entry proves the transmission";
+      }
+      return v;
+    }
+    if (!agree && sub_cross_ok) {
+      // Subscriber provably received what the publisher signed; the
+      // publisher's entry says otherwise (Lemma 3 (i)).
+      v.finding = Finding::kPublisherFalsified;
+      v.publisher_class = EntryClass::kInvalid;
+      v.subscriber_class = EntryClass::kValid;
+      v.blamed.push_back(v.publisher);
+      v.detail = "publisher signed the data the subscriber reports, yet its "
+                 "own entry claims different data";
+      return v;
+    }
+    if (!agree && pub_ack_ok) {
+      // The subscriber acknowledged the publisher's data, then logged
+      // something else (Lemma 3 (ii)).
+      v.finding = Finding::kSubscriberFalsified;
+      v.publisher_class = EntryClass::kValid;
+      v.subscriber_class = EntryClass::kInvalid;
+      v.blamed.push_back(v.subscriber);
+      v.detail = "subscriber acknowledged the publisher's data but logged "
+                 "different data it cannot prove";
+      return v;
+    }
+    // Neither side holds provable counterpart evidence: impossible for a
+    // non-colluding pair under the protocol.
+    v.finding = Finding::kConflictUnresolvable;
+    v.publisher_class = EntryClass::kInvalid;
+    v.subscriber_class = EntryClass::kInvalid;
+    v.detail = "no cross-evidence verifies on either side; indicates "
+               "collusion or joint fabrication";
+    return v;
+  }
+
+  if (pub_ev != nullptr) {
+    // Publisher entry alone.
+    if (!pub_self_ok) {
+      v.finding = Finding::kPublisherSelfAuthFailed;
+      v.publisher_class = EntryClass::kInvalid;
+      v.blamed.push_back(v.publisher);
+      return v;
+    }
+    if (pub_ack_ok) {
+      // The ACK proves the subscriber received the data and then entered no
+      // log (Lemma 2).
+      v.finding = Finding::kSubscriberHidEntry;
+      v.publisher_class = EntryClass::kValid;
+      v.subscriber_class = EntryClass::kHidden;
+      v.blamed.push_back(v.subscriber);
+      v.detail = "subscriber's valid ACK found in the publisher's entry, but "
+                 "the subscriber entered no log entry";
+      return v;
+    }
+    // No provable ACK: the publication cannot be proven (Lemma 1).
+    v.finding = Finding::kPublisherFabricated;
+    v.publisher_class = EntryClass::kInvalid;
+    v.blamed.push_back(v.publisher);
+    v.detail = "publisher entry without a provable subscriber "
+               "acknowledgement";
+    return v;
+  }
+
+  if (sub_entry != nullptr) {
+    // Subscriber entry alone.
+    if (!sub_self_ok) {
+      v.finding = Finding::kSubscriberSelfAuthFailed;
+      v.subscriber_class = EntryClass::kInvalid;
+      v.blamed.push_back(v.subscriber);
+      return v;
+    }
+    if (sub_cross_ok) {
+      // The publisher's signature proves it published; no publisher entry
+      // exists (Lemma 2).
+      v.finding = Finding::kPublisherHidEntry;
+      v.subscriber_class = EntryClass::kValid;
+      v.publisher_class = EntryClass::kHidden;
+      v.blamed.push_back(v.publisher);
+      v.detail = "publisher's valid signature found in the subscriber's "
+                 "entry, but the publisher entered no log entry";
+      return v;
+    }
+    v.finding = Finding::kSubscriberFabricated;
+    v.subscriber_class = EntryClass::kInvalid;
+    v.blamed.push_back(v.subscriber);
+    v.detail = "subscriber entry without a verifying publisher signature";
+    return v;
+  }
+
+  // No evidence at all (should not occur: pairs are built from entries).
+  v.finding = Finding::kConflictUnresolvable;
+  v.detail = "no evidence";
+  return v;
+}
+
+std::size_t AuditReport::TotalValid() const {
+  std::size_t n = 0;
+  for (const auto& [id, s] : stats) n += s.valid;
+  return n;
+}
+
+std::size_t AuditReport::TotalInvalid() const {
+  std::size_t n = 0;
+  for (const auto& [id, s] : stats) n += s.invalid;
+  return n;
+}
+
+std::size_t AuditReport::TotalHidden() const {
+  std::size_t n = 0;
+  for (const auto& [id, s] : stats) n += s.hidden;
+  return n;
+}
+
+std::string AuditReport::Render() const {
+  std::map<Finding, std::size_t> by_finding;
+  for (const auto& v : verdicts) ++by_finding[v.finding];
+
+  std::string out;
+  out += "=== Audit report ===\n";
+  out += "transmission instances: " + std::to_string(verdicts.size()) + "\n";
+  out += "entries: valid=" + std::to_string(TotalValid()) +
+         " invalid=" + std::to_string(TotalInvalid()) +
+         " hidden=" + std::to_string(TotalHidden()) + "\n";
+  out += "findings:\n";
+  for (const auto& [finding, count] : by_finding) {
+    out += "  " + std::string(FindingName(finding)) + ": " +
+           std::to_string(count) + "\n";
+  }
+  out += "per-component:\n";
+  for (const auto& [id, s] : stats) {
+    out += "  " + id + ": valid=" + std::to_string(s.valid) +
+           " invalid=" + std::to_string(s.invalid) +
+           " hidden=" + std::to_string(s.hidden) +
+           " blamed=" + std::to_string(s.blamed) + "\n";
+  }
+  out += "unfaithful components:";
+  if (unfaithful.empty()) {
+    out += " (none)\n";
+  } else {
+    for (const auto& id : unfaithful) out += " " + id;
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace adlp::audit

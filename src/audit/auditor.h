@@ -1,0 +1,45 @@
+// The auditor: classifies every log entry (valid / invalid / hidden),
+// resolves disputes between publisher and subscriber entries, and names the
+// responsible component — the executable form of Lemmas 1-3 and Theorems
+// 1-2.
+//
+// Verification is purely offline: the auditor holds the public-key registry
+// and the topology manifest, reconstructs each entry's signed digest
+// h(seq || D) from the entry's own fields, and checks the entry's own
+// signature (authenticity, Eq. (3)) plus the embedded counterpart signature
+// (interdependence, Eq. (4)).
+#pragma once
+
+#include "audit/log_database.h"
+#include "audit/verdict.h"
+#include "crypto/keystore.h"
+
+namespace adlp::audit {
+
+struct AuditorOptions {
+  /// Evaluate base-scheme entries too (produces kUnprovable* findings that
+  /// demonstrate the naive scheme's limitation).
+  bool include_base_scheme = true;
+};
+
+class Auditor {
+ public:
+  Auditor(const crypto::KeyStore& keys, AuditorOptions options = {})
+      : keys_(keys), options_(options) {}
+
+  /// Audits all entries against the topology manifest.
+  AuditReport Audit(const LogDatabase& db) const;
+
+  /// Convenience: builds the database internally.
+  AuditReport Audit(std::vector<proto::LogEntry> entries,
+                    Topology topology) const;
+
+ private:
+  PairVerdict AuditPair(const LogDatabase& db, const PairKey& key,
+                        const PairEvidence& evidence) const;
+
+  const crypto::KeyStore& keys_;
+  AuditorOptions options_;
+};
+
+}  // namespace adlp::audit

@@ -1,0 +1,46 @@
+// Temporal-causality verification (Section IV-B2, Lemma 4).
+//
+// Given that transmission D_{x->y} causally precedes D_{y->z} (because c_y
+// consumed the former to produce the latter), the four log timestamps must
+// satisfy  t_{x,out} < t_{y,in} <= t_{y,out} < t_{z,in}.  A single
+// unfaithful component can skew its own timestamps but cannot break the
+// overall precedence without colluding with *all* components of the chain;
+// the checker reports each violated constraint together with the minimal
+// set of components that must contain a liar.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "audit/log_database.h"
+
+namespace adlp::audit {
+
+/// "first precedes second": c_y received `first` before it published
+/// `second`.
+struct FlowDependency {
+  PairKey first;   // D_{x->y}: topic, seq, subscriber = y
+  PairKey second;  // D_{y->z}: topic, seq, subscriber = z
+};
+
+struct CausalityViolation {
+  FlowDependency dependency;
+  std::string constraint;  // e.g. "t_out(x) < t_in(y)"
+  /// Minimal component set that must contain at least one timestamp liar.
+  std::vector<crypto::ComponentId> suspects;
+};
+
+class CausalityChecker {
+ public:
+  explicit CausalityChecker(const LogDatabase& db) : db_(db) {}
+
+  /// Checks each dependency; missing entries are skipped (the pairwise
+  /// auditor already reports hidden entries).
+  std::vector<CausalityViolation> Check(
+      const std::vector<FlowDependency>& dependencies) const;
+
+ private:
+  const LogDatabase& db_;
+};
+
+}  // namespace adlp::audit

@@ -1,0 +1,66 @@
+// Indexed view over the trusted logger's entries: groups publisher and
+// subscriber entries by transmission instance (topic, seq, subscriber) and
+// expands aggregated publisher entries into per-subscriber views.
+#pragma once
+
+#include <compare>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "adlp/log_entry.h"
+#include "crypto/keystore.h"
+#include "pubsub/master.h"
+
+namespace adlp::audit {
+
+using Topology = std::map<std::string, pubsub::Master::TopicInfo>;
+
+/// Key of one transmission instance.
+struct PairKey {
+  std::string topic;
+  std::uint64_t seq = 0;
+  crypto::ComponentId subscriber;
+
+  auto operator<=>(const PairKey&) const = default;
+};
+
+/// Publisher-side evidence for one instance: the entry plus the subscriber's
+/// (hash, signature) pair, which lives either in the entry's dedicated
+/// fields or in one AckRecord of an aggregated entry.
+struct PublisherEvidence {
+  proto::LogEntry entry;
+  Bytes peer_data_hash;
+  Bytes peer_signature;
+};
+
+struct PairEvidence {
+  std::vector<PublisherEvidence> publisher;       // usually 0 or 1
+  std::vector<proto::LogEntry> subscriber;        // usually 0 or 1
+};
+
+class LogDatabase {
+ public:
+  /// `topology` tells the auditor which subscriber set each topic has (the
+  /// master's manifest); it is what turns "publisher logged, subscriber
+  /// didn't" into a *hidden* subscriber entry rather than a non-event.
+  LogDatabase(std::vector<proto::LogEntry> entries, Topology topology);
+
+  const std::map<PairKey, PairEvidence>& Pairs() const { return pairs_; }
+  const Topology& topology() const { return topology_; }
+  const std::vector<proto::LogEntry>& RawEntries() const { return entries_; }
+
+  /// Publisher of `topic` per the manifest (type label -> unique publisher).
+  std::optional<crypto::ComponentId> PublisherOf(const std::string& topic) const;
+
+  /// All subscribers of `topic` per the manifest.
+  std::vector<crypto::ComponentId> SubscribersOf(const std::string& topic) const;
+
+ private:
+  std::vector<proto::LogEntry> entries_;
+  Topology topology_;
+  std::map<PairKey, PairEvidence> pairs_;
+};
+
+}  // namespace adlp::audit

@@ -1,0 +1,154 @@
+#include "audit/manifest.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <memory>
+#include <system_error>
+
+#include "crypto/bigint.h"
+#include "wire/wire.h"
+
+namespace adlp::audit {
+
+namespace {
+
+enum : std::uint32_t {
+  kFieldTopic = 1,  // nested TopicRecord
+  kFieldKey = 2,    // nested KeyRecord
+};
+
+enum : std::uint32_t {
+  kTopicName = 1,
+  kTopicPublisher = 2,
+  kTopicSubscriber = 3,  // repeated
+};
+
+enum : std::uint32_t {
+  kKeyComponent = 1,
+  kKeyBlob = 2,  // crypto::SerializePublicKey encoding
+};
+
+}  // namespace
+
+Bytes SerializeManifest(const Topology& topology,
+                        const crypto::KeyStore& keys) {
+  wire::Writer w;
+  for (const auto& [topic, info] : topology) {
+    wire::Writer t;
+    t.PutString(kTopicName, topic);
+    t.PutString(kTopicPublisher, info.publisher);
+    for (const auto& sub : info.subscribers) {
+      t.PutString(kTopicSubscriber, sub);
+    }
+    w.PutMessage(kFieldTopic, t);
+  }
+  for (const auto& id : keys.RegisteredIds()) {
+    const auto key = keys.Find(id);
+    wire::Writer k;
+    k.PutString(kKeyComponent, id);
+    k.PutBytes(kKeyBlob, crypto::SerializePublicKey(*key));
+    w.PutMessage(kFieldKey, k);
+  }
+  return std::move(w).Take();
+}
+
+LoadedManifest ParseManifest(BytesView data) {
+  LoadedManifest out;
+  wire::Reader r(data);
+  std::uint32_t field;
+  wire::WireType type;
+  while (r.NextField(field, type)) {
+    switch (field) {
+      case kFieldTopic: {
+        wire::Reader t = r.GetMessageValue();
+        std::string topic;
+        pubsub::Master::TopicInfo info;
+        std::uint32_t tf;
+        wire::WireType tt;
+        while (t.NextField(tf, tt)) {
+          switch (tf) {
+            case kTopicName:
+              topic = t.GetStringValue();
+              break;
+            case kTopicPublisher:
+              info.publisher = t.GetStringValue();
+              break;
+            case kTopicSubscriber:
+              info.subscribers.push_back(t.GetStringValue());
+              break;
+            default:
+              t.SkipValue(tt);
+              break;
+          }
+        }
+        out.topology[topic] = std::move(info);
+        break;
+      }
+      case kFieldKey: {
+        wire::Reader k = r.GetMessageValue();
+        crypto::ComponentId id;
+        crypto::PublicKey key;
+        std::uint32_t kf;
+        wire::WireType kt;
+        while (k.NextField(kf, kt)) {
+          switch (kf) {
+            case kKeyComponent:
+              id = k.GetStringValue();
+              break;
+            case kKeyBlob:
+              key = crypto::ParsePublicKey(k.GetBytesValue());
+              break;
+            default:
+              k.SkipValue(kt);
+              break;
+          }
+        }
+        out.keys.Register(id, key);
+        break;
+      }
+      default:
+        r.SkipValue(type);
+        break;
+    }
+  }
+  return out;
+}
+
+namespace {
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+}  // namespace
+
+void WriteManifestFile(const std::string& path, const Topology& topology,
+                       const crypto::KeyStore& keys) {
+  std::unique_ptr<std::FILE, FileCloser> f(std::fopen(path.c_str(), "wb"));
+  if (!f) {
+    throw std::system_error(errno, std::generic_category(),
+                            "manifest: cannot open for writing: " + path);
+  }
+  const Bytes data = SerializeManifest(topology, keys);
+  if (std::fwrite(data.data(), 1, data.size(), f.get()) != data.size()) {
+    throw std::system_error(errno, std::generic_category(),
+                            "manifest: write failed");
+  }
+}
+
+LoadedManifest ReadManifestFile(const std::string& path) {
+  std::unique_ptr<std::FILE, FileCloser> f(std::fopen(path.c_str(), "rb"));
+  if (!f) {
+    throw std::system_error(errno, std::generic_category(),
+                            "manifest: cannot open: " + path);
+  }
+  Bytes data;
+  std::uint8_t buf[4096];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f.get())) > 0) {
+    data.insert(data.end(), buf, buf + got);
+  }
+  return ParseManifest(data);
+}
+
+}  // namespace adlp::audit

@@ -1,0 +1,31 @@
+// System manifest: the topology (topic -> publisher + subscribers) and the
+// public-key registry, serialized so a third-party investigator can audit a
+// log file offline without access to the running system — the independence
+// property the paper demands of run-time evidence (an examiner like the
+// NTSB must not depend on the manufacturer's proprietary tooling).
+#pragma once
+
+#include <string>
+
+#include "audit/log_database.h"
+#include "crypto/keystore.h"
+
+namespace adlp::audit {
+
+Bytes SerializeManifest(const Topology& topology,
+                        const crypto::KeyStore& keys);
+
+struct LoadedManifest {
+  Topology topology;
+  crypto::KeyStore keys;
+};
+
+/// Throws wire::WireError on malformed input.
+LoadedManifest ParseManifest(BytesView data);
+
+/// File convenience wrappers (single framed record).
+void WriteManifestFile(const std::string& path, const Topology& topology,
+                       const crypto::KeyStore& keys);
+LoadedManifest ReadManifestFile(const std::string& path);
+
+}  // namespace adlp::audit

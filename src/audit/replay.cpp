@@ -1,0 +1,115 @@
+#include "audit/replay.h"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <thread>
+
+#include "adlp/component.h"
+
+namespace adlp::audit {
+
+namespace {
+
+/// Replay runs produce no evidence; entries (if any protocol made them) are
+/// discarded.
+class NullSink final : public proto::LogSink {
+ public:
+  void RegisterKey(const crypto::ComponentId&,
+                   const crypto::PublicKey&) override {}
+  void Append(const proto::LogEntry&) override {}
+};
+
+struct RecordedMessage {
+  Timestamp stamp = 0;
+  std::uint64_t seq = 0;
+  std::string topic;
+  crypto::ComponentId publisher;
+  const Bytes* payload = nullptr;
+};
+
+}  // namespace
+
+ReplayStats ReplayLog(const std::vector<proto::LogEntry>& entries,
+                      pubsub::MasterApi& master,
+                      const ReplayOptions& options) {
+  ReplayStats stats;
+
+  const std::set<std::string> topic_filter(options.topics.begin(),
+                                           options.topics.end());
+  auto wanted = [&](const std::string& topic) {
+    return topic_filter.empty() || topic_filter.contains(topic);
+  };
+
+  // Gather replayable publications (out-entries carrying data).
+  std::vector<RecordedMessage> messages;
+  for (const auto& entry : entries) {
+    if (entry.direction != proto::Direction::kOut) continue;
+    if (!wanted(entry.topic)) continue;
+    if (entry.data.empty()) {
+      ++stats.skipped_no_data;
+      continue;
+    }
+    messages.push_back(RecordedMessage{entry.message_stamp, entry.seq,
+                                       entry.topic, entry.component,
+                                       &entry.data});
+  }
+  // Aggregated entries produce one view per subscriber in the database but
+  // appear once here; still, per-subscriber plain entries repeat the same
+  // (topic, seq) — dedupe, then order by recorded time.
+  std::sort(messages.begin(), messages.end(),
+            [](const RecordedMessage& a, const RecordedMessage& b) {
+              if (a.stamp != b.stamp) return a.stamp < b.stamp;
+              if (a.topic != b.topic) return a.topic < b.topic;
+              return a.seq < b.seq;
+            });
+  messages.erase(std::unique(messages.begin(), messages.end(),
+                             [](const RecordedMessage& a,
+                                const RecordedMessage& b) {
+                               return a.topic == b.topic && a.seq == b.seq;
+                             }),
+                 messages.end());
+
+  // One replay component per recorded publisher; advertise its topics.
+  NullSink null_sink;
+  Rng rng(0x5e1a);
+  std::map<crypto::ComponentId, std::unique_ptr<proto::Component>> components;
+  std::map<std::string, pubsub::Publisher*> publishers;
+  for (const auto& msg : messages) {
+    if (publishers.contains(msg.topic)) continue;
+    auto& component = components[msg.publisher];
+    if (!component) {
+      proto::ComponentOptions opts;
+      opts.scheme = proto::LoggingScheme::kNone;
+      component = std::make_unique<proto::Component>(
+          "replay/" + msg.publisher, master, null_sink, rng, opts);
+    }
+    publishers[msg.topic] = &component->Advertise(msg.topic);
+  }
+
+  if (options.expected_subscribers > 0) {
+    for (auto& [topic, publisher] : publishers) {
+      publisher->WaitForSubscribers(options.expected_subscribers,
+                                    options.subscriber_wait);
+    }
+  }
+
+  // Re-publish in recorded order, optionally paced.
+  Timestamp previous_stamp = messages.empty() ? 0 : messages.front().stamp;
+  for (const auto& msg : messages) {
+    if (options.speed > 0 && msg.stamp > previous_stamp) {
+      const auto delta = std::chrono::nanoseconds(static_cast<std::int64_t>(
+          static_cast<double>(msg.stamp - previous_stamp) / options.speed));
+      std::this_thread::sleep_for(delta);
+    }
+    previous_stamp = msg.stamp;
+    publishers.at(msg.topic)->Publish(*msg.payload);
+    ++stats.replayed;
+    ++stats.per_topic[msg.topic];
+  }
+
+  for (auto& [name, component] : components) component->Shutdown();
+  return stats;
+}
+
+}  // namespace adlp::audit

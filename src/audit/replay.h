@@ -1,0 +1,53 @@
+// Log replay: re-publishing recorded transmissions through a live system.
+//
+// The paper's opening motivation is reconstructing a system's behaviour
+// from run-time evidence. Audited publisher entries store the data as-is,
+// so an investigator can *re-drive* downstream components with exactly the
+// inputs the log proves were sent — e.g. replay the recorded camera frames
+// into a fresh sign recognizer to check what it should have detected.
+//
+// The replayer creates one publisher component per recorded publisher
+// (named "replay/<original>") and re-publishes each topic's payloads in
+// sequence order, optionally paced by the recorded timestamps.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "adlp/log_entry.h"
+#include "adlp/log_sink.h"
+#include "pubsub/master.h"
+
+namespace adlp::audit {
+
+struct ReplayOptions {
+  /// Topics to replay; empty = every topic with recorded data.
+  std::vector<std::string> topics;
+
+  /// Time scale: 0 = as fast as possible; 1.0 = original pacing (from the
+  /// recorded message stamps); 2.0 = double speed, etc.
+  double speed = 0.0;
+
+  /// Wait this long for subscribers to attach before publishing.
+  std::chrono::milliseconds subscriber_wait{2000};
+
+  /// How many subscribers to wait for per topic (0 = don't wait).
+  std::size_t expected_subscribers = 1;
+};
+
+struct ReplayStats {
+  std::uint64_t replayed = 0;          // messages re-published
+  std::uint64_t skipped_no_data = 0;   // out-entries that stored only a hash
+  std::map<std::string, std::uint64_t> per_topic;
+};
+
+/// Replays the recorded publications through `master`. Replay components
+/// use the NoLogging scheme (the replay itself is not evidence) and publish
+/// on the original topic names, so any live subscriber wired to `master`
+/// consumes them exactly as the original consumers did.
+ReplayStats ReplayLog(const std::vector<proto::LogEntry>& entries,
+                      pubsub::MasterApi& master, const ReplayOptions& options);
+
+}  // namespace adlp::audit

@@ -1,0 +1,165 @@
+#include "audit/report_json.h"
+
+#include <cstdio>
+#include <map>
+
+namespace adlp::audit {
+
+std::string JsonQuote(std::string_view s) {
+  std::string out = "\"";
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+namespace {
+
+/// Minimal structured emitter: tracks depth and whether the current
+/// container needs a comma before its next element.
+class Emitter {
+ public:
+  explicit Emitter(bool pretty) : pretty_(pretty) {}
+
+  void OpenObject(std::string_view key = {}) { Open('{', key); }
+  void CloseObject() { Close('}'); }
+  void OpenArray(std::string_view key = {}) { Open('[', key); }
+  void CloseArray() { Close(']'); }
+
+  void Field(std::string_view key, std::string_view raw_value) {
+    Separator();
+    out_ += JsonQuote(key);
+    out_ += pretty_ ? ": " : ":";
+    out_ += raw_value;
+    need_comma_ = true;
+  }
+
+  void StringField(std::string_view key, std::string_view value) {
+    Field(key, JsonQuote(value));
+  }
+
+  void NumberField(std::string_view key, std::uint64_t value) {
+    Field(key, std::to_string(value));
+  }
+
+  void ArrayString(std::string_view value) {
+    Separator();
+    out_ += JsonQuote(value);
+    need_comma_ = true;
+  }
+
+  std::string Take() && { return std::move(out_); }
+
+ private:
+  void Open(char bracket, std::string_view key) {
+    Separator();
+    if (!key.empty()) {
+      out_ += JsonQuote(key);
+      out_ += pretty_ ? ": " : ":";
+    }
+    out_ += bracket;
+    ++depth_;
+    need_comma_ = false;
+  }
+
+  void Close(char bracket) {
+    --depth_;
+    if (pretty_) {
+      out_ += '\n';
+      out_.append(static_cast<std::size_t>(depth_) * 2, ' ');
+    }
+    out_ += bracket;
+    need_comma_ = true;
+  }
+
+  void Separator() {
+    if (need_comma_) out_ += ',';
+    if (pretty_ && depth_ > 0) {
+      out_ += '\n';
+      out_.append(static_cast<std::size_t>(depth_) * 2, ' ');
+    }
+  }
+
+  std::string out_;
+  bool pretty_;
+  bool need_comma_ = false;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+std::string RenderReportJson(const AuditReport& report,
+                             const JsonOptions& options) {
+  Emitter e(options.pretty);
+  e.OpenObject();
+
+  e.OpenObject("summary");
+  e.NumberField("instances", report.verdicts.size());
+  e.NumberField("valid", report.TotalValid());
+  e.NumberField("invalid", report.TotalInvalid());
+  e.NumberField("hidden", report.TotalHidden());
+  e.CloseObject();
+
+  std::map<Finding, std::size_t> by_finding;
+  for (const auto& v : report.verdicts) ++by_finding[v.finding];
+  e.OpenObject("findings");
+  for (const auto& [finding, count] : by_finding) {
+    e.NumberField(FindingName(finding), count);
+  }
+  e.CloseObject();
+
+  e.OpenObject("components");
+  for (const auto& [id, stats] : report.stats) {
+    e.OpenObject(id);
+    e.NumberField("valid", stats.valid);
+    e.NumberField("invalid", stats.invalid);
+    e.NumberField("hidden", stats.hidden);
+    e.NumberField("blamed", stats.blamed);
+    e.CloseObject();
+  }
+  e.CloseObject();
+
+  e.OpenArray("unfaithful");
+  for (const auto& id : report.unfaithful) e.ArrayString(id);
+  e.CloseArray();
+
+  if (options.include_verdicts) {
+    e.OpenArray("verdicts");
+    for (const auto& v : report.verdicts) {
+      e.OpenObject();
+      e.StringField("topic", v.topic);
+      e.NumberField("seq", v.seq);
+      e.StringField("publisher", v.publisher);
+      e.StringField("subscriber", v.subscriber);
+      e.StringField("finding", FindingName(v.finding));
+      e.OpenArray("blamed");
+      for (const auto& id : v.blamed) e.ArrayString(id);
+      e.CloseArray();
+      if (!v.detail.empty()) e.StringField("detail", v.detail);
+      e.CloseObject();
+    }
+    e.CloseArray();
+  }
+
+  e.CloseObject();
+  return std::move(e).Take();
+}
+
+}  // namespace adlp::audit

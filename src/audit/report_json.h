@@ -1,0 +1,37 @@
+// JSON export of audit results — machine-readable output for investigator
+// tooling (dashboards, court exhibits, diffing two audits). Pure emitter:
+// no external JSON dependency, escaping handled for arbitrary component and
+// topic names.
+#pragma once
+
+#include <string>
+
+#include "audit/verdict.h"
+
+namespace adlp::audit {
+
+struct JsonOptions {
+  /// Pretty-print with 2-space indentation (false = single line).
+  bool pretty = true;
+  /// Include the full per-instance verdict list (can be large); summary and
+  /// per-component stats are always included.
+  bool include_verdicts = true;
+};
+
+/// Serializes a report:
+/// {
+///   "summary": {"instances": N, "valid": .., "invalid": .., "hidden": ..},
+///   "findings": {"ok": n, "publisher-falsified": n, ...},
+///   "components": {"camera": {"valid":..,"invalid":..,"hidden":..,
+///                             "blamed":..}, ...},
+///   "unfaithful": ["sign_recognizer", ...],
+///   "verdicts": [{"topic":..,"seq":..,"publisher":..,"subscriber":..,
+///                 "finding":..,"blamed":[..],"detail":..}, ...]
+/// }
+std::string RenderReportJson(const AuditReport& report,
+                             const JsonOptions& options = {});
+
+/// Escapes a string for inclusion in a JSON document (quotes added).
+std::string JsonQuote(std::string_view s);
+
+}  // namespace adlp::audit

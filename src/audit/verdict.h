@@ -1,0 +1,115 @@
+// Audit outcome model: the classification of Fig. 5 made concrete.
+//
+// Every observed log entry ends up in exactly one class (valid / invalid);
+// entries the protocol proves *should* exist but don't are reported as
+// hidden. A `PairVerdict` covers one transmission instance — one
+// (topic, seq, subscriber) triple — and names the component(s) to blame,
+// which is exactly the dispute-resolution output of Theorems 1 and 2.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "adlp/log_entry.h"
+#include "crypto/keystore.h"
+
+namespace adlp::audit {
+
+enum class EntryClass : std::uint8_t {
+  kValid,    // member of L_V-hat
+  kInvalid,  // member of L_I-hat
+  kHidden,   // member of L_H-hat (expected entry not found)
+};
+
+enum class Finding : std::uint8_t {
+  /// Pair consistent: both entries valid.
+  kOk,
+  /// Subscriber's entry proves the transmission; the publisher entered no
+  /// entry (Lemma 2, publication side).
+  kPublisherHidEntry,
+  /// Publisher's entry carries the subscriber's valid ACK; the subscriber
+  /// entered no entry (Lemma 2, receipt side).
+  kSubscriberHidEntry,
+  /// Publisher's reported data disagrees with the subscriber's provable view
+  /// (Lemma 3 (i)): publisher falsified.
+  kPublisherFalsified,
+  /// Subscriber's claim fails verification while the publisher holds the
+  /// subscriber's valid ACK over different data (Lemma 3 (ii)).
+  kSubscriberFalsified,
+  /// Publisher entry without a provable counterpart ACK (Lemma 1):
+  /// fabrication.
+  kPublisherFabricated,
+  /// Subscriber entry whose embedded publisher signature does not verify
+  /// (Lemma 1): fabrication.
+  kSubscriberFabricated,
+  /// Entry's own signature fails under the claimed author's key ("obvious
+  /// detection" / impersonation attempt).
+  kPublisherSelfAuthFailed,
+  kSubscriberSelfAuthFailed,
+  /// Multiple entries by the same component for the same (topic, seq,
+  /// direction, peer): replay of a sequence number.
+  kDuplicateEntry,
+  /// Both sides hold internally consistent yet mutually contradictory
+  /// proofs, or neither is provable: impossible between a non-colluding
+  /// pair — an indicator of collusion.
+  kConflictUnresolvable,
+  /// Base-scheme entries match, but nothing is provable (the naive scheme's
+  /// fundamental limitation, Section III-B).
+  kUnprovableConsistent,
+  /// Base-scheme entries conflict and no blame can be assigned.
+  kUnprovableConflict,
+  /// Base-scheme entry with no counterpart: cannot distinguish hiding from
+  /// fabrication.
+  kUnprovableMissing,
+};
+
+std::string_view FindingName(Finding f);
+
+/// Verdict for one transmission instance D_{x->y} at one sequence number.
+struct PairVerdict {
+  std::string topic;
+  std::uint64_t seq = 0;
+  crypto::ComponentId publisher;
+  crypto::ComponentId subscriber;
+
+  Finding finding = Finding::kOk;
+  EntryClass publisher_class = EntryClass::kHidden;
+  EntryClass subscriber_class = EntryClass::kHidden;
+
+  /// Components this verdict holds responsible.
+  std::vector<crypto::ComponentId> blamed;
+  std::string detail;
+};
+
+struct ComponentStats {
+  std::size_t valid = 0;
+  std::size_t invalid = 0;
+  std::size_t hidden = 0;
+  std::size_t blamed = 0;
+};
+
+struct AuditReport {
+  std::vector<PairVerdict> verdicts;
+  std::map<crypto::ComponentId, ComponentStats> stats;
+  /// Components blamed by at least one verdict (Theorem 2: in a
+  /// collusion-free system this is exactly the unfaithful set).
+  std::set<crypto::ComponentId> unfaithful;
+
+  std::size_t TotalValid() const;
+  std::size_t TotalInvalid() const;
+  std::size_t TotalHidden() const;
+
+  bool Blames(const crypto::ComponentId& id) const {
+    return unfaithful.contains(id);
+  }
+
+  /// Human-readable summary (per-finding counts, per-component stats,
+  /// unfaithful set).
+  std::string Render() const;
+};
+
+}  // namespace adlp::audit

@@ -1,0 +1,72 @@
+#include "common/bytes.h"
+
+#include <stdexcept>
+
+namespace adlp {
+
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  throw std::invalid_argument("FromHex: invalid hex digit");
+}
+
+}  // namespace
+
+std::string ToHex(BytesView data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0x0f]);
+  }
+  return out;
+}
+
+Bytes FromHex(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    throw std::invalid_argument("FromHex: odd-length input");
+  }
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    out.push_back(static_cast<std::uint8_t>((HexValue(hex[i]) << 4) |
+                                            HexValue(hex[i + 1])));
+  }
+  return out;
+}
+
+Bytes BytesOf(std::string_view text) {
+  return Bytes(text.begin(), text.end());
+}
+
+std::string StringOf(BytesView data) {
+  return std::string(data.begin(), data.end());
+}
+
+Bytes Concat(BytesView a, BytesView b) {
+  Bytes out;
+  out.reserve(a.size() + b.size());
+  out.insert(out.end(), a.begin(), a.end());
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+void Append(Bytes& dst, BytesView src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+bool ConstantTimeEqual(BytesView a, BytesView b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc = static_cast<std::uint8_t>(acc | (a[i] ^ b[i]));
+  }
+  return acc == 0;
+}
+
+}  // namespace adlp

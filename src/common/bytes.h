@@ -1,0 +1,43 @@
+// Byte-buffer helpers shared across the ADLP codebase.
+//
+// `Bytes` is the canonical owning byte buffer; read-only interfaces take
+// `std::span<const std::uint8_t>` (aliased as `BytesView`) so callers can pass
+// any contiguous storage without copies.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adlp {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Lowercase hex encoding of `data` (two chars per byte).
+std::string ToHex(BytesView data);
+
+/// Parses a hex string (case-insensitive, even length). Throws
+/// `std::invalid_argument` on malformed input.
+Bytes FromHex(std::string_view hex);
+
+/// Copies a UTF-8/ASCII string into a byte buffer.
+Bytes BytesOf(std::string_view text);
+
+/// Interprets a byte buffer as a string (bytes copied verbatim).
+std::string StringOf(BytesView data);
+
+/// Returns `a || b` (concatenation).
+Bytes Concat(BytesView a, BytesView b);
+
+/// Appends `src` to `dst`.
+void Append(Bytes& dst, BytesView src);
+
+/// Constant-time equality: compares full length regardless of where the first
+/// mismatch occurs. Buffers of different sizes compare unequal (size is not
+/// secret). Use for signature/digest comparisons.
+bool ConstantTimeEqual(BytesView a, BytesView b);
+
+}  // namespace adlp

@@ -1,0 +1,37 @@
+#include "common/clock.h"
+
+#include <ctime>
+#include <chrono>
+
+namespace adlp {
+
+Timestamp WallClock::Now() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+WallClock& WallClock::Instance() {
+  static WallClock clock;
+  return clock;
+}
+
+Timestamp MonotonicNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Timestamp ProcessCpuNowNs() {
+  timespec ts{};
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<Timestamp>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+}
+
+Timestamp ThreadCpuNowNs() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<Timestamp>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+}
+
+}  // namespace adlp

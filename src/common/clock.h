@@ -1,0 +1,91 @@
+// Time sources.
+//
+// ADLP log entries carry timestamps used only to establish precedence
+// relations (Lemma 4); the paper assumes a proper time-synchronization
+// mechanism. We model that with a `Clock` interface: `WallClock` reads the
+// system clock, `SimClock` is a manually-advanced, perfectly-synchronized
+// clock for deterministic tests and causality experiments.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace adlp {
+
+/// Nanoseconds since an arbitrary epoch.
+using Timestamp = std::int64_t;
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual Timestamp Now() const = 0;
+};
+
+/// Reads std::chrono::system_clock.
+class WallClock final : public Clock {
+ public:
+  Timestamp Now() const override;
+
+  /// Process-wide instance (the clock is stateless).
+  static WallClock& Instance();
+};
+
+/// Deterministic clock: every read advances time by `tick_ns` so that two
+/// successive events never share a timestamp (strict monotonicity, which the
+/// causality analysis relies on). Thread-safe.
+class SimClock final : public Clock {
+ public:
+  explicit SimClock(Timestamp start = 0, Timestamp tick_ns = 1)
+      : now_(start), tick_ns_(tick_ns) {}
+
+  Timestamp Now() const override {
+    return now_.fetch_add(tick_ns_, std::memory_order_relaxed);
+  }
+
+  /// Jumps the clock forward by `delta_ns`.
+  void Advance(Timestamp delta_ns) {
+    now_.fetch_add(delta_ns, std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::atomic<Timestamp> now_;
+  Timestamp tick_ns_;
+};
+
+/// Monotonic wall time for measurements (steady_clock), not for log entries.
+Timestamp MonotonicNowNs();
+
+/// Process CPU time consumed so far, for utilization benchmarks.
+Timestamp ProcessCpuNowNs();
+
+/// Calling thread's CPU time. Used to attribute middleware work to the
+/// owning component (the publisher-CPU measurements of Fig. 14).
+Timestamp ThreadCpuNowNs();
+
+/// Accumulates the owning thread's CPU time into a shared counter. Call
+/// Tick() at convenient points (e.g. once per message); the destructor
+/// flushes the remainder.
+class ThreadCpuTracker {
+ public:
+  explicit ThreadCpuTracker(std::atomic<Timestamp>* acc)
+      : acc_(acc), last_(ThreadCpuNowNs()) {}
+
+  ~ThreadCpuTracker() { Tick(); }
+
+  void Tick() {
+    if (acc_ == nullptr) return;
+    const Timestamp now = ThreadCpuNowNs();
+    acc_->fetch_add(now - last_, std::memory_order_relaxed);
+    last_ = now;
+  }
+
+  /// Drops the CPU time since the last Tick() instead of accumulating it
+  /// (for work done on this thread on behalf of another party).
+  void Discard() { last_ = ThreadCpuNowNs(); }
+
+ private:
+  std::atomic<Timestamp>* acc_;
+  Timestamp last_;
+};
+
+}  // namespace adlp

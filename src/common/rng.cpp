@@ -1,0 +1,75 @@
+#include "common/rng.h"
+
+#include <bit>
+
+namespace adlp {
+
+std::uint64_t SplitMix64::Next() {
+  std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.Next();
+}
+
+std::uint64_t Rng::NextU64() {
+  const std::uint64_t result = std::rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = std::rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::UniformBelow(std::uint64_t bound) {
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = -bound % bound;
+  for (;;) {
+    const std::uint64_t r = NextU64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::uint64_t Rng::UniformInRange(std::uint64_t lo, std::uint64_t hi) {
+  const std::uint64_t width = hi - lo + 1;
+  if (width == 0) return NextU64();  // full range
+  return lo + UniformBelow(width);
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Chance(double p) { return NextDouble() < p; }
+
+void Rng::Fill(Bytes& out) {
+  std::size_t i = 0;
+  while (i + 8 <= out.size()) {
+    std::uint64_t v = NextU64();
+    for (int k = 0; k < 8; ++k) out[i++] = static_cast<std::uint8_t>(v >> (8 * k));
+  }
+  if (i < out.size()) {
+    std::uint64_t v = NextU64();
+    while (i < out.size()) {
+      out[i++] = static_cast<std::uint8_t>(v);
+      v >>= 8;
+    }
+  }
+}
+
+Bytes Rng::RandomBytes(std::size_t n) {
+  Bytes out(n);
+  Fill(out);
+  return out;
+}
+
+Rng Rng::Fork() { return Rng(NextU64()); }
+
+}  // namespace adlp

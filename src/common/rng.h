@@ -1,0 +1,62 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in the library (key generation, synthetic workloads, fault
+// injection schedules) flows through `Rng` so experiments are reproducible
+// from a single seed. The generator is xoshiro256** seeded via SplitMix64 —
+// fast, high quality, and not cryptographically secure; RSA key generation
+// documents this trade-off (the reproduction's goal is accountability-protocol
+// behaviour, not protection of real secrets).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace adlp {
+
+/// SplitMix64: used to expand a 64-bit seed into generator state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t Next();
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed'ad1f'0000'0001ull);
+
+  /// Uniform 64-bit value.
+  std::uint64_t NextU64();
+
+  /// Uniform value in [0, bound). `bound` must be nonzero (debiased via
+  /// rejection sampling).
+  std::uint64_t UniformBelow(std::uint64_t bound);
+
+  /// Uniform value in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t UniformInRange(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli trial with probability `p` of returning true.
+  bool Chance(double p);
+
+  /// Fills `out` with random bytes.
+  void Fill(Bytes& out);
+
+  /// Returns `n` random bytes.
+  Bytes RandomBytes(std::size_t n);
+
+  /// Forks an independent stream (e.g. one per component) deterministically.
+  Rng Fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace adlp

@@ -1,0 +1,514 @@
+#include "crypto/bigint.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "crypto/montgomery.h"
+
+namespace adlp::crypto {
+
+namespace {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  throw std::invalid_argument("BigInt::FromHex: invalid digit");
+}
+
+}  // namespace
+
+BigInt::BigInt(std::uint64_t v) {
+  if (v != 0) limbs_.push_back(v);
+}
+
+BigInt::BigInt(int v) {
+  if (v != 0) {
+    negative_ = v < 0;
+    limbs_.push_back(negative_ ? -static_cast<u64>(v) : static_cast<u64>(v));
+  }
+}
+
+void BigInt::Normalize() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+  if (limbs_.empty()) negative_ = false;
+}
+
+BigInt BigInt::FromLimbs(std::vector<std::uint64_t> limbs) {
+  BigInt out;
+  out.limbs_ = std::move(limbs);
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::FromHex(std::string_view hex) {
+  BigInt out;
+  bool neg = false;
+  if (!hex.empty() && hex.front() == '-') {
+    neg = true;
+    hex.remove_prefix(1);
+  }
+  if (hex.empty()) throw std::invalid_argument("BigInt::FromHex: empty");
+  // Parse from the least-significant end, 16 hex digits per limb.
+  std::size_t pos = hex.size();
+  while (pos > 0) {
+    const std::size_t take = std::min<std::size_t>(16, pos);
+    u64 limb = 0;
+    for (std::size_t i = pos - take; i < pos; ++i) {
+      limb = (limb << 4) | static_cast<u64>(HexValue(hex[i]));
+    }
+    out.limbs_.push_back(limb);
+    pos -= take;
+  }
+  out.negative_ = neg;
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::FromDecimal(std::string_view dec) {
+  bool neg = false;
+  if (!dec.empty() && dec.front() == '-') {
+    neg = true;
+    dec.remove_prefix(1);
+  }
+  if (dec.empty()) throw std::invalid_argument("BigInt::FromDecimal: empty");
+  BigInt out;
+  for (char c : dec) {
+    if (c < '0' || c > '9') {
+      throw std::invalid_argument("BigInt::FromDecimal: invalid digit");
+    }
+    out = out * BigInt(std::uint64_t{10}) +
+          BigInt(static_cast<std::uint64_t>(c - '0'));
+  }
+  out.negative_ = neg;
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::FromBytesBE(BytesView bytes) {
+  BigInt out;
+  std::size_t pos = bytes.size();
+  while (pos > 0) {
+    const std::size_t take = std::min<std::size_t>(8, pos);
+    u64 limb = 0;
+    for (std::size_t i = pos - take; i < pos; ++i) {
+      limb = (limb << 8) | bytes[i];
+    }
+    out.limbs_.push_back(limb);
+    pos -= take;
+  }
+  out.Normalize();
+  return out;
+}
+
+std::string BigInt::ToHex() const {
+  if (IsZero()) return "0";
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  if (negative_) out.push_back('-');
+  bool leading = true;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    for (int shift = 60; shift >= 0; shift -= 4) {
+      const int digit = static_cast<int>((limbs_[i] >> shift) & 0xf);
+      if (leading && digit == 0) continue;
+      leading = false;
+      out.push_back(kDigits[digit]);
+    }
+  }
+  return out;
+}
+
+std::string BigInt::ToDecimal() const {
+  if (IsZero()) return "0";
+  BigInt v = *this;
+  v.negative_ = false;
+  const BigInt ten(std::uint64_t{10});
+  std::string digits;
+  while (!v.IsZero()) {
+    BigInt q, r;
+    DivMod(v, ten, q, r);
+    digits.push_back(static_cast<char>('0' + r.LowU64()));
+    v = std::move(q);
+  }
+  if (negative_) digits.push_back('-');
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+Bytes BigInt::ToBytesBE() const {
+  if (IsZero()) return {};
+  const std::size_t bytes = (BitLength() + 7) / 8;
+  return ToBytesBEPadded(bytes);
+}
+
+Bytes BigInt::ToBytesBEPadded(std::size_t width) const {
+  const std::size_t need = IsZero() ? 0 : (BitLength() + 7) / 8;
+  if (need > width) {
+    throw std::length_error("BigInt::ToBytesBEPadded: value too wide");
+  }
+  Bytes out(width, 0);
+  std::size_t pos = width;
+  for (std::size_t i = 0; i < limbs_.size() && pos > 0; ++i) {
+    u64 limb = limbs_[i];
+    for (int b = 0; b < 8 && pos > 0; ++b) {
+      out[--pos] = static_cast<std::uint8_t>(limb);
+      limb >>= 8;
+    }
+  }
+  return out;
+}
+
+std::size_t BigInt::BitLength() const {
+  if (limbs_.empty()) return 0;
+  const u64 top = limbs_.back();
+  return (limbs_.size() - 1) * 64 +
+         (64 - static_cast<std::size_t>(__builtin_clzll(top)));
+}
+
+bool BigInt::Bit(std::size_t i) const {
+  const std::size_t limb = i / 64;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 64)) & 1;
+}
+
+int BigInt::CompareMagnitude(const BigInt& a, const BigInt& b) {
+  if (a.limbs_.size() != b.limbs_.size()) {
+    return a.limbs_.size() < b.limbs_.size() ? -1 : 1;
+  }
+  for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] < b.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+std::strong_ordering BigInt::operator<=>(const BigInt& rhs) const {
+  if (negative_ != rhs.negative_) {
+    return negative_ ? std::strong_ordering::less
+                     : std::strong_ordering::greater;
+  }
+  const int mag = CompareMagnitude(*this, rhs);
+  const int signed_cmp = negative_ ? -mag : mag;
+  if (signed_cmp < 0) return std::strong_ordering::less;
+  if (signed_cmp > 0) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+BigInt BigInt::AddMagnitude(const BigInt& a, const BigInt& b) {
+  BigInt out;
+  const std::size_t n = std::max(a.limbs_.size(), b.limbs_.size());
+  out.limbs_.resize(n, 0);
+  u64 carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const u64 x = i < a.limbs_.size() ? a.limbs_[i] : 0;
+    const u64 y = i < b.limbs_.size() ? b.limbs_[i] : 0;
+    const u128 sum = static_cast<u128>(x) + y + carry;
+    out.limbs_[i] = static_cast<u64>(sum);
+    carry = static_cast<u64>(sum >> 64);
+  }
+  if (carry) out.limbs_.push_back(carry);
+  return out;
+}
+
+BigInt BigInt::SubMagnitude(const BigInt& a, const BigInt& b) {
+  BigInt out;
+  out.limbs_.resize(a.limbs_.size(), 0);
+  u64 borrow = 0;
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    const u64 y = i < b.limbs_.size() ? b.limbs_[i] : 0;
+    const u128 diff = static_cast<u128>(a.limbs_[i]) - y - borrow;
+    out.limbs_[i] = static_cast<u64>(diff);
+    borrow = static_cast<u64>((diff >> 64) & 1);
+  }
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt out = *this;
+  if (!out.IsZero()) out.negative_ = !out.negative_;
+  return out;
+}
+
+BigInt BigInt::operator+(const BigInt& rhs) const {
+  if (negative_ == rhs.negative_) {
+    BigInt out = AddMagnitude(*this, rhs);
+    out.negative_ = negative_ && !out.IsZero();
+    return out;
+  }
+  const int mag = CompareMagnitude(*this, rhs);
+  if (mag == 0) return BigInt{};
+  BigInt out = mag > 0 ? SubMagnitude(*this, rhs) : SubMagnitude(rhs, *this);
+  out.negative_ = (mag > 0 ? negative_ : rhs.negative_) && !out.IsZero();
+  return out;
+}
+
+BigInt BigInt::operator-(const BigInt& rhs) const { return *this + (-rhs); }
+
+BigInt BigInt::operator*(const BigInt& rhs) const {
+  if (IsZero() || rhs.IsZero()) return BigInt{};
+  BigInt out;
+  out.limbs_.assign(limbs_.size() + rhs.limbs_.size(), 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    u64 carry = 0;
+    const u64 a = limbs_[i];
+    for (std::size_t j = 0; j < rhs.limbs_.size(); ++j) {
+      const u128 cur = static_cast<u128>(a) * rhs.limbs_[j] +
+                       out.limbs_[i + j] + carry;
+      out.limbs_[i + j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    out.limbs_[i + rhs.limbs_.size()] += carry;
+  }
+  out.negative_ = negative_ != rhs.negative_;
+  out.Normalize();
+  return out;
+}
+
+void BigInt::DivMod(const BigInt& num, const BigInt& den, BigInt& quot,
+                    BigInt& rem) {
+  if (den.IsZero()) throw std::domain_error("BigInt: division by zero");
+
+  const int mag = CompareMagnitude(num, den);
+  if (mag < 0) {
+    rem = num;
+    quot = BigInt{};
+    return;
+  }
+
+  // Work on magnitudes; fix signs at the end (truncated division).
+  const bool quot_neg = num.negative_ != den.negative_;
+  const bool rem_neg = num.negative_;
+
+  BigInt q, r;
+  if (den.limbs_.size() == 1) {
+    // Single-limb fast path.
+    const u64 d = den.limbs_[0];
+    q.limbs_.resize(num.limbs_.size(), 0);
+    u64 rhat = 0;
+    for (std::size_t i = num.limbs_.size(); i-- > 0;) {
+      const u128 cur = (static_cast<u128>(rhat) << 64) | num.limbs_[i];
+      q.limbs_[i] = static_cast<u64>(cur / d);
+      rhat = static_cast<u64>(cur % d);
+    }
+    if (rhat) r.limbs_.push_back(rhat);
+  } else {
+    // Knuth TAOCP vol. 2, Algorithm D, 64-bit limbs.
+    const std::size_t n = den.limbs_.size();
+    const std::size_t m = num.limbs_.size() - n;
+    const int shift = __builtin_clzll(den.limbs_.back());
+
+    // Normalized copies: v has its top bit set; u gains one extra limb.
+    std::vector<u64> v(n), u(num.limbs_.size() + 1, 0);
+    for (std::size_t i = n; i-- > 0;) {
+      v[i] = den.limbs_[i] << shift;
+      if (shift && i > 0) v[i] |= den.limbs_[i - 1] >> (64 - shift);
+    }
+    for (std::size_t i = num.limbs_.size(); i-- > 0;) {
+      u[i] = num.limbs_[i] << shift;
+      if (shift && i > 0) u[i] |= num.limbs_[i - 1] >> (64 - shift);
+    }
+    if (shift) u[num.limbs_.size()] = num.limbs_.back() >> (64 - shift);
+
+    q.limbs_.assign(m + 1, 0);
+    for (std::size_t j = m + 1; j-- > 0;) {
+      const u128 top = (static_cast<u128>(u[j + n]) << 64) | u[j + n - 1];
+      u128 qhat = top / v[n - 1];
+      u128 rhat = top % v[n - 1];
+      if (qhat >> 64) {
+        // Clamp to B-1 so qhat * v[n-2] below cannot overflow 128 bits.
+        qhat = ~u64{0};
+        rhat = top - qhat * v[n - 1];
+      }
+      while (rhat <= ~u64{0} &&
+             qhat * v[n - 2] > ((rhat << 64) | u[j + n - 2])) {
+        --qhat;
+        rhat += v[n - 1];
+        if (rhat > ~u64{0}) break;
+      }
+
+      // u[j..j+n] -= qhat * v
+      u64 borrow = 0;
+      u64 carry = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const u128 p = qhat * v[i] + carry;
+        carry = static_cast<u64>(p >> 64);
+        const u128 diff = static_cast<u128>(u[i + j]) -
+                          static_cast<u64>(p) - borrow;
+        u[i + j] = static_cast<u64>(diff);
+        borrow = static_cast<u64>((diff >> 64) & 1);
+      }
+      const u128 diff = static_cast<u128>(u[j + n]) - carry - borrow;
+      u[j + n] = static_cast<u64>(diff);
+
+      if ((diff >> 64) & 1) {
+        // qhat was one too large: add back.
+        --qhat;
+        u64 c = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const u128 sum = static_cast<u128>(u[i + j]) + v[i] + c;
+          u[i + j] = static_cast<u64>(sum);
+          c = static_cast<u64>(sum >> 64);
+        }
+        u[j + n] += c;
+      }
+      q.limbs_[j] = static_cast<u64>(qhat);
+    }
+
+    // Denormalize the remainder.
+    r.limbs_.resize(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      r.limbs_[i] = u[i] >> shift;
+      if (shift && i + 1 < u.size()) r.limbs_[i] |= u[i + 1] << (64 - shift);
+    }
+  }
+
+  q.Normalize();
+  r.Normalize();
+  q.negative_ = quot_neg && !q.IsZero();
+  r.negative_ = rem_neg && !r.IsZero();
+  quot = std::move(q);
+  rem = std::move(r);
+}
+
+BigInt BigInt::operator/(const BigInt& rhs) const {
+  BigInt q, r;
+  DivMod(*this, rhs, q, r);
+  return q;
+}
+
+BigInt BigInt::operator%(const BigInt& rhs) const {
+  BigInt q, r;
+  DivMod(*this, rhs, q, r);
+  return r;
+}
+
+BigInt BigInt::ModFloor(const BigInt& m) const {
+  BigInt r = *this % m;
+  if (r.IsNegative()) r = r + (m.IsNegative() ? -m : m);
+  return r;
+}
+
+BigInt BigInt::operator<<(std::size_t bits) const {
+  if (IsZero() || bits == 0) {
+    BigInt out = *this;
+    return out;
+  }
+  const std::size_t limb_shift = bits / 64;
+  const std::size_t bit_shift = bits % 64;
+  BigInt out;
+  out.negative_ = negative_;
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    out.limbs_[i + limb_shift] |= bit_shift ? (limbs_[i] << bit_shift)
+                                            : limbs_[i];
+    if (bit_shift) {
+      out.limbs_[i + limb_shift + 1] |= limbs_[i] >> (64 - bit_shift);
+    }
+  }
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::operator>>(std::size_t bits) const {
+  if (IsZero() || bits == 0) return *this;
+  const std::size_t limb_shift = bits / 64;
+  const std::size_t bit_shift = bits % 64;
+  if (limb_shift >= limbs_.size()) return BigInt{};
+  BigInt out;
+  out.negative_ = negative_;
+  out.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < out.limbs_.size(); ++i) {
+    out.limbs_[i] = bit_shift ? (limbs_[i + limb_shift] >> bit_shift)
+                              : limbs_[i + limb_shift];
+    if (bit_shift && i + limb_shift + 1 < limbs_.size()) {
+      out.limbs_[i] |= limbs_[i + limb_shift + 1] << (64 - bit_shift);
+    }
+  }
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::Gcd(BigInt a, BigInt b) {
+  a.negative_ = false;
+  b.negative_ = false;
+  while (!b.IsZero()) {
+    BigInt r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+BigInt BigInt::ModInverse(const BigInt& a, const BigInt& m) {
+  // Extended Euclid on (a mod m, m).
+  BigInt r0 = m;
+  BigInt r1 = a.ModFloor(m);
+  BigInt t0{};  // coefficient of m
+  BigInt t1 = BigInt(1);
+  while (!r1.IsZero()) {
+    BigInt q, r2;
+    DivMod(r0, r1, q, r2);
+    BigInt t2 = t0 - q * t1;
+    r0 = std::move(r1);
+    r1 = std::move(r2);
+    t0 = std::move(t1);
+    t1 = std::move(t2);
+  }
+  if (!r0.IsOne()) throw std::domain_error("BigInt::ModInverse: not coprime");
+  return t0.ModFloor(m);
+}
+
+BigInt BigInt::ModExp(const BigInt& base, const BigInt& exp, const BigInt& m) {
+  if (m.IsZero() || m.IsNegative()) {
+    throw std::domain_error("BigInt::ModExp: modulus must be positive");
+  }
+  if (exp.IsNegative()) {
+    throw std::domain_error("BigInt::ModExp: negative exponent");
+  }
+  if (m.IsOne()) return BigInt{};
+  if (m.IsOdd()) {
+    return MontgomeryCtx(m).Exp(base, exp);
+  }
+  // Generic square-and-multiply with division-based reduction (rare path:
+  // even moduli only appear in tests).
+  BigInt result(1);
+  BigInt b = base.ModFloor(m);
+  for (std::size_t i = exp.BitLength(); i-- > 0;) {
+    result = (result * result) % m;
+    if (exp.Bit(i)) result = (result * b) % m;
+  }
+  return result;
+}
+
+BigInt BigInt::RandomBits(Rng& rng, std::size_t bits) {
+  if (bits == 0) throw std::invalid_argument("RandomBits: bits must be >= 1");
+  const std::size_t limbs = (bits + 63) / 64;
+  std::vector<u64> v(limbs);
+  for (auto& limb : v) limb = rng.NextU64();
+  const std::size_t top_bits = bits - (limbs - 1) * 64;
+  if (top_bits < 64) v.back() &= (u64{1} << top_bits) - 1;
+  v.back() |= u64{1} << (top_bits - 1);  // force exact bit length
+  return FromLimbs(std::move(v));
+}
+
+BigInt BigInt::RandomBelow(Rng& rng, const BigInt& bound) {
+  if (bound.IsZero() || bound.IsNegative()) {
+    throw std::invalid_argument("RandomBelow: bound must be positive");
+  }
+  const std::size_t bits = bound.BitLength();
+  const std::size_t limbs = (bits + 63) / 64;
+  const std::size_t top_bits = bits - (limbs - 1) * 64;
+  for (;;) {
+    std::vector<u64> v(limbs);
+    for (auto& limb : v) limb = rng.NextU64();
+    if (top_bits < 64) v.back() &= (u64{1} << top_bits) - 1;
+    BigInt candidate = FromLimbs(std::move(v));
+    if (candidate < bound) return candidate;
+  }
+}
+
+}  // namespace adlp::crypto

@@ -1,0 +1,113 @@
+// Arbitrary-precision integers, implemented from scratch for the RSA
+// substrate (the paper uses RSA-1024 with PKCS#1 v1.5 via PyCrypto; we build
+// the whole stack ourselves).
+//
+// Representation: sign-magnitude, little-endian 64-bit limbs, normalized
+// (no leading zero limbs; zero is the empty limb vector with positive sign).
+// The hot path (modular exponentiation) uses Montgomery multiplication; see
+// montgomery.h.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+
+namespace adlp::crypto {
+
+class BigInt {
+ public:
+  BigInt() = default;
+  BigInt(std::uint64_t v);           // NOLINT(google-explicit-constructor)
+  BigInt(int v);                     // NOLINT(google-explicit-constructor)
+
+  /// Parses hex (no 0x prefix, optional leading '-').
+  static BigInt FromHex(std::string_view hex);
+  /// Parses decimal (optional leading '-').
+  static BigInt FromDecimal(std::string_view dec);
+  /// Big-endian unsigned bytes -> non-negative integer.
+  static BigInt FromBytesBE(BytesView bytes);
+
+  std::string ToHex() const;
+  std::string ToDecimal() const;
+  /// Minimal-length big-endian bytes (empty for zero).
+  Bytes ToBytesBE() const;
+  /// Big-endian bytes left-padded with zeros to exactly `width` bytes.
+  /// Throws std::length_error if the value does not fit.
+  Bytes ToBytesBEPadded(std::size_t width) const;
+
+  bool IsZero() const { return limbs_.empty(); }
+  bool IsNegative() const { return negative_; }
+  bool IsOdd() const { return !limbs_.empty() && (limbs_[0] & 1); }
+  bool IsOne() const { return !negative_ && limbs_.size() == 1 && limbs_[0] == 1; }
+
+  /// Number of significant bits (0 for zero).
+  std::size_t BitLength() const;
+  /// Bit `i` of the magnitude (LSB = 0).
+  bool Bit(std::size_t i) const;
+  /// Low 64 bits of the magnitude.
+  std::uint64_t LowU64() const { return limbs_.empty() ? 0 : limbs_[0]; }
+
+  BigInt operator-() const;
+  BigInt operator+(const BigInt& rhs) const;
+  BigInt operator-(const BigInt& rhs) const;
+  BigInt operator*(const BigInt& rhs) const;
+  /// Truncated (C-style) division. Throws std::domain_error on divide by 0.
+  BigInt operator/(const BigInt& rhs) const;
+  BigInt operator%(const BigInt& rhs) const;
+  BigInt operator<<(std::size_t bits) const;
+  BigInt operator>>(std::size_t bits) const;
+
+  BigInt& operator+=(const BigInt& rhs) { return *this = *this + rhs; }
+  BigInt& operator-=(const BigInt& rhs) { return *this = *this - rhs; }
+  BigInt& operator*=(const BigInt& rhs) { return *this = *this * rhs; }
+
+  std::strong_ordering operator<=>(const BigInt& rhs) const;
+  bool operator==(const BigInt& rhs) const = default;
+
+  /// Quotient and remainder in one pass (Knuth Algorithm D).
+  static void DivMod(const BigInt& num, const BigInt& den, BigInt& quot,
+                     BigInt& rem);
+
+  /// Euclidean remainder in [0, m): `Mod` of a possibly-negative value.
+  BigInt ModFloor(const BigInt& m) const;
+
+  /// Greatest common divisor of magnitudes.
+  static BigInt Gcd(BigInt a, BigInt b);
+
+  /// Modular inverse of `a` mod `m` (extended Euclid). Throws
+  /// std::domain_error if gcd(a, m) != 1.
+  static BigInt ModInverse(const BigInt& a, const BigInt& m);
+
+  /// base^exp mod m. Uses Montgomery ladder for odd m, generic
+  /// square-and-multiply otherwise. Requires m > 0, exp >= 0.
+  static BigInt ModExp(const BigInt& base, const BigInt& exp, const BigInt& m);
+
+  /// Uniform integer with exactly `bits` bits (MSB forced to 1). bits >= 1.
+  static BigInt RandomBits(Rng& rng, std::size_t bits);
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  static BigInt RandomBelow(Rng& rng, const BigInt& bound);
+
+  /// Access to limbs for the Montgomery machinery.
+  const std::vector<std::uint64_t>& Limbs() const { return limbs_; }
+  static BigInt FromLimbs(std::vector<std::uint64_t> limbs);
+
+ private:
+  friend class MontgomeryCtx;
+
+  void Normalize();
+  static int CompareMagnitude(const BigInt& a, const BigInt& b);
+  static BigInt AddMagnitude(const BigInt& a, const BigInt& b);
+  /// Requires |a| >= |b|.
+  static BigInt SubMagnitude(const BigInt& a, const BigInt& b);
+
+  std::vector<std::uint64_t> limbs_;
+  bool negative_ = false;
+};
+
+}  // namespace adlp::crypto

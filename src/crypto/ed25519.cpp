@@ -1,0 +1,420 @@
+#include "crypto/ed25519.h"
+
+#include <cstring>
+
+#include "crypto/bigint.h"
+#include "crypto/sha512.h"
+
+namespace adlp::crypto {
+
+namespace {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+constexpr u64 kMask51 = (u64{1} << 51) - 1;
+
+// ---------------------------------------------------------------------------
+// Field GF(2^255 - 19), radix-2^51: five limbs, each kept below ~2^52.
+
+struct Fe {
+  u64 v[5];
+};
+
+constexpr Fe kFeZero = {{0, 0, 0, 0, 0}};
+constexpr Fe kFeOne = {{1, 0, 0, 0, 0}};
+
+Fe FeAdd(const Fe& a, const Fe& b) {
+  Fe r;
+  for (int i = 0; i < 5; ++i) r.v[i] = a.v[i] + b.v[i];
+  return r;
+}
+
+/// a - b, biased by 2p so limbs stay non-negative.
+Fe FeSub(const Fe& a, const Fe& b) {
+  // 2p in radix-2^51: (2^52 - 38, 2^52 - 2, ..., 2^52 - 2).
+  Fe r;
+  r.v[0] = a.v[0] + 0xFFFFFFFFFFFDAull - b.v[0];
+  r.v[1] = a.v[1] + 0xFFFFFFFFFFFFEull - b.v[1];
+  r.v[2] = a.v[2] + 0xFFFFFFFFFFFFEull - b.v[2];
+  r.v[3] = a.v[3] + 0xFFFFFFFFFFFFEull - b.v[3];
+  r.v[4] = a.v[4] + 0xFFFFFFFFFFFFEull - b.v[4];
+  return r;
+}
+
+/// Carry-reduce so every limb < 2^52 (value < 2p).
+Fe FeCarry(const Fe& a) {
+  Fe r = a;
+  u64 c;
+  c = r.v[0] >> 51; r.v[0] &= kMask51; r.v[1] += c;
+  c = r.v[1] >> 51; r.v[1] &= kMask51; r.v[2] += c;
+  c = r.v[2] >> 51; r.v[2] &= kMask51; r.v[3] += c;
+  c = r.v[3] >> 51; r.v[3] &= kMask51; r.v[4] += c;
+  c = r.v[4] >> 51; r.v[4] &= kMask51; r.v[0] += c * 19;
+  c = r.v[0] >> 51; r.v[0] &= kMask51; r.v[1] += c;
+  return r;
+}
+
+Fe FeMul(const Fe& a, const Fe& b) {
+  const u128 a0 = a.v[0], a1 = a.v[1], a2 = a.v[2], a3 = a.v[3], a4 = a.v[4];
+  const u64 b0 = b.v[0], b1 = b.v[1], b2 = b.v[2], b3 = b.v[3], b4 = b.v[4];
+  const u64 b1_19 = b1 * 19, b2_19 = b2 * 19, b3_19 = b3 * 19, b4_19 = b4 * 19;
+
+  u128 t0 = a0 * b0 + a1 * b4_19 + a2 * b3_19 + a3 * b2_19 + a4 * b1_19;
+  u128 t1 = a0 * b1 + a1 * b0 + a2 * b4_19 + a3 * b3_19 + a4 * b2_19;
+  u128 t2 = a0 * b2 + a1 * b1 + a2 * b0 + a3 * b4_19 + a4 * b3_19;
+  u128 t3 = a0 * b3 + a1 * b2 + a2 * b1 + a3 * b0 + a4 * b4_19;
+  u128 t4 = a0 * b4 + a1 * b3 + a2 * b2 + a3 * b1 + a4 * b0;
+
+  Fe r;
+  u64 c;
+  c = static_cast<u64>(t0 >> 51); r.v[0] = static_cast<u64>(t0) & kMask51; t1 += c;
+  c = static_cast<u64>(t1 >> 51); r.v[1] = static_cast<u64>(t1) & kMask51; t2 += c;
+  c = static_cast<u64>(t2 >> 51); r.v[2] = static_cast<u64>(t2) & kMask51; t3 += c;
+  c = static_cast<u64>(t3 >> 51); r.v[3] = static_cast<u64>(t3) & kMask51; t4 += c;
+  c = static_cast<u64>(t4 >> 51); r.v[4] = static_cast<u64>(t4) & kMask51;
+  r.v[0] += c * 19;
+  c = r.v[0] >> 51; r.v[0] &= kMask51; r.v[1] += c;
+  return r;
+}
+
+Fe FeSq(const Fe& a) { return FeMul(a, a); }
+
+Fe FeScalarMul(const Fe& a, u64 s) {
+  Fe b = kFeZero;
+  b.v[0] = s;
+  return FeMul(a, b);
+}
+
+/// Full reduction to [0, p) and little-endian 32-byte encoding.
+void FeToBytes(std::uint8_t out[32], const Fe& a) {
+  Fe t = FeCarry(FeCarry(a));
+  // Compute q = floor(value / p) in {0, 1} via the (value + 19) >> 255 trick.
+  u64 q = (t.v[0] + 19) >> 51;
+  q = (t.v[1] + q) >> 51;
+  q = (t.v[2] + q) >> 51;
+  q = (t.v[3] + q) >> 51;
+  q = (t.v[4] + q) >> 51;
+  t.v[0] += 19 * q;
+  u64 c;
+  c = t.v[0] >> 51; t.v[0] &= kMask51; t.v[1] += c;
+  c = t.v[1] >> 51; t.v[1] &= kMask51; t.v[2] += c;
+  c = t.v[2] >> 51; t.v[2] &= kMask51; t.v[3] += c;
+  c = t.v[3] >> 51; t.v[3] &= kMask51; t.v[4] += c;
+  t.v[4] &= kMask51;
+
+  // Pack 5x51 bits little-endian.
+  u64 packed[4];
+  packed[0] = t.v[0] | (t.v[1] << 51);
+  packed[1] = (t.v[1] >> 13) | (t.v[2] << 38);
+  packed[2] = (t.v[2] >> 26) | (t.v[3] << 25);
+  packed[3] = (t.v[3] >> 39) | (t.v[4] << 12);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      out[8 * i + j] = static_cast<std::uint8_t>(packed[i] >> (8 * j));
+    }
+  }
+}
+
+Fe FeFromBytes(const std::uint8_t in[32]) {
+  u64 packed[4];
+  for (int i = 0; i < 4; ++i) {
+    packed[i] = 0;
+    for (int j = 7; j >= 0; --j) {
+      packed[i] = (packed[i] << 8) | in[8 * i + j];
+    }
+  }
+  Fe r;
+  r.v[0] = packed[0] & kMask51;
+  r.v[1] = ((packed[0] >> 51) | (packed[1] << 13)) & kMask51;
+  r.v[2] = ((packed[1] >> 38) | (packed[2] << 26)) & kMask51;
+  r.v[3] = ((packed[2] >> 25) | (packed[3] << 39)) & kMask51;
+  r.v[4] = (packed[3] >> 12) & kMask51;  // top bit (sign) dropped
+  return r;
+}
+
+/// -a. The operand is carried first so the 2p bias in FeSub cannot
+/// underflow (FeSub requires subtrahend limbs < 2^52 - 38).
+Fe FeNeg(const Fe& a) { return FeSub(kFeZero, FeCarry(a)); }
+
+bool FeIsZero(const Fe& a) {
+  std::uint8_t bytes[32];
+  FeToBytes(bytes, a);
+  std::uint8_t acc = 0;
+  for (std::uint8_t b : bytes) acc |= b;
+  return acc == 0;
+}
+
+/// Compares via the fully-reduced encodings, so operands in any internal
+/// (uncarried) representation compare correctly.
+bool FeEqual(const Fe& a, const Fe& b) {
+  std::uint8_t ab[32], bb[32];
+  FeToBytes(ab, a);
+  FeToBytes(bb, b);
+  return std::memcmp(ab, bb, 32) == 0;
+}
+
+bool FeIsNegative(const Fe& a) {
+  std::uint8_t bytes[32];
+  FeToBytes(bytes, a);
+  return bytes[0] & 1;
+}
+
+/// a^e for an arbitrary public exponent (used for inversion and square
+/// roots only, so the generic square-and-multiply is fine).
+Fe FePow(const Fe& a, const BigInt& e) {
+  Fe result = kFeOne;
+  for (std::size_t i = e.BitLength(); i-- > 0;) {
+    result = FeSq(result);
+    if (e.Bit(i)) result = FeMul(result, a);
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Curve constants, derived from their integer definitions at first use.
+
+struct Constants {
+  BigInt p;        // 2^255 - 19
+  BigInt order;    // L = 2^252 + 27742317777372353535851937790883648493
+  Fe d;            // -121665/121666 mod p
+  Fe d2;           // 2d
+  Fe sqrt_m1;      // sqrt(-1) = 2^((p-1)/4)
+  BigInt pow_inv;  // p - 2
+  BigInt pow_pm5_8;  // (p - 5) / 8, exponent for the sqrt candidate
+  Fe base_x, base_y;  // base point B
+};
+
+Fe FeFromBigInt(const BigInt& v) {
+  const Bytes be = v.ToBytesBEPadded(32);
+  std::uint8_t le[32];
+  for (int i = 0; i < 32; ++i) le[i] = be[31 - i];
+  return FeFromBytes(le);
+}
+
+const Constants& C() {
+  static const Constants c = [] {
+    Constants out;
+    out.p = (BigInt(1) << 255) - BigInt(19);
+    out.order = (BigInt(1) << 252) +
+                BigInt::FromDecimal("27742317777372353535851937790883648493");
+    const BigInt d_int =
+        ((out.p - BigInt(std::uint64_t{121665})) *
+         BigInt::ModInverse(BigInt(std::uint64_t{121666}), out.p)) %
+        out.p;
+    out.d = FeFromBigInt(d_int);
+    out.d2 = FeCarry(FeAdd(out.d, out.d));
+    out.sqrt_m1 = FeFromBigInt(
+        BigInt::ModExp(BigInt(2), (out.p - BigInt(1)) >> 2, out.p));
+    out.pow_inv = out.p - BigInt(2);
+    out.pow_pm5_8 = (out.p - BigInt(5)) >> 3;
+    // Base point: y = 4/5 mod p, x recovered with even parity.
+    const BigInt y_int =
+        (BigInt(4) * BigInt::ModInverse(BigInt(5), out.p)) % out.p;
+    out.base_y = FeFromBigInt(y_int);
+    // x^2 = (y^2 - 1) / (d*y^2 + 1)
+    const Fe yy = FeSq(out.base_y);
+    const Fe u = FeSub(yy, kFeOne);
+    const Fe v = FeAdd(FeMul(out.d, yy), kFeOne);
+    const Fe v_inv = FePow(v, out.pow_inv);
+    const Fe xx = FeMul(u, v_inv);
+    Fe x = FePow(xx, (out.p + BigInt(3)) >> 3);
+    if (!FeEqual(FeSq(x), xx)) x = FeMul(x, out.sqrt_m1);
+    if (FeIsNegative(x)) x = FeNeg(x);
+    out.base_x = FeCarry(x);
+    return out;
+  }();
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Group: extended homogeneous coordinates (X, Y, Z, T), a = -1 curve.
+
+struct Point {
+  Fe x, y, z, t;
+};
+
+Point Identity() { return Point{kFeZero, kFeOne, kFeOne, kFeZero}; }
+
+Point PointAdd(const Point& p, const Point& q) {
+  const Fe a = FeMul(FeSub(p.y, p.x), FeSub(q.y, q.x));
+  const Fe b = FeMul(FeCarry(FeAdd(p.y, p.x)), FeCarry(FeAdd(q.y, q.x)));
+  const Fe c = FeMul(FeMul(p.t, C().d2), q.t);
+  const Fe d = FeMul(FeCarry(FeAdd(p.z, p.z)), q.z);
+  const Fe e = FeSub(b, a);
+  const Fe f = FeSub(d, c);
+  const Fe g = FeCarry(FeAdd(d, c));
+  const Fe h = FeCarry(FeAdd(b, a));
+  return Point{FeMul(e, f), FeMul(g, h), FeMul(f, g), FeMul(e, h)};
+}
+
+Point PointDouble(const Point& p) {
+  const Fe a = FeSq(p.x);
+  const Fe b = FeSq(p.y);
+  const Fe c = FeScalarMul(FeSq(p.z), 2);
+  const Fe h = FeCarry(FeAdd(a, b));
+  const Fe e = FeSub(h, FeSq(FeCarry(FeAdd(p.x, p.y))));
+  const Fe g = FeSub(a, b);
+  const Fe f = FeCarry(FeAdd(c, g));
+  return Point{FeMul(e, f), FeMul(g, h), FeMul(f, g), FeMul(e, h)};
+}
+
+/// Variable-time double-and-add (see header note on timing).
+Point ScalarMult(const BigInt& scalar, const Point& p) {
+  Point r = Identity();
+  for (std::size_t i = scalar.BitLength(); i-- > 0;) {
+    r = PointDouble(r);
+    if (scalar.Bit(i)) r = PointAdd(r, p);
+  }
+  return r;
+}
+
+Point BasePoint() {
+  return Point{C().base_x, C().base_y, kFeOne,
+               FeMul(C().base_x, C().base_y)};
+}
+
+void PointToBytes(std::uint8_t out[32], const Point& p) {
+  const Fe z_inv = FePow(p.z, C().pow_inv);
+  const Fe x = FeMul(p.x, z_inv);
+  const Fe y = FeMul(p.y, z_inv);
+  FeToBytes(out, y);
+  if (FeIsNegative(x)) out[31] ^= 0x80;
+}
+
+/// Decompression; returns false for non-curve encodings.
+bool PointFromBytes(const std::uint8_t in[32], Point& out) {
+  const bool sign = (in[31] & 0x80) != 0;
+  const Fe y = FeFromBytes(in);
+
+  // x^2 = (y^2 - 1) / (d y^2 + 1)
+  const Fe yy = FeSq(y);
+  const Fe u = FeSub(yy, kFeOne);
+  const Fe v = FeAdd(FeMul(C().d, yy), kFeOne);
+  // Candidate root: x = u * v^3 * (u * v^7)^((p-5)/8)  — standard trick to
+  // fold the division into one exponentiation.
+  const Fe v3 = FeMul(FeSq(v), v);
+  const Fe v7 = FeMul(FeSq(v3), v);
+  Fe x = FeMul(FeMul(u, v3), FePow(FeMul(u, v7), C().pow_pm5_8));
+
+  const Fe vxx = FeMul(v, FeSq(x));
+  if (!FeEqual(vxx, u)) {
+    if (!FeEqual(vxx, FeNeg(u))) return false;
+    x = FeMul(x, C().sqrt_m1);
+  }
+  if (FeIsZero(x) && sign) return false;  // -0 is not a valid encoding
+  if (FeIsNegative(x) != sign) x = FeNeg(x);
+  x = FeCarry(x);
+
+  out = Point{x, y, kFeOne, FeMul(x, y)};
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Scalars mod L (BigInt; a handful of operations per signature).
+
+BigInt ScalarFromLe(BytesView le) {
+  Bytes be(le.rbegin(), le.rend());
+  return BigInt::FromBytesBE(be);
+}
+
+Bytes ScalarToLe32(const BigInt& v) {
+  Bytes be = v.ToBytesBEPadded(32);
+  return Bytes(be.rbegin(), be.rend());
+}
+
+BigInt HashToScalar(BytesView a, BytesView b, BytesView c) {
+  Sha512 h;
+  h.Update(a);
+  h.Update(b);
+  h.Update(c);
+  const Digest512 digest = h.Finish();
+  return ScalarFromLe(BytesView(digest.data(), digest.size())) % C().order;
+}
+
+struct ExpandedKey {
+  BigInt a;      // clamped scalar
+  Bytes prefix;  // 32-byte nonce prefix
+};
+
+ExpandedKey Expand(const Ed25519PrivateKey& key) {
+  const Digest512 h =
+      Sha512Digest(BytesView(key.seed.data(), key.seed.size()));
+  std::uint8_t scalar_bytes[32];
+  std::memcpy(scalar_bytes, h.data(), 32);
+  scalar_bytes[0] &= 0xf8;
+  scalar_bytes[31] &= 0x7f;
+  scalar_bytes[31] |= 0x40;
+  ExpandedKey out;
+  out.a = ScalarFromLe(BytesView(scalar_bytes, 32));
+  out.prefix.assign(h.begin() + 32, h.end());
+  return out;
+}
+
+}  // namespace
+
+Ed25519KeyPair Ed25519KeyPairFromSeed(
+    const std::array<std::uint8_t, kEd25519SeedSize>& seed) {
+  Ed25519KeyPair kp;
+  kp.priv.seed = seed;
+  const ExpandedKey expanded = Expand(kp.priv);
+  const Point a_point = ScalarMult(expanded.a, BasePoint());
+  PointToBytes(kp.pub.bytes.data(), a_point);
+  kp.priv.public_key = kp.pub;
+  return kp;
+}
+
+Ed25519KeyPair GenerateEd25519KeyPair(Rng& rng) {
+  std::array<std::uint8_t, kEd25519SeedSize> seed;
+  const Bytes random = rng.RandomBytes(seed.size());
+  std::copy(random.begin(), random.end(), seed.begin());
+  return Ed25519KeyPairFromSeed(seed);
+}
+
+Bytes Ed25519Sign(const Ed25519PrivateKey& key, BytesView message) {
+  const ExpandedKey expanded = Expand(key);
+
+  // r = H(prefix || M) mod L;  R = r * B
+  const BigInt r = HashToScalar(expanded.prefix, message, {});
+  const Point r_point = ScalarMult(r, BasePoint());
+  std::uint8_t r_bytes[32];
+  PointToBytes(r_bytes, r_point);
+
+  // k = H(R || A || M) mod L;  S = (r + k*a) mod L
+  const BigInt k = HashToScalar(
+      BytesView(r_bytes, 32),
+      BytesView(key.public_key.bytes.data(), key.public_key.bytes.size()),
+      message);
+  const BigInt s = (r + k * expanded.a) % C().order;
+
+  Bytes signature(r_bytes, r_bytes + 32);
+  Append(signature, ScalarToLe32(s));
+  return signature;
+}
+
+bool Ed25519Verify(const Ed25519PublicKey& key, BytesView message,
+                   BytesView signature) {
+  if (signature.size() != kEd25519SignatureSize) return false;
+
+  Point a_point;
+  if (!PointFromBytes(key.bytes.data(), a_point)) return false;
+  Point r_point;
+  if (!PointFromBytes(signature.data(), r_point)) return false;
+
+  const BigInt s = ScalarFromLe(signature.subspan(32));
+  if (s >= C().order) return false;  // malleability check (RFC 8032)
+
+  const BigInt k = HashToScalar(
+      signature.subspan(0, 32),
+      BytesView(key.bytes.data(), key.bytes.size()), message);
+
+  // Check S*B == R + k*A.
+  const Point sb = ScalarMult(s, BasePoint());
+  const Point rhs = PointAdd(r_point, ScalarMult(k, a_point));
+
+  // Compare affine coordinates: X1*Z2 == X2*Z1 and Y1*Z2 == Y2*Z1.
+  return FeEqual(FeMul(sb.x, rhs.z), FeMul(rhs.x, sb.z)) &&
+         FeEqual(FeMul(sb.y, rhs.z), FeMul(rhs.y, sb.z));
+}
+
+}  // namespace adlp::crypto

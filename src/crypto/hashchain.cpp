@@ -1,0 +1,31 @@
+#include "crypto/hashchain.h"
+
+namespace adlp::crypto {
+
+namespace {
+constexpr std::string_view kGenesisLabel = "adlp-hashchain-genesis";
+}
+
+HashChain::HashChain() : head_(Genesis()) {}
+
+Digest HashChain::Genesis() {
+  return Sha256Digest(adlp::BytesOf(kGenesisLabel));
+}
+
+const Digest& HashChain::Append(BytesView record) {
+  Sha256 h;
+  h.Update(BytesView(head_.data(), head_.size()));
+  h.Update(record);
+  head_ = h.Finish();
+  ++count_;
+  return head_;
+}
+
+bool HashChain::Verify(const std::vector<Bytes>& records,
+                       const Digest& claimed_head) {
+  HashChain chain;
+  for (const auto& record : records) chain.Append(record);
+  return chain.Head() == claimed_head;
+}
+
+}  // namespace adlp::crypto

@@ -1,0 +1,45 @@
+// Tamper-evident hash chain (Schneier–Kelsey style) for the trusted logger's
+// store. The paper *assumes* a tamper-evident logging mechanism is in place
+// ([7],[15]); we implement one as a substrate so the trusted-logger
+// assumption is realized rather than waved at.
+//
+// chain_0 = H("adlp-hashchain-genesis")
+// chain_k = H(chain_{k-1} || record_k)
+//
+// Any in-place modification, deletion, insertion, or reordering of records
+// makes every subsequent chain value differ from a recomputation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/bytes.h"
+#include "crypto/sha256.h"
+
+namespace adlp::crypto {
+
+class HashChain {
+ public:
+  HashChain();
+
+  /// Appends a record; returns the new chain head.
+  const Digest& Append(BytesView record);
+
+  /// Current chain head (genesis digest when empty).
+  const Digest& Head() const { return head_; }
+
+  std::size_t Size() const { return count_; }
+
+  /// Recomputes the chain over `records` and compares against `claimed_head`.
+  /// Returns true iff the sequence is exactly the one that produced the head.
+  static bool Verify(const std::vector<Bytes>& records,
+                     const Digest& claimed_head);
+
+  static Digest Genesis();
+
+ private:
+  Digest head_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace adlp::crypto

@@ -1,0 +1,62 @@
+// Component identities and the trusted logger's public-key registry.
+//
+// Per the paper's trust model: every component generates its own key pair,
+// transfers the public key securely to the logger at startup ("key
+// registration", step 1 of the prototype), and keeps the private key to
+// itself.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/sig.h"
+
+namespace adlp::crypto {
+
+/// Unique component identifier (`id_i` in the paper; a ROS node name in the
+/// prototype).
+using ComponentId = std::string;
+
+/// Thread-safe registry of component public keys, held by the trusted
+/// logger / auditor.
+class KeyStore {
+ public:
+  KeyStore() = default;
+
+  /// Movable (source locked during the move) so registries can be built by
+  /// helper functions; not copyable.
+  KeyStore(KeyStore&& other) noexcept {
+    std::lock_guard lock(other.mu_);
+    keys_ = std::move(other.keys_);
+  }
+  KeyStore& operator=(KeyStore&& other) noexcept {
+    if (this != &other) {
+      std::scoped_lock lock(mu_, other.mu_);
+      keys_ = std::move(other.keys_);
+    }
+    return *this;
+  }
+  KeyStore(const KeyStore&) = delete;
+  KeyStore& operator=(const KeyStore&) = delete;
+
+  /// Registers (or replaces) a component's public key. Re-registration is
+  /// permitted to model component restarts; the auditor sees the latest key.
+  void Register(const ComponentId& id, const PublicKey& key);
+
+  std::optional<PublicKey> Find(const ComponentId& id) const;
+
+  bool Contains(const ComponentId& id) const;
+
+  std::vector<ComponentId> RegisteredIds() const;
+
+  std::size_t Size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<ComponentId, PublicKey> keys_;
+};
+
+}  // namespace adlp::crypto

@@ -1,0 +1,134 @@
+#include "crypto/montgomery.h"
+
+#include <stdexcept>
+
+namespace adlp::crypto {
+
+namespace {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+/// -n^-1 mod 2^64 via Newton iteration (n odd).
+u64 NegInverse64(u64 n) {
+  u64 x = n;  // 3-bit correct
+  for (int i = 0; i < 5; ++i) x *= 2 - n * x;  // doubles correct bits
+  return ~x + 1;  // -(n^-1)
+}
+
+}  // namespace
+
+MontgomeryCtx::MontgomeryCtx(const BigInt& modulus) : n_(modulus) {
+  if (!n_.IsOdd() || n_ <= BigInt(1)) {
+    throw std::invalid_argument("MontgomeryCtx: modulus must be odd and > 1");
+  }
+  limbs_ = n_.Limbs().size();
+  n0_inv_ = NegInverse64(n_.Limbs()[0]);
+
+  // R = 2^(64 * limbs_). rr_ = R^2 mod n, one_mont_ = R mod n.
+  const BigInt r = BigInt(1) << (64 * limbs_);
+  BigInt rr = (r * r) % n_;
+  BigInt one = r % n_;
+  rr_ = rr.Limbs();
+  rr_.resize(limbs_, 0);
+  one_mont_ = one.Limbs();
+  one_mont_.resize(limbs_, 0);
+}
+
+void MontgomeryCtx::Mul(const std::vector<u64>& a, const std::vector<u64>& b,
+                        std::vector<u64>& out) const {
+  // CIOS: t has limbs_ + 2 words.
+  const std::size_t s = limbs_;
+  const auto& n = n_.Limbs();
+  std::vector<u64> t(s + 2, 0);
+
+  for (std::size_t i = 0; i < s; ++i) {
+    // t += a[i] * b
+    u64 carry = 0;
+    for (std::size_t j = 0; j < s; ++j) {
+      const u128 cur = static_cast<u128>(a[i]) * b[j] + t[j] + carry;
+      t[j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    u128 cur = static_cast<u128>(t[s]) + carry;
+    t[s] = static_cast<u64>(cur);
+    t[s + 1] = static_cast<u64>(cur >> 64);
+
+    // m = t[0] * n0_inv mod 2^64; t += m * n; t >>= 64
+    const u64 m = t[0] * n0_inv_;
+    u128 acc = static_cast<u128>(m) * n[0] + t[0];
+    carry = static_cast<u64>(acc >> 64);
+    for (std::size_t j = 1; j < s; ++j) {
+      acc = static_cast<u128>(m) * n[j] + t[j] + carry;
+      t[j - 1] = static_cast<u64>(acc);
+      carry = static_cast<u64>(acc >> 64);
+    }
+    acc = static_cast<u128>(t[s]) + carry;
+    t[s - 1] = static_cast<u64>(acc);
+    t[s] = t[s + 1] + static_cast<u64>(acc >> 64);
+    t[s + 1] = 0;
+  }
+
+  // Conditional final subtraction: t may be in [0, 2n).
+  bool ge = t[s] != 0;
+  if (!ge) {
+    ge = true;
+    for (std::size_t i = s; i-- > 0;) {
+      if (t[i] != n[i]) {
+        ge = t[i] > n[i];
+        break;
+      }
+    }
+  }
+  out.assign(s, 0);
+  if (ge) {
+    u64 borrow = 0;
+    for (std::size_t i = 0; i < s; ++i) {
+      const u128 diff = static_cast<u128>(t[i]) - n[i] - borrow;
+      out[i] = static_cast<u64>(diff);
+      borrow = static_cast<u64>((diff >> 64) & 1);
+    }
+  } else {
+    for (std::size_t i = 0; i < s; ++i) out[i] = t[i];
+  }
+}
+
+std::vector<u64> MontgomeryCtx::ToMont(const BigInt& a) const {
+  BigInt reduced = a.ModFloor(n_);
+  std::vector<u64> av = reduced.Limbs();
+  av.resize(limbs_, 0);
+  std::vector<u64> out;
+  Mul(av, rr_, out);
+  return out;
+}
+
+BigInt MontgomeryCtx::FromMont(const std::vector<u64>& a) const {
+  std::vector<u64> one(limbs_, 0);
+  one[0] = 1;
+  std::vector<u64> out;
+  Mul(a, one, out);
+  return BigInt::FromLimbs(std::move(out));
+}
+
+BigInt MontgomeryCtx::Exp(const BigInt& base, const BigInt& exponent) const {
+  if (exponent.IsNegative()) {
+    throw std::invalid_argument("MontgomeryCtx::Exp: negative exponent");
+  }
+  std::vector<u64> result = one_mont_;
+  if (exponent.IsZero()) return FromMont(result);
+
+  const std::vector<u64> base_mont = ToMont(base);
+  std::vector<u64> tmp;
+  // Left-to-right square-and-multiply.
+  for (std::size_t i = exponent.BitLength(); i-- > 0;) {
+    Mul(result, result, tmp);
+    result.swap(tmp);
+    if (exponent.Bit(i)) {
+      Mul(result, base_mont, tmp);
+      result.swap(tmp);
+    }
+  }
+  return FromMont(result);
+}
+
+}  // namespace adlp::crypto

@@ -1,0 +1,96 @@
+#include "crypto/prime.h"
+
+#include <array>
+#include <stdexcept>
+
+#include "crypto/montgomery.h"
+
+namespace adlp::crypto {
+
+namespace {
+
+// Primes below 1000 for cheap trial division before Miller–Rabin.
+constexpr std::array<std::uint32_t, 168> kSmallPrimes = {
+    2,   3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,
+    47,  53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103, 107,
+    109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181,
+    191, 193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263,
+    269, 271, 277, 281, 283, 293, 307, 311, 313, 317, 331, 337, 347, 349,
+    353, 359, 367, 373, 379, 383, 389, 397, 401, 409, 419, 421, 431, 433,
+    439, 443, 449, 457, 461, 463, 467, 479, 487, 491, 499, 503, 509, 521,
+    523, 541, 547, 557, 563, 569, 571, 577, 587, 593, 599, 601, 607, 613,
+    617, 619, 631, 641, 643, 647, 653, 659, 661, 673, 677, 683, 691, 701,
+    709, 719, 727, 733, 739, 743, 751, 757, 761, 769, 773, 787, 797, 809,
+    811, 821, 823, 827, 829, 839, 853, 857, 859, 863, 877, 881, 883, 887,
+    907, 911, 919, 929, 937, 941, 947, 953, 967, 971, 977, 983, 991, 997};
+
+/// n mod d for small d via per-limb reduction.
+std::uint32_t ModSmall(const BigInt& n, std::uint32_t d) {
+  std::uint64_t rem = 0;
+  const auto& limbs = n.Limbs();
+  for (std::size_t i = limbs.size(); i-- > 0;) {
+    const unsigned __int128 cur =
+        (static_cast<unsigned __int128>(rem) << 64) | limbs[i];
+    rem = static_cast<std::uint64_t>(cur % d);
+  }
+  return static_cast<std::uint32_t>(rem);
+}
+
+/// One Miller–Rabin round with the given base, using a shared Montgomery
+/// context for speed. n - 1 = d * 2^r with d odd.
+bool MillerRabinRound(const MontgomeryCtx& ctx, const BigInt& n,
+                      const BigInt& n_minus_1, const BigInt& d, std::size_t r,
+                      const BigInt& base) {
+  BigInt x = ctx.Exp(base, d);
+  if (x.IsOne() || x == n_minus_1) return true;
+  for (std::size_t i = 1; i < r; ++i) {
+    x = (x * x) % n;
+    if (x == n_minus_1) return true;
+    if (x.IsOne()) return false;  // nontrivial sqrt of 1
+  }
+  return false;
+}
+
+}  // namespace
+
+bool IsProbablePrime(const BigInt& n, Rng& rng, int rounds) {
+  if (n.IsNegative()) return false;
+  if (n < BigInt(2)) return false;
+  for (std::uint32_t p : kSmallPrimes) {
+    if (n == BigInt(std::uint64_t{p})) return true;
+    if (ModSmall(n, p) == 0) return false;
+  }
+  // n is odd and > 997 here.
+  const BigInt n_minus_1 = n - BigInt(1);
+  BigInt d = n_minus_1;
+  std::size_t r = 0;
+  while (!d.IsOdd()) {
+    d = d >> 1;
+    ++r;
+  }
+  const MontgomeryCtx ctx(n);
+  if (!MillerRabinRound(ctx, n, n_minus_1, d, r, BigInt(2))) return false;
+  const BigInt upper = n - BigInt(3);  // bases in [2, n-2]
+  for (int i = 0; i < rounds; ++i) {
+    const BigInt base = BigInt::RandomBelow(rng, upper) + BigInt(2);
+    if (!MillerRabinRound(ctx, n, n_minus_1, d, r, base)) return false;
+  }
+  return true;
+}
+
+BigInt GeneratePrime(Rng& rng, std::size_t bits, bool force_top_two_bits,
+                     int mr_rounds) {
+  if (bits < 8) throw std::invalid_argument("GeneratePrime: bits too small");
+  for (;;) {
+    BigInt candidate = BigInt::RandomBits(rng, bits);
+    // RandomBits guarantees bit (bits-1); also force bit (bits-2) so that the
+    // product of two such primes has exactly 2*bits bits.
+    if (force_top_two_bits && !candidate.Bit(bits - 2)) {
+      candidate = candidate + (BigInt(1) << (bits - 2));
+    }
+    if (!candidate.IsOdd()) candidate = candidate + BigInt(1);
+    if (IsProbablePrime(candidate, rng, mr_rounds)) return candidate;
+  }
+}
+
+}  // namespace adlp::crypto

@@ -1,0 +1,23 @@
+// Probable-prime generation: trial division by small primes followed by
+// Miller–Rabin, used by RSA key generation.
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "crypto/bigint.h"
+
+namespace adlp::crypto {
+
+/// Miller–Rabin probable-prime test with `rounds` random bases (plus base 2).
+/// False means definitely composite; true means prime with error probability
+/// <= 4^-rounds.
+bool IsProbablePrime(const BigInt& n, Rng& rng, int rounds = 32);
+
+/// Generates a random probable prime of exactly `bits` bits (top bit set,
+/// odd). For RSA the top *two* bits can be forced so that p*q has full
+/// length.
+BigInt GeneratePrime(Rng& rng, std::size_t bits, bool force_top_two_bits,
+                     int mr_rounds = 32);
+
+}  // namespace adlp::crypto

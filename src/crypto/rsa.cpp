@@ -1,0 +1,61 @@
+#include "crypto/rsa.h"
+
+#include <stdexcept>
+
+#include "crypto/montgomery.h"
+#include "crypto/prime.h"
+
+namespace adlp::crypto {
+
+RsaKeyPair GenerateRsaKeyPair(Rng& rng, std::size_t bits) {
+  if (bits < 128 || bits % 2 != 0) {
+    throw std::invalid_argument("GenerateRsaKeyPair: bits must be even, >=128");
+  }
+  const BigInt e(std::uint64_t{65537});
+  const std::size_t half = bits / 2;
+
+  for (;;) {
+    BigInt p = GeneratePrime(rng, half, /*force_top_two_bits=*/true);
+    BigInt q = GeneratePrime(rng, half, /*force_top_two_bits=*/true);
+    if (p == q) continue;
+    if (p < q) std::swap(p, q);
+
+    const BigInt n = p * q;
+    if (n.BitLength() != bits) continue;
+
+    const BigInt phi = (p - BigInt(1)) * (q - BigInt(1));
+    if (!BigInt::Gcd(e, phi).IsOne()) continue;
+
+    RsaPrivateKey priv;
+    priv.n = n;
+    priv.e = e;
+    priv.d = BigInt::ModInverse(e, phi);
+    priv.p = p;
+    priv.q = q;
+    priv.dp = priv.d % (p - BigInt(1));
+    priv.dq = priv.d % (q - BigInt(1));
+    priv.q_inv = BigInt::ModInverse(q, p);
+    return RsaKeyPair{priv.PublicKey(), std::move(priv)};
+  }
+}
+
+BigInt RsaPublicOp(const RsaPublicKey& key, const BigInt& m) {
+  if (m.IsNegative() || m >= key.n) {
+    throw std::domain_error("RsaPublicOp: message representative out of range");
+  }
+  return BigInt::ModExp(m, key.e, key.n);
+}
+
+BigInt RsaPrivateOp(const RsaPrivateKey& key, const BigInt& c) {
+  if (c.IsNegative() || c >= key.n) {
+    throw std::domain_error("RsaPrivateOp: ciphertext representative "
+                            "out of range");
+  }
+  // Garner's CRT recombination.
+  const BigInt m1 = BigInt::ModExp(c % key.p, key.dp, key.p);
+  const BigInt m2 = BigInt::ModExp(c % key.q, key.dq, key.q);
+  const BigInt h = ((m1 - m2) * key.q_inv).ModFloor(key.p);
+  return m2 + h * key.q;
+}
+
+}  // namespace adlp::crypto

@@ -1,0 +1,50 @@
+// RSA key generation and raw operations (textbook RSA on padded blocks;
+// padding lives in pkcs1.h). The paper uses RSA-1024; key size is a
+// parameter here (tests use smaller keys for speed, benches use 1024 to
+// match the paper's 128-byte signatures).
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "crypto/bigint.h"
+
+namespace adlp::crypto {
+
+struct RsaPublicKey {
+  BigInt n;  // modulus
+  BigInt e;  // public exponent
+
+  /// Signature / block size in bytes (e.g. 128 for RSA-1024).
+  std::size_t ModulusBytes() const { return (n.BitLength() + 7) / 8; }
+
+  bool operator==(const RsaPublicKey&) const = default;
+};
+
+struct RsaPrivateKey {
+  BigInt n;
+  BigInt e;
+  BigInt d;
+  // CRT components for ~4x faster private operations.
+  BigInt p, q, dp, dq, q_inv;
+
+  RsaPublicKey PublicKey() const { return {n, e}; }
+};
+
+struct RsaKeyPair {
+  RsaPublicKey pub;
+  RsaPrivateKey priv;
+};
+
+/// Generates an RSA key pair with modulus of exactly `bits` bits and
+/// e = 65537. Randomness comes from `rng` (deterministic given the seed; the
+/// library's goal is protocol behaviour, not protecting real secrets).
+RsaKeyPair GenerateRsaKeyPair(Rng& rng, std::size_t bits = 1024);
+
+/// c = m^e mod n. Requires 0 <= m < n.
+BigInt RsaPublicOp(const RsaPublicKey& key, const BigInt& m);
+
+/// m = c^d mod n via CRT. Requires 0 <= c < n.
+BigInt RsaPrivateOp(const RsaPrivateKey& key, const BigInt& c);
+
+}  // namespace adlp::crypto

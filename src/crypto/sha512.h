@@ -1,0 +1,37 @@
+// SHA-512 (FIPS 180-4), implemented from scratch. Required by Ed25519
+// (RFC 8032), which hashes with SHA-512 internally.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace adlp::crypto {
+
+inline constexpr std::size_t kSha512DigestSize = 64;
+
+using Digest512 = std::array<std::uint8_t, kSha512DigestSize>;
+
+class Sha512 {
+ public:
+  Sha512() { Reset(); }
+
+  void Reset();
+  void Update(BytesView data);
+  Digest512 Finish();
+
+ private:
+  void Compress(const std::uint8_t block[128]);
+
+  std::uint64_t state_[8];
+  // Total length in bytes (the 128-bit length field's high word is always
+  // zero for realistic inputs).
+  std::uint64_t byte_count_ = 0;
+  std::uint8_t buffer_[128];
+  std::size_t buffer_len_ = 0;
+};
+
+Digest512 Sha512Digest(BytesView data);
+
+}  // namespace adlp::crypto

@@ -1,0 +1,129 @@
+#include "crypto/sig.h"
+
+#include "crypto/pkcs1.h"
+#include "wire/wire.h"
+
+namespace adlp::crypto {
+
+namespace {
+enum : std::uint32_t {
+  kFieldAlg = 1,
+  kFieldRsaModulus = 2,
+  kFieldRsaExponent = 3,
+  kFieldEd25519 = 4,
+};
+}  // namespace
+
+std::string_view SigAlgorithmName(SigAlgorithm alg) {
+  switch (alg) {
+    case SigAlgorithm::kRsaPkcs1Sha256: return "rsa-pkcs1-sha256";
+    case SigAlgorithm::kEd25519: return "ed25519";
+  }
+  return "unknown";
+}
+
+std::size_t PublicKey::SignatureSize() const {
+  switch (alg) {
+    case SigAlgorithm::kRsaPkcs1Sha256:
+      return rsa.ModulusBytes();
+    case SigAlgorithm::kEd25519:
+      return kEd25519SignatureSize;
+  }
+  return 0;
+}
+
+SigKeyPair GenerateSigKeyPair(Rng& rng, SigAlgorithm alg,
+                              std::size_t rsa_bits) {
+  SigKeyPair kp;
+  kp.pub.alg = alg;
+  kp.priv.alg = alg;
+  switch (alg) {
+    case SigAlgorithm::kRsaPkcs1Sha256: {
+      const RsaKeyPair rsa = GenerateRsaKeyPair(rng, rsa_bits);
+      kp.pub.rsa = rsa.pub;
+      kp.priv.rsa = rsa.priv;
+      break;
+    }
+    case SigAlgorithm::kEd25519: {
+      const Ed25519KeyPair ed = GenerateEd25519KeyPair(rng);
+      kp.pub.ed25519 = ed.pub;
+      kp.priv.ed25519 = ed.priv;
+      break;
+    }
+  }
+  return kp;
+}
+
+Bytes SignDigest(const PrivateKey& key, const Digest& digest) {
+  switch (key.alg) {
+    case SigAlgorithm::kRsaPkcs1Sha256:
+      return Pkcs1Sign(key.rsa, digest);
+    case SigAlgorithm::kEd25519:
+      return Ed25519Sign(key.ed25519,
+                         BytesView(digest.data(), digest.size()));
+  }
+  return {};
+}
+
+bool VerifyDigest(const PublicKey& key, const Digest& digest,
+                  BytesView signature) {
+  switch (key.alg) {
+    case SigAlgorithm::kRsaPkcs1Sha256:
+      return Pkcs1Verify(key.rsa, digest, signature);
+    case SigAlgorithm::kEd25519:
+      return Ed25519Verify(key.ed25519,
+                           BytesView(digest.data(), digest.size()),
+                           signature);
+  }
+  return false;
+}
+
+Bytes SerializePublicKey(const PublicKey& key) {
+  wire::Writer w;
+  w.PutU64(kFieldAlg, static_cast<std::uint64_t>(key.alg));
+  switch (key.alg) {
+    case SigAlgorithm::kRsaPkcs1Sha256:
+      w.PutBytes(kFieldRsaModulus, key.rsa.n.ToBytesBE());
+      w.PutBytes(kFieldRsaExponent, key.rsa.e.ToBytesBE());
+      break;
+    case SigAlgorithm::kEd25519:
+      w.PutBytes(kFieldEd25519,
+                 BytesView(key.ed25519.bytes.data(), key.ed25519.bytes.size()));
+      break;
+  }
+  return std::move(w).Take();
+}
+
+PublicKey ParsePublicKey(BytesView data) {
+  PublicKey key;
+  wire::Reader r(data);
+  std::uint32_t field;
+  wire::WireType type;
+  while (r.NextField(field, type)) {
+    switch (field) {
+      case kFieldAlg:
+        key.alg = static_cast<SigAlgorithm>(r.GetU64Value());
+        break;
+      case kFieldRsaModulus:
+        key.rsa.n = BigInt::FromBytesBE(r.GetBytesValue());
+        break;
+      case kFieldRsaExponent:
+        key.rsa.e = BigInt::FromBytesBE(r.GetBytesValue());
+        break;
+      case kFieldEd25519: {
+        const Bytes raw = r.GetBytesValue();
+        if (raw.size() != kEd25519PublicKeySize) {
+          throw wire::WireError("public key: bad ed25519 length");
+        }
+        std::copy(raw.begin(), raw.end(), key.ed25519.bytes.begin());
+        break;
+      }
+      default:
+        r.SkipValue(type);
+        break;
+    }
+  }
+  return key;
+}
+
+}  // namespace adlp::crypto

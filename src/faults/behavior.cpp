@@ -1,0 +1,134 @@
+#include "faults/behavior.h"
+
+#include "crypto/sig.h"
+#include "pubsub/message.h"
+
+namespace adlp::faults {
+
+bool FaultFilter::Matches(const proto::LogEntry& entry, Rng& rng) const {
+  if (topic && entry.topic != *topic) return false;
+  if (direction && entry.direction != *direction) return false;
+  if (peer && entry.peer != *peer) return false;
+  if (entry.seq < seq_min || entry.seq > seq_max) return false;
+  if (probability < 1.0 && !rng.Chance(probability)) return false;
+  return true;
+}
+
+// --- Hiding ---------------------------------------------------------------
+
+HidingBehavior::HidingBehavior(FaultFilter filter, std::uint64_t rng_seed)
+    : filter_(std::move(filter)), rng_(rng_seed) {}
+
+std::optional<proto::LogEntry> HidingBehavior::OnEntry(proto::LogEntry entry) {
+  if (filter_.Matches(entry, rng_)) {
+    ++hidden_;
+    return std::nullopt;
+  }
+  return entry;
+}
+
+// --- Falsification ----------------------------------------------------------
+
+FalsificationBehavior::FalsificationBehavior(
+    FaultFilter filter, std::shared_ptr<const proto::NodeIdentity> identity,
+    Mutator mutate, std::uint64_t rng_seed)
+    : filter_(std::move(filter)),
+      identity_(std::move(identity)),
+      mutate_(std::move(mutate)),
+      rng_(rng_seed) {
+  if (!mutate_) {
+    mutate_ = [](const Bytes& original) {
+      Bytes fake = original;
+      if (fake.empty()) {
+        fake = BytesOf("<falsified>");
+      } else {
+        fake[0] ^= 0xff;
+      }
+      return fake;
+    };
+  }
+}
+
+std::optional<proto::LogEntry> FalsificationBehavior::OnEntry(
+    proto::LogEntry entry) {
+  if (!filter_.Matches(entry, rng_)) return entry;
+  ++falsified_;
+
+  // Reconstruct the header exactly as the auditor will, so the falsified
+  // claim is internally consistent (self-signature verifies).
+  pubsub::MessageHeader header;
+  header.topic = entry.topic;
+  header.publisher = entry.direction == proto::Direction::kOut
+                         ? entry.component
+                         : entry.peer;
+  header.seq = entry.seq;
+  header.stamp = entry.message_stamp;
+
+  if (!entry.data.empty() || entry.data_hash.empty()) {
+    entry.data = mutate_(entry.data);
+    if (entry.scheme == proto::LogScheme::kAdlp) {
+      const crypto::Digest digest = pubsub::MessageDigest(header, entry.data);
+      entry.self_signature = crypto::SignDigest(identity_->keys.priv, digest);
+    }
+  } else {
+    // Hash-only entry: invent data, store its payload hash, re-sign over
+    // the rebound digest.
+    const Bytes fake = mutate_(entry.data_hash);
+    const crypto::Digest payload_hash = pubsub::PayloadHash(fake);
+    entry.data_hash = crypto::DigestBytes(payload_hash);
+    if (entry.scheme == proto::LogScheme::kAdlp) {
+      const crypto::Digest digest =
+          pubsub::MessageDigestFromPayloadHash(header, payload_hash);
+      entry.self_signature = crypto::SignDigest(identity_->keys.priv, digest);
+    }
+  }
+  return entry;
+}
+
+// --- Impersonation ----------------------------------------------------------
+
+ImpersonationBehavior::ImpersonationBehavior(FaultFilter filter,
+                                             crypto::ComponentId victim,
+                                             std::uint64_t rng_seed)
+    : filter_(std::move(filter)), victim_(std::move(victim)), rng_(rng_seed) {}
+
+std::optional<proto::LogEntry> ImpersonationBehavior::OnEntry(
+    proto::LogEntry entry) {
+  if (filter_.Matches(entry, rng_)) entry.component = victim_;
+  return entry;
+}
+
+// --- Timing disruption -------------------------------------------------------
+
+TimingDisruptionBehavior::TimingDisruptionBehavior(FaultFilter filter,
+                                                   Timestamp delta_ns,
+                                                   std::uint64_t rng_seed)
+    : filter_(std::move(filter)), delta_ns_(delta_ns), rng_(rng_seed) {}
+
+std::optional<proto::LogEntry> TimingDisruptionBehavior::OnEntry(
+    proto::LogEntry entry) {
+  if (filter_.Matches(entry, rng_)) entry.timestamp += delta_ns_;
+  return entry;
+}
+
+// --- Composition -------------------------------------------------------------
+
+std::optional<proto::LogEntry> ComposedBehavior::OnEntry(
+    proto::LogEntry entry) {
+  std::optional<proto::LogEntry> current = std::move(entry);
+  for (const auto& behavior : behaviors_) {
+    if (!current) return std::nullopt;
+    current = behavior->OnEntry(std::move(*current));
+  }
+  return current;
+}
+
+std::function<std::unique_ptr<proto::LogPipe>(proto::LogPipe&,
+                                              const proto::NodeIdentity&)>
+MakePipeWrapper(std::shared_ptr<UnfaithfulBehavior> behavior) {
+  return [behavior](proto::LogPipe& inner, const proto::NodeIdentity&) {
+    return std::make_unique<UnfaithfulLogPipe>(inner, behavior);
+  };
+}
+
+}  // namespace adlp::faults

@@ -1,0 +1,148 @@
+#include "faults/fabricate.h"
+
+#include "crypto/sig.h"
+#include "pubsub/message.h"
+
+namespace adlp::faults {
+
+namespace {
+
+pubsub::MessageHeader SpecHeader(const crypto::ComponentId& publisher,
+                                 const FabricationSpec& spec) {
+  pubsub::MessageHeader header;
+  header.topic = spec.topic;
+  header.publisher = publisher;
+  header.seq = spec.seq;
+  header.stamp = spec.message_stamp;
+  return header;
+}
+
+crypto::Digest SpecDigest(const crypto::ComponentId& publisher,
+                          const FabricationSpec& spec) {
+  return pubsub::MessageDigest(SpecHeader(publisher, spec), spec.data);
+}
+
+}  // namespace
+
+proto::LogEntry FabricatePublisherEntry(const proto::NodeIdentity& forger,
+                                        const FabricationSpec& spec,
+                                        Rng& rng) {
+  proto::LogEntry entry;
+  entry.scheme = proto::LogScheme::kAdlp;
+  entry.component = forger.id;
+  entry.topic = spec.topic;
+  entry.direction = proto::Direction::kOut;
+  entry.seq = spec.seq;
+  entry.timestamp = spec.timestamp;
+  entry.message_stamp = spec.message_stamp;
+  entry.data = spec.data;
+
+  const crypto::Digest digest = SpecDigest(forger.id, spec);
+  entry.self_signature = crypto::SignDigest(forger.keys.priv, digest);
+
+  // The forged "ACK": correct payload hash, random signature — the best a
+  // non-colluding fabricator can do (Fig. 8).
+  entry.peer = spec.peer;
+  entry.peer_data_hash =
+      crypto::DigestBytes(pubsub::PayloadHash(spec.data));
+  entry.peer_signature = rng.RandomBytes(forger.keys.pub.SignatureSize());
+  return entry;
+}
+
+proto::LogEntry FabricateSubscriberEntry(const proto::NodeIdentity& forger,
+                                         const FabricationSpec& spec,
+                                         Rng& rng) {
+  proto::LogEntry entry;
+  entry.scheme = proto::LogScheme::kAdlp;
+  entry.component = forger.id;
+  entry.topic = spec.topic;
+  entry.direction = proto::Direction::kIn;
+  entry.seq = spec.seq;
+  entry.timestamp = spec.timestamp;
+  entry.message_stamp = spec.message_stamp;
+  entry.peer = spec.peer;
+
+  const crypto::Digest digest = SpecDigest(spec.peer, spec);
+  entry.data_hash = crypto::DigestBytes(pubsub::PayloadHash(spec.data));
+  entry.self_signature = crypto::SignDigest(forger.keys.priv, digest);
+  // Forged publisher signature: random bytes (cannot be produced honestly).
+  entry.peer_signature = rng.RandomBytes(forger.keys.pub.SignatureSize());
+  return entry;
+}
+
+proto::LogEntry FabricateByReplay(const proto::NodeIdentity& forger,
+                                  const proto::LogEntry& old_entry,
+                                  std::uint64_t new_seq, Timestamp now) {
+  proto::LogEntry entry = old_entry;
+  entry.seq = new_seq;
+  entry.timestamp = now;
+  // The replayed counterpart signature still covers the *old* digest, whose
+  // h(seq || D) embeds the old sequence number — the auditor's freshness
+  // check rejects it. Re-sign our own side so self-authenticity holds.
+  pubsub::MessageHeader header;
+  header.topic = entry.topic;
+  header.publisher = entry.direction == proto::Direction::kOut
+                         ? entry.component
+                         : entry.peer;
+  header.seq = new_seq;
+  header.stamp = entry.message_stamp;
+  crypto::Digest digest;
+  if (entry.data_hash.empty()) {
+    digest = pubsub::MessageDigest(header, entry.data);
+  } else {
+    // Hash-only entry: the replayer is stuck with the stale payload hash;
+    // the rebound digest embeds the new seq, so the replayed counterpart
+    // signature can no longer verify.
+    crypto::Digest stale{};
+    std::copy(entry.data_hash.begin(), entry.data_hash.end(), stale.begin());
+    digest = pubsub::MessageDigestFromPayloadHash(header, stale);
+  }
+  entry.self_signature = crypto::SignDigest(forger.keys.priv, digest);
+  return entry;
+}
+
+ForgedPair ForgeColludingPair(const proto::NodeIdentity& publisher,
+                              const proto::NodeIdentity& subscriber,
+                              const FabricationSpec& spec,
+                              bool subscriber_stores_hash) {
+  const crypto::Digest digest = SpecDigest(publisher.id, spec);
+  const Bytes s_x = crypto::SignDigest(publisher.keys.priv, digest);
+  const Bytes s_y = crypto::SignDigest(subscriber.keys.priv, digest);
+
+  ForgedPair pair;
+
+  proto::LogEntry& px = pair.publisher_entry;
+  px.scheme = proto::LogScheme::kAdlp;
+  px.component = publisher.id;
+  px.topic = spec.topic;
+  px.direction = proto::Direction::kOut;
+  px.seq = spec.seq;
+  px.timestamp = spec.timestamp;
+  px.message_stamp = spec.message_stamp;
+  px.data = spec.data;
+  px.self_signature = s_x;
+  px.peer = subscriber.id;
+  px.peer_data_hash = crypto::DigestBytes(pubsub::PayloadHash(spec.data));
+  px.peer_signature = s_y;
+
+  proto::LogEntry& sy = pair.subscriber_entry;
+  sy.scheme = proto::LogScheme::kAdlp;
+  sy.component = subscriber.id;
+  sy.topic = spec.topic;
+  sy.direction = proto::Direction::kIn;
+  sy.seq = spec.seq;
+  sy.timestamp = spec.timestamp + 1;
+  sy.message_stamp = spec.message_stamp;
+  if (subscriber_stores_hash) {
+    sy.data_hash = crypto::DigestBytes(pubsub::PayloadHash(spec.data));
+  } else {
+    sy.data = spec.data;
+  }
+  sy.self_signature = s_y;
+  sy.peer_signature = s_x;
+  sy.peer = publisher.id;
+
+  return pair;
+}
+
+}  // namespace adlp::faults

@@ -1,0 +1,60 @@
+// Fabrication and collusion helpers: constructing log entries for
+// transmissions that never happened.
+//
+// A lone fabricator can self-sign anything but cannot produce the
+// counterpart's signature, so its entries fail the cross-checks (Lemma 1).
+// A *colluding pair* holds both private keys and can forge a mutually
+// consistent pair of entries that is indistinguishable from a real
+// transmission (the L_{V,c} class of Fig. 5 — the limitation the paper
+// explicitly accepts).
+#pragma once
+
+#include "adlp/log_entry.h"
+#include "adlp/protocols.h"
+#include "common/clock.h"
+#include "common/rng.h"
+
+namespace adlp::faults {
+
+struct FabricationSpec {
+  std::string topic;
+  std::uint64_t seq = 0;
+  Timestamp timestamp = 0;
+  Timestamp message_stamp = 0;
+  Bytes data;
+  crypto::ComponentId peer;  // the counterpart being implicated
+};
+
+/// Publisher-side fabrication: an out-entry claiming `spec.data` was
+/// published. Self-signature is genuine; the "ACK" is forged with random
+/// bytes (a real counterpart signature is impossible to produce).
+proto::LogEntry FabricatePublisherEntry(const proto::NodeIdentity& forger,
+                                        const FabricationSpec& spec, Rng& rng);
+
+/// Subscriber-side fabrication: an in-entry claiming `spec.data` was
+/// received from `spec.peer`, with a random forged publisher signature.
+proto::LogEntry FabricateSubscriberEntry(const proto::NodeIdentity& forger,
+                                         const FabricationSpec& spec, Rng& rng);
+
+/// Replay-style fabrication: reuses a previously *genuine* counterpart
+/// signature (from `old_entry`) for a new sequence number — defeated by the
+/// sequence number inside the signed digest.
+proto::LogEntry FabricateByReplay(const proto::NodeIdentity& forger,
+                                  const proto::LogEntry& old_entry,
+                                  std::uint64_t new_seq, Timestamp now);
+
+/// Colluding pair: both private keys available. Produces a publisher and a
+/// subscriber entry for a transmission of `spec.data` that never happened —
+/// every signature verifies, so the pair is audit-indistinguishable from a
+/// faithful exchange.
+struct ForgedPair {
+  proto::LogEntry publisher_entry;
+  proto::LogEntry subscriber_entry;
+};
+
+ForgedPair ForgeColludingPair(const proto::NodeIdentity& publisher,
+                              const proto::NodeIdentity& subscriber,
+                              const FabricationSpec& spec,
+                              bool subscriber_stores_hash = true);
+
+}  // namespace adlp::faults

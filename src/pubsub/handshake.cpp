@@ -1,0 +1,42 @@
+#include "pubsub/handshake.h"
+
+#include "wire/wire.h"
+
+namespace adlp::pubsub {
+
+namespace {
+enum : std::uint32_t {
+  kHandshakeTopic = 1,
+  kHandshakeSubscriber = 2,
+};
+}  // namespace
+
+Bytes SerializeHandshake(const std::string& topic,
+                         const crypto::ComponentId& subscriber) {
+  wire::Writer w;
+  w.PutString(kHandshakeTopic, topic);
+  w.PutString(kHandshakeSubscriber, subscriber);
+  return std::move(w).Take();
+}
+
+void ParseHandshake(BytesView data, std::string& topic,
+                    crypto::ComponentId& subscriber) {
+  wire::Reader r(data);
+  std::uint32_t field;
+  wire::WireType type;
+  while (r.NextField(field, type)) {
+    switch (field) {
+      case kHandshakeTopic:
+        topic = r.GetStringValue();
+        break;
+      case kHandshakeSubscriber:
+        subscriber = r.GetStringValue();
+        break;
+      default:
+        r.SkipValue(type);
+        break;
+    }
+  }
+}
+
+}  // namespace adlp::pubsub

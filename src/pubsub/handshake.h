@@ -1,0 +1,20 @@
+// Subscription handshake exchanged on a fresh publisher connection (the
+// TCPROS-style header): identifies the topic and the subscriber. Shared by
+// the in-node TCP endpoint and the cross-process master client.
+#pragma once
+
+#include <string>
+
+#include "common/bytes.h"
+#include "crypto/keystore.h"
+
+namespace adlp::pubsub {
+
+Bytes SerializeHandshake(const std::string& topic,
+                         const crypto::ComponentId& subscriber);
+
+/// Throws wire::WireError on malformed input.
+void ParseHandshake(BytesView data, std::string& topic,
+                    crypto::ComponentId& subscriber);
+
+}  // namespace adlp::pubsub

@@ -1,0 +1,98 @@
+#include "pubsub/master.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "pubsub/handshake.h"
+#include "transport/tcp.h"
+
+namespace adlp::pubsub {
+
+namespace {
+
+/// A connector for a publisher reachable only through its TCP listener.
+ConnectFn TcpConnectorFor(const std::string& topic, std::uint16_t port) {
+  return [topic, port](const crypto::ComponentId& subscriber) {
+    auto channel = transport::TcpConnect(port);
+    channel->Send(SerializeHandshake(topic, subscriber));
+    return channel;
+  };
+}
+
+}  // namespace
+
+void Master::Advertise(const std::string& topic,
+                       const crypto::ComponentId& publisher,
+                       AdvertiseInfo info) {
+  if (!info.connect && info.tcp_port == 0) {
+    throw std::invalid_argument(
+        "Master::Advertise: neither a connector nor a TCP port given");
+  }
+  if (!info.connect) {
+    info.connect = TcpConnectorFor(topic, info.tcp_port);
+  }
+
+  std::vector<PendingSubscription> to_connect;
+  ConnectFn connect_copy;
+  {
+    std::lock_guard lock(mu_);
+    TopicState& state = topics_[topic];
+    if (state.advertised) {
+      throw std::logic_error("Master: topic '" + topic +
+                             "' already has a publisher (" + state.publisher +
+                             ")");
+    }
+    state.advertised = true;
+    state.publisher = publisher;
+    state.info = std::move(info);
+    to_connect = std::move(state.pending);
+    state.pending.clear();
+    for (const auto& p : to_connect) state.subscribers.push_back(p.subscriber);
+    connect_copy = state.info.connect;
+  }
+  // Connect parked subscribers outside the lock: ConnectFn re-enters nodes.
+  for (auto& pending : to_connect) {
+    transport::ChannelPtr channel = connect_copy(pending.subscriber);
+    pending.on_connect(publisher, std::move(channel));
+  }
+}
+
+void Master::Subscribe(const std::string& topic,
+                       const crypto::ComponentId& subscriber,
+                       SubscriberConnectCb on_connect) {
+  ConnectFn connect_copy;
+  crypto::ComponentId publisher;
+  {
+    std::lock_guard lock(mu_);
+    TopicState& state = topics_[topic];
+    if (!state.advertised) {
+      state.pending.push_back({subscriber, std::move(on_connect)});
+      return;
+    }
+    state.subscribers.push_back(subscriber);
+    connect_copy = state.info.connect;
+    publisher = state.publisher;
+  }
+  transport::ChannelPtr channel = connect_copy(subscriber);
+  on_connect(publisher, std::move(channel));
+}
+
+std::optional<crypto::ComponentId> Master::PublisherOf(
+    const std::string& topic) const {
+  std::lock_guard lock(mu_);
+  const auto it = topics_.find(topic);
+  if (it == topics_.end() || !it->second.advertised) return std::nullopt;
+  return it->second.publisher;
+}
+
+std::map<std::string, pubsub::TopicInfo> Master::Topology() const {
+  std::lock_guard lock(mu_);
+  std::map<std::string, pubsub::TopicInfo> out;
+  for (const auto& [topic, state] : topics_) {
+    if (!state.advertised) continue;
+    out[topic] = pubsub::TopicInfo{state.publisher, state.subscribers};
+  }
+  return out;
+}
+
+}  // namespace adlp::pubsub

@@ -1,0 +1,117 @@
+// Name service (the analogue of roscore): tracks which component publishes
+// each topic, brokers subscriber connections, and records the topology that
+// the auditor later uses as the system manifest.
+//
+// The master only brokers connection *setup*; data flows point-to-point
+// between publisher and subscriber and is never observable here — the very
+// property that makes naive logging refutable (Section III-B).
+//
+// `MasterApi` is the interface nodes program against; `Master` is the
+// in-process implementation, and remote_master.h provides a TCP service and
+// client so nodes can run as separate OS processes (like ROS nodes talking
+// to a roscore).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/keystore.h"
+#include "transport/channel.h"
+
+namespace adlp::pubsub {
+
+/// Produces the subscriber-side channel endpoint for a new subscription and
+/// installs the publisher-side link (how depends on the transport).
+using ConnectFn =
+    std::function<transport::ChannelPtr(const crypto::ComponentId& subscriber)>;
+
+/// Invoked on the subscriber when a publisher for the topic is available.
+using SubscriberConnectCb = std::function<void(
+    const crypto::ComponentId& publisher, transport::ChannelPtr channel)>;
+
+struct TopicInfo {
+  crypto::ComponentId publisher;
+  std::vector<crypto::ComponentId> subscribers;
+
+  bool operator==(const TopicInfo&) const = default;
+};
+
+/// What a publisher announces: an in-process connector (same-process
+/// subscribers), and/or the node's TCP listener port (cross-process
+/// subscribers; 0 when the node is in-proc only).
+struct AdvertiseInfo {
+  ConnectFn connect;
+  std::uint16_t tcp_port = 0;
+};
+
+class MasterApi {
+ public:
+  virtual ~MasterApi() = default;
+
+  /// Registers the unique publisher of `topic`. Throws std::logic_error if
+  /// the topic already has a publisher (the paper's model: no two components
+  /// publish the same data type; redundant types must be uniquely labeled).
+  virtual void Advertise(const std::string& topic,
+                         const crypto::ComponentId& publisher,
+                         AdvertiseInfo info) = 0;
+
+  /// Subscribes `subscriber` to `topic`. Connects immediately when the
+  /// publisher is known, otherwise parks the request until Advertise.
+  virtual void Subscribe(const std::string& topic,
+                         const crypto::ComponentId& subscriber,
+                         SubscriberConnectCb on_connect) = 0;
+
+  virtual std::optional<crypto::ComponentId> PublisherOf(
+      const std::string& topic) const = 0;
+
+  /// Snapshot of the full pub/sub graph (the auditor's system manifest).
+  virtual std::map<std::string, TopicInfo> Topology() const = 0;
+};
+
+class Master : public MasterApi {
+ public:
+  // Keeps the historical alias used across the audit layer.
+  using TopicInfo = pubsub::TopicInfo;
+
+  void Advertise(const std::string& topic, const crypto::ComponentId& publisher,
+                 AdvertiseInfo info) override;
+
+  /// Convenience overload for in-process callers.
+  void Advertise(const std::string& topic, const crypto::ComponentId& publisher,
+                 ConnectFn connect) {
+    Advertise(topic, publisher, AdvertiseInfo{std::move(connect), 0});
+  }
+
+  void Subscribe(const std::string& topic,
+                 const crypto::ComponentId& subscriber,
+                 SubscriberConnectCb on_connect) override;
+
+  std::optional<crypto::ComponentId> PublisherOf(
+      const std::string& topic) const override;
+
+  std::map<std::string, pubsub::TopicInfo> Topology() const override;
+
+ private:
+  struct PendingSubscription {
+    crypto::ComponentId subscriber;
+    SubscriberConnectCb on_connect;
+  };
+
+  struct TopicState {
+    crypto::ComponentId publisher;
+    AdvertiseInfo info;
+    std::vector<crypto::ComponentId> subscribers;
+    std::vector<PendingSubscription> pending;
+    bool advertised = false;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, TopicState> topics_;
+};
+
+}  // namespace adlp::pubsub

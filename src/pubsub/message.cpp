@@ -1,0 +1,77 @@
+#include "pubsub/message.h"
+
+#include "wire/wire.h"
+
+namespace adlp::pubsub {
+
+namespace {
+// Field numbers for the message wire record.
+enum : std::uint32_t {
+  kFieldTopic = 1,
+  kFieldPublisher = 2,
+  kFieldSeq = 3,
+  kFieldStamp = 4,
+  kFieldPayload = 5,
+};
+}  // namespace
+
+crypto::Digest PayloadHash(BytesView payload) {
+  return crypto::Sha256Digest(payload);
+}
+
+crypto::Digest MessageDigestFromPayloadHash(
+    const MessageHeader& header, const crypto::Digest& payload_hash) {
+  wire::Writer w;
+  w.PutString(kFieldTopic, header.topic);
+  w.PutString(kFieldPublisher, header.publisher);
+  w.PutU64(kFieldSeq, header.seq);
+  w.PutI64(kFieldStamp, header.stamp);
+  return crypto::Sha256Digest2(
+      w.Data(), BytesView(payload_hash.data(), payload_hash.size()));
+}
+
+crypto::Digest MessageDigest(const MessageHeader& header, BytesView payload) {
+  return MessageDigestFromPayloadHash(header, PayloadHash(payload));
+}
+
+Bytes SerializeMessage(const Message& msg) {
+  wire::Writer w;
+  w.PutString(kFieldTopic, msg.header.topic);
+  w.PutString(kFieldPublisher, msg.header.publisher);
+  w.PutU64(kFieldSeq, msg.header.seq);
+  w.PutI64(kFieldStamp, msg.header.stamp);
+  w.PutBytes(kFieldPayload, msg.payload);
+  return std::move(w).Take();
+}
+
+Message DeserializeMessage(BytesView data) {
+  Message msg;
+  wire::Reader r(data);
+  std::uint32_t field;
+  wire::WireType type;
+  while (r.NextField(field, type)) {
+    switch (field) {
+      case kFieldTopic:
+        msg.header.topic = r.GetStringValue();
+        break;
+      case kFieldPublisher:
+        msg.header.publisher = r.GetStringValue();
+        break;
+      case kFieldSeq:
+        msg.header.seq = r.GetU64Value();
+        break;
+      case kFieldStamp:
+        msg.header.stamp = r.GetI64Value();
+        break;
+      case kFieldPayload:
+        msg.payload = r.GetBytesValue();
+        break;
+      default:
+        r.SkipValue(type);
+        break;
+    }
+  }
+  return msg;
+}
+
+}  // namespace adlp::pubsub

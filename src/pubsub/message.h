@@ -1,0 +1,59 @@
+// Message model of the publish-subscribe middleware.
+//
+// Every publication carries a header with the topic (the paper's unique data
+// type label `type(D)`), the publisher id, a per-topic sequence number
+// starting at 1, and a publication timestamp. Sequence number and timestamp
+// are part of the signed digest, exactly as in the paper ("the sequence
+// number is a part of the ROS message digest which is hashed and signed").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "crypto/keystore.h"
+#include "crypto/sha256.h"
+
+namespace adlp::pubsub {
+
+struct MessageHeader {
+  std::string topic;                 // unique data type label
+  crypto::ComponentId publisher;     // id of the (unique) publisher
+  std::uint64_t seq = 0;             // per-topic sequence number, from 1
+  Timestamp stamp = 0;               // publication time
+
+  bool operator==(const MessageHeader&) const = default;
+};
+
+struct Message {
+  MessageHeader header;
+  Bytes payload;
+
+  bool operator==(const Message&) const = default;
+};
+
+/// h(D): hash of the payload alone. This is what a subscriber stores in its
+/// log entry (and returns in the ACK) when it opts not to keep the data.
+crypto::Digest PayloadHash(BytesView payload);
+
+/// The signed digest — the paper's h(seq || D) — is computed in two levels:
+///
+///   digest = h( encode(topic, publisher, seq, stamp) || h(D) )
+///
+/// The two-level structure matters for auditability: a verifier that holds
+/// only h(D) (a hash-storing subscriber entry, or the ACK's h(I_y)) can
+/// still rebind the digest to THIS topic/seq/stamp and check signatures —
+/// which is what defeats replaying an old (h(D), signature) pair under a
+/// fresh sequence number (Lemma 1's freshness argument).
+crypto::Digest MessageDigestFromPayloadHash(const MessageHeader& header,
+                                            const crypto::Digest& payload_hash);
+
+/// Convenience: MessageDigestFromPayloadHash(header, PayloadHash(payload)).
+crypto::Digest MessageDigest(const MessageHeader& header, BytesView payload);
+
+/// Full wire encoding/decoding of a message (header + payload).
+Bytes SerializeMessage(const Message& msg);
+Message DeserializeMessage(BytesView data);  // throws wire::WireError
+
+}  // namespace adlp::pubsub

@@ -1,0 +1,338 @@
+#include "pubsub/node.h"
+
+#include <deque>
+#include <stdexcept>
+#include <utility>
+
+#include "pubsub/handshake.h"
+#include "wire/wire.h"
+
+namespace adlp::pubsub {
+
+// ---------------------------------------------------------------------------
+// Publisher link: one connection (thread) per subscriber.
+
+struct Publisher::Link {
+  crypto::ComponentId subscriber;
+  transport::ChannelPtr channel;
+  std::unique_ptr<PublisherLinkProtocol> proto;
+  ConcurrentQueue<EncodedPublicationPtr> queue;
+  std::size_t ack_window = 1;
+  std::size_t max_queue = std::numeric_limits<std::size_t>::max();
+  std::atomic<std::uint64_t> dropped{0};
+  std::atomic<bool> done{false};
+  std::atomic<Timestamp>* cpu_acc = nullptr;
+  std::thread thread;
+
+  void Run() {
+    ThreadCpuTracker cpu(cpu_acc);
+    RunLoop(cpu);
+    done.store(true, std::memory_order_release);
+  }
+
+  void RunLoop(ThreadCpuTracker& cpu) {
+    // Messages sent but not yet acknowledged, oldest first. ACKs arrive in
+    // order on the FIFO channel, so the front is always the one being acked.
+    std::deque<EncodedPublicationPtr> in_flight;
+    while (auto pub = queue.Pop()) {
+      if (!channel->Send((*pub)->wire)) return;
+      proto->OnSent(**pub);
+      if (!proto->ExpectsAck()) {
+        cpu.Tick();
+        continue;
+      }
+      in_flight.push_back(std::move(*pub));
+      // ACK gating: with window W, block after W outstanding messages. The
+      // paper's scheme is W = 1 — publication seq+1 waits for the ACK of seq.
+      while (in_flight.size() >= ack_window) {
+        cpu.Tick();  // don't bill the blocking wait below
+        auto ack = channel->Receive();
+        if (!ack) return;
+        proto->OnAck(*in_flight.front(), *ack);
+        in_flight.pop_front();
+      }
+      cpu.Tick();
+    }
+    // Queue closed: drain ACKs still owed for in-flight messages.
+    while (!in_flight.empty()) {
+      auto ack = channel->Receive();
+      if (!ack) return;
+      proto->OnAck(*in_flight.front(), *ack);
+      in_flight.pop_front();
+    }
+  }
+
+  void Shutdown() {
+    queue.Close();
+    // Grace period: let the send loop drain queued publications and collect
+    // the ACKs still owed, so cleanly-shutdown systems log complete pairs.
+    // A non-cooperative subscriber that withholds ACKs only costs us this
+    // bounded wait.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(2);
+    while (!done.load(std::memory_order_acquire) &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    channel->Close();
+    if (thread.joinable()) thread.join();
+  }
+};
+
+Publisher::Publisher(Node* node, std::string topic)
+    : node_(node), topic_(std::move(topic)) {}
+
+std::uint64_t Publisher::Publish(Bytes payload) {
+  // Serialize publications so sequence numbers and link-queue order agree.
+  std::lock_guard publish_lock(publish_mu_);
+
+  Message msg;
+  msg.header.topic = topic_;
+  msg.header.publisher = node_->Name();
+  msg.header.seq = seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  msg.header.stamp = node_->clock().Now();
+  msg.payload = std::move(payload);
+  const std::uint64_t seq = msg.header.seq;
+
+  // Hash/signature computed once per publication, shared by all links. The
+  // encode cost runs on the caller's thread; attribute it to this node.
+  const Timestamp encode_start = ThreadCpuNowNs();
+  EncodedPublicationPtr encoded = node_->protocol().Encode(std::move(msg));
+  node_->cpu_ns_.fetch_add(ThreadCpuNowNs() - encode_start,
+                           std::memory_order_relaxed);
+
+  std::lock_guard lock(links_mu_);
+  for (auto& link : links_) {
+    if (link->queue.Size() >= link->max_queue) {
+      link->dropped.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    link->queue.Push(encoded);
+  }
+  return seq;
+}
+
+std::size_t Publisher::SubscriberCount() const {
+  std::lock_guard lock(links_mu_);
+  return links_.size();
+}
+
+bool Publisher::WaitForSubscribers(std::size_t count,
+                                   std::chrono::milliseconds timeout) const {
+  std::unique_lock lock(links_mu_);
+  return links_cv_.wait_for(lock, timeout,
+                            [&] { return links_.size() >= count; });
+}
+
+std::uint64_t Publisher::DroppedCount() const {
+  std::lock_guard lock(links_mu_);
+  std::uint64_t total = 0;
+  for (const auto& link : links_) {
+    total += link->dropped.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Publisher::AddLink(const crypto::ComponentId& subscriber,
+                        transport::ChannelPtr channel) {
+  auto link = std::make_unique<Link>();
+  link->subscriber = subscriber;
+  link->channel = std::move(channel);
+  link->proto = node_->protocol().MakePublisherLink(topic_, subscriber);
+  link->ack_window = node_->Options().ack_window;
+  link->max_queue = node_->Options().max_queue;
+  link->cpu_acc = &node_->cpu_ns_;
+  Link* raw = link.get();
+  link->thread = std::thread([raw] { raw->Run(); });
+  {
+    std::lock_guard lock(links_mu_);
+    links_.push_back(std::move(link));
+  }
+  links_cv_.notify_all();
+}
+
+void Publisher::Shutdown() {
+  std::vector<std::unique_ptr<Link>> links;
+  {
+    std::lock_guard lock(links_mu_);
+    links.swap(links_);
+  }
+  for (auto& link : links) link->Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Subscription: one connection (thread) per publisher link.
+
+struct Node::Subscription {
+  std::string topic;
+  Node::Callback callback;
+  std::unique_ptr<SubscriberLinkProtocol> proto;
+  transport::ChannelPtr channel;
+  std::atomic<Timestamp>* cpu_acc = nullptr;
+  std::thread thread;
+
+  void Run() {
+    ThreadCpuTracker cpu(cpu_acc);
+    while (auto bytes = channel->Receive()) {
+      auto result = proto->OnMessage(*bytes);
+      // The ACK is returned before delivery to the application layer
+      // (step 4 of the prototype: signing happens mid-deserialization).
+      if (result.reply && !channel->Send(*result.reply)) return;
+      if (result.deliver) callback(*result.deliver);
+      cpu.Tick();
+    }
+  }
+
+  void Shutdown() {
+    channel->Close();
+    if (thread.joinable()) thread.join();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// TCP endpoint: listener + accept thread, created on first TCP Advertise.
+
+struct Node::TcpEndpoint {
+  transport::TcpListener listener;
+  Node* node;
+  std::thread accept_thread;
+
+  explicit TcpEndpoint(Node* owner) : listener(0), node(owner) {
+    accept_thread = std::thread([this] { Run(); });
+  }
+
+  void Run() {
+    while (auto channel = listener.Accept()) {
+      auto handshake = channel->Receive();
+      if (!handshake) continue;
+      std::string topic;
+      crypto::ComponentId subscriber;
+      try {
+        ParseHandshake(*handshake, topic, subscriber);
+      } catch (const wire::WireError&) {
+        channel->Close();
+        continue;
+      }
+      node->AttachSubscriberLink(topic, subscriber, std::move(channel));
+    }
+  }
+
+  void Shutdown() {
+    listener.Close();
+    if (accept_thread.joinable()) accept_thread.join();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Node.
+
+Node::Node(crypto::ComponentId name, MasterApi& master, NodeOptions options)
+    : name_(std::move(name)), master_(master), options_(std::move(options)) {
+  if (!options_.protocol) {
+    throw std::invalid_argument("Node: a ProtocolFactory is required");
+  }
+  if (options_.ack_window == 0) {
+    throw std::invalid_argument("Node: ack_window must be >= 1");
+  }
+}
+
+Node::~Node() { Shutdown(); }
+
+Publisher& Node::Advertise(const std::string& topic) {
+  Publisher* pub;
+  {
+    std::lock_guard lock(mu_);
+    if (shut_down_) throw std::logic_error("Node: already shut down");
+    publishers_.push_back(
+        std::unique_ptr<Publisher>(new Publisher(this, topic)));
+    pub = publishers_.back().get();
+    if (options_.transport == TransportKind::kTcp && !tcp_) {
+      tcp_ = std::make_unique<TcpEndpoint>(this);
+    }
+  }
+
+  AdvertiseInfo info;
+  if (options_.transport == TransportKind::kInProc) {
+    info.connect = [this, topic](const crypto::ComponentId& subscriber) {
+      auto pair = transport::MakeInProcChannelPair(options_.link_model);
+      AttachSubscriberLink(topic, subscriber, pair.a);
+      return pair.b;
+    };
+  } else {
+    // TCP mode: announce the listener port so even a master in another
+    // process (remote_master.h) can route subscribers here. The local
+    // master synthesizes the connector from the port.
+    info.tcp_port = tcp_->listener.Port();
+  }
+  master_.Advertise(topic, name_, std::move(info));
+  return *pub;
+}
+
+void Node::AttachSubscriberLink(const std::string& topic,
+                                const crypto::ComponentId& subscriber,
+                                transport::ChannelPtr channel) {
+  Publisher* pub = nullptr;
+  {
+    std::lock_guard lock(mu_);
+    if (shut_down_) return;
+    for (auto& p : publishers_) {
+      if (p->Topic() == topic) {
+        pub = p.get();
+        break;
+      }
+    }
+  }
+  if (pub == nullptr) {
+    channel->Close();
+    return;
+  }
+  pub->AddLink(subscriber, std::move(channel));
+}
+
+void Node::Subscribe(const std::string& topic, Callback callback) {
+  {
+    std::lock_guard lock(mu_);
+    if (shut_down_) throw std::logic_error("Node: already shut down");
+  }
+  master_.Subscribe(
+      topic, name_,
+      [this, topic, callback = std::move(callback)](
+          const crypto::ComponentId& publisher,
+          transport::ChannelPtr channel) {
+        auto sub = std::make_unique<Subscription>();
+        sub->topic = topic;
+        sub->callback = callback;
+        sub->proto = options_.protocol->MakeSubscriberLink(topic, publisher);
+        sub->channel = std::move(channel);
+        sub->cpu_acc = &cpu_ns_;
+        Subscription* raw = sub.get();
+        {
+          std::lock_guard lock(mu_);
+          if (shut_down_) {
+            sub->channel->Close();
+            return;
+          }
+          subscriptions_.push_back(std::move(sub));
+        }
+        raw->thread = std::thread([raw] { raw->Run(); });
+      });
+}
+
+void Node::Shutdown() {
+  std::vector<std::unique_ptr<Publisher>> pubs;
+  std::vector<std::unique_ptr<Subscription>> subs;
+  std::unique_ptr<TcpEndpoint> tcp;
+  {
+    std::lock_guard lock(mu_);
+    if (shut_down_) return;
+    shut_down_ = true;
+    pubs.swap(publishers_);
+    subs.swap(subscriptions_);
+    tcp.swap(tcp_);
+  }
+  if (tcp) tcp->Shutdown();
+  for (auto& p : pubs) p->Shutdown();
+  for (auto& s : subs) s->Shutdown();
+}
+
+}  // namespace adlp::pubsub

@@ -1,0 +1,160 @@
+// Node: a software component `c_i`. Owns its publishers, subscriptions, and
+// the per-connection link threads (one connection thread per subscriber, as
+// in ROS: "ROS runs a connection thread per subscriber, not per topic").
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "crypto/keystore.h"
+#include "pubsub/master.h"
+#include "pubsub/message.h"
+#include "pubsub/protocol.h"
+#include "transport/channel.h"
+#include "transport/inproc.h"
+#include "transport/tcp.h"
+
+namespace adlp::pubsub {
+
+enum class TransportKind {
+  kInProc,  // deterministic in-process channels (default for experiments)
+  kTcp,     // real loopback TCP sockets
+};
+
+struct NodeOptions {
+  /// Logging/transport protocol (NoLogging / BaseLogging / Adlp factories
+  /// from src/adlp). Required.
+  std::shared_ptr<ProtocolFactory> protocol;
+
+  /// Time source for message stamps.
+  const Clock* clock = &WallClock::Instance();
+
+  TransportKind transport = TransportKind::kInProc;
+  transport::LinkModel link_model;  // in-proc only
+
+  /// Max unacknowledged messages per link before the sender blocks
+  /// (protocols with ACKs only). 1 = the paper's scheme: a new message is
+  /// not sent to a subscriber whose previous ACK is outstanding.
+  std::size_t ack_window = 1;
+
+  /// Per-link send-queue capacity. Publications beyond it are dropped for
+  /// that link (models a sensor outpacing a slow subscriber without
+  /// unbounded backlog). Default: unbounded.
+  std::size_t max_queue = std::numeric_limits<std::size_t>::max();
+};
+
+class Node;
+
+/// Handle for publishing on one topic. Obtained from Node::Advertise;
+/// thread-safe (components may publish from several callback threads).
+class Publisher {
+ public:
+  /// Publishes `payload`: stamps a header, encodes once via the protocol
+  /// factory, then hands the encoded publication to every subscriber link.
+  /// Returns the assigned sequence number.
+  std::uint64_t Publish(Bytes payload);
+
+  const std::string& Topic() const { return topic_; }
+  std::uint64_t LastSeq() const {
+    return seq_.load(std::memory_order_relaxed);
+  }
+  std::size_t SubscriberCount() const;
+
+  /// Blocks until at least `count` subscriber links are attached (TCP
+  /// connections attach asynchronously) or `timeout` elapses. Returns true
+  /// when the count was reached.
+  bool WaitForSubscribers(std::size_t count,
+                          std::chrono::milliseconds timeout =
+                              std::chrono::milliseconds(5000)) const;
+
+  /// Total messages dropped due to full per-link queues.
+  std::uint64_t DroppedCount() const;
+
+ private:
+  friend class Node;
+  struct Link;
+
+  Publisher(Node* node, std::string topic);
+
+  void AddLink(const crypto::ComponentId& subscriber,
+               transport::ChannelPtr channel);
+  void Shutdown();
+
+  Node* node_;
+  std::string topic_;
+  std::mutex publish_mu_;
+  std::atomic<std::uint64_t> seq_{0};
+
+  mutable std::mutex links_mu_;
+  mutable std::condition_variable links_cv_;
+  std::vector<std::unique_ptr<Link>> links_;
+};
+
+class Node {
+ public:
+  /// Creates the node and (in TCP mode) its listener. The node registers
+  /// nothing with the master until Advertise/Subscribe are called.
+  Node(crypto::ComponentId name, MasterApi& master, NodeOptions options);
+  ~Node();
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Advertises `topic`; throws std::logic_error if another publisher holds
+  /// it. The returned handle stays valid until Shutdown.
+  Publisher& Advertise(const std::string& topic);
+
+  using Callback = std::function<void(const Message&)>;
+
+  /// Subscribes to `topic`; `callback` runs on the connection's receive
+  /// thread once a publisher is available.
+  void Subscribe(const std::string& topic, Callback callback);
+
+  /// Closes all links and joins all threads. Idempotent.
+  void Shutdown();
+
+  const crypto::ComponentId& Name() const { return name_; }
+  const NodeOptions& Options() const { return options_; }
+  const Clock& clock() const { return *options_.clock; }
+  ProtocolFactory& protocol() const { return *options_.protocol; }
+
+  /// CPU time consumed by this node's middleware work: per-publication
+  /// encoding (hash/sign), connection threads, and message handling. Used
+  /// by the publisher-CPU-utilization experiments (Fig. 14).
+  std::int64_t CpuTimeNs() const {
+    return cpu_ns_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Publisher;
+  struct Subscription;
+  struct TcpEndpoint;
+
+  /// Publisher-side connection setup shared by both transports.
+  void AttachSubscriberLink(const std::string& topic,
+                            const crypto::ComponentId& subscriber,
+                            transport::ChannelPtr channel);
+
+  crypto::ComponentId name_;
+  MasterApi& master_;
+  NodeOptions options_;
+
+  std::mutex mu_;
+  bool shut_down_ = false;
+  std::vector<std::unique_ptr<Publisher>> publishers_;
+  std::vector<std::unique_ptr<Subscription>> subscriptions_;
+  std::unique_ptr<TcpEndpoint> tcp_;  // lazily created in TCP mode
+  mutable std::atomic<Timestamp> cpu_ns_{0};
+};
+
+}  // namespace adlp::pubsub

@@ -1,0 +1,81 @@
+// Link-protocol hook points.
+//
+// The middleware is protocol-agnostic: a `ProtocolFactory` (supplied per
+// node) decides what actually goes on the wire, whether subscribers return
+// acknowledgement messages, and what gets logged. Three implementations
+// exist in src/adlp: NoLogging, BaseLogging (Definition 2 of the paper), and
+// Adlp (the paper's contribution). This mirrors the prototype, where ADLP is
+// spliced into the ROS transport layer transparently to the application.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+#include "crypto/keystore.h"
+#include "pubsub/message.h"
+
+namespace adlp::pubsub {
+
+/// One publication, encoded once and shared by every subscriber link — the
+/// hash and signature are computed once per publication regardless of the
+/// number of subscribers (step 2 of the prototype; the reason ADLP's CPU
+/// overhead stays roughly flat in Fig. 14).
+struct EncodedPublication {
+  Message message;
+  Bytes wire;       // bytes the link sends (M_x)
+  Bytes signature;  // s_x (empty for non-ADLP protocols)
+};
+
+using EncodedPublicationPtr = std::shared_ptr<const EncodedPublication>;
+
+/// Publisher-side, one instance per (topic, subscriber) connection.
+class PublisherLinkProtocol {
+ public:
+  virtual ~PublisherLinkProtocol() = default;
+
+  /// Whether the subscriber must return an acknowledgement after every
+  /// message. When true the link gates publication `seq+1` on the ACK for
+  /// `seq` (the paper's penalty against non-cooperative subscribers).
+  virtual bool ExpectsAck() const = 0;
+
+  /// Called after `pub` was written to this link's channel.
+  virtual void OnSent(const EncodedPublication& pub) = 0;
+
+  /// Called with the subscriber's return message M_y for `pub`.
+  virtual void OnAck(const EncodedPublication& pub, BytesView ack_payload) = 0;
+};
+
+/// Subscriber-side, one instance per (topic, publisher) connection.
+class SubscriberLinkProtocol {
+ public:
+  virtual ~SubscriberLinkProtocol() = default;
+
+  struct DecodeResult {
+    /// Message to deliver to the application callback (nullopt to drop).
+    std::optional<Message> deliver;
+    /// ACK payload to send back on the channel before delivery (M_y).
+    std::optional<Bytes> reply;
+  };
+
+  /// Processes one inbound wire message.
+  virtual DecodeResult OnMessage(BytesView wire_bytes) = 0;
+};
+
+/// Per-node protocol factory: the node calls `Encode` once per publication
+/// and `Make*Link` once per connection.
+class ProtocolFactory {
+ public:
+  virtual ~ProtocolFactory() = default;
+
+  virtual EncodedPublicationPtr Encode(Message message) = 0;
+
+  virtual std::unique_ptr<PublisherLinkProtocol> MakePublisherLink(
+      const std::string& topic, const crypto::ComponentId& subscriber) = 0;
+
+  virtual std::unique_ptr<SubscriberLinkProtocol> MakeSubscriberLink(
+      const std::string& topic, const crypto::ComponentId& publisher) = 0;
+};
+
+}  // namespace adlp::pubsub

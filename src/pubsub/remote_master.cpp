@@ -1,0 +1,409 @@
+#include "pubsub/remote_master.h"
+
+#include <stdexcept>
+
+#include "pubsub/handshake.h"
+#include "wire/wire.h"
+
+namespace adlp::pubsub {
+
+namespace {
+
+enum : std::uint64_t {
+  kReqAdvertise = 1,
+  kReqSubscribe = 2,
+  kReqTopology = 3,
+  kRspAck = 10,
+  kRspError = 11,
+  kRspConnectInfo = 12,
+  kRspTopology = 13,
+};
+
+enum : std::uint32_t {
+  kFieldType = 1,
+  kFieldTopic = 2,
+  kFieldComponent = 3,
+  kFieldPort = 4,
+  kFieldText = 5,
+  kFieldTopicRecord = 6,  // repeated nested, topology replies
+};
+
+enum : std::uint32_t {
+  kTopicName = 1,
+  kTopicPublisher = 2,
+  kTopicSubscriber = 3,
+};
+
+struct Frame {
+  std::uint64_t type = 0;
+  std::string topic;
+  crypto::ComponentId component;
+  std::uint16_t port = 0;
+  std::string text;
+  std::map<std::string, TopicInfo> topology;
+};
+
+Bytes EncodeFrame(const Frame& f) {
+  wire::Writer w;
+  w.PutU64(kFieldType, f.type);
+  if (!f.topic.empty()) w.PutString(kFieldTopic, f.topic);
+  if (!f.component.empty()) w.PutString(kFieldComponent, f.component);
+  if (f.port != 0) w.PutU64(kFieldPort, f.port);
+  if (!f.text.empty()) w.PutString(kFieldText, f.text);
+  for (const auto& [name, info] : f.topology) {
+    wire::Writer t;
+    t.PutString(kTopicName, name);
+    t.PutString(kTopicPublisher, info.publisher);
+    for (const auto& sub : info.subscribers) t.PutString(kTopicSubscriber, sub);
+    w.PutMessage(kFieldTopicRecord, t);
+  }
+  return std::move(w).Take();
+}
+
+Frame DecodeFrame(BytesView data) {
+  Frame f;
+  wire::Reader r(data);
+  std::uint32_t field;
+  wire::WireType type;
+  while (r.NextField(field, type)) {
+    switch (field) {
+      case kFieldType:
+        f.type = r.GetU64Value();
+        break;
+      case kFieldTopic:
+        f.topic = r.GetStringValue();
+        break;
+      case kFieldComponent:
+        f.component = r.GetStringValue();
+        break;
+      case kFieldPort:
+        f.port = static_cast<std::uint16_t>(r.GetU64Value());
+        break;
+      case kFieldText:
+        f.text = r.GetStringValue();
+        break;
+      case kFieldTopicRecord: {
+        wire::Reader t = r.GetMessageValue();
+        std::string name;
+        TopicInfo info;
+        std::uint32_t tf;
+        wire::WireType tt;
+        while (t.NextField(tf, tt)) {
+          switch (tf) {
+            case kTopicName:
+              name = t.GetStringValue();
+              break;
+            case kTopicPublisher:
+              info.publisher = t.GetStringValue();
+              break;
+            case kTopicSubscriber:
+              info.subscribers.push_back(t.GetStringValue());
+              break;
+            default:
+              t.SkipValue(tt);
+              break;
+          }
+        }
+        f.topology[name] = std::move(info);
+        break;
+      }
+      default:
+        r.SkipValue(type);
+        break;
+    }
+  }
+  return f;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// MasterService
+
+MasterService::MasterService(std::uint16_t port) : listener_(port) {
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+}
+
+MasterService::~MasterService() { Shutdown(); }
+
+void MasterService::AcceptLoop() {
+  while (auto channel = listener_.Accept()) {
+    std::lock_guard lock(mu_);
+    if (shutting_down_.load()) {
+      channel->Close();
+      return;
+    }
+    connections_.push_back(channel);
+    serve_threads_.emplace_back(
+        [this, channel] { Serve(channel); });
+  }
+}
+
+void MasterService::Serve(transport::ChannelPtr channel) {
+  while (auto frame = channel->Receive()) {
+    Bytes response;
+    try {
+      response = HandleRequest(*frame, channel);
+    } catch (const wire::WireError&) {
+      Frame err;
+      err.type = kRspError;
+      err.text = "malformed request";
+      response = EncodeFrame(err);
+    }
+    if (!response.empty() && !channel->Send(response)) return;
+  }
+}
+
+Bytes MasterService::HandleRequest(BytesView frame_bytes,
+                                   const transport::ChannelPtr& channel) {
+  const Frame request = DecodeFrame(frame_bytes);
+
+  switch (request.type) {
+    case kReqAdvertise: {
+      std::vector<std::pair<transport::ChannelPtr, crypto::ComponentId>>
+          waiting;
+      Frame response;
+      {
+        std::lock_guard lock(mu_);
+        TopicState& state = topics_[request.topic];
+        if (state.advertised) {
+          response.type = kRspError;
+          response.text = "topic '" + request.topic +
+                          "' already has a publisher (" + state.publisher +
+                          ")";
+          return EncodeFrame(response);
+        }
+        state.advertised = true;
+        state.publisher = request.component;
+        state.port = request.port;
+        waiting = std::move(state.waiting);
+        state.waiting.clear();
+        for (const auto& [conn, sub] : waiting) {
+          state.subscribers.push_back(sub);
+        }
+      }
+      // Release the parked subscribers (on their own connections).
+      Frame info;
+      info.type = kRspConnectInfo;
+      info.topic = request.topic;
+      info.component = request.component;
+      info.port = request.port;
+      const Bytes info_bytes = EncodeFrame(info);
+      for (const auto& [conn, sub] : waiting) {
+        (void)conn->Send(info_bytes);
+      }
+      response.type = kRspAck;
+      return EncodeFrame(response);
+    }
+
+    case kReqSubscribe: {
+      Frame response;
+      bool ready = false;
+      Frame info;
+      {
+        std::lock_guard lock(mu_);
+        TopicState& state = topics_[request.topic];
+        if (state.advertised) {
+          state.subscribers.push_back(request.component);
+          info.type = kRspConnectInfo;
+          info.topic = request.topic;
+          info.component = state.publisher;
+          info.port = state.port;
+          ready = true;
+        } else {
+          state.waiting.push_back({channel, request.component});
+        }
+      }
+      if (ready) (void)channel->Send(EncodeFrame(info));
+      response.type = kRspAck;
+      return EncodeFrame(response);
+    }
+
+    case kReqTopology: {
+      Frame response;
+      response.type = kRspTopology;
+      response.topology = Topology();
+      return EncodeFrame(response);
+    }
+
+    default: {
+      Frame response;
+      response.type = kRspError;
+      response.text = "unknown request type";
+      return EncodeFrame(response);
+    }
+  }
+}
+
+std::map<std::string, TopicInfo> MasterService::Topology() const {
+  std::lock_guard lock(mu_);
+  std::map<std::string, TopicInfo> out;
+  for (const auto& [topic, state] : topics_) {
+    if (!state.advertised) continue;
+    out[topic] = TopicInfo{state.publisher, state.subscribers};
+  }
+  return out;
+}
+
+void MasterService::Shutdown() {
+  if (shutting_down_.exchange(true)) return;
+  listener_.Close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<transport::ChannelPtr> connections;
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard lock(mu_);
+    connections.swap(connections_);
+    threads.swap(serve_threads_);
+  }
+  for (auto& c : connections) c->Close();
+  for (auto& t : threads) {
+    if (t.joinable()) t.join();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RemoteMaster
+
+RemoteMaster::RemoteMaster(std::uint16_t port)
+    : channel_(transport::TcpConnect(port)) {
+  reader_ = std::thread([this] { ReaderLoop(); });
+}
+
+RemoteMaster::~RemoteMaster() { Close(); }
+
+void RemoteMaster::Close() {
+  {
+    std::lock_guard lock(mu_);
+    if (closed_) return;
+    closed_ = true;
+  }
+  channel_->Close();
+  rpc_cv_.notify_all();
+  if (reader_.joinable()) reader_.join();
+}
+
+void RemoteMaster::ReaderLoop() {
+  while (auto frame_bytes = channel_->Receive()) {
+    Frame frame;
+    try {
+      frame = DecodeFrame(*frame_bytes);
+    } catch (const wire::WireError&) {
+      continue;
+    }
+
+    if (frame.type == kRspConnectInfo) {
+      // Resolve every pending subscription for this topic.
+      std::vector<std::pair<crypto::ComponentId, SubscriberConnectCb>>
+          matched;
+      {
+        std::lock_guard lock(mu_);
+        auto [begin, end] = pending_subs_.equal_range(frame.topic);
+        for (auto it = begin; it != end; ++it) matched.push_back(it->second);
+        pending_subs_.erase(begin, end);
+      }
+      for (auto& [subscriber, cb] : matched) {
+        try {
+          auto data_channel = transport::TcpConnect(frame.port);
+          data_channel->Send(SerializeHandshake(frame.topic, subscriber));
+          cb(frame.component, std::move(data_channel));
+        } catch (const std::system_error&) {
+          // Publisher vanished between advertise and dial; drop quietly —
+          // the data plane treats it like a lost connection.
+        }
+      }
+      continue;
+    }
+
+    // RPC response (ack / error / topology).
+    {
+      std::lock_guard lock(mu_);
+      rpc_response_ = *frame_bytes;
+      rpc_done_ = true;
+    }
+    rpc_cv_.notify_all();
+  }
+  // Connection gone: unblock any waiting RPC.
+  {
+    std::lock_guard lock(mu_);
+    rpc_done_ = true;
+    rpc_response_.clear();
+  }
+  rpc_cv_.notify_all();
+}
+
+Bytes RemoteMaster::Rpc(BytesView request) const {
+  std::unique_lock lock(mu_);
+  rpc_cv_.wait(lock, [&] { return !rpc_outstanding_ || closed_; });
+  if (closed_) throw std::runtime_error("RemoteMaster: connection closed");
+  rpc_outstanding_ = true;
+  rpc_done_ = false;
+  rpc_response_.clear();
+  lock.unlock();
+
+  if (!channel_->Send(request)) {
+    std::lock_guard relock(mu_);
+    rpc_outstanding_ = false;
+    throw std::runtime_error("RemoteMaster: send failed");
+  }
+
+  lock.lock();
+  rpc_cv_.wait(lock, [&] { return rpc_done_; });
+  Bytes response = std::move(rpc_response_);
+  rpc_outstanding_ = false;
+  rpc_done_ = false;
+  rpc_cv_.notify_all();
+  if (response.empty()) {
+    throw std::runtime_error("RemoteMaster: connection closed mid-RPC");
+  }
+  return response;
+}
+
+void RemoteMaster::Advertise(const std::string& topic,
+                             const crypto::ComponentId& publisher,
+                             AdvertiseInfo info) {
+  if (info.tcp_port == 0) {
+    throw std::invalid_argument(
+        "RemoteMaster::Advertise: cross-process publishers need a TCP "
+        "listener (use TransportKind::kTcp)");
+  }
+  Frame request;
+  request.type = kReqAdvertise;
+  request.topic = topic;
+  request.component = publisher;
+  request.port = info.tcp_port;
+  const Frame response = DecodeFrame(Rpc(EncodeFrame(request)));
+  if (response.type == kRspError) throw std::logic_error(response.text);
+}
+
+void RemoteMaster::Subscribe(const std::string& topic,
+                             const crypto::ComponentId& subscriber,
+                             SubscriberConnectCb on_connect) {
+  {
+    std::lock_guard lock(mu_);
+    pending_subs_.emplace(topic, std::make_pair(subscriber, on_connect));
+  }
+  Frame request;
+  request.type = kReqSubscribe;
+  request.topic = topic;
+  request.component = subscriber;
+  const Frame response = DecodeFrame(Rpc(EncodeFrame(request)));
+  if (response.type == kRspError) throw std::logic_error(response.text);
+}
+
+std::optional<crypto::ComponentId> RemoteMaster::PublisherOf(
+    const std::string& topic) const {
+  const auto topo = Topology();
+  const auto it = topo.find(topic);
+  if (it == topo.end()) return std::nullopt;
+  return it->second.publisher;
+}
+
+std::map<std::string, TopicInfo> RemoteMaster::Topology() const {
+  Frame request;
+  request.type = kReqTopology;
+  const Frame response = DecodeFrame(Rpc(EncodeFrame(request)));
+  return response.topology;
+}
+
+}  // namespace adlp::pubsub

@@ -1,0 +1,128 @@
+// Cross-process name service: a TCP master (the roscore analogue) plus a
+// client-side MasterApi implementation, so components can run as separate
+// OS processes — the deployment model of the paper's prototype, where every
+// ROS node is its own Linux process.
+//
+// Wire protocol (framed records on one TCP connection per node):
+//   requests:  advertise(topic, publisher, tcp_port)
+//              subscribe(topic, subscriber)
+//              topology()
+//   responses: ack / error(text)            — one per request, in order
+//              connect_info(topic, publisher, port)
+//                                           — pushed whenever a pending or
+//                                             new subscription can connect
+//              topology_reply(entries)
+//
+// The master never touches message data: it hands the subscriber the
+// publisher's (id, port); the subscriber dials the publisher directly and
+// the point-to-point, unobservable data plane of the paper is preserved.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pubsub/master.h"
+#include "transport/tcp.h"
+
+namespace adlp::pubsub {
+
+/// The service side: owns the topic registry for a fleet of node processes.
+class MasterService {
+ public:
+  /// Binds 127.0.0.1:`port` (0 = ephemeral).
+  explicit MasterService(std::uint16_t port = 0);
+  ~MasterService();
+
+  MasterService(const MasterService&) = delete;
+  MasterService& operator=(const MasterService&) = delete;
+
+  std::uint16_t Port() const { return listener_.Port(); }
+
+  /// The registry as seen so far (the audit manifest for the fleet).
+  std::map<std::string, TopicInfo> Topology() const;
+
+  void Shutdown();
+
+ private:
+  struct TopicState {
+    crypto::ComponentId publisher;
+    std::uint16_t port = 0;
+    bool advertised = false;
+    std::vector<crypto::ComponentId> subscribers;
+    // Connections waiting for this topic's publisher, with the subscriber id
+    // that asked.
+    std::vector<std::pair<transport::ChannelPtr, crypto::ComponentId>> waiting;
+  };
+
+  void AcceptLoop();
+  void Serve(transport::ChannelPtr channel);
+  Bytes HandleRequest(BytesView frame, const transport::ChannelPtr& channel);
+
+  transport::TcpListener listener_;
+  std::atomic<bool> shutting_down_{false};
+  std::thread accept_thread_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, TopicState> topics_;
+  std::vector<std::thread> serve_threads_;
+  std::vector<transport::ChannelPtr> connections_;
+};
+
+/// The client side: a MasterApi backed by a MasterService in (possibly)
+/// another process. One instance per node process.
+class RemoteMaster final : public MasterApi {
+ public:
+  /// Connects to the service at 127.0.0.1:`port`. Throws std::system_error
+  /// if unreachable.
+  explicit RemoteMaster(std::uint16_t port);
+  ~RemoteMaster() override;
+
+  /// Cross-process publishers must be reachable over TCP: `info.tcp_port`
+  /// is required (i.e. the node must use TransportKind::kTcp). Throws
+  /// std::logic_error on duplicate advertisement (the paper's unique-
+  /// publisher rule, enforced by the service).
+  void Advertise(const std::string& topic, const crypto::ComponentId& publisher,
+                 AdvertiseInfo info) override;
+
+  void Subscribe(const std::string& topic,
+                 const crypto::ComponentId& subscriber,
+                 SubscriberConnectCb on_connect) override;
+
+  std::optional<crypto::ComponentId> PublisherOf(
+      const std::string& topic) const override;
+
+  std::map<std::string, TopicInfo> Topology() const override;
+
+  void Close();
+
+ private:
+  struct PendingRpc;
+
+  /// Sends a request and blocks for its ack/error/topology response.
+  Bytes Rpc(BytesView request) const;
+  void ReaderLoop();
+
+  transport::ChannelPtr channel_;
+  std::thread reader_;
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable rpc_cv_;
+  mutable bool rpc_outstanding_ = false;
+  mutable bool rpc_done_ = false;
+  mutable Bytes rpc_response_;
+  bool closed_ = false;
+
+  // Subscriptions waiting for (or already matched to) connect_info pushes,
+  // keyed by topic.
+  std::multimap<std::string,
+                std::pair<crypto::ComponentId, SubscriberConnectCb>>
+      pending_subs_;
+};
+
+}  // namespace adlp::pubsub

@@ -1,0 +1,217 @@
+#include "sim/app.h"
+
+#include <chrono>
+#include <numbers>
+
+#include "sim/perception.h"
+
+namespace adlp::sim {
+
+namespace {
+
+const std::vector<crypto::ComponentId> kComponents = {
+    "image_feeder",      "lidar_driver",   "lane_detector",
+    "sign_recognizer",   "obstacle_detector", "planner",
+    "steering_controller", "actuator"};
+
+const std::vector<std::string> kTopics = {"image", "scan",  "lane",    "sign",
+                                          "obstacle", "plan", "steering"};
+
+}  // namespace
+
+const std::vector<crypto::ComponentId>& SelfDrivingApp::ComponentNames() {
+  return kComponents;
+}
+
+const std::vector<std::string>& SelfDrivingApp::TopicNames() { return kTopics; }
+
+SelfDrivingApp::SelfDrivingApp(pubsub::MasterApi& master, proto::LogSink& sink,
+                               AppOptions options)
+    : options_(std::move(options)) {
+  // World setup: circular track, the car starts on the centerline moving
+  // tangentially; a stop sign halfway around; optionally an obstacle.
+  world_.track = Track(3.0);
+  world_.has_stop_sign = options_.with_stop_sign;
+  world_.stop_sign_progress =
+      std::numbers::pi * world_.track.radius();  // half lap
+  world_.stop_sign_range = 1.2;
+  if (options_.with_obstacle) {
+    world_.obstacles.push_back(
+        Obstacle{0.0, -world_.track.radius(), 0.15});  // 3/4 lap point
+  }
+  VehicleState start;
+  start.x = world_.track.radius();
+  start.y = 0.0;
+  start.heading = std::numbers::pi / 2;  // tangent, CCW
+  start.speed = 0.0;
+  vehicle_.set_state(start);
+
+  // Create the components.
+  Rng rng(options_.rng_seed);
+  for (const auto& name : kComponents) {
+    proto::ComponentOptions opts = options_.component;
+    const auto fault_it = options_.fault_wrappers.find(name);
+    if (fault_it != options_.fault_wrappers.end()) {
+      opts.pipe_wrapper = fault_it->second;
+    }
+    components_[name] =
+        std::make_unique<proto::Component>(name, master, sink, rng, opts);
+  }
+
+  auto& feeder = *components_["image_feeder"];
+  auto& lidar = *components_["lidar_driver"];
+  auto& lane_det = *components_["lane_detector"];
+  auto& sign_rec = *components_["sign_recognizer"];
+  auto& obs_det = *components_["obstacle_detector"];
+  auto& planner = *components_["planner"];
+  auto& steer = *components_["steering_controller"];
+  auto& actuator = *components_["actuator"];
+
+  image_pub_ = &feeder.Advertise("image");
+  scan_pub_ = &lidar.Advertise("scan");
+  lane_pub_ = &lane_det.Advertise("lane");
+  sign_pub_ = &sign_rec.Advertise("sign");
+  obstacle_pub_ = &obs_det.Advertise("obstacle");
+  plan_pub_ = &planner.Advertise("plan");
+  steering_pub_ = &steer.Advertise("steering");
+
+  lane_det.Subscribe("image", [this](const pubsub::Message& m) {
+    const LaneEstimate lane = DetectLane(m.payload);
+    lane_pub_->Publish(EncodeLane(lane));
+    lane_msgs_.fetch_add(1, std::memory_order_relaxed);
+  });
+
+  sign_rec.Subscribe("image", [this](const pubsub::Message& m) {
+    const SignDetection sign = RecognizeSign(m.payload);
+    sign_pub_->Publish(EncodeSign(sign));
+    sign_msgs_.fetch_add(1, std::memory_order_relaxed);
+  });
+
+  obs_det.Subscribe("scan", [this](const pubsub::Message& m) {
+    const ObstacleReport report = DetectObstacle(m.payload, lidar_.max_range());
+    obstacle_pub_->Publish(EncodeObstacle(report));
+    obstacle_msgs_.fetch_add(1, std::memory_order_relaxed);
+  });
+
+  // Planner: caches the latest of each input, publishes on every new lane
+  // estimate (the 20 Hz driver of the pipeline).
+  planner.Subscribe("sign", [this](const pubsub::Message& m) {
+    if (auto v = DecodeSign(m.payload)) {
+      std::lock_guard lock(plan_mu_);
+      latest_sign_ = *v;
+    }
+  });
+  planner.Subscribe("obstacle", [this](const pubsub::Message& m) {
+    if (auto v = DecodeObstacle(m.payload)) {
+      std::lock_guard lock(plan_mu_);
+      latest_obstacle_ = *v;
+    }
+  });
+  planner.Subscribe("lane", [this](const pubsub::Message& m) {
+    PlanCommand cmd;
+    {
+      std::lock_guard lock(plan_mu_);
+      if (auto v = DecodeLane(m.payload)) latest_lane_ = *v;
+      cmd = Plan(latest_lane_, latest_sign_, latest_obstacle_,
+                 options_.cruise_speed);
+    }
+    plan_pub_->Publish(EncodePlan(cmd));
+    plan_msgs_.fetch_add(1, std::memory_order_relaxed);
+  });
+
+  steer.Subscribe("plan", [this](const pubsub::Message& m) {
+    if (auto v = DecodePlan(m.payload)) {
+      steering_pub_->Publish(EncodeSteering(Control(*v)));
+      steering_msgs_.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  actuator.Subscribe("steering", [this](const pubsub::Message& m) {
+    if (auto v = DecodeSteering(m.payload)) {
+      cmd_angle_.store(v->angle, std::memory_order_relaxed);
+      cmd_speed_.store(v->speed, std::memory_order_relaxed);
+      if ((v->flags & 1) != 0) {
+        stop_engaged_.store(true, std::memory_order_relaxed);
+      }
+      actuations_.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+}
+
+SelfDrivingApp::~SelfDrivingApp() { Shutdown(); }
+
+void SelfDrivingApp::Run(double sim_seconds) { DriverLoop(sim_seconds); }
+
+void SelfDrivingApp::DriverLoop(double sim_seconds) {
+  const double dt = 1.0 / options_.image_rate_hz;
+  const auto tick_interval =
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(dt));
+  const std::uint64_t ticks =
+      static_cast<std::uint64_t>(sim_seconds * options_.image_rate_hz);
+  const std::uint64_t scan_every = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(options_.image_rate_hz /
+                                    options_.scan_rate_hz));
+
+  auto next_tick = std::chrono::steady_clock::now();
+  for (std::uint64_t tick = 0; tick < ticks; ++tick) {
+    // Apply the latest actuation and advance the world.
+    vehicle_.Step(cmd_angle_.load(std::memory_order_relaxed),
+                  cmd_speed_.load(std::memory_order_relaxed), dt);
+
+    const std::uint32_t frame = static_cast<std::uint32_t>(tick);
+    image_pub_->Publish(camera_.Render(vehicle_.state(), world_, frame));
+    frames_.fetch_add(1, std::memory_order_relaxed);
+
+    if (tick % scan_every == 0) {
+      scan_pub_->Publish(lidar_.Scan(vehicle_.state(), world_, frame));
+      scans_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    if (options_.realtime) {
+      next_tick += tick_interval;
+      std::this_thread::sleep_until(next_tick);
+    } else {
+      // Lockstep: wait until this frame's actuation landed before stepping
+      // the world again, so fast-mode runs are deterministic regardless of
+      // scheduler load (every image produces exactly one actuation through
+      // image -> lane -> plan -> steering).
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(5);
+      while (actuations_.load(std::memory_order_relaxed) < tick + 1 &&
+             std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    }
+  }
+}
+
+void SelfDrivingApp::Shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
+  // Shut down in dataflow order (sources first) so every publisher link can
+  // drain its pending ACKs while its subscribers are still alive — a clean
+  // shutdown leaves no half-logged transmission pairs.
+  for (const auto& name : kComponents) components_.at(name)->Shutdown();
+}
+
+proto::Component& SelfDrivingApp::component(const crypto::ComponentId& name) {
+  return *components_.at(name);
+}
+
+SelfDrivingApp::Stats SelfDrivingApp::stats() const {
+  Stats s;
+  s.frames = frames_.load(std::memory_order_relaxed);
+  s.scans = scans_.load(std::memory_order_relaxed);
+  s.lane_msgs = lane_msgs_.load(std::memory_order_relaxed);
+  s.sign_msgs = sign_msgs_.load(std::memory_order_relaxed);
+  s.obstacle_msgs = obstacle_msgs_.load(std::memory_order_relaxed);
+  s.plan_msgs = plan_msgs_.load(std::memory_order_relaxed);
+  s.steering_msgs = steering_msgs_.load(std::memory_order_relaxed);
+  s.actuations = actuations_.load(std::memory_order_relaxed);
+  s.stop_engaged = stop_engaged_.load(std::memory_order_relaxed);
+  s.final_state = vehicle_.state();
+  return s;
+}
+
+}  // namespace adlp::sim

@@ -1,0 +1,133 @@
+// The self-driving application of Fig. 11: eight components connected by
+// seven topics, closing a real control loop over the simulated world.
+//
+//   image_feeder ---- image (921,641 B @ 20 Hz) ---> lane_detector
+//                                     \------------> sign_recognizer
+//   lidar_driver ---- scan (8,705 B @ 10 Hz) ------> obstacle_detector
+//   lane_detector --- lane ------------------------> planner
+//   sign_recognizer - sign ------------------------> planner
+//   obstacle_detector obstacle --------------------> planner
+//   planner --------- plan ------------------------> steering_controller
+//   steering_controller steering (20 B) -----------> actuator
+//
+// The actuator feeds the steering command back into the vehicle model, so
+// a stop sign seen by the camera really does stop the car — the chain of
+// data the ADLP log must account for.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "adlp/component.h"
+#include "adlp/log_server.h"
+#include "pubsub/master.h"
+#include "sim/msgs.h"
+#include "sim/sensors.h"
+#include "sim/vehicle.h"
+
+namespace adlp::sim {
+
+struct AppOptions {
+  /// Template for every component (scheme, key size, transport, clock...).
+  proto::ComponentOptions component;
+
+  /// Per-component fault injection, keyed by component name; overrides the
+  /// template's pipe_wrapper for that component.
+  std::map<crypto::ComponentId,
+           std::function<std::unique_ptr<proto::LogPipe>(
+               proto::LogPipe&, const proto::NodeIdentity&)>>
+      fault_wrappers;
+
+  double image_rate_hz = 20.0;
+  double scan_rate_hz = 10.0;
+  double cruise_speed = 1.0;
+
+  /// true: pace the driver loop at the sensor rates (CPU/latency
+  /// experiments). false: step as fast as possible (deterministic logic and
+  /// audit tests).
+  bool realtime = true;
+
+  bool with_stop_sign = true;
+  bool with_obstacle = false;
+  std::uint64_t rng_seed = 99;
+};
+
+class SelfDrivingApp {
+ public:
+  SelfDrivingApp(pubsub::MasterApi& master, proto::LogSink& sink,
+                 AppOptions options);
+  ~SelfDrivingApp();
+
+  SelfDrivingApp(const SelfDrivingApp&) = delete;
+  SelfDrivingApp& operator=(const SelfDrivingApp&) = delete;
+
+  /// Runs the sensor/driver loop for `sim_seconds` of simulated time
+  /// (wall-clock seconds in realtime mode), then stops the loop. May be
+  /// called once.
+  void Run(double sim_seconds);
+
+  /// Stops everything and flushes all logging threads. Idempotent.
+  void Shutdown();
+
+  struct Stats {
+    std::uint64_t frames = 0;
+    std::uint64_t scans = 0;
+    std::uint64_t lane_msgs = 0;
+    std::uint64_t sign_msgs = 0;
+    std::uint64_t obstacle_msgs = 0;
+    std::uint64_t plan_msgs = 0;
+    std::uint64_t steering_msgs = 0;
+    std::uint64_t actuations = 0;
+    bool stop_engaged = false;  // a stop sign brought the car to rest
+    VehicleState final_state;
+  };
+  Stats stats() const;
+
+  proto::Component& component(const crypto::ComponentId& name);
+
+  static const std::vector<crypto::ComponentId>& ComponentNames();
+  static const std::vector<std::string>& TopicNames();
+
+ private:
+  void DriverLoop(double sim_seconds);
+
+  AppOptions options_;
+  World world_;
+  Vehicle vehicle_;
+  CameraModel camera_;
+  LidarModel lidar_;
+
+  std::map<crypto::ComponentId, std::unique_ptr<proto::Component>> components_;
+
+  // Latest actuation, applied by the driver loop each tick.
+  std::atomic<double> cmd_angle_{0.0};
+  std::atomic<double> cmd_speed_{0.0};
+
+  // Planner input cache.
+  std::mutex plan_mu_;
+  LaneEstimate latest_lane_;
+  SignDetection latest_sign_;
+  ObstacleReport latest_obstacle_;
+
+  // Counters.
+  std::atomic<std::uint64_t> frames_{0}, scans_{0}, lane_msgs_{0},
+      sign_msgs_{0}, obstacle_msgs_{0}, plan_msgs_{0}, steering_msgs_{0},
+      actuations_{0};
+  std::atomic<bool> stop_engaged_{false};
+
+  pubsub::Publisher* image_pub_ = nullptr;
+  pubsub::Publisher* scan_pub_ = nullptr;
+  pubsub::Publisher* lane_pub_ = nullptr;
+  pubsub::Publisher* sign_pub_ = nullptr;
+  pubsub::Publisher* obstacle_pub_ = nullptr;
+  pubsub::Publisher* plan_pub_ = nullptr;
+  pubsub::Publisher* steering_pub_ = nullptr;
+
+  bool shut_down_ = false;
+};
+
+}  // namespace adlp::sim

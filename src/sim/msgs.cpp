@@ -1,0 +1,126 @@
+#include "sim/msgs.h"
+
+#include <bit>
+#include <cstring>
+
+namespace adlp::sim {
+
+namespace {
+
+void PutF64(Bytes& out, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+}
+
+double GetF64(BytesView in, std::size_t offset) {
+  std::uint64_t bits = 0;
+  for (int i = 7; i >= 0; --i) bits = (bits << 8) | in[offset + i];
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+void PutU32(Bytes& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t GetU32(BytesView in, std::size_t offset) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | in[offset + i];
+  return v;
+}
+
+void PadTo(Bytes& out, std::size_t size) { out.resize(size, 0); }
+
+}  // namespace
+
+Bytes EncodeLane(const LaneEstimate& v) {
+  Bytes out;
+  PutF64(out, v.lateral_offset);
+  PutF64(out, v.heading_error);
+  PutU32(out, v.valid ? 1 : 0);
+  PadTo(out, kLaneSize);
+  return out;
+}
+
+std::optional<LaneEstimate> DecodeLane(BytesView payload) {
+  if (payload.size() != kLaneSize) return std::nullopt;
+  LaneEstimate v;
+  v.lateral_offset = GetF64(payload, 0);
+  v.heading_error = GetF64(payload, 8);
+  v.valid = GetU32(payload, 16) != 0;
+  return v;
+}
+
+Bytes EncodeSign(const SignDetection& v) {
+  Bytes out;
+  PutF64(out, v.confidence);
+  PutU32(out, v.stop_sign ? 1 : 0);
+  PadTo(out, kSignSize);
+  return out;
+}
+
+std::optional<SignDetection> DecodeSign(BytesView payload) {
+  if (payload.size() != kSignSize) return std::nullopt;
+  SignDetection v;
+  v.confidence = GetF64(payload, 0);
+  v.stop_sign = GetU32(payload, 8) != 0;
+  return v;
+}
+
+Bytes EncodeObstacle(const ObstacleReport& v) {
+  Bytes out;
+  PutF64(out, v.min_distance);
+  PutF64(out, v.bearing);
+  PutU32(out, v.detected ? 1 : 0);
+  PadTo(out, kObstacleSize);
+  return out;
+}
+
+std::optional<ObstacleReport> DecodeObstacle(BytesView payload) {
+  if (payload.size() != kObstacleSize) return std::nullopt;
+  ObstacleReport v;
+  v.min_distance = GetF64(payload, 0);
+  v.bearing = GetF64(payload, 8);
+  v.detected = GetU32(payload, 16) != 0;
+  return v;
+}
+
+Bytes EncodePlan(const PlanCommand& v) {
+  Bytes out;
+  PutF64(out, v.target_speed);
+  PutF64(out, v.steering);
+  PutU32(out, v.flags);
+  PadTo(out, kPlanSize);
+  return out;
+}
+
+std::optional<PlanCommand> DecodePlan(BytesView payload) {
+  if (payload.size() != kPlanSize) return std::nullopt;
+  PlanCommand v;
+  v.target_speed = GetF64(payload, 0);
+  v.steering = GetF64(payload, 8);
+  v.flags = GetU32(payload, 16);
+  return v;
+}
+
+Bytes EncodeSteering(const SteeringCommand& v) {
+  Bytes out;
+  PutF64(out, v.angle);
+  PutF64(out, v.speed);
+  PutU32(out, v.flags);
+  PadTo(out, kSteeringSize);
+  return out;
+}
+
+std::optional<SteeringCommand> DecodeSteering(BytesView payload) {
+  if (payload.size() != kSteeringSize) return std::nullopt;
+  SteeringCommand v;
+  v.angle = GetF64(payload, 0);
+  v.speed = GetF64(payload, 8);
+  v.flags = GetU32(payload, 16);
+  return v;
+}
+
+}  // namespace adlp::sim

@@ -1,0 +1,81 @@
+// Application payloads of the self-driving pipeline, with fixed sizes chosen
+// to match the paper's measured data types:
+//
+//   Image    921,641 B  (640 x 480 RGB + 41-byte header; the paper reports
+//                        921,641-byte images at 20 Hz)
+//   Scan       8,705 B  (17-byte header + 2,172 float ranges)
+//   Steering      20 B  (angle + speed + flags)
+//
+// Intermediate perception/planning messages use small fixed-size encodings.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.h"
+
+namespace adlp::sim {
+
+inline constexpr std::size_t kImageWidth = 640;
+inline constexpr std::size_t kImageHeight = 480;
+inline constexpr std::size_t kImageHeaderSize = 41;
+inline constexpr std::size_t kImageSize =
+    kImageWidth * kImageHeight * 3 + kImageHeaderSize;  // 921,641
+
+inline constexpr std::size_t kScanHeaderSize = 17;
+inline constexpr std::size_t kScanBeams = 2172;
+inline constexpr std::size_t kScanSize = kScanHeaderSize + kScanBeams * 4;  // 8,705
+
+inline constexpr std::size_t kSteeringSize = 20;
+inline constexpr std::size_t kLaneSize = 64;
+inline constexpr std::size_t kSignSize = 16;
+inline constexpr std::size_t kObstacleSize = 128;
+inline constexpr std::size_t kPlanSize = 24;
+
+struct LaneEstimate {
+  double lateral_offset = 0.0;  // meters, + = outside of lane center
+  double heading_error = 0.0;   // radians
+  bool valid = false;
+};
+
+struct SignDetection {
+  bool stop_sign = false;
+  double confidence = 0.0;
+};
+
+struct ObstacleReport {
+  double min_distance = 0.0;  // meters, to closest obstacle ahead
+  double bearing = 0.0;       // radians relative to heading
+  bool detected = false;
+};
+
+struct PlanCommand {
+  double target_speed = 0.0;  // m/s
+  double steering = 0.0;      // radians
+  std::uint32_t flags = 0;    // bit 0: emergency stop
+};
+
+struct SteeringCommand {
+  double angle = 0.0;   // radians
+  double speed = 0.0;   // m/s
+  std::uint32_t flags = 0;
+};
+
+// Fixed-size little-endian encodings (payload sizes above). Decoders return
+// nullopt on size mismatch.
+Bytes EncodeLane(const LaneEstimate& v);
+std::optional<LaneEstimate> DecodeLane(BytesView payload);
+
+Bytes EncodeSign(const SignDetection& v);
+std::optional<SignDetection> DecodeSign(BytesView payload);
+
+Bytes EncodeObstacle(const ObstacleReport& v);
+std::optional<ObstacleReport> DecodeObstacle(BytesView payload);
+
+Bytes EncodePlan(const PlanCommand& v);
+std::optional<PlanCommand> DecodePlan(BytesView payload);
+
+Bytes EncodeSteering(const SteeringCommand& v);
+std::optional<SteeringCommand> DecodeSteering(BytesView payload);
+
+}  // namespace adlp::sim

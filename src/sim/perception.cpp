@@ -1,0 +1,160 @@
+#include "sim/perception.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <numbers>
+
+#include "sim/sensors.h"
+
+namespace adlp::sim {
+
+namespace {
+
+/// Finds the lane-stripe column in `row` (center of the brightest white
+/// run), or -1 when not found.
+double FindLaneColumn(BytesView image, std::size_t row) {
+  long best_start = -1;
+  long best_len = 0;
+  long run_start = -1;
+  long run_len = 0;
+  for (std::size_t x = 0; x < kImageWidth; ++x) {
+    const std::size_t p = PixelOffset(x, row);
+    const bool white = image[p] > 200 && image[p + 1] > 200 && image[p + 2] > 200;
+    if (white) {
+      if (run_len == 0) run_start = static_cast<long>(x);
+      ++run_len;
+      if (run_len > best_len) {
+        best_len = run_len;
+        best_start = run_start;
+      }
+    } else {
+      run_len = 0;
+    }
+  }
+  if (best_len == 0) return -1;
+  return best_start + (best_len - 1) / 2.0;
+}
+
+float GetF32(BytesView in, std::size_t offset) {
+  std::uint32_t bits = 0;
+  for (int i = 3; i >= 0; --i) bits = (bits << 8) | in[offset + i];
+  float v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+LaneEstimate DetectLane(BytesView image) {
+  LaneEstimate out;
+  if (image.size() != kImageSize) return out;
+
+  // Sample a near row (bottom) and a far row (top) and invert the
+  // projection: near rows are dominated by lateral offset, far rows by
+  // heading error.
+  const std::size_t near_row = kImageHeight - 40;  // depth ~ 0.083
+  const std::size_t far_row = 40;                  // depth ~ 0.917
+
+  const double near_col = FindLaneColumn(image, near_row);
+  const double far_col = FindLaneColumn(image, far_row);
+  if (near_col < 0 || far_col < 0) return out;
+
+  const double center = kImageWidth / 2.0;
+  const double near_depth = 1.0 - static_cast<double>(near_row) / kImageHeight;
+  const double far_depth = 1.0 - static_cast<double>(far_row) / kImageHeight;
+
+  // Solve the 2x2 system:
+  //   col - center = -offset*320*(1-0.6*d) - heading*500*d      (per row)
+  const double a1 = -320.0 * (1.0 - 0.6 * near_depth);
+  const double b1 = -500.0 * near_depth;
+  const double a2 = -320.0 * (1.0 - 0.6 * far_depth);
+  const double b2 = -500.0 * far_depth;
+  const double r1 = near_col - center;
+  const double r2 = far_col - center;
+  const double det = a1 * b2 - a2 * b1;
+  if (std::abs(det) < 1e-9) return out;
+
+  out.lateral_offset = (r1 * b2 - r2 * b1) / det;
+  out.heading_error = (a1 * r2 - a2 * r1) / det;
+  out.valid = true;
+  return out;
+}
+
+SignDetection RecognizeSign(BytesView image) {
+  SignDetection out;
+  if (image.size() != kImageSize) return out;
+
+  std::size_t red_pixels = 0;
+  std::size_t total = 0;
+  for (std::size_t y = kSignBlockY; y < kSignBlockY + kSignBlockSize; y += 4) {
+    for (std::size_t x = kSignBlockX; x < kSignBlockX + kSignBlockSize;
+         x += 4) {
+      const std::size_t p = PixelOffset(x, y);
+      ++total;
+      if (image[p] > 150 && image[p + 1] < 80 && image[p + 2] < 80) {
+        ++red_pixels;
+      }
+    }
+  }
+  out.confidence = total == 0 ? 0.0 : static_cast<double>(red_pixels) / total;
+  out.stop_sign = out.confidence > 0.5;
+  return out;
+}
+
+ObstacleReport DetectObstacle(BytesView scan, double max_range) {
+  ObstacleReport out;
+  if (scan.size() != kScanSize) return out;
+
+  const double sector = std::numbers::pi / 6;  // +/-30 degrees
+  double best = max_range;
+  double best_bearing = 0.0;
+  for (std::size_t beam = 0; beam < kScanBeams; ++beam) {
+    double bearing = 2 * std::numbers::pi * beam / kScanBeams;
+    if (bearing > std::numbers::pi) bearing -= 2 * std::numbers::pi;
+    if (std::abs(bearing) > sector) continue;
+    const double range = GetF32(scan, kScanHeaderSize + beam * 4);
+    if (range < best) {
+      best = range;
+      best_bearing = bearing;
+    }
+  }
+  out.min_distance = best;
+  out.bearing = best_bearing;
+  out.detected = best < max_range - 1e-6;
+  return out;
+}
+
+PlanCommand Plan(const LaneEstimate& lane, const SignDetection& sign,
+                 const ObstacleReport& obstacle, double cruise_speed) {
+  PlanCommand cmd;
+  cmd.target_speed = cruise_speed;
+
+  if (lane.valid) {
+    // Proportional steering. Sign conventions (CCW travel): positive
+    // heading error points *inward* and shrinks a positive (outside)
+    // offset, so an outside car should steer left (+) and an inward-pointing
+    // car should countersteer (-).
+    cmd.steering = std::clamp(
+        0.8 * lane.lateral_offset - 1.2 * lane.heading_error, -0.5, 0.5);
+  }
+  if (obstacle.detected && obstacle.min_distance < 1.5) {
+    cmd.target_speed = std::min(cmd.target_speed,
+                                0.5 * std::max(0.0, obstacle.min_distance - 0.3));
+  }
+  if (sign.stop_sign) {
+    cmd.target_speed = 0.0;
+    cmd.flags |= 1;  // stop requested
+  }
+  return cmd;
+}
+
+SteeringCommand Control(const PlanCommand& plan) {
+  SteeringCommand cmd;
+  cmd.angle = std::clamp(plan.steering, -0.45, 0.45);
+  cmd.speed = std::clamp(plan.target_speed, 0.0, 3.0);
+  cmd.flags = plan.flags;
+  return cmd;
+}
+
+}  // namespace adlp::sim

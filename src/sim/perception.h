@@ -1,0 +1,29 @@
+// Perception algorithms: the data-processing bodies of the lane detector,
+// sign recognizer, and obstacle detector. They operate on the raw sensor
+// payloads by pixel/beam inspection (no ground-truth side channel).
+#pragma once
+
+#include "common/bytes.h"
+#include "sim/msgs.h"
+
+namespace adlp::sim {
+
+/// Scans sample rows for the white lane stripe and inverts the projection of
+/// LaneColumnForRow to estimate lateral offset and heading error.
+LaneEstimate DetectLane(BytesView image);
+
+/// Checks the sign region for a saturated red block.
+SignDetection RecognizeSign(BytesView image);
+
+/// Finds the closest return within the forward +/-30 degree sector.
+ObstacleReport DetectObstacle(BytesView scan, double max_range = 12.0);
+
+/// Planner: fuses perception into a command. Slows for obstacles, stops for
+/// stop signs, and steers to null the lane offset and heading error.
+PlanCommand Plan(const LaneEstimate& lane, const SignDetection& sign,
+                 const ObstacleReport& obstacle, double cruise_speed = 1.0);
+
+/// Controller: turns a plan into an actuator command (saturation limits).
+SteeringCommand Control(const PlanCommand& plan);
+
+}  // namespace adlp::sim

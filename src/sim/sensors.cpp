@@ -1,0 +1,118 @@
+#include "sim/sensors.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <numbers>
+
+namespace adlp::sim {
+
+namespace {
+
+constexpr char kImageMagic[8] = {'A', 'D', 'L', 'P', 'I', 'M', 'G', '1'};
+constexpr char kScanMagic[8] = {'A', 'D', 'L', 'P', 'S', 'C', 'N', '1'};
+
+void PutU32At(Bytes& buf, std::size_t offset, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf[offset + i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+void PutF32At(Bytes& buf, std::size_t offset, float v) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU32At(buf, offset, bits);
+}
+
+}  // namespace
+
+std::size_t PixelOffset(std::size_t x, std::size_t y) {
+  return kImageHeaderSize + (y * kImageWidth + x) * 3;
+}
+
+double LaneColumnForRow(double lateral_offset, double heading_error,
+                        std::size_t row) {
+  // Simple projective model: the lane line appears near the image center,
+  // shifted by the lateral offset (stronger at the bottom = close range)
+  // and sheared by the heading error (stronger at the top = far range).
+  const double center = kImageWidth / 2.0;
+  const double depth = 1.0 - static_cast<double>(row) / kImageHeight;  // 1=top
+  const double offset_px = -lateral_offset * 320.0 * (1.0 - 0.6 * depth);
+  const double shear_px = -heading_error * 500.0 * depth;
+  return center + offset_px + shear_px;
+}
+
+Bytes CameraModel::Render(const VehicleState& state, const World& world,
+                          std::uint32_t frame_number) {
+  if (noise_.size() != kImageSize) {
+    // Asphalt-like dim noise background, generated once.
+    noise_.resize(kImageSize);
+    rng_.Fill(noise_);
+    for (std::size_t i = kImageHeaderSize; i < noise_.size(); ++i) {
+      noise_[i] = static_cast<std::uint8_t>(40 + (noise_[i] % 32));
+    }
+  }
+  Bytes image = noise_;
+
+  // Header: magic, frame number, reserved.
+  std::memcpy(image.data(), kImageMagic, sizeof(kImageMagic));
+  PutU32At(image, 8, frame_number);
+
+  // Lane line: a 3-pixel-wide white stripe per row.
+  const double offset = world.track.LateralOffset(state);
+  const double heading_err = world.track.HeadingError(state);
+  for (std::size_t y = 0; y < kImageHeight; ++y) {
+    const double col = LaneColumnForRow(offset, heading_err, y);
+    const long c = std::lround(col);
+    for (long dx = -1; dx <= 1; ++dx) {
+      const long x = c + dx;
+      if (x < 0 || x >= static_cast<long>(kImageWidth)) continue;
+      const std::size_t p = PixelOffset(static_cast<std::size_t>(x), y);
+      image[p] = 255;
+      image[p + 1] = 255;
+      image[p + 2] = 255;
+    }
+  }
+
+  // Stop sign: saturated red block in the upper-right region when visible.
+  if (world.StopSignVisible(state)) {
+    for (std::size_t y = kSignBlockY; y < kSignBlockY + kSignBlockSize; ++y) {
+      for (std::size_t x = kSignBlockX; x < kSignBlockX + kSignBlockSize; ++x) {
+        const std::size_t p = PixelOffset(x, y);
+        image[p] = 220;
+        image[p + 1] = 20;
+        image[p + 2] = 30;
+      }
+    }
+  }
+  return image;
+}
+
+Bytes LidarModel::Scan(const VehicleState& state, const World& world,
+                       std::uint32_t scan_number) const {
+  Bytes scan(kScanSize, 0);
+  std::memcpy(scan.data(), kScanMagic, sizeof(kScanMagic));
+  PutU32At(scan, 8, scan_number);
+
+  for (std::size_t beam = 0; beam < kScanBeams; ++beam) {
+    const double angle =
+        state.heading + 2 * std::numbers::pi * beam / kScanBeams;
+    double range = max_range_;
+    for (const auto& obs : world.obstacles) {
+      // Ray-circle intersection.
+      const double dx = obs.x - state.x;
+      const double dy = obs.y - state.y;
+      const double along = dx * std::cos(angle) + dy * std::sin(angle);
+      if (along <= 0) continue;
+      const double lateral = -dx * std::sin(angle) + dy * std::cos(angle);
+      if (std::abs(lateral) > obs.radius) continue;
+      const double chord = std::sqrt(obs.radius * obs.radius -
+                                     lateral * lateral);
+      range = std::min(range, along - chord);
+    }
+    PutF32At(scan, kScanHeaderSize + beam * 4, static_cast<float>(range));
+  }
+  return scan;
+}
+
+}  // namespace adlp::sim

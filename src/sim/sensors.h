@@ -1,0 +1,65 @@
+// Synthetic sensors.
+//
+// The camera renders a 640x480 RGB frame (exactly the paper's 921,641-byte
+// Image): a white lane line whose column position per row encodes the
+// vehicle's lateral offset and heading error, an optional red stop-sign
+// block, and deterministic noise elsewhere. Perception components recover
+// the state by *image processing* (scanning pixels), not by reading a
+// ground-truth side channel, so the pipeline's data dependencies are real.
+//
+// The LIDAR produces 2,172 beam ranges over 360 degrees against the world's
+// obstacles (8,705 bytes, the paper's Scan size).
+#pragma once
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "sim/msgs.h"
+#include "sim/vehicle.h"
+
+namespace adlp::sim {
+
+class CameraModel {
+ public:
+  explicit CameraModel(std::uint64_t noise_seed = 0xcafe) : rng_(noise_seed) {}
+
+  /// Renders the frame for the given vehicle state. `frame_number` is
+  /// embedded in the header. Exactly kImageSize bytes.
+  Bytes Render(const VehicleState& state, const World& world,
+               std::uint32_t frame_number);
+
+ private:
+  Rng rng_;
+  Bytes noise_;  // cached noise background, regenerated lazily
+};
+
+class LidarModel {
+ public:
+  explicit LidarModel(double max_range_m = 12.0) : max_range_(max_range_m) {}
+
+  /// One full revolution: kScanBeams ranges, beam 0 pointing along the
+  /// vehicle heading, CCW. Exactly kScanSize bytes.
+  Bytes Scan(const VehicleState& state, const World& world,
+             std::uint32_t scan_number) const;
+
+  double max_range() const { return max_range_; }
+
+ private:
+  double max_range_;
+};
+
+// Pixel-accessor helpers shared with perception (row-major RGB after the
+// header).
+std::size_t PixelOffset(std::size_t x, std::size_t y);
+
+/// The column (pixel x) at which the lane line is drawn for `row`, given the
+/// lateral offset and heading error. Exposed so the lane detector can invert
+/// the projection.
+double LaneColumnForRow(double lateral_offset, double heading_error,
+                        std::size_t row);
+
+/// Region where the stop-sign block is drawn.
+inline constexpr std::size_t kSignBlockX = 540;
+inline constexpr std::size_t kSignBlockY = 60;
+inline constexpr std::size_t kSignBlockSize = 48;
+
+}  // namespace adlp::sim

@@ -1,0 +1,49 @@
+#include "sim/vehicle.h"
+
+#include <numbers>
+
+namespace adlp::sim {
+
+void Vehicle::Step(double steering_angle, double target_speed, double dt) {
+  // First-order speed response, then kinematic bicycle update.
+  const double tau = 0.3;  // speed time constant, seconds
+  state_.speed += (target_speed - state_.speed) * std::min(1.0, dt / tau);
+
+  state_.x += state_.speed * std::cos(state_.heading) * dt;
+  state_.y += state_.speed * std::sin(state_.heading) * dt;
+  state_.heading += state_.speed / wheelbase_ * std::tan(steering_angle) * dt;
+
+  // Wrap heading into [-pi, pi].
+  while (state_.heading > std::numbers::pi) {
+    state_.heading -= 2 * std::numbers::pi;
+  }
+  while (state_.heading < -std::numbers::pi) {
+    state_.heading += 2 * std::numbers::pi;
+  }
+}
+
+double Track::HeadingError(const VehicleState& s) const {
+  // Tangent of CCW travel at angle theta is theta + pi/2.
+  const double theta = std::atan2(s.y, s.x);
+  double err = s.heading - (theta + std::numbers::pi / 2);
+  while (err > std::numbers::pi) err -= 2 * std::numbers::pi;
+  while (err < -std::numbers::pi) err += 2 * std::numbers::pi;
+  return err;
+}
+
+double Track::Progress(const VehicleState& s) const {
+  double theta = std::atan2(s.y, s.x);
+  if (theta < 0) theta += 2 * std::numbers::pi;
+  return theta * radius_;
+}
+
+bool World::StopSignVisible(const VehicleState& s) const {
+  if (!has_stop_sign) return false;
+  const double progress = track.Progress(s);
+  const double circumference = 2 * std::numbers::pi * track.radius();
+  double ahead = stop_sign_progress - progress;
+  if (ahead < 0) ahead += circumference;
+  return ahead <= stop_sign_range;
+}
+
+}  // namespace adlp::sim

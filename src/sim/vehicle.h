@@ -1,0 +1,83 @@
+// Vehicle and track models for the self-driving substrate.
+//
+// The paper's platform is a 1/10-scale car navigating an indoor track with a
+// camera and a LIDAR. We replace the physical world with a kinematic bicycle
+// model on a circular track plus point obstacles — enough to close the
+// control loop (steering commands change the pose, which changes the next
+// camera image and LIDAR scan) with realistic data sizes and rates.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+namespace adlp::sim {
+
+struct VehicleState {
+  double x = 0.0;        // meters
+  double y = 0.0;
+  double heading = 0.0;  // radians, CCW from +x
+  double speed = 0.0;    // m/s
+};
+
+/// Kinematic bicycle model.
+class Vehicle {
+ public:
+  explicit Vehicle(double wheelbase_m = 0.26)  // 1/10-scale car
+      : wheelbase_(wheelbase_m) {}
+
+  const VehicleState& state() const { return state_; }
+  void set_state(const VehicleState& s) { state_ = s; }
+
+  /// Advances `dt` seconds with the given steering angle (radians) and
+  /// target speed (simple first-order speed response).
+  void Step(double steering_angle, double target_speed, double dt);
+
+ private:
+  double wheelbase_;
+  VehicleState state_;
+};
+
+/// Circular track of radius R centered at the origin; the lane centerline is
+/// the circle itself.
+class Track {
+ public:
+  explicit Track(double radius_m = 3.0) : radius_(radius_m) {}
+
+  double radius() const { return radius_; }
+
+  /// Signed lateral offset from the centerline (positive = outside).
+  double LateralOffset(const VehicleState& s) const {
+    return std::sqrt(s.x * s.x + s.y * s.y) - radius_;
+  }
+
+  /// Heading error relative to the tangent direction (CCW travel).
+  double HeadingError(const VehicleState& s) const;
+
+  /// Arc-length progress along the track in [0, 2*pi*R).
+  double Progress(const VehicleState& s) const;
+
+ private:
+  double radius_;
+};
+
+/// A static obstacle on the course.
+struct Obstacle {
+  double x = 0.0;
+  double y = 0.0;
+  double radius = 0.1;
+};
+
+/// World: track + obstacles + stop-sign location (as arc progress).
+struct World {
+  Track track;
+  std::vector<Obstacle> obstacles;
+  /// Stop sign becomes visible when the car is within `stop_sign_range` of
+  /// this progress point.
+  double stop_sign_progress = 0.0;
+  double stop_sign_range = 1.0;
+  bool has_stop_sign = false;
+
+  bool StopSignVisible(const VehicleState& s) const;
+};
+
+}  // namespace adlp::sim

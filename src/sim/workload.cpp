@@ -1,0 +1,27 @@
+#include "sim/workload.h"
+
+#include <stdexcept>
+
+#include "sim/msgs.h"
+
+namespace adlp::sim {
+
+const std::vector<DataTypeSpec>& PaperDataTypes() {
+  static const std::vector<DataTypeSpec> kTypes = {
+      {"Steering", kSteeringSize, 50.0},  // 20 B
+      {"Scan", kScanSize, 10.0},          // 8,705 B
+      {"Image", kImageSize, 20.0},        // 921,641 B
+  };
+  return kTypes;
+}
+
+const DataTypeSpec& PaperDataType(const std::string& name) {
+  for (const auto& spec : PaperDataTypes()) {
+    if (spec.name == name) return spec;
+  }
+  throw std::out_of_range("unknown data type: " + name);
+}
+
+Bytes MakePayload(Rng& rng, std::size_t size) { return rng.RandomBytes(size); }
+
+}  // namespace adlp::sim

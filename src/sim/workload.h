@@ -1,0 +1,29 @@
+// Synthetic workload descriptors used by the benchmark harness: the three
+// representative data types of the paper's evaluation (Table I / III /
+// Fig. 15) plus generic payload generation for size sweeps (Fig. 13).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+
+namespace adlp::sim {
+
+struct DataTypeSpec {
+  std::string name;
+  std::size_t size_bytes;
+  double rate_hz;  // publication rate in the prototype application
+};
+
+/// The paper's representative data types.
+const std::vector<DataTypeSpec>& PaperDataTypes();
+
+/// Spec by name ("Steering", "Scan", "Image"); throws std::out_of_range.
+const DataTypeSpec& PaperDataType(const std::string& name);
+
+/// Deterministic pseudo-random payload of exactly `size` bytes.
+Bytes MakePayload(Rng& rng, std::size_t size);
+
+}  // namespace adlp::sim

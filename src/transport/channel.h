@@ -1,0 +1,46 @@
+// Point-to-point transport abstraction.
+//
+// ADLP's threat analysis hinges on data transmission being point-to-point
+// and thus unobservable to third parties (TCPROS in the paper's prototype).
+// A `Channel` is one reliable, ordered, duplex, message-framed connection
+// between exactly one publisher-side link and one subscriber-side link.
+//
+// Two implementations:
+//   * InProcChannel — lock-free of OS dependencies, deterministic, with an
+//     optional latency/bandwidth link model (default for experiments);
+//   * TcpChannel    — real loopback TCP sockets with the 4-byte length
+//     preamble, matching the paper's substrate.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "common/bytes.h"
+
+namespace adlp::transport {
+
+class Channel {
+ public:
+  virtual ~Channel() = default;
+
+  /// Sends one message (payload only; framing is the channel's concern).
+  /// Returns false if the channel is closed. Thread-safe.
+  virtual bool Send(BytesView payload) = 0;
+
+  /// Blocks for the next message; std::nullopt once closed and drained.
+  virtual std::optional<Bytes> Receive() = 0;
+
+  /// Closes both directions; unblocks pending Receive() calls on both ends.
+  virtual void Close() = 0;
+
+  virtual bool IsOpen() const = 0;
+};
+
+using ChannelPtr = std::shared_ptr<Channel>;
+
+struct ChannelPair {
+  ChannelPtr a;
+  ChannelPtr b;
+};
+
+}  // namespace adlp::transport

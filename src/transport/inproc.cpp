@@ -1,0 +1,74 @@
+#include "transport/inproc.h"
+
+#include <thread>
+
+namespace adlp::transport {
+
+namespace {
+
+struct TimedMessage {
+  Timestamp due_ns;
+  Bytes payload;
+};
+
+/// State shared by the two endpoints of one connection.
+struct SharedState {
+  ConcurrentQueue<TimedMessage> a_to_b;
+  ConcurrentQueue<TimedMessage> b_to_a;
+  LinkModel model;
+
+  void Close() {
+    a_to_b.Close();
+    b_to_a.Close();
+  }
+};
+
+class InProcEndpoint final : public Channel {
+ public:
+  InProcEndpoint(std::shared_ptr<SharedState> state,
+                 ConcurrentQueue<TimedMessage>* tx,
+                 ConcurrentQueue<TimedMessage>* rx)
+      : state_(std::move(state)), tx_(tx), rx_(rx) {}
+
+  ~InProcEndpoint() override { Close(); }
+
+  bool Send(BytesView payload) override {
+    const std::int64_t delay = state_->model.TransferDelayNs(payload.size());
+    TimedMessage msg{MonotonicNowNs() + delay,
+                     Bytes(payload.begin(), payload.end())};
+    return tx_->Push(std::move(msg));
+  }
+
+  std::optional<Bytes> Receive() override {
+    auto msg = rx_->Pop();
+    if (!msg) return std::nullopt;
+    const Timestamp now = MonotonicNowNs();
+    if (msg->due_ns > now) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(msg->due_ns - now));
+    }
+    return std::move(msg->payload);
+  }
+
+  void Close() override { state_->Close(); }
+
+  bool IsOpen() const override { return !tx_->Closed(); }
+
+ private:
+  std::shared_ptr<SharedState> state_;
+  ConcurrentQueue<TimedMessage>* tx_;
+  ConcurrentQueue<TimedMessage>* rx_;
+};
+
+}  // namespace
+
+ChannelPair MakeInProcChannelPair(LinkModel model) {
+  auto state = std::make_shared<SharedState>();
+  state->model = model;
+  auto a = std::make_shared<InProcEndpoint>(state, &state->a_to_b,
+                                            &state->b_to_a);
+  auto b = std::make_shared<InProcEndpoint>(state, &state->b_to_a,
+                                            &state->a_to_b);
+  return ChannelPair{std::move(a), std::move(b)};
+}
+
+}  // namespace adlp::transport

@@ -1,0 +1,39 @@
+// In-process channel: a pair of endpoints sharing two message queues.
+//
+// An optional `LinkModel` simulates propagation latency and serialization
+// (bandwidth) delay: each message carries a delivery-due time computed at
+// send; Receive() waits until the due time. With the default model the
+// channel delivers immediately.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "common/clock.h"
+#include "common/queue.h"
+#include "transport/channel.h"
+
+namespace adlp::transport {
+
+struct LinkModel {
+  /// One-way propagation delay.
+  std::int64_t latency_ns = 0;
+  /// Serialization rate; 0 means infinite bandwidth.
+  std::int64_t bandwidth_bytes_per_sec = 0;
+
+  std::int64_t TransferDelayNs(std::size_t bytes) const {
+    std::int64_t delay = latency_ns;
+    if (bandwidth_bytes_per_sec > 0) {
+      delay += static_cast<std::int64_t>(bytes) * 1'000'000'000 /
+               bandwidth_bytes_per_sec;
+    }
+    return delay;
+  }
+};
+
+/// Creates a connected endpoint pair. Both endpoints share ownership of the
+/// underlying queues; closing either end closes the connection.
+ChannelPair MakeInProcChannelPair(LinkModel model = {});
+
+}  // namespace adlp::transport

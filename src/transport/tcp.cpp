@@ -1,0 +1,159 @@
+#include "transport/tcp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+#include <system_error>
+
+#include "wire/wire.h"
+
+namespace adlp::transport {
+
+namespace {
+
+[[noreturn]] void ThrowErrno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+/// Writes all of `data` to `fd`, retrying on EINTR / partial writes.
+bool WriteAll(int fd, const std::uint8_t* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Reads exactly `len` bytes. Returns false on EOF or error.
+bool ReadAll(int fd, std::uint8_t* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::recv(fd, data, len, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // orderly shutdown
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+class TcpChannel final : public Channel {
+ public:
+  explicit TcpChannel(int fd) : fd_(fd) {
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+
+  ~TcpChannel() override { Close(); }
+
+  bool Send(BytesView payload) override {
+    std::lock_guard lock(send_mu_);
+    if (closed_.load(std::memory_order_acquire)) return false;
+    const Bytes frame = wire::FramePayload(payload);
+    if (!WriteAll(fd_, frame.data(), frame.size())) {
+      Close();
+      return false;
+    }
+    return true;
+  }
+
+  std::optional<Bytes> Receive() override {
+    std::uint8_t preamble[wire::kFramePreambleSize];
+    if (!ReadAll(fd_, preamble, sizeof(preamble))) return std::nullopt;
+    const std::uint32_t len =
+        wire::ParseFrameLength(BytesView(preamble, sizeof(preamble)));
+    Bytes payload(len);
+    if (len > 0 && !ReadAll(fd_, payload.data(), len)) return std::nullopt;
+    return payload;
+  }
+
+  void Close() override {
+    bool expected = false;
+    if (closed_.compare_exchange_strong(expected, true)) {
+      ::shutdown(fd_, SHUT_RDWR);
+      ::close(fd_);
+    }
+  }
+
+  bool IsOpen() const override {
+    return !closed_.load(std::memory_order_acquire);
+  }
+
+ private:
+  int fd_;
+  std::mutex send_mu_;
+  std::atomic<bool> closed_{false};
+};
+
+}  // namespace
+
+TcpListener::TcpListener(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) ThrowErrno("socket");
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ThrowErrno("bind");
+  }
+  if (::listen(fd_, 64) < 0) ThrowErrno("listen");
+
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len) < 0) {
+    ThrowErrno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+}
+
+TcpListener::~TcpListener() { Close(); }
+
+ChannelPtr TcpListener::Accept() {
+  const int client = ::accept(fd_, nullptr, nullptr);
+  if (client < 0) return nullptr;
+  return std::make_shared<TcpChannel>(client);
+}
+
+void TcpListener::Close() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+ChannelPtr TcpConnect(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) ThrowErrno("socket");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    ThrowErrno("connect");
+  }
+  return std::make_shared<TcpChannel>(fd);
+}
+
+}  // namespace adlp::transport

@@ -1,0 +1,37 @@
+// Loopback TCP transport: real sockets, 4-byte length preamble per message
+// (the framing the paper attributes to the ROS transport layer).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "transport/channel.h"
+
+namespace adlp::transport {
+
+/// Listening socket bound to 127.0.0.1. Port 0 picks a free port.
+class TcpListener {
+ public:
+  explicit TcpListener(std::uint16_t port = 0);
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Bound port (useful after binding port 0).
+  std::uint16_t Port() const { return port_; }
+
+  /// Blocks for the next inbound connection; nullptr once closed.
+  ChannelPtr Accept();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Connects to 127.0.0.1:`port`. Throws std::system_error on failure.
+ChannelPtr TcpConnect(std::uint16_t port);
+
+}  // namespace adlp::transport

@@ -1,0 +1,152 @@
+#include "wire/wire.h"
+
+namespace adlp::wire {
+
+void Writer::PutVarint(std::uint64_t v) {
+  while (v >= 0x80) {
+    out_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void Writer::PutTag(std::uint32_t field, WireType type) {
+  PutVarint((static_cast<std::uint64_t>(field) << 3) |
+            static_cast<std::uint64_t>(type));
+}
+
+void Writer::PutU64(std::uint32_t field, std::uint64_t v) {
+  PutTag(field, WireType::kVarint);
+  PutVarint(v);
+}
+
+void Writer::PutI64(std::uint32_t field, std::int64_t v) {
+  PutTag(field, WireType::kVarint);
+  PutVarint(ZigZagEncode(v));
+}
+
+void Writer::PutFixed64(std::uint32_t field, std::uint64_t v) {
+  PutTag(field, WireType::kFixed64);
+  for (int i = 0; i < 8; ++i) {
+    out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void Writer::PutBytes(std::uint32_t field, BytesView data) {
+  PutTag(field, WireType::kLengthDelimited);
+  PutVarint(data.size());
+  adlp::Append(out_, data);
+}
+
+void Writer::PutString(std::uint32_t field, std::string_view s) {
+  PutBytes(field, BytesView(reinterpret_cast<const std::uint8_t*>(s.data()),
+                            s.size()));
+}
+
+void Writer::PutMessage(std::uint32_t field, const Writer& sub) {
+  PutBytes(field, sub.Data());
+}
+
+BytesView Reader::Take(std::size_t n) {
+  if (Remaining() < n) throw WireError("wire: truncated input");
+  BytesView out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+std::uint64_t Reader::GetVarint() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    if (pos_ >= data_.size()) throw WireError("wire: truncated varint");
+    const std::uint8_t b = data_[pos_++];
+    if (shift == 63 && (b & 0x7e) != 0) throw WireError("wire: varint overflow");
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+    if (shift > 63) throw WireError("wire: varint too long");
+  }
+}
+
+bool Reader::NextField(std::uint32_t& field, WireType& type) {
+  if (AtEnd()) return false;
+  const std::uint64_t tag = GetVarint();
+  const std::uint64_t type_bits = tag & 0x7;
+  if (type_bits > 2) throw WireError("wire: unknown wire type");
+  field = static_cast<std::uint32_t>(tag >> 3);
+  if (field == 0) throw WireError("wire: field number 0 is reserved");
+  type = static_cast<WireType>(type_bits);
+  return true;
+}
+
+std::uint64_t Reader::GetU64Value() { return GetVarint(); }
+
+std::int64_t Reader::GetI64Value() { return ZigZagDecode(GetVarint()); }
+
+std::uint64_t Reader::GetFixed64Value() {
+  const BytesView raw = Take(8);
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | raw[i];
+  return v;
+}
+
+Bytes Reader::GetBytesValue() {
+  const std::uint64_t len = GetVarint();
+  if (len > Remaining()) throw WireError("wire: length-delimited overrun");
+  const BytesView raw = Take(static_cast<std::size_t>(len));
+  return Bytes(raw.begin(), raw.end());
+}
+
+std::string Reader::GetStringValue() {
+  const Bytes raw = GetBytesValue();
+  return adlp::StringOf(raw);
+}
+
+Reader Reader::GetMessageValue() {
+  const std::uint64_t len = GetVarint();
+  if (len > Remaining()) throw WireError("wire: nested message overrun");
+  return Reader(Take(static_cast<std::size_t>(len)));
+}
+
+void Reader::SkipValue(WireType type) {
+  switch (type) {
+    case WireType::kVarint:
+      GetVarint();
+      return;
+    case WireType::kFixed64:
+      Take(8);
+      return;
+    case WireType::kLengthDelimited: {
+      const std::uint64_t len = GetVarint();
+      if (len > Remaining()) throw WireError("wire: skip overrun");
+      Take(static_cast<std::size_t>(len));
+      return;
+    }
+  }
+  throw WireError("wire: unknown wire type in skip");
+}
+
+Bytes FramePayload(BytesView payload) {
+  if (payload.size() > 0xffffffffull) {
+    throw WireError("wire: frame payload too large");
+  }
+  Bytes out;
+  out.reserve(kFramePreambleSize + payload.size());
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+  }
+  adlp::Append(out, payload);
+  return out;
+}
+
+std::uint32_t ParseFrameLength(BytesView preamble) {
+  if (preamble.size() < kFramePreambleSize) {
+    throw WireError("wire: short frame preamble");
+  }
+  std::uint32_t len = 0;
+  for (int i = 3; i >= 0; --i) len = (len << 8) | preamble[i];
+  return len;
+}
+
+}  // namespace adlp::wire

@@ -1,0 +1,104 @@
+// Compact binary wire format used for ADLP messages and log records.
+//
+// The paper serializes log entries with Google protocol buffers; we build a
+// protobuf-style codec from scratch: varint-encoded unsigned integers,
+// fixed-width 64-bit fields, and length-delimited byte strings, each tagged
+// with (field_number << 3 | wire_type). Unknown fields are skippable, so
+// records are forward-compatible.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+
+namespace adlp::wire {
+
+/// Thrown on malformed/truncated input.
+class WireError : public std::runtime_error {
+ public:
+  explicit WireError(const std::string& what) : std::runtime_error(what) {}
+};
+
+enum class WireType : std::uint8_t {
+  kVarint = 0,
+  kFixed64 = 1,
+  kLengthDelimited = 2,
+};
+
+/// ZigZag mapping so small negative integers stay small on the wire.
+constexpr std::uint64_t ZigZagEncode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+constexpr std::int64_t ZigZagDecode(std::uint64_t v) {
+  return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+class Writer {
+ public:
+  Writer() = default;
+
+  void PutVarint(std::uint64_t v);
+  void PutTag(std::uint32_t field, WireType type);
+
+  void PutU64(std::uint32_t field, std::uint64_t v);
+  void PutI64(std::uint32_t field, std::int64_t v);  // zigzag
+  void PutFixed64(std::uint32_t field, std::uint64_t v);
+  void PutBytes(std::uint32_t field, BytesView data);
+  void PutString(std::uint32_t field, std::string_view s);
+  /// Nested message = length-delimited sub-record.
+  void PutMessage(std::uint32_t field, const Writer& sub);
+
+  const Bytes& Data() const& { return out_; }
+  Bytes&& Take() && { return std::move(out_); }
+  std::size_t Size() const { return out_.size(); }
+
+ private:
+  Bytes out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(BytesView data) : data_(data) {}
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+  std::size_t Remaining() const { return data_.size() - pos_; }
+
+  std::uint64_t GetVarint();
+
+  /// Reads the next field tag. Returns false at end of input.
+  bool NextField(std::uint32_t& field, WireType& type);
+
+  std::uint64_t GetU64Value();                 // after kVarint tag
+  std::int64_t GetI64Value();                  // zigzag
+  std::uint64_t GetFixed64Value();             // after kFixed64 tag
+  Bytes GetBytesValue();                       // after kLengthDelimited tag
+  std::string GetStringValue();
+  /// Returns a sub-reader over a nested message without copying.
+  Reader GetMessageValue();
+
+  /// Skips a field of the given wire type.
+  void SkipValue(WireType type);
+
+ private:
+  BytesView Take(std::size_t n);
+
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+/// Frames for byte-stream transports: 4-byte little-endian length preamble
+/// (matching the 4-byte preamble the paper attributes to the ROS transport)
+/// followed by the payload.
+Bytes FramePayload(BytesView payload);
+
+inline constexpr std::size_t kFramePreambleSize = 4;
+
+/// Parses a length preamble. Throws WireError if `preamble` is short.
+std::uint32_t ParseFrameLength(BytesView preamble);
+
+}  // namespace adlp::wire

@@ -1,0 +1,189 @@
+#include "adlp/component.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace adlp::proto {
+namespace {
+
+using test::FastOptions;
+using test::MiniSystem;
+using test::WaitFor;
+
+TEST(ComponentTest, AdlpEndToEnd) {
+  MiniSystem sys;
+  auto& pub = sys.Add("camera");
+  auto& sub = sys.Add("detector");
+
+  std::atomic<int> got{0};
+  sub.Subscribe("image", [&](const pubsub::Message&) { got++; });
+  auto& p = pub.Advertise("image");
+  for (int i = 0; i < 5; ++i) p.Publish(Bytes{1, 2, 3});
+  ASSERT_TRUE(WaitFor([&] { return got.load() == 5; }));
+
+  // 5 out + 5 in; the final out-entry awaits its ACK, so wait.
+  EXPECT_TRUE(WaitFor([&] { return sys.server.EntryCount() == 10u; }));
+  EXPECT_TRUE(sys.server.VerifyChain());
+  EXPECT_TRUE(sys.server.Keys().Contains("camera"));
+  EXPECT_TRUE(sys.server.Keys().Contains("detector"));
+}
+
+TEST(ComponentTest, NoLoggingSchemeLogsNothing) {
+  MiniSystem sys;
+  auto& pub = sys.Add("camera", FastOptions(LoggingScheme::kNone));
+  auto& sub = sys.Add("detector", FastOptions(LoggingScheme::kNone));
+  std::atomic<int> got{0};
+  sub.Subscribe("image", [&](const pubsub::Message&) { got++; });
+  pub.Advertise("image").Publish(Bytes{1});
+  ASSERT_TRUE(WaitFor([&] { return got.load() == 1; }));
+  EXPECT_EQ(sys.server.EntryCount(), 0u);
+  EXPECT_EQ(sys.server.Keys().Size(), 0u);  // no key registration either
+}
+
+TEST(ComponentTest, BaseSchemeLogsWithoutCrypto) {
+  MiniSystem sys;
+  auto& pub = sys.Add("camera", FastOptions(LoggingScheme::kBase));
+  auto& sub = sys.Add("detector", FastOptions(LoggingScheme::kBase));
+  std::atomic<int> got{0};
+  sub.Subscribe("image", [&](const pubsub::Message&) { got++; });
+  pub.Advertise("image").Publish(Bytes{9});
+  ASSERT_TRUE(WaitFor([&] { return got.load() == 1; }));
+  pub.FlushLogs();
+  sub.FlushLogs();
+  ASSERT_EQ(sys.server.EntryCount(), 2u);
+  for (const auto& e : sys.server.Entries()) {
+    EXPECT_EQ(e.scheme, LogScheme::kBase);
+    EXPECT_TRUE(e.self_signature.empty());
+    EXPECT_EQ(e.data, (Bytes{9}));
+  }
+}
+
+TEST(ComponentTest, SchemesInteroperateOnTheWire) {
+  // An ADLP publisher's message is parseable by a no-logging subscriber:
+  // the transport format is backward-compatible (signature field skipped).
+  MiniSystem sys;
+  auto& pub = sys.Add("camera");  // ADLP
+  auto& sub = sys.Add("viewer", FastOptions(LoggingScheme::kNone));
+  std::atomic<int> got{0};
+  sub.Subscribe("image", [&](const pubsub::Message& m) {
+    EXPECT_EQ(m.payload, (Bytes{5, 5}));
+    got++;
+  });
+  pub.Advertise("image").Publish(Bytes{5, 5});
+  // NB: the no-logging subscriber never ACKs, so the ADLP publisher's link
+  // stalls after this message — exactly the penalty the protocol specifies.
+  ASSERT_TRUE(WaitFor([&] { return got.load() == 1; }));
+  pub.FlushLogs();
+  // Publisher has no ACK, hence no publisher log entry for the transmission.
+  EXPECT_EQ(sys.server.EntryCount(), 0u);
+}
+
+TEST(ComponentTest, AdlpEntriesCountsWithMultipleSubscribers) {
+  MiniSystem sys;
+  auto& pub = sys.Add("camera");
+  auto& s1 = sys.Add("sub1");
+  auto& s2 = sys.Add("sub2");
+  std::atomic<int> got{0};
+  s1.Subscribe("image", [&](const pubsub::Message&) { got++; });
+  s2.Subscribe("image", [&](const pubsub::Message&) { got++; });
+  auto& p = pub.Advertise("image");
+  for (int i = 0; i < 3; ++i) p.Publish(Bytes{1});
+  ASSERT_TRUE(WaitFor([&] { return got.load() == 6; }));
+  for (auto& [name, c] : sys.components) c->FlushLogs();
+  // Per transmission: one L_x per subscriber + one L_y each = 4 per publish.
+  EXPECT_TRUE(WaitFor([&] { return sys.server.EntryCount() == 12u; }));
+}
+
+TEST(ComponentTest, AggregatedLoggingReducesPublisherEntries) {
+  proto::ComponentOptions opts = FastOptions();
+  opts.adlp.aggregate_publisher_log = true;
+  MiniSystem sys;
+  auto& pub = sys.Add("camera", opts);
+  auto& s1 = sys.Add("sub1", opts);
+  auto& s2 = sys.Add("sub2", opts);
+  std::atomic<int> got{0};
+  s1.Subscribe("image", [&](const pubsub::Message&) { got++; });
+  s2.Subscribe("image", [&](const pubsub::Message&) { got++; });
+  auto& p = pub.Advertise("image");
+  for (int i = 0; i < 3; ++i) p.Publish(Bytes{1});
+  ASSERT_TRUE(WaitFor([&] { return got.load() == 6; }));
+  pub.Shutdown();  // flushes aggregates
+  s1.Shutdown();
+  s2.Shutdown();
+  // Publisher: 3 aggregated entries (one per publication), each with 2 acks;
+  // subscribers: 6 entries.
+  std::size_t pub_entries = 0;
+  for (const auto& e : sys.server.Entries()) {
+    if (e.direction == Direction::kOut) {
+      ++pub_entries;
+      EXPECT_EQ(e.acks.size(), 2u);
+    }
+  }
+  EXPECT_EQ(pub_entries, 3u);
+  EXPECT_EQ(sys.server.EntryCount(), 9u);
+}
+
+TEST(ComponentTest, FaultWrapperInterposes) {
+  proto::ComponentOptions opts = FastOptions();
+  std::atomic<int> intercepted{0};
+  class CountingPipe final : public LogPipe {
+   public:
+    CountingPipe(LogPipe& inner, std::atomic<int>& counter)
+        : inner_(inner), counter_(counter) {}
+    void Enter(LogEntry entry) override {
+      counter_++;
+      inner_.Enter(std::move(entry));
+    }
+
+   private:
+    LogPipe& inner_;
+    std::atomic<int>& counter_;
+  };
+  opts.pipe_wrapper = [&intercepted](LogPipe& inner, const NodeIdentity&) {
+    return std::make_unique<CountingPipe>(inner, intercepted);
+  };
+
+  MiniSystem sys;
+  auto& pub = sys.Add("camera", opts);
+  auto& sub = sys.Add("detector");
+  std::atomic<int> got{0};
+  sub.Subscribe("image", [&](const pubsub::Message&) { got++; });
+  pub.Advertise("image").Publish(Bytes{1});
+  ASSERT_TRUE(WaitFor([&] { return got.load() == 1; }));
+  // The publisher's entry is created when the ACK returns, which may lag
+  // the delivery; wait rather than flush.
+  EXPECT_TRUE(WaitFor([&] { return intercepted.load() == 1; }));
+}
+
+TEST(ComponentTest, RestartReRegistersANewKey) {
+  // The paper's model allows component restarts; the logger keeps the
+  // latest key. A restarted component gets a fresh key pair (fresh rng
+  // draw) and its new entries verify under the re-registered key.
+  MiniSystem sys;
+  crypto::PublicKey first_key;
+  {
+    auto c = std::make_unique<proto::Component>("camera", sys.master,
+                                                sys.server, sys.rng,
+                                                FastOptions());
+    first_key = *sys.server.Keys().Find("camera");
+    c->Shutdown();
+  }
+  proto::Component restarted("camera", sys.master, sys.server, sys.rng,
+                             FastOptions());
+  const auto second_key = sys.server.Keys().Find("camera");
+  ASSERT_TRUE(second_key.has_value());
+  EXPECT_FALSE(*second_key == first_key);
+  EXPECT_EQ(restarted.Identity().keys.pub, *second_key);
+}
+
+TEST(ComponentTest, ShutdownIsIdempotent) {
+  MiniSystem sys;
+  auto& c = sys.Add("solo");
+  c.Shutdown();
+  c.Shutdown();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace adlp::proto

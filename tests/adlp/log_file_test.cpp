@@ -1,0 +1,116 @@
+#include "adlp/log_file.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/rng.h"
+
+namespace adlp::proto {
+namespace {
+
+class LogFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("adlp_log_test_" + std::to_string(::getpid()) + "_" +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+                .string();
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void FillServer(LogServer& server, int entries) {
+    Rng rng(1);
+    for (int i = 0; i < entries; ++i) {
+      LogEntry e;
+      e.scheme = LogScheme::kAdlp;
+      e.component = "comp" + std::to_string(i % 3);
+      e.topic = "topic";
+      e.seq = static_cast<std::uint64_t>(i);
+      e.data = rng.RandomBytes(100);
+      e.self_signature = rng.RandomBytes(128);
+      server.Append(e);
+    }
+  }
+
+  std::string path_;
+};
+
+TEST_F(LogFileTest, RoundTripPreservesEntriesAndChain) {
+  LogServer server;
+  FillServer(server, 10);
+  WriteLogFile(path_, server);
+  const LoadedLog loaded = ReadLogFile(path_);
+  EXPECT_TRUE(loaded.chain_verified);
+  EXPECT_EQ(loaded.entries.size(), 10u);
+  EXPECT_EQ(loaded.chain_head, server.ChainHead());
+  EXPECT_EQ(loaded.entries, server.Entries());
+}
+
+TEST_F(LogFileTest, EmptyLogRoundTrips) {
+  LogServer server;
+  WriteLogFile(path_, server);
+  const LoadedLog loaded = ReadLogFile(path_);
+  EXPECT_TRUE(loaded.chain_verified);
+  EXPECT_TRUE(loaded.entries.empty());
+}
+
+TEST_F(LogFileTest, ContentTamperBreaksChainButLoads) {
+  LogServer server;
+  FillServer(server, 5);
+  auto records = server.SerializedRecords();
+  records[2][10] ^= 0x01;  // flip one byte of one record
+  WriteLogRecords(path_, records, server.ChainHead());
+  const LoadedLog loaded = ReadLogFile(path_);
+  EXPECT_FALSE(loaded.chain_verified);
+  EXPECT_EQ(loaded.records.size(), 5u);
+  // The flipped byte may or may not keep the record parseable; either way
+  // every record is preserved as evidence.
+  EXPECT_EQ(loaded.entries.size() + loaded.malformed_records, 5u);
+}
+
+TEST_F(LogFileTest, DeletedRecordBreaksChain) {
+  LogServer server;
+  FillServer(server, 5);
+  auto records = server.SerializedRecords();
+  records.erase(records.begin() + 1);
+  WriteLogRecords(path_, records, server.ChainHead());
+  EXPECT_FALSE(ReadLogFile(path_).chain_verified);
+}
+
+TEST_F(LogFileTest, ReorderedRecordsBreakChain) {
+  LogServer server;
+  FillServer(server, 5);
+  auto records = server.SerializedRecords();
+  std::swap(records[0], records[1]);
+  WriteLogRecords(path_, records, server.ChainHead());
+  EXPECT_FALSE(ReadLogFile(path_).chain_verified);
+}
+
+TEST_F(LogFileTest, TruncatedFileRejected) {
+  LogServer server;
+  FillServer(server, 5);
+  WriteLogFile(path_, server);
+  // Chop off the trailer.
+  const auto size = std::filesystem::file_size(path_);
+  std::filesystem::resize_file(path_, size - 10);
+  EXPECT_THROW(ReadLogFile(path_), std::runtime_error);
+}
+
+TEST_F(LogFileTest, GarbageFileRejected) {
+  std::FILE* f = std::fopen(path_.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("not a log file at all", f);
+  std::fclose(f);
+  EXPECT_THROW(ReadLogFile(path_), std::runtime_error);
+}
+
+TEST_F(LogFileTest, MissingFileThrows) {
+  EXPECT_THROW(ReadLogFile("/nonexistent/nowhere.adlplog"),
+               std::system_error);
+}
+
+}  // namespace
+}  // namespace adlp::proto

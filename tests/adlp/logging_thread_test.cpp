@@ -1,0 +1,82 @@
+#include "adlp/logging_thread.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "adlp/log_server.h"
+
+namespace adlp::proto {
+namespace {
+
+LogEntry MakeEntry(std::uint64_t seq) {
+  LogEntry e;
+  e.component = "node";
+  e.topic = "t";
+  e.seq = seq;
+  return e;
+}
+
+TEST(LoggingThreadTest, EntriesReachSink) {
+  LogServer server;
+  LoggingThread thread("node", server);
+  for (int i = 0; i < 10; ++i) thread.Enter(MakeEntry(i));
+  thread.Flush();
+  EXPECT_EQ(server.EntryCount(), 10u);
+  EXPECT_EQ(thread.EnteredCount(), 10u);
+}
+
+TEST(LoggingThreadTest, FlushOnEmptyQueueReturns) {
+  LogServer server;
+  LoggingThread thread("node", server);
+  thread.Flush();  // no entries: must not hang
+  EXPECT_EQ(server.EntryCount(), 0u);
+}
+
+TEST(LoggingThreadTest, OrderPreserved) {
+  LogServer server;
+  LoggingThread thread("node", server);
+  for (int i = 0; i < 100; ++i) thread.Enter(MakeEntry(i));
+  thread.Flush();
+  const auto entries = server.Entries();
+  ASSERT_EQ(entries.size(), 100u);
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(entries[i].seq, i);
+  }
+}
+
+TEST(LoggingThreadTest, StopDrainsPendingEntries) {
+  LogServer server;
+  {
+    LoggingThread thread("node", server);
+    for (int i = 0; i < 50; ++i) thread.Enter(MakeEntry(i));
+    // Destructor stops after draining.
+  }
+  EXPECT_EQ(server.EntryCount(), 50u);
+}
+
+TEST(LoggingThreadTest, EnterAfterStopIsNoOp) {
+  LogServer server;
+  LoggingThread thread("node", server);
+  thread.Stop();
+  thread.Enter(MakeEntry(1));
+  thread.Flush();
+  EXPECT_EQ(server.EntryCount(), 0u);
+}
+
+TEST(LoggingThreadTest, ConcurrentProducers) {
+  LogServer server;
+  LoggingThread thread("node", server);
+  std::vector<std::thread> producers;
+  for (int t = 0; t < 4; ++t) {
+    producers.emplace_back([&thread] {
+      for (int i = 0; i < 250; ++i) thread.Enter(MakeEntry(i));
+    });
+  }
+  for (auto& p : producers) p.join();
+  thread.Flush();
+  EXPECT_EQ(server.EntryCount(), 1000u);
+}
+
+}  // namespace
+}  // namespace adlp::proto

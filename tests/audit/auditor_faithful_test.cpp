@@ -1,0 +1,155 @@
+// All-faithful systems: every entry must be classified valid and nobody
+// blamed — the baseline for Theorem 1.
+#include <gtest/gtest.h>
+
+#include "audit/auditor.h"
+#include "test_util.h"
+
+namespace adlp::audit {
+namespace {
+
+using test::MakeFaithfulPair;
+using test::OneTopicTopology;
+using test::TestIdentity;
+
+crypto::KeyStore RegisteredKeys(const std::vector<std::string>& names) {
+  crypto::KeyStore keys;
+  for (const auto& name : names) {
+    keys.Register(name, TestIdentity(name).keys.pub);
+  }
+  return keys;
+}
+
+TEST(AuditorFaithfulTest, SingleCleanTransmission) {
+  const auto& pub = TestIdentity("pub");
+  const auto& sub = TestIdentity("sub");
+  const auto pair = MakeFaithfulPair(pub, sub, "image", 1, {1, 2, 3});
+
+  const auto keys = RegisteredKeys({"pub", "sub"});
+  Auditor auditor(keys);
+  const AuditReport report =
+      auditor.Audit({pair.publisher_entry, pair.subscriber_entry},
+                    OneTopicTopology("image", "pub", {"sub"}));
+
+  ASSERT_EQ(report.verdicts.size(), 1u);
+  EXPECT_EQ(report.verdicts[0].finding, Finding::kOk);
+  EXPECT_EQ(report.TotalValid(), 2u);
+  EXPECT_EQ(report.TotalInvalid(), 0u);
+  EXPECT_EQ(report.TotalHidden(), 0u);
+  EXPECT_TRUE(report.unfaithful.empty());
+}
+
+TEST(AuditorFaithfulTest, ManySequencesAllValid) {
+  const auto& pub = TestIdentity("pub");
+  const auto& sub = TestIdentity("sub");
+  std::vector<proto::LogEntry> entries;
+  Rng rng(1);
+  for (std::uint64_t seq = 1; seq <= 20; ++seq) {
+    const auto pair = MakeFaithfulPair(pub, sub, "image", seq,
+                                       rng.RandomBytes(100), 1000 * seq);
+    entries.push_back(pair.publisher_entry);
+    entries.push_back(pair.subscriber_entry);
+  }
+  const auto keys = RegisteredKeys({"pub", "sub"});
+  const AuditReport report = Auditor(keys).Audit(
+      std::move(entries), OneTopicTopology("image", "pub", {"sub"}));
+  EXPECT_EQ(report.verdicts.size(), 20u);
+  EXPECT_EQ(report.TotalValid(), 40u);
+  EXPECT_TRUE(report.unfaithful.empty());
+}
+
+TEST(AuditorFaithfulTest, SubscriberStoringRawDataAlsoValid) {
+  const auto& pub = TestIdentity("pub");
+  const auto& sub = TestIdentity("sub");
+  const auto pair = MakeFaithfulPair(pub, sub, "t", 1, {5, 6}, 1000,
+                                     /*subscriber_stores_hash=*/false);
+  const auto keys = RegisteredKeys({"pub", "sub"});
+  const AuditReport report =
+      Auditor(keys).Audit({pair.publisher_entry, pair.subscriber_entry},
+                          OneTopicTopology("t", "pub", {"sub"}));
+  EXPECT_EQ(report.verdicts[0].finding, Finding::kOk);
+  EXPECT_TRUE(report.unfaithful.empty());
+}
+
+TEST(AuditorFaithfulTest, MultipleSubscribersPerTopic) {
+  const auto& pub = TestIdentity("pub");
+  std::vector<proto::LogEntry> entries;
+  std::vector<crypto::ComponentId> sub_names;
+  for (int s = 0; s < 3; ++s) {
+    const std::string name = "sub" + std::to_string(s);
+    sub_names.push_back(name);
+    const auto pair =
+        MakeFaithfulPair(pub, TestIdentity(name), "image", 1, {7});
+    entries.push_back(pair.publisher_entry);
+    entries.push_back(pair.subscriber_entry);
+  }
+  auto keys = RegisteredKeys({"pub", "sub0", "sub1", "sub2"});
+  const AuditReport report = Auditor(keys).Audit(
+      std::move(entries), OneTopicTopology("image", "pub", sub_names));
+  EXPECT_EQ(report.verdicts.size(), 3u);  // one instance per subscriber
+  EXPECT_EQ(report.TotalValid(), 6u);
+  EXPECT_TRUE(report.unfaithful.empty());
+}
+
+TEST(AuditorFaithfulTest, AggregatedPublisherEntryValid) {
+  // One publisher entry carrying both subscribers' acks expands into two
+  // valid instances.
+  const auto& pub = TestIdentity("pub");
+  const auto& sub_a = TestIdentity("sub_a");
+  const auto& sub_b = TestIdentity("sub_b");
+  const auto pair_a = MakeFaithfulPair(pub, sub_a, "image", 1, {1});
+  const auto pair_b = MakeFaithfulPair(pub, sub_b, "image", 1, {1});
+
+  proto::LogEntry aggregated = pair_a.publisher_entry;
+  aggregated.acks.push_back({sub_a.id, aggregated.peer_data_hash,
+                             aggregated.peer_signature});
+  aggregated.acks.push_back({sub_b.id, pair_b.publisher_entry.peer_data_hash,
+                             pair_b.publisher_entry.peer_signature});
+  aggregated.peer.clear();
+  aggregated.peer_data_hash.clear();
+  aggregated.peer_signature.clear();
+
+  auto keys = RegisteredKeys({"pub", "sub_a", "sub_b"});
+  const AuditReport report = Auditor(keys).Audit(
+      {aggregated, pair_a.subscriber_entry, pair_b.subscriber_entry},
+      OneTopicTopology("image", "pub", {"sub_a", "sub_b"}));
+  EXPECT_EQ(report.verdicts.size(), 2u);
+  for (const auto& v : report.verdicts) {
+    EXPECT_EQ(v.finding, Finding::kOk) << v.subscriber;
+  }
+  EXPECT_TRUE(report.unfaithful.empty());
+}
+
+TEST(AuditorFaithfulTest, EmptyLogYieldsEmptyReport) {
+  crypto::KeyStore keys;
+  const AuditReport report = Auditor(keys).Audit({}, {});
+  EXPECT_TRUE(report.verdicts.empty());
+  EXPECT_TRUE(report.unfaithful.empty());
+  EXPECT_FALSE(report.Render().empty());
+}
+
+TEST(AuditorFaithfulTest, RealPipelineEntriesAuditClean) {
+  // Entries produced by the actual protocol stack (not synthetic) audit
+  // clean end to end.
+  test::MiniSystem sys;
+  auto& pub = sys.Add("camera");
+  auto& sub = sys.Add("detector");
+  std::atomic<int> got{0};
+  sub.Subscribe("image", [&](const pubsub::Message&) { got++; });
+  auto& p = pub.Advertise("image");
+  for (int i = 0; i < 5; ++i) p.Publish(Bytes{static_cast<std::uint8_t>(i)});
+  ASSERT_TRUE(test::WaitFor([&] { return got.load() == 5; }));
+  ASSERT_TRUE(
+      test::WaitFor([&] { return sys.server.EntryCount() == 10; }));
+
+  Auditor auditor(sys.server.Keys());
+  const AuditReport report =
+      auditor.Audit(sys.server.Entries(), sys.master.Topology());
+  EXPECT_EQ(report.verdicts.size(), 5u);
+  EXPECT_EQ(report.TotalValid(), 10u);
+  EXPECT_EQ(report.TotalInvalid(), 0u);
+  EXPECT_TRUE(report.unfaithful.empty());
+}
+
+}  // namespace
+}  // namespace adlp::audit

@@ -1,0 +1,144 @@
+// Lemma 1 (Unforgeability): neither side can fabricate a log entry for a
+// transmission that did not happen.
+#include <gtest/gtest.h>
+
+#include "audit/auditor.h"
+#include "faults/fabricate.h"
+#include "test_util.h"
+
+namespace adlp::audit {
+namespace {
+
+using test::MakeFaithfulPair;
+using test::OneTopicTopology;
+using test::TestIdentity;
+
+crypto::KeyStore Keys() {
+  crypto::KeyStore keys;
+  for (const char* name : {"pub", "sub"}) {
+    keys.Register(name, TestIdentity(name).keys.pub);
+  }
+  return keys;
+}
+
+faults::FabricationSpec Spec(const std::string& peer, std::uint64_t seq = 1) {
+  faults::FabricationSpec spec;
+  spec.topic = "image";
+  spec.seq = seq;
+  spec.timestamp = 500;
+  spec.message_stamp = 499;
+  spec.data = {0xde, 0xad};
+  spec.peer = peer;
+  return spec;
+}
+
+TEST(Lemma1Test, FabricatedPublisherEntryInvalid) {
+  // c_x claims it published data; no subscriber entry, forged random ACK.
+  Rng rng(1);
+  const proto::LogEntry fake =
+      faults::FabricatePublisherEntry(TestIdentity("pub"), Spec("sub"), rng);
+
+  const auto keys = Keys();
+  const AuditReport report = Auditor(keys).Audit(
+      {fake}, OneTopicTopology("image", "pub", {"sub"}));
+  ASSERT_EQ(report.verdicts.size(), 1u);
+  EXPECT_EQ(report.verdicts[0].finding, Finding::kPublisherFabricated);
+  EXPECT_TRUE(report.Blames("pub"));
+  EXPECT_FALSE(report.Blames("sub"));
+  EXPECT_EQ(report.TotalInvalid(), 1u);
+}
+
+TEST(Lemma1Test, FabricatedSubscriberEntryInvalid) {
+  Rng rng(2);
+  const proto::LogEntry fake =
+      faults::FabricateSubscriberEntry(TestIdentity("sub"), Spec("pub"), rng);
+
+  const auto keys = Keys();
+  const AuditReport report = Auditor(keys).Audit(
+      {fake}, OneTopicTopology("image", "pub", {"sub"}));
+  ASSERT_EQ(report.verdicts.size(), 1u);
+  EXPECT_EQ(report.verdicts[0].finding, Finding::kSubscriberFabricated);
+  EXPECT_TRUE(report.Blames("sub"));
+  EXPECT_FALSE(report.Blames("pub"));
+}
+
+TEST(Lemma1Test, ReplayedPublisherEntryInvalid) {
+  // c_x reuses the subscriber's genuine seq=1 ACK for a fabricated seq=2
+  // entry; the sequence number inside the signed digest defeats it.
+  const auto& pub = TestIdentity("pub");
+  const auto& sub = TestIdentity("sub");
+  const auto genuine = MakeFaithfulPair(pub, sub, "image", 1, {1, 2, 3});
+  const proto::LogEntry replay =
+      faults::FabricateByReplay(pub, genuine.publisher_entry, 2, 2000);
+
+  const auto keys = Keys();
+  const AuditReport report = Auditor(keys).Audit(
+      {genuine.publisher_entry, genuine.subscriber_entry, replay},
+      OneTopicTopology("image", "pub", {"sub"}));
+
+  // seq=1 instance is clean; seq=2 is a fabrication.
+  ASSERT_EQ(report.verdicts.size(), 2u);
+  for (const auto& v : report.verdicts) {
+    if (v.seq == 1) {
+      EXPECT_EQ(v.finding, Finding::kOk);
+    } else {
+      EXPECT_EQ(v.finding, Finding::kPublisherFabricated);
+    }
+  }
+  EXPECT_TRUE(report.Blames("pub"));
+  EXPECT_FALSE(report.Blames("sub"));
+}
+
+TEST(Lemma1Test, ReplayedSubscriberEntryInvalid) {
+  const auto& pub = TestIdentity("pub");
+  const auto& sub = TestIdentity("sub");
+  const auto genuine = MakeFaithfulPair(pub, sub, "image", 1, {1, 2, 3});
+  const proto::LogEntry replay =
+      faults::FabricateByReplay(sub, genuine.subscriber_entry, 2, 2000);
+
+  const auto keys = Keys();
+  const AuditReport report = Auditor(keys).Audit(
+      {genuine.publisher_entry, genuine.subscriber_entry, replay},
+      OneTopicTopology("image", "pub", {"sub"}));
+  for (const auto& v : report.verdicts) {
+    if (v.seq == 2) {
+      EXPECT_EQ(v.finding, Finding::kSubscriberFabricated);
+    }
+  }
+  EXPECT_TRUE(report.Blames("sub"));
+  EXPECT_FALSE(report.Blames("pub"));
+}
+
+TEST(Lemma1Test, Figure8RandomSignatureCannotFrameThePublisher) {
+  // Fig. 8(b): the subscriber fabricates (I_y, s_r) with random s_r to
+  // accuse the publisher of sending an invalid pair. Under ADLP the
+  // transport guarantees Eq. (4), so the auditor pins the fabrication on
+  // the subscriber, not the publisher.
+  Rng rng(3);
+  proto::LogEntry fake =
+      faults::FabricateSubscriberEntry(TestIdentity("sub"), Spec("pub"), rng);
+
+  const auto keys = Keys();
+  const AuditReport report = Auditor(keys).Audit(
+      {fake}, OneTopicTopology("image", "pub", {"sub"}));
+  EXPECT_EQ(report.verdicts[0].finding, Finding::kSubscriberFabricated);
+  EXPECT_FALSE(report.Blames("pub"));
+  EXPECT_TRUE(report.Blames("sub"));
+}
+
+TEST(Lemma1Test, DuplicateSeqEntriesFlagged) {
+  const auto& pub = TestIdentity("pub");
+  const auto& sub = TestIdentity("sub");
+  const auto pair = MakeFaithfulPair(pub, sub, "image", 1, {1});
+  // The publisher enters its (self-consistent) entry twice.
+  const auto keys = Keys();
+  const AuditReport report = Auditor(keys).Audit(
+      {pair.publisher_entry, pair.publisher_entry, pair.subscriber_entry},
+      OneTopicTopology("image", "pub", {"sub"}));
+  ASSERT_EQ(report.verdicts.size(), 1u);
+  EXPECT_EQ(report.verdicts[0].finding, Finding::kDuplicateEntry);
+  EXPECT_TRUE(report.Blames("pub"));
+}
+
+}  // namespace
+}  // namespace adlp::audit

@@ -1,0 +1,222 @@
+// Lemma 3 (Correctness): neither side can log data different from what was
+// actually transmitted while the counterpart is faithful.
+#include <gtest/gtest.h>
+
+#include "audit/auditor.h"
+#include "crypto/pkcs1.h"
+#include "faults/behavior.h"
+#include "pubsub/message.h"
+#include "test_util.h"
+
+namespace adlp::audit {
+namespace {
+
+using test::MakeFaithfulPair;
+using test::OneTopicTopology;
+using test::TestIdentity;
+
+crypto::KeyStore Keys() {
+  crypto::KeyStore keys;
+  for (const char* name : {"pub", "sub"}) {
+    keys.Register(name, TestIdentity(name).keys.pub);
+  }
+  return keys;
+}
+
+/// Re-signs an entry's falsified claim with the owner's key so that
+/// self-authenticity holds (the smart adversary).
+proto::LogEntry FalsifyData(proto::LogEntry entry,
+                            const proto::NodeIdentity& owner,
+                            const crypto::ComponentId& topic_publisher,
+                            Bytes fake_data) {
+  pubsub::MessageHeader header;
+  header.topic = entry.topic;
+  header.publisher = topic_publisher;
+  header.seq = entry.seq;
+  header.stamp = entry.message_stamp;
+  const auto payload_hash = pubsub::PayloadHash(fake_data);
+  const auto digest =
+      pubsub::MessageDigestFromPayloadHash(header, payload_hash);
+  if (!entry.data.empty() || entry.data_hash.empty()) {
+    entry.data = std::move(fake_data);
+  } else {
+    entry.data_hash = crypto::DigestBytes(payload_hash);
+  }
+  entry.self_signature = crypto::SignDigest(owner.keys.priv, digest);
+  return entry;
+}
+
+TEST(Lemma3Test, PublisherFalsificationDetected) {
+  // c_x actually sent {1,2,3} (the faithful subscriber proves it) but logs
+  // {9,9,9} with a fresh self-signature.
+  const auto& pub = TestIdentity("pub");
+  const auto& sub = TestIdentity("sub");
+  const auto pair = MakeFaithfulPair(pub, sub, "image", 1, {1, 2, 3});
+  const proto::LogEntry falsified =
+      FalsifyData(pair.publisher_entry, pub, "pub", {9, 9, 9});
+
+  const auto keys = Keys();
+  const AuditReport report = Auditor(keys).Audit(
+      {falsified, pair.subscriber_entry},
+      OneTopicTopology("image", "pub", {"sub"}));
+
+  ASSERT_EQ(report.verdicts.size(), 1u);
+  EXPECT_EQ(report.verdicts[0].finding, Finding::kPublisherFalsified);
+  EXPECT_TRUE(report.Blames("pub"));
+  EXPECT_FALSE(report.Blames("sub"));
+  // The faithful subscriber's entry stays valid (Theorem 1).
+  EXPECT_EQ(report.stats.at("sub").valid, 1u);
+  EXPECT_EQ(report.stats.at("pub").invalid, 1u);
+}
+
+TEST(Lemma3Test, SubscriberFalsificationDetected) {
+  // c_y received {1,2,3} and acknowledged it, then logs {7,7,7}.
+  const auto& pub = TestIdentity("pub");
+  const auto& sub = TestIdentity("sub");
+  const auto pair = MakeFaithfulPair(pub, sub, "image", 1, {1, 2, 3});
+  const proto::LogEntry falsified =
+      FalsifyData(pair.subscriber_entry, sub, "pub", {7, 7, 7});
+
+  const auto keys = Keys();
+  const AuditReport report = Auditor(keys).Audit(
+      {pair.publisher_entry, falsified},
+      OneTopicTopology("image", "pub", {"sub"}));
+
+  ASSERT_EQ(report.verdicts.size(), 1u);
+  EXPECT_EQ(report.verdicts[0].finding, Finding::kSubscriberFalsified);
+  EXPECT_TRUE(report.Blames("sub"));
+  EXPECT_FALSE(report.Blames("pub"));
+  EXPECT_EQ(report.stats.at("pub").valid, 1u);
+}
+
+TEST(Lemma3Test, SubscriberFalsificationWithRawDataStorage) {
+  const auto& pub = TestIdentity("pub");
+  const auto& sub = TestIdentity("sub");
+  const auto pair = MakeFaithfulPair(pub, sub, "image", 1, {1, 2, 3}, 1000,
+                                     /*subscriber_stores_hash=*/false);
+  const proto::LogEntry falsified =
+      FalsifyData(pair.subscriber_entry, sub, "pub", {7, 7, 7});
+  const auto keys = Keys();
+  const AuditReport report = Auditor(keys).Audit(
+      {pair.publisher_entry, falsified},
+      OneTopicTopology("image", "pub", {"sub"}));
+  EXPECT_EQ(report.verdicts[0].finding, Finding::kSubscriberFalsified);
+  EXPECT_TRUE(report.Blames("sub"));
+}
+
+TEST(Lemma3Test, SloppyFalsifierFailsSelfAuth) {
+  // A falsifier that rewrites the data but keeps the old signature is
+  // caught by the "obvious detection" check.
+  const auto& pub = TestIdentity("pub");
+  const auto& sub = TestIdentity("sub");
+  const auto pair = MakeFaithfulPair(pub, sub, "image", 1, {1, 2, 3});
+  proto::LogEntry sloppy = pair.publisher_entry;
+  sloppy.data = {9, 9, 9};  // signature left stale
+
+  const auto keys = Keys();
+  const AuditReport report = Auditor(keys).Audit(
+      {sloppy, pair.subscriber_entry},
+      OneTopicTopology("image", "pub", {"sub"}));
+  EXPECT_EQ(report.verdicts[0].finding, Finding::kPublisherSelfAuthFailed);
+  EXPECT_TRUE(report.Blames("pub"));
+  EXPECT_FALSE(report.Blames("sub"));
+}
+
+TEST(Lemma3Test, ImpersonationRejected) {
+  // An entry claiming another component as author cannot verify under the
+  // victim's key.
+  const auto& pub = TestIdentity("pub");
+  const auto& sub = TestIdentity("sub");
+  const auto pair = MakeFaithfulPair(pub, sub, "image", 1, {1});
+  proto::LogEntry impersonated = pair.publisher_entry;
+  impersonated.component = "victim";  // some other component
+
+  crypto::KeyStore keys = Keys();
+  keys.Register("victim", TestIdentity("victim").keys.pub);
+  const AuditReport report = Auditor(keys).Audit(
+      {impersonated, pair.subscriber_entry},
+      OneTopicTopology("image", "pub", {"sub"}));
+  // The out-entry author does not match the topic's unique publisher.
+  ASSERT_FALSE(report.verdicts.empty());
+  bool impersonation_flagged = false;
+  for (const auto& v : report.verdicts) {
+    if (v.finding == Finding::kPublisherSelfAuthFailed) {
+      impersonation_flagged = true;
+      EXPECT_TRUE(std::find(v.blamed.begin(), v.blamed.end(), "victim") !=
+                  v.blamed.end());
+    }
+  }
+  EXPECT_TRUE(impersonation_flagged);
+}
+
+TEST(Lemma3Test, EndToEndFalsificationThroughRealPipeline) {
+  // The publisher's log pipe falsifies every out-entry (re-signed with its
+  // own key); the live subscriber is faithful. Audit must blame the
+  // publisher on every transmission.
+  test::MiniSystem sys;
+
+  proto::ComponentOptions pub_opts = test::FastOptions();
+  pub_opts.pipe_wrapper = [](proto::LogPipe& inner,
+                             const proto::NodeIdentity& identity) {
+    auto behavior = std::make_shared<faults::FalsificationBehavior>(
+        faults::FaultFilter{.direction = proto::Direction::kOut},
+        std::make_shared<proto::NodeIdentity>(identity));
+    return std::make_unique<faults::UnfaithfulLogPipe>(inner, behavior);
+  };
+
+  auto& pub = sys.Add("camera", pub_opts);
+  auto& sub = sys.Add("detector");
+  std::atomic<int> got{0};
+  sub.Subscribe("image", [&](const pubsub::Message&) { got++; });
+  auto& p = pub.Advertise("image");
+  for (int i = 0; i < 4; ++i) p.Publish(Bytes{1, 2, 3});
+  ASSERT_TRUE(test::WaitFor([&] { return got.load() == 4; }));
+  ASSERT_TRUE(
+      test::WaitFor([&] { return sys.server.EntryCount() == 8; }));
+
+  const AuditReport report = Auditor(sys.server.Keys())
+                                 .Audit(sys.server.Entries(),
+                                        sys.master.Topology());
+  ASSERT_EQ(report.verdicts.size(), 4u);
+  for (const auto& v : report.verdicts) {
+    EXPECT_EQ(v.finding, Finding::kPublisherFalsified);
+  }
+  EXPECT_TRUE(report.Blames("camera"));
+  EXPECT_FALSE(report.Blames("detector"));
+}
+
+TEST(Lemma3Test, EndToEndSubscriberFalsification) {
+  test::MiniSystem sys;
+
+  proto::ComponentOptions sub_opts = test::FastOptions();
+  sub_opts.pipe_wrapper = [](proto::LogPipe& inner,
+                             const proto::NodeIdentity& identity) {
+    auto behavior = std::make_shared<faults::FalsificationBehavior>(
+        faults::FaultFilter{.direction = proto::Direction::kIn},
+        std::make_shared<proto::NodeIdentity>(identity));
+    return std::make_unique<faults::UnfaithfulLogPipe>(inner, behavior);
+  };
+
+  auto& pub = sys.Add("camera");
+  auto& sub = sys.Add("detector", sub_opts);
+  std::atomic<int> got{0};
+  sub.Subscribe("image", [&](const pubsub::Message&) { got++; });
+  auto& p = pub.Advertise("image");
+  for (int i = 0; i < 4; ++i) p.Publish(Bytes{1, 2, 3});
+  ASSERT_TRUE(test::WaitFor([&] { return got.load() == 4; }));
+  ASSERT_TRUE(
+      test::WaitFor([&] { return sys.server.EntryCount() == 8; }));
+
+  const AuditReport report = Auditor(sys.server.Keys())
+                                 .Audit(sys.server.Entries(),
+                                        sys.master.Topology());
+  ASSERT_EQ(report.verdicts.size(), 4u);
+  for (const auto& v : report.verdicts) {
+    EXPECT_EQ(v.finding, Finding::kSubscriberFalsified);
+  }
+  EXPECT_TRUE(report.Blames("detector"));
+  EXPECT_FALSE(report.Blames("camera"));
+}
+
+}  // namespace
+}  // namespace adlp::audit

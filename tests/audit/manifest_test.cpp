@@ -1,0 +1,81 @@
+#include "audit/manifest.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "crypto/pkcs1.h"
+#include "test_util.h"
+#include "wire/wire.h"
+
+namespace adlp::audit {
+namespace {
+
+TEST(ManifestTest, RoundTripTopologyAndKeys) {
+  Topology topo;
+  topo["image"] = {"camera", {"lane", "sign"}};
+  topo["scan"] = {"lidar", {"obstacle"}};
+
+  crypto::KeyStore keys;
+  keys.Register("camera", test::TestIdentity("camera").keys.pub);
+  keys.Register("lane", test::TestIdentity("lane").keys.pub);
+
+  const LoadedManifest loaded =
+      ParseManifest(SerializeManifest(topo, keys));
+  EXPECT_EQ(loaded.topology, topo);
+  EXPECT_EQ(loaded.keys.Size(), 2u);
+  EXPECT_EQ(loaded.keys.Find("camera"),
+            test::TestIdentity("camera").keys.pub);
+  EXPECT_EQ(loaded.keys.Find("lane"), test::TestIdentity("lane").keys.pub);
+}
+
+TEST(ManifestTest, EmptyManifestRoundTrips) {
+  const LoadedManifest loaded = ParseManifest(SerializeManifest({}, {}));
+  EXPECT_TRUE(loaded.topology.empty());
+  EXPECT_EQ(loaded.keys.Size(), 0u);
+}
+
+TEST(ManifestTest, GarbageRejected) {
+  EXPECT_THROW(ParseManifest(Bytes(9, 0xff)), wire::WireError);
+}
+
+TEST(ManifestTest, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("adlp_manifest_test_" + std::to_string(::getpid())))
+          .string();
+  Topology topo;
+  topo["t"] = {"pub", {"sub"}};
+  crypto::KeyStore keys;
+  keys.Register("pub", test::TestIdentity("pub").keys.pub);
+  WriteManifestFile(path, topo, keys);
+
+  const LoadedManifest loaded = ReadManifestFile(path);
+  EXPECT_EQ(loaded.topology, topo);
+  EXPECT_TRUE(loaded.keys.Contains("pub"));
+  std::remove(path.c_str());
+}
+
+TEST(ManifestTest, MissingFileThrows) {
+  EXPECT_THROW(ReadManifestFile("/nonexistent/nowhere.manifest"),
+               std::system_error);
+}
+
+TEST(ManifestTest, LoadedKeysVerifyRealSignatures) {
+  // Keys surviving the manifest round trip still verify signatures — the
+  // investigator's audit depends on this.
+  const auto& identity = test::TestIdentity("signer");
+  crypto::KeyStore keys;
+  keys.Register("signer", identity.keys.pub);
+  const LoadedManifest loaded = ParseManifest(SerializeManifest({}, keys));
+
+  const crypto::Digest digest = crypto::Sha256Digest(BytesOf("evidence"));
+  const Bytes sig = crypto::SignDigest(identity.keys.priv, digest);
+  EXPECT_TRUE(
+      crypto::VerifyDigest(*loaded.keys.Find("signer"), digest, sig));
+}
+
+}  // namespace
+}  // namespace adlp::audit

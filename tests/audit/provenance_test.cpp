@@ -1,0 +1,142 @@
+#include "audit/provenance.h"
+
+#include <gtest/gtest.h>
+
+#include "audit/causality.h"
+#include "test_util.h"
+
+namespace adlp::audit {
+namespace {
+
+using test::MakeFaithfulPair;
+using test::TestIdentity;
+
+/// Builds a three-stage pipeline log: sensor -> proc -> sink.
+///   sensor publishes "raw" seq 1..n at t = 100*seq
+///   proc receives at t+10, publishes "cooked" seq at t+20
+///   sink receives at t+30
+struct Pipeline {
+  std::vector<proto::LogEntry> entries;
+  Topology topology;
+
+  explicit Pipeline(int n) {
+    const auto& sensor = TestIdentity("sensor");
+    const auto& proc = TestIdentity("proc");
+    const auto& sink = TestIdentity("sink");
+    topology["raw"] = {"sensor", {"proc"}};
+    topology["cooked"] = {"proc", {"sink"}};
+    for (int s = 1; s <= n; ++s) {
+      const Timestamp t = 100 * s;
+      auto hop1 = MakeFaithfulPair(sensor, proc, "raw",
+                                   static_cast<std::uint64_t>(s), {1}, t);
+      hop1.publisher_entry.timestamp = t;
+      hop1.subscriber_entry.timestamp = t + 10;
+      auto hop2 = MakeFaithfulPair(proc, sink, "cooked",
+                                   static_cast<std::uint64_t>(s), {2}, t + 20);
+      hop2.publisher_entry.timestamp = t + 20;
+      hop2.subscriber_entry.timestamp = t + 30;
+      entries.push_back(hop1.publisher_entry);
+      entries.push_back(hop1.subscriber_entry);
+      entries.push_back(hop2.publisher_entry);
+      entries.push_back(hop2.subscriber_entry);
+    }
+  }
+};
+
+TEST(ProvenanceTest, DirectInputsFindLatestPrecedingReceipt) {
+  Pipeline pipe(3);
+  LogDatabase db(pipe.entries, pipe.topology);
+  ProvenanceGraph graph(db);
+
+  const auto inputs = graph.DirectInputs(PairKey{"cooked", 2, "sink"});
+  ASSERT_EQ(inputs.size(), 1u);
+  EXPECT_EQ(inputs[0], (PairKey{"raw", 2, "proc"}));
+}
+
+TEST(ProvenanceTest, SensorHasNoInputs) {
+  Pipeline pipe(2);
+  LogDatabase db(pipe.entries, pipe.topology);
+  ProvenanceGraph graph(db);
+  EXPECT_TRUE(graph.DirectInputs(PairKey{"raw", 1, "proc"}).empty());
+}
+
+TEST(ProvenanceTest, AncestryWalksToTheSensor) {
+  Pipeline pipe(3);
+  LogDatabase db(pipe.entries, pipe.topology);
+  ProvenanceGraph graph(db);
+  const auto ancestry = graph.Ancestry(PairKey{"cooked", 3, "sink"});
+  ASSERT_EQ(ancestry.size(), 1u);
+  EXPECT_EQ(ancestry[0], (PairKey{"raw", 3, "proc"}));
+}
+
+TEST(ProvenanceTest, StaleInputNotAttributed) {
+  // proc emits cooked#2 before raw#3 arrives; raw#3 must not appear in
+  // cooked#2's provenance.
+  Pipeline pipe(3);
+  LogDatabase db(pipe.entries, pipe.topology);
+  ProvenanceGraph graph(db);
+  const auto inputs = graph.DirectInputs(PairKey{"cooked", 2, "sink"});
+  ASSERT_EQ(inputs.size(), 1u);
+  EXPECT_NE(inputs[0], (PairKey{"raw", 3, "proc"}));
+}
+
+TEST(ProvenanceTest, AllEdgesCountMatchesPipeline) {
+  Pipeline pipe(4);
+  LogDatabase db(pipe.entries, pipe.topology);
+  ProvenanceGraph graph(db);
+  // Each cooked#s has exactly one input edge.
+  EXPECT_EQ(graph.AllEdges().size(), 4u);
+}
+
+TEST(ProvenanceTest, CausalDependenciesPassCausalityCheck) {
+  Pipeline pipe(3);
+  LogDatabase db(pipe.entries, pipe.topology);
+  ProvenanceGraph graph(db);
+  const auto deps = graph.CausalDependencies();
+  ASSERT_FALSE(deps.empty());
+  EXPECT_TRUE(CausalityChecker(db).Check(deps).empty());
+}
+
+TEST(ProvenanceTest, RenderAncestryMentionsTheChain) {
+  Pipeline pipe(2);
+  LogDatabase db(pipe.entries, pipe.topology);
+  ProvenanceGraph graph(db);
+  const std::string trace =
+      graph.RenderAncestry(PairKey{"cooked", 2, "sink"});
+  EXPECT_NE(trace.find("cooked#2"), std::string::npos);
+  EXPECT_NE(trace.find("raw#2"), std::string::npos);
+}
+
+TEST(ProvenanceTest, FanInComponentPullsAllInputTopics) {
+  // A component with two input topics: both latest receipts attributed.
+  const auto& a = TestIdentity("srcA");
+  const auto& b = TestIdentity("srcB");
+  const auto& fuse = TestIdentity("fuser");
+  const auto& out = TestIdentity("consumer");
+
+  Topology topo;
+  topo["ta"] = {"srcA", {"fuser"}};
+  topo["tb"] = {"srcB", {"fuser"}};
+  topo["fused"] = {"fuser", {"consumer"}};
+
+  std::vector<proto::LogEntry> entries;
+  auto ha = MakeFaithfulPair(a, fuse, "ta", 1, {1}, 100);
+  ha.subscriber_entry.timestamp = 110;
+  auto hb = MakeFaithfulPair(b, fuse, "tb", 1, {2}, 120);
+  hb.subscriber_entry.timestamp = 130;
+  auto hf = MakeFaithfulPair(fuse, out, "fused", 1, {3}, 150);
+  hf.publisher_entry.timestamp = 150;
+  hf.subscriber_entry.timestamp = 160;
+  for (const auto& pair : {ha, hb, hf}) {
+    entries.push_back(pair.publisher_entry);
+    entries.push_back(pair.subscriber_entry);
+  }
+
+  LogDatabase db(entries, topo);
+  ProvenanceGraph graph(db);
+  const auto inputs = graph.DirectInputs(PairKey{"fused", 1, "consumer"});
+  EXPECT_EQ(inputs.size(), 2u);
+}
+
+}  // namespace
+}  // namespace adlp::audit

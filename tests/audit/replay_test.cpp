@@ -1,0 +1,155 @@
+#include "audit/replay.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "test_util.h"
+
+namespace adlp::audit {
+namespace {
+
+proto::LogEntry OutEntry(const std::string& topic,
+                         const crypto::ComponentId& publisher,
+                         std::uint64_t seq, Bytes data, Timestamp stamp) {
+  proto::LogEntry e;
+  e.scheme = proto::LogScheme::kAdlp;
+  e.component = publisher;
+  e.topic = topic;
+  e.direction = proto::Direction::kOut;
+  e.seq = seq;
+  e.timestamp = stamp;
+  e.message_stamp = stamp;
+  e.data = std::move(data);
+  return e;
+}
+
+TEST(ReplayTest, RepublishesRecordedDataInOrder) {
+  std::vector<proto::LogEntry> entries;
+  for (std::uint64_t seq = 1; seq <= 5; ++seq) {
+    entries.push_back(OutEntry("image", "camera", seq,
+                               Bytes{static_cast<std::uint8_t>(seq)},
+                               1000 * static_cast<Timestamp>(seq)));
+  }
+
+  pubsub::Master master;
+  proto::LogServer scratch;
+  Rng rng(1);
+  proto::Component listener("listener", master, scratch, rng,
+                            test::FastOptions(proto::LoggingScheme::kNone));
+  std::vector<std::uint8_t> received;
+  std::mutex mu;
+  std::atomic<int> got{0};
+  listener.Subscribe("image", [&](const pubsub::Message& m) {
+    std::lock_guard lock(mu);
+    received.push_back(m.payload.at(0));
+    got++;
+  });
+
+  const ReplayStats stats = ReplayLog(entries, master, {});
+  EXPECT_EQ(stats.replayed, 5u);
+  EXPECT_EQ(stats.per_topic.at("image"), 5u);
+  ASSERT_TRUE(test::WaitFor([&] { return got.load() == 5; }));
+  listener.Shutdown();
+
+  std::lock_guard lock(mu);
+  EXPECT_EQ(received, (std::vector<std::uint8_t>{1, 2, 3, 4, 5}));
+}
+
+TEST(ReplayTest, DuplicatePerSubscriberEntriesDeduped) {
+  // ADLP publishers log one entry per subscriber; replay must publish each
+  // (topic, seq) once.
+  std::vector<proto::LogEntry> entries;
+  for (int copy = 0; copy < 3; ++copy) {
+    entries.push_back(OutEntry("t", "pub", 1, Bytes{9}, 100));
+  }
+  pubsub::Master master;
+  ReplayOptions options;
+  options.expected_subscribers = 0;  // no listener in this test
+  const ReplayStats stats = ReplayLog(entries, master, options);
+  EXPECT_EQ(stats.replayed, 1u);
+}
+
+TEST(ReplayTest, HashOnlyEntriesSkippedAndCounted) {
+  std::vector<proto::LogEntry> entries;
+  proto::LogEntry hash_only = OutEntry("t", "pub", 1, {}, 100);
+  hash_only.data_hash = Bytes(32, 1);
+  entries.push_back(hash_only);
+  entries.push_back(OutEntry("t", "pub", 2, Bytes{1}, 200));
+
+  pubsub::Master master;
+  ReplayOptions options;
+  options.expected_subscribers = 0;
+  const ReplayStats stats = ReplayLog(entries, master, options);
+  EXPECT_EQ(stats.replayed, 1u);
+  EXPECT_EQ(stats.skipped_no_data, 1u);
+}
+
+TEST(ReplayTest, TopicFilterSelectsSubset) {
+  std::vector<proto::LogEntry> entries;
+  entries.push_back(OutEntry("a", "pa", 1, Bytes{1}, 100));
+  entries.push_back(OutEntry("b", "pb", 1, Bytes{2}, 200));
+
+  pubsub::Master master;
+  ReplayOptions options;
+  options.topics = {"b"};
+  options.expected_subscribers = 0;
+  const ReplayStats stats = ReplayLog(entries, master, options);
+  EXPECT_EQ(stats.replayed, 1u);
+  EXPECT_FALSE(stats.per_topic.contains("a"));
+  EXPECT_TRUE(stats.per_topic.contains("b"));
+}
+
+TEST(ReplayTest, InEntriesIgnored) {
+  std::vector<proto::LogEntry> entries;
+  proto::LogEntry in_entry = OutEntry("t", "sub", 1, Bytes{1}, 100);
+  in_entry.direction = proto::Direction::kIn;
+  entries.push_back(in_entry);
+
+  pubsub::Master master;
+  EXPECT_EQ(ReplayLog(entries, master, {}).replayed, 0u);
+}
+
+TEST(ReplayTest, MultipleTopicsInterleavedByStamp) {
+  std::vector<proto::LogEntry> entries;
+  entries.push_back(OutEntry("a", "pa", 1, Bytes{10}, 300));
+  entries.push_back(OutEntry("b", "pb", 1, Bytes{20}, 100));
+  entries.push_back(OutEntry("a", "pa", 2, Bytes{11}, 200));
+
+  pubsub::Master master;
+  proto::LogServer scratch;
+  Rng rng(2);
+  proto::Component listener("listener", master, scratch, rng,
+                            test::FastOptions(proto::LoggingScheme::kNone));
+  std::vector<std::uint8_t> order;
+  std::mutex mu;
+  std::atomic<int> got{0};
+  auto record = [&](const pubsub::Message& m) {
+    std::lock_guard lock(mu);
+    order.push_back(m.payload.at(0));
+    got++;
+  };
+  listener.Subscribe("a", record);
+  listener.Subscribe("b", record);
+
+  const ReplayStats stats = ReplayLog(entries, master, {});
+  EXPECT_EQ(stats.replayed, 3u);
+  ASSERT_TRUE(test::WaitFor([&] { return got.load() == 3; }));
+  listener.Shutdown();
+
+  // Recorded-time order: b#1 (100), a#2 (200), a#1 (300). Cross-topic
+  // interleaving is only guaranteed by publish order per topic; with one
+  // listener thread per topic the first delivery is b's.
+  std::lock_guard lock(mu);
+  EXPECT_EQ(order.size(), 3u);
+}
+
+TEST(ReplayTest, EmptyLogIsANoOp) {
+  pubsub::Master master;
+  const ReplayStats stats = ReplayLog({}, master, {});
+  EXPECT_EQ(stats.replayed, 0u);
+  EXPECT_EQ(stats.skipped_no_data, 0u);
+}
+
+}  // namespace
+}  // namespace adlp::audit

@@ -1,0 +1,104 @@
+#include "audit/report_json.h"
+
+#include <gtest/gtest.h>
+
+#include "audit/auditor.h"
+#include "faults/behavior.h"
+#include "test_util.h"
+
+namespace adlp::audit {
+namespace {
+
+TEST(JsonQuoteTest, EscapesSpecials) {
+  EXPECT_EQ(JsonQuote("plain"), "\"plain\"");
+  EXPECT_EQ(JsonQuote("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(JsonQuote("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(JsonQuote("a\nb\t"), "\"a\\nb\\t\"");
+  EXPECT_EQ(JsonQuote(std::string("\x01", 1)), "\"\\u0001\"");
+  EXPECT_EQ(JsonQuote(""), "\"\"");
+}
+
+AuditReport MakeReportWithBlame() {
+  const auto& pub = test::TestIdentity("pub");
+  const auto& sub = test::TestIdentity("sub");
+  const auto pair = test::MakeFaithfulPair(pub, sub, "image", 1, {1, 2});
+  crypto::KeyStore keys;
+  keys.Register("pub", pub.keys.pub);
+  keys.Register("sub", sub.keys.pub);
+  // Subscriber entry only: publisher provably hid.
+  return Auditor(keys).Audit({pair.subscriber_entry},
+                             test::OneTopicTopology("image", "pub", {"sub"}));
+}
+
+TEST(ReportJsonTest, ContainsAllSections) {
+  const std::string json = RenderReportJson(MakeReportWithBlame());
+  EXPECT_NE(json.find("\"summary\""), std::string::npos);
+  EXPECT_NE(json.find("\"findings\""), std::string::npos);
+  EXPECT_NE(json.find("\"components\""), std::string::npos);
+  EXPECT_NE(json.find("\"unfaithful\""), std::string::npos);
+  EXPECT_NE(json.find("\"verdicts\""), std::string::npos);
+  EXPECT_NE(json.find("\"publisher-hid-entry\""), std::string::npos);
+  EXPECT_NE(json.find("\"pub\""), std::string::npos);
+}
+
+TEST(ReportJsonTest, VerdictsCanBeOmitted) {
+  JsonOptions options;
+  options.include_verdicts = false;
+  const std::string json = RenderReportJson(MakeReportWithBlame(), options);
+  EXPECT_EQ(json.find("\"verdicts\""), std::string::npos);
+  EXPECT_NE(json.find("\"summary\""), std::string::npos);
+}
+
+TEST(ReportJsonTest, CompactModeIsSingleLine) {
+  JsonOptions options;
+  options.pretty = false;
+  const std::string json = RenderReportJson(MakeReportWithBlame(), options);
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+}
+
+TEST(ReportJsonTest, BalancedBracesAndQuotes) {
+  for (bool pretty : {true, false}) {
+    JsonOptions options;
+    options.pretty = pretty;
+    const std::string json = RenderReportJson(MakeReportWithBlame(), options);
+    int depth = 0;
+    bool in_string = false;
+    bool escaped = false;
+    for (char c : json) {
+      if (escaped) {
+        escaped = false;
+        continue;
+      }
+      if (in_string) {
+        if (c == '\\') escaped = true;
+        if (c == '"') in_string = false;
+        continue;
+      }
+      if (c == '"') in_string = true;
+      if (c == '{' || c == '[') ++depth;
+      if (c == '}' || c == ']') --depth;
+      ASSERT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0) << json;
+    EXPECT_FALSE(in_string);
+  }
+}
+
+TEST(ReportJsonTest, EmptyReport) {
+  const std::string json = RenderReportJson(AuditReport{});
+  EXPECT_NE(json.find("\"instances\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"unfaithful\""), std::string::npos);
+}
+
+TEST(ReportJsonTest, HostileNamesEscaped) {
+  // Component names straight from log entries could contain anything.
+  AuditReport report;
+  report.stats["evil\"name\n"] = ComponentStats{1, 0, 0, 0};
+  report.unfaithful.insert("evil\"name\n");
+  const std::string json = RenderReportJson(report);
+  EXPECT_NE(json.find("evil\\\"name\\n"), std::string::npos);
+  EXPECT_EQ(json.find("evil\"name\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adlp::audit

@@ -1,0 +1,250 @@
+#include "crypto/bigint.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace adlp::crypto {
+namespace {
+
+TEST(BigIntTest, DefaultIsZero) {
+  BigInt z;
+  EXPECT_TRUE(z.IsZero());
+  EXPECT_FALSE(z.IsNegative());
+  EXPECT_EQ(z.BitLength(), 0u);
+  EXPECT_EQ(z.ToHex(), "0");
+  EXPECT_EQ(z.ToDecimal(), "0");
+}
+
+TEST(BigIntTest, FromUint64AndBack) {
+  BigInt v(std::uint64_t{0xdeadbeefcafebabe});
+  EXPECT_EQ(v.ToHex(), "deadbeefcafebabe");
+  EXPECT_EQ(v.LowU64(), 0xdeadbeefcafebabeull);
+}
+
+TEST(BigIntTest, NegativeIntConstruction) {
+  BigInt v(-42);
+  EXPECT_TRUE(v.IsNegative());
+  EXPECT_EQ(v.ToDecimal(), "-42");
+  EXPECT_EQ((-v).ToDecimal(), "42");
+}
+
+TEST(BigIntTest, HexRoundTripMultiLimb) {
+  const std::string hex =
+      "123456789abcdef0fedcba9876543210aaaabbbbccccdddd";
+  EXPECT_EQ(BigInt::FromHex(hex).ToHex(), hex);
+}
+
+TEST(BigIntTest, DecimalRoundTrip) {
+  const std::string dec = "123456789012345678901234567890123456789";
+  EXPECT_EQ(BigInt::FromDecimal(dec).ToDecimal(), dec);
+}
+
+TEST(BigIntTest, FromHexRejectsGarbage) {
+  EXPECT_THROW(BigInt::FromHex("xyz"), std::invalid_argument);
+  EXPECT_THROW(BigInt::FromHex(""), std::invalid_argument);
+  EXPECT_THROW(BigInt::FromDecimal("12a"), std::invalid_argument);
+}
+
+TEST(BigIntTest, BytesBigEndianRoundTrip) {
+  const Bytes raw = {0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09};
+  const BigInt v = BigInt::FromBytesBE(raw);
+  EXPECT_EQ(v.ToBytesBE(), raw);
+}
+
+TEST(BigIntTest, BytesLeadingZerosStripped) {
+  const Bytes raw = {0x00, 0x00, 0x01, 0x02};
+  EXPECT_EQ(BigInt::FromBytesBE(raw).ToBytesBE(), (Bytes{0x01, 0x02}));
+}
+
+TEST(BigIntTest, PaddedBytesWidth) {
+  const BigInt v(std::uint64_t{0x0102});
+  const Bytes padded = v.ToBytesBEPadded(8);
+  EXPECT_EQ(padded, (Bytes{0, 0, 0, 0, 0, 0, 0x01, 0x02}));
+  EXPECT_THROW(v.ToBytesBEPadded(1), std::length_error);
+}
+
+TEST(BigIntTest, AdditionWithCarryChain) {
+  const BigInt a = BigInt::FromHex("ffffffffffffffffffffffffffffffff");
+  const BigInt one(1);
+  EXPECT_EQ((a + one).ToHex(), "100000000000000000000000000000000");
+}
+
+TEST(BigIntTest, SubtractionBorrow) {
+  const BigInt a = BigInt::FromHex("100000000000000000000000000000000");
+  EXPECT_EQ((a - BigInt(1)).ToHex(), "ffffffffffffffffffffffffffffffff");
+}
+
+TEST(BigIntTest, SignedArithmetic) {
+  const BigInt a(10), b(25);
+  EXPECT_EQ((a - b).ToDecimal(), "-15");
+  EXPECT_EQ((a - b + b).ToDecimal(), "10");
+  EXPECT_EQ(((-a) * b).ToDecimal(), "-250");
+  EXPECT_EQ(((-a) * (-b)).ToDecimal(), "250");
+  EXPECT_EQ((a + (-a)).ToDecimal(), "0");
+}
+
+TEST(BigIntTest, MultiplicationKnownProduct) {
+  const BigInt a = BigInt::FromDecimal("123456789123456789");
+  const BigInt b = BigInt::FromDecimal("987654321987654321");
+  EXPECT_EQ((a * b).ToDecimal(), "121932631356500531347203169112635269");
+}
+
+TEST(BigIntTest, DivisionBasic) {
+  const BigInt a = BigInt::FromDecimal("1000000000000000000000");
+  const BigInt b = BigInt::FromDecimal("7");
+  BigInt q, r;
+  BigInt::DivMod(a, b, q, r);
+  EXPECT_EQ(q.ToDecimal(), "142857142857142857142");
+  EXPECT_EQ(r.ToDecimal(), "6");
+}
+
+TEST(BigIntTest, DivisionByZeroThrows) {
+  EXPECT_THROW(BigInt(1) / BigInt{}, std::domain_error);
+  EXPECT_THROW(BigInt(1) % BigInt{}, std::domain_error);
+}
+
+TEST(BigIntTest, TruncatedDivisionSigns) {
+  // C-style truncation: -7 / 2 == -3 rem -1.
+  BigInt q, r;
+  BigInt::DivMod(BigInt(-7), BigInt(2), q, r);
+  EXPECT_EQ(q.ToDecimal(), "-3");
+  EXPECT_EQ(r.ToDecimal(), "-1");
+  BigInt::DivMod(BigInt(7), BigInt(-2), q, r);
+  EXPECT_EQ(q.ToDecimal(), "-3");
+  EXPECT_EQ(r.ToDecimal(), "1");
+}
+
+TEST(BigIntTest, ModFloorAlwaysNonNegative) {
+  EXPECT_EQ(BigInt(-7).ModFloor(BigInt(5)).ToDecimal(), "3");
+  EXPECT_EQ(BigInt(7).ModFloor(BigInt(5)).ToDecimal(), "2");
+  EXPECT_EQ(BigInt(-10).ModFloor(BigInt(5)).ToDecimal(), "0");
+}
+
+TEST(BigIntTest, DivModPropertyRandomized) {
+  Rng rng(123);
+  for (int i = 0; i < 200; ++i) {
+    const std::size_t abits = 1 + rng.UniformBelow(512);
+    const std::size_t bbits = 1 + rng.UniformBelow(256);
+    const BigInt a = BigInt::RandomBits(rng, abits);
+    const BigInt b = BigInt::RandomBits(rng, bbits);
+    BigInt q, r;
+    BigInt::DivMod(a, b, q, r);
+    EXPECT_EQ(q * b + r, a) << "iteration " << i;
+    EXPECT_LT(r, b);
+    EXPECT_FALSE(r.IsNegative());
+  }
+}
+
+TEST(BigIntTest, ShiftRoundTrip) {
+  Rng rng(7);
+  const BigInt v = BigInt::RandomBits(rng, 200);
+  for (std::size_t s : {1u, 13u, 64u, 65u, 127u, 200u}) {
+    EXPECT_EQ((v << s) >> s, v) << "shift " << s;
+  }
+}
+
+TEST(BigIntTest, ShiftEquivalentToMulDiv) {
+  const BigInt v = BigInt::FromDecimal("987654321987654321");
+  EXPECT_EQ(v << 10, v * BigInt(std::uint64_t{1024}));
+  EXPECT_EQ(v >> 3, v / BigInt(8));
+}
+
+TEST(BigIntTest, ShiftBeyondWidthIsZero) {
+  EXPECT_TRUE((BigInt(5) >> 100).IsZero());
+}
+
+TEST(BigIntTest, ComparisonOrdering) {
+  EXPECT_LT(BigInt(-5), BigInt(3));
+  EXPECT_LT(BigInt(-5), BigInt(-3));
+  EXPECT_GT(BigInt::FromHex("10000000000000000"), BigInt(std::uint64_t{~0ull}));
+  EXPECT_EQ(BigInt(7), BigInt(7));
+}
+
+TEST(BigIntTest, BitAccess) {
+  const BigInt v = BigInt::FromHex("8000000000000001");
+  EXPECT_TRUE(v.Bit(0));
+  EXPECT_TRUE(v.Bit(63));
+  EXPECT_FALSE(v.Bit(1));
+  EXPECT_FALSE(v.Bit(64));
+  EXPECT_EQ(v.BitLength(), 64u);
+}
+
+TEST(BigIntTest, GcdKnownValues) {
+  EXPECT_EQ(BigInt::Gcd(BigInt(48), BigInt(36)).ToDecimal(), "12");
+  EXPECT_EQ(BigInt::Gcd(BigInt(17), BigInt(5)).ToDecimal(), "1");
+  EXPECT_EQ(BigInt::Gcd(BigInt{}, BigInt(9)).ToDecimal(), "9");
+}
+
+TEST(BigIntTest, ModInverseRoundTrip) {
+  Rng rng(99);
+  const BigInt m = BigInt::FromDecimal("1000000007");  // prime
+  for (int i = 0; i < 50; ++i) {
+    const BigInt a = BigInt::RandomBelow(rng, m - BigInt(1)) + BigInt(1);
+    const BigInt inv = BigInt::ModInverse(a, m);
+    EXPECT_EQ((a * inv) % m, BigInt(1));
+  }
+}
+
+TEST(BigIntTest, ModInverseNonCoprimeThrows) {
+  EXPECT_THROW(BigInt::ModInverse(BigInt(6), BigInt(9)), std::domain_error);
+}
+
+TEST(BigIntTest, ModExpSmallKnown) {
+  EXPECT_EQ(BigInt::ModExp(BigInt(4), BigInt(13), BigInt(497)).ToDecimal(),
+            "445");
+  EXPECT_EQ(BigInt::ModExp(BigInt(2), BigInt(10), BigInt(1025)).ToDecimal(),
+            "1024");
+  EXPECT_EQ(BigInt::ModExp(BigInt(5), BigInt{}, BigInt(7)).ToDecimal(), "1");
+}
+
+TEST(BigIntTest, ModExpFermat) {
+  // a^(p-1) = 1 mod p for prime p.
+  const BigInt p = BigInt::FromDecimal("1000000007");
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    const BigInt a = BigInt::RandomBelow(rng, p - BigInt(2)) + BigInt(1);
+    EXPECT_EQ(BigInt::ModExp(a, p - BigInt(1), p), BigInt(1));
+  }
+}
+
+TEST(BigIntTest, ModExpEvenModulus) {
+  // Exercises the non-Montgomery path.
+  EXPECT_EQ(BigInt::ModExp(BigInt(3), BigInt(5), BigInt(100)).ToDecimal(),
+            "43");
+}
+
+TEST(BigIntTest, ModExpModulusOne) {
+  EXPECT_TRUE(BigInt::ModExp(BigInt(3), BigInt(5), BigInt(1)).IsZero());
+}
+
+TEST(BigIntTest, RandomBitsExactLength) {
+  Rng rng(3);
+  for (std::size_t bits : {1u, 8u, 63u, 64u, 65u, 512u, 1024u}) {
+    EXPECT_EQ(BigInt::RandomBits(rng, bits).BitLength(), bits);
+  }
+}
+
+TEST(BigIntTest, RandomBelowInRange) {
+  Rng rng(11);
+  const BigInt bound = BigInt::FromDecimal("1000");
+  for (int i = 0; i < 100; ++i) {
+    const BigInt v = BigInt::RandomBelow(rng, bound);
+    EXPECT_LT(v, bound);
+    EXPECT_FALSE(v.IsNegative());
+  }
+}
+
+TEST(BigIntTest, KnuthAddBackPath) {
+  // Crafted divisor/dividend pairs that stress the qhat correction.
+  const BigInt num = BigInt::FromHex(
+      "7fffffffffffffff8000000000000000000000000000000000000000");
+  const BigInt den = BigInt::FromHex("80000000000000000000000000000001");
+  BigInt q, r;
+  BigInt::DivMod(num, den, q, r);
+  EXPECT_EQ(q * den + r, num);
+  EXPECT_LT(r, den);
+}
+
+}  // namespace
+}  // namespace adlp::crypto

@@ -1,0 +1,185 @@
+#include "crypto/ed25519.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/sha512.h"
+
+namespace adlp::crypto {
+namespace {
+
+std::array<std::uint8_t, 32> Seed(const std::string& hex) {
+  const Bytes raw = FromHex(hex);
+  std::array<std::uint8_t, 32> out;
+  std::copy(raw.begin(), raw.end(), out.begin());
+  return out;
+}
+
+std::string PubHex(const Ed25519PublicKey& k) {
+  return ToHex(BytesView(k.bytes.data(), k.bytes.size()));
+}
+
+// --- SHA-512 (FIPS 180-4 / NIST vectors) -----------------------------------
+
+TEST(Sha512Test, Abc) {
+  const Digest512 d = Sha512Digest(BytesOf("abc"));
+  EXPECT_EQ(ToHex(BytesView(d.data(), d.size())),
+            "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a"
+            "2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f");
+}
+
+TEST(Sha512Test, EmptyInput) {
+  const Digest512 d = Sha512Digest({});
+  EXPECT_EQ(ToHex(BytesView(d.data(), d.size())),
+            "cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce9ce"
+            "47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af927da3e");
+}
+
+TEST(Sha512Test, TwoBlockMessage) {
+  const Digest512 d = Sha512Digest(BytesOf(
+      "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno"
+      "ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu"));
+  EXPECT_EQ(ToHex(BytesView(d.data(), d.size())),
+            "8e959b75dae313da8cf4f72814fc143f8f7779c6eb9f7fa17299aeadb6889018"
+            "501d289e4900f7e4331b99dec4b5433ac7d329eeb6dd26545e96e55b874be909");
+}
+
+TEST(Sha512Test, IncrementalMatchesOneShot) {
+  Bytes input(1000);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    input[i] = static_cast<std::uint8_t>(i);
+  }
+  const Digest512 expected = Sha512Digest(input);
+  for (std::size_t split : {1u, 127u, 128u, 129u, 500u}) {
+    Sha512 h;
+    std::size_t pos = 0;
+    while (pos < input.size()) {
+      const std::size_t take = std::min(split, input.size() - pos);
+      h.Update(BytesView(input.data() + pos, take));
+      pos += take;
+    }
+    EXPECT_EQ(h.Finish(), expected) << split;
+  }
+}
+
+// --- Ed25519 (RFC 8032 section 7.1 vectors) ---------------------------------
+
+TEST(Ed25519Test, Rfc8032Test1EmptyMessage) {
+  const auto kp = Ed25519KeyPairFromSeed(Seed(
+      "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60"));
+  EXPECT_EQ(PubHex(kp.pub),
+            "d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a");
+  const Bytes sig = Ed25519Sign(kp.priv, {});
+  EXPECT_EQ(ToHex(sig),
+            "e5564300c360ac729086e2cc806e828a84877f1eb8e5d974d873e06522490155"
+            "5fb8821590a33bacc61e39701cf9b46bd25bf5f0595bbe24655141438e7a100b");
+  EXPECT_TRUE(Ed25519Verify(kp.pub, {}, sig));
+}
+
+TEST(Ed25519Test, Rfc8032Test2OneByte) {
+  const auto kp = Ed25519KeyPairFromSeed(Seed(
+      "4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb"));
+  EXPECT_EQ(PubHex(kp.pub),
+            "3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c");
+  const Bytes msg = FromHex("72");
+  const Bytes sig = Ed25519Sign(kp.priv, msg);
+  EXPECT_EQ(ToHex(sig),
+            "92a009a9f0d4cab8720e820b5f642540a2b27b5416503f8fb3762223ebdb69da"
+            "085ac1e43e15996e458f3613d0f11d8c387b2eaeb4302aeeb00d291612bb0c00");
+  EXPECT_TRUE(Ed25519Verify(kp.pub, msg, sig));
+}
+
+TEST(Ed25519Test, Rfc8032Test3TwoBytes) {
+  const auto kp = Ed25519KeyPairFromSeed(Seed(
+      "c5aa8df43f9f837bedb7442f31dcb7b166d38535076f094b85ce3a2e0b4458f7"));
+  EXPECT_EQ(PubHex(kp.pub),
+            "fc51cd8e6218a1a38da47ed00230f0580816ed13ba3303ac5deb911548908025");
+  const Bytes msg = FromHex("af82");
+  const Bytes sig = Ed25519Sign(kp.priv, msg);
+  EXPECT_EQ(ToHex(sig),
+            "6291d657deec24024827e69c3abe01a30ce548a284743a445e3680d7db5ac3ac"
+            "18ff9b538d16f290ae67f760984dc6594a7c15e9716ed28dc027beceea1ec40a");
+  EXPECT_TRUE(Ed25519Verify(kp.pub, msg, sig));
+}
+
+TEST(Ed25519Test, TamperedMessageRejected) {
+  Rng rng(1);
+  const auto kp = GenerateEd25519KeyPair(rng);
+  Bytes msg = rng.RandomBytes(64);
+  const Bytes sig = Ed25519Sign(kp.priv, msg);
+  msg[0] ^= 1;
+  EXPECT_FALSE(Ed25519Verify(kp.pub, msg, sig));
+}
+
+TEST(Ed25519Test, TamperedSignatureRejected) {
+  Rng rng(2);
+  const auto kp = GenerateEd25519KeyPair(rng);
+  const Bytes msg = rng.RandomBytes(64);
+  for (std::size_t pos : {0u, 31u, 32u, 63u}) {
+    Bytes sig = Ed25519Sign(kp.priv, msg);
+    sig[pos] ^= 0x40;
+    EXPECT_FALSE(Ed25519Verify(kp.pub, msg, sig)) << pos;
+  }
+}
+
+TEST(Ed25519Test, WrongKeyRejected) {
+  Rng rng(3);
+  const auto a = GenerateEd25519KeyPair(rng);
+  const auto b = GenerateEd25519KeyPair(rng);
+  const Bytes msg = rng.RandomBytes(32);
+  EXPECT_FALSE(Ed25519Verify(b.pub, msg, Ed25519Sign(a.priv, msg)));
+}
+
+TEST(Ed25519Test, WrongLengthSignatureRejected) {
+  Rng rng(4);
+  const auto kp = GenerateEd25519KeyPair(rng);
+  const Bytes msg = rng.RandomBytes(32);
+  Bytes sig = Ed25519Sign(kp.priv, msg);
+  sig.pop_back();
+  EXPECT_FALSE(Ed25519Verify(kp.pub, msg, sig));
+  EXPECT_FALSE(Ed25519Verify(kp.pub, msg, Bytes{}));
+}
+
+TEST(Ed25519Test, ScalarAboveGroupOrderRejected) {
+  // Malleability check: bump S by L; the signature must be rejected even
+  // though the group equation still holds.
+  Rng rng(5);
+  const auto kp = GenerateEd25519KeyPair(rng);
+  const Bytes msg = rng.RandomBytes(32);
+  Bytes sig = Ed25519Sign(kp.priv, msg);
+  // S is little-endian in sig[32..64); adding L is involved, so instead set
+  // the top byte high enough to exceed L (L < 2^253).
+  sig[63] |= 0xe0;
+  EXPECT_FALSE(Ed25519Verify(kp.pub, msg, sig));
+}
+
+TEST(Ed25519Test, DeterministicSignatures) {
+  Rng rng(6);
+  const auto kp = GenerateEd25519KeyPair(rng);
+  const Bytes msg = rng.RandomBytes(100);
+  EXPECT_EQ(Ed25519Sign(kp.priv, msg), Ed25519Sign(kp.priv, msg));
+}
+
+TEST(Ed25519Test, ManyRandomRoundTrips) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) {
+    const auto kp = GenerateEd25519KeyPair(rng);
+    const Bytes msg = rng.RandomBytes(1 + rng.UniformBelow(200));
+    const Bytes sig = Ed25519Sign(kp.priv, msg);
+    ASSERT_EQ(sig.size(), kEd25519SignatureSize);
+    EXPECT_TRUE(Ed25519Verify(kp.pub, msg, sig));
+  }
+}
+
+TEST(Ed25519Test, GarbagePublicKeyRejected) {
+  // A key that does not decompress to a curve point.
+  Ed25519PublicKey bad;
+  bad.bytes.fill(0xff);
+  Rng rng(8);
+  const auto kp = GenerateEd25519KeyPair(rng);
+  const Bytes msg = rng.RandomBytes(32);
+  const Bytes sig = Ed25519Sign(kp.priv, msg);
+  EXPECT_FALSE(Ed25519Verify(bad, msg, sig));
+}
+
+}  // namespace
+}  // namespace adlp::crypto

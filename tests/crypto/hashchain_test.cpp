@@ -1,0 +1,82 @@
+#include "crypto/hashchain.h"
+
+#include <gtest/gtest.h>
+
+namespace adlp::crypto {
+namespace {
+
+TEST(HashChainTest, EmptyChainVerifies) {
+  HashChain chain;
+  EXPECT_EQ(chain.Size(), 0u);
+  EXPECT_EQ(chain.Head(), HashChain::Genesis());
+  EXPECT_TRUE(HashChain::Verify({}, chain.Head()));
+}
+
+TEST(HashChainTest, AppendChangesHead) {
+  HashChain chain;
+  const Digest genesis = chain.Head();
+  chain.Append(BytesOf("record-1"));
+  EXPECT_NE(chain.Head(), genesis);
+  EXPECT_EQ(chain.Size(), 1u);
+}
+
+TEST(HashChainTest, VerifyAcceptsExactSequence) {
+  HashChain chain;
+  std::vector<Bytes> records = {BytesOf("a"), BytesOf("b"), BytesOf("c")};
+  for (const auto& r : records) chain.Append(r);
+  EXPECT_TRUE(HashChain::Verify(records, chain.Head()));
+}
+
+TEST(HashChainTest, DetectsModification) {
+  HashChain chain;
+  std::vector<Bytes> records = {BytesOf("a"), BytesOf("b"), BytesOf("c")};
+  for (const auto& r : records) chain.Append(r);
+  records[1] = BytesOf("B");
+  EXPECT_FALSE(HashChain::Verify(records, chain.Head()));
+}
+
+TEST(HashChainTest, DetectsDeletion) {
+  HashChain chain;
+  std::vector<Bytes> records = {BytesOf("a"), BytesOf("b"), BytesOf("c")};
+  for (const auto& r : records) chain.Append(r);
+  records.erase(records.begin() + 1);
+  EXPECT_FALSE(HashChain::Verify(records, chain.Head()));
+}
+
+TEST(HashChainTest, DetectsInsertion) {
+  HashChain chain;
+  std::vector<Bytes> records = {BytesOf("a"), BytesOf("c")};
+  for (const auto& r : records) chain.Append(r);
+  records.insert(records.begin() + 1, BytesOf("b"));
+  EXPECT_FALSE(HashChain::Verify(records, chain.Head()));
+}
+
+TEST(HashChainTest, DetectsReordering) {
+  HashChain chain;
+  std::vector<Bytes> records = {BytesOf("a"), BytesOf("b")};
+  for (const auto& r : records) chain.Append(r);
+  std::swap(records[0], records[1]);
+  EXPECT_FALSE(HashChain::Verify(records, chain.Head()));
+}
+
+TEST(HashChainTest, OrderSensitiveHeads) {
+  HashChain ab, ba;
+  ab.Append(BytesOf("a"));
+  ab.Append(BytesOf("b"));
+  ba.Append(BytesOf("b"));
+  ba.Append(BytesOf("a"));
+  EXPECT_NE(ab.Head(), ba.Head());
+}
+
+TEST(HashChainTest, BoundaryAmbiguityResisted) {
+  // ("ab","c") vs ("a","bc") must produce different heads.
+  HashChain x, y;
+  x.Append(BytesOf("ab"));
+  x.Append(BytesOf("c"));
+  y.Append(BytesOf("a"));
+  y.Append(BytesOf("bc"));
+  EXPECT_NE(x.Head(), y.Head());
+}
+
+}  // namespace
+}  // namespace adlp::crypto

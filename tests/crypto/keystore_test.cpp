@@ -1,0 +1,68 @@
+#include "crypto/keystore.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace adlp::crypto {
+namespace {
+
+PublicKey MakeKey(std::uint64_t seed) {
+  Rng rng(seed);
+  // Alternate algorithms so the store is exercised with both.
+  const SigAlgorithm alg = (seed % 2 == 0) ? SigAlgorithm::kEd25519
+                                           : SigAlgorithm::kRsaPkcs1Sha256;
+  return GenerateSigKeyPair(rng, alg, 256).pub;
+}
+
+TEST(KeyStoreTest, RegisterAndFind) {
+  KeyStore store;
+  const PublicKey key = MakeKey(1);
+  store.Register("camera", key);
+  ASSERT_TRUE(store.Contains("camera"));
+  EXPECT_EQ(store.Find("camera"), key);
+  EXPECT_EQ(store.Size(), 1u);
+}
+
+TEST(KeyStoreTest, MissingIdReturnsNullopt) {
+  KeyStore store;
+  EXPECT_FALSE(store.Find("ghost").has_value());
+  EXPECT_FALSE(store.Contains("ghost"));
+}
+
+TEST(KeyStoreTest, ReRegistrationReplaces) {
+  KeyStore store;
+  store.Register("node", MakeKey(1));
+  const PublicKey newer = MakeKey(2);
+  store.Register("node", newer);
+  EXPECT_EQ(store.Find("node"), newer);
+  EXPECT_EQ(store.Size(), 1u);
+}
+
+TEST(KeyStoreTest, RegisteredIdsSorted) {
+  KeyStore store;
+  store.Register("b", MakeKey(1));
+  store.Register("a", MakeKey(2));
+  store.Register("c", MakeKey(3));
+  EXPECT_EQ(store.RegisteredIds(),
+            (std::vector<ComponentId>{"a", "b", "c"}));
+}
+
+TEST(KeyStoreTest, ConcurrentRegistrationIsSafe) {
+  KeyStore store;
+  const PublicKey key = MakeKey(1);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&store, &key, t] {
+      for (int i = 0; i < 100; ++i) {
+        store.Register("node-" + std::to_string(t) + "-" + std::to_string(i),
+                       key);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(store.Size(), 800u);
+}
+
+}  // namespace
+}  // namespace adlp::crypto

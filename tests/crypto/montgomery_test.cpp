@@ -1,0 +1,73 @@
+#include "crypto/montgomery.h"
+
+#include <gtest/gtest.h>
+
+namespace adlp::crypto {
+namespace {
+
+TEST(MontgomeryTest, RejectsEvenModulus) {
+  EXPECT_THROW(MontgomeryCtx(BigInt(10)), std::invalid_argument);
+  EXPECT_THROW(MontgomeryCtx(BigInt(1)), std::invalid_argument);
+}
+
+TEST(MontgomeryTest, ToFromMontRoundTrip) {
+  Rng rng(1);
+  BigInt modulus = BigInt::RandomBits(rng, 256);
+  if (!modulus.IsOdd()) modulus = modulus + BigInt(1);
+  MontgomeryCtx ctx(modulus);
+  for (int i = 0; i < 50; ++i) {
+    const BigInt a = BigInt::RandomBelow(rng, modulus);
+    EXPECT_EQ(ctx.FromMont(ctx.ToMont(a)), a);
+  }
+}
+
+TEST(MontgomeryTest, MulMatchesSchoolbook) {
+  Rng rng(2);
+  BigInt modulus = BigInt::RandomBits(rng, 512);
+  if (!modulus.IsOdd()) modulus = modulus + BigInt(1);
+  MontgomeryCtx ctx(modulus);
+  for (int i = 0; i < 100; ++i) {
+    const BigInt a = BigInt::RandomBelow(rng, modulus);
+    const BigInt b = BigInt::RandomBelow(rng, modulus);
+    std::vector<std::uint64_t> out;
+    ctx.Mul(ctx.ToMont(a), ctx.ToMont(b), out);
+    EXPECT_EQ(ctx.FromMont(out), (a * b) % modulus) << "iteration " << i;
+  }
+}
+
+TEST(MontgomeryTest, ExpMatchesGenericModExp) {
+  Rng rng(3);
+  BigInt modulus = BigInt::RandomBits(rng, 384);
+  if (!modulus.IsOdd()) modulus = modulus + BigInt(1);
+  MontgomeryCtx ctx(modulus);
+  for (int i = 0; i < 20; ++i) {
+    const BigInt base = BigInt::RandomBelow(rng, modulus);
+    const BigInt exp = BigInt::RandomBits(rng, 64);
+    // Reference: slow square-and-multiply with plain reduction.
+    BigInt ref(1);
+    BigInt b = base % modulus;
+    for (std::size_t j = exp.BitLength(); j-- > 0;) {
+      ref = (ref * ref) % modulus;
+      if (exp.Bit(j)) ref = (ref * b) % modulus;
+    }
+    EXPECT_EQ(ctx.Exp(base, exp), ref) << "iteration " << i;
+  }
+}
+
+TEST(MontgomeryTest, ExpEdgeCases) {
+  MontgomeryCtx ctx(BigInt(97));
+  EXPECT_EQ(ctx.Exp(BigInt(5), BigInt{}), BigInt(1));       // e = 0
+  EXPECT_EQ(ctx.Exp(BigInt(5), BigInt(1)), BigInt(5));      // e = 1
+  EXPECT_EQ(ctx.Exp(BigInt{}, BigInt(5)), BigInt{});        // base 0
+  EXPECT_EQ(ctx.Exp(BigInt(96), BigInt(2)), BigInt(1));     // (-1)^2
+  EXPECT_EQ(ctx.Exp(BigInt(5), BigInt(96)), BigInt(1));     // Fermat
+  EXPECT_THROW(ctx.Exp(BigInt(2), BigInt(-1)), std::invalid_argument);
+}
+
+TEST(MontgomeryTest, BaseLargerThanModulusIsReduced) {
+  MontgomeryCtx ctx(BigInt(97));
+  EXPECT_EQ(ctx.Exp(BigInt(100), BigInt(2)), BigInt(9));  // 100 mod 97 = 3
+}
+
+}  // namespace
+}  // namespace adlp::crypto

@@ -1,0 +1,84 @@
+#include "crypto/prime.h"
+
+#include <gtest/gtest.h>
+
+namespace adlp::crypto {
+namespace {
+
+TEST(PrimeTest, SmallPrimesRecognized) {
+  Rng rng(1);
+  for (std::uint64_t p : {2u, 3u, 5u, 7u, 97u, 541u, 7919u, 104729u}) {
+    EXPECT_TRUE(IsProbablePrime(BigInt(p), rng)) << p;
+  }
+}
+
+TEST(PrimeTest, SmallCompositesRejected) {
+  Rng rng(2);
+  for (std::uint64_t c : {1u, 4u, 9u, 15u, 91u, 561u, 1001u, 104730u}) {
+    EXPECT_FALSE(IsProbablePrime(BigInt(c), rng)) << c;
+  }
+}
+
+TEST(PrimeTest, ZeroOneNegativeRejected) {
+  Rng rng(3);
+  EXPECT_FALSE(IsProbablePrime(BigInt{}, rng));
+  EXPECT_FALSE(IsProbablePrime(BigInt(1), rng));
+  EXPECT_FALSE(IsProbablePrime(BigInt(-7), rng));
+}
+
+TEST(PrimeTest, CarmichaelNumbersRejected) {
+  // Fermat pseudoprimes to many bases; Miller-Rabin must reject them.
+  Rng rng(4);
+  for (std::uint64_t c : {561u, 1105u, 1729u, 2465u, 2821u, 6601u, 8911u,
+                          10585u, 15841u, 29341u}) {
+    EXPECT_FALSE(IsProbablePrime(BigInt(c), rng)) << c;
+  }
+}
+
+TEST(PrimeTest, KnownLargePrime) {
+  Rng rng(5);
+  // 2^127 - 1 (Mersenne prime).
+  const BigInt m127 = (BigInt(1) << 127) - BigInt(1);
+  EXPECT_TRUE(IsProbablePrime(m127, rng));
+  // 2^128 - 1 is composite.
+  EXPECT_FALSE(IsProbablePrime((BigInt(1) << 128) - BigInt(1), rng));
+}
+
+TEST(PrimeTest, ProductOfTwoPrimesRejected) {
+  Rng rng(6);
+  const BigInt p = GeneratePrime(rng, 96, false);
+  const BigInt q = GeneratePrime(rng, 96, false);
+  EXPECT_FALSE(IsProbablePrime(p * q, rng));
+}
+
+TEST(PrimeTest, GeneratedPrimeHasExactBitLength) {
+  Rng rng(7);
+  for (std::size_t bits : {64u, 128u, 256u}) {
+    const BigInt p = GeneratePrime(rng, bits, false);
+    EXPECT_EQ(p.BitLength(), bits);
+    EXPECT_TRUE(p.IsOdd());
+    EXPECT_TRUE(IsProbablePrime(p, rng));
+  }
+}
+
+TEST(PrimeTest, TopTwoBitsForced) {
+  Rng rng(8);
+  for (int i = 0; i < 5; ++i) {
+    const BigInt p = GeneratePrime(rng, 128, true);
+    EXPECT_TRUE(p.Bit(127));
+    EXPECT_TRUE(p.Bit(126));
+  }
+}
+
+TEST(PrimeTest, TooFewBitsThrows) {
+  Rng rng(9);
+  EXPECT_THROW(GeneratePrime(rng, 4, false), std::invalid_argument);
+}
+
+TEST(PrimeTest, DeterministicGivenSeed) {
+  Rng a(42), b(42);
+  EXPECT_EQ(GeneratePrime(a, 128, true), GeneratePrime(b, 128, true));
+}
+
+}  // namespace
+}  // namespace adlp::crypto

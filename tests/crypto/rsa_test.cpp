@@ -1,0 +1,98 @@
+#include "crypto/rsa.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/prime.h"
+
+namespace adlp::crypto {
+namespace {
+
+class RsaTest : public ::testing::Test {
+ protected:
+  static const RsaKeyPair& Key512() {
+    static const RsaKeyPair kp = [] {
+      Rng rng(1001);
+      return GenerateRsaKeyPair(rng, 512);
+    }();
+    return kp;
+  }
+};
+
+TEST_F(RsaTest, ModulusHasExactBits) {
+  EXPECT_EQ(Key512().pub.n.BitLength(), 512u);
+  EXPECT_EQ(Key512().pub.ModulusBytes(), 64u);
+}
+
+TEST_F(RsaTest, KeyInternalConsistency) {
+  const RsaPrivateKey& k = Key512().priv;
+  EXPECT_EQ(k.p * k.q, k.n);
+  const BigInt phi = (k.p - BigInt(1)) * (k.q - BigInt(1));
+  EXPECT_EQ((k.e * k.d) % phi, BigInt(1));
+  EXPECT_EQ(k.dp, k.d % (k.p - BigInt(1)));
+  EXPECT_EQ(k.dq, k.d % (k.q - BigInt(1)));
+  EXPECT_EQ((k.q * k.q_inv) % k.p, BigInt(1));
+  Rng rng(5);
+  EXPECT_TRUE(IsProbablePrime(k.p, rng));
+  EXPECT_TRUE(IsProbablePrime(k.q, rng));
+}
+
+TEST_F(RsaTest, PublicExponentIsF4) {
+  EXPECT_EQ(Key512().pub.e, BigInt(std::uint64_t{65537}));
+}
+
+TEST_F(RsaTest, PrivateThenPublicIsIdentity) {
+  Rng rng(77);
+  for (int i = 0; i < 10; ++i) {
+    const BigInt m = BigInt::RandomBelow(rng, Key512().pub.n);
+    const BigInt s = RsaPrivateOp(Key512().priv, m);
+    EXPECT_EQ(RsaPublicOp(Key512().pub, s), m);
+  }
+}
+
+TEST_F(RsaTest, PublicThenPrivateIsIdentity) {
+  Rng rng(78);
+  const BigInt m = BigInt::RandomBelow(rng, Key512().pub.n);
+  EXPECT_EQ(RsaPrivateOp(Key512().priv, RsaPublicOp(Key512().pub, m)), m);
+}
+
+TEST_F(RsaTest, CrtMatchesPlainExponentiation) {
+  Rng rng(79);
+  const auto& k = Key512().priv;
+  for (int i = 0; i < 5; ++i) {
+    const BigInt c = BigInt::RandomBelow(rng, k.n);
+    EXPECT_EQ(RsaPrivateOp(k, c), BigInt::ModExp(c, k.d, k.n));
+  }
+}
+
+TEST_F(RsaTest, OutOfRangeOperandsThrow) {
+  EXPECT_THROW(RsaPublicOp(Key512().pub, Key512().pub.n), std::domain_error);
+  EXPECT_THROW(RsaPrivateOp(Key512().priv, Key512().pub.n), std::domain_error);
+  EXPECT_THROW(RsaPublicOp(Key512().pub, BigInt(-1)), std::domain_error);
+}
+
+TEST_F(RsaTest, GenerationRejectsBadParams) {
+  Rng rng(2);
+  EXPECT_THROW(GenerateRsaKeyPair(rng, 100), std::invalid_argument);
+  EXPECT_THROW(GenerateRsaKeyPair(rng, 513), std::invalid_argument);
+}
+
+TEST_F(RsaTest, DistinctSeedsDistinctKeys) {
+  Rng a(1), b(2);
+  EXPECT_NE(GenerateRsaKeyPair(a, 256).pub.n, GenerateRsaKeyPair(b, 256).pub.n);
+}
+
+TEST_F(RsaTest, DeterministicGivenSeed) {
+  Rng a(33), b(33);
+  EXPECT_EQ(GenerateRsaKeyPair(a, 256).pub.n, GenerateRsaKeyPair(b, 256).pub.n);
+}
+
+TEST_F(RsaTest, Paper1024BitKey) {
+  Rng rng(4242);
+  const RsaKeyPair kp = GenerateRsaKeyPair(rng, 1024);
+  EXPECT_EQ(kp.pub.ModulusBytes(), 128u);  // the paper's 128-byte signatures
+  const BigInt m = BigInt::RandomBelow(rng, kp.pub.n);
+  EXPECT_EQ(RsaPublicOp(kp.pub, RsaPrivateOp(kp.priv, m)), m);
+}
+
+}  // namespace
+}  // namespace adlp::crypto

@@ -1,0 +1,130 @@
+#include "crypto/sha256.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+
+namespace adlp::crypto {
+namespace {
+
+std::string HexDigest(const Digest& d) {
+  return ToHex(BytesView(d.data(), d.size()));
+}
+
+TEST(Sha256Test, EmptyInput) {
+  EXPECT_EQ(HexDigest(Sha256Digest({})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(HexDigest(Sha256Digest(BytesOf("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(HexDigest(Sha256Digest(BytesOf(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Bytes input(1'000'000, 'a');
+  EXPECT_EQ(HexDigest(Sha256Digest(input)),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, ExactBlockBoundary) {
+  // 64-byte input exercises the padding path that appends a full new block.
+  Bytes input(64, 'x');
+  const Digest one_shot = Sha256Digest(input);
+  Sha256 h;
+  h.Update(BytesView(input.data(), 32));
+  h.Update(BytesView(input.data() + 32, 32));
+  EXPECT_EQ(one_shot, h.Finish());
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShotAcrossSplits) {
+  Bytes input;
+  for (int i = 0; i < 1000; ++i) input.push_back(static_cast<std::uint8_t>(i));
+  const Digest expected = Sha256Digest(input);
+  for (std::size_t split : {1u, 7u, 63u, 64u, 65u, 128u, 999u}) {
+    Sha256 h;
+    std::size_t pos = 0;
+    while (pos < input.size()) {
+      const std::size_t take = std::min(split, input.size() - pos);
+      h.Update(BytesView(input.data() + pos, take));
+      pos += take;
+    }
+    EXPECT_EQ(h.Finish(), expected) << "split=" << split;
+  }
+}
+
+TEST(Sha256Test, ResetAllowsReuse) {
+  Sha256 h;
+  h.Update(BytesOf("first"));
+  (void)h.Finish();
+  h.Reset();
+  h.Update(BytesOf("abc"));
+  EXPECT_EQ(HexDigest(h.Finish()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, Digest2MatchesConcatenation) {
+  const Bytes a = BytesOf("hello ");
+  const Bytes b = BytesOf("world");
+  EXPECT_EQ(Sha256Digest2(a, b), Sha256Digest(Concat(a, b)));
+}
+
+TEST(Sha256Test, DistinctInputsDistinctDigests) {
+  EXPECT_NE(Sha256Digest(BytesOf("a")), Sha256Digest(BytesOf("b")));
+  Bytes x(100, 0);
+  Bytes y(100, 0);
+  y[99] = 1;
+  EXPECT_NE(Sha256Digest(x), Sha256Digest(y));
+}
+
+TEST(Sha256Test, DigestBytesCopiesAll32) {
+  const Digest d = Sha256Digest(BytesOf("abc"));
+  const Bytes b = DigestBytes(d);
+  ASSERT_EQ(b.size(), kSha256DigestSize);
+  EXPECT_TRUE(std::equal(b.begin(), b.end(), d.begin()));
+}
+
+// RFC 4231 test vectors.
+TEST(HmacSha256Test, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  const Digest mac = HmacSha256(key, BytesOf("Hi There"));
+  EXPECT_EQ(HexDigest(mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256Test, Rfc4231Case2) {
+  const Digest mac =
+      HmacSha256(BytesOf("Jefe"), BytesOf("what do ya want for nothing?"));
+  EXPECT_EQ(HexDigest(mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256Test, Rfc4231Case3) {
+  const Bytes key(20, 0xaa);
+  const Bytes data(50, 0xdd);
+  EXPECT_EQ(HexDigest(HmacSha256(key, data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacSha256Test, LongKeyIsHashedFirst) {
+  // RFC 4231 case 6: 131-byte key.
+  const Bytes key(131, 0xaa);
+  const Digest mac = HmacSha256(
+      key, BytesOf("Test Using Larger Than Block-Size Key - Hash Key First"));
+  EXPECT_EQ(HexDigest(mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacSha256Test, KeySensitivity) {
+  const Bytes data = BytesOf("payload");
+  EXPECT_NE(HmacSha256(BytesOf("k1"), data), HmacSha256(BytesOf("k2"), data));
+}
+
+}  // namespace
+}  // namespace adlp::crypto

@@ -1,0 +1,94 @@
+// The pluggable signature layer: both algorithms satisfy the same contract,
+// keys round-trip the wire encoding, and cross-algorithm confusion is
+// rejected.
+#include "crypto/sig.h"
+
+#include <gtest/gtest.h>
+#include <map>
+
+#include "wire/wire.h"
+
+namespace adlp::crypto {
+namespace {
+
+class SigTest : public ::testing::TestWithParam<SigAlgorithm> {
+ protected:
+  static const SigKeyPair& Key(SigAlgorithm alg) {
+    static std::map<SigAlgorithm, SigKeyPair> cache;
+    auto it = cache.find(alg);
+    if (it == cache.end()) {
+      Rng rng(777 + static_cast<int>(alg));
+      it = cache.emplace(alg, GenerateSigKeyPair(rng, alg, 512)).first;
+    }
+    return it->second;
+  }
+};
+
+TEST_P(SigTest, SignVerifyRoundTrip) {
+  const auto& kp = Key(GetParam());
+  const Digest digest = Sha256Digest(BytesOf("adlp"));
+  const Bytes sig = SignDigest(kp.priv, digest);
+  EXPECT_EQ(sig.size(), kp.pub.SignatureSize());
+  EXPECT_TRUE(VerifyDigest(kp.pub, digest, sig));
+}
+
+TEST_P(SigTest, DifferentDigestRejected) {
+  const auto& kp = Key(GetParam());
+  const Bytes sig = SignDigest(kp.priv, Sha256Digest(BytesOf("one")));
+  EXPECT_FALSE(VerifyDigest(kp.pub, Sha256Digest(BytesOf("two")), sig));
+}
+
+TEST_P(SigTest, PublicKeyWireRoundTrip) {
+  const auto& kp = Key(GetParam());
+  const PublicKey parsed = ParsePublicKey(SerializePublicKey(kp.pub));
+  EXPECT_EQ(parsed, kp.pub);
+  // The parsed key still verifies real signatures.
+  const Digest digest = Sha256Digest(BytesOf("roundtrip"));
+  EXPECT_TRUE(VerifyDigest(parsed, digest, SignDigest(kp.priv, digest)));
+}
+
+TEST_P(SigTest, EmptySignatureRejected) {
+  const auto& kp = Key(GetParam());
+  EXPECT_FALSE(VerifyDigest(kp.pub, Sha256Digest(BytesOf("x")), Bytes{}));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Algorithms, SigTest,
+    ::testing::Values(SigAlgorithm::kRsaPkcs1Sha256, SigAlgorithm::kEd25519),
+    [](const ::testing::TestParamInfo<SigAlgorithm>& info) {
+      return info.param == SigAlgorithm::kEd25519 ? "ed25519" : "rsa";
+    });
+
+TEST(SigCrossTest, AlgorithmsDoNotVerifyEachOther) {
+  Rng rng(1);
+  const SigKeyPair rsa = GenerateSigKeyPair(rng, SigAlgorithm::kRsaPkcs1Sha256, 512);
+  const SigKeyPair ed = GenerateSigKeyPair(rng, SigAlgorithm::kEd25519);
+  const Digest digest = Sha256Digest(BytesOf("cross"));
+  EXPECT_FALSE(VerifyDigest(rsa.pub, digest, SignDigest(ed.priv, digest)));
+  EXPECT_FALSE(VerifyDigest(ed.pub, digest, SignDigest(rsa.priv, digest)));
+}
+
+TEST(SigCrossTest, SignatureSizes) {
+  Rng rng(2);
+  EXPECT_EQ(GenerateSigKeyPair(rng, SigAlgorithm::kRsaPkcs1Sha256, 1024)
+                .pub.SignatureSize(),
+            128u);  // the paper's RSA-1024
+  EXPECT_EQ(GenerateSigKeyPair(rng, SigAlgorithm::kEd25519).pub.SignatureSize(),
+            64u);  // the lightweight alternative
+}
+
+TEST(SigCrossTest, ParseRejectsBadEd25519Length) {
+  wire::Writer w;
+  w.PutU64(1, static_cast<std::uint64_t>(SigAlgorithm::kEd25519));
+  w.PutBytes(4, Bytes(31, 1));  // one byte short
+  EXPECT_THROW(ParsePublicKey(w.Data()), wire::WireError);
+}
+
+TEST(SigCrossTest, AlgorithmNames) {
+  EXPECT_EQ(SigAlgorithmName(SigAlgorithm::kRsaPkcs1Sha256),
+            "rsa-pkcs1-sha256");
+  EXPECT_EQ(SigAlgorithmName(SigAlgorithm::kEd25519), "ed25519");
+}
+
+}  // namespace
+}  // namespace adlp::crypto

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include "crypto/pkcs1.h"
+#include "faults/behavior.h"
+#include "faults/fabricate.h"
+#include "pubsub/message.h"
+#include "test_util.h"
+
+namespace adlp::faults {
+namespace {
+
+using test::TestIdentity;
+
+proto::LogEntry SampleEntry(proto::Direction dir = proto::Direction::kOut,
+                            std::uint64_t seq = 1) {
+  proto::LogEntry e;
+  e.scheme = proto::LogScheme::kAdlp;
+  e.component = "pub";
+  e.topic = "image";
+  e.direction = dir;
+  e.seq = seq;
+  e.timestamp = 100;
+  e.message_stamp = 99;
+  e.data = {1, 2, 3};
+  e.peer = dir == proto::Direction::kOut ? "sub" : "pub";
+  return e;
+}
+
+TEST(FaultFilterTest, TopicFilter) {
+  Rng rng(1);
+  FaultFilter f{.topic = "image"};
+  EXPECT_TRUE(f.Matches(SampleEntry(), rng));
+  proto::LogEntry other = SampleEntry();
+  other.topic = "scan";
+  EXPECT_FALSE(f.Matches(other, rng));
+}
+
+TEST(FaultFilterTest, DirectionFilter) {
+  Rng rng(1);
+  FaultFilter f{.direction = proto::Direction::kIn};
+  EXPECT_FALSE(f.Matches(SampleEntry(proto::Direction::kOut), rng));
+  EXPECT_TRUE(f.Matches(SampleEntry(proto::Direction::kIn), rng));
+}
+
+TEST(FaultFilterTest, PeerFilterModelsSelectiveUnfaithfulness) {
+  // An unfaithful component may lie only toward specific counterparts.
+  Rng rng(1);
+  FaultFilter f{.peer = "sub"};
+  EXPECT_TRUE(f.Matches(SampleEntry(), rng));
+  proto::LogEntry other = SampleEntry();
+  other.peer = "other";
+  EXPECT_FALSE(f.Matches(other, rng));
+}
+
+TEST(FaultFilterTest, SeqRange) {
+  Rng rng(1);
+  FaultFilter f;
+  f.seq_min = 5;
+  f.seq_max = 10;
+  EXPECT_FALSE(f.Matches(SampleEntry(proto::Direction::kOut, 4), rng));
+  EXPECT_TRUE(f.Matches(SampleEntry(proto::Direction::kOut, 5), rng));
+  EXPECT_TRUE(f.Matches(SampleEntry(proto::Direction::kOut, 10), rng));
+  EXPECT_FALSE(f.Matches(SampleEntry(proto::Direction::kOut, 11), rng));
+}
+
+TEST(FaultFilterTest, ProbabilityRoughlyRespected) {
+  Rng rng(42);
+  FaultFilter f{.probability = 0.3};
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (f.Matches(SampleEntry(), rng)) ++hits;
+  }
+  EXPECT_GT(hits, 2500);
+  EXPECT_LT(hits, 3500);
+}
+
+TEST(HidingBehaviorTest, DropsMatchingOnly) {
+  HidingBehavior hide(FaultFilter{.direction = proto::Direction::kOut});
+  EXPECT_FALSE(hide.OnEntry(SampleEntry(proto::Direction::kOut)).has_value());
+  EXPECT_TRUE(hide.OnEntry(SampleEntry(proto::Direction::kIn)).has_value());
+  EXPECT_EQ(hide.HiddenCount(), 1u);
+}
+
+TEST(FalsificationBehaviorTest, RewritesDataAndResigns) {
+  const auto& identity = TestIdentity("pub");
+  FalsificationBehavior falsify(
+      FaultFilter{}, std::make_shared<proto::NodeIdentity>(identity));
+  const proto::LogEntry original = SampleEntry();
+  const auto result = falsify.OnEntry(original);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NE(result->data, original.data);
+  EXPECT_EQ(falsify.FalsifiedCount(), 1u);
+
+  // The falsified entry is self-consistent: its signature verifies for the
+  // fake data under the falsifier's own key.
+  pubsub::MessageHeader header;
+  header.topic = result->topic;
+  header.publisher = result->component;
+  header.seq = result->seq;
+  header.stamp = result->message_stamp;
+  const auto digest = pubsub::MessageDigest(header, result->data);
+  EXPECT_TRUE(crypto::VerifyDigest(identity.keys.pub, digest,
+                                  result->self_signature));
+}
+
+TEST(FalsificationBehaviorTest, CustomMutator) {
+  const auto& identity = TestIdentity("pub");
+  FalsificationBehavior falsify(
+      FaultFilter{}, std::make_shared<proto::NodeIdentity>(identity),
+      [](const Bytes&) { return BytesOf("evil"); });
+  const auto result = falsify.OnEntry(SampleEntry());
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->data, BytesOf("evil"));
+}
+
+TEST(FalsificationBehaviorTest, HashOnlyEntryGetsNewDigest) {
+  const auto& identity = TestIdentity("sub");
+  proto::LogEntry entry = SampleEntry(proto::Direction::kIn);
+  entry.component = "sub";
+  entry.peer = "pub";
+  entry.data.clear();
+  entry.data_hash = Bytes(32, 0x01);
+  FalsificationBehavior falsify(
+      FaultFilter{}, std::make_shared<proto::NodeIdentity>(identity));
+  const auto result = falsify.OnEntry(entry);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NE(result->data_hash, entry.data_hash);
+  EXPECT_EQ(result->data_hash.size(), crypto::kSha256DigestSize);
+}
+
+TEST(ImpersonationBehaviorTest, RewritesAuthor) {
+  ImpersonationBehavior impersonate(FaultFilter{}, "victim");
+  const auto result = impersonate.OnEntry(SampleEntry());
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->component, "victim");
+}
+
+TEST(TimingDisruptionBehaviorTest, ShiftsTimestampOnly) {
+  TimingDisruptionBehavior skew(FaultFilter{}, -50);
+  const proto::LogEntry original = SampleEntry();
+  const auto result = skew.OnEntry(original);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->timestamp, original.timestamp - 50);
+  EXPECT_EQ(result->message_stamp, original.message_stamp);  // signed content
+  EXPECT_EQ(result->data, original.data);
+}
+
+TEST(ComposedBehaviorTest, AppliesInOrderAndShortCircuits) {
+  auto skew = std::make_shared<TimingDisruptionBehavior>(FaultFilter{}, 10);
+  auto hide = std::make_shared<HidingBehavior>(
+      FaultFilter{.direction = proto::Direction::kOut});
+  ComposedBehavior composed({skew, hide});
+  EXPECT_FALSE(composed.OnEntry(SampleEntry(proto::Direction::kOut)));
+  const auto kept = composed.OnEntry(SampleEntry(proto::Direction::kIn));
+  ASSERT_TRUE(kept.has_value());
+  EXPECT_EQ(kept->timestamp, 110);
+}
+
+TEST(FabricateTest, PublisherEntrySelfConsistentButAckForged) {
+  Rng rng(1);
+  FabricationSpec spec;
+  spec.topic = "image";
+  spec.seq = 3;
+  spec.data = {5};
+  spec.peer = "sub";
+  const auto& forger = TestIdentity("pub");
+  const proto::LogEntry e = FabricatePublisherEntry(forger, spec, rng);
+  EXPECT_EQ(e.direction, proto::Direction::kOut);
+  EXPECT_EQ(e.peer, "sub");
+  // Self-signature verifies...
+  pubsub::MessageHeader header{
+      e.topic, e.component, e.seq, e.message_stamp};
+  const auto digest = pubsub::MessageDigest(header, e.data);
+  EXPECT_TRUE(crypto::VerifyDigest(forger.keys.pub, digest, e.self_signature));
+  // ...but the forged ACK signature does not verify under the peer's key.
+  EXPECT_FALSE(crypto::VerifyDigest(TestIdentity("sub").keys.pub, digest,
+                                   e.peer_signature));
+}
+
+TEST(FabricateTest, ColludingPairFullyVerifies) {
+  const auto& pub = TestIdentity("pub");
+  const auto& sub = TestIdentity("sub");
+  FabricationSpec spec;
+  spec.topic = "image";
+  spec.seq = 9;
+  spec.data = {1, 2};
+  spec.peer = "sub";
+  const ForgedPair pair = ForgeColludingPair(pub, sub, spec);
+  pubsub::MessageHeader header{
+      spec.topic, pub.id, spec.seq, spec.message_stamp};
+  const auto digest = pubsub::MessageDigest(header, spec.data);
+  EXPECT_TRUE(crypto::VerifyDigest(pub.keys.pub, digest,
+                                  pair.publisher_entry.self_signature));
+  EXPECT_TRUE(crypto::VerifyDigest(sub.keys.pub, digest,
+                                  pair.publisher_entry.peer_signature));
+  EXPECT_TRUE(crypto::VerifyDigest(sub.keys.pub, digest,
+                                  pair.subscriber_entry.self_signature));
+  EXPECT_TRUE(crypto::VerifyDigest(pub.keys.pub, digest,
+                                  pair.subscriber_entry.peer_signature));
+}
+
+TEST(MakePipeWrapperTest, InstallsBehavior) {
+  class SinkPipe final : public proto::LogPipe {
+   public:
+    int count = 0;
+    void Enter(proto::LogEntry) override { ++count; }
+  };
+  SinkPipe sink;
+  auto wrapper = MakePipeWrapper(std::make_shared<HidingBehavior>(
+      FaultFilter{.direction = proto::Direction::kOut}));
+  auto pipe = wrapper(sink, TestIdentity("pub"));
+  pipe->Enter(SampleEntry(proto::Direction::kOut));
+  pipe->Enter(SampleEntry(proto::Direction::kIn));
+  EXPECT_EQ(sink.count, 1);
+}
+
+}  // namespace
+}  // namespace adlp::faults

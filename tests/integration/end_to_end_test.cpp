@@ -1,0 +1,231 @@
+// Full-stack integration: the self-driving application with injected
+// unfaithful components, audited end to end — the complete story the paper
+// tells, on one test.
+#include <gtest/gtest.h>
+
+#include "audit/auditor.h"
+#include "audit/causality.h"
+#include "faults/behavior.h"
+#include "sim/app.h"
+#include "test_util.h"
+
+namespace adlp {
+namespace {
+
+sim::AppOptions FastAdlpApp() {
+  sim::AppOptions options;
+  options.component = test::FastOptions(proto::LoggingScheme::kAdlp);
+  options.realtime = false;
+  return options;
+}
+
+TEST(EndToEndTest, UnfaithfulSignRecognizerPinnedAmongEightComponents) {
+  // The sign recognizer hides every log entry about the images it consumed
+  // (the Fig. 3 scenario: dodge liability for a missed stop sign). All seven
+  // other components are faithful. The audit must blame exactly it.
+  pubsub::Master master;
+  proto::LogServer server;
+  sim::AppOptions options = FastAdlpApp();
+  options.fault_wrappers["sign_recognizer"] = faults::MakePipeWrapper(
+      std::make_shared<faults::HidingBehavior>(
+          faults::FaultFilter{.direction = proto::Direction::kIn}));
+
+  sim::SelfDrivingApp app(master, server, options);
+  app.Run(1.0);
+  app.Shutdown();
+
+  const audit::AuditReport report =
+      audit::Auditor(server.Keys()).Audit(server.Entries(), master.Topology());
+
+  EXPECT_TRUE(report.Blames("sign_recognizer")) << report.Render();
+  for (const auto& name : sim::SelfDrivingApp::ComponentNames()) {
+    if (name != "sign_recognizer") {
+      EXPECT_FALSE(report.Blames(name)) << name << "\n" << report.Render();
+    }
+  }
+  // Its receipt of images was exposed by the ACKs it had to return.
+  bool found_hiding = false;
+  for (const auto& v : report.verdicts) {
+    if (v.finding == audit::Finding::kSubscriberHidEntry &&
+        v.subscriber == "sign_recognizer") {
+      found_hiding = true;
+      EXPECT_EQ(v.topic, "image");
+    }
+  }
+  EXPECT_TRUE(found_hiding);
+}
+
+TEST(EndToEndTest, FalsifyingPlannerPinned) {
+  // The planner logs falsified versions of the plans it publishes.
+  pubsub::Master master;
+  proto::LogServer server;
+  sim::AppOptions options = FastAdlpApp();
+  options.fault_wrappers["planner"] =
+      [](proto::LogPipe& inner, const proto::NodeIdentity& identity) {
+        auto behavior = std::make_shared<faults::FalsificationBehavior>(
+            faults::FaultFilter{.direction = proto::Direction::kOut},
+            std::make_shared<proto::NodeIdentity>(identity));
+        return std::make_unique<faults::UnfaithfulLogPipe>(inner, behavior);
+      };
+
+  sim::SelfDrivingApp app(master, server, options);
+  app.Run(1.0);
+  app.Shutdown();
+
+  const audit::AuditReport report =
+      audit::Auditor(server.Keys()).Audit(server.Entries(), master.Topology());
+  EXPECT_TRUE(report.Blames("planner")) << report.Render();
+  EXPECT_FALSE(report.Blames("steering_controller"));
+  EXPECT_FALSE(report.Blames("lane_detector"));
+}
+
+TEST(EndToEndTest, TwoIndependentUnfaithfulComponentsBothPinned) {
+  pubsub::Master master;
+  proto::LogServer server;
+  sim::AppOptions options = FastAdlpApp();
+  options.fault_wrappers["lidar_driver"] = faults::MakePipeWrapper(
+      std::make_shared<faults::HidingBehavior>(faults::FaultFilter{}));
+  options.fault_wrappers["steering_controller"] =
+      [](proto::LogPipe& inner, const proto::NodeIdentity& identity) {
+        auto behavior = std::make_shared<faults::FalsificationBehavior>(
+            faults::FaultFilter{.direction = proto::Direction::kOut},
+            std::make_shared<proto::NodeIdentity>(identity));
+        return std::make_unique<faults::UnfaithfulLogPipe>(inner, behavior);
+      };
+
+  sim::SelfDrivingApp app(master, server, options);
+  app.Run(1.0);
+  app.Shutdown();
+
+  const audit::AuditReport report =
+      audit::Auditor(server.Keys()).Audit(server.Entries(), master.Topology());
+  EXPECT_TRUE(report.Blames("lidar_driver")) << report.Render();
+  EXPECT_TRUE(report.Blames("steering_controller")) << report.Render();
+  EXPECT_FALSE(report.Blames("planner"));
+  EXPECT_FALSE(report.Blames("obstacle_detector"));
+}
+
+TEST(EndToEndTest, CausalityHoldsThroughTheRealPipeline) {
+  // image -> lane -> plan: pick a frame, follow the chain, check Lemma 4's
+  // timestamp constraints on the real log.
+  pubsub::Master master;
+  proto::LogServer server;
+  sim::SelfDrivingApp app(master, server, FastAdlpApp());
+  app.Run(1.0);
+  app.Shutdown();
+
+  audit::LogDatabase db(server.Entries(), master.Topology());
+  // Build dependencies: image seq S received by lane_detector precedes the
+  // lane message it triggered. The pipeline is 1:1, so lane seq == image
+  // seq processed.
+  std::vector<audit::FlowDependency> deps;
+  for (std::uint64_t seq = 2; seq <= 10; ++seq) {
+    audit::FlowDependency dep;
+    dep.first = audit::PairKey{"image", seq, "lane_detector"};
+    dep.second = audit::PairKey{"lane", seq, "planner"};
+    deps.push_back(dep);
+  }
+  const auto violations = audit::CausalityChecker(db).Check(deps);
+  EXPECT_TRUE(violations.empty());
+}
+
+TEST(EndToEndTest, TamperedLogStoreIsEvident) {
+  pubsub::Master master;
+  proto::LogServer server;
+  sim::SelfDrivingApp app(master, server, FastAdlpApp());
+  app.Run(0.5);
+  app.Shutdown();
+
+  ASSERT_TRUE(server.VerifyChain());
+  ASSERT_GT(server.EntryCount(), 10u);
+  server.CorruptRecordForTest(server.EntryCount() / 2);
+  EXPECT_FALSE(server.VerifyChain());
+}
+
+TEST(EndToEndTest, TcpTransportFullStack) {
+  // Two-component ADLP over real TCP sockets, audited clean.
+  test::MiniSystem sys;
+  proto::ComponentOptions opts = test::FastOptions();
+  opts.transport = pubsub::TransportKind::kTcp;
+  auto& pub = sys.Add("camera", opts);
+  auto& sub = sys.Add("detector", opts);
+  std::atomic<int> got{0};
+  sub.Subscribe("image", [&](const pubsub::Message&) { got++; });
+  auto& p = pub.Advertise("image");
+  ASSERT_TRUE(p.WaitForSubscribers(1));
+  for (int i = 0; i < 10; ++i) p.Publish(Bytes{static_cast<std::uint8_t>(i)});
+  ASSERT_TRUE(test::WaitFor([&] { return got.load() == 10; }));
+  pub.Shutdown();
+  sub.Shutdown();
+
+  const audit::AuditReport report = audit::Auditor(sys.server.Keys())
+                                        .Audit(sys.server.Entries(),
+                                               sys.master.Topology());
+  EXPECT_EQ(report.verdicts.size(), 10u);
+  EXPECT_TRUE(report.unfaithful.empty()) << report.Render();
+}
+
+TEST(EndToEndTest, StrictModeBlocksWireTampering) {
+  // With inline verification on, even a man-in-the-middle style corruption
+  // of the wire (simulated via a lossy behaviour at the subscriber's pipe
+  // is NOT possible — so here we just assert the strict path stays clean
+  // under normal operation at system scale).
+  test::MiniSystem sys;
+  proto::ComponentOptions opts = test::FastOptions();
+  opts.adlp.peer_keys = &sys.server.Keys();
+  auto& pub = sys.Add("camera", opts);
+  auto& sub = sys.Add("detector", opts);
+  std::atomic<int> got{0};
+  sub.Subscribe("image", [&](const pubsub::Message&) { got++; });
+  auto& p = pub.Advertise("image");
+  for (int i = 0; i < 5; ++i) p.Publish(Bytes{1});
+  ASSERT_TRUE(test::WaitFor([&] { return got.load() == 5; }));
+  pub.Shutdown();
+  sub.Shutdown();
+  EXPECT_EQ(pub.adlp_factory()->RejectedCount(), 0u);
+  EXPECT_EQ(sub.adlp_factory()->RejectedCount(), 0u);
+  EXPECT_EQ(sys.server.EntryCount(), 10u);
+}
+
+TEST(EndToEndTest, TimingDisruptionCaughtByCausalityCheck) {
+  // The lane detector back-dates its receive timestamps by a full second
+  // (timing disruption, Sec. III-B) while logging content faithfully. The
+  // pairwise audit stays clean — content is genuine — but the causality
+  // constraints of Lemma 4 flag the lie and localize the suspects.
+  pubsub::Master master;
+  proto::LogServer server;
+  sim::AppOptions options = FastAdlpApp();
+  options.fault_wrappers["lane_detector"] = faults::MakePipeWrapper(
+      std::make_shared<faults::TimingDisruptionBehavior>(
+          faults::FaultFilter{.direction = proto::Direction::kIn},
+          -1'000'000'000));
+
+  sim::SelfDrivingApp app(master, server, options);
+  app.Run(1.0);
+  app.Shutdown();
+
+  // Content-wise everything verifies (nothing was falsified).
+  const audit::AuditReport report =
+      audit::Auditor(server.Keys()).Audit(server.Entries(), master.Topology());
+  EXPECT_TRUE(report.unfaithful.empty()) << report.Render();
+
+  // But the image -> lane chains are now temporally impossible.
+  audit::LogDatabase db(server.Entries(), master.Topology());
+  std::vector<audit::FlowDependency> deps;
+  for (std::uint64_t seq = 2; seq <= 10; ++seq) {
+    deps.push_back({audit::PairKey{"image", seq, "lane_detector"},
+                    audit::PairKey{"lane", seq, "planner"}});
+  }
+  const auto violations = audit::CausalityChecker(db).Check(deps);
+  ASSERT_FALSE(violations.empty());
+  for (const auto& v : violations) {
+    // Every violated constraint implicates the lane detector (alone or as
+    // part of a pair).
+    EXPECT_TRUE(std::find(v.suspects.begin(), v.suspects.end(),
+                          "lane_detector") != v.suspects.end())
+        << v.constraint;
+  }
+}
+
+}  // namespace
+}  // namespace adlp

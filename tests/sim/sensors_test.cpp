@@ -1,0 +1,214 @@
+#include "sim/sensors.h"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "sim/perception.h"
+
+namespace adlp::sim {
+namespace {
+
+World MakeWorld(bool with_sign = false) {
+  World world;
+  world.track = Track(3.0);
+  world.has_stop_sign = with_sign;
+  world.stop_sign_progress = 0.5;
+  world.stop_sign_range = 1.0;
+  return world;
+}
+
+VehicleState OnTrack(double offset = 0.0, double heading_err = 0.0) {
+  VehicleState s;
+  s.x = 3.0 + offset;
+  s.y = 0.0;
+  s.heading = std::numbers::pi / 2 + heading_err;
+  return s;
+}
+
+TEST(CameraTest, ImageHasPaperSize) {
+  CameraModel camera;
+  const Bytes image = camera.Render(OnTrack(), MakeWorld(), 0);
+  EXPECT_EQ(image.size(), 921'641u);  // Table I / III Image size
+  EXPECT_EQ(image.size(), kImageSize);
+}
+
+TEST(CameraTest, HeaderCarriesFrameNumber) {
+  CameraModel camera;
+  const Bytes image = camera.Render(OnTrack(), MakeWorld(), 0xAABBCCDD);
+  EXPECT_EQ(image[0], 'A');
+  const std::uint32_t frame = image[8] | (image[9] << 8) | (image[10] << 16) |
+                              (static_cast<std::uint32_t>(image[11]) << 24);
+  EXPECT_EQ(frame, 0xAABBCCDDu);
+}
+
+TEST(LidarTest, ScanHasPaperSize) {
+  LidarModel lidar;
+  const Bytes scan = lidar.Scan(OnTrack(), MakeWorld(), 0);
+  EXPECT_EQ(scan.size(), 8'705u);  // Table I / III Scan size
+}
+
+TEST(LaneDetectionTest, RecoversZeroOffset) {
+  CameraModel camera;
+  const Bytes image = camera.Render(OnTrack(0.0, 0.0), MakeWorld(), 0);
+  const LaneEstimate lane = DetectLane(image);
+  ASSERT_TRUE(lane.valid);
+  EXPECT_NEAR(lane.lateral_offset, 0.0, 0.02);
+  EXPECT_NEAR(lane.heading_error, 0.0, 0.02);
+}
+
+TEST(LaneDetectionTest, RecoversLateralOffsetSweep) {
+  CameraModel camera;
+  const World world = MakeWorld();
+  for (double offset : {-0.3, -0.1, 0.1, 0.3}) {
+    const Bytes image = camera.Render(OnTrack(offset), world, 0);
+    const LaneEstimate lane = DetectLane(image);
+    ASSERT_TRUE(lane.valid) << offset;
+    EXPECT_NEAR(lane.lateral_offset, offset, 0.05) << offset;
+  }
+}
+
+TEST(LaneDetectionTest, RecoversHeadingError) {
+  CameraModel camera;
+  for (double herr : {-0.15, 0.15}) {
+    const Bytes image = camera.Render(OnTrack(0.0, herr), MakeWorld(), 0);
+    const LaneEstimate lane = DetectLane(image);
+    ASSERT_TRUE(lane.valid) << herr;
+    EXPECT_NEAR(lane.heading_error, herr, 0.05) << herr;
+  }
+}
+
+TEST(LaneDetectionTest, InvalidOnWrongSize) {
+  EXPECT_FALSE(DetectLane(Bytes(100, 0)).valid);
+}
+
+TEST(SignRecognitionTest, DetectsRenderedStopSign) {
+  CameraModel camera;
+  World world = MakeWorld(true);
+  // Put the car right before the sign's progress point.
+  VehicleState s = OnTrack();
+  world.stop_sign_progress = world.track.Progress(s) + 0.5;
+  const Bytes image = camera.Render(s, world, 0);
+  const SignDetection sign = RecognizeSign(image);
+  EXPECT_TRUE(sign.stop_sign);
+  EXPECT_GT(sign.confidence, 0.9);
+}
+
+TEST(SignRecognitionTest, NoFalsePositiveWithoutSign) {
+  CameraModel camera;
+  const Bytes image = camera.Render(OnTrack(), MakeWorld(false), 0);
+  const SignDetection sign = RecognizeSign(image);
+  EXPECT_FALSE(sign.stop_sign);
+  EXPECT_LT(sign.confidence, 0.1);
+}
+
+TEST(LidarTest, CleanWorldAllMaxRange) {
+  LidarModel lidar(12.0);
+  const Bytes scan = lidar.Scan(OnTrack(), MakeWorld(), 0);
+  const ObstacleReport report = DetectObstacle(scan, 12.0);
+  EXPECT_FALSE(report.detected);
+  EXPECT_NEAR(report.min_distance, 12.0, 1e-3);
+}
+
+TEST(LidarTest, ObstacleAheadDetectedAtRightDistance) {
+  LidarModel lidar(12.0);
+  World world = MakeWorld();
+  VehicleState s = OnTrack();  // at (3, 0) heading +y
+  world.obstacles.push_back(Obstacle{3.0, 2.0, 0.2});  // 2 m ahead
+  const Bytes scan = lidar.Scan(s, world, 0);
+  const ObstacleReport report = DetectObstacle(scan, 12.0);
+  ASSERT_TRUE(report.detected);
+  EXPECT_NEAR(report.min_distance, 1.8, 0.05);  // 2 m minus radius
+  EXPECT_NEAR(report.bearing, 0.0, 0.05);
+}
+
+TEST(LidarTest, ObstacleBehindIgnoredByForwardSector) {
+  LidarModel lidar(12.0);
+  World world = MakeWorld();
+  world.obstacles.push_back(Obstacle{3.0, -2.0, 0.2});  // behind
+  const Bytes scan = lidar.Scan(OnTrack(), world, 0);
+  EXPECT_FALSE(DetectObstacle(scan, 12.0).detected);
+}
+
+TEST(LidarTest, ObstacleDetectionRejectsWrongSize) {
+  EXPECT_FALSE(DetectObstacle(Bytes(64, 0)).detected);
+}
+
+TEST(MsgsTest, AllCodecsRoundTrip) {
+  LaneEstimate lane{0.25, -0.1, true};
+  const auto lane2 = DecodeLane(EncodeLane(lane));
+  ASSERT_TRUE(lane2);
+  EXPECT_DOUBLE_EQ(lane2->lateral_offset, 0.25);
+  EXPECT_DOUBLE_EQ(lane2->heading_error, -0.1);
+  EXPECT_TRUE(lane2->valid);
+
+  SignDetection sign{true, 0.9};
+  const auto sign2 = DecodeSign(EncodeSign(sign));
+  ASSERT_TRUE(sign2);
+  EXPECT_TRUE(sign2->stop_sign);
+
+  ObstacleReport obs{1.5, 0.2, true};
+  const auto obs2 = DecodeObstacle(EncodeObstacle(obs));
+  ASSERT_TRUE(obs2);
+  EXPECT_DOUBLE_EQ(obs2->min_distance, 1.5);
+
+  PlanCommand plan{1.0, -0.3, 1};
+  const auto plan2 = DecodePlan(EncodePlan(plan));
+  ASSERT_TRUE(plan2);
+  EXPECT_EQ(plan2->flags, 1u);
+
+  SteeringCommand steer{0.4, 2.0, 0};
+  const auto steer2 = DecodeSteering(EncodeSteering(steer));
+  ASSERT_TRUE(steer2);
+  EXPECT_DOUBLE_EQ(steer2->angle, 0.4);
+}
+
+TEST(MsgsTest, PayloadSizesMatchSpec) {
+  EXPECT_EQ(EncodeLane({}).size(), kLaneSize);
+  EXPECT_EQ(EncodeSign({}).size(), kSignSize);
+  EXPECT_EQ(EncodeObstacle({}).size(), kObstacleSize);
+  EXPECT_EQ(EncodePlan({}).size(), kPlanSize);
+  EXPECT_EQ(EncodeSteering({}).size(), kSteeringSize);
+  EXPECT_EQ(kSteeringSize, 20u);  // the paper's Steering size
+}
+
+TEST(MsgsTest, DecodersRejectWrongSizes) {
+  EXPECT_FALSE(DecodeLane(Bytes(10, 0)).has_value());
+  EXPECT_FALSE(DecodeSign(Bytes(10, 0)).has_value());
+  EXPECT_FALSE(DecodeObstacle(Bytes(10, 0)).has_value());
+  EXPECT_FALSE(DecodePlan(Bytes(10, 0)).has_value());
+  EXPECT_FALSE(DecodeSteering(Bytes(10, 0)).has_value());
+}
+
+TEST(PerceptionTest, PlannerStopsForStopSign) {
+  const PlanCommand cmd =
+      Plan({0, 0, true}, {true, 0.95}, {12.0, 0, false}, 1.0);
+  EXPECT_DOUBLE_EQ(cmd.target_speed, 0.0);
+  EXPECT_EQ(cmd.flags & 1, 1u);
+}
+
+TEST(PerceptionTest, PlannerSlowsForObstacle) {
+  const PlanCommand cmd = Plan({0, 0, true}, {false, 0}, {0.8, 0, true}, 1.0);
+  EXPECT_LT(cmd.target_speed, 0.5);
+}
+
+TEST(PerceptionTest, PlannerSteersTowardLane) {
+  // Positive offset = outside the circle; steering left (+) points the car
+  // inward for CCW travel.
+  const PlanCommand outside = Plan({0.3, 0, true}, {false, 0}, {12, 0, false});
+  EXPECT_GT(outside.steering, 0.0);
+  const PlanCommand inside = Plan({-0.3, 0, true}, {false, 0}, {12, 0, false});
+  EXPECT_LT(inside.steering, 0.0);
+  // Pointing inward already (positive heading error): countersteer.
+  const PlanCommand aligned = Plan({0.0, 0.2, true}, {false, 0}, {12, 0, false});
+  EXPECT_LT(aligned.steering, 0.0);
+}
+
+TEST(PerceptionTest, ControllerSaturates) {
+  const SteeringCommand cmd = Control({99.0, 9.0, 0});
+  EXPECT_LE(cmd.angle, 0.45);
+  EXPECT_LE(cmd.speed, 3.0);
+}
+
+}  // namespace
+}  // namespace adlp::sim

@@ -1,0 +1,134 @@
+#include "sim/vehicle.h"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+namespace adlp::sim {
+namespace {
+
+TEST(VehicleTest, StationaryWithoutSpeed) {
+  Vehicle v;
+  const VehicleState before = v.state();
+  v.Step(0.0, 0.0, 0.1);
+  EXPECT_DOUBLE_EQ(v.state().x, before.x);
+  EXPECT_DOUBLE_EQ(v.state().y, before.y);
+}
+
+TEST(VehicleTest, StraightLineMotion) {
+  Vehicle v;
+  VehicleState s;
+  s.speed = 1.0;
+  v.set_state(s);
+  for (int i = 0; i < 10; ++i) v.Step(0.0, 1.0, 0.1);
+  EXPECT_NEAR(v.state().x, 1.0, 0.05);
+  EXPECT_NEAR(v.state().y, 0.0, 1e-9);
+  EXPECT_NEAR(v.state().heading, 0.0, 1e-9);
+}
+
+TEST(VehicleTest, SpeedConvergesToTarget) {
+  Vehicle v;
+  for (int i = 0; i < 100; ++i) v.Step(0.0, 2.0, 0.05);
+  EXPECT_NEAR(v.state().speed, 2.0, 0.05);
+}
+
+TEST(VehicleTest, SteeringTurnsLeft) {
+  Vehicle v;
+  VehicleState s;
+  s.speed = 1.0;
+  v.set_state(s);
+  for (int i = 0; i < 20; ++i) v.Step(0.2, 1.0, 0.05);
+  EXPECT_GT(v.state().heading, 0.0);
+  EXPECT_GT(v.state().y, 0.0);
+}
+
+TEST(VehicleTest, HeadingStaysWrapped) {
+  Vehicle v;
+  VehicleState s;
+  s.speed = 2.0;
+  v.set_state(s);
+  for (int i = 0; i < 1000; ++i) v.Step(0.4, 2.0, 0.05);
+  EXPECT_LE(v.state().heading, std::numbers::pi);
+  EXPECT_GE(v.state().heading, -std::numbers::pi);
+}
+
+TEST(TrackTest, LateralOffsetSignConvention) {
+  Track track(3.0);
+  VehicleState on_line;
+  on_line.x = 3.0;
+  EXPECT_NEAR(track.LateralOffset(on_line), 0.0, 1e-9);
+  VehicleState outside;
+  outside.x = 3.5;
+  EXPECT_NEAR(track.LateralOffset(outside), 0.5, 1e-9);
+  VehicleState inside;
+  inside.x = 2.5;
+  EXPECT_NEAR(track.LateralOffset(inside), -0.5, 1e-9);
+}
+
+TEST(TrackTest, HeadingErrorZeroOnTangent) {
+  Track track(3.0);
+  VehicleState s;
+  s.x = 3.0;
+  s.y = 0.0;
+  s.heading = std::numbers::pi / 2;  // tangent for CCW travel at (R, 0)
+  EXPECT_NEAR(track.HeadingError(s), 0.0, 1e-9);
+}
+
+TEST(TrackTest, ProgressIncreasesAlongTrack) {
+  Track track(3.0);
+  VehicleState a, b;
+  a.x = 3.0;
+  a.y = 0.0;
+  b.x = 0.0;
+  b.y = 3.0;  // quarter lap
+  EXPECT_NEAR(track.Progress(a), 0.0, 1e-9);
+  EXPECT_NEAR(track.Progress(b), std::numbers::pi / 2 * 3.0, 1e-9);
+}
+
+TEST(WorldTest, StopSignVisibilityWindow) {
+  World world;
+  world.track = Track(3.0);
+  world.has_stop_sign = true;
+  world.stop_sign_progress = std::numbers::pi * 3.0;  // half lap
+  world.stop_sign_range = 1.0;
+
+  VehicleState far;
+  far.x = 3.0;
+  far.y = 0.0;  // progress 0, half a lap away
+  EXPECT_FALSE(world.StopSignVisible(far));
+
+  VehicleState close;
+  const double theta = std::numbers::pi - 0.2;  // slightly before half lap
+  close.x = 3.0 * std::cos(theta);
+  close.y = 3.0 * std::sin(theta);
+  EXPECT_TRUE(world.StopSignVisible(close));
+
+  World no_sign = world;
+  no_sign.has_stop_sign = false;
+  EXPECT_FALSE(no_sign.StopSignVisible(close));
+}
+
+TEST(VehicleTest, ClosedLoopTracksCircle) {
+  // Proportional control on offset+heading keeps the car near the line —
+  // the physics is sane enough for the self-driving demo.
+  Vehicle v;
+  Track track(3.0);
+  VehicleState s;
+  s.x = 3.1;  // start slightly outside
+  s.y = 0.0;
+  s.heading = std::numbers::pi / 2;
+  s.speed = 1.0;
+  v.set_state(s);
+  double worst = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    const double offset = track.LateralOffset(v.state());
+    const double herr = track.HeadingError(v.state());
+    const double steer = std::clamp(0.8 * offset - 1.2 * herr, -0.45, 0.45);
+    v.Step(steer, 1.0, 0.05);
+    if (i > 200) worst = std::max(worst, std::abs(offset));
+  }
+  EXPECT_LT(worst, 0.3);
+}
+
+}  // namespace
+}  // namespace adlp::sim

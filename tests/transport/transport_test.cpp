@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/rng.h"
+#include "transport/inproc.h"
+#include "transport/tcp.h"
+
+namespace adlp::transport {
+namespace {
+
+void ExerciseEcho(const ChannelPtr& a, const ChannelPtr& b) {
+  Rng rng(1);
+  const Bytes msg1 = rng.RandomBytes(100);
+  const Bytes msg2 = rng.RandomBytes(100000);
+
+  ASSERT_TRUE(a->Send(msg1));
+  ASSERT_TRUE(a->Send(msg2));
+  auto r1 = b->Receive();
+  auto r2 = b->Receive();
+  ASSERT_TRUE(r1 && r2);
+  EXPECT_EQ(*r1, msg1);  // FIFO order preserved
+  EXPECT_EQ(*r2, msg2);
+
+  // Duplex: the other direction works too.
+  ASSERT_TRUE(b->Send(msg1));
+  auto r3 = a->Receive();
+  ASSERT_TRUE(r3);
+  EXPECT_EQ(*r3, msg1);
+}
+
+TEST(InProcChannelTest, EchoBothDirections) {
+  auto pair = MakeInProcChannelPair();
+  ExerciseEcho(pair.a, pair.b);
+}
+
+TEST(InProcChannelTest, EmptyMessage) {
+  auto pair = MakeInProcChannelPair();
+  ASSERT_TRUE(pair.a->Send({}));
+  auto r = pair.b->Receive();
+  ASSERT_TRUE(r);
+  EXPECT_TRUE(r->empty());
+}
+
+TEST(InProcChannelTest, CloseUnblocksReceiver) {
+  auto pair = MakeInProcChannelPair();
+  std::thread receiver([&] {
+    auto r = pair.b->Receive();
+    EXPECT_FALSE(r.has_value());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  pair.a->Close();
+  receiver.join();
+}
+
+TEST(InProcChannelTest, SendAfterCloseFails) {
+  auto pair = MakeInProcChannelPair();
+  pair.b->Close();
+  EXPECT_FALSE(pair.a->Send(Bytes{1}));
+  EXPECT_FALSE(pair.a->IsOpen());
+}
+
+TEST(InProcChannelTest, DrainAfterClose) {
+  auto pair = MakeInProcChannelPair();
+  ASSERT_TRUE(pair.a->Send(Bytes{1}));
+  ASSERT_TRUE(pair.a->Send(Bytes{2}));
+  pair.a->Close();
+  // Queued messages are still deliverable after close.
+  EXPECT_TRUE(pair.b->Receive().has_value());
+  EXPECT_TRUE(pair.b->Receive().has_value());
+  EXPECT_FALSE(pair.b->Receive().has_value());
+}
+
+TEST(InProcChannelTest, LatencyModelDelaysDelivery) {
+  LinkModel model;
+  model.latency_ns = 20'000'000;  // 20 ms
+  auto pair = MakeInProcChannelPair(model);
+  const Timestamp start = MonotonicNowNs();
+  ASSERT_TRUE(pair.a->Send(Bytes{1}));
+  auto r = pair.b->Receive();
+  const Timestamp elapsed = MonotonicNowNs() - start;
+  ASSERT_TRUE(r);
+  EXPECT_GE(elapsed, 18'000'000);  // allow scheduler slop
+}
+
+TEST(InProcChannelTest, BandwidthModelScalesWithSize) {
+  LinkModel model;
+  model.bandwidth_bytes_per_sec = 1'000'000;  // 1 MB/s
+  EXPECT_EQ(model.TransferDelayNs(1000), 1'000'000);     // 1 ms
+  EXPECT_EQ(model.TransferDelayNs(500'000), 500'000'000);  // 0.5 s
+}
+
+TEST(InProcChannelTest, ConcurrentSendersAllDelivered) {
+  auto pair = MakeInProcChannelPair();
+  constexpr int kSenders = 4;
+  constexpr int kPerSender = 250;
+  std::vector<std::thread> senders;
+  for (int t = 0; t < kSenders; ++t) {
+    senders.emplace_back([&pair] {
+      for (int i = 0; i < kPerSender; ++i) {
+        ASSERT_TRUE(pair.a->Send(Bytes{42}));
+      }
+    });
+  }
+  int received = 0;
+  for (int i = 0; i < kSenders * kPerSender; ++i) {
+    ASSERT_TRUE(pair.b->Receive().has_value());
+    ++received;
+  }
+  for (auto& t : senders) t.join();
+  EXPECT_EQ(received, kSenders * kPerSender);
+}
+
+TEST(TcpChannelTest, EchoBothDirections) {
+  TcpListener listener(0);
+  ASSERT_GT(listener.Port(), 0);
+  ChannelPtr client;
+  std::thread connector([&] { client = TcpConnect(listener.Port()); });
+  ChannelPtr server = listener.Accept();
+  connector.join();
+  ASSERT_TRUE(server != nullptr);
+  ASSERT_TRUE(client != nullptr);
+  ExerciseEcho(client, server);
+}
+
+TEST(TcpChannelTest, LargeMessageIntegrity) {
+  TcpListener listener(0);
+  ChannelPtr client;
+  std::thread connector([&] { client = TcpConnect(listener.Port()); });
+  ChannelPtr server = listener.Accept();
+  connector.join();
+
+  Rng rng(3);
+  const Bytes big = rng.RandomBytes(2'000'000);  // 2 MB > Image size
+  ASSERT_TRUE(client->Send(big));
+  auto r = server->Receive();
+  ASSERT_TRUE(r);
+  EXPECT_EQ(*r, big);
+}
+
+TEST(TcpChannelTest, PeerCloseEndsReceive) {
+  TcpListener listener(0);
+  ChannelPtr client;
+  std::thread connector([&] { client = TcpConnect(listener.Port()); });
+  ChannelPtr server = listener.Accept();
+  connector.join();
+
+  client->Close();
+  EXPECT_FALSE(server->Receive().has_value());
+}
+
+TEST(TcpChannelTest, ConnectToClosedPortThrows) {
+  TcpListener listener(0);
+  const std::uint16_t port = listener.Port();
+  listener.Close();
+  EXPECT_THROW(TcpConnect(port), std::system_error);
+}
+
+TEST(TcpListenerTest, AcceptAfterCloseReturnsNull) {
+  TcpListener listener(0);
+  listener.Close();
+  EXPECT_EQ(listener.Accept(), nullptr);
+}
+
+TEST(TcpListenerTest, MultipleConnections) {
+  TcpListener listener(0);
+  std::vector<ChannelPtr> clients(3);
+  std::thread connector([&] {
+    for (auto& c : clients) c = TcpConnect(listener.Port());
+  });
+  std::vector<ChannelPtr> servers;
+  for (int i = 0; i < 3; ++i) servers.push_back(listener.Accept());
+  connector.join();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(servers[i] != nullptr);
+    ASSERT_TRUE(clients[i]->Send(Bytes{static_cast<std::uint8_t>(i)}));
+  }
+  // Each server connection gets exactly its client's byte.
+  std::set<std::uint8_t> seen;
+  for (auto& s : servers) {
+    auto r = s->Receive();
+    ASSERT_TRUE(r);
+    seen.insert((*r)[0]);
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+}  // namespace
+}  // namespace adlp::transport

@@ -1,0 +1,103 @@
+// Robustness sweeps: decoders over hostile bytes must either succeed or
+// throw WireError — never crash, hang, or allocate absurdly. Every parser
+// that touches network- or log-derived bytes is exercised with random
+// garbage and with mutated valid inputs.
+#include <gtest/gtest.h>
+
+#include "adlp/log_entry.h"
+#include "adlp/remote_log.h"
+#include "adlp/wire_msgs.h"
+#include "audit/manifest.h"
+#include "common/rng.h"
+#include "pubsub/message.h"
+#include "wire/wire.h"
+
+namespace adlp {
+namespace {
+
+class WireFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+template <typename Fn>
+void ExpectNoCrash(Fn&& parse, BytesView input) {
+  try {
+    parse(input);
+  } catch (const wire::WireError&) {
+    // acceptable outcome
+  }
+}
+
+TEST_P(WireFuzzTest, RandomBytesNeverCrashParsers) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    const Bytes junk = rng.RandomBytes(rng.UniformBelow(300));
+    ExpectNoCrash([](BytesView b) { pubsub::DeserializeMessage(b); }, junk);
+    ExpectNoCrash([](BytesView b) { proto::DeserializeLogEntry(b); }, junk);
+    ExpectNoCrash([](BytesView b) { proto::ParseDataMessage(b); }, junk);
+    ExpectNoCrash([](BytesView b) { proto::ParseAckMessage(b); }, junk);
+    ExpectNoCrash([](BytesView b) { audit::ParseManifest(b); }, junk);
+    ExpectNoCrash(
+        [](BytesView b) {
+          proto::LogServer sink;
+          proto::ApplyLogUpload(b, sink);
+        },
+        junk);
+  }
+}
+
+TEST_P(WireFuzzTest, MutatedValidMessagesNeverCrash) {
+  Rng rng(GetParam() ^ 0xfeed);
+  pubsub::Message msg;
+  msg.header.topic = "image";
+  msg.header.publisher = "camera";
+  msg.header.seq = 42;
+  msg.header.stamp = 1234;
+  msg.payload = rng.RandomBytes(100);
+  const Bytes valid = proto::SerializeDataMessage(msg, rng.RandomBytes(128));
+
+  for (int i = 0; i < 100; ++i) {
+    Bytes mutated = valid;
+    const int mutations = 1 + static_cast<int>(rng.UniformBelow(4));
+    for (int m = 0; m < mutations; ++m) {
+      const std::size_t pos = rng.UniformBelow(mutated.size());
+      mutated[pos] = static_cast<std::uint8_t>(rng.NextU64());
+    }
+    if (rng.Chance(0.3) && mutated.size() > 4) {
+      mutated.resize(rng.UniformBelow(mutated.size()));  // truncate
+    }
+    ExpectNoCrash([](BytesView b) { proto::ParseDataMessage(b); }, mutated);
+    ExpectNoCrash([](BytesView b) { pubsub::DeserializeMessage(b); }, mutated);
+  }
+}
+
+TEST_P(WireFuzzTest, RoundTripUnderRandomContent) {
+  // Serialization is total: any field content round-trips bit-exactly.
+  Rng rng(GetParam() ^ 0xbeef);
+  proto::LogEntry entry;
+  entry.scheme = rng.Chance(0.5) ? proto::LogScheme::kAdlp
+                                 : proto::LogScheme::kBase;
+  entry.component = StringOf(rng.RandomBytes(rng.UniformBelow(40)));
+  entry.topic = StringOf(rng.RandomBytes(rng.UniformBelow(40)));
+  entry.direction = rng.Chance(0.5) ? proto::Direction::kIn
+                                    : proto::Direction::kOut;
+  entry.seq = rng.NextU64();
+  entry.timestamp = static_cast<Timestamp>(rng.NextU64());
+  entry.message_stamp = static_cast<Timestamp>(rng.NextU64());
+  entry.data = rng.RandomBytes(rng.UniformBelow(500));
+  entry.data_hash = rng.RandomBytes(rng.Chance(0.5) ? 32 : 0);
+  entry.self_signature = rng.RandomBytes(rng.UniformBelow(200));
+  entry.peer_signature = rng.RandomBytes(rng.UniformBelow(200));
+  entry.peer_data_hash = rng.RandomBytes(rng.Chance(0.5) ? 32 : 0);
+  entry.peer = StringOf(rng.RandomBytes(rng.UniformBelow(20)));
+  for (std::uint64_t i = 0; i < rng.UniformBelow(4); ++i) {
+    entry.acks.push_back({StringOf(rng.RandomBytes(8)), rng.RandomBytes(32),
+                          rng.RandomBytes(128)});
+  }
+  EXPECT_EQ(proto::DeserializeLogEntry(proto::SerializeLogEntry(entry)),
+            entry);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzzTest,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace adlp

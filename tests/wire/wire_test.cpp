@@ -1,0 +1,202 @@
+#include "wire/wire.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace adlp::wire {
+namespace {
+
+TEST(ZigZagTest, RoundTrip) {
+  for (std::int64_t v :
+       std::initializer_list<std::int64_t>{0, 1, -1, 2, -2, 123456789,
+                                           -123456789, INT64_MAX, INT64_MIN}) {
+    EXPECT_EQ(ZigZagDecode(ZigZagEncode(v)), v) << v;
+  }
+}
+
+TEST(ZigZagTest, SmallMagnitudeStaysSmall) {
+  EXPECT_EQ(ZigZagEncode(0), 0u);
+  EXPECT_EQ(ZigZagEncode(-1), 1u);
+  EXPECT_EQ(ZigZagEncode(1), 2u);
+  EXPECT_EQ(ZigZagEncode(-2), 3u);
+}
+
+TEST(VarintTest, RoundTripBoundaries) {
+  for (std::uint64_t v :
+       {0ull, 1ull, 127ull, 128ull, 16383ull, 16384ull, (1ull << 32) - 1,
+        1ull << 32, ~0ull}) {
+    Writer w;
+    w.PutVarint(v);
+    Reader r(w.Data());
+    EXPECT_EQ(r.GetVarint(), v);
+    EXPECT_TRUE(r.AtEnd());
+  }
+}
+
+TEST(VarintTest, EncodedSizes) {
+  auto size_of = [](std::uint64_t v) {
+    Writer w;
+    w.PutVarint(v);
+    return w.Size();
+  };
+  EXPECT_EQ(size_of(0), 1u);
+  EXPECT_EQ(size_of(127), 1u);
+  EXPECT_EQ(size_of(128), 2u);
+  EXPECT_EQ(size_of(~0ull), 10u);
+}
+
+TEST(VarintTest, TruncatedThrows) {
+  Writer w;
+  w.PutVarint(1ull << 40);
+  Bytes data = w.Data();
+  data.pop_back();
+  Reader r(data);
+  EXPECT_THROW(r.GetVarint(), WireError);
+}
+
+TEST(VarintTest, OverlongThrows) {
+  // 11 continuation bytes can't encode a u64.
+  const Bytes data(11, 0x80);
+  Reader r(data);
+  EXPECT_THROW(r.GetVarint(), WireError);
+}
+
+TEST(FieldTest, MixedRecordRoundTrip) {
+  Writer w;
+  w.PutU64(1, 42);
+  w.PutI64(2, -7);
+  w.PutFixed64(3, 0xdeadbeefcafebabeull);
+  w.PutBytes(4, Bytes{1, 2, 3});
+  w.PutString(5, "hello");
+
+  Reader r(w.Data());
+  std::uint32_t field;
+  WireType type;
+
+  ASSERT_TRUE(r.NextField(field, type));
+  EXPECT_EQ(field, 1u);
+  EXPECT_EQ(type, WireType::kVarint);
+  EXPECT_EQ(r.GetU64Value(), 42u);
+
+  ASSERT_TRUE(r.NextField(field, type));
+  EXPECT_EQ(r.GetI64Value(), -7);
+
+  ASSERT_TRUE(r.NextField(field, type));
+  EXPECT_EQ(type, WireType::kFixed64);
+  EXPECT_EQ(r.GetFixed64Value(), 0xdeadbeefcafebabeull);
+
+  ASSERT_TRUE(r.NextField(field, type));
+  EXPECT_EQ(r.GetBytesValue(), (Bytes{1, 2, 3}));
+
+  ASSERT_TRUE(r.NextField(field, type));
+  EXPECT_EQ(r.GetStringValue(), "hello");
+
+  EXPECT_FALSE(r.NextField(field, type));
+}
+
+TEST(FieldTest, UnknownFieldsSkippable) {
+  Writer w;
+  w.PutU64(1, 1);
+  w.PutBytes(99, Bytes(100, 7));  // unknown length-delimited
+  w.PutFixed64(98, 5);            // unknown fixed
+  w.PutU64(2, 2);
+
+  Reader r(w.Data());
+  std::uint32_t field;
+  WireType type;
+  std::uint64_t sum = 0;
+  while (r.NextField(field, type)) {
+    if (field == 1 || field == 2) {
+      sum += r.GetU64Value();
+    } else {
+      r.SkipValue(type);
+    }
+  }
+  EXPECT_EQ(sum, 3u);
+}
+
+TEST(FieldTest, NestedMessages) {
+  Writer inner;
+  inner.PutString(1, "nested");
+  inner.PutU64(2, 9);
+
+  Writer outer;
+  outer.PutU64(1, 1);
+  outer.PutMessage(2, inner);
+  outer.PutU64(3, 3);
+
+  Reader r(outer.Data());
+  std::uint32_t field;
+  WireType type;
+  ASSERT_TRUE(r.NextField(field, type));
+  EXPECT_EQ(r.GetU64Value(), 1u);
+  ASSERT_TRUE(r.NextField(field, type));
+  Reader sub = r.GetMessageValue();
+  ASSERT_TRUE(sub.NextField(field, type));
+  EXPECT_EQ(sub.GetStringValue(), "nested");
+  ASSERT_TRUE(sub.NextField(field, type));
+  EXPECT_EQ(sub.GetU64Value(), 9u);
+  EXPECT_TRUE(sub.AtEnd());
+  ASSERT_TRUE(r.NextField(field, type));
+  EXPECT_EQ(r.GetU64Value(), 3u);
+}
+
+TEST(FieldTest, FieldZeroRejected) {
+  const Bytes data = {0x00};  // tag with field number 0
+  Reader r(data);
+  std::uint32_t field;
+  WireType type;
+  EXPECT_THROW(r.NextField(field, type), WireError);
+}
+
+TEST(FieldTest, BadWireTypeRejected) {
+  const Bytes data = {0x0f};  // field 1, wire type 7
+  Reader r(data);
+  std::uint32_t field;
+  WireType type;
+  EXPECT_THROW(r.NextField(field, type), WireError);
+}
+
+TEST(FieldTest, LengthOverrunRejected) {
+  Writer w;
+  w.PutBytes(1, Bytes(10, 1));
+  Bytes data = w.Data();
+  data.resize(data.size() - 5);  // truncate payload
+  Reader r(data);
+  std::uint32_t field;
+  WireType type;
+  ASSERT_TRUE(r.NextField(field, type));
+  EXPECT_THROW(r.GetBytesValue(), WireError);
+}
+
+TEST(FrameTest, RoundTrip) {
+  Rng rng(5);
+  const Bytes payload = rng.RandomBytes(1000);
+  const Bytes frame = FramePayload(payload);
+  ASSERT_EQ(frame.size(), payload.size() + kFramePreambleSize);
+  EXPECT_EQ(ParseFrameLength(frame), payload.size());
+  EXPECT_TRUE(std::equal(payload.begin(), payload.end(),
+                         frame.begin() + kFramePreambleSize));
+}
+
+TEST(FrameTest, EmptyPayload) {
+  const Bytes frame = FramePayload({});
+  EXPECT_EQ(frame.size(), kFramePreambleSize);
+  EXPECT_EQ(ParseFrameLength(frame), 0u);
+}
+
+TEST(FrameTest, ShortPreambleThrows) {
+  EXPECT_THROW(ParseFrameLength(Bytes{1, 2}), WireError);
+}
+
+TEST(WriterTest, TakeMovesBuffer) {
+  Writer w;
+  w.PutU64(1, 5);
+  const std::size_t size = w.Size();
+  Bytes data = std::move(w).Take();
+  EXPECT_EQ(data.size(), size);
+}
+
+}  // namespace
+}  // namespace adlp::wire

@@ -1,0 +1,110 @@
+// adlp_audit — command-line auditor for exported evidence.
+//
+//   adlp_audit <log-file> <manifest-file> [--json] [--verdicts]
+//              [--trace <topic> <seq> <subscriber>]
+//
+// Loads a tamper-evident log file and a system manifest (see
+// examples/investigator for how a system exports them), verifies the hash
+// chain, audits every transmission, and prints either the human-readable
+// report or a JSON exhibit. With --trace, also prints the provenance
+// ancestry of one transmission instance.
+//
+// Exit status: 0 = chain verifies and no component implicated;
+//              1 = unfaithful components identified;
+//              2 = evidence tampered or unreadable;
+//              3 = usage error.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "adlp/log_file.h"
+#include "audit/auditor.h"
+#include "audit/manifest.h"
+#include "audit/provenance.h"
+#include "audit/report_json.h"
+
+using namespace adlp;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: adlp_audit <log-file> <manifest-file> [--json] "
+               "[--verdicts] [--trace <topic> <seq> <subscriber>]\n");
+  return 3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string log_path = argv[1];
+  const std::string manifest_path = argv[2];
+  bool json = false;
+  bool verdicts = false;
+  bool trace = false;
+  audit::PairKey trace_key;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--verdicts") == 0) {
+      verdicts = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 3 < argc) {
+      trace = true;
+      trace_key.topic = argv[i + 1];
+      trace_key.seq = std::strtoull(argv[i + 2], nullptr, 10);
+      trace_key.subscriber = argv[i + 3];
+      i += 3;
+    } else {
+      return Usage();
+    }
+  }
+
+  proto::LoadedLog log;
+  audit::LoadedManifest manifest;
+  try {
+    log = proto::ReadLogFile(log_path);
+    manifest = audit::ReadManifestFile(manifest_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "adlp_audit: %s\n", e.what());
+    return 2;
+  }
+
+  if (!log.chain_verified) {
+    std::fprintf(stderr,
+                 "adlp_audit: HASH CHAIN BROKEN — the log file is not what "
+                 "the trusted logger wrote (%zu records, %zu unparseable)\n",
+                 log.records.size(), log.malformed_records);
+    return 2;
+  }
+
+  audit::LogDatabase db(log.entries, manifest.topology);
+  audit::Auditor auditor(manifest.keys);
+  const audit::AuditReport report = auditor.Audit(db);
+
+  if (json) {
+    audit::JsonOptions options;
+    options.include_verdicts = verdicts;
+    std::printf("%s\n", audit::RenderReportJson(report, options).c_str());
+  } else {
+    std::printf("evidence: %zu entries, hash chain verifies\n",
+                log.entries.size());
+    std::printf("%s", report.Render().c_str());
+    if (verdicts) {
+      for (const auto& v : report.verdicts) {
+        if (v.finding == audit::Finding::kOk) continue;
+        std::printf("  [%s] %s#%llu -> %s: %s\n",
+                    std::string(audit::FindingName(v.finding)).c_str(),
+                    v.topic.c_str(), static_cast<unsigned long long>(v.seq),
+                    v.subscriber.c_str(), v.detail.c_str());
+      }
+    }
+  }
+
+  if (trace) {
+    audit::ProvenanceGraph graph(db);
+    std::printf("\n%s", graph.RenderAncestry(trace_key).c_str());
+  }
+
+  return report.unfaithful.empty() ? 0 : 1;
+}
