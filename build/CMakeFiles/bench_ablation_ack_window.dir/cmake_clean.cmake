@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ack_window.dir/bench/bench_ablation_ack_window.cpp.o"
+  "CMakeFiles/bench_ablation_ack_window.dir/bench/bench_ablation_ack_window.cpp.o.d"
+  "bench/bench_ablation_ack_window"
+  "bench/bench_ablation_ack_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ack_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_aggregated.dir/bench/bench_ablation_aggregated.cpp.o"
+  "CMakeFiles/bench_ablation_aggregated.dir/bench/bench_ablation_aggregated.cpp.o.d"
+  "bench/bench_ablation_aggregated"
+  "bench/bench_ablation_aggregated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_aggregated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

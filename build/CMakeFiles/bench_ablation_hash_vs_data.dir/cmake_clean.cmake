@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hash_vs_data.dir/bench/bench_ablation_hash_vs_data.cpp.o"
+  "CMakeFiles/bench_ablation_hash_vs_data.dir/bench/bench_ablation_hash_vs_data.cpp.o.d"
+  "bench/bench_ablation_hash_vs_data"
+  "bench/bench_ablation_hash_vs_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hash_vs_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

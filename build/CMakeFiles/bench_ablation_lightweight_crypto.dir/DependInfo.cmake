@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_lightweight_crypto.cpp" "CMakeFiles/bench_ablation_lightweight_crypto.dir/bench/bench_ablation_lightweight_crypto.cpp.o" "gcc" "CMakeFiles/bench_ablation_lightweight_crypto.dir/bench/bench_ablation_lightweight_crypto.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/adlp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/adlp_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/adlp_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/adlp_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/pubsub/CMakeFiles/adlp_pubsub.dir/DependInfo.cmake"
+  "/root/repo/build/src/adlp/CMakeFiles/adlp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/audit/CMakeFiles/adlp_audit.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/adlp_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/adlp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lightweight_crypto.dir/bench/bench_ablation_lightweight_crypto.cpp.o"
+  "CMakeFiles/bench_ablation_lightweight_crypto.dir/bench/bench_ablation_lightweight_crypto.cpp.o.d"
+  "bench/bench_ablation_lightweight_crypto"
+  "bench/bench_ablation_lightweight_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lightweight_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_latency.dir/bench/bench_fig13_latency.cpp.o"
+  "CMakeFiles/bench_fig13_latency.dir/bench/bench_fig13_latency.cpp.o.d"
+  "bench/bench_fig13_latency"
+  "bench/bench_fig13_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

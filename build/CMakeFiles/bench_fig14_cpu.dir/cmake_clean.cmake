@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_cpu.dir/bench/bench_fig14_cpu.cpp.o"
+  "CMakeFiles/bench_fig14_cpu.dir/bench/bench_fig14_cpu.cpp.o.d"
+  "bench/bench_fig14_cpu"
+  "bench/bench_fig14_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_lograte.dir/bench/bench_fig15_lograte.cpp.o"
+  "CMakeFiles/bench_fig15_lograte.dir/bench/bench_fig15_lograte.cpp.o.d"
+  "bench/bench_fig15_lograte"
+  "bench/bench_fig15_lograte.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_lograte.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_crypto.dir/bench/bench_table1_crypto.cpp.o"
+  "CMakeFiles/bench_table1_crypto.dir/bench/bench_table1_crypto.cpp.o.d"
+  "bench/bench_table1_crypto"
+  "bench/bench_table1_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_appcpu.dir/bench/bench_table2_appcpu.cpp.o"
+  "CMakeFiles/bench_table2_appcpu.dir/bench/bench_table2_appcpu.cpp.o.d"
+  "bench/bench_table2_appcpu"
+  "bench/bench_table2_appcpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_appcpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_sizes.dir/bench/bench_table3_sizes.cpp.o"
+  "CMakeFiles/bench_table3_sizes.dir/bench/bench_table3_sizes.cpp.o.d"
+  "bench/bench_table3_sizes"
+  "bench/bench_table3_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_syslograte.dir/bench/bench_table4_syslograte.cpp.o"
+  "CMakeFiles/bench_table4_syslograte.dir/bench/bench_table4_syslograte.cpp.o.d"
+  "bench/bench_table4_syslograte"
+  "bench/bench_table4_syslograte.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_syslograte.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table4_syslograte.
+# This may be replaced when dependencies are built.

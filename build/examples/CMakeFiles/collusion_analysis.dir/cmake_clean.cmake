@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collusion_analysis.dir/collusion_analysis.cpp.o"
+  "CMakeFiles/collusion_analysis.dir/collusion_analysis.cpp.o.d"
+  "collusion_analysis"
+  "collusion_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collusion_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forensic_audit.dir/forensic_audit.cpp.o"
+  "CMakeFiles/forensic_audit.dir/forensic_audit.cpp.o.d"
+  "forensic_audit"
+  "forensic_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forensic_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_replay.dir/log_replay.cpp.o"
+  "CMakeFiles/log_replay.dir/log_replay.cpp.o.d"
+  "log_replay"
+  "log_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiprocess_demo.dir/multiprocess_demo.cpp.o"
+  "CMakeFiles/multiprocess_demo.dir/multiprocess_demo.cpp.o.d"
+  "multiprocess_demo"
+  "multiprocess_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiprocess_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

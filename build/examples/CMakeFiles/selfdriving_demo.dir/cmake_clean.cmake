@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selfdriving_demo.dir/selfdriving_demo.cpp.o"
+  "CMakeFiles/selfdriving_demo.dir/selfdriving_demo.cpp.o.d"
+  "selfdriving_demo"
+  "selfdriving_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selfdriving_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

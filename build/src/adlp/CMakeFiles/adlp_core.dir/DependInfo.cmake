@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adlp/component.cpp" "src/adlp/CMakeFiles/adlp_core.dir/component.cpp.o" "gcc" "src/adlp/CMakeFiles/adlp_core.dir/component.cpp.o.d"
+  "/root/repo/src/adlp/log_entry.cpp" "src/adlp/CMakeFiles/adlp_core.dir/log_entry.cpp.o" "gcc" "src/adlp/CMakeFiles/adlp_core.dir/log_entry.cpp.o.d"
+  "/root/repo/src/adlp/log_file.cpp" "src/adlp/CMakeFiles/adlp_core.dir/log_file.cpp.o" "gcc" "src/adlp/CMakeFiles/adlp_core.dir/log_file.cpp.o.d"
+  "/root/repo/src/adlp/log_server.cpp" "src/adlp/CMakeFiles/adlp_core.dir/log_server.cpp.o" "gcc" "src/adlp/CMakeFiles/adlp_core.dir/log_server.cpp.o.d"
+  "/root/repo/src/adlp/logging_thread.cpp" "src/adlp/CMakeFiles/adlp_core.dir/logging_thread.cpp.o" "gcc" "src/adlp/CMakeFiles/adlp_core.dir/logging_thread.cpp.o.d"
+  "/root/repo/src/adlp/protocols.cpp" "src/adlp/CMakeFiles/adlp_core.dir/protocols.cpp.o" "gcc" "src/adlp/CMakeFiles/adlp_core.dir/protocols.cpp.o.d"
+  "/root/repo/src/adlp/remote_log.cpp" "src/adlp/CMakeFiles/adlp_core.dir/remote_log.cpp.o" "gcc" "src/adlp/CMakeFiles/adlp_core.dir/remote_log.cpp.o.d"
+  "/root/repo/src/adlp/wire_msgs.cpp" "src/adlp/CMakeFiles/adlp_core.dir/wire_msgs.cpp.o" "gcc" "src/adlp/CMakeFiles/adlp_core.dir/wire_msgs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/adlp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/adlp_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/adlp_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/pubsub/CMakeFiles/adlp_pubsub.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/adlp_transport.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

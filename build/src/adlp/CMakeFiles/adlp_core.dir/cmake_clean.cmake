@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adlp_core.dir/component.cpp.o"
+  "CMakeFiles/adlp_core.dir/component.cpp.o.d"
+  "CMakeFiles/adlp_core.dir/log_entry.cpp.o"
+  "CMakeFiles/adlp_core.dir/log_entry.cpp.o.d"
+  "CMakeFiles/adlp_core.dir/log_file.cpp.o"
+  "CMakeFiles/adlp_core.dir/log_file.cpp.o.d"
+  "CMakeFiles/adlp_core.dir/log_server.cpp.o"
+  "CMakeFiles/adlp_core.dir/log_server.cpp.o.d"
+  "CMakeFiles/adlp_core.dir/logging_thread.cpp.o"
+  "CMakeFiles/adlp_core.dir/logging_thread.cpp.o.d"
+  "CMakeFiles/adlp_core.dir/protocols.cpp.o"
+  "CMakeFiles/adlp_core.dir/protocols.cpp.o.d"
+  "CMakeFiles/adlp_core.dir/remote_log.cpp.o"
+  "CMakeFiles/adlp_core.dir/remote_log.cpp.o.d"
+  "CMakeFiles/adlp_core.dir/wire_msgs.cpp.o"
+  "CMakeFiles/adlp_core.dir/wire_msgs.cpp.o.d"
+  "libadlp_core.a"
+  "libadlp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adlp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/audit/auditor.cpp" "src/audit/CMakeFiles/adlp_audit.dir/auditor.cpp.o" "gcc" "src/audit/CMakeFiles/adlp_audit.dir/auditor.cpp.o.d"
+  "/root/repo/src/audit/causality.cpp" "src/audit/CMakeFiles/adlp_audit.dir/causality.cpp.o" "gcc" "src/audit/CMakeFiles/adlp_audit.dir/causality.cpp.o.d"
+  "/root/repo/src/audit/log_database.cpp" "src/audit/CMakeFiles/adlp_audit.dir/log_database.cpp.o" "gcc" "src/audit/CMakeFiles/adlp_audit.dir/log_database.cpp.o.d"
+  "/root/repo/src/audit/manifest.cpp" "src/audit/CMakeFiles/adlp_audit.dir/manifest.cpp.o" "gcc" "src/audit/CMakeFiles/adlp_audit.dir/manifest.cpp.o.d"
+  "/root/repo/src/audit/provenance.cpp" "src/audit/CMakeFiles/adlp_audit.dir/provenance.cpp.o" "gcc" "src/audit/CMakeFiles/adlp_audit.dir/provenance.cpp.o.d"
+  "/root/repo/src/audit/replay.cpp" "src/audit/CMakeFiles/adlp_audit.dir/replay.cpp.o" "gcc" "src/audit/CMakeFiles/adlp_audit.dir/replay.cpp.o.d"
+  "/root/repo/src/audit/report_json.cpp" "src/audit/CMakeFiles/adlp_audit.dir/report_json.cpp.o" "gcc" "src/audit/CMakeFiles/adlp_audit.dir/report_json.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/adlp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/adlp_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/adlp/CMakeFiles/adlp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pubsub/CMakeFiles/adlp_pubsub.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/adlp_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/adlp_wire.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adlp_audit.dir/auditor.cpp.o"
+  "CMakeFiles/adlp_audit.dir/auditor.cpp.o.d"
+  "CMakeFiles/adlp_audit.dir/causality.cpp.o"
+  "CMakeFiles/adlp_audit.dir/causality.cpp.o.d"
+  "CMakeFiles/adlp_audit.dir/log_database.cpp.o"
+  "CMakeFiles/adlp_audit.dir/log_database.cpp.o.d"
+  "CMakeFiles/adlp_audit.dir/manifest.cpp.o"
+  "CMakeFiles/adlp_audit.dir/manifest.cpp.o.d"
+  "CMakeFiles/adlp_audit.dir/provenance.cpp.o"
+  "CMakeFiles/adlp_audit.dir/provenance.cpp.o.d"
+  "CMakeFiles/adlp_audit.dir/replay.cpp.o"
+  "CMakeFiles/adlp_audit.dir/replay.cpp.o.d"
+  "CMakeFiles/adlp_audit.dir/report_json.cpp.o"
+  "CMakeFiles/adlp_audit.dir/report_json.cpp.o.d"
+  "libadlp_audit.a"
+  "libadlp_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adlp_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adlp_common.dir/bytes.cpp.o"
+  "CMakeFiles/adlp_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/adlp_common.dir/clock.cpp.o"
+  "CMakeFiles/adlp_common.dir/clock.cpp.o.d"
+  "CMakeFiles/adlp_common.dir/rng.cpp.o"
+  "CMakeFiles/adlp_common.dir/rng.cpp.o.d"
+  "libadlp_common.a"
+  "libadlp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adlp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

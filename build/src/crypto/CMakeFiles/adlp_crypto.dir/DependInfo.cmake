@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/bigint.cpp" "src/crypto/CMakeFiles/adlp_crypto.dir/bigint.cpp.o" "gcc" "src/crypto/CMakeFiles/adlp_crypto.dir/bigint.cpp.o.d"
+  "/root/repo/src/crypto/ed25519.cpp" "src/crypto/CMakeFiles/adlp_crypto.dir/ed25519.cpp.o" "gcc" "src/crypto/CMakeFiles/adlp_crypto.dir/ed25519.cpp.o.d"
+  "/root/repo/src/crypto/hashchain.cpp" "src/crypto/CMakeFiles/adlp_crypto.dir/hashchain.cpp.o" "gcc" "src/crypto/CMakeFiles/adlp_crypto.dir/hashchain.cpp.o.d"
+  "/root/repo/src/crypto/keystore.cpp" "src/crypto/CMakeFiles/adlp_crypto.dir/keystore.cpp.o" "gcc" "src/crypto/CMakeFiles/adlp_crypto.dir/keystore.cpp.o.d"
+  "/root/repo/src/crypto/montgomery.cpp" "src/crypto/CMakeFiles/adlp_crypto.dir/montgomery.cpp.o" "gcc" "src/crypto/CMakeFiles/adlp_crypto.dir/montgomery.cpp.o.d"
+  "/root/repo/src/crypto/pkcs1.cpp" "src/crypto/CMakeFiles/adlp_crypto.dir/pkcs1.cpp.o" "gcc" "src/crypto/CMakeFiles/adlp_crypto.dir/pkcs1.cpp.o.d"
+  "/root/repo/src/crypto/prime.cpp" "src/crypto/CMakeFiles/adlp_crypto.dir/prime.cpp.o" "gcc" "src/crypto/CMakeFiles/adlp_crypto.dir/prime.cpp.o.d"
+  "/root/repo/src/crypto/rsa.cpp" "src/crypto/CMakeFiles/adlp_crypto.dir/rsa.cpp.o" "gcc" "src/crypto/CMakeFiles/adlp_crypto.dir/rsa.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/adlp_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/adlp_crypto.dir/sha256.cpp.o.d"
+  "/root/repo/src/crypto/sha512.cpp" "src/crypto/CMakeFiles/adlp_crypto.dir/sha512.cpp.o" "gcc" "src/crypto/CMakeFiles/adlp_crypto.dir/sha512.cpp.o.d"
+  "/root/repo/src/crypto/sig.cpp" "src/crypto/CMakeFiles/adlp_crypto.dir/sig.cpp.o" "gcc" "src/crypto/CMakeFiles/adlp_crypto.dir/sig.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/adlp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

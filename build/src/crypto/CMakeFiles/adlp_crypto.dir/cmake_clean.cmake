@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adlp_crypto.dir/bigint.cpp.o"
+  "CMakeFiles/adlp_crypto.dir/bigint.cpp.o.d"
+  "CMakeFiles/adlp_crypto.dir/ed25519.cpp.o"
+  "CMakeFiles/adlp_crypto.dir/ed25519.cpp.o.d"
+  "CMakeFiles/adlp_crypto.dir/hashchain.cpp.o"
+  "CMakeFiles/adlp_crypto.dir/hashchain.cpp.o.d"
+  "CMakeFiles/adlp_crypto.dir/keystore.cpp.o"
+  "CMakeFiles/adlp_crypto.dir/keystore.cpp.o.d"
+  "CMakeFiles/adlp_crypto.dir/montgomery.cpp.o"
+  "CMakeFiles/adlp_crypto.dir/montgomery.cpp.o.d"
+  "CMakeFiles/adlp_crypto.dir/pkcs1.cpp.o"
+  "CMakeFiles/adlp_crypto.dir/pkcs1.cpp.o.d"
+  "CMakeFiles/adlp_crypto.dir/prime.cpp.o"
+  "CMakeFiles/adlp_crypto.dir/prime.cpp.o.d"
+  "CMakeFiles/adlp_crypto.dir/rsa.cpp.o"
+  "CMakeFiles/adlp_crypto.dir/rsa.cpp.o.d"
+  "CMakeFiles/adlp_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/adlp_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/adlp_crypto.dir/sha512.cpp.o"
+  "CMakeFiles/adlp_crypto.dir/sha512.cpp.o.d"
+  "CMakeFiles/adlp_crypto.dir/sig.cpp.o"
+  "CMakeFiles/adlp_crypto.dir/sig.cpp.o.d"
+  "libadlp_crypto.a"
+  "libadlp_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adlp_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adlp_faults.dir/behavior.cpp.o"
+  "CMakeFiles/adlp_faults.dir/behavior.cpp.o.d"
+  "CMakeFiles/adlp_faults.dir/fabricate.cpp.o"
+  "CMakeFiles/adlp_faults.dir/fabricate.cpp.o.d"
+  "libadlp_faults.a"
+  "libadlp_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adlp_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

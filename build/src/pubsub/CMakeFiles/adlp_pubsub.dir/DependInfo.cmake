@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pubsub/handshake.cpp" "src/pubsub/CMakeFiles/adlp_pubsub.dir/handshake.cpp.o" "gcc" "src/pubsub/CMakeFiles/adlp_pubsub.dir/handshake.cpp.o.d"
+  "/root/repo/src/pubsub/master.cpp" "src/pubsub/CMakeFiles/adlp_pubsub.dir/master.cpp.o" "gcc" "src/pubsub/CMakeFiles/adlp_pubsub.dir/master.cpp.o.d"
+  "/root/repo/src/pubsub/message.cpp" "src/pubsub/CMakeFiles/adlp_pubsub.dir/message.cpp.o" "gcc" "src/pubsub/CMakeFiles/adlp_pubsub.dir/message.cpp.o.d"
+  "/root/repo/src/pubsub/node.cpp" "src/pubsub/CMakeFiles/adlp_pubsub.dir/node.cpp.o" "gcc" "src/pubsub/CMakeFiles/adlp_pubsub.dir/node.cpp.o.d"
+  "/root/repo/src/pubsub/remote_master.cpp" "src/pubsub/CMakeFiles/adlp_pubsub.dir/remote_master.cpp.o" "gcc" "src/pubsub/CMakeFiles/adlp_pubsub.dir/remote_master.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/adlp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/adlp_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/adlp_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/adlp_transport.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

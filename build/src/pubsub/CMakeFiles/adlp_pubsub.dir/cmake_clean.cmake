@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adlp_pubsub.dir/handshake.cpp.o"
+  "CMakeFiles/adlp_pubsub.dir/handshake.cpp.o.d"
+  "CMakeFiles/adlp_pubsub.dir/master.cpp.o"
+  "CMakeFiles/adlp_pubsub.dir/master.cpp.o.d"
+  "CMakeFiles/adlp_pubsub.dir/message.cpp.o"
+  "CMakeFiles/adlp_pubsub.dir/message.cpp.o.d"
+  "CMakeFiles/adlp_pubsub.dir/node.cpp.o"
+  "CMakeFiles/adlp_pubsub.dir/node.cpp.o.d"
+  "CMakeFiles/adlp_pubsub.dir/remote_master.cpp.o"
+  "CMakeFiles/adlp_pubsub.dir/remote_master.cpp.o.d"
+  "libadlp_pubsub.a"
+  "libadlp_pubsub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adlp_pubsub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/app.cpp" "src/sim/CMakeFiles/adlp_sim.dir/app.cpp.o" "gcc" "src/sim/CMakeFiles/adlp_sim.dir/app.cpp.o.d"
+  "/root/repo/src/sim/msgs.cpp" "src/sim/CMakeFiles/adlp_sim.dir/msgs.cpp.o" "gcc" "src/sim/CMakeFiles/adlp_sim.dir/msgs.cpp.o.d"
+  "/root/repo/src/sim/perception.cpp" "src/sim/CMakeFiles/adlp_sim.dir/perception.cpp.o" "gcc" "src/sim/CMakeFiles/adlp_sim.dir/perception.cpp.o.d"
+  "/root/repo/src/sim/sensors.cpp" "src/sim/CMakeFiles/adlp_sim.dir/sensors.cpp.o" "gcc" "src/sim/CMakeFiles/adlp_sim.dir/sensors.cpp.o.d"
+  "/root/repo/src/sim/vehicle.cpp" "src/sim/CMakeFiles/adlp_sim.dir/vehicle.cpp.o" "gcc" "src/sim/CMakeFiles/adlp_sim.dir/vehicle.cpp.o.d"
+  "/root/repo/src/sim/workload.cpp" "src/sim/CMakeFiles/adlp_sim.dir/workload.cpp.o" "gcc" "src/sim/CMakeFiles/adlp_sim.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/adlp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/adlp/CMakeFiles/adlp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pubsub/CMakeFiles/adlp_pubsub.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/adlp_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/adlp_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/adlp_wire.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adlp_sim.dir/app.cpp.o"
+  "CMakeFiles/adlp_sim.dir/app.cpp.o.d"
+  "CMakeFiles/adlp_sim.dir/msgs.cpp.o"
+  "CMakeFiles/adlp_sim.dir/msgs.cpp.o.d"
+  "CMakeFiles/adlp_sim.dir/perception.cpp.o"
+  "CMakeFiles/adlp_sim.dir/perception.cpp.o.d"
+  "CMakeFiles/adlp_sim.dir/sensors.cpp.o"
+  "CMakeFiles/adlp_sim.dir/sensors.cpp.o.d"
+  "CMakeFiles/adlp_sim.dir/vehicle.cpp.o"
+  "CMakeFiles/adlp_sim.dir/vehicle.cpp.o.d"
+  "CMakeFiles/adlp_sim.dir/workload.cpp.o"
+  "CMakeFiles/adlp_sim.dir/workload.cpp.o.d"
+  "libadlp_sim.a"
+  "libadlp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adlp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/inproc.cpp" "src/transport/CMakeFiles/adlp_transport.dir/inproc.cpp.o" "gcc" "src/transport/CMakeFiles/adlp_transport.dir/inproc.cpp.o.d"
+  "/root/repo/src/transport/tcp.cpp" "src/transport/CMakeFiles/adlp_transport.dir/tcp.cpp.o" "gcc" "src/transport/CMakeFiles/adlp_transport.dir/tcp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/adlp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/adlp_wire.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

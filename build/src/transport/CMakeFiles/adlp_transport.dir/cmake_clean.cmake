@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adlp_transport.dir/inproc.cpp.o"
+  "CMakeFiles/adlp_transport.dir/inproc.cpp.o.d"
+  "CMakeFiles/adlp_transport.dir/tcp.cpp.o"
+  "CMakeFiles/adlp_transport.dir/tcp.cpp.o.d"
+  "libadlp_transport.a"
+  "libadlp_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adlp_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

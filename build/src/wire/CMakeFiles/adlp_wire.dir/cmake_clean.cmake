@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adlp_wire.dir/wire.cpp.o"
+  "CMakeFiles/adlp_wire.dir/wire.cpp.o.d"
+  "libadlp_wire.a"
+  "libadlp_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adlp_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adlp_tests.dir/adlp/component_test.cpp.o"
+  "CMakeFiles/adlp_tests.dir/adlp/component_test.cpp.o.d"
+  "CMakeFiles/adlp_tests.dir/adlp/log_entry_test.cpp.o"
+  "CMakeFiles/adlp_tests.dir/adlp/log_entry_test.cpp.o.d"
+  "CMakeFiles/adlp_tests.dir/adlp/log_file_test.cpp.o"
+  "CMakeFiles/adlp_tests.dir/adlp/log_file_test.cpp.o.d"
+  "CMakeFiles/adlp_tests.dir/adlp/log_server_test.cpp.o"
+  "CMakeFiles/adlp_tests.dir/adlp/log_server_test.cpp.o.d"
+  "CMakeFiles/adlp_tests.dir/adlp/logging_thread_test.cpp.o"
+  "CMakeFiles/adlp_tests.dir/adlp/logging_thread_test.cpp.o.d"
+  "CMakeFiles/adlp_tests.dir/adlp/protocol_matrix_test.cpp.o"
+  "CMakeFiles/adlp_tests.dir/adlp/protocol_matrix_test.cpp.o.d"
+  "CMakeFiles/adlp_tests.dir/adlp/protocols_test.cpp.o"
+  "CMakeFiles/adlp_tests.dir/adlp/protocols_test.cpp.o.d"
+  "CMakeFiles/adlp_tests.dir/adlp/remote_log_test.cpp.o"
+  "CMakeFiles/adlp_tests.dir/adlp/remote_log_test.cpp.o.d"
+  "CMakeFiles/adlp_tests.dir/adlp/wire_msgs_test.cpp.o"
+  "CMakeFiles/adlp_tests.dir/adlp/wire_msgs_test.cpp.o.d"
+  "adlp_tests"
+  "adlp_tests.pdb"
+  "adlp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adlp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audit_tests.dir/audit/auditor_faithful_test.cpp.o"
+  "CMakeFiles/audit_tests.dir/audit/auditor_faithful_test.cpp.o.d"
+  "CMakeFiles/audit_tests.dir/audit/auditor_hardening_test.cpp.o"
+  "CMakeFiles/audit_tests.dir/audit/auditor_hardening_test.cpp.o.d"
+  "CMakeFiles/audit_tests.dir/audit/base_scheme_test.cpp.o"
+  "CMakeFiles/audit_tests.dir/audit/base_scheme_test.cpp.o.d"
+  "CMakeFiles/audit_tests.dir/audit/causality_test.cpp.o"
+  "CMakeFiles/audit_tests.dir/audit/causality_test.cpp.o.d"
+  "CMakeFiles/audit_tests.dir/audit/lemma1_test.cpp.o"
+  "CMakeFiles/audit_tests.dir/audit/lemma1_test.cpp.o.d"
+  "CMakeFiles/audit_tests.dir/audit/lemma2_test.cpp.o"
+  "CMakeFiles/audit_tests.dir/audit/lemma2_test.cpp.o.d"
+  "CMakeFiles/audit_tests.dir/audit/lemma3_test.cpp.o"
+  "CMakeFiles/audit_tests.dir/audit/lemma3_test.cpp.o.d"
+  "CMakeFiles/audit_tests.dir/audit/manifest_test.cpp.o"
+  "CMakeFiles/audit_tests.dir/audit/manifest_test.cpp.o.d"
+  "CMakeFiles/audit_tests.dir/audit/provenance_test.cpp.o"
+  "CMakeFiles/audit_tests.dir/audit/provenance_test.cpp.o.d"
+  "CMakeFiles/audit_tests.dir/audit/replay_test.cpp.o"
+  "CMakeFiles/audit_tests.dir/audit/replay_test.cpp.o.d"
+  "CMakeFiles/audit_tests.dir/audit/report_json_test.cpp.o"
+  "CMakeFiles/audit_tests.dir/audit/report_json_test.cpp.o.d"
+  "CMakeFiles/audit_tests.dir/audit/theorem_test.cpp.o"
+  "CMakeFiles/audit_tests.dir/audit/theorem_test.cpp.o.d"
+  "audit_tests"
+  "audit_tests.pdb"
+  "audit_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audit_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

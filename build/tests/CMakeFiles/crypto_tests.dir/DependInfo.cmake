@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/crypto/bigint_test.cpp" "tests/CMakeFiles/crypto_tests.dir/crypto/bigint_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_tests.dir/crypto/bigint_test.cpp.o.d"
+  "/root/repo/tests/crypto/ed25519_test.cpp" "tests/CMakeFiles/crypto_tests.dir/crypto/ed25519_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_tests.dir/crypto/ed25519_test.cpp.o.d"
+  "/root/repo/tests/crypto/hashchain_test.cpp" "tests/CMakeFiles/crypto_tests.dir/crypto/hashchain_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_tests.dir/crypto/hashchain_test.cpp.o.d"
+  "/root/repo/tests/crypto/keystore_test.cpp" "tests/CMakeFiles/crypto_tests.dir/crypto/keystore_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_tests.dir/crypto/keystore_test.cpp.o.d"
+  "/root/repo/tests/crypto/montgomery_test.cpp" "tests/CMakeFiles/crypto_tests.dir/crypto/montgomery_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_tests.dir/crypto/montgomery_test.cpp.o.d"
+  "/root/repo/tests/crypto/pkcs1_test.cpp" "tests/CMakeFiles/crypto_tests.dir/crypto/pkcs1_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_tests.dir/crypto/pkcs1_test.cpp.o.d"
+  "/root/repo/tests/crypto/prime_test.cpp" "tests/CMakeFiles/crypto_tests.dir/crypto/prime_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_tests.dir/crypto/prime_test.cpp.o.d"
+  "/root/repo/tests/crypto/rsa_param_test.cpp" "tests/CMakeFiles/crypto_tests.dir/crypto/rsa_param_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_tests.dir/crypto/rsa_param_test.cpp.o.d"
+  "/root/repo/tests/crypto/rsa_test.cpp" "tests/CMakeFiles/crypto_tests.dir/crypto/rsa_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_tests.dir/crypto/rsa_test.cpp.o.d"
+  "/root/repo/tests/crypto/sha256_test.cpp" "tests/CMakeFiles/crypto_tests.dir/crypto/sha256_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_tests.dir/crypto/sha256_test.cpp.o.d"
+  "/root/repo/tests/crypto/sig_test.cpp" "tests/CMakeFiles/crypto_tests.dir/crypto/sig_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_tests.dir/crypto/sig_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/adlp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/adlp_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/adlp_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/adlp_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/pubsub/CMakeFiles/adlp_pubsub.dir/DependInfo.cmake"
+  "/root/repo/build/src/adlp/CMakeFiles/adlp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/audit/CMakeFiles/adlp_audit.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/adlp_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/adlp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_tests.dir/crypto/bigint_test.cpp.o"
+  "CMakeFiles/crypto_tests.dir/crypto/bigint_test.cpp.o.d"
+  "CMakeFiles/crypto_tests.dir/crypto/ed25519_test.cpp.o"
+  "CMakeFiles/crypto_tests.dir/crypto/ed25519_test.cpp.o.d"
+  "CMakeFiles/crypto_tests.dir/crypto/hashchain_test.cpp.o"
+  "CMakeFiles/crypto_tests.dir/crypto/hashchain_test.cpp.o.d"
+  "CMakeFiles/crypto_tests.dir/crypto/keystore_test.cpp.o"
+  "CMakeFiles/crypto_tests.dir/crypto/keystore_test.cpp.o.d"
+  "CMakeFiles/crypto_tests.dir/crypto/montgomery_test.cpp.o"
+  "CMakeFiles/crypto_tests.dir/crypto/montgomery_test.cpp.o.d"
+  "CMakeFiles/crypto_tests.dir/crypto/pkcs1_test.cpp.o"
+  "CMakeFiles/crypto_tests.dir/crypto/pkcs1_test.cpp.o.d"
+  "CMakeFiles/crypto_tests.dir/crypto/prime_test.cpp.o"
+  "CMakeFiles/crypto_tests.dir/crypto/prime_test.cpp.o.d"
+  "CMakeFiles/crypto_tests.dir/crypto/rsa_param_test.cpp.o"
+  "CMakeFiles/crypto_tests.dir/crypto/rsa_param_test.cpp.o.d"
+  "CMakeFiles/crypto_tests.dir/crypto/rsa_test.cpp.o"
+  "CMakeFiles/crypto_tests.dir/crypto/rsa_test.cpp.o.d"
+  "CMakeFiles/crypto_tests.dir/crypto/sha256_test.cpp.o"
+  "CMakeFiles/crypto_tests.dir/crypto/sha256_test.cpp.o.d"
+  "CMakeFiles/crypto_tests.dir/crypto/sig_test.cpp.o"
+  "CMakeFiles/crypto_tests.dir/crypto/sig_test.cpp.o.d"
+  "crypto_tests"
+  "crypto_tests.pdb"
+  "crypto_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

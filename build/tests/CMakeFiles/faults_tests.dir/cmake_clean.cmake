@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faults_tests.dir/faults/faults_test.cpp.o"
+  "CMakeFiles/faults_tests.dir/faults/faults_test.cpp.o.d"
+  "faults_tests"
+  "faults_tests.pdb"
+  "faults_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faults_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pubsub_tests.dir/pubsub/master_test.cpp.o"
+  "CMakeFiles/pubsub_tests.dir/pubsub/master_test.cpp.o.d"
+  "CMakeFiles/pubsub_tests.dir/pubsub/message_test.cpp.o"
+  "CMakeFiles/pubsub_tests.dir/pubsub/message_test.cpp.o.d"
+  "CMakeFiles/pubsub_tests.dir/pubsub/node_test.cpp.o"
+  "CMakeFiles/pubsub_tests.dir/pubsub/node_test.cpp.o.d"
+  "CMakeFiles/pubsub_tests.dir/pubsub/remote_master_test.cpp.o"
+  "CMakeFiles/pubsub_tests.dir/pubsub/remote_master_test.cpp.o.d"
+  "pubsub_tests"
+  "pubsub_tests.pdb"
+  "pubsub_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pubsub_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transport_tests.dir/transport/transport_test.cpp.o"
+  "CMakeFiles/transport_tests.dir/transport/transport_test.cpp.o.d"
+  "transport_tests"
+  "transport_tests.pdb"
+  "transport_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transport_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire_tests.dir/wire/wire_fuzz_test.cpp.o"
+  "CMakeFiles/wire_tests.dir/wire/wire_fuzz_test.cpp.o.d"
+  "CMakeFiles/wire_tests.dir/wire/wire_test.cpp.o"
+  "CMakeFiles/wire_tests.dir/wire/wire_test.cpp.o.d"
+  "wire_tests"
+  "wire_tests.pdb"
+  "wire_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

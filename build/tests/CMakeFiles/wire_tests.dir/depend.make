@@ -1,0 +1,2 @@
+# Empty dependencies file for wire_tests.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/crypto_tests[1]_include.cmake")
+include("/root/repo/build/tests/wire_tests[1]_include.cmake")
+include("/root/repo/build/tests/transport_tests[1]_include.cmake")
+include("/root/repo/build/tests/pubsub_tests[1]_include.cmake")
+include("/root/repo/build/tests/adlp_tests[1]_include.cmake")
+include("/root/repo/build/tests/audit_tests[1]_include.cmake")
+include("/root/repo/build/tests/faults_tests[1]_include.cmake")
+include("/root/repo/build/tests/sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")

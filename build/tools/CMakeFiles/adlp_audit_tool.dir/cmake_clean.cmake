@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adlp_audit_tool.dir/adlp_audit.cpp.o"
+  "CMakeFiles/adlp_audit_tool.dir/adlp_audit.cpp.o.d"
+  "adlp_audit"
+  "adlp_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adlp_audit_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
