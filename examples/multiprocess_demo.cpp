@@ -24,6 +24,7 @@
 
 #include "adlp/component.h"
 #include "adlp/remote_log.h"
+#include "adlp/resilient_log.h"
 #include "audit/auditor.h"
 #include "pubsub/remote_master.h"
 
@@ -32,6 +33,17 @@ using namespace adlp;
 namespace {
 
 constexpr std::size_t kPayloadSize = 100'000;
+
+/// Children dial services that the orchestrator races to bring up: retry
+/// rather than die on the first refused connection.
+transport::TcpConnectOptions ChildDialOptions() {
+  transport::TcpConnectOptions dial;
+  dial.attempts = 20;
+  dial.connect_timeout_ms = 500;
+  dial.retry_delay_ms = 50;
+  dial.max_retry_delay_ms = 500;
+  return dial;
+}
 
 proto::ComponentOptions NodeOptions() {
   proto::ComponentOptions opts;
@@ -43,8 +55,8 @@ proto::ComponentOptions NodeOptions() {
 
 int RunCamera(std::uint16_t master_port, std::uint16_t log_port,
               int messages) {
-  pubsub::RemoteMaster master(master_port);
-  proto::RemoteLogSink log_sink(log_port);
+  pubsub::RemoteMaster master(master_port, ChildDialOptions());
+  proto::ResilientLogSink log_sink(log_port);
   Rng rng(0xCA11);
   proto::Component camera("camera", master, log_sink, rng, NodeOptions());
 
@@ -59,14 +71,15 @@ int RunCamera(std::uint16_t master_port, std::uint16_t log_port,
     std::this_thread::sleep_for(std::chrono::milliseconds(50));  // 20 Hz
   }
   camera.Shutdown();
+  log_sink.Drain(std::chrono::seconds(5));
   std::printf("[camera %d] published %d messages\n", getpid(), messages);
   return 0;
 }
 
 int RunDetector(std::uint16_t master_port, std::uint16_t log_port,
                 int messages) {
-  pubsub::RemoteMaster master(master_port);
-  proto::RemoteLogSink log_sink(log_port);
+  pubsub::RemoteMaster master(master_port, ChildDialOptions());
+  proto::ResilientLogSink log_sink(log_port);
   Rng rng(0xDE7E);
   proto::Component detector("detector", master, log_sink, rng, NodeOptions());
 
@@ -81,6 +94,7 @@ int RunDetector(std::uint16_t master_port, std::uint16_t log_port,
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
   detector.Shutdown();
+  log_sink.Drain(std::chrono::seconds(5));
   std::printf("[detector %d] received %d/%d messages\n", getpid(), got.load(),
               messages);
   return got.load() == messages ? 0 : 3;

@@ -111,8 +111,13 @@ void LogServerService::AcceptLoop() {
       channel->Close();
       return;
     }
-    connections_.push_back(channel);
-    ingestion_threads_.emplace_back([this, channel] {
+    // Prune connections whose ingestion loop already exited so the tracked
+    // set stays bounded by live clients, not by lifetime accept count.
+    ReapFinishedLocked();
+    auto conn = std::make_unique<Connection>();
+    conn->channel = channel;
+    Connection* raw = conn.get();
+    conn->thread = std::thread([this, raw, channel] {
       while (auto frame = channel->Receive()) {
         try {
           ApplyLogUpload(*frame, server_);
@@ -121,24 +126,38 @@ void LogServerService::AcceptLoop() {
           // logger is append-only and trusts nothing it cannot parse.
         }
       }
+      raw->done.store(true, std::memory_order_release);
     });
+    connections_.push_back(std::move(conn));
   }
+}
+
+void LogServerService::ReapFinishedLocked() {
+  std::erase_if(connections_, [](const std::unique_ptr<Connection>& c) {
+    if (!c->done.load(std::memory_order_acquire)) return false;
+    if (c->thread.joinable()) c->thread.join();  // already exited: instant
+    return true;
+  });
+}
+
+std::size_t LogServerService::ActiveConnections() {
+  std::lock_guard lock(mu_);
+  ReapFinishedLocked();
+  return connections_.size();
 }
 
 void LogServerService::Shutdown() {
   if (shutting_down_.exchange(true)) return;
   listener_.Close();
   if (accept_thread_.joinable()) accept_thread_.join();
-  std::vector<transport::ChannelPtr> connections;
-  std::vector<std::thread> threads;
+  std::vector<std::unique_ptr<Connection>> connections;
   {
     std::lock_guard lock(mu_);
     connections.swap(connections_);
-    threads.swap(ingestion_threads_);
   }
-  for (auto& c : connections) c->Close();
-  for (auto& t : threads) {
-    if (t.joinable()) t.join();
+  for (auto& c : connections) c->channel->Close();
+  for (auto& c : connections) {
+    if (c->thread.joinable()) c->thread.join();
   }
 }
 

@@ -64,16 +64,29 @@ class LogServerService {
   /// Stops accepting and joins all ingestion threads.
   void Shutdown();
 
+  /// Number of tracked connections after pruning finished ones. A long-lived
+  /// service with churning clients stays bounded by its *live* connection
+  /// count, not its lifetime accept count.
+  std::size_t ActiveConnections();
+
  private:
+  struct Connection {
+    transport::ChannelPtr channel;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
   void AcceptLoop();
+  /// Joins and erases connections whose ingestion loop has exited.
+  /// Caller holds mu_.
+  void ReapFinishedLocked();
 
   LogServer& server_;
   transport::TcpListener listener_;
   std::atomic<bool> shutting_down_{false};
   std::thread accept_thread_;
   std::mutex mu_;
-  std::vector<std::thread> ingestion_threads_;
-  std::vector<transport::ChannelPtr> connections_;
+  std::vector<std::unique_ptr<Connection>> connections_;
 };
 
 }  // namespace adlp::proto

@@ -1,0 +1,170 @@
+#include "adlp/resilient_log.h"
+
+#include <algorithm>
+
+#include "adlp/remote_log.h"
+
+namespace adlp::proto {
+
+ResilientLogSink::ResilientLogSink(std::uint16_t port, Options options)
+    : ResilientLogSink(
+          [port, connect = options.connect]() -> transport::ChannelPtr {
+            return transport::TryTcpConnect(port, connect);
+          },
+          options) {}
+
+ResilientLogSink::ResilientLogSink(Connector connector, Options options)
+    : connector_(std::move(connector)),
+      options_(options),
+      backoff_rng_(options.backoff_seed) {
+  flusher_ = std::thread([this] { FlusherLoop(); });
+}
+
+ResilientLogSink::~ResilientLogSink() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+    // Unblocks a flusher stuck in send() on a full socket buffer.
+    if (channel_) channel_->Close();
+  }
+  cv_.notify_all();
+  drain_cv_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
+}
+
+void ResilientLogSink::RegisterKey(const crypto::ComponentId& id,
+                                   const crypto::PublicKey& key) {
+  Bytes frame = SerializeLogUpload(id, key);
+  {
+    std::lock_guard lock(mu_);
+    // Kept forever: every (re)connect replays all registrations so a logger
+    // restarted with empty state can still verify the replayed entries.
+    // LogServer::RegisterKey is idempotent, so duplicates are harmless.
+    key_frames_.push_back(frame);
+  }
+  PushFrame(std::move(frame));
+}
+
+void ResilientLogSink::Append(const LogEntry& entry) {
+  PushFrame(SerializeLogUpload(entry));
+}
+
+bool ResilientLogSink::Connected() const {
+  std::lock_guard lock(mu_);
+  return channel_ != nullptr && channel_->IsOpen();
+}
+
+SinkStats ResilientLogSink::Stats() const {
+  std::lock_guard lock(mu_);
+  SinkStats stats = stats_;
+  stats.entries_spooled = spool_.size();
+  return stats;
+}
+
+bool ResilientLogSink::Drain(std::chrono::milliseconds timeout) {
+  std::unique_lock lock(mu_);
+  return drain_cv_.wait_for(lock, timeout,
+                            [&] { return spool_.empty() && !in_flight_; });
+}
+
+void ResilientLogSink::PushFrame(Bytes frame) {
+  {
+    std::lock_guard lock(mu_);
+    if (stop_) return;
+    if (spool_.size() >= options_.spool_capacity) {
+      // Oldest-drop: bounded memory during a long partition. The auditor
+      // sees the evicted entries as hidden, which is the honest verdict for
+      // entries that truly never reached the logger.
+      spool_.pop_front();
+      ++stats_.entries_dropped;
+    }
+    spool_.push_back(std::move(frame));
+    stats_.spool_high_water =
+        std::max<std::uint64_t>(stats_.spool_high_water, spool_.size());
+  }
+  cv_.notify_one();
+}
+
+bool ResilientLogSink::ResendKeys(const transport::ChannelPtr& channel) {
+  std::vector<Bytes> keys;
+  {
+    std::lock_guard lock(mu_);
+    keys = key_frames_;
+  }
+  for (const Bytes& frame : keys) {
+    if (!channel->Send(frame)) return false;
+  }
+  return true;
+}
+
+void ResilientLogSink::FlusherLoop() {
+  unsigned failures = 0;
+  while (true) {
+    transport::ChannelPtr channel;
+    {
+      std::unique_lock lock(mu_);
+      if (stop_) return;
+      channel = channel_;
+    }
+
+    if (channel == nullptr || !channel->IsOpen()) {
+      transport::ChannelPtr fresh = connector_();
+      std::unique_lock lock(mu_);
+      if (stop_) {
+        if (fresh) fresh->Close();
+        return;
+      }
+      if (fresh == nullptr) {
+        ++stats_.connect_failures;
+        const std::int64_t delay_ms =
+            options_.backoff.DelayMs(failures, backoff_rng_);
+        if (failures < 63) ++failures;
+        cv_.wait_for(lock, std::chrono::milliseconds(delay_ms),
+                     [&] { return stop_; });
+        continue;
+      }
+      failures = 0;
+      channel_ = fresh;
+      ++connects_;
+      const bool is_reconnect = connects_ > 1;
+      if (is_reconnect) ++stats_.reconnects;
+      lock.unlock();
+      // Keys need re-registration only on REconnects: the first connection
+      // gets them from the spool in their original order. (Re-sending them
+      // here too would double-send nondeterministically.)
+      if (is_reconnect && !ResendKeys(fresh)) {
+        std::lock_guard relock(mu_);
+        if (channel_ == fresh) channel_.reset();
+        continue;
+      }
+      channel = fresh;
+    }
+
+    Bytes frame;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [&] { return stop_ || !spool_.empty(); });
+      if (stop_) return;
+      frame = std::move(spool_.front());
+      spool_.pop_front();
+      in_flight_ = true;
+    }
+
+    const bool sent = channel->Send(frame);
+    {
+      std::lock_guard lock(mu_);
+      in_flight_ = false;
+      if (sent) {
+        ++stats_.entries_sent;
+        if (spool_.empty()) drain_cv_.notify_all();
+      } else {
+        // Order-preserving retry: the failed frame goes back to the front
+        // and is the first thing replayed after reconnection.
+        spool_.push_front(std::move(frame));
+        if (channel_ == channel) channel_.reset();
+      }
+    }
+  }
+}
+
+}  // namespace adlp::proto

@@ -265,8 +265,9 @@ void MasterService::Shutdown() {
 // ---------------------------------------------------------------------------
 // RemoteMaster
 
-RemoteMaster::RemoteMaster(std::uint16_t port)
-    : channel_(transport::TcpConnect(port)) {
+RemoteMaster::RemoteMaster(std::uint16_t port,
+                           transport::TcpConnectOptions options)
+    : channel_(transport::TcpConnect(port, options)) {
   reader_ = std::thread([this] { ReaderLoop(); });
 }
 
@@ -303,14 +304,17 @@ void RemoteMaster::ReaderLoop() {
         pending_subs_.erase(begin, end);
       }
       for (auto& [subscriber, cb] : matched) {
-        try {
-          auto data_channel = transport::TcpConnect(frame.port);
-          data_channel->Send(SerializeHandshake(frame.topic, subscriber));
-          cb(frame.component, std::move(data_channel));
-        } catch (const std::system_error&) {
-          // Publisher vanished between advertise and dial; drop quietly —
-          // the data plane treats it like a lost connection.
-        }
+        // The publisher may still be bringing its data listener up, or may
+        // have vanished between advertise and dial: retry briefly, then drop
+        // quietly — the data plane treats it like a lost connection.
+        transport::TcpConnectOptions dial;
+        dial.attempts = 3;
+        dial.connect_timeout_ms = 500;
+        dial.retry_delay_ms = 20;
+        auto data_channel = transport::TryTcpConnect(frame.port, dial);
+        if (data_channel == nullptr) continue;
+        data_channel->Send(SerializeHandshake(frame.topic, subscriber));
+        cb(frame.component, std::move(data_channel));
       }
       continue;
     }

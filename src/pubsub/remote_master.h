@@ -79,8 +79,11 @@ class MasterService {
 class RemoteMaster final : public MasterApi {
  public:
   /// Connects to the service at 127.0.0.1:`port`. Throws std::system_error
-  /// if unreachable.
-  explicit RemoteMaster(std::uint16_t port);
+  /// once `options.attempts` connection attempts are exhausted. Passing
+  /// retrying options lets node processes start before the master service
+  /// (the usual race when a fleet of processes boots concurrently).
+  explicit RemoteMaster(std::uint16_t port,
+                        transport::TcpConnectOptions options = {});
   ~RemoteMaster() override;
 
   /// Cross-process publishers must be reachable over TCP: `info.tcp_port`

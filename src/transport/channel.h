@@ -19,6 +19,13 @@
 
 namespace adlp::transport {
 
+/// Upper bound on a single framed message. A frame length above this is
+/// treated as a protocol violation (corrupt or forged preamble): the channel
+/// rejects it and closes instead of attempting the allocation. 64 MiB leaves
+/// ample headroom over the largest legitimate payload (the ~1 MB camera
+/// images of Table I).
+inline constexpr std::size_t kMaxFrameBytes = 64u * 1024 * 1024;
+
 class Channel {
  public:
   virtual ~Channel() = default;

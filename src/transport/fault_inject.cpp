@@ -1,0 +1,56 @@
+#include "transport/fault_inject.h"
+
+#include <chrono>
+#include <thread>
+
+namespace adlp::transport {
+
+bool FaultInjectingChannel::Send(BytesView payload) {
+  Bytes frame;
+  std::int64_t delay_ns = 0;
+  bool duplicate = false;
+  {
+    std::lock_guard lock(mu_);
+    if (plan_.disconnect_after_frames != 0 &&
+        stats_.forwarded >= plan_.disconnect_after_frames) {
+      if (!stats_.disconnected) {
+        stats_.disconnected = true;
+        inner_->Close();
+      }
+      return false;
+    }
+    if (plan_.drop_prob > 0 && rng_.Chance(plan_.drop_prob)) {
+      ++stats_.dropped;
+      return true;  // silent loss: the sender cannot tell
+    }
+    frame.assign(payload.begin(), payload.end());
+    if (plan_.corrupt_prob > 0 && !frame.empty() &&
+        rng_.Chance(plan_.corrupt_prob)) {
+      frame[rng_.UniformBelow(frame.size())] ^= 0x01;
+      ++stats_.corrupted;
+    }
+    if (plan_.delay_ns_max > 0) {
+      delay_ns = static_cast<std::int64_t>(
+          rng_.UniformBelow(static_cast<std::uint64_t>(plan_.delay_ns_max) + 1));
+    }
+    duplicate = plan_.duplicate_prob > 0 && rng_.Chance(plan_.duplicate_prob);
+  }
+
+  if (delay_ns > 0) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(delay_ns));
+  }
+  if (!inner_->Send(frame)) return false;
+  {
+    std::lock_guard lock(mu_);
+    ++stats_.forwarded;
+    if (duplicate) ++stats_.duplicated;
+  }
+  if (duplicate) (void)inner_->Send(frame);
+  return true;
+}
+
+ChannelPtr WrapWithFaults(ChannelPtr inner, FaultPlan plan, Rng rng) {
+  return std::make_shared<FaultInjectingChannel>(std::move(inner), plan, rng);
+}
+
+}  // namespace adlp::transport

@@ -33,6 +33,7 @@ class InProcEndpoint final : public Channel {
   ~InProcEndpoint() override { Close(); }
 
   bool Send(BytesView payload) override {
+    if (payload.size() > kMaxFrameBytes) return false;
     const std::int64_t delay = state_->model.TransferDelayNs(payload.size());
     TimedMessage msg{MonotonicNowNs() + delay,
                      Bytes(payload.begin(), payload.end())};

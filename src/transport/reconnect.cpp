@@ -1,0 +1,22 @@
+#include "transport/reconnect.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace adlp::transport {
+
+std::int64_t BackoffPolicy::DelayMs(unsigned failures, Rng& rng) const {
+  double base = static_cast<double>(initial_ms);
+  for (unsigned i = 0; i < failures && base < static_cast<double>(max_ms);
+       ++i) {
+    base *= multiplier;
+  }
+  base = std::min(base, static_cast<double>(max_ms));
+  if (jitter > 0) {
+    const double factor = 1.0 + jitter * (2.0 * rng.NextDouble() - 1.0);
+    base *= factor;
+  }
+  return std::max<std::int64_t>(1, static_cast<std::int64_t>(std::llround(base)));
+}
+
+}  // namespace adlp::transport

@@ -1,0 +1,29 @@
+// Reconnection pacing shared by every client that dials a peer which may be
+// down: exponential backoff with jitter. Jitter is drawn from the caller's
+// deterministic Rng so reconnect schedules are reproducible in tests while
+// still decorrelating a fleet of clients hammering a restarted service.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace adlp::transport {
+
+struct BackoffPolicy {
+  /// Delay before the first retry.
+  std::int64_t initial_ms = 10;
+  /// Ceiling for the exponential growth.
+  std::int64_t max_ms = 2000;
+  /// Growth factor per consecutive failure.
+  double multiplier = 2.0;
+  /// Fractional jitter: the returned delay is uniform in
+  /// [base * (1 - jitter), base * (1 + jitter)], clamped to >= 1 ms.
+  double jitter = 0.25;
+
+  /// Delay for the retry after `failures` consecutive failures (0-based:
+  /// failures == 0 yields ~initial_ms).
+  std::int64_t DelayMs(unsigned failures, Rng& rng) const;
+};
+
+}  // namespace adlp::transport

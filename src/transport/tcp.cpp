@@ -1,16 +1,22 @@
 #include "transport/tcp.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
+#include <limits>
 #include <cstring>
 #include <mutex>
 #include <system_error>
+#include <thread>
 
 #include "wire/wire.h"
 
@@ -21,6 +27,12 @@ namespace {
 [[noreturn]] void ThrowErrno(const char* what) {
   throw std::system_error(errno, std::generic_category(), what);
 }
+
+/// How often a blocked receiver re-checks the channel's closed flag. Close()
+/// also shuts the socket down (which wakes recv immediately); the poll
+/// interval only bounds the exit latency of pathological cases, e.g. a
+/// half-read frame whose sender stalled.
+constexpr int kReceivePollMs = 100;
 
 /// Writes all of `data` to `fd`, retrying on EINTR / partial writes.
 bool WriteAll(int fd, const std::uint8_t* data, std::size_t len) {
@@ -36,21 +48,6 @@ bool WriteAll(int fd, const std::uint8_t* data, std::size_t len) {
   return true;
 }
 
-/// Reads exactly `len` bytes. Returns false on EOF or error.
-bool ReadAll(int fd, std::uint8_t* data, std::size_t len) {
-  while (len > 0) {
-    const ssize_t n = ::recv(fd, data, len, 0);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    if (n == 0) return false;  // orderly shutdown
-    data += n;
-    len -= static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
 class TcpChannel final : public Channel {
  public:
   explicit TcpChannel(int fd) : fd_(fd) {
@@ -58,7 +55,14 @@ class TcpChannel final : public Channel {
     ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   }
 
-  ~TcpChannel() override { Close(); }
+  ~TcpChannel() override {
+    Close();
+    // The fd is released only here, when no thread can still be inside
+    // Send/Receive (they run on a live Channel reference): closing it from
+    // Close() could hand the fd number to an unrelated open() while a reader
+    // is still blocked in recv() on it.
+    ::close(fd_);
+  }
 
   bool Send(BytesView payload) override {
     std::lock_guard lock(send_mu_);
@@ -73,19 +77,26 @@ class TcpChannel final : public Channel {
 
   std::optional<Bytes> Receive() override {
     std::uint8_t preamble[wire::kFramePreambleSize];
-    if (!ReadAll(fd_, preamble, sizeof(preamble))) return std::nullopt;
+    if (!ReadFully(preamble, sizeof(preamble))) return std::nullopt;
     const std::uint32_t len =
         wire::ParseFrameLength(BytesView(preamble, sizeof(preamble)));
+    if (len > kMaxFrameBytes) {
+      // Corrupt or forged preamble: reject before allocating `len` bytes
+      // and drop the connection — the stream offset is unrecoverable.
+      Close();
+      return std::nullopt;
+    }
     Bytes payload(len);
-    if (len > 0 && !ReadAll(fd_, payload.data(), len)) return std::nullopt;
+    if (len > 0 && !ReadFully(payload.data(), len)) return std::nullopt;
     return payload;
   }
 
   void Close() override {
     bool expected = false;
     if (closed_.compare_exchange_strong(expected, true)) {
+      // Shut down only; the fd stays allocated until the destructor so a
+      // concurrent reader never sees its fd number recycled.
       ::shutdown(fd_, SHUT_RDWR);
-      ::close(fd_);
     }
   }
 
@@ -94,10 +105,94 @@ class TcpChannel final : public Channel {
   }
 
  private:
+  /// Reads exactly `len` bytes, polling so the loop observes Close() (e.g.
+  /// a LogServerService shutdown) even if the peer never sends another byte.
+  /// Returns false on EOF, error, or channel close.
+  bool ReadFully(std::uint8_t* data, std::size_t len) {
+    while (len > 0) {
+      if (closed_.load(std::memory_order_acquire)) return false;
+      pollfd pfd{fd_, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, kReceivePollMs);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      if (ready == 0) continue;  // timeout: re-check closed_
+      const ssize_t n = ::recv(fd_, data, len, 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      if (n == 0) return false;  // orderly shutdown
+      data += n;
+      len -= static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
   int fd_;
   std::mutex send_mu_;
   std::atomic<bool> closed_{false};
 };
+
+/// One connect attempt. Returns the connected fd, or -1 with errno set.
+int ConnectOnce(std::uint16_t port, std::int64_t timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+
+  if (timeout_ms <= 0) {
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      const int saved = errno;
+      ::close(fd);
+      errno = saved;
+      return -1;
+    }
+    return fd;
+  }
+
+  // Timed connect: non-blocking connect, then poll for writability.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 &&
+      errno != EINPROGRESS) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    return -1;
+  }
+  pollfd pfd{fd, POLLOUT, 0};
+  const int ready =
+      ::poll(&pfd, 1, static_cast<int>(std::min<std::int64_t>(
+                          timeout_ms, std::numeric_limits<int>::max())));
+  int err = 0;
+  socklen_t err_len = sizeof(err);
+  if (ready <= 0 ||
+      ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) < 0 || err != 0) {
+    const int saved = ready == 0 ? ETIMEDOUT : (err != 0 ? err : errno);
+    ::close(fd);
+    errno = saved;
+    return -1;
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  return fd;
+}
+
+int ConnectWithRetries(std::uint16_t port, const TcpConnectOptions& options) {
+  std::int64_t delay_ms = options.retry_delay_ms;
+  const int attempts = std::max(options.attempts, 1);
+  for (int attempt = 0;; ++attempt) {
+    const int fd = ConnectOnce(port, options.connect_timeout_ms);
+    if (fd >= 0) return fd;
+    if (attempt + 1 >= attempts) return -1;
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    delay_ms = std::min(delay_ms * 2, options.max_retry_delay_ms);
+  }
+}
 
 }  // namespace
 
@@ -140,19 +235,18 @@ void TcpListener::Close() {
 }
 
 ChannelPtr TcpConnect(std::uint16_t port) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) ThrowErrno("socket");
+  return TcpConnect(port, TcpConnectOptions{});
+}
 
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    const int saved = errno;
-    ::close(fd);
-    errno = saved;
-    ThrowErrno("connect");
-  }
+ChannelPtr TcpConnect(std::uint16_t port, const TcpConnectOptions& options) {
+  const int fd = ConnectWithRetries(port, options);
+  if (fd < 0) ThrowErrno("connect");
+  return std::make_shared<TcpChannel>(fd);
+}
+
+ChannelPtr TryTcpConnect(std::uint16_t port, const TcpConnectOptions& options) {
+  const int fd = ConnectWithRetries(port, options);
+  if (fd < 0) return nullptr;
   return std::make_shared<TcpChannel>(fd);
 }
 

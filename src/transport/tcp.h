@@ -31,7 +31,30 @@ class TcpListener {
   std::uint16_t port_ = 0;
 };
 
+/// Knobs for establishing a TCP connection. The defaults reproduce the
+/// historical behaviour: one blocking attempt.
+struct TcpConnectOptions {
+  /// Total connect attempts before giving up. Must be >= 1.
+  int attempts = 1;
+  /// Per-attempt timeout. <= 0 means a plain blocking connect (OS default).
+  std::int64_t connect_timeout_ms = 0;
+  /// Delay before the second attempt; doubles per failure up to
+  /// `max_retry_delay_ms`.
+  std::int64_t retry_delay_ms = 50;
+  std::int64_t max_retry_delay_ms = 1000;
+};
+
 /// Connects to 127.0.0.1:`port`. Throws std::system_error on failure.
 ChannelPtr TcpConnect(std::uint16_t port);
+
+/// As above, honouring timeout/retry options. Throws std::system_error once
+/// all attempts are exhausted.
+ChannelPtr TcpConnect(std::uint16_t port, const TcpConnectOptions& options);
+
+/// Non-throwing variant: nullptr once all attempts are exhausted. This is
+/// the building block for reconnect loops (ResilientLogSink, RemoteMaster),
+/// where a dead peer is an expected state rather than an error.
+ChannelPtr TryTcpConnect(std::uint16_t port,
+                         const TcpConnectOptions& options = {});
 
 }  // namespace adlp::transport

@@ -1,0 +1,171 @@
+// Chaos test for the log-delivery pipeline: the trusted logger service is
+// killed and restarted mid-fleet while FaultInjectingChannel cuts the
+// sinks' connections. The accountability verdicts must be indistinguishable
+// from an uninterrupted run — ADLP's Theorems 1-2 only hold if entries
+// actually reach the logger, so resilience is a correctness property here,
+// not an ops nicety.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+
+#include "adlp/component.h"
+#include "adlp/remote_log.h"
+#include "adlp/resilient_log.h"
+#include "audit/auditor.h"
+#include "test_util.h"
+#include "transport/fault_inject.h"
+
+namespace adlp {
+namespace {
+
+using test::WaitFor;
+
+constexpr int kMessagesBeforeOutage = 4;
+constexpr int kMessagesDuringOutage = 3;
+constexpr int kTotalMessages = kMessagesBeforeOutage + kMessagesDuringOutage;
+// Every transmission yields two log entries (publisher + subscriber).
+constexpr std::size_t kExpectedEntries = 2u * kTotalMessages;
+
+struct RunOutcome {
+  audit::AuditReport report;
+  std::size_t entries = 0;
+  bool chain_ok = false;
+  proto::SinkStats pub_stats;
+  proto::SinkStats sub_stats;
+};
+
+proto::ResilientLogSink::Options ChaosSinkOptions(std::uint64_t seed) {
+  proto::ResilientLogSink::Options options;
+  options.backoff = transport::BackoffPolicy{2, 50, 2.0, 0.25};
+  options.backoff_seed = seed;
+  return options;
+}
+
+/// One fleet run: camera -> detector over an in-proc data plane, both
+/// logging to a LogServerService over real TCP. With `chaos` set, each
+/// sink's first connection is cut by a FaultInjectingChannel after exactly
+/// 1 key + kMessagesBeforeOutage entries, the service is killed, more
+/// messages flow during the outage, and the service is restarted on the
+/// same port with the SAME LogServer state (the paper's logger persists its
+/// store; only the ingestion front-end crashes).
+RunOutcome RunFleet(bool chaos) {
+  proto::LogServer server;
+  auto service = std::make_unique<proto::LogServerService>(server, 0);
+  const std::uint16_t port = service->Port();
+
+  // Deterministic chaos: connection #1 of each sink drops after
+  // (1 key + kMessagesBeforeOutage entries) frames; reconnections are clean.
+  auto make_connector = [&](std::atomic<int>& connection_count,
+                            std::uint64_t fault_seed) {
+    return [&connection_count, fault_seed, port,
+            chaos]() -> transport::ChannelPtr {
+      auto inner = transport::TryTcpConnect(
+          port, transport::TcpConnectOptions{1, 200, 10, 50});
+      if (!inner) return nullptr;
+      transport::FaultPlan plan;
+      if (chaos && connection_count.fetch_add(1) == 0) {
+        plan.disconnect_after_frames = 1 + kMessagesBeforeOutage;
+      }
+      return transport::WrapWithFaults(std::move(inner), plan, Rng(fault_seed));
+    };
+  };
+  std::atomic<int> pub_connections{0}, sub_connections{0};
+  proto::ResilientLogSink pub_sink(make_connector(pub_connections, 0xFA01),
+                                   ChaosSinkOptions(0xBAC0FF01));
+  proto::ResilientLogSink sub_sink(make_connector(sub_connections, 0xFA02),
+                                   ChaosSinkOptions(0xBAC0FF02));
+
+  pubsub::Master master;
+  Rng rng(20260806);
+  proto::Component camera("camera", master, pub_sink, rng,
+                          test::FastOptions());
+  proto::Component detector("detector", master, sub_sink, rng,
+                            test::FastOptions());
+
+  std::atomic<int> got{0};
+  detector.Subscribe("image", [&](const pubsub::Message&) { got++; });
+  auto& publisher = camera.Advertise("image");
+
+  for (int i = 0; i < kMessagesBeforeOutage; ++i) {
+    publisher.Publish(Bytes{static_cast<std::uint8_t>(i)});
+  }
+  EXPECT_TRUE(WaitFor([&] { return got.load() == kMessagesBeforeOutage; }));
+  // All pre-outage entries ingested: nothing is in flight when we pull the
+  // plug, so the only entries at risk are the ones the resilience layer
+  // must spool.
+  EXPECT_TRUE(WaitFor(
+      [&] { return server.EntryCount() == 2u * kMessagesBeforeOutage; }));
+
+  if (chaos) {
+    service->Shutdown();
+    service.reset();
+  }
+
+  for (int i = kMessagesBeforeOutage; i < kTotalMessages; ++i) {
+    publisher.Publish(Bytes{static_cast<std::uint8_t>(i)});
+  }
+  EXPECT_TRUE(WaitFor([&] { return got.load() == kTotalMessages; }));
+
+  if (chaos) {
+    // The post-outage entries trip the injected disconnect (a clean send
+    // failure) and spool; both sinks are now down and retrying.
+    EXPECT_TRUE(WaitFor(
+        [&] { return !pub_sink.Connected() && !sub_sink.Connected(); }));
+    // Logger comes back on the same port with its persisted store.
+    service = std::make_unique<proto::LogServerService>(server, port);
+  }
+
+  camera.Shutdown();
+  detector.Shutdown();
+  EXPECT_TRUE(pub_sink.Drain(std::chrono::seconds(10)));
+  EXPECT_TRUE(sub_sink.Drain(std::chrono::seconds(10)));
+  EXPECT_TRUE(WaitFor([&] { return server.EntryCount() == kExpectedEntries; }));
+
+  RunOutcome outcome;
+  outcome.entries = server.EntryCount();
+  outcome.chain_ok = server.VerifyChain();
+  outcome.pub_stats = pub_sink.Stats();
+  outcome.sub_stats = sub_sink.Stats();
+  outcome.report = audit::Auditor(server.Keys())
+                       .Audit(server.Entries(), master.Topology());
+  service->Shutdown();
+  return outcome;
+}
+
+TEST(ChaosLogDeliveryTest, VerdictsMatchUninterruptedBaseline) {
+  const RunOutcome baseline = RunFleet(/*chaos=*/false);
+  const RunOutcome chaos = RunFleet(/*chaos=*/true);
+
+  // The baseline is itself clean.
+  ASSERT_EQ(baseline.entries, kExpectedEntries);
+  EXPECT_TRUE(baseline.chain_ok);
+  EXPECT_TRUE(baseline.report.unfaithful.empty());
+  EXPECT_EQ(baseline.report.TotalValid(), kExpectedEntries);
+
+  // The chaos run reaches the same verdicts: same entry count, same number
+  // of audited transmissions, every verdict kOk, nobody blamed.
+  EXPECT_EQ(chaos.entries, baseline.entries);
+  EXPECT_TRUE(chaos.chain_ok);
+  EXPECT_EQ(chaos.report.TotalValid(), baseline.report.TotalValid());
+  EXPECT_EQ(chaos.report.TotalInvalid(), baseline.report.TotalInvalid());
+  EXPECT_EQ(chaos.report.TotalHidden(), baseline.report.TotalHidden());
+  EXPECT_EQ(chaos.report.unfaithful, baseline.report.unfaithful);
+  ASSERT_EQ(chaos.report.verdicts.size(), baseline.report.verdicts.size());
+  for (std::size_t i = 0; i < chaos.report.verdicts.size(); ++i) {
+    EXPECT_EQ(chaos.report.verdicts[i].finding,
+              baseline.report.verdicts[i].finding);
+  }
+
+  // The resilience layer did real work and lost nothing.
+  EXPECT_GE(chaos.pub_stats.reconnects, 1u);
+  EXPECT_GE(chaos.sub_stats.reconnects, 1u);
+  EXPECT_EQ(chaos.pub_stats.entries_dropped, 0u);
+  EXPECT_EQ(chaos.sub_stats.entries_dropped, 0u);
+  // Baseline never reconnects.
+  EXPECT_EQ(baseline.pub_stats.reconnects, 0u);
+  EXPECT_EQ(baseline.sub_stats.reconnects, 0u);
+}
+
+}  // namespace
+}  // namespace adlp

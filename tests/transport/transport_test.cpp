@@ -1,4 +1,8 @@
+#include <arpa/inet.h>
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <set>
 #include <thread>
@@ -157,6 +161,123 @@ TEST(TcpChannelTest, ConnectToClosedPortThrows) {
   const std::uint16_t port = listener.Port();
   listener.Close();
   EXPECT_THROW(TcpConnect(port), std::system_error);
+}
+
+TEST(TcpChannelTest, OversizedFramePreambleRejectedWithoutAllocation) {
+  TcpListener listener(0);
+  ChannelPtr server;
+  // Raw client socket so we can forge a preamble the framing layer would
+  // never produce.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(listener.Port());
+  std::thread connector([&] {
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0);
+  });
+  server = listener.Accept();
+  connector.join();
+  ASSERT_TRUE(server != nullptr);
+
+  // A ~4 GiB length claim. The channel must reject it by inspecting the
+  // preamble alone — no multi-GB allocation, no waiting for 4 GiB of body.
+  const std::uint8_t forged[4] = {0xff, 0xff, 0xff, 0xff};
+  ASSERT_EQ(::send(fd, forged, sizeof(forged), 0), 4);
+  EXPECT_FALSE(server->Receive().has_value());
+  EXPECT_FALSE(server->IsOpen());  // connection dropped: offset unrecoverable
+  ::close(fd);
+}
+
+TEST(TcpChannelTest, FrameAtLimitStillAccepted) {
+  TcpListener listener(0);
+  ChannelPtr client;
+  std::thread connector([&] { client = TcpConnect(listener.Port()); });
+  ChannelPtr server = listener.Accept();
+  connector.join();
+  // Well under kMaxFrameBytes but above any small-buffer path. Sent from
+  // its own thread: a frame this size overflows the loopback socket buffer,
+  // so the send only completes while the receiver drains.
+  const Bytes big(5'000'000, 0x5a);
+  std::thread sender([&] { ASSERT_TRUE(client->Send(big)); });
+  auto r = server->Receive();
+  sender.join();
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->size(), big.size());
+}
+
+TEST(TcpChannelTest, CloseFromAnotherThreadUnblocksReceive) {
+  TcpListener listener(0);
+  ChannelPtr client;
+  std::thread connector([&] { client = TcpConnect(listener.Port()); });
+  ChannelPtr server = listener.Accept();
+  connector.join();
+
+  std::thread receiver([&] { EXPECT_FALSE(server->Receive().has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // Closing the fd a reader is blocked on must not recycle it under the
+  // reader (the close-vs-receive race): Close() shuts down, the destructor
+  // releases the fd only once every user is gone.
+  server->Close();
+  receiver.join();
+  EXPECT_FALSE(server->IsOpen());
+}
+
+TEST(TcpConnectTest, TimedConnectToDeadPortFailsNotHangs) {
+  TcpListener listener(0);
+  const std::uint16_t port = listener.Port();
+  listener.Close();
+
+  TcpConnectOptions options;
+  options.attempts = 2;
+  options.connect_timeout_ms = 200;
+  options.retry_delay_ms = 10;
+  const Timestamp start = MonotonicNowNs();
+  EXPECT_EQ(TryTcpConnect(port, options), nullptr);
+  EXPECT_THROW(TcpConnect(port, options), std::system_error);
+  // Refused connections fail fast; the bound is generous for CI jitter.
+  EXPECT_LT(MonotonicNowNs() - start, 5'000'000'000);
+}
+
+TEST(TcpConnectTest, RetryBridgesLateListener) {
+  // Grab a free port, release it, and bring the listener up only after the
+  // client has started dialling — the fleet-boot race the retry option is
+  // for.
+  std::uint16_t port = 0;
+  {
+    TcpListener probe(0);
+    port = probe.Port();
+  }
+  std::unique_ptr<TcpListener> listener;
+  std::thread late([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    listener = std::make_unique<TcpListener>(port);
+  });
+  TcpConnectOptions options;
+  options.attempts = 50;
+  options.connect_timeout_ms = 200;
+  options.retry_delay_ms = 20;
+  options.max_retry_delay_ms = 50;
+  ChannelPtr client = TryTcpConnect(port, options);
+  late.join();
+  ASSERT_TRUE(client != nullptr);
+  ChannelPtr server = listener->Accept();
+  ASSERT_TRUE(server != nullptr);
+  ASSERT_TRUE(client->Send(Bytes{7}));
+  auto r = server->Receive();
+  ASSERT_TRUE(r);
+  EXPECT_EQ((*r)[0], 7);
+}
+
+TEST(InProcChannelTest, OversizedSendRejected) {
+  auto pair = MakeInProcChannelPair();
+  // The inproc transport mirrors the TCP frame cap so fault-model tests see
+  // identical limits on both substrates. Rejected before any copy is made.
+  const Bytes oversized(kMaxFrameBytes + 1);
+  EXPECT_FALSE(pair.a->Send(oversized));
+  EXPECT_TRUE(pair.a->IsOpen());
 }
 
 TEST(TcpListenerTest, AcceptAfterCloseReturnsNull) {
