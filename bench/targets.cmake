@@ -25,3 +25,4 @@ adlp_bench(bench_ablation_aggregated)
 adlp_bench(bench_ablation_hash_vs_data)
 adlp_bench(bench_ablation_ack_window)
 adlp_bench(bench_ablation_lightweight_crypto)
+adlp_bench(audit_bench)

@@ -1,7 +1,10 @@
 #include "audit/auditor.h"
 
 #include <algorithm>
+#include <optional>
 
+#include "audit/merge.h"
+#include "common/thread_pool.h"
 #include "crypto/sig.h"
 #include "pubsub/message.h"
 
@@ -52,9 +55,11 @@ std::optional<crypto::Digest> ClaimedDigest(
 }
 
 bool VerifySig(const std::optional<crypto::PublicKey>& key,
-               const std::optional<crypto::Digest>& digest, BytesView sig) {
-  return key.has_value() && digest.has_value() && !sig.empty() &&
-         crypto::VerifyDigest(*key, *digest, sig);
+               const std::optional<crypto::Digest>& digest, BytesView sig,
+               crypto::VerifyCache* cache) {
+  if (!key.has_value() || !digest.has_value() || sig.empty()) return false;
+  return cache != nullptr ? cache->Verify(*key, *digest, sig)
+                          : crypto::VerifyDigest(*key, *digest, sig);
 }
 
 }  // namespace
@@ -86,49 +91,70 @@ AuditReport Auditor::Audit(std::vector<proto::LogEntry> entries,
 }
 
 AuditReport Auditor::Audit(const LogDatabase& db) const {
-  AuditReport report;
-  for (const auto& [key, evidence] : db.Pairs()) {
+  return Audit(db, AuditOptions{});
+}
+
+AuditReport Auditor::Audit(const LogDatabase& db,
+                           const AuditOptions& exec) const {
+  // Pairs in the database's deterministic iteration order; verdict slot i
+  // belongs to pair i. A disabled slot (base-scheme pair with
+  // include_base_scheme off) stays nullopt and is skipped by the merge, so
+  // the report matches the serial auditor's `continue` exactly.
+  std::vector<const std::map<PairKey, PairEvidence>::value_type*> pairs;
+  pairs.reserve(db.Pairs().size());
+  for (const auto& kv : db.Pairs()) pairs.push_back(&kv);
+  std::vector<std::optional<PairVerdict>> verdicts(pairs.size());
+
+  crypto::VerifyCache cache_storage;
+  crypto::VerifyCache* cache = exec.verify_cache != nullptr
+                                   ? exec.verify_cache
+                                   : (exec.cache ? &cache_storage : nullptr);
+
+  auto evaluate = [&](std::size_t i) {
+    const auto& [key, evidence] = *pairs[i];
     const bool is_base =
         (!evidence.publisher.empty() &&
          evidence.publisher.front().entry.scheme == LogScheme::kBase) ||
         (!evidence.subscriber.empty() &&
          evidence.subscriber.front().scheme == LogScheme::kBase);
-    if (is_base && !options_.include_base_scheme) continue;
+    if (is_base && !options_.include_base_scheme) return;
+    verdicts[i] = AuditPair(db, key, evidence, cache);
+  };
 
-    PairVerdict verdict = AuditPair(db, key, evidence);
+  if (exec.threads <= 1 && exec.pool == nullptr) {
+    for (std::size_t i = 0; i < pairs.size(); ++i) evaluate(i);
+  } else {
+    // Shard-parallel evaluation: each (publisher, subscriber, topic) shard
+    // is one task, so entries of one conversation stay on one worker (warm
+    // key material, no false sharing of adjacent verdict slots in
+    // practice). Workers write disjoint verdict slots; the merge below is
+    // the only aggregation and runs serially.
+    const std::vector<PairShard>& shards = db.Shards();
+    std::optional<ThreadPool> local_pool;
+    ThreadPool* pool = exec.pool;
+    if (pool == nullptr) {
+      local_pool.emplace(exec.threads);
+      pool = &*local_pool;
+    }
+    for (const PairShard& shard : shards) {
+      pool->Submit([&evaluate, &shard] {
+        for (const std::size_t i : shard.pair_indices) evaluate(i);
+      });
+    }
+    pool->Wait();
+  }
 
-    // Update per-component stats.
-    auto account = [&](const crypto::ComponentId& id, EntryClass cls) {
-      ComponentStats& s = report.stats[id];
-      switch (cls) {
-        case EntryClass::kValid: ++s.valid; break;
-        case EntryClass::kInvalid: ++s.invalid; break;
-        case EntryClass::kHidden: ++s.hidden; break;
-      }
-    };
-    // A side is accounted when its entry exists, or when the audit proved
-    // the entry should exist but was hidden.
-    if (!verdict.publisher.empty() &&
-        (!evidence.publisher.empty() ||
-         verdict.finding == Finding::kPublisherHidEntry)) {
-      account(verdict.publisher, verdict.publisher_class);
-    }
-    if (!verdict.subscriber.empty() &&
-        (!evidence.subscriber.empty() ||
-         verdict.finding == Finding::kSubscriberHidEntry)) {
-      account(verdict.subscriber, verdict.subscriber_class);
-    }
-    for (const auto& id : verdict.blamed) {
-      report.unfaithful.insert(id);
-      ++report.stats[id].blamed;
-    }
-    report.verdicts.push_back(std::move(verdict));
+  AuditReport report;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    if (!verdicts[i]) continue;
+    MergeVerdict(report, std::move(*verdicts[i]), pairs[i]->second);
   }
   return report;
 }
 
 PairVerdict Auditor::AuditPair(const LogDatabase& db, const PairKey& key,
-                               const PairEvidence& evidence) const {
+                               const PairEvidence& evidence,
+                               crypto::VerifyCache* cache) const {
   PairVerdict v;
   v.topic = key.topic;
   v.seq = key.seq;
@@ -215,7 +241,8 @@ PairVerdict Auditor::AuditPair(const LogDatabase& db, const PairKey& key,
   std::optional<crypto::Digest> pub_digest;
   if (pub_ev != nullptr) {
     pub_digest = ClaimedDigest(pub_ev->entry, v.publisher);
-    pub_self_ok = VerifySig(pub_key, pub_digest, pub_ev->entry.self_signature);
+    pub_self_ok =
+        VerifySig(pub_key, pub_digest, pub_ev->entry.self_signature, cache);
     // The ACK proves receipt of *this* publication only if the subscriber's
     // payload hash matches the publisher's claim AND the ACK signature
     // verifies over the digest rebound to this entry's header — a replayed
@@ -226,7 +253,7 @@ PairVerdict Auditor::AuditPair(const LogDatabase& db, const PairKey& key,
     pub_ack_ok = pub_digest.has_value() && pub_payload_hash.has_value() &&
                  ack_payload_hash.has_value() &&
                  *ack_payload_hash == *pub_payload_hash &&
-                 VerifySig(sub_key, pub_digest, pub_ev->peer_signature);
+                 VerifySig(sub_key, pub_digest, pub_ev->peer_signature, cache);
   }
 
   // Subscriber-side evidence.
@@ -235,8 +262,10 @@ PairVerdict Auditor::AuditPair(const LogDatabase& db, const PairKey& key,
   std::optional<crypto::Digest> sub_digest;
   if (sub_entry != nullptr) {
     sub_digest = ClaimedDigest(*sub_entry, v.publisher);
-    sub_self_ok = VerifySig(sub_key, sub_digest, sub_entry->self_signature);
-    sub_cross_ok = VerifySig(pub_key, sub_digest, sub_entry->peer_signature);
+    sub_self_ok =
+        VerifySig(sub_key, sub_digest, sub_entry->self_signature, cache);
+    sub_cross_ok =
+        VerifySig(pub_key, sub_digest, sub_entry->peer_signature, cache);
   }
 
   if (pub_ev != nullptr && sub_entry != nullptr) {
@@ -369,56 +398,6 @@ PairVerdict Auditor::AuditPair(const LogDatabase& db, const PairKey& key,
   v.finding = Finding::kConflictUnresolvable;
   v.detail = "no evidence";
   return v;
-}
-
-std::size_t AuditReport::TotalValid() const {
-  std::size_t n = 0;
-  for (const auto& [id, s] : stats) n += s.valid;
-  return n;
-}
-
-std::size_t AuditReport::TotalInvalid() const {
-  std::size_t n = 0;
-  for (const auto& [id, s] : stats) n += s.invalid;
-  return n;
-}
-
-std::size_t AuditReport::TotalHidden() const {
-  std::size_t n = 0;
-  for (const auto& [id, s] : stats) n += s.hidden;
-  return n;
-}
-
-std::string AuditReport::Render() const {
-  std::map<Finding, std::size_t> by_finding;
-  for (const auto& v : verdicts) ++by_finding[v.finding];
-
-  std::string out;
-  out += "=== Audit report ===\n";
-  out += "transmission instances: " + std::to_string(verdicts.size()) + "\n";
-  out += "entries: valid=" + std::to_string(TotalValid()) +
-         " invalid=" + std::to_string(TotalInvalid()) +
-         " hidden=" + std::to_string(TotalHidden()) + "\n";
-  out += "findings:\n";
-  for (const auto& [finding, count] : by_finding) {
-    out += "  " + std::string(FindingName(finding)) + ": " +
-           std::to_string(count) + "\n";
-  }
-  out += "per-component:\n";
-  for (const auto& [id, s] : stats) {
-    out += "  " + id + ": valid=" + std::to_string(s.valid) +
-           " invalid=" + std::to_string(s.invalid) +
-           " hidden=" + std::to_string(s.hidden) +
-           " blamed=" + std::to_string(s.blamed) + "\n";
-  }
-  out += "unfaithful components:";
-  if (unfaithful.empty()) {
-    out += " (none)\n";
-  } else {
-    for (const auto& id : unfaithful) out += " " + id;
-    out += "\n";
-  }
-  return out;
 }
 
 }  // namespace adlp::audit

@@ -1,0 +1,88 @@
+// Verdict folding and report rendering. Everything that mutates an
+// AuditReport after pair evaluation lives in this translation unit — the
+// auditor's parallel path depends on this fold being the single, serial,
+// order-preserving way verdicts become a report.
+#include "audit/merge.h"
+
+namespace adlp::audit {
+
+void MergeVerdict(AuditReport& report, PairVerdict verdict,
+                  const PairEvidence& evidence) {
+  auto account = [&](const crypto::ComponentId& id, EntryClass cls) {
+    ComponentStats& s = report.stats[id];
+    switch (cls) {
+      case EntryClass::kValid: ++s.valid; break;
+      case EntryClass::kInvalid: ++s.invalid; break;
+      case EntryClass::kHidden: ++s.hidden; break;
+    }
+  };
+  // A side is accounted when its entry exists, or when the audit proved
+  // the entry should exist but was hidden.
+  if (!verdict.publisher.empty() &&
+      (!evidence.publisher.empty() ||
+       verdict.finding == Finding::kPublisherHidEntry)) {
+    account(verdict.publisher, verdict.publisher_class);
+  }
+  if (!verdict.subscriber.empty() &&
+      (!evidence.subscriber.empty() ||
+       verdict.finding == Finding::kSubscriberHidEntry)) {
+    account(verdict.subscriber, verdict.subscriber_class);
+  }
+  for (const auto& id : verdict.blamed) {
+    report.unfaithful.insert(id);
+    ++report.stats[id].blamed;
+  }
+  report.verdicts.push_back(std::move(verdict));
+}
+
+std::size_t AuditReport::TotalValid() const {
+  std::size_t n = 0;
+  for (const auto& [id, s] : stats) n += s.valid;
+  return n;
+}
+
+std::size_t AuditReport::TotalInvalid() const {
+  std::size_t n = 0;
+  for (const auto& [id, s] : stats) n += s.invalid;
+  return n;
+}
+
+std::size_t AuditReport::TotalHidden() const {
+  std::size_t n = 0;
+  for (const auto& [id, s] : stats) n += s.hidden;
+  return n;
+}
+
+std::string AuditReport::Render() const {
+  std::map<Finding, std::size_t> by_finding;
+  for (const auto& v : verdicts) ++by_finding[v.finding];
+
+  std::string out;
+  out += "=== Audit report ===\n";
+  out += "transmission instances: " + std::to_string(verdicts.size()) + "\n";
+  out += "entries: valid=" + std::to_string(TotalValid()) +
+         " invalid=" + std::to_string(TotalInvalid()) +
+         " hidden=" + std::to_string(TotalHidden()) + "\n";
+  out += "findings:\n";
+  for (const auto& [finding, count] : by_finding) {
+    out += "  " + std::string(FindingName(finding)) + ": " +
+           std::to_string(count) + "\n";
+  }
+  out += "per-component:\n";
+  for (const auto& [id, s] : stats) {
+    out += "  " + id + ": valid=" + std::to_string(s.valid) +
+           " invalid=" + std::to_string(s.invalid) +
+           " hidden=" + std::to_string(s.hidden) +
+           " blamed=" + std::to_string(s.blamed) + "\n";
+  }
+  out += "unfaithful components:";
+  if (unfaithful.empty()) {
+    out += " (none)\n";
+  } else {
+    for (const auto& id : unfaithful) out += " " + id;
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace adlp::audit

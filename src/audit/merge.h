@@ -1,0 +1,25 @@
+// Deterministic verdict merging: folds per-pair verdicts into an
+// AuditReport.
+//
+// Both audit paths — serial and sharded-parallel — evaluate pairs with the
+// same pure AuditPair function and then fold the verdicts HERE, in the
+// LogDatabase's pair-iteration order. Because the fold is the only stateful
+// step and it always runs serially over identically ordered inputs, the
+// parallel auditor's report is byte-identical to the serial one by
+// construction, not by testing luck.
+#pragma once
+
+#include "audit/log_database.h"
+#include "audit/verdict.h"
+
+namespace adlp::audit {
+
+/// Folds one pair's verdict into the report: per-component entry
+/// classification counts, blame set, and the verdict list itself.
+/// `evidence` is the pair's evidence — a side is accounted only when its
+/// entry exists, or when the audit proved the entry should exist but was
+/// hidden.
+void MergeVerdict(AuditReport& report, PairVerdict verdict,
+                  const PairEvidence& evidence);
+
+}  // namespace adlp::audit

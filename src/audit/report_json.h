@@ -4,11 +4,97 @@
 // topic names.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "audit/verdict.h"
 
 namespace adlp::audit {
+
+/// Escapes a string for inclusion in a JSON document (quotes added).
+std::string JsonQuote(std::string_view s);
+
+/// Minimal structured JSON emitter: tracks depth and whether the current
+/// container needs a comma before its next element. Shared by the report
+/// serializer and the benchmark harness (BENCH_audit.json) so every JSON
+/// artifact this repo emits escapes and indents identically.
+class JsonEmitter {
+ public:
+  explicit JsonEmitter(bool pretty) : pretty_(pretty) {}
+
+  void OpenObject(std::string_view key = {}) { Open('{', key); }
+  void CloseObject() { Close('}'); }
+  void OpenArray(std::string_view key = {}) { Open('[', key); }
+  void CloseArray() { Close(']'); }
+
+  /// Emits `raw_value` verbatim — caller guarantees it is valid JSON.
+  void Field(std::string_view key, std::string_view raw_value) {
+    Separator();
+    out_ += JsonQuote(key);
+    out_ += pretty_ ? ": " : ":";
+    out_ += raw_value;
+    need_comma_ = true;
+  }
+
+  void StringField(std::string_view key, std::string_view value) {
+    Field(key, JsonQuote(value));
+  }
+
+  void NumberField(std::string_view key, std::uint64_t value) {
+    Field(key, std::to_string(value));
+  }
+
+  void ArrayString(std::string_view value) {
+    Separator();
+    out_ += JsonQuote(value);
+    need_comma_ = true;
+  }
+
+  /// Raw array element (numbers, nested values serialized by the caller).
+  void ArrayValue(std::string_view raw_value) {
+    Separator();
+    out_ += raw_value;
+    need_comma_ = true;
+  }
+
+  std::string Take() && { return std::move(out_); }
+
+ private:
+  void Open(char bracket, std::string_view key) {
+    Separator();
+    if (!key.empty()) {
+      out_ += JsonQuote(key);
+      out_ += pretty_ ? ": " : ":";
+    }
+    out_ += bracket;
+    ++depth_;
+    need_comma_ = false;
+  }
+
+  void Close(char bracket) {
+    --depth_;
+    if (pretty_) {
+      out_ += '\n';
+      out_.append(static_cast<std::size_t>(depth_) * 2, ' ');
+    }
+    out_ += bracket;
+    need_comma_ = true;
+  }
+
+  void Separator() {
+    if (need_comma_) out_ += ',';
+    if (pretty_ && depth_ > 0) {
+      out_ += '\n';
+      out_.append(static_cast<std::size_t>(depth_) * 2, ' ');
+    }
+  }
+
+  std::string out_;
+  bool pretty_;
+  bool need_comma_ = false;
+  int depth_ = 0;
+};
 
 struct JsonOptions {
   /// Pretty-print with 2-space indentation (false = single line).
@@ -30,8 +116,5 @@ struct JsonOptions {
 /// }
 std::string RenderReportJson(const AuditReport& report,
                              const JsonOptions& options = {});
-
-/// Escapes a string for inclusion in a JSON document (quotes added).
-std::string JsonQuote(std::string_view s);
 
 }  // namespace adlp::audit

@@ -1,0 +1,118 @@
+// Reusable fixed-size worker pool for embarrassingly parallel audit and
+// crypto work.
+//
+// Design goals, in order: (1) deterministic shutdown — the destructor joins
+// every worker, so a pool can live on the stack of a bench or test; (2) a
+// cheap Wait() barrier so one pool outlives many fan-out rounds (the audit
+// pipeline reuses a single pool across shard batches instead of paying
+// thread spawn/join per audit); (3) no task-level futures — submitters that
+// need results write into caller-owned slots, which keeps the hot path free
+// of per-task allocation beyond the std::function itself.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace adlp {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (minimum 1).
+  explicit ThreadPool(std::size_t threads) {
+    if (threads == 0) threads = 1;
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  /// Joins all workers. Pending tasks are still executed first — a
+  /// destructor that dropped queued work would turn every early return in a
+  /// caller into a lost-result bug.
+  ~ThreadPool() {
+    {
+      std::lock_guard lock(mu_);
+      stopping_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t ThreadCount() const { return workers_.size(); }
+
+  /// Enqueues a task. Tasks must not themselves call Submit/Wait on the
+  /// same pool (no nested parallelism — a worker blocked in Wait() would
+  /// deadlock the pool).
+  void Submit(std::function<void()> task) {
+    {
+      std::lock_guard lock(mu_);
+      ++outstanding_;
+      tasks_.push_back(std::move(task));
+    }
+    work_cv_.notify_one();
+  }
+
+  /// Blocks until every task submitted so far has finished. Exceptions
+  /// escaping a task terminate (tasks are expected to be noexcept in
+  /// spirit); audit tasks communicate failure through their result slots.
+  void Wait() {
+    std::unique_lock lock(mu_);
+    idle_cv_.wait(lock, [&] { return outstanding_ == 0; });
+  }
+
+  /// Runs `fn(begin, end)` over [0, n) split into contiguous blocks, one
+  /// task per worker, and waits for completion. Block boundaries depend
+  /// only on (n, ThreadCount()), never on scheduling, so any
+  /// order-sensitive caller can reproduce the partition.
+  template <typename Fn>
+  void ParallelFor(std::size_t n, Fn&& fn) {
+    if (n == 0) return;
+    const std::size_t blocks = std::min(n, ThreadCount());
+    const std::size_t chunk = (n + blocks - 1) / blocks;
+    for (std::size_t b = 0; b < blocks; ++b) {
+      const std::size_t begin = b * chunk;
+      const std::size_t end = std::min(n, begin + chunk);
+      if (begin >= end) break;
+      Submit([&fn, begin, end] { fn(begin, end); });
+    }
+    Wait();
+  }
+
+ private:
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock lock(mu_);
+        work_cv_.wait(lock, [&] { return stopping_ || !tasks_.empty(); });
+        if (tasks_.empty()) return;  // stopping and drained
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+      }
+      task();
+      {
+        std::lock_guard lock(mu_);
+        --outstanding_;
+      }
+      idle_cv_.notify_all();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> tasks_;
+  std::size_t outstanding_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace adlp

@@ -94,6 +94,99 @@ Bytes SerializePublicKey(const PublicKey& key) {
   return std::move(w).Take();
 }
 
+namespace {
+
+/// Memo key: SHA-256 over the three verification inputs. The key encoding
+/// is length-prefixed so a (key, digest, sig) triple can never alias a
+/// different split of the same concatenated bytes (the digest is
+/// fixed-width, but the key encoding is not).
+Digest MemoKey(const PublicKey& key, const Digest& digest, BytesView sig) {
+  const Bytes key_bytes = SerializePublicKey(key);
+  Sha256 h;
+  const std::uint64_t key_len = key_bytes.size();
+  h.Update(BytesView(reinterpret_cast<const std::uint8_t*>(&key_len),
+                     sizeof(key_len)));
+  h.Update(key_bytes);
+  h.Update(BytesView(digest.data(), digest.size()));
+  h.Update(sig);
+  return h.Finish();
+}
+
+/// First 8 bytes of a SHA-256 memo key are already uniform.
+struct MemoKeyHash {
+  std::size_t operator()(const Digest& d) const {
+    std::size_t h = 0;
+    for (std::size_t i = 0; i < sizeof(h); ++i) h = (h << 8) | d[i];
+    return h;
+  }
+};
+
+}  // namespace
+
+VerifyCache::VerifyCache() {
+  shards_.reserve(kShards);
+  for (std::size_t i = 0; i < kShards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+bool VerifyCache::Verify(const PublicKey& key, const Digest& digest,
+                         BytesView signature) {
+  const Digest memo = MemoKey(key, digest, signature);
+  Shard& shard = *shards_[memo[0] % kShards];
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard lock(shard.mu);
+    const auto it = shard.results.find(memo);
+    if (it != shard.results.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  // Verify outside the shard lock: a second thread racing on the same triple
+  // redundantly verifies (harmless, same pure result) instead of serializing
+  // every other triple in the shard behind one modexp.
+  const bool ok = VerifyDigest(key, digest, signature);
+  {
+    std::lock_guard lock(shard.mu);
+    shard.results.emplace(memo, ok);
+  }
+  return ok;
+}
+
+std::size_t VerifyCache::Size() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    n += shard->results.size();
+  }
+  return n;
+}
+
+std::vector<std::uint8_t> VerifyDigestBatch(
+    const std::vector<VerifyRequest>& requests, VerifyCache* cache) {
+  std::vector<std::uint8_t> results(requests.size(), 0);
+  // Dedup within the batch: first occurrence verifies, the rest copy.
+  std::unordered_map<Digest, bool, MemoKeyHash> seen;
+  seen.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const VerifyRequest& req = requests[i];
+    if (req.key == nullptr || req.signature.empty()) continue;
+    const Digest memo = MemoKey(*req.key, req.digest, req.signature);
+    const auto it = seen.find(memo);
+    if (it != seen.end()) {
+      results[i] = it->second ? 1 : 0;
+      continue;
+    }
+    const bool ok = cache != nullptr
+                        ? cache->Verify(*req.key, req.digest, req.signature)
+                        : VerifyDigest(*req.key, req.digest, req.signature);
+    seen.emplace(memo, ok);
+    results[i] = ok ? 1 : 0;
+  }
+  return results;
+}
+
 PublicKey ParsePublicKey(BytesView data) {
   PublicKey key;
   wire::Reader r(data);

@@ -13,8 +13,10 @@
 #pragma once
 
 #include <functional>
+#include <atomic>
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -45,6 +47,18 @@ class UnfaithfulBehavior {
  public:
   virtual ~UnfaithfulBehavior() = default;
   virtual std::optional<proto::LogEntry> OnEntry(proto::LogEntry entry) = 0;
+
+  /// Thread-safe entry point: one behaviour instance is shared by every log
+  /// pipe of a component (publisher and subscriber link threads both feed
+  /// it), so concrete behaviours keep plain state and this wrapper
+  /// serializes them.
+  std::optional<proto::LogEntry> Apply(proto::LogEntry entry) {
+    std::lock_guard lock(mu_);
+    return OnEntry(std::move(entry));
+  }
+
+ private:
+  std::mutex mu_;
 };
 
 /// LogPipe wrapper installing a behaviour; plug into
@@ -56,7 +70,7 @@ class UnfaithfulLogPipe final : public proto::LogPipe {
       : inner_(inner), behavior_(std::move(behavior)) {}
 
   void Enter(proto::LogEntry entry) override {
-    if (auto out = behavior_->OnEntry(std::move(entry))) {
+    if (auto out = behavior_->Apply(std::move(entry))) {
       inner_.Enter(std::move(*out));
     }
   }
@@ -77,12 +91,12 @@ class HidingBehavior final : public UnfaithfulBehavior {
   HidingBehavior(FaultFilter filter, std::uint64_t rng_seed = 1);
   std::optional<proto::LogEntry> OnEntry(proto::LogEntry entry) override;
 
-  std::uint64_t HiddenCount() const { return hidden_; }
+  std::uint64_t HiddenCount() const { return hidden_.load(); }
 
  private:
   FaultFilter filter_;
   Rng rng_;
-  std::uint64_t hidden_ = 0;
+  std::atomic<std::uint64_t> hidden_{0};
 };
 
 /// Falsification: the entry's reported data is replaced and the entry
@@ -103,14 +117,14 @@ class FalsificationBehavior final : public UnfaithfulBehavior {
                         std::uint64_t rng_seed = 2);
   std::optional<proto::LogEntry> OnEntry(proto::LogEntry entry) override;
 
-  std::uint64_t FalsifiedCount() const { return falsified_; }
+  std::uint64_t FalsifiedCount() const { return falsified_.load(); }
 
  private:
   FaultFilter filter_;
   std::shared_ptr<const proto::NodeIdentity> identity_;
   Mutator mutate_;
   Rng rng_;
-  std::uint64_t falsified_ = 0;
+  std::atomic<std::uint64_t> falsified_{0};
 };
 
 /// Impersonation: matching entries claim another component as author. The

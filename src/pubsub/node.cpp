@@ -312,9 +312,13 @@ void Node::Subscribe(const std::string& topic, Callback callback) {
             sub->channel->Close();
             return;
           }
+          // The thread member must be assigned before the subscription is
+          // visible in subscriptions_: Shutdown() swaps the list under mu_
+          // and then joins, so publishing first would let it race with (or
+          // miss) this assignment.
+          raw->thread = std::thread([raw] { raw->Run(); });
           subscriptions_.push_back(std::move(sub));
         }
-        raw->thread = std::thread([raw] { raw->Run(); });
       });
 }
 

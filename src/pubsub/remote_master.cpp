@@ -327,9 +327,12 @@ void RemoteMaster::ReaderLoop() {
     }
     rpc_cv_.notify_all();
   }
-  // Connection gone: unblock any waiting RPC.
+  // Connection gone: unblock any waiting RPC — including one issued after
+  // this thread exits (its send can still land in the kernel buffer before
+  // the peer's RST, so it would otherwise wait forever).
   {
     std::lock_guard lock(mu_);
+    reader_dead_ = true;
     rpc_done_ = true;
     rpc_response_.clear();
   }
@@ -339,7 +342,9 @@ void RemoteMaster::ReaderLoop() {
 Bytes RemoteMaster::Rpc(BytesView request) const {
   std::unique_lock lock(mu_);
   rpc_cv_.wait(lock, [&] { return !rpc_outstanding_ || closed_; });
-  if (closed_) throw std::runtime_error("RemoteMaster: connection closed");
+  if (closed_ || reader_dead_) {
+    throw std::runtime_error("RemoteMaster: connection closed");
+  }
   rpc_outstanding_ = true;
   rpc_done_ = false;
   rpc_response_.clear();
@@ -352,7 +357,7 @@ Bytes RemoteMaster::Rpc(BytesView request) const {
   }
 
   lock.lock();
-  rpc_cv_.wait(lock, [&] { return rpc_done_; });
+  rpc_cv_.wait(lock, [&] { return rpc_done_ || reader_dead_; });
   Bytes response = std::move(rpc_response_);
   rpc_outstanding_ = false;
   rpc_done_ = false;

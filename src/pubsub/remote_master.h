@@ -119,6 +119,8 @@ class RemoteMaster final : public MasterApi {
   mutable bool rpc_outstanding_ = false;
   mutable bool rpc_done_ = false;
   mutable Bytes rpc_response_;
+  /// Set by ReaderLoop on exit: no further RPC response can ever arrive.
+  mutable bool reader_dead_ = false;
   bool closed_ = false;
 
   // Subscriptions waiting for (or already matched to) connect_info pushes,

@@ -218,19 +218,45 @@ TcpListener::TcpListener(std::uint16_t port) {
   port_ = ntohs(addr.sin_port);
 }
 
-TcpListener::~TcpListener() { Close(); }
+TcpListener::~TcpListener() {
+  Close();
+  if (fd_ >= 0) ::close(fd_);
+}
 
 ChannelPtr TcpListener::Accept() {
-  const int client = ::accept(fd_, nullptr, nullptr);
-  if (client < 0) return nullptr;
-  return std::make_shared<TcpChannel>(client);
+  // Poll instead of blocking in accept(): shutdown() on a listening socket
+  // does not reliably wake a blocked accept() on Linux (it fails with
+  // ENOTCONN), so Close() is observed via the flag between poll rounds —
+  // the same pattern TcpChannel::ReadFully uses.
+  while (!closed_.load(std::memory_order_acquire)) {
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kReceivePollMs);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return nullptr;
+    }
+    if (ready == 0) continue;  // timeout: re-check closed_
+    const int client = ::accept(fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR) continue;
+      return nullptr;
+    }
+    if (closed_.load(std::memory_order_acquire)) {
+      ::close(client);
+      return nullptr;
+    }
+    return std::make_shared<TcpChannel>(client);
+  }
+  return nullptr;
 }
 
 void TcpListener::Close() {
-  if (fd_ >= 0) {
+  bool expected = false;
+  if (closed_.compare_exchange_strong(expected, true)) {
+    // Shut down only (wakes a blocked accept() with an error); the fd stays
+    // allocated until the destructor so a concurrent Accept() never sees its
+    // fd number recycled by an unrelated open().
     ::shutdown(fd_, SHUT_RDWR);
-    ::close(fd_);
-    fd_ = -1;
   }
 }
 

@@ -2,6 +2,7 @@
 // (the framing the paper attributes to the ROS transport layer).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -24,10 +25,14 @@ class TcpListener {
   /// Blocks for the next inbound connection; nullptr once closed.
   ChannelPtr Accept();
 
+  /// Stops Accept() (observed within one poll interval). Safe to call from
+  /// another thread: the socket is only shut down here; the fd is released
+  /// in the destructor, when no thread can still be polling it.
   void Close();
 
  private:
   int fd_ = -1;
+  std::atomic<bool> closed_{false};
   std::uint16_t port_ = 0;
 };
 

@@ -1,0 +1,173 @@
+// Serial/parallel equivalence: the sharded audit pipeline must be an
+// implementation detail. For clean and fault-injected fleets alike, every
+// {threads} x {cache} configuration must produce an AuditReport whose full
+// JSON rendering (verdicts included) is byte-identical to the serial
+// auditor's, because per-pair evaluation is pure and verdicts are merged in
+// the database's deterministic pair order regardless of which worker
+// evaluated them.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "audit/auditor.h"
+#include "audit/report_json.h"
+#include "common/thread_pool.h"
+#include "fleet_gen.h"
+
+namespace adlp {
+namespace {
+
+using test::ApplyBehavior;
+using test::ChainFleet;
+using test::MakeChainFleet;
+using test::TestIdentity;
+
+std::string FullJson(const audit::AuditReport& report) {
+  audit::JsonOptions options;
+  options.include_verdicts = true;
+  return audit::RenderReportJson(report, options);
+}
+
+/// One fleet per scenario: clean plus one of each fault class.
+std::vector<std::pair<std::string, ChainFleet>> Scenarios() {
+  std::vector<std::pair<std::string, ChainFleet>> scenarios;
+
+  scenarios.emplace_back("clean", MakeChainFleet(3, 4));
+
+  {
+    ChainFleet fleet = MakeChainFleet(3, 4);
+    faults::FaultFilter filter;
+    filter.topic = fleet.Topic(1);
+    filter.direction = proto::Direction::kIn;
+    faults::HidingBehavior hide(filter);
+    ApplyBehavior(fleet.entries, fleet.Node(2).id, hide);
+    scenarios.emplace_back("hiding", std::move(fleet));
+  }
+  {
+    ChainFleet fleet = MakeChainFleet(3, 4);
+    faults::FaultFilter filter;
+    filter.topic = fleet.Topic(0);
+    filter.direction = proto::Direction::kOut;
+    faults::FalsificationBehavior falsify(
+        filter, std::make_shared<proto::NodeIdentity>(fleet.Node(0)));
+    ApplyBehavior(fleet.entries, fleet.Node(0).id, falsify);
+    scenarios.emplace_back("falsification", std::move(fleet));
+  }
+  {
+    ChainFleet fleet = MakeChainFleet(3, 4);
+    Rng rng(77);
+    faults::FabricationSpec spec;
+    spec.topic = fleet.Topic(1);
+    spec.seq = 99;
+    spec.timestamp = 99'000;
+    spec.message_stamp = 98'999;
+    spec.data = rng.RandomBytes(16);
+    spec.peer = fleet.Node(2).id;
+    fleet.entries.push_back(
+        faults::FabricatePublisherEntry(fleet.Node(1), spec, rng));
+    scenarios.emplace_back("fabrication", std::move(fleet));
+  }
+  {
+    ChainFleet fleet = MakeChainFleet(3, 4);
+    const proto::NodeIdentity& shadow = TestIdentity("eq-shadow");
+    fleet.keys.Register(shadow.id, shadow.keys.pub);
+    faults::FaultFilter filter;
+    filter.topic = fleet.Topic(2);
+    filter.direction = proto::Direction::kIn;
+    faults::ImpersonationBehavior impersonate(filter, shadow.id);
+    ApplyBehavior(fleet.entries, fleet.Node(3).id, impersonate);
+    scenarios.emplace_back("impersonation", std::move(fleet));
+  }
+  {
+    ChainFleet fleet = MakeChainFleet(3, 4);
+    faults::FaultFilter filter;
+    faults::TimingDisruptionBehavior skew(filter, 500'000'000);
+    ApplyBehavior(fleet.entries, fleet.Node(1).id, skew);
+    scenarios.emplace_back("timing", std::move(fleet));
+  }
+  return scenarios;
+}
+
+TEST(AuditParallelTest, EveryConfigurationMatchesSerialByteForByte) {
+  for (const auto& [name, fleet] : Scenarios()) {
+    const audit::LogDatabase db(fleet.entries, fleet.topology);
+    const audit::Auditor auditor(fleet.keys);
+    const audit::AuditReport serial = auditor.Audit(db);
+    const std::string serial_json = FullJson(serial);
+
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                      std::size_t{8}}) {
+      for (const bool cache : {false, true}) {
+        audit::AuditOptions exec;
+        exec.threads = threads;
+        exec.cache = cache;
+        const audit::AuditReport report = auditor.Audit(db, exec);
+        EXPECT_EQ(FullJson(report), serial_json)
+            << name << " diverged at threads=" << threads
+            << " cache=" << cache;
+        EXPECT_EQ(report.unfaithful, serial.unfaithful) << name;
+      }
+    }
+  }
+}
+
+TEST(AuditParallelTest, ExternalPoolReusedAcrossAudits) {
+  ThreadPool pool(4);
+  for (const auto& [name, fleet] : Scenarios()) {
+    const audit::LogDatabase db(fleet.entries, fleet.topology);
+    const audit::Auditor auditor(fleet.keys);
+    const std::string serial_json = FullJson(auditor.Audit(db));
+
+    audit::AuditOptions exec;
+    exec.threads = 4;
+    exec.pool = &pool;
+    EXPECT_EQ(FullJson(auditor.Audit(db, exec)), serial_json) << name;
+  }
+}
+
+TEST(AuditParallelTest, ExternalCacheReusedAcrossAudits) {
+  const ChainFleet fleet = MakeChainFleet(3, 4);
+  const audit::LogDatabase db(fleet.entries, fleet.topology);
+  const audit::Auditor auditor(fleet.keys);
+  const std::string serial_json = FullJson(auditor.Audit(db));
+
+  crypto::VerifyCache cache;
+  audit::AuditOptions exec;
+  exec.threads = 2;
+  exec.verify_cache = &cache;
+
+  EXPECT_EQ(FullJson(auditor.Audit(db, exec)), serial_json);
+  const std::size_t lookups_first = cache.Lookups();
+  const std::size_t hits_first = cache.Hits();
+  const std::size_t distinct = cache.Size();
+  EXPECT_GT(lookups_first, 0u);
+  EXPECT_GT(distinct, 0u);
+
+  // A re-audit of the same database hits the memo table for every lookup
+  // and creates no new entries — and still reproduces the same report.
+  EXPECT_EQ(FullJson(auditor.Audit(db, exec)), serial_json);
+  EXPECT_EQ(cache.Size(), distinct);
+  EXPECT_EQ(cache.Lookups(), 2 * lookups_first);
+  EXPECT_EQ(cache.Hits(), hits_first + lookups_first);
+}
+
+TEST(AuditParallelTest, ShardsPartitionAllPairs) {
+  const ChainFleet fleet = MakeChainFleet(4, 3);
+  const audit::LogDatabase db(fleet.entries, fleet.topology);
+  std::vector<bool> covered(db.Pairs().size(), false);
+  for (const auto& shard : db.Shards()) {
+    for (const std::size_t index : shard.pair_indices) {
+      ASSERT_LT(index, covered.size());
+      EXPECT_FALSE(covered[index]) << "pair in two shards";
+      covered[index] = true;
+    }
+  }
+  for (const bool c : covered) EXPECT_TRUE(c);
+  // One shard per (publisher, subscriber, topic) link in the chain.
+  EXPECT_EQ(db.Shards().size(), fleet.links);
+}
+
+}  // namespace
+}  // namespace adlp

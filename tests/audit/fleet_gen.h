@@ -1,0 +1,113 @@
+// Synthetic fleet generator for audit tests: a relay chain of components
+// whose faithful log is built directly (no live pipeline), plus helpers to
+// inject unfaithful behaviours into the entries a chosen component authored.
+//
+// The chain c0 -> c1 -> ... -> cL carries one topic per link (t1..tL); every
+// transmission is logged on both sides with timestamps that satisfy all of
+// Lemma 4's precedence constraints, so a clean fleet audits clean and every
+// causality violation a test observes was injected by the test itself.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "audit/causality.h"
+#include "audit/log_database.h"
+#include "crypto/keystore.h"
+#include "faults/behavior.h"
+#include "faults/fabricate.h"
+#include "test_util.h"
+
+namespace adlp::test {
+
+struct ChainFleet {
+  std::size_t links = 0;
+  std::size_t seqs = 0;
+  std::vector<std::string> node_names;  // c0 .. cL
+  std::vector<proto::LogEntry> entries;
+  audit::Topology topology;
+  crypto::KeyStore keys;
+  /// Every relay dependency: c_y consumed (t_i, s) before publishing
+  /// (t_{i+1}, s).
+  std::vector<audit::FlowDependency> dependencies;
+
+  const proto::NodeIdentity& Node(std::size_t i) const {
+    return TestIdentity(node_names.at(i));
+  }
+
+  /// Topic carried by link `i` (publisher = node i, subscriber = node i+1).
+  std::string Topic(std::size_t link) const {
+    return "t" + std::to_string(link + 1);
+  }
+
+  /// Publisher-side log timestamp of (link, seq). The subscriber side is
+  /// PubStamp + 1 (see MakeFaithfulPair): relaying node i+1 republishes at
+  /// PubStamp(link+1, s) = PubStamp(link, s) + 10 > its receive time, so the
+  /// whole chain satisfies t_out(x) < t_in(y) <= t_out(y) < t_in(z).
+  static Timestamp PubStamp(std::size_t link, std::uint64_t seq) {
+    return static_cast<Timestamp>(seq * 1000 + link * 10);
+  }
+};
+
+/// Builds a faithful chain fleet: `links` hops, `seqs` transmissions per
+/// hop, two log entries per transmission. Identities come from
+/// TestIdentity() and are cached across calls, so repeated fleets (one per
+/// matrix seed) cost no key generation.
+inline ChainFleet MakeChainFleet(std::size_t links, std::size_t seqs,
+                                 const std::string& label = "mx") {
+  ChainFleet fleet;
+  fleet.links = links;
+  fleet.seqs = seqs;
+  for (std::size_t i = 0; i <= links; ++i) {
+    fleet.node_names.push_back(label + "-c" + std::to_string(i));
+    const proto::NodeIdentity& id = TestIdentity(fleet.node_names.back());
+    fleet.keys.Register(id.id, id.keys.pub);
+  }
+  Rng rng(0xf1ee7 + links * 131 + seqs);
+  for (std::size_t link = 0; link < links; ++link) {
+    const proto::NodeIdentity& pub = fleet.Node(link);
+    const proto::NodeIdentity& sub = fleet.Node(link + 1);
+    fleet.topology[fleet.Topic(link)] =
+        pubsub::Master::TopicInfo{pub.id, {sub.id}};
+    for (std::uint64_t s = 1; s <= seqs; ++s) {
+      const faults::ForgedPair pair =
+          MakeFaithfulPair(pub, sub, fleet.Topic(link), s, rng.RandomBytes(24),
+                           ChainFleet::PubStamp(link, s));
+      fleet.entries.push_back(pair.publisher_entry);
+      fleet.entries.push_back(pair.subscriber_entry);
+    }
+  }
+  for (std::size_t link = 1; link < links; ++link) {
+    for (std::uint64_t s = 1; s <= seqs; ++s) {
+      audit::FlowDependency dep;
+      dep.first = {fleet.Topic(link - 1), s, fleet.Node(link).id};
+      dep.second = {fleet.Topic(link), s, fleet.Node(link + 1).id};
+      fleet.dependencies.push_back(dep);
+    }
+  }
+  return fleet;
+}
+
+/// Routes the entries authored by `component` through `behavior`, exactly as
+/// an UnfaithfulLogPipe between that component and its logger would: the
+/// behaviour may rewrite an entry or drop it (hiding). Other components'
+/// entries are untouched.
+inline void ApplyBehavior(std::vector<proto::LogEntry>& entries,
+                          const crypto::ComponentId& component,
+                          faults::UnfaithfulBehavior& behavior) {
+  std::vector<proto::LogEntry> out;
+  out.reserve(entries.size());
+  for (auto& entry : entries) {
+    if (entry.component != component) {
+      out.push_back(std::move(entry));
+      continue;
+    }
+    if (auto kept = behavior.OnEntry(std::move(entry))) {
+      out.push_back(std::move(*kept));
+    }
+  }
+  entries = std::move(out);
+}
+
+}  // namespace adlp::test

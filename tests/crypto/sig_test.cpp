@@ -4,7 +4,11 @@
 #include "crypto/sig.h"
 
 #include <gtest/gtest.h>
+#include <atomic>
 #include <map>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "wire/wire.h"
 
@@ -88,6 +92,125 @@ TEST(SigCrossTest, AlgorithmNames) {
   EXPECT_EQ(SigAlgorithmName(SigAlgorithm::kRsaPkcs1Sha256),
             "rsa-pkcs1-sha256");
   EXPECT_EQ(SigAlgorithmName(SigAlgorithm::kEd25519), "ed25519");
+}
+
+TEST(VerifyCacheTest, AgreesWithDirectVerification) {
+  Rng rng(3);
+  const SigKeyPair kp =
+      GenerateSigKeyPair(rng, SigAlgorithm::kRsaPkcs1Sha256, 512);
+  const Digest digest = Sha256Digest(BytesOf("memo"));
+  const Bytes good = SignDigest(kp.priv, digest);
+  Bytes bad = good;
+  bad[0] ^= 0x01;
+
+  VerifyCache cache;
+  EXPECT_TRUE(cache.Verify(kp.pub, digest, good));
+  EXPECT_FALSE(cache.Verify(kp.pub, digest, bad));
+  // Memoized answers are stable, including the negative one: a cached
+  // "forged" stays forged.
+  EXPECT_TRUE(cache.Verify(kp.pub, digest, good));
+  EXPECT_FALSE(cache.Verify(kp.pub, digest, bad));
+  EXPECT_EQ(cache.Size(), 2u);
+  EXPECT_EQ(cache.Lookups(), 4u);
+  EXPECT_EQ(cache.Hits(), 2u);
+}
+
+TEST(VerifyCacheTest, DistinguishesKeyDigestAndSignature) {
+  Rng rng(4);
+  const SigKeyPair a =
+      GenerateSigKeyPair(rng, SigAlgorithm::kRsaPkcs1Sha256, 512);
+  const SigKeyPair b =
+      GenerateSigKeyPair(rng, SigAlgorithm::kRsaPkcs1Sha256, 512);
+  const Digest d1 = Sha256Digest(BytesOf("d1"));
+  const Digest d2 = Sha256Digest(BytesOf("d2"));
+  const Bytes sig_a1 = SignDigest(a.priv, d1);
+
+  VerifyCache cache;
+  EXPECT_TRUE(cache.Verify(a.pub, d1, sig_a1));
+  // Same signature under a different key or digest is a distinct triple and
+  // must re-verify to false, not hit the cached true.
+  EXPECT_FALSE(cache.Verify(b.pub, d1, sig_a1));
+  EXPECT_FALSE(cache.Verify(a.pub, d2, sig_a1));
+  EXPECT_EQ(cache.Size(), 3u);
+  EXPECT_EQ(cache.Hits(), 0u);
+}
+
+TEST(VerifyCacheTest, ConcurrentLookupsConverge) {
+  Rng rng(5);
+  const SigKeyPair kp =
+      GenerateSigKeyPair(rng, SigAlgorithm::kRsaPkcs1Sha256, 512);
+  constexpr std::size_t kTriples = 8;
+  std::vector<Digest> digests;
+  std::vector<Bytes> sigs;
+  for (std::size_t i = 0; i < kTriples; ++i) {
+    digests.push_back(Sha256Digest(BytesOf("t" + std::to_string(i))));
+    sigs.push_back(SignDigest(kp.priv, digests.back()));
+  }
+
+  VerifyCache cache;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < 8; ++round) {
+        for (std::size_t i = 0; i < kTriples; ++i) {
+          if (!cache.Verify(kp.pub, digests[i], sigs[i])) failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(cache.Size(), kTriples);
+}
+
+TEST(VerifyBatchTest, MatchesIndividualVerification) {
+  Rng rng(6);
+  const SigKeyPair kp =
+      GenerateSigKeyPair(rng, SigAlgorithm::kRsaPkcs1Sha256, 512);
+  const Digest d1 = Sha256Digest(BytesOf("b1"));
+  const Digest d2 = Sha256Digest(BytesOf("b2"));
+  const Bytes s1 = SignDigest(kp.priv, d1);
+  Bytes forged = s1;
+  forged.back() ^= 0x80;
+
+  std::vector<VerifyRequest> requests;
+  requests.push_back({&kp.pub, d1, s1});                    // valid
+  requests.push_back({&kp.pub, d2, s1});                    // wrong digest
+  requests.push_back({&kp.pub, d1, forged});                // forged
+  requests.push_back({&kp.pub, d1, s1});                    // duplicate of [0]
+  requests.push_back({nullptr, d1, s1});                    // no key
+  requests.push_back({&kp.pub, d1, BytesView{}});           // empty signature
+
+  const std::vector<std::uint8_t> results = VerifyDigestBatch(requests);
+  ASSERT_EQ(results.size(), requests.size());
+  EXPECT_EQ(results[0], 1);
+  EXPECT_EQ(results[1], 0);
+  EXPECT_EQ(results[2], 0);
+  EXPECT_EQ(results[3], 1);
+  EXPECT_EQ(results[4], 0);
+  EXPECT_EQ(results[5], 0);
+}
+
+TEST(VerifyBatchTest, SharesAnExternalCache) {
+  Rng rng(7);
+  const SigKeyPair kp =
+      GenerateSigKeyPair(rng, SigAlgorithm::kRsaPkcs1Sha256, 512);
+  const Digest digest = Sha256Digest(BytesOf("shared"));
+  const Bytes sig = SignDigest(kp.priv, digest);
+
+  VerifyCache cache;
+  std::vector<VerifyRequest> requests(3, VerifyRequest{&kp.pub, digest, sig});
+  const std::vector<std::uint8_t> first = VerifyDigestBatch(requests, &cache);
+  EXPECT_EQ(first, (std::vector<std::uint8_t>{1, 1, 1}));
+  // In-batch dedup means only the first occurrence consulted the cache.
+  EXPECT_EQ(cache.Lookups(), 1u);
+  EXPECT_EQ(cache.Size(), 1u);
+
+  // A second batch hits the shared cache instead of re-verifying.
+  const std::vector<std::uint8_t> second = VerifyDigestBatch(requests, &cache);
+  EXPECT_EQ(second, first);
+  EXPECT_EQ(cache.Hits(), 1u);
 }
 
 }  // namespace

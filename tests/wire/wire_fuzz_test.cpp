@@ -9,6 +9,7 @@
 #include "adlp/wire_msgs.h"
 #include "audit/manifest.h"
 #include "common/rng.h"
+#include "crypto/sig.h"
 #include "pubsub/message.h"
 #include "wire/wire.h"
 
@@ -94,6 +95,138 @@ TEST_P(WireFuzzTest, RoundTripUnderRandomContent) {
   }
   EXPECT_EQ(proto::DeserializeLogEntry(proto::SerializeLogEntry(entry)),
             entry);
+}
+
+namespace {
+
+/// A structurally valid ADLP log entry with seed-derived content; signatures
+/// are random bytes (the decoders under test never verify them).
+proto::LogEntry FuzzEntry(Rng& rng) {
+  proto::LogEntry entry;
+  entry.scheme = proto::LogScheme::kAdlp;
+  entry.component = "c" + std::to_string(rng.UniformBelow(8));
+  entry.topic = "t" + std::to_string(rng.UniformBelow(8));
+  entry.direction =
+      rng.Chance(0.5) ? proto::Direction::kIn : proto::Direction::kOut;
+  entry.seq = rng.UniformBelow(1000);
+  entry.timestamp = static_cast<Timestamp>(rng.NextU64() >> 1);
+  entry.message_stamp = entry.timestamp - 1;
+  entry.data = rng.RandomBytes(64);
+  entry.self_signature = rng.RandomBytes(64);
+  entry.peer_signature = rng.RandomBytes(64);
+  entry.peer = "p" + std::to_string(rng.UniformBelow(8));
+  entry.peer_data_hash = rng.RandomBytes(32);
+  return entry;
+}
+
+/// A parseable public key without key generation: RSA fields are arbitrary
+/// big integers (the wire layer does not validate key material).
+crypto::PublicKey FuzzRsaKey(Rng& rng) {
+  crypto::PublicKey key;
+  key.alg = crypto::SigAlgorithm::kRsaPkcs1Sha256;
+  key.rsa.n = crypto::BigInt::FromBytesBE(rng.RandomBytes(64));
+  key.rsa.e = crypto::BigInt::FromBytesBE(Bytes{0x01, 0x00, 0x01});
+  return key;
+}
+
+}  // namespace
+
+TEST_P(WireFuzzTest, LogEntryFrameTruncationsAtEveryBoundary) {
+  Rng rng(GetParam() ^ 0x720);
+  const Bytes valid = proto::SerializeLogEntry(FuzzEntry(rng));
+  // Every prefix of a valid frame: decoders must reject cleanly no matter
+  // where the cut lands (mid-tag, mid-length, mid-payload).
+  for (std::size_t len = 0; len < valid.size(); ++len) {
+    const BytesView prefix(valid.data(), len);
+    ExpectNoCrash([](BytesView b) { proto::DeserializeLogEntry(b); }, prefix);
+  }
+}
+
+TEST_P(WireFuzzTest, LogEntryFramesBitFlippedAndOversized) {
+  Rng rng(GetParam() ^ 0xb17f);
+  const Bytes valid = proto::SerializeLogEntry(FuzzEntry(rng));
+
+  for (int i = 0; i < 100; ++i) {
+    Bytes mutated = valid;
+    const int flips = 1 + static_cast<int>(rng.UniformBelow(8));
+    for (int f = 0; f < flips; ++f) {
+      mutated[rng.UniformBelow(mutated.size())] ^=
+          static_cast<std::uint8_t>(1u << rng.UniformBelow(8));
+    }
+    ExpectNoCrash([](BytesView b) { proto::DeserializeLogEntry(b); }, mutated);
+  }
+
+  // Oversized corpora: a valid frame with kilobytes of trailing garbage, and
+  // length-prefix bombs (0xff runs decode as enormous claimed lengths that
+  // must be rejected before any allocation of that size).
+  Bytes oversized = valid;
+  const Bytes tail = rng.RandomBytes(4096);
+  oversized.insert(oversized.end(), tail.begin(), tail.end());
+  ExpectNoCrash([](BytesView b) { proto::DeserializeLogEntry(b); }, oversized);
+
+  for (std::size_t run = 1; run <= 16; ++run) {
+    Bytes bomb = valid;
+    const std::size_t at = rng.UniformBelow(bomb.size());
+    for (std::size_t j = 0; j < run && at + j < bomb.size(); ++j) {
+      bomb[at + j] = 0xff;
+    }
+    ExpectNoCrash([](BytesView b) { proto::DeserializeLogEntry(b); }, bomb);
+  }
+}
+
+TEST_P(WireFuzzTest, LogUploadFramesHostile) {
+  Rng rng(GetParam() ^ 0x10ad);
+  const Bytes entry_frame = proto::SerializeLogUpload(FuzzEntry(rng));
+  const Bytes key_frame =
+      proto::SerializeLogUpload("component-x", FuzzRsaKey(rng));
+
+  for (const Bytes& valid : {entry_frame, key_frame}) {
+    // Truncations at every boundary.
+    for (std::size_t len = 0; len < valid.size(); ++len) {
+      ExpectNoCrash(
+          [](BytesView b) {
+            proto::LogServer sink;
+            proto::ApplyLogUpload(b, sink);
+          },
+          BytesView(valid.data(), len));
+    }
+    // Random corruption.
+    for (int i = 0; i < 60; ++i) {
+      Bytes mutated = valid;
+      const int flips = 1 + static_cast<int>(rng.UniformBelow(6));
+      for (int f = 0; f < flips; ++f) {
+        mutated[rng.UniformBelow(mutated.size())] =
+            static_cast<std::uint8_t>(rng.NextU64());
+      }
+      if (rng.Chance(0.25)) {
+        const Bytes tail = rng.RandomBytes(1024);
+        mutated.insert(mutated.end(), tail.begin(), tail.end());
+      }
+      ExpectNoCrash(
+          [](BytesView b) {
+            proto::LogServer sink;
+            proto::ApplyLogUpload(b, sink);
+          },
+          mutated);
+    }
+  }
+}
+
+TEST_P(WireFuzzTest, PublicKeyParserHostileBytes) {
+  Rng rng(GetParam() ^ 0x4b3);
+  const Bytes valid = crypto::SerializePublicKey(FuzzRsaKey(rng));
+  for (std::size_t len = 0; len < valid.size(); ++len) {
+    ExpectNoCrash([](BytesView b) { crypto::ParsePublicKey(b); },
+                  BytesView(valid.data(), len));
+  }
+  for (int i = 0; i < 60; ++i) {
+    Bytes mutated = valid;
+    mutated[rng.UniformBelow(mutated.size())] =
+        static_cast<std::uint8_t>(rng.NextU64());
+    ExpectNoCrash([](BytesView b) { crypto::ParsePublicKey(b); }, mutated);
+    ExpectNoCrash([](BytesView b) { crypto::ParsePublicKey(b); },
+                  rng.RandomBytes(rng.UniformBelow(200)));
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzzTest,

@@ -1,6 +1,7 @@
 // adlp_audit — command-line auditor for exported evidence.
 //
 //   adlp_audit <log-file> <manifest-file> [--json] [--verdicts]
+//              [--threads N] [--cache]
 //              [--trace <topic> <seq> <subscriber>]
 //
 // Loads a tamper-evident log file and a system manifest (see
@@ -30,7 +31,8 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: adlp_audit <log-file> <manifest-file> [--json] "
-               "[--verdicts] [--trace <topic> <seq> <subscriber>]\n");
+               "[--verdicts] [--threads N] [--cache] "
+               "[--trace <topic> <seq> <subscriber>]\n");
   return 3;
 }
 
@@ -43,12 +45,18 @@ int main(int argc, char** argv) {
   bool json = false;
   bool verdicts = false;
   bool trace = false;
+  audit::AuditOptions exec;
   audit::PairKey trace_key;
   for (int i = 3; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
     } else if (std::strcmp(argv[i], "--verdicts") == 0) {
       verdicts = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      exec.threads = std::strtoull(argv[++i], nullptr, 10);
+      if (exec.threads == 0) return Usage();
+    } else if (std::strcmp(argv[i], "--cache") == 0) {
+      exec.cache = true;
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 3 < argc) {
       trace = true;
       trace_key.topic = argv[i + 1];
@@ -80,7 +88,7 @@ int main(int argc, char** argv) {
 
   audit::LogDatabase db(log.entries, manifest.topology);
   audit::Auditor auditor(manifest.keys);
-  const audit::AuditReport report = auditor.Audit(db);
+  const audit::AuditReport report = auditor.Audit(db, exec);
 
   if (json) {
     audit::JsonOptions options;
