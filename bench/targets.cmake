@@ -26,3 +26,4 @@ adlp_bench(bench_ablation_hash_vs_data)
 adlp_bench(bench_ablation_ack_window)
 adlp_bench(bench_ablation_lightweight_crypto)
 adlp_bench(audit_bench)
+adlp_bench(obs_bench)

@@ -1,7 +1,13 @@
 // True multi-process deployment — the paper's setting, where every ROS node
 // is its own Linux process and the master/logger are services.
 //
-//   build/examples/multiprocess_demo [--messages N]
+//   build/examples/multiprocess_demo [--messages N] [--metrics-out FILE]
+//
+// With --metrics-out, the orchestrator writes its metrics (audit timings)
+// to FILE and each child process writes its own registry (publish/ack/log
+// counters for its side of the link) to FILE.camera / FILE.detector —
+// metrics are per-process state, so a multi-process run produces one dump
+// per process.
 //
 // The orchestrator process hosts the name service (MasterService) and the
 // trusted logger (LogServerService), then fork+execs itself twice:
@@ -26,6 +32,7 @@
 #include "adlp/remote_log.h"
 #include "adlp/resilient_log.h"
 #include "audit/auditor.h"
+#include "obs/export.h"
 #include "pubsub/remote_master.h"
 
 using namespace adlp;
@@ -53,8 +60,20 @@ proto::ComponentOptions NodeOptions() {
   return opts;
 }
 
-int RunCamera(std::uint16_t master_port, std::uint16_t log_port,
-              int messages) {
+/// Writes this process's registry if a path was requested; warns on failure
+/// (metrics must never fail a demo run that otherwise succeeded).
+void MaybeWriteMetrics(const std::string& path) {
+  if (path.empty()) return;
+  if (obs::WriteMetricsFile(path)) {
+    std::printf("[%d] metrics written to %s\n", getpid(), path.c_str());
+  } else {
+    std::fprintf(stderr, "[%d] cannot write metrics to %s\n", getpid(),
+                 path.c_str());
+  }
+}
+
+int RunCamera(std::uint16_t master_port, std::uint16_t log_port, int messages,
+              const std::string& metrics_out) {
   pubsub::RemoteMaster master(master_port, ChildDialOptions());
   proto::ResilientLogSink log_sink(log_port);
   Rng rng(0xCA11);
@@ -73,11 +92,12 @@ int RunCamera(std::uint16_t master_port, std::uint16_t log_port,
   camera.Shutdown();
   log_sink.Drain(std::chrono::seconds(5));
   std::printf("[camera %d] published %d messages\n", getpid(), messages);
+  MaybeWriteMetrics(metrics_out);
   return 0;
 }
 
 int RunDetector(std::uint16_t master_port, std::uint16_t log_port,
-                int messages) {
+                int messages, const std::string& metrics_out) {
   pubsub::RemoteMaster master(master_port, ChildDialOptions());
   proto::ResilientLogSink log_sink(log_port);
   Rng rng(0xDE7E);
@@ -97,35 +117,47 @@ int RunDetector(std::uint16_t master_port, std::uint16_t log_port,
   log_sink.Drain(std::chrono::seconds(5));
   std::printf("[detector %d] received %d/%d messages\n", getpid(), got.load(),
               messages);
+  MaybeWriteMetrics(metrics_out);
   return got.load() == messages ? 0 : 3;
 }
 
 pid_t SpawnChild(const char* self, const std::string& role,
                  std::uint16_t master_port, std::uint16_t log_port,
-                 int messages) {
+                 int messages, const std::string& metrics_out) {
   const std::string master_arg = std::to_string(master_port);
   const std::string log_arg = std::to_string(log_port);
   const std::string msg_arg = std::to_string(messages);
+  const std::string metrics_arg =
+      metrics_out.empty() ? "" : metrics_out + "." + role;
   const pid_t pid = fork();
   if (pid != 0) return pid;
   // Child: only exec between fork and here (the parent is threaded).
-  execl(self, self, "--role", role.c_str(), "--master-port",
-        master_arg.c_str(), "--log-port", log_arg.c_str(), "--messages",
-        msg_arg.c_str(), static_cast<char*>(nullptr));
+  if (metrics_arg.empty()) {
+    execl(self, self, "--role", role.c_str(), "--master-port",
+          master_arg.c_str(), "--log-port", log_arg.c_str(), "--messages",
+          msg_arg.c_str(), static_cast<char*>(nullptr));
+  } else {
+    execl(self, self, "--role", role.c_str(), "--master-port",
+          master_arg.c_str(), "--log-port", log_arg.c_str(), "--messages",
+          msg_arg.c_str(), "--metrics-out", metrics_arg.c_str(),
+          static_cast<char*>(nullptr));
+  }
   _exit(127);
 }
 
-int RunOrchestrator(const char* self, int messages) {
+int RunOrchestrator(const char* self, int messages,
+                    const std::string& metrics_out) {
   pubsub::MasterService master_service(0);
   proto::LogServer log_server;
   proto::LogServerService log_service(log_server, 0);
   std::printf("[orchestrator %d] master on :%u, logger on :%u\n", getpid(),
               master_service.Port(), log_service.Port());
 
-  const pid_t detector = SpawnChild(self, "detector", master_service.Port(),
-                                    log_service.Port(), messages);
+  const pid_t detector =
+      SpawnChild(self, "detector", master_service.Port(), log_service.Port(),
+                 messages, metrics_out);
   const pid_t camera = SpawnChild(self, "camera", master_service.Port(),
-                                  log_service.Port(), messages);
+                                  log_service.Port(), messages, metrics_out);
 
   int camera_status = -1, detector_status = -1;
   waitpid(camera, &camera_status, 0);
@@ -161,6 +193,7 @@ int RunOrchestrator(const char* self, int messages) {
                   report.TotalValid() == expected;
   std::printf("==> multi-process ADLP run %s\n",
               ok ? "audited clean." : "FAILED the audit.");
+  MaybeWriteMetrics(metrics_out);
   return ok ? 0 : 1;
 }
 
@@ -170,6 +203,7 @@ int main(int argc, char** argv) {
   std::string role = "orchestrator";
   std::uint16_t master_port = 0, log_port = 0;
   int messages = 20;
+  std::string metrics_out;
   for (int i = 1; i + 1 < argc; i += 2) {
     if (std::strcmp(argv[i], "--role") == 0) role = argv[i + 1];
     if (std::strcmp(argv[i], "--master-port") == 0) {
@@ -181,9 +215,16 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--messages") == 0) {
       messages = std::atoi(argv[i + 1]);
     }
+    if (std::strcmp(argv[i], "--metrics-out") == 0) {
+      metrics_out = argv[i + 1];
+    }
   }
 
-  if (role == "camera") return RunCamera(master_port, log_port, messages);
-  if (role == "detector") return RunDetector(master_port, log_port, messages);
-  return RunOrchestrator("/proc/self/exe", messages);
+  if (role == "camera") {
+    return RunCamera(master_port, log_port, messages, metrics_out);
+  }
+  if (role == "detector") {
+    return RunDetector(master_port, log_port, messages, metrics_out);
+  }
+  return RunOrchestrator("/proc/self/exe", messages, metrics_out);
 }

@@ -4,6 +4,7 @@
 // logged accountably under ADLP.
 //
 //   build/examples/selfdriving_demo [sim_seconds] [--realtime]
+//                                   [--metrics-out FILE]
 //
 // Default runs in fast (non-realtime) simulation. At the end the demo
 // prints pipeline statistics, the car's trajectory summary, the log
@@ -11,8 +12,11 @@
 #include <cstdio>
 #include <cstring>
 
+#include <string>
+
 #include "audit/auditor.h"
 #include "audit/causality.h"
+#include "obs/export.h"
 #include "sim/app.h"
 
 using namespace adlp;
@@ -20,9 +24,12 @@ using namespace adlp;
 int main(int argc, char** argv) {
   double sim_seconds = 20.0;
   bool realtime = false;
+  std::string metrics_out;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--realtime") == 0) {
       realtime = true;
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
     } else {
       sim_seconds = std::atof(argv[i]);
     }
@@ -85,6 +92,15 @@ int main(int argc, char** argv) {
   std::printf("causality check (image->lane->plan, %zu chains): %zu "
               "violations\n",
               deps.size(), violations.size());
+
+  if (!metrics_out.empty()) {
+    if (obs::WriteMetricsFile(metrics_out)) {
+      std::printf("metrics written to %s\n", metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write metrics to %s\n", metrics_out.c_str());
+      return 1;
+    }
+  }
 
   return report.unfaithful.empty() && violations.empty() ? 0 : 1;
 }

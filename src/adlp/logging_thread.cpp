@@ -1,5 +1,7 @@
 #include "adlp/logging_thread.h"
 
+#include "obs/instrument.h"
+
 namespace adlp::proto {
 
 LoggingThread::LoggingThread(crypto::ComponentId id, LogSink& sink)
@@ -10,14 +12,20 @@ LoggingThread::LoggingThread(crypto::ComponentId id, LogSink& sink)
 LoggingThread::~LoggingThread() { Stop(); }
 
 void LoggingThread::Enter(LogEntry entry) {
+  const std::string topic = entry.topic;
+  const std::uint64_t seq = entry.seq;
   if (queue_.Push(std::move(entry))) {
     entered_.fetch_add(1, std::memory_order_relaxed);
+    obs::metric::LogEnteredTotal().Add(1);
+    obs::metric::LogQueueDepth().Add(1);
+    obs::TraceLog::Global().Record(obs::TraceKind::kLogEnter, topic, seq);
   }
 }
 
 void LoggingThread::Run() {
   ThreadCpuTracker cpu(&cpu_ns_);
   while (auto entry = queue_.Pop()) {
+    obs::metric::LogQueueDepth().Sub(1);
     cpu.Tick();  // queue handling is the component's cost...
     const Timestamp sink_start = ThreadCpuNowNs();
     sink_.Append(*entry);

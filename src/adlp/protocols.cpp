@@ -3,9 +3,23 @@
 #include <utility>
 
 #include "adlp/wire_msgs.h"
+#include "obs/instrument.h"
 #include "wire/wire.h"
 
 namespace adlp::proto {
+
+namespace {
+
+/// Runs `fn` and records its wall time into `hist`. Returns fn's result.
+template <typename Fn>
+auto Timed(obs::Histogram& hist, Fn&& fn) {
+  const Timestamp start = MonotonicNowNs();
+  auto result = fn();
+  hist.Record(static_cast<std::uint64_t>(MonotonicNowNs() - start));
+  return result;
+}
+
+}  // namespace
 
 NodeIdentity MakeNodeIdentity(crypto::ComponentId id, Rng& rng,
                               std::size_t rsa_bits,
@@ -175,6 +189,7 @@ class AdlpPublisherLink final : public pubsub::PublisherLinkProtocol {
       ack = ParseAckMessage(ack_payload);
     } catch (const wire::WireError&) {
       factory_->rejected_.fetch_add(1, std::memory_order_relaxed);
+      obs::metric::ProtocolRejectedTotal().Add(1);
       return;
     }
 
@@ -199,9 +214,13 @@ class AdlpPublisherLink final : public pubsub::PublisherLinkProtocol {
           ? pubsub::MessageDigestFromPayloadHash(pub.message.header,
                                                  payload_hash)
           : crypto::Digest{};
-      if (!key || !hash_ok ||
-          !crypto::VerifyDigest(*key, digest, ack.signature)) {
+      const bool verified =
+          key && hash_ok && Timed(obs::metric::VerifyNs(), [&] {
+            return crypto::VerifyDigest(*key, digest, ack.signature);
+          });
+      if (!verified) {
         factory_->rejected_.fetch_add(1, std::memory_order_relaxed);
+        obs::metric::ProtocolRejectedTotal().Add(1);
         return;
       }
     }
@@ -254,26 +273,34 @@ class AdlpSubscriberLink final : public pubsub::SubscriberLinkProtocol {
       data_msg = ParseDataMessage(wire_bytes);
     } catch (const wire::WireError&) {
       factory_->rejected_.fetch_add(1, std::memory_order_relaxed);
+      obs::metric::ProtocolRejectedTotal().Add(1);
       return result;
     }
     const pubsub::Message& msg = data_msg.message;
 
     // h(I_y) and the signed digest h(header || h(I_y)): the subscriber
     // hashes what it actually received.
-    const crypto::Digest payload_hash = pubsub::PayloadHash(msg.payload);
+    const crypto::Digest payload_hash = Timed(
+        obs::metric::HashNs(), [&] { return pubsub::PayloadHash(msg.payload); });
     const crypto::Digest digest =
         pubsub::MessageDigestFromPayloadHash(msg.header, payload_hash);
 
     if (factory_->options().peer_keys != nullptr) {
       const auto key = factory_->options().peer_keys->Find(publisher_);
-      if (!key || !crypto::VerifyDigest(*key, digest, data_msg.signature)) {
+      const bool verified = key && Timed(obs::metric::VerifyNs(), [&] {
+        return crypto::VerifyDigest(*key, digest, data_msg.signature);
+      });
+      if (!verified) {
         factory_->rejected_.fetch_add(1, std::memory_order_relaxed);
+        obs::metric::ProtocolRejectedTotal().Add(1);
         return result;  // drop; no ACK for a protocol-violating message
       }
     }
 
     // Sign and acknowledge before delivering to the application layer.
-    Bytes s_y = crypto::SignDigest(factory_->identity().keys.priv, digest);
+    Bytes s_y = Timed(obs::metric::SignNs(), [&] {
+      return crypto::SignDigest(factory_->identity().keys.priv, digest);
+    });
 
     AckMessage ack;
     ack.seq = msg.header.seq;
@@ -285,6 +312,9 @@ class AdlpSubscriberLink final : public pubsub::SubscriberLinkProtocol {
     }
     ack.signature = s_y;
     result.reply = SerializeAckMessage(ack);
+    obs::metric::AckSentTotal().Add(1);
+    obs::TraceLog::Global().Record(obs::TraceKind::kAckSent, topic_,
+                                   msg.header.seq);
 
     LogEntry entry;
     entry.scheme = LogScheme::kAdlp;
@@ -326,9 +356,12 @@ AdlpFactory::~AdlpFactory() { FlushAggregated(); }
 
 pubsub::EncodedPublicationPtr AdlpFactory::Encode(pubsub::Message message) {
   // Hash + sign exactly once per publication (step 2 of the prototype).
-  const crypto::Digest digest =
-      pubsub::MessageDigest(message.header, message.payload);
-  Bytes signature = crypto::SignDigest(identity_->keys.priv, digest);
+  const crypto::Digest digest = Timed(obs::metric::HashNs(), [&] {
+    return pubsub::MessageDigest(message.header, message.payload);
+  });
+  Bytes signature = Timed(obs::metric::SignNs(), [&] {
+    return crypto::SignDigest(identity_->keys.priv, digest);
+  });
 
   auto encoded = std::make_shared<pubsub::EncodedPublication>();
   encoded->wire = SerializeDataMessage(message, signature);

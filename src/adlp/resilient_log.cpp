@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "adlp/remote_log.h"
+#include "obs/instrument.h"
 
 namespace adlp::proto {
 
@@ -30,6 +31,11 @@ ResilientLogSink::~ResilientLogSink() {
   cv_.notify_all();
   drain_cv_.notify_all();
   if (flusher_.joinable()) flusher_.join();
+  // Frames still spooled die with the sink; release them from the
+  // process-wide depth gauge so it tracks live sinks only.
+  if (!spool_.empty()) {
+    obs::metric::SinkSpoolDepth().Sub(static_cast<std::int64_t>(spool_.size()));
+  }
 }
 
 void ResilientLogSink::RegisterKey(const crypto::ComponentId& id,
@@ -77,10 +83,19 @@ void ResilientLogSink::PushFrame(Bytes frame) {
       // entries that truly never reached the logger.
       spool_.pop_front();
       ++stats_.entries_dropped;
+      obs::metric::SinkDroppedTotal().Add(1);
+      obs::metric::SinkSpoolDepth().Sub(1);
+      obs::TraceLog::Global().Record(obs::TraceKind::kSpoolDrop, "",
+                                     spool_.size());
     }
     spool_.push_back(std::move(frame));
     stats_.spool_high_water =
         std::max<std::uint64_t>(stats_.spool_high_water, spool_.size());
+    obs::metric::SinkSpooledTotal().Add(1);
+    obs::metric::SinkSpoolDepth().Add(1);
+    obs::metric::SinkSpoolHighWater().SetMax(
+        static_cast<std::int64_t>(spool_.size()));
+    obs::TraceLog::Global().Record(obs::TraceKind::kSpool, "", spool_.size());
   }
   cv_.notify_one();
 }
@@ -116,6 +131,9 @@ void ResilientLogSink::FlusherLoop() {
       }
       if (fresh == nullptr) {
         ++stats_.connect_failures;
+        obs::metric::SinkConnectFailTotal().Add(1);
+        obs::TraceLog::Global().Record(obs::TraceKind::kConnectFail, "",
+                                       failures);
         const std::int64_t delay_ms =
             options_.backoff.DelayMs(failures, backoff_rng_);
         if (failures < 63) ++failures;
@@ -127,7 +145,12 @@ void ResilientLogSink::FlusherLoop() {
       channel_ = fresh;
       ++connects_;
       const bool is_reconnect = connects_ > 1;
-      if (is_reconnect) ++stats_.reconnects;
+      if (is_reconnect) {
+        ++stats_.reconnects;
+        obs::metric::SinkReconnectTotal().Add(1);
+        obs::TraceLog::Global().Record(obs::TraceKind::kReconnect, "",
+                                       connects_);
+      }
       lock.unlock();
       // Keys need re-registration only on REconnects: the first connection
       // gets them from the spool in their original order. (Re-sending them
@@ -156,6 +179,10 @@ void ResilientLogSink::FlusherLoop() {
       in_flight_ = false;
       if (sent) {
         ++stats_.entries_sent;
+        obs::metric::SinkSentTotal().Add(1);
+        obs::metric::SinkSpoolDepth().Sub(1);
+        obs::TraceLog::Global().Record(obs::TraceKind::kFlush, "",
+                                       spool_.size());
         if (spool_.empty()) drain_cv_.notify_all();
       } else {
         // Order-preserving retry: the failed frame goes back to the front

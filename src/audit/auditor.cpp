@@ -4,8 +4,10 @@
 #include <optional>
 
 #include "audit/merge.h"
+#include "common/clock.h"
 #include "common/thread_pool.h"
 #include "crypto/sig.h"
+#include "obs/instrument.h"
 #include "pubsub/message.h"
 
 namespace adlp::audit {
@@ -96,6 +98,7 @@ AuditReport Auditor::Audit(const LogDatabase& db) const {
 
 AuditReport Auditor::Audit(const LogDatabase& db,
                            const AuditOptions& exec) const {
+  const Timestamp wall_start = MonotonicNowNs();
   // Pairs in the database's deterministic iteration order; verdict slot i
   // belongs to pair i. A disabled slot (base-scheme pair with
   // include_base_scheme off) stays nullopt and is skipped by the merge, so
@@ -105,10 +108,15 @@ AuditReport Auditor::Audit(const LogDatabase& db,
   for (const auto& kv : db.Pairs()) pairs.push_back(&kv);
   std::vector<std::optional<PairVerdict>> verdicts(pairs.size());
 
+  obs::metric::AuditRunsTotal().Add(1);
+  obs::metric::AuditPairsTotal().Add(pairs.size());
+
   crypto::VerifyCache cache_storage;
   crypto::VerifyCache* cache = exec.verify_cache != nullptr
                                    ? exec.verify_cache
                                    : (exec.cache ? &cache_storage : nullptr);
+  const std::size_t cache_lookups_before = cache ? cache->Lookups() : 0;
+  const std::size_t cache_hits_before = cache ? cache->Hits() : 0;
 
   auto evaluate = [&](std::size_t i) {
     const auto& [key, evidence] = *pairs[i];
@@ -138,7 +146,14 @@ AuditReport Auditor::Audit(const LogDatabase& db,
     }
     for (const PairShard& shard : shards) {
       pool->Submit([&evaluate, &shard] {
+        obs::TraceLog::Global().Record(obs::TraceKind::kAuditShardStart, "",
+                                       shard.pair_indices.size());
+        const Timestamp shard_start = MonotonicNowNs();
         for (const std::size_t i : shard.pair_indices) evaluate(i);
+        obs::metric::AuditShardNs().Record(
+            static_cast<std::uint64_t>(MonotonicNowNs() - shard_start));
+        obs::TraceLog::Global().Record(obs::TraceKind::kAuditShardFinish, "",
+                                       shard.pair_indices.size());
       });
     }
     pool->Wait();
@@ -149,6 +164,14 @@ AuditReport Auditor::Audit(const LogDatabase& db,
     if (!verdicts[i]) continue;
     MergeVerdict(report, std::move(*verdicts[i]), pairs[i]->second);
   }
+  if (cache != nullptr) {
+    obs::metric::VerifyCacheLookupsTotal().Add(cache->Lookups() -
+                                               cache_lookups_before);
+    obs::metric::VerifyCacheHitsTotal().Add(cache->Hits() -
+                                            cache_hits_before);
+  }
+  obs::metric::AuditWallNs().Record(
+      static_cast<std::uint64_t>(MonotonicNowNs() - wall_start));
   return report;
 }
 

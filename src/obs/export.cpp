@@ -1,0 +1,231 @@
+#include "obs/export.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace adlp::obs {
+
+namespace {
+
+/// JSON string escaping (control characters, quote, backslash).
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void AppendJsonLabels(std::string& out, const Labels& labels) {
+  // Sequential appends (not operator+ chains): GCC 12's -Wrestrict misfires
+  // on `const char* + std::string&&`, and CI builds with -Werror.
+  out += "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"";
+    out += JsonEscape(key);
+    out += "\": \"";
+    out += JsonEscape(value);
+    out += "\"";
+  }
+  out += "}";
+}
+
+/// `name{k="v",...}` — the label part is empty when there are no labels.
+std::string PromSeries(const std::string& name, const Labels& labels,
+                       const std::string& extra_label = {}) {
+  std::string out = name;
+  if (labels.empty() && extra_label.empty()) return out;
+  out += "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += key + "=\"" + EscapeLabelValue(value) + "\"";
+  }
+  if (!extra_label.empty()) {
+    if (!first) out += ",";
+    out += extra_label;
+  }
+  out += "}";
+  return out;
+}
+
+/// Emits `# HELP` / `# TYPE` the first time a family name is seen.
+void PromHeader(std::string& out, std::string& last_name,
+                const std::string& name, const std::string& help,
+                const char* type) {
+  if (name == last_name) return;
+  last_name = name;
+  if (!help.empty()) {
+    out += "# HELP ";
+    out += name;
+    out += " ";
+    out += help;
+    out += "\n";
+  }
+  out += "# TYPE ";
+  out += name;
+  out += " ";
+  out += type;
+  out += "\n";
+}
+
+}  // namespace
+
+std::string EscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string ToJson(const MetricsSnapshot& snapshot, const TraceLog* trace) {
+  std::string out = "{\n  \"counters\": [\n";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    const auto& c = snapshot.counters[i];
+    out += "    {\"name\": \"";
+    out += JsonEscape(c.name);
+    out += "\", \"labels\": ";
+    AppendJsonLabels(out, c.labels);
+    out += ", \"value\": ";
+    out += std::to_string(c.value);
+    out += "}";
+    out += i + 1 < snapshot.counters.size() ? ",\n" : "\n";
+  }
+  out += "  ],\n  \"gauges\": [\n";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    const auto& g = snapshot.gauges[i];
+    out += "    {\"name\": \"";
+    out += JsonEscape(g.name);
+    out += "\", \"labels\": ";
+    AppendJsonLabels(out, g.labels);
+    out += ", \"value\": ";
+    out += std::to_string(g.value);
+    out += "}";
+    out += i + 1 < snapshot.gauges.size() ? ",\n" : "\n";
+  }
+  out += "  ],\n  \"histograms\": [\n";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const auto& h = snapshot.histograms[i];
+    out += "    {\"name\": \"";
+    out += JsonEscape(h.name);
+    out += "\", \"labels\": ";
+    AppendJsonLabels(out, h.labels);
+    out += ", \"count\": ";
+    out += std::to_string(h.data.count);
+    out += ", \"sum\": ";
+    out += std::to_string(h.data.sum);
+    out += ", \"bounds\": [";
+    for (std::size_t b = 0; b < h.data.bounds.size(); ++b) {
+      if (b > 0) out += ", ";
+      out += std::to_string(h.data.bounds[b]);
+    }
+    out += "], \"counts\": [";
+    for (std::size_t b = 0; b < h.data.counts.size(); ++b) {
+      if (b > 0) out += ", ";
+      out += std::to_string(h.data.counts[b]);
+    }
+    out += "]}";
+    out += i + 1 < snapshot.histograms.size() ? ",\n" : "\n";
+  }
+  out += "  ]";
+  if (trace != nullptr) {
+    const std::vector<TraceEvent> events = trace->Snapshot();
+    out += ",\n  \"trace\": [\n";
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const TraceEvent& e = events[i];
+      out += "    {\"kind\": \"";
+      out += TraceKindName(e.kind);
+      out += "\", \"t_ns\": ";
+      out += std::to_string(e.t_ns);
+      out += ", \"value\": ";
+      out += std::to_string(e.value);
+      out += ", \"detail\": \"";
+      out += JsonEscape(e.Detail());
+      out += "\"}";
+      out += i + 1 < events.size() ? ",\n" : "\n";
+    }
+    out += "  ]";
+  }
+  out += "\n}\n";
+  return out;
+}
+
+std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  std::string last_name;
+  auto sample = [&out](std::string series, std::string value) {
+    out += series;
+    out += " ";
+    out += value;
+    out += "\n";
+  };
+  for (const auto& c : snapshot.counters) {
+    PromHeader(out, last_name, c.name, c.help, "counter");
+    sample(PromSeries(c.name, c.labels), std::to_string(c.value));
+  }
+  last_name.clear();
+  for (const auto& g : snapshot.gauges) {
+    PromHeader(out, last_name, g.name, g.help, "gauge");
+    sample(PromSeries(g.name, g.labels), std::to_string(g.value));
+  }
+  last_name.clear();
+  for (const auto& h : snapshot.histograms) {
+    PromHeader(out, last_name, h.name, h.help, "histogram");
+    // Exposition buckets are cumulative; ours are per-bucket. Fold forward.
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < h.data.bounds.size(); ++b) {
+      cumulative += h.data.counts[b];
+      std::string le = "le=\"";
+      le += std::to_string(h.data.bounds[b]);
+      le += "\"";
+      sample(PromSeries(h.name + "_bucket", h.labels, le),
+             std::to_string(cumulative));
+    }
+    sample(PromSeries(h.name + "_bucket", h.labels, "le=\"+Inf\""),
+           std::to_string(h.data.count));
+    sample(PromSeries(h.name + "_sum", h.labels), std::to_string(h.data.sum));
+    sample(PromSeries(h.name + "_count", h.labels),
+           std::to_string(h.data.count));
+  }
+  return out;
+}
+
+bool WriteMetricsFile(const std::string& path) {
+  const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  std::ofstream out(path);
+  if (!out) return false;
+  if (path.size() >= 5 && path.compare(path.size() - 5, 5, ".prom") == 0) {
+    out << ToPrometheusText(snapshot);
+  } else {
+    out << ToJson(snapshot, &TraceLog::Global());
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace adlp::obs

@@ -1,0 +1,33 @@
+// Snapshot exporters: JSON (for BENCH-style tooling and the --metrics-out
+// flags) and Prometheus text exposition format (for scraping).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace adlp::obs {
+
+/// Pretty-printed JSON document: {"counters": [...], "gauges": [...],
+/// "histograms": [...]} plus, when `trace` is non-null, a "trace" array of
+/// the buffered events.
+std::string ToJson(const MetricsSnapshot& snapshot,
+                   const TraceLog* trace = nullptr);
+
+/// Prometheus text exposition format (version 0.0.4): one `# HELP`/`# TYPE`
+/// pair per metric family, histograms as cumulative `_bucket{le=...}`
+/// series plus `_sum` and `_count`.
+std::string ToPrometheusText(const MetricsSnapshot& snapshot);
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline become \\, \", and \n. Exposed for tests.
+std::string EscapeLabelValue(std::string_view value);
+
+/// Renders the global registry (and trace) to `path`. A path ending in
+/// ".prom" gets Prometheus text, anything else JSON. Returns false if the
+/// file cannot be written.
+bool WriteMetricsFile(const std::string& path);
+
+}  // namespace adlp::obs

@@ -1,0 +1,230 @@
+// Catalog of the process-wide metric handles the runtime records into.
+//
+// Each accessor resolves its handle in the global registry exactly once
+// (function-local static reference) and returns it by reference, so an
+// instrument site pays the registry lookup on first use and a bare atomic
+// op afterwards. Keeping every name, label set, and help string here makes
+// the full metric surface greppable in one file.
+#pragma once
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace adlp::obs::metric {
+
+// --- pubsub -----------------------------------------------------------------
+
+inline Counter& PublishTotal() {
+  static Counter& c = MetricsRegistry::Global().GetCounter(
+      "adlp_publish_total", {}, "Publications encoded and fanned out");
+  return c;
+}
+
+inline Histogram& PublishEncodeNs() {
+  static Histogram& h = MetricsRegistry::Global().GetHistogram(
+      "adlp_publish_encode_ns", {}, {},
+      "Per-publication encode wall time (hash + sign + serialize)");
+  return h;
+}
+
+inline Counter& DeliverTotal() {
+  static Counter& c = MetricsRegistry::Global().GetCounter(
+      "adlp_deliver_total", {}, "Messages delivered to application callbacks");
+  return c;
+}
+
+inline Histogram& DeliverNs() {
+  static Histogram& h = MetricsRegistry::Global().GetHistogram(
+      "adlp_deliver_ns", {}, {},
+      "Subscriber-side handling wall time (decode + verify + sign + ack)");
+  return h;
+}
+
+inline Counter& PublishQueueDropTotal() {
+  static Counter& c = MetricsRegistry::Global().GetCounter(
+      "adlp_publish_queue_drop_total", {},
+      "Publications dropped by full per-link send queues");
+  return c;
+}
+
+// --- protocol crypto + acknowledgements -------------------------------------
+
+inline Histogram& SignNs() {
+  static Histogram& h = MetricsRegistry::Global().GetHistogram(
+      "adlp_sign_ns", {}, {}, "Signature computation wall time");
+  return h;
+}
+
+inline Histogram& VerifyNs() {
+  static Histogram& h = MetricsRegistry::Global().GetHistogram(
+      "adlp_verify_ns", {}, {},
+      "Inline (strict-mode) signature verification wall time");
+  return h;
+}
+
+inline Histogram& HashNs() {
+  static Histogram& h = MetricsRegistry::Global().GetHistogram(
+      "adlp_hash_ns", {}, {}, "Payload/message digest wall time");
+  return h;
+}
+
+inline Counter& AckSentTotal() {
+  static Counter& c = MetricsRegistry::Global().GetCounter(
+      "adlp_ack_sent_total", {}, "Acknowledgements signed and returned");
+  return c;
+}
+
+inline Counter& AckReceivedTotal() {
+  static Counter& c = MetricsRegistry::Global().GetCounter(
+      "adlp_ack_received_total", {},
+      "Acknowledgements matched to in-flight publications");
+  return c;
+}
+
+inline Histogram& AckRttNs() {
+  static Histogram& h = MetricsRegistry::Global().GetHistogram(
+      "adlp_ack_rtt_ns", {}, {},
+      "Publication send to acknowledgement receipt round trip");
+  return h;
+}
+
+inline Gauge& PendingAcks() {
+  static Gauge& g = MetricsRegistry::Global().GetGauge(
+      "adlp_pending_acks", {},
+      "Publications sent and awaiting acknowledgement, all links");
+  return g;
+}
+
+inline Counter& ProtocolRejectedTotal() {
+  static Counter& c = MetricsRegistry::Global().GetCounter(
+      "adlp_protocol_rejected_total", {},
+      "Inbound frames dropped by strict-mode verification or parse failure");
+  return c;
+}
+
+// --- logging pipeline -------------------------------------------------------
+
+inline Counter& LogEnteredTotal() {
+  static Counter& c = MetricsRegistry::Global().GetCounter(
+      "adlp_log_entered_total", {}, "Log entries entered into node queues");
+  return c;
+}
+
+inline Gauge& LogQueueDepth() {
+  static Gauge& g = MetricsRegistry::Global().GetGauge(
+      "adlp_log_queue_depth", {},
+      "Entries waiting in per-node logging queues");
+  return g;
+}
+
+inline Counter& SinkSpooledTotal() {
+  static Counter& c = MetricsRegistry::Global().GetCounter(
+      "adlp_sink_spooled_total", {},
+      "Frames admitted to resilient-sink spools");
+  return c;
+}
+
+inline Gauge& SinkSpoolDepth() {
+  static Gauge& g = MetricsRegistry::Global().GetGauge(
+      "adlp_sink_spool_depth", {},
+      "Frames currently spooled across all resilient sinks");
+  return g;
+}
+
+inline Gauge& SinkSpoolHighWater() {
+  static Gauge& g = MetricsRegistry::Global().GetGauge(
+      "adlp_sink_spool_high_water", {},
+      "Maximum spool depth observed by any resilient sink");
+  return g;
+}
+
+inline Counter& SinkSentTotal() {
+  static Counter& c = MetricsRegistry::Global().GetCounter(
+      "adlp_sink_sent_total", {},
+      "Frames successfully handed to the logger transport");
+  return c;
+}
+
+inline Counter& SinkDroppedTotal() {
+  static Counter& c = MetricsRegistry::Global().GetCounter(
+      "adlp_sink_dropped_total", {},
+      "Frames evicted by the oldest-drop spool overflow policy");
+  return c;
+}
+
+inline Counter& SinkReconnectTotal() {
+  static Counter& c = MetricsRegistry::Global().GetCounter(
+      "adlp_sink_reconnect_total", {},
+      "Logger connections re-established after a failure");
+  return c;
+}
+
+inline Counter& SinkConnectFailTotal() {
+  static Counter& c = MetricsRegistry::Global().GetCounter(
+      "adlp_sink_connect_fail_total", {}, "Failed logger connection attempts");
+  return c;
+}
+
+// --- transport --------------------------------------------------------------
+
+inline Counter& TransportBytes(const char* kind, const char* dir) {
+  return MetricsRegistry::Global().GetCounter(
+      "adlp_transport_bytes_total", {{"kind", kind}, {"dir", dir}},
+      "Payload bytes moved through transport channels");
+}
+
+inline Counter& TransportFrames(const char* kind, const char* dir) {
+  return MetricsRegistry::Global().GetCounter(
+      "adlp_transport_frames_total", {{"kind", kind}, {"dir", dir}},
+      "Frames moved through transport channels");
+}
+
+inline Counter& FaultInjectedTotal(const char* fault) {
+  return MetricsRegistry::Global().GetCounter(
+      "adlp_fault_injected_total", {{"fault", fault}},
+      "Faults injected by FaultInjectingChannel decorators");
+}
+
+// --- audit ------------------------------------------------------------------
+
+inline Counter& AuditRunsTotal() {
+  static Counter& c = MetricsRegistry::Global().GetCounter(
+      "adlp_audit_runs_total", {}, "Audit pipeline invocations");
+  return c;
+}
+
+inline Counter& AuditPairsTotal() {
+  static Counter& c = MetricsRegistry::Global().GetCounter(
+      "adlp_audit_pairs_total", {},
+      "Transmission pairs evaluated by the auditor");
+  return c;
+}
+
+inline Histogram& AuditShardNs() {
+  static Histogram& h = MetricsRegistry::Global().GetHistogram(
+      "adlp_audit_shard_ns", {}, {},
+      "Per-shard wall time in the parallel audit path");
+  return h;
+}
+
+inline Histogram& AuditWallNs() {
+  static Histogram& h = MetricsRegistry::Global().GetHistogram(
+      "adlp_audit_wall_ns", {}, {}, "End-to-end audit wall time");
+  return h;
+}
+
+inline Counter& VerifyCacheLookupsTotal() {
+  static Counter& c = MetricsRegistry::Global().GetCounter(
+      "adlp_verify_cache_lookups_total", {},
+      "Signature verifications answered via the memo cache (lookups)");
+  return c;
+}
+
+inline Counter& VerifyCacheHitsTotal() {
+  static Counter& c = MetricsRegistry::Global().GetCounter(
+      "adlp_verify_cache_hits_total", {},
+      "Signature verifications answered via the memo cache (hits)");
+  return c;
+}
+
+}  // namespace adlp::obs::metric

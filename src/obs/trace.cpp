@@ -1,0 +1,75 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace adlp::obs {
+
+std::string_view TraceKindName(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kPublish: return "publish";
+    case TraceKind::kDeliver: return "deliver";
+    case TraceKind::kAckSent: return "ack-sent";
+    case TraceKind::kAckReceived: return "ack-received";
+    case TraceKind::kLogEnter: return "log-enter";
+    case TraceKind::kSpool: return "spool";
+    case TraceKind::kSpoolDrop: return "spool-drop";
+    case TraceKind::kFlush: return "flush";
+    case TraceKind::kReconnect: return "reconnect";
+    case TraceKind::kConnectFail: return "connect-fail";
+    case TraceKind::kFaultInjected: return "fault-injected";
+    case TraceKind::kAuditShardStart: return "audit-shard-start";
+    case TraceKind::kAuditShardFinish: return "audit-shard-finish";
+  }
+  return "unknown";
+}
+
+TraceLog::TraceLog(std::size_t capacity)
+    : ring_(capacity == 0 ? 1 : capacity) {}
+
+TraceLog& TraceLog::Global() {
+  static TraceLog* instance = new TraceLog();  // never destroyed
+  return *instance;
+}
+
+void TraceLog::Record(TraceKind kind, std::string_view detail,
+                      std::uint64_t value) {
+  TraceEvent event;
+  event.kind = kind;
+  event.t_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   std::chrono::steady_clock::now().time_since_epoch())
+                   .count();
+  event.value = value;
+  const std::size_t n =
+      std::min(detail.size(), TraceEvent::kDetailCapacity);
+  std::copy_n(detail.begin(), n, event.detail.begin());
+  event.detail[n] = '\0';
+
+  std::lock_guard lock(mu_);
+  ring_[next_ % ring_.size()] = event;
+  ++next_;
+}
+
+std::vector<TraceEvent> TraceLog::Snapshot() const {
+  std::lock_guard lock(mu_);
+  std::vector<TraceEvent> events;
+  const std::size_t held = std::min<std::uint64_t>(next_, ring_.size());
+  events.reserve(held);
+  const std::uint64_t first = next_ - held;
+  for (std::uint64_t i = first; i < next_; ++i) {
+    events.push_back(ring_[i % ring_.size()]);
+  }
+  return events;
+}
+
+std::uint64_t TraceLog::RecordedCount() const {
+  std::lock_guard lock(mu_);
+  return next_;
+}
+
+void TraceLog::Reset() {
+  std::lock_guard lock(mu_);
+  next_ = 0;
+}
+
+}  // namespace adlp::obs

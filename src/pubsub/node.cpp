@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/instrument.h"
 #include "pubsub/handshake.h"
 #include "wire/wire.h"
 
@@ -30,10 +31,44 @@ struct Publisher::Link {
     done.store(true, std::memory_order_release);
   }
 
+  /// In-flight publications with pending-ACK accounting that survives early
+  /// exits: the destructor releases whatever is still outstanding so the
+  /// process-wide gauge never drifts when a link dies mid-conversation.
+  struct InFlightQueue {
+    struct Item {
+      EncodedPublicationPtr pub;
+      Timestamp sent_ns;
+    };
+    std::deque<Item> items;
+
+    ~InFlightQueue() {
+      if (!items.empty()) {
+        obs::metric::PendingAcks().Sub(
+            static_cast<std::int64_t>(items.size()));
+      }
+    }
+
+    void PushSent(EncodedPublicationPtr pub) {
+      items.push_back({std::move(pub), MonotonicNowNs()});
+      obs::metric::PendingAcks().Add(1);
+    }
+
+    void PopAcked() {
+      obs::metric::AckReceivedTotal().Add(1);
+      obs::metric::AckRttNs().Record(
+          static_cast<std::uint64_t>(MonotonicNowNs() - items.front().sent_ns));
+      obs::TraceLog::Global().Record(obs::TraceKind::kAckReceived,
+                                     items.front().pub->message.header.topic,
+                                     items.front().pub->message.header.seq);
+      items.pop_front();
+      obs::metric::PendingAcks().Sub(1);
+    }
+  };
+
   void RunLoop(ThreadCpuTracker& cpu) {
     // Messages sent but not yet acknowledged, oldest first. ACKs arrive in
     // order on the FIFO channel, so the front is always the one being acked.
-    std::deque<EncodedPublicationPtr> in_flight;
+    InFlightQueue in_flight;
     while (auto pub = queue.Pop()) {
       if (!channel->Send((*pub)->wire)) return;
       proto->OnSent(**pub);
@@ -41,24 +76,24 @@ struct Publisher::Link {
         cpu.Tick();
         continue;
       }
-      in_flight.push_back(std::move(*pub));
+      in_flight.PushSent(std::move(*pub));
       // ACK gating: with window W, block after W outstanding messages. The
       // paper's scheme is W = 1 — publication seq+1 waits for the ACK of seq.
-      while (in_flight.size() >= ack_window) {
+      while (in_flight.items.size() >= ack_window) {
         cpu.Tick();  // don't bill the blocking wait below
         auto ack = channel->Receive();
         if (!ack) return;
-        proto->OnAck(*in_flight.front(), *ack);
-        in_flight.pop_front();
+        proto->OnAck(*in_flight.items.front().pub, *ack);
+        in_flight.PopAcked();
       }
       cpu.Tick();
     }
     // Queue closed: drain ACKs still owed for in-flight messages.
-    while (!in_flight.empty()) {
+    while (!in_flight.items.empty()) {
       auto ack = channel->Receive();
       if (!ack) return;
-      proto->OnAck(*in_flight.front(), *ack);
-      in_flight.pop_front();
+      proto->OnAck(*in_flight.items.front().pub, *ack);
+      in_flight.PopAcked();
     }
   }
 
@@ -97,14 +132,20 @@ std::uint64_t Publisher::Publish(Bytes payload) {
   // Hash/signature computed once per publication, shared by all links. The
   // encode cost runs on the caller's thread; attribute it to this node.
   const Timestamp encode_start = ThreadCpuNowNs();
+  const Timestamp encode_wall_start = MonotonicNowNs();
   EncodedPublicationPtr encoded = node_->protocol().Encode(std::move(msg));
+  obs::metric::PublishEncodeNs().Record(
+      static_cast<std::uint64_t>(MonotonicNowNs() - encode_wall_start));
   node_->cpu_ns_.fetch_add(ThreadCpuNowNs() - encode_start,
                            std::memory_order_relaxed);
+  obs::metric::PublishTotal().Add(1);
+  obs::TraceLog::Global().Record(obs::TraceKind::kPublish, topic_, seq);
 
   std::lock_guard lock(links_mu_);
   for (auto& link : links_) {
     if (link->queue.Size() >= link->max_queue) {
       link->dropped.fetch_add(1, std::memory_order_relaxed);
+      obs::metric::PublishQueueDropTotal().Add(1);
       continue;
     }
     link->queue.Push(encoded);
@@ -174,11 +215,19 @@ struct Node::Subscription {
   void Run() {
     ThreadCpuTracker cpu(cpu_acc);
     while (auto bytes = channel->Receive()) {
+      const Timestamp handle_start = MonotonicNowNs();
       auto result = proto->OnMessage(*bytes);
       // The ACK is returned before delivery to the application layer
       // (step 4 of the prototype: signing happens mid-deserialization).
       if (result.reply && !channel->Send(*result.reply)) return;
-      if (result.deliver) callback(*result.deliver);
+      obs::metric::DeliverNs().Record(
+          static_cast<std::uint64_t>(MonotonicNowNs() - handle_start));
+      if (result.deliver) {
+        obs::metric::DeliverTotal().Add(1);
+        obs::TraceLog::Global().Record(obs::TraceKind::kDeliver, topic,
+                                       result.deliver->header.seq);
+        callback(*result.deliver);
+      }
       cpu.Tick();
     }
   }

@@ -3,7 +3,29 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/instrument.h"
+
 namespace adlp::transport {
+
+namespace {
+
+struct FaultMetrics {
+  obs::Counter& dropped = obs::metric::FaultInjectedTotal("drop");
+  obs::Counter& duplicated = obs::metric::FaultInjectedTotal("duplicate");
+  obs::Counter& corrupted = obs::metric::FaultInjectedTotal("corrupt");
+  obs::Counter& disconnected = obs::metric::FaultInjectedTotal("disconnect");
+
+  static FaultMetrics& Get() {
+    static FaultMetrics m;
+    return m;
+  }
+};
+
+void TraceFault(const char* fault, std::uint64_t value) {
+  obs::TraceLog::Global().Record(obs::TraceKind::kFaultInjected, fault, value);
+}
+
+}  // namespace
 
 bool FaultInjectingChannel::Send(BytesView payload) {
   Bytes frame;
@@ -15,12 +37,16 @@ bool FaultInjectingChannel::Send(BytesView payload) {
         stats_.forwarded >= plan_.disconnect_after_frames) {
       if (!stats_.disconnected) {
         stats_.disconnected = true;
+        FaultMetrics::Get().disconnected.Add(1);
+        TraceFault("disconnect", stats_.forwarded);
         inner_->Close();
       }
       return false;
     }
     if (plan_.drop_prob > 0 && rng_.Chance(plan_.drop_prob)) {
       ++stats_.dropped;
+      FaultMetrics::Get().dropped.Add(1);
+      TraceFault("drop", payload.size());
       return true;  // silent loss: the sender cannot tell
     }
     frame.assign(payload.begin(), payload.end());
@@ -28,6 +54,8 @@ bool FaultInjectingChannel::Send(BytesView payload) {
         rng_.Chance(plan_.corrupt_prob)) {
       frame[rng_.UniformBelow(frame.size())] ^= 0x01;
       ++stats_.corrupted;
+      FaultMetrics::Get().corrupted.Add(1);
+      TraceFault("corrupt", frame.size());
     }
     if (plan_.delay_ns_max > 0) {
       delay_ns = static_cast<std::int64_t>(
@@ -43,7 +71,11 @@ bool FaultInjectingChannel::Send(BytesView payload) {
   {
     std::lock_guard lock(mu_);
     ++stats_.forwarded;
-    if (duplicate) ++stats_.duplicated;
+    if (duplicate) {
+      ++stats_.duplicated;
+      FaultMetrics::Get().duplicated.Add(1);
+      TraceFault("duplicate", frame.size());
+    }
   }
   if (duplicate) (void)inner_->Send(frame);
   return true;

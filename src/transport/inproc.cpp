@@ -2,9 +2,23 @@
 
 #include <thread>
 
+#include "obs/instrument.h"
+
 namespace adlp::transport {
 
 namespace {
+
+struct InProcMetrics {
+  obs::Counter& tx_bytes = obs::metric::TransportBytes("inproc", "tx");
+  obs::Counter& rx_bytes = obs::metric::TransportBytes("inproc", "rx");
+  obs::Counter& tx_frames = obs::metric::TransportFrames("inproc", "tx");
+  obs::Counter& rx_frames = obs::metric::TransportFrames("inproc", "rx");
+
+  static InProcMetrics& Get() {
+    static InProcMetrics m;
+    return m;
+  }
+};
 
 struct TimedMessage {
   Timestamp due_ns;
@@ -37,7 +51,11 @@ class InProcEndpoint final : public Channel {
     const std::int64_t delay = state_->model.TransferDelayNs(payload.size());
     TimedMessage msg{MonotonicNowNs() + delay,
                      Bytes(payload.begin(), payload.end())};
-    return tx_->Push(std::move(msg));
+    const std::size_t size = payload.size();
+    if (!tx_->Push(std::move(msg))) return false;
+    InProcMetrics::Get().tx_frames.Add(1);
+    InProcMetrics::Get().tx_bytes.Add(size);
+    return true;
   }
 
   std::optional<Bytes> Receive() override {
@@ -47,6 +65,8 @@ class InProcEndpoint final : public Channel {
     if (msg->due_ns > now) {
       std::this_thread::sleep_for(std::chrono::nanoseconds(msg->due_ns - now));
     }
+    InProcMetrics::Get().rx_frames.Add(1);
+    InProcMetrics::Get().rx_bytes.Add(msg->payload.size());
     return std::move(msg->payload);
   }
 

@@ -18,11 +18,24 @@
 #include <system_error>
 #include <thread>
 
+#include "obs/instrument.h"
 #include "wire/wire.h"
 
 namespace adlp::transport {
 
 namespace {
+
+struct TcpMetrics {
+  obs::Counter& tx_bytes = obs::metric::TransportBytes("tcp", "tx");
+  obs::Counter& rx_bytes = obs::metric::TransportBytes("tcp", "rx");
+  obs::Counter& tx_frames = obs::metric::TransportFrames("tcp", "tx");
+  obs::Counter& rx_frames = obs::metric::TransportFrames("tcp", "rx");
+
+  static TcpMetrics& Get() {
+    static TcpMetrics m;
+    return m;
+  }
+};
 
 [[noreturn]] void ThrowErrno(const char* what) {
   throw std::system_error(errno, std::generic_category(), what);
@@ -72,6 +85,8 @@ class TcpChannel final : public Channel {
       Close();
       return false;
     }
+    TcpMetrics::Get().tx_frames.Add(1);
+    TcpMetrics::Get().tx_bytes.Add(frame.size());
     return true;
   }
 
@@ -88,6 +103,8 @@ class TcpChannel final : public Channel {
     }
     Bytes payload(len);
     if (len > 0 && !ReadFully(payload.data(), len)) return std::nullopt;
+    TcpMetrics::Get().rx_frames.Add(1);
+    TcpMetrics::Get().rx_bytes.Add(sizeof(preamble) + payload.size());
     return payload;
   }
 

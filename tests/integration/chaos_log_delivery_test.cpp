@@ -13,6 +13,8 @@
 #include "adlp/remote_log.h"
 #include "adlp/resilient_log.h"
 #include "audit/auditor.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "test_util.h"
 #include "transport/fault_inject.h"
 
@@ -133,7 +135,32 @@ RunOutcome RunFleet(bool chaos) {
   return outcome;
 }
 
+/// Sum of a counter family across all label sets in a registry snapshot.
+std::uint64_t CounterTotal(const obs::MetricsSnapshot& snap,
+                           std::string_view name) {
+  std::uint64_t total = 0;
+  for (const auto& c : snap.counters) {
+    if (c.name == name) total += c.value;
+  }
+  return total;
+}
+
+/// Total sample count of a histogram family across all label sets.
+std::uint64_t HistogramSamples(const obs::MetricsSnapshot& snap,
+                               std::string_view name) {
+  std::uint64_t total = 0;
+  for (const auto& h : snap.histograms) {
+    if (h.name == name) total += h.data.count;
+  }
+  return total;
+}
+
 TEST(ChaosLogDeliveryTest, VerdictsMatchUninterruptedBaseline) {
+  // Isolate this test's metrics so the observability assertions below see
+  // only what these two fleets recorded.
+  obs::MetricsRegistry::Global().Reset();
+  obs::TraceLog::Global().Reset();
+
   const RunOutcome baseline = RunFleet(/*chaos=*/false);
   const RunOutcome chaos = RunFleet(/*chaos=*/true);
 
@@ -165,6 +192,30 @@ TEST(ChaosLogDeliveryTest, VerdictsMatchUninterruptedBaseline) {
   // Baseline never reconnects.
   EXPECT_EQ(baseline.pub_stats.reconnects, 0u);
   EXPECT_EQ(baseline.sub_stats.reconnects, 0u);
+
+  // The observability layer watched all of it: the process-wide registry
+  // holds nonzero publish, sign, ack, reconnect, and spool activity for the
+  // two fleets above (2 runs x kTotalMessages publications).
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(CounterTotal(snap, "adlp_publish_total"), 2u * kTotalMessages);
+  EXPECT_GE(HistogramSamples(snap, "adlp_sign_ns"), 2u * kTotalMessages);
+  EXPECT_EQ(CounterTotal(snap, "adlp_ack_sent_total"), 2u * kTotalMessages);
+  EXPECT_EQ(CounterTotal(snap, "adlp_ack_received_total"),
+            2u * kTotalMessages);
+  EXPECT_GE(CounterTotal(snap, "adlp_sink_reconnect_total"), 2u);
+  EXPECT_GT(CounterTotal(snap, "adlp_sink_spooled_total"), 0u);
+  EXPECT_GT(CounterTotal(snap, "adlp_sink_sent_total"), 0u);
+  EXPECT_GE(CounterTotal(snap, "adlp_fault_injected_total"), 2u);
+  // Everything that entered a spool was eventually flushed or accounted:
+  // the depth gauges must read zero after both fleets shut down.
+  for (const auto& g : snap.gauges) {
+    if (g.name == "adlp_sink_spool_depth" || g.name == "adlp_pending_acks" ||
+        g.name == "adlp_log_queue_depth") {
+      EXPECT_EQ(g.value, 0) << g.name;
+    }
+  }
+  // And the trace ring saw the protocol sequence unfold.
+  EXPECT_GT(obs::TraceLog::Global().RecordedCount(), 0u);
 }
 
 }  // namespace

@@ -1,7 +1,7 @@
 // adlp_audit — command-line auditor for exported evidence.
 //
 //   adlp_audit <log-file> <manifest-file> [--json] [--verdicts]
-//              [--threads N] [--cache]
+//              [--threads N] [--cache] [--metrics-out FILE]
 //              [--trace <topic> <seq> <subscriber>]
 //
 // Loads a tamper-evident log file and a system manifest (see
@@ -23,6 +23,7 @@
 #include "audit/manifest.h"
 #include "audit/provenance.h"
 #include "audit/report_json.h"
+#include "obs/export.h"
 
 using namespace adlp;
 
@@ -31,7 +32,7 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: adlp_audit <log-file> <manifest-file> [--json] "
-               "[--verdicts] [--threads N] [--cache] "
+               "[--verdicts] [--threads N] [--cache] [--metrics-out FILE] "
                "[--trace <topic> <seq> <subscriber>]\n");
   return 3;
 }
@@ -45,6 +46,7 @@ int main(int argc, char** argv) {
   bool json = false;
   bool verdicts = false;
   bool trace = false;
+  std::string metrics_out;
   audit::AuditOptions exec;
   audit::PairKey trace_key;
   for (int i = 3; i < argc; ++i) {
@@ -57,6 +59,8 @@ int main(int argc, char** argv) {
       if (exec.threads == 0) return Usage();
     } else if (std::strcmp(argv[i], "--cache") == 0) {
       exec.cache = true;
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 3 < argc) {
       trace = true;
       trace_key.topic = argv[i + 1];
@@ -112,6 +116,15 @@ int main(int argc, char** argv) {
   if (trace) {
     audit::ProvenanceGraph graph(db);
     std::printf("\n%s", graph.RenderAncestry(trace_key).c_str());
+  }
+
+  // Dump whatever the audit recorded (shard timings, verify-cache hit
+  // rate, signature latencies). A `.prom` suffix selects Prometheus text;
+  // anything else gets JSON with the event trace appended.
+  if (!metrics_out.empty() && !obs::WriteMetricsFile(metrics_out)) {
+    std::fprintf(stderr, "adlp_audit: cannot write metrics to %s\n",
+                 metrics_out.c_str());
+    return 2;
   }
 
   return report.unfaithful.empty() ? 0 : 1;

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Schema check for the benchmark harness's JSON outputs.
+
+    check_bench_json.py FILE [FILE ...]
+
+Validates BENCH_audit.json (audit_bench) and BENCH_obs.json (obs_bench):
+the file must parse, carry every expected field with the expected type, and
+its self-reported pass flag (all_reports_identical / within_budget) must be
+true. The schema is recognised from the document's contents, not the file
+name, so renamed artifacts still validate.
+
+Exit status: 0 = all files valid; 1 = a check failed; 2 = usage error.
+"""
+
+import json
+import sys
+
+
+class SchemaError(Exception):
+    pass
+
+
+def require(doc, key, kind, where):
+    if key not in doc:
+        raise SchemaError(f"{where}: missing field '{key}'")
+    value = doc[key]
+    if not isinstance(value, kind):
+        expected = getattr(kind, "__name__", None) or "/".join(
+            k.__name__ for k in kind
+        )
+        raise SchemaError(
+            f"{where}: field '{key}' is {type(value).__name__}, "
+            f"expected {expected}"
+        )
+    return value
+
+
+def check_audit(doc, name):
+    config = require(doc, "config", dict, name)
+    for field in ("entries", "pairs", "shards", "links", "rsa_bits", "reps"):
+        require(config, field, int, f"{name}.config")
+
+    results = require(doc, "results", list, name)
+    if not results:
+        raise SchemaError(f"{name}: empty results array")
+    for i, result in enumerate(results):
+        where = f"{name}.results[{i}]"
+        require(result, "threads", int, where)
+        require(result, "cache", bool, where)
+        for field in ("ms_mean", "entries_per_sec", "speedup_vs_serial"):
+            value = require(result, field, (int, float), where)
+            if value <= 0:
+                raise SchemaError(f"{where}: '{field}' must be positive, got {value}")
+        require(result, "cache_lookups", int, where)
+        require(result, "cache_hits", int, where)
+        if not require(result, "report_identical", bool, where):
+            raise SchemaError(f"{where}: parallel report diverged from serial")
+
+    if not require(doc, "all_reports_identical", bool, name):
+        raise SchemaError(f"{name}: all_reports_identical is false")
+
+
+def check_obs(doc, name):
+    config = require(doc, "config", dict, name)
+    for field in ("iters", "threads", "max_ns", "histogram_buckets"):
+        require(config, field, int, f"{name}.config")
+
+    results = require(doc, "results", list, name)
+    expected = {
+        "counter_add",
+        "gauge_add",
+        "histogram_record",
+        "trace_record",
+        "counter_add_contended",
+    }
+    seen = set()
+    for i, result in enumerate(results):
+        where = f"{name}.results[{i}]"
+        primitive = require(result, "name", str, where)
+        seen.add(primitive)
+        ns = require(result, "ns_per_record", (int, float), where)
+        gated = require(result, "gated", bool, where)
+        if ns <= 0:
+            raise SchemaError(f"{where}: ns_per_record must be positive, got {ns}")
+        if gated and ns >= config["max_ns"]:
+            raise SchemaError(
+                f"{where}: gated primitive '{primitive}' at {ns} ns exceeds "
+                f"the {config['max_ns']} ns budget"
+            )
+    missing = expected - seen
+    if missing:
+        raise SchemaError(f"{name}: missing primitives {sorted(missing)}")
+
+    if not require(doc, "within_budget", bool, name):
+        raise SchemaError(f"{name}: within_budget is false")
+
+
+def check_file(path):
+    with open(path, encoding="utf-8") as handle:
+        doc = json.load(handle)
+    if not isinstance(doc, dict):
+        raise SchemaError(f"{path}: top level is not an object")
+    if "all_reports_identical" in doc:
+        check_audit(doc, path)
+        kind = "audit_bench"
+    elif "within_budget" in doc:
+        check_obs(doc, path)
+        kind = "obs_bench"
+    else:
+        raise SchemaError(f"{path}: unrecognised bench output")
+    print(f"{path}: ok ({kind}, {len(doc['results'])} results)")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        try:
+            check_file(path)
+        except (OSError, json.JSONDecodeError, SchemaError) as err:
+            print(f"FAIL {err}", file=sys.stderr)
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
