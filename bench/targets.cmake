@@ -27,3 +27,4 @@ adlp_bench(bench_ablation_ack_window)
 adlp_bench(bench_ablation_lightweight_crypto)
 adlp_bench(audit_bench)
 adlp_bench(obs_bench)
+adlp_bench(scale_bench)

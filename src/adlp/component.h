@@ -46,6 +46,10 @@ struct ComponentOptions {
   const Clock* clock = &WallClock::Instance();
   pubsub::TransportKind transport = pubsub::TransportKind::kInProc;
   transport::LinkModel link_model;
+  /// TCP threading model (see NodeOptions::mode): kReactor multiplexes this
+  /// component's subscriber links and accept path on the shared epoll
+  /// reactor instead of dedicating a thread per connection.
+  transport::TransportMode mode = transport::TransportMode::kThreadPerConn;
   std::size_t ack_window = 1;
   std::size_t max_queue = std::numeric_limits<std::size_t>::max();
 

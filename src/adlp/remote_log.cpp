@@ -1,6 +1,7 @@
 #include "adlp/remote_log.h"
 
 #include "crypto/bigint.h"
+#include "transport/reactor.h"
 #include "wire/wire.h"
 
 namespace adlp::proto {
@@ -97,9 +98,18 @@ bool RemoteLogSink::Connected() const { return channel_->IsOpen(); }
 
 // --- LogServerService --------------------------------------------------------
 
-LogServerService::LogServerService(LogServer& server, std::uint16_t port)
-    : server_(server), listener_(port) {
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
+LogServerService::LogServerService(LogServer& server, std::uint16_t port,
+                                   transport::TransportMode mode)
+    : server_(server), listener_(port), mode_(mode) {
+  if (mode_ == transport::TransportMode::kReactor) {
+    acceptor_ = std::make_unique<transport::ReactorAcceptor>(
+        transport::Reactor::Global(), listener_,
+        [this](std::shared_ptr<transport::EpollChannel> channel) {
+          AdoptReactorChannel(std::move(channel));
+        });
+  } else {
+    accept_thread_ = std::thread([this] { AcceptLoop(); });
+  }
 }
 
 LogServerService::~LogServerService() { Shutdown(); }
@@ -132,6 +142,34 @@ void LogServerService::AcceptLoop() {
   }
 }
 
+void LogServerService::AdoptReactorChannel(
+    std::shared_ptr<transport::EpollChannel> channel) {
+  // Runs on a reactor loop thread (the acceptor's callback). Safe to touch
+  // `this`: Shutdown() closes the acceptor with its loop barrier before the
+  // service is torn down, so no callback outlives the service.
+  std::lock_guard lock(mu_);
+  if (shutting_down_.load()) {
+    channel->Close();
+    return;
+  }
+  ReapFinishedLocked();
+  auto conn = std::make_unique<Connection>();
+  conn->channel = channel;
+  conn->async = channel;
+  Connection* raw = conn.get();
+  channel->StartAsync(
+      [this](BytesView frame) {
+        try {
+          ApplyLogUpload(frame, server_);
+        } catch (const wire::WireError&) {
+          // Malformed upload: drop the frame, keep the connection (same
+          // policy as the thread path).
+        }
+      },
+      [raw] { raw->done.store(true, std::memory_order_release); });
+  connections_.push_back(std::move(conn));
+}
+
 void LogServerService::ReapFinishedLocked() {
   std::erase_if(connections_, [](const std::unique_ptr<Connection>& c) {
     if (!c->done.load(std::memory_order_acquire)) return false;
@@ -148,6 +186,9 @@ std::size_t LogServerService::ActiveConnections() {
 
 void LogServerService::Shutdown() {
   if (shutting_down_.exchange(true)) return;
+  // Reactor: close the acceptor first — its Close() barrier guarantees no
+  // accept callback (which touches `this`) is still running afterwards.
+  if (acceptor_) acceptor_->Close();
   listener_.Close();
   if (accept_thread_.joinable()) accept_thread_.join();
   std::vector<std::unique_ptr<Connection>> connections;
@@ -158,6 +199,9 @@ void LogServerService::Shutdown() {
   for (auto& c : connections) c->channel->Close();
   for (auto& c : connections) {
     if (c->thread.joinable()) c->thread.join();
+    // Frame handlers capture `this`; wait for the channel's loop-side
+    // teardown so none can run once Shutdown returns.
+    if (c->async) c->async->WaitClosed(2000);
   }
 }
 

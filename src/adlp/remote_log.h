@@ -21,6 +21,7 @@
 #include "adlp/log_server.h"
 #include "adlp/log_sink.h"
 #include "transport/channel.h"
+#include "transport/epoll_channel.h"
 #include "transport/tcp.h"
 
 namespace adlp::proto {
@@ -49,11 +50,16 @@ class RemoteLogSink final : public LogSink {
   transport::ChannelPtr channel_;
 };
 
-/// Accept loop feeding `server`. One ingestion thread per connection.
+/// Accept loop feeding `server`. Under kThreadPerConn: one ingestion thread
+/// per connection. Under kReactor: connections are accepted and drained on
+/// the shared epoll reactor, so a logger serving thousands of uploaders
+/// costs loop wakeups instead of threads. Upload semantics are identical.
 class LogServerService {
  public:
   /// Binds 127.0.0.1:`port` (0 = ephemeral).
-  explicit LogServerService(LogServer& server, std::uint16_t port = 0);
+  explicit LogServerService(
+      LogServer& server, std::uint16_t port = 0,
+      transport::TransportMode mode = transport::TransportMode::kThreadPerConn);
   ~LogServerService();
 
   LogServerService(const LogServerService&) = delete;
@@ -72,19 +78,24 @@ class LogServerService {
  private:
   struct Connection {
     transport::ChannelPtr channel;
-    std::thread thread;
+    std::thread thread;                            // kThreadPerConn only
+    std::shared_ptr<transport::EpollChannel> async;  // kReactor only
     std::atomic<bool> done{false};
   };
 
   void AcceptLoop();
+  /// Registers one reactor-accepted channel and starts its async ingestion.
+  void AdoptReactorChannel(std::shared_ptr<transport::EpollChannel> channel);
   /// Joins and erases connections whose ingestion loop has exited.
   /// Caller holds mu_.
   void ReapFinishedLocked();
 
   LogServer& server_;
   transport::TcpListener listener_;
+  const transport::TransportMode mode_;
   std::atomic<bool> shutting_down_{false};
-  std::thread accept_thread_;
+  std::thread accept_thread_;                           // kThreadPerConn
+  std::unique_ptr<transport::ReactorAcceptor> acceptor_;  // kReactor
   std::mutex mu_;
   std::vector<std::unique_ptr<Connection>> connections_;
 };

@@ -4,8 +4,23 @@
 
 #include "adlp/remote_log.h"
 #include "obs/instrument.h"
+#include "transport/reactor.h"
 
 namespace adlp::proto {
+
+struct ResilientLogSink::BackoffWait {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool fired = false;
+
+  void Fire() {
+    {
+      std::lock_guard lock(mu);
+      fired = true;
+    }
+    cv.notify_all();
+  }
+};
 
 ResilientLogSink::ResilientLogSink(std::uint16_t port, Options options)
     : ResilientLogSink(
@@ -22,12 +37,16 @@ ResilientLogSink::ResilientLogSink(Connector connector, Options options)
 }
 
 ResilientLogSink::~ResilientLogSink() {
+  std::shared_ptr<BackoffWait> backoff;
   {
     std::lock_guard lock(mu_);
     stop_ = true;
     // Unblocks a flusher stuck in send() on a full socket buffer.
     if (channel_) channel_->Close();
+    backoff = backoff_wait_;
   }
+  // Unblocks a flusher parked on a reactor-timed backoff interval.
+  if (backoff) backoff->Fire();
   cv_.notify_all();
   drain_cv_.notify_all();
   if (flusher_.joinable()) flusher_.join();
@@ -137,8 +156,26 @@ void ResilientLogSink::FlusherLoop() {
         const std::int64_t delay_ms =
             options_.backoff.DelayMs(failures, backoff_rng_);
         if (failures < 63) ++failures;
-        cv_.wait_for(lock, std::chrono::milliseconds(delay_ms),
-                     [&] { return stop_; });
+        if (options_.mode == transport::TransportMode::kReactor) {
+          // The wheel, not a timed cv wait, paces the backoff: same
+          // BackoffPolicy delays/jitter, but the interval is a scheduled
+          // timer the destructor can fire early for prompt shutdown.
+          auto wait = std::make_shared<BackoffWait>();
+          backoff_wait_ = wait;
+          lock.unlock();
+          auto& reactor = transport::Reactor::Global();
+          reactor.RunAfter(reactor.AssignLoop(), delay_ms,
+                           [wait] { wait->Fire(); });
+          {
+            std::unique_lock wait_lock(wait->mu);
+            wait->cv.wait(wait_lock, [&] { return wait->fired; });
+          }
+          lock.lock();
+          backoff_wait_.reset();
+        } else {
+          cv_.wait_for(lock, std::chrono::milliseconds(delay_ms),
+                       [&] { return stop_; });
+        }
         continue;
       }
       failures = 0;

@@ -32,6 +32,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -69,6 +70,10 @@ struct ResilientLogSinkOptions {
   std::uint64_t backoff_seed = 0x5eed'1095'1e57ull;
   /// Per-attempt TCP connect behaviour (port-based constructor only).
   transport::TcpConnectOptions connect{1, 500, 50, 500};
+  /// kReactor drives the reconnect backoff delays from the reactor's timer
+  /// wheel instead of a timed condition-variable wait. The BackoffPolicy
+  /// (delays, jitter stream) is identical either way.
+  transport::TransportMode mode = transport::TransportMode::kThreadPerConn;
 };
 
 class ResilientLogSink final : public LogSink {
@@ -105,6 +110,12 @@ class ResilientLogSink final : public LogSink {
   bool Drain(std::chrono::milliseconds timeout);
 
  private:
+  /// One reactor-timed backoff interval: the flusher parks on the token's
+  /// cv until the timer wheel fires it (or the destructor does, so shutdown
+  /// never waits out a long backoff). Shared-owned so a timer firing after
+  /// the sink died touches only the token.
+  struct BackoffWait;
+
   void PushFrame(Bytes frame);
   void FlusherLoop();
   /// Sends all known key-registration frames on `channel`. False on failure.
@@ -121,6 +132,7 @@ class ResilientLogSink final : public LogSink {
   transport::ChannelPtr channel_;
   bool in_flight_ = false;  // a frame is popped but not yet sent
   bool stop_ = false;
+  std::shared_ptr<BackoffWait> backoff_wait_;  // live only while backing off
   std::uint64_t connects_ = 0;
   SinkStats stats_;
   Rng backoff_rng_;

@@ -108,6 +108,8 @@ void Sha512::Compress(const std::uint8_t block[128]) {
 }
 
 void Sha512::Update(BytesView data) {
+  // An empty view may carry data() == nullptr; memcpy(_, nullptr, 0) is UB.
+  if (data.empty()) return;
   byte_count_ += data.size();
   std::size_t offset = 0;
   if (buffer_len_ > 0) {

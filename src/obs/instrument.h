@@ -185,6 +185,51 @@ inline Counter& FaultInjectedTotal(const char* fault) {
       "Faults injected by FaultInjectingChannel decorators");
 }
 
+// --- reactor ----------------------------------------------------------------
+
+inline Counter& ReactorLoopIterations() {
+  static Counter& c = MetricsRegistry::Global().GetCounter(
+      "adlp_reactor_loop_iterations_total", {},
+      "Epoll event-loop wakeups across all reactor threads");
+  return c;
+}
+
+inline Histogram& ReactorReadyEvents() {
+  static Histogram& h = MetricsRegistry::Global().GetHistogram(
+      "adlp_reactor_ready_events", {},
+      {0, 1, 2, 4, 8, 16, 32, 64, 128, 256},
+      "Ready fds returned per epoll_wait call");
+  return h;
+}
+
+inline Gauge& ReactorFdsWatched() {
+  static Gauge& g = MetricsRegistry::Global().GetGauge(
+      "adlp_reactor_fds_watched", {},
+      "File descriptors currently registered with reactor loops");
+  return g;
+}
+
+inline Histogram& ReactorWakeupNs() {
+  static Histogram& h = MetricsRegistry::Global().GetHistogram(
+      "adlp_reactor_wakeup_ns", {}, {},
+      "Cross-thread wakeup latency: eventfd signal to loop dispatch");
+  return h;
+}
+
+inline Counter& ReactorTimersFired() {
+  static Counter& c = MetricsRegistry::Global().GetCounter(
+      "adlp_reactor_timers_fired_total", {},
+      "Timer-wheel callbacks dispatched by reactor loops");
+  return c;
+}
+
+inline Counter& ReactorAcceptDeferredTotal() {
+  static Counter& c = MetricsRegistry::Global().GetCounter(
+      "adlp_reactor_accept_deferred_total", {},
+      "Accept rounds deferred because the process hit its fd limit");
+  return c;
+}
+
 // --- audit ------------------------------------------------------------------
 
 inline Counter& AuditRunsTotal() {

@@ -6,12 +6,122 @@
 
 #include "obs/instrument.h"
 #include "pubsub/handshake.h"
+#include "transport/epoll_channel.h"
+#include "transport/reactor.h"
 #include "wire/wire.h"
 
 namespace adlp::pubsub {
 
+namespace {
+
+/// In-flight publications with pending-ACK accounting that survives early
+/// exits: the destructor releases whatever is still outstanding so the
+/// process-wide gauge never drifts when a link dies mid-conversation.
+struct InFlightQueue {
+  struct Item {
+    EncodedPublicationPtr pub;
+    Timestamp sent_ns;
+  };
+  std::deque<Item> items;
+
+  ~InFlightQueue() {
+    if (!items.empty()) {
+      obs::metric::PendingAcks().Sub(static_cast<std::int64_t>(items.size()));
+    }
+  }
+
+  void PushSent(EncodedPublicationPtr pub) {
+    items.push_back({std::move(pub), MonotonicNowNs()});
+    obs::metric::PendingAcks().Add(1);
+  }
+
+  void PopAcked() {
+    obs::metric::AckReceivedTotal().Add(1);
+    obs::metric::AckRttNs().Record(
+        static_cast<std::uint64_t>(MonotonicNowNs() - items.front().sent_ns));
+    obs::TraceLog::Global().Record(obs::TraceKind::kAckReceived,
+                                   items.front().pub->message.header.topic,
+                                   items.front().pub->message.header.seq);
+    items.pop_front();
+    obs::metric::PendingAcks().Sub(1);
+  }
+};
+
+/// Reactor-mode publisher link: the same conversation the thread-mode
+/// RunLoop holds (send up to ack_window, gate on ACKs, drain on close), as
+/// an event-driven state machine on the channel's loop thread. Shared-owned
+/// so a pump task that fires after Link teardown finds live state.
+struct ReactorLinkState
+    : public std::enable_shared_from_this<ReactorLinkState> {
+  std::shared_ptr<transport::EpollChannel> channel;
+  std::unique_ptr<PublisherLinkProtocol> proto;
+  ConcurrentQueue<EncodedPublicationPtr> queue;
+  std::size_t ack_window = 1;
+  std::size_t max_queue = std::numeric_limits<std::size_t>::max();
+  transport::Reactor* reactor = nullptr;
+  std::size_t loop = 0;
+
+  InFlightQueue in_flight;  // loop thread only
+  std::atomic<bool> pump_armed{false};
+  std::atomic<bool> done{false};
+
+  /// Any-thread: enqueue a publication (false = per-link queue full).
+  bool Offer(EncodedPublicationPtr pub) {
+    if (queue.Size() >= max_queue) return false;
+    queue.Push(std::move(pub));
+    KickPump();
+    return true;
+  }
+
+  /// Any-thread: schedule a pump pass, coalescing bursts into one task.
+  void KickPump() {
+    if (pump_armed.exchange(true, std::memory_order_acq_rel)) return;
+    auto self = shared_from_this();
+    reactor->Post(loop, [self] {
+      self->pump_armed.store(false, std::memory_order_release);
+      self->Pump();
+    });
+  }
+
+  /// Loop thread: send while the ACK window has room; detect completion.
+  void Pump() {
+    if (done.load(std::memory_order_acquire)) return;
+    while (true) {
+      // ACK gating, as in the thread-mode loop: with window W, at most W
+      // outstanding messages (the paper's scheme is W = 1).
+      if (proto->ExpectsAck() && in_flight.items.size() >= ack_window) break;
+      auto pub = queue.TryPop();
+      if (!pub) break;
+      if (!channel->Send((*pub)->wire)) {
+        Finish();
+        return;
+      }
+      proto->OnSent(**pub);
+      if (proto->ExpectsAck()) in_flight.PushSent(std::move(*pub));
+    }
+    if (queue.Closed() && queue.Size() == 0 && in_flight.items.empty()) {
+      Finish();
+    }
+  }
+
+  /// Loop thread: ACKs arrive in order on the FIFO channel, so the front
+  /// of the in-flight queue is always the one being acked.
+  void HandleFrame(BytesView frame) {
+    if (done.load(std::memory_order_acquire)) return;
+    if (in_flight.items.empty()) return;  // unexpected: drop
+    proto->OnAck(*in_flight.items.front().pub, frame);
+    in_flight.PopAcked();
+    Pump();
+  }
+
+  void Finish() { done.store(true, std::memory_order_release); }
+};
+
+}  // namespace
+
 // ---------------------------------------------------------------------------
-// Publisher link: one connection (thread) per subscriber.
+// Publisher link: one connection per subscriber — a dedicated thread in
+// kThreadPerConn mode, a reactor state machine in kReactor mode.
 
 struct Publisher::Link {
   crypto::ComponentId subscriber;
@@ -24,46 +134,21 @@ struct Publisher::Link {
   std::atomic<bool> done{false};
   std::atomic<Timestamp>* cpu_acc = nullptr;
   std::thread thread;
+  std::shared_ptr<ReactorLinkState> reactor_state;  // kReactor only
+
+  /// Enqueues one publication; false when the per-link queue is full.
+  bool Offer(const EncodedPublicationPtr& pub) {
+    if (reactor_state) return reactor_state->Offer(pub);
+    if (queue.Size() >= max_queue) return false;
+    queue.Push(pub);
+    return true;
+  }
 
   void Run() {
     ThreadCpuTracker cpu(cpu_acc);
     RunLoop(cpu);
     done.store(true, std::memory_order_release);
   }
-
-  /// In-flight publications with pending-ACK accounting that survives early
-  /// exits: the destructor releases whatever is still outstanding so the
-  /// process-wide gauge never drifts when a link dies mid-conversation.
-  struct InFlightQueue {
-    struct Item {
-      EncodedPublicationPtr pub;
-      Timestamp sent_ns;
-    };
-    std::deque<Item> items;
-
-    ~InFlightQueue() {
-      if (!items.empty()) {
-        obs::metric::PendingAcks().Sub(
-            static_cast<std::int64_t>(items.size()));
-      }
-    }
-
-    void PushSent(EncodedPublicationPtr pub) {
-      items.push_back({std::move(pub), MonotonicNowNs()});
-      obs::metric::PendingAcks().Add(1);
-    }
-
-    void PopAcked() {
-      obs::metric::AckReceivedTotal().Add(1);
-      obs::metric::AckRttNs().Record(
-          static_cast<std::uint64_t>(MonotonicNowNs() - items.front().sent_ns));
-      obs::TraceLog::Global().Record(obs::TraceKind::kAckReceived,
-                                     items.front().pub->message.header.topic,
-                                     items.front().pub->message.header.seq);
-      items.pop_front();
-      obs::metric::PendingAcks().Sub(1);
-    }
-  };
 
   void RunLoop(ThreadCpuTracker& cpu) {
     // Messages sent but not yet acknowledged, oldest first. ACKs arrive in
@@ -98,19 +183,37 @@ struct Publisher::Link {
   }
 
   void Shutdown() {
+    if (reactor_state) {
+      ShutdownReactor();
+      return;
+    }
     queue.Close();
-    // Grace period: let the send loop drain queued publications and collect
-    // the ACKs still owed, so cleanly-shutdown systems log complete pairs.
-    // A non-cooperative subscriber that withholds ACKs only costs us this
-    // bounded wait.
+    WaitDrained(done);
+    channel->Close();
+    if (thread.joinable()) thread.join();
+  }
+
+  void ShutdownReactor() {
+    reactor_state->queue.Close();
+    reactor_state->KickPump();  // let the pump observe the closed queue
+    WaitDrained(reactor_state->done);
+    reactor_state->channel->Close();
+    // Rendezvous with the loop's teardown so no handler still runs when
+    // the caller proceeds to destroy node state.
+    reactor_state->channel->WaitClosed(2000);
+  }
+
+  /// Grace period: let the link drain queued publications and collect the
+  /// ACKs still owed, so cleanly-shutdown systems log complete pairs. A
+  /// non-cooperative subscriber that withholds ACKs only costs us this
+  /// bounded wait.
+  static void WaitDrained(const std::atomic<bool>& flag) {
     const auto deadline =
         std::chrono::steady_clock::now() + std::chrono::seconds(2);
-    while (!done.load(std::memory_order_acquire) &&
+    while (!flag.load(std::memory_order_acquire) &&
            std::chrono::steady_clock::now() < deadline) {
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
-    channel->Close();
-    if (thread.joinable()) thread.join();
   }
 };
 
@@ -143,12 +246,10 @@ std::uint64_t Publisher::Publish(Bytes payload) {
 
   std::lock_guard lock(links_mu_);
   for (auto& link : links_) {
-    if (link->queue.Size() >= link->max_queue) {
+    if (!link->Offer(encoded)) {
       link->dropped.fetch_add(1, std::memory_order_relaxed);
       obs::metric::PublishQueueDropTotal().Add(1);
-      continue;
     }
-    link->queue.Push(encoded);
   }
   return seq;
 }
@@ -178,13 +279,35 @@ void Publisher::AddLink(const crypto::ComponentId& subscriber,
                         transport::ChannelPtr channel) {
   auto link = std::make_unique<Link>();
   link->subscriber = subscriber;
-  link->channel = std::move(channel);
-  link->proto = node_->protocol().MakePublisherLink(topic_, subscriber);
-  link->ack_window = node_->Options().ack_window;
-  link->max_queue = node_->Options().max_queue;
-  link->cpu_acc = &node_->cpu_ns_;
-  Link* raw = link.get();
-  link->thread = std::thread([raw] { raw->Run(); });
+
+  auto epoll_channel =
+      std::dynamic_pointer_cast<transport::EpollChannel>(channel);
+  if (node_->Options().mode == transport::TransportMode::kReactor &&
+      epoll_channel) {
+    auto state = std::make_shared<ReactorLinkState>();
+    state->channel = epoll_channel;
+    state->proto = node_->protocol().MakePublisherLink(topic_, subscriber);
+    state->ack_window = node_->Options().ack_window;
+    state->max_queue = node_->Options().max_queue;
+    state->reactor = &transport::Reactor::Global();
+    state->loop = epoll_channel->LoopIndex();
+    link->channel = std::move(channel);
+    link->reactor_state = state;
+    // Often called from inside the handshake frame handler, so this swap
+    // executes synchronously on the loop thread and later frames (early
+    // ACKs included) flow straight to the link.
+    epoll_channel->StartAsync(
+        [state](BytesView frame) { state->HandleFrame(frame); },
+        [state] { state->Finish(); });
+  } else {
+    link->channel = std::move(channel);
+    link->proto = node_->protocol().MakePublisherLink(topic_, subscriber);
+    link->ack_window = node_->Options().ack_window;
+    link->max_queue = node_->Options().max_queue;
+    link->cpu_acc = &node_->cpu_ns_;
+    Link* raw = link.get();
+    link->thread = std::thread([raw] { raw->Run(); });
+  }
   {
     std::lock_guard lock(links_mu_);
     links_.push_back(std::move(link));
@@ -202,52 +325,88 @@ void Publisher::Shutdown() {
 }
 
 // ---------------------------------------------------------------------------
-// Subscription: one connection (thread) per publisher link.
+// Subscription: one connection per publisher link — a receive thread, or an
+// async frame handler when the channel is reactor-driven.
 
 struct Node::Subscription {
   std::string topic;
   Node::Callback callback;
   std::unique_ptr<SubscriberLinkProtocol> proto;
   transport::ChannelPtr channel;
+  std::shared_ptr<transport::EpollChannel> async_channel;  // kReactor only
   std::atomic<Timestamp>* cpu_acc = nullptr;
   std::thread thread;
+
+  /// One inbound publication: verify/ack via the protocol, then deliver.
+  /// Returns false when the link should stop (ACK send failed).
+  bool HandleBytes(BytesView bytes) {
+    const Timestamp handle_start = MonotonicNowNs();
+    auto result = proto->OnMessage(bytes);
+    // The ACK is returned before delivery to the application layer
+    // (step 4 of the prototype: signing happens mid-deserialization).
+    if (result.reply && !channel->Send(*result.reply)) return false;
+    obs::metric::DeliverNs().Record(
+        static_cast<std::uint64_t>(MonotonicNowNs() - handle_start));
+    if (result.deliver) {
+      obs::metric::DeliverTotal().Add(1);
+      obs::TraceLog::Global().Record(obs::TraceKind::kDeliver, topic,
+                                     result.deliver->header.seq);
+      callback(*result.deliver);
+    }
+    return true;
+  }
 
   void Run() {
     ThreadCpuTracker cpu(cpu_acc);
     while (auto bytes = channel->Receive()) {
-      const Timestamp handle_start = MonotonicNowNs();
-      auto result = proto->OnMessage(*bytes);
-      // The ACK is returned before delivery to the application layer
-      // (step 4 of the prototype: signing happens mid-deserialization).
-      if (result.reply && !channel->Send(*result.reply)) return;
-      obs::metric::DeliverNs().Record(
-          static_cast<std::uint64_t>(MonotonicNowNs() - handle_start));
-      if (result.deliver) {
-        obs::metric::DeliverTotal().Add(1);
-        obs::TraceLog::Global().Record(obs::TraceKind::kDeliver, topic,
-                                       result.deliver->header.seq);
-        callback(*result.deliver);
-      }
+      if (!HandleBytes(*bytes)) return;
       cpu.Tick();
     }
+  }
+
+  void StartAsync() {
+    async_channel->StartAsync(
+        [this](BytesView frame) {
+          if (!HandleBytes(frame)) channel->Close();
+        },
+        [] {});
   }
 
   void Shutdown() {
     channel->Close();
     if (thread.joinable()) thread.join();
+    // Async mode: rendezvous with the loop's teardown, after which the
+    // frame handler (which captures `this`) can never run again.
+    if (async_channel) async_channel->WaitClosed(2000);
   }
 };
 
 // ---------------------------------------------------------------------------
-// TCP endpoint: listener + accept thread, created on first TCP Advertise.
+// TCP endpoint: the node's listener. kThreadPerConn accepts on a dedicated
+// thread and reads the handshake blockingly; kReactor accepts on the loop
+// and parses the handshake from the connection's first frame.
 
 struct Node::TcpEndpoint {
   transport::TcpListener listener;
   Node* node;
-  std::thread accept_thread;
+  std::thread accept_thread;                              // kThreadPerConn
+  std::unique_ptr<transport::ReactorAcceptor> acceptor;   // kReactor
+  std::atomic<bool> shutting_down{false};
+  // Connections accepted but not yet handshaken; owned here so Shutdown
+  // can close them (and so the handshake handler can capture weakly).
+  std::mutex pending_mu;
+  std::vector<std::shared_ptr<transport::EpollChannel>> pending;
 
   explicit TcpEndpoint(Node* owner) : listener(0), node(owner) {
-    accept_thread = std::thread([this] { Run(); });
+    if (owner->Options().mode == transport::TransportMode::kReactor) {
+      acceptor = std::make_unique<transport::ReactorAcceptor>(
+          transport::Reactor::Global(), listener,
+          [this](std::shared_ptr<transport::EpollChannel> channel) {
+            OnAccept(std::move(channel));
+          });
+    } else {
+      accept_thread = std::thread([this] { Run(); });
+    }
   }
 
   void Run() {
@@ -266,8 +425,64 @@ struct Node::TcpEndpoint {
     }
   }
 
+  // Loop thread. The first frame is the handshake; AttachSubscriberLink
+  // replaces the handlers (synchronously, same loop) so every later frame
+  // goes to the link's state machine.
+  void OnAccept(std::shared_ptr<transport::EpollChannel> channel) {
+    if (shutting_down.load(std::memory_order_acquire)) {
+      channel->Close();
+      return;
+    }
+    {
+      std::lock_guard lock(pending_mu);
+      pending.push_back(channel);
+    }
+    std::weak_ptr<transport::EpollChannel> weak = channel;
+    channel->StartAsync(
+        [this, weak](BytesView frame) {
+          auto ch = weak.lock();
+          if (!ch) return;
+          ErasePending(ch);
+          std::string topic;
+          crypto::ComponentId subscriber;
+          try {
+            ParseHandshake(frame, topic, subscriber);
+          } catch (const wire::WireError&) {
+            ch->Close();
+            return;
+          }
+          node->AttachSubscriberLink(topic, subscriber, ch);
+        },
+        [this, weak] {
+          if (auto ch = weak.lock()) ErasePending(ch);
+        });
+  }
+
+  void ErasePending(const std::shared_ptr<transport::EpollChannel>& channel) {
+    std::lock_guard lock(pending_mu);
+    for (auto it = pending.begin(); it != pending.end(); ++it) {
+      if (*it == channel) {
+        pending.erase(it);
+        return;
+      }
+    }
+  }
+
   void Shutdown() {
+    shutting_down.store(true, std::memory_order_release);
+    // Acceptor first: after its Close() returns no accept callback runs,
+    // so `this` stays valid for the whole teardown.
+    if (acceptor) acceptor->Close();
     listener.Close();
+    std::vector<std::shared_ptr<transport::EpollChannel>> orphans;
+    {
+      std::lock_guard lock(pending_mu);
+      orphans.swap(pending);
+    }
+    for (auto& channel : orphans) {
+      channel->Close();
+      channel->WaitClosed(2000);
+    }
     if (accept_thread.joinable()) accept_thread.join();
   }
 };
@@ -354,6 +569,12 @@ void Node::Subscribe(const std::string& topic, Callback callback) {
         sub->proto = options_.protocol->MakeSubscriberLink(topic, publisher);
         sub->channel = std::move(channel);
         sub->cpu_acc = &cpu_ns_;
+        if (options_.mode == transport::TransportMode::kReactor) {
+          // Reactor-driven channels need no receive thread; connectors that
+          // hand us a blocking channel fall back to one below.
+          sub->async_channel =
+              std::dynamic_pointer_cast<transport::EpollChannel>(sub->channel);
+        }
         Subscription* raw = sub.get();
         {
           std::lock_guard lock(mu_);
@@ -361,11 +582,15 @@ void Node::Subscribe(const std::string& topic, Callback callback) {
             sub->channel->Close();
             return;
           }
-          // The thread member must be assigned before the subscription is
-          // visible in subscriptions_: Shutdown() swaps the list under mu_
-          // and then joins, so publishing first would let it race with (or
-          // miss) this assignment.
-          raw->thread = std::thread([raw] { raw->Run(); });
+          if (raw->async_channel) {
+            raw->StartAsync();
+          } else {
+            // The thread member must be assigned before the subscription is
+            // visible in subscriptions_: Shutdown() swaps the list under mu_
+            // and then joins, so publishing first would let it race with (or
+            // miss) this assignment.
+            raw->thread = std::thread([raw] { raw->Run(); });
+          }
           subscriptions_.push_back(std::move(sub));
         }
       });

@@ -42,6 +42,14 @@ struct NodeOptions {
   TransportKind transport = TransportKind::kInProc;
   transport::LinkModel link_model;  // in-proc only
 
+  /// Threading model for TCP connection endpoints. kReactor multiplexes
+  /// publisher links (and the accept path) on the shared epoll reactor, so
+  /// fan-out costs loop wakeups instead of threads. In-proc channels have
+  /// no fd and always use link threads. Protocol behaviour and audit
+  /// verdicts are identical in both modes; per-node CpuTimeNs() covers only
+  /// encode work under kReactor (link work runs on shared loop threads).
+  transport::TransportMode mode = transport::TransportMode::kThreadPerConn;
+
   /// Max unacknowledged messages per link before the sender blocks
   /// (protocols with ACKs only). 1 = the paper's scheme: a new message is
   /// not sent to a subscriber whose previous ACK is outstanding.

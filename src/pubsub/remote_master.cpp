@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "pubsub/handshake.h"
+#include "transport/reactor.h"
 #include "wire/wire.h"
 
 namespace adlp::pubsub {
@@ -120,8 +121,17 @@ Frame DecodeFrame(BytesView data) {
 // ---------------------------------------------------------------------------
 // MasterService
 
-MasterService::MasterService(std::uint16_t port) : listener_(port) {
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
+MasterService::MasterService(std::uint16_t port, transport::TransportMode mode)
+    : listener_(port), mode_(mode) {
+  if (mode_ == transport::TransportMode::kReactor) {
+    acceptor_ = std::make_unique<transport::ReactorAcceptor>(
+        transport::Reactor::Global(), listener_,
+        [this](std::shared_ptr<transport::EpollChannel> channel) {
+          AdoptReactorChannel(std::move(channel));
+        });
+  } else {
+    accept_thread_ = std::thread([this] { AcceptLoop(); });
+  }
 }
 
 MasterService::~MasterService() { Shutdown(); }
@@ -141,17 +151,39 @@ void MasterService::AcceptLoop() {
 
 void MasterService::Serve(transport::ChannelPtr channel) {
   while (auto frame = channel->Receive()) {
-    Bytes response;
-    try {
-      response = HandleRequest(*frame, channel);
-    } catch (const wire::WireError&) {
-      Frame err;
-      err.type = kRspError;
-      err.text = "malformed request";
-      response = EncodeFrame(err);
-    }
-    if (!response.empty() && !channel->Send(response)) return;
+    ServeFrame(*frame, channel);
   }
+}
+
+void MasterService::AdoptReactorChannel(
+    std::shared_ptr<transport::EpollChannel> channel) {
+  // Runs on a reactor loop thread. Safe to touch `this`: Shutdown() closes
+  // the acceptor with its loop barrier before tearing the service down.
+  std::lock_guard lock(mu_);
+  if (shutting_down_.load()) {
+    channel->Close();
+    return;
+  }
+  connections_.push_back(channel);
+  async_connections_.push_back(channel);
+  transport::ChannelPtr as_channel = channel;
+  channel->StartAsync(
+      [this, as_channel](BytesView frame) { ServeFrame(frame, as_channel); },
+      /*on_closed=*/nullptr);
+}
+
+void MasterService::ServeFrame(BytesView frame,
+                               const transport::ChannelPtr& channel) {
+  Bytes response;
+  try {
+    response = HandleRequest(frame, channel);
+  } catch (const wire::WireError&) {
+    Frame err;
+    err.type = kRspError;
+    err.text = "malformed request";
+    response = EncodeFrame(err);
+  }
+  if (!response.empty()) (void)channel->Send(response);
 }
 
 Bytes MasterService::HandleRequest(BytesView frame_bytes,
@@ -247,19 +279,27 @@ std::map<std::string, TopicInfo> MasterService::Topology() const {
 
 void MasterService::Shutdown() {
   if (shutting_down_.exchange(true)) return;
+  // Reactor: close the acceptor first — its Close() barrier guarantees no
+  // accept callback (which touches `this`) is still running afterwards.
+  if (acceptor_) acceptor_->Close();
   listener_.Close();
   if (accept_thread_.joinable()) accept_thread_.join();
   std::vector<transport::ChannelPtr> connections;
+  std::vector<std::shared_ptr<transport::EpollChannel>> async_connections;
   std::vector<std::thread> threads;
   {
     std::lock_guard lock(mu_);
     connections.swap(connections_);
+    async_connections.swap(async_connections_);
     threads.swap(serve_threads_);
   }
   for (auto& c : connections) c->Close();
   for (auto& t : threads) {
     if (t.joinable()) t.join();
   }
+  // Frame handlers capture `this`; wait for each channel's loop-side
+  // teardown so none can run once Shutdown returns.
+  for (auto& c : async_connections) c->WaitClosed(2000);
 }
 
 // ---------------------------------------------------------------------------

@@ -28,15 +28,22 @@
 #include <vector>
 
 #include "pubsub/master.h"
+#include "transport/epoll_channel.h"
 #include "transport/tcp.h"
 
 namespace adlp::pubsub {
 
 /// The service side: owns the topic registry for a fleet of node processes.
+/// Under kThreadPerConn: one serve thread per node connection. Under
+/// kReactor: requests are parsed and answered on the shared epoll reactor,
+/// so a master serving a large fleet costs loop wakeups instead of threads.
+/// The wire protocol and registry semantics are identical in both modes.
 class MasterService {
  public:
   /// Binds 127.0.0.1:`port` (0 = ephemeral).
-  explicit MasterService(std::uint16_t port = 0);
+  explicit MasterService(
+      std::uint16_t port = 0,
+      transport::TransportMode mode = transport::TransportMode::kThreadPerConn);
   ~MasterService();
 
   MasterService(const MasterService&) = delete;
@@ -62,16 +69,24 @@ class MasterService {
 
   void AcceptLoop();
   void Serve(transport::ChannelPtr channel);
+  /// Registers one reactor-accepted channel and starts async serving.
+  void AdoptReactorChannel(std::shared_ptr<transport::EpollChannel> channel);
+  /// Applies one request frame to `channel` and sends the response (shared
+  /// by both threading modes).
+  void ServeFrame(BytesView frame, const transport::ChannelPtr& channel);
   Bytes HandleRequest(BytesView frame, const transport::ChannelPtr& channel);
 
   transport::TcpListener listener_;
+  const transport::TransportMode mode_;
   std::atomic<bool> shutting_down_{false};
-  std::thread accept_thread_;
+  std::thread accept_thread_;                           // kThreadPerConn
+  std::unique_ptr<transport::ReactorAcceptor> acceptor_;  // kReactor
 
   mutable std::mutex mu_;
   std::map<std::string, TopicState> topics_;
   std::vector<std::thread> serve_threads_;
   std::vector<transport::ChannelPtr> connections_;
+  std::vector<std::shared_ptr<transport::EpollChannel>> async_connections_;
 };
 
 /// The client side: a MasterApi backed by a MasterService in (possibly)

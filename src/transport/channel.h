@@ -26,6 +26,19 @@ namespace adlp::transport {
 /// images of Table I).
 inline constexpr std::size_t kMaxFrameBytes = 64u * 1024 * 1024;
 
+/// How connection endpoints are driven. The protocol layer is agnostic:
+/// both modes carry the same frames and produce byte-identical audit
+/// reports; only the threading model differs.
+enum class TransportMode {
+  /// Historical model: one dedicated thread per connection end (one link
+  /// thread per subscriber, one serve thread per RPC client, one ingestion
+  /// thread per log uploader).
+  kThreadPerConn,
+  /// Epoll reactor (reactor.h): a fixed pool of event-loop threads
+  /// multiplexes every connection; scales to C10k-size fan-out.
+  kReactor,
+};
+
 class Channel {
  public:
   virtual ~Channel() = default;

@@ -1,0 +1,171 @@
+// Reactor-driven connection endpoints.
+//
+// EpollChannel is a `Channel` over a non-blocking socket owned by one
+// reactor loop. All read parsing happens on that loop thread; writes are
+// buffered and flushed opportunistically (EPOLLOUT is armed only while a
+// short write leaves residue). The wire format is byte-identical to
+// TcpChannel — 4-byte little-endian length preamble, `kMaxFrameBytes` cap
+// enforced before allocation — so the two interoperate freely and the
+// protocol layer cannot tell the modes apart.
+//
+// Two delivery styles:
+//   * blocking-compat: without StartAsync(), parsed frames queue and
+//     Receive() blocks on them, matching TcpChannel semantics exactly;
+//   * async: StartAsync(on_frame, on_closed) delivers each frame on the
+//     loop thread — the mode services use so no thread blocks per
+//     connection.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "common/queue.h"
+#include "transport/channel.h"
+#include "transport/reactor.h"
+
+namespace adlp::transport {
+
+class TcpListener;
+
+class EpollChannel final : public Channel,
+                           public std::enable_shared_from_this<EpollChannel> {
+ public:
+  /// Runs on the owning loop thread, once per complete frame. The view is
+  /// valid only for the duration of the call (it aliases the read buffer);
+  /// a handler that keeps the payload must copy it.
+  using FrameHandler = std::function<void(BytesView frame)>;
+  /// Runs on the owning loop thread, exactly once, when the connection has
+  /// torn down (peer EOF, error, Close(), or protocol violation).
+  using ClosedHandler = std::function<void()>;
+
+  /// Takes ownership of a connected socket fd, makes it non-blocking, and
+  /// registers it with a round-robin-assigned reactor loop. The channel is
+  /// usable immediately; frames arriving before StartAsync() queue for
+  /// Receive(). The reactor must outlive the channel.
+  static std::shared_ptr<EpollChannel> Adopt(Reactor& reactor, int fd);
+
+  /// As Adopt(), pinning the connection to a specific loop.
+  static std::shared_ptr<EpollChannel> AdoptOnLoop(Reactor& reactor, int fd,
+                                                   std::size_t loop);
+
+  ~EpollChannel() override;
+
+  /// Enqueues one framed message and flushes as far as the socket allows.
+  /// Never blocks: residue waits for EPOLLOUT. Returns false once closed,
+  /// or if the peer stalls long enough to accumulate an unreasonable
+  /// backlog (the channel then closes, mirroring a dead TCP peer).
+  bool Send(BytesView payload) override;
+
+  /// Blocking-compat receive; std::nullopt once closed and drained. Only
+  /// meaningful before StartAsync() — afterwards frames go to the handler.
+  std::optional<Bytes> Receive() override;
+
+  /// Closes both directions. The loop observes the shutdown and completes
+  /// the teardown (handler removal, on_closed) asynchronously; use
+  /// WaitClosed() to rendezvous with it.
+  void Close() override;
+
+  bool IsOpen() const override {
+    return !closed_.load(std::memory_order_acquire);
+  }
+
+  /// Switches frame delivery from the Receive() queue to `on_frame`,
+  /// draining already-queued frames to it first (in arrival order, on the
+  /// loop thread). If the connection already tore down, `on_closed` still
+  /// fires (after the drain), so no caller misses the close edge. May be
+  /// called again from inside a frame handler to replace the handlers —
+  /// how endpoints switch from handshake to steady-state processing.
+  void StartAsync(FrameHandler on_frame, ClosedHandler on_closed);
+
+  /// Blocks until the loop has finished tearing the connection down.
+  /// Returns false on timeout. A torn-down channel's fd is still held
+  /// until destruction (never recycled under an in-flight event).
+  bool WaitClosed(std::int64_t timeout_ms);
+
+  std::size_t LoopIndex() const { return loop_; }
+
+ private:
+  EpollChannel(Reactor& reactor, int fd, std::size_t loop);
+
+  void Register();
+  // Loop-thread-only methods.
+  void HandleEvents(std::uint32_t events);
+  void ReadReady();
+  bool IngestBytes(const std::uint8_t* data, std::size_t n);
+  bool ParseFrames();
+  void DeliverFrame(BytesView frame);
+  void FlushWrites();
+  void StartAsyncOnLoop(FrameHandler on_frame, ClosedHandler on_closed);
+  void TearDown();
+
+  Reactor& reactor_;
+  const int fd_;
+  const std::size_t loop_;
+
+  // Read-side state: loop thread only.
+  Bytes rbuf_;
+  std::size_t rpos_ = 0;
+  bool async_ = false;
+  bool torn_down_ = false;
+  FrameHandler on_frame_;
+  ClosedHandler on_closed_;
+
+  // Blocking-compat receive queue.
+  ConcurrentQueue<Bytes> rq_;
+
+  // Write-side state, shared between senders and the loop.
+  std::mutex wmu_;
+  std::deque<Bytes> wq_;
+  std::size_t wpos_ = 0;       // bytes of wq_.front() already written
+  std::size_t wq_bytes_ = 0;   // total buffered bytes
+  bool flush_armed_ = false;   // a flush task or EPOLLOUT will run
+  bool want_write_ = false;    // EPOLLOUT currently in the interest mask
+
+  std::atomic<bool> closed_{false};
+
+  // Teardown rendezvous.
+  std::mutex close_mu_;
+  std::condition_variable close_cv_;
+  bool closed_done_ = false;
+};
+
+/// Accepts inbound connections on a reactor loop: registers the listener's
+/// socket, accepts until EAGAIN per readiness event, and hands each
+/// connection to `on_accept` as an adopted EpollChannel.
+///
+/// On EMFILE/ENFILE the listener is unregistered and re-armed after a short
+/// delay via the timer wheel — level-triggered epoll would otherwise spin —
+/// so fd exhaustion degrades to deferred accepts instead of a hot loop
+/// (connections wait in the kernel backlog).
+class ReactorAcceptor {
+ public:
+  using AcceptHandler = std::function<void(std::shared_ptr<EpollChannel>)>;
+
+  /// The listener must outlive the acceptor, and its Accept() must not be
+  /// used concurrently (the acceptor owns the socket's readiness).
+  ReactorAcceptor(Reactor& reactor, TcpListener& listener,
+                  AcceptHandler on_accept);
+  ~ReactorAcceptor();
+
+  ReactorAcceptor(const ReactorAcceptor&) = delete;
+  ReactorAcceptor& operator=(const ReactorAcceptor&) = delete;
+
+  /// Stops accepting. Blocks (bounded) until any batch already dispatched
+  /// on the loop has finished, so once Close() returns no accept callback
+  /// is executing and the handler's captures may be destroyed.
+  void Close();
+
+ private:
+  struct State;
+  static void AcceptBatch(const std::shared_ptr<State>& state);
+  static void Rearm(const std::shared_ptr<State>& state);
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace adlp::transport

@@ -18,6 +18,7 @@
 #include <system_error>
 #include <thread>
 
+#include "common/clock.h"
 #include "obs/instrument.h"
 #include "wire/wire.h"
 
@@ -153,44 +154,78 @@ class TcpChannel final : public Channel {
 };
 
 /// One connect attempt. Returns the connected fd, or -1 with errno set.
-int ConnectOnce(std::uint16_t port, std::int64_t timeout_ms) {
+/// `timeout_ms <= 0` leaves the attempt bounded only by the kernel's own
+/// connect timeout.
+int ConnectOnce(const std::string& host, std::uint16_t port,
+                std::int64_t timeout_ms) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return -1;
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
-
-  if (timeout_ms <= 0) {
-    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-      const int saved = errno;
-      ::close(fd);
-      errno = saved;
-      return -1;
-    }
-    return fd;
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    errno = EINVAL;
+    return -1;
   }
 
-  // Timed connect: non-blocking connect, then poll for writability.
+  // Non-blocking connect + poll in the untimed case too: a blocking
+  // connect() interrupted by a signal returns EINTR while the attempt keeps
+  // progressing in the kernel, and re-calling connect() (or restarting the
+  // attempt, as this code once did) forfeits the time already spent.
+  // Polling for writability resumes the SAME attempt, and every EINTR
+  // resume recomputes the remaining budget from a fixed deadline.
   const int flags = ::fcntl(fd, F_GETFL, 0);
   ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 &&
-      errno != EINPROGRESS) {
+  const int rc =
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc < 0 && errno != EINPROGRESS && errno != EINTR) {
     const int saved = errno;
     ::close(fd);
     errno = saved;
     return -1;
   }
-  pollfd pfd{fd, POLLOUT, 0};
-  const int ready =
-      ::poll(&pfd, 1, static_cast<int>(std::min<std::int64_t>(
-                          timeout_ms, std::numeric_limits<int>::max())));
+  if (rc == 0) {  // immediate success (loopback fast path)
+    ::fcntl(fd, F_SETFL, flags);
+    return fd;
+  }
+
+  const std::int64_t deadline_ns =
+      timeout_ms > 0 ? MonotonicNowNs() + timeout_ms * 1'000'000 : 0;
+  while (true) {
+    int poll_ms = -1;
+    if (deadline_ns > 0) {
+      const std::int64_t remaining_ms =
+          (deadline_ns - MonotonicNowNs() + 999'999) / 1'000'000;
+      if (remaining_ms <= 0) {
+        ::close(fd);
+        errno = ETIMEDOUT;
+        return -1;
+      }
+      poll_ms = static_cast<int>(std::min<std::int64_t>(
+          remaining_ms, std::numeric_limits<int>::max()));
+    }
+    pollfd pfd{fd, POLLOUT, 0};
+    const int ready = ::poll(&pfd, 1, poll_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      const int saved = errno;
+      ::close(fd);
+      errno = saved;
+      return -1;
+    }
+    if (ready == 0) {
+      ::close(fd);
+      errno = ETIMEDOUT;
+      return -1;
+    }
+    break;
+  }
   int err = 0;
   socklen_t err_len = sizeof(err);
-  if (ready <= 0 ||
-      ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) < 0 || err != 0) {
-    const int saved = ready == 0 ? ETIMEDOUT : (err != 0 ? err : errno);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) < 0 || err != 0) {
+    const int saved = err != 0 ? err : errno;
     ::close(fd);
     errno = saved;
     return -1;
@@ -202,11 +237,39 @@ int ConnectOnce(std::uint16_t port, std::int64_t timeout_ms) {
 int ConnectWithRetries(std::uint16_t port, const TcpConnectOptions& options) {
   std::int64_t delay_ms = options.retry_delay_ms;
   const int attempts = std::max(options.attempts, 1);
+  // The overall deadline is fixed once, before the first attempt: every
+  // per-attempt timeout and retry sleep is capped by the time left, so the
+  // caller's budget holds regardless of how attempts fail (fast refusal,
+  // EINTR storms, or a blackholed route).
+  const std::int64_t deadline_ns =
+      options.deadline_ms > 0 ? MonotonicNowNs() + options.deadline_ms * 1'000'000
+                              : 0;
+  const auto remaining_ms = [deadline_ns]() -> std::int64_t {
+    return (deadline_ns - MonotonicNowNs() + 999'999) / 1'000'000;
+  };
   for (int attempt = 0;; ++attempt) {
-    const int fd = ConnectOnce(port, options.connect_timeout_ms);
+    std::int64_t timeout_ms = options.connect_timeout_ms;
+    if (deadline_ns > 0) {
+      const std::int64_t left = remaining_ms();
+      if (left <= 0) {
+        errno = ETIMEDOUT;
+        return -1;
+      }
+      timeout_ms = timeout_ms > 0 ? std::min(timeout_ms, left) : left;
+    }
+    const int fd = ConnectOnce(options.host, port, timeout_ms);
     if (fd >= 0) return fd;
     if (attempt + 1 >= attempts) return -1;
-    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    std::int64_t sleep_ms = delay_ms;
+    if (deadline_ns > 0) {
+      const std::int64_t left = remaining_ms();
+      if (left <= 0) {
+        errno = ETIMEDOUT;
+        return -1;
+      }
+      sleep_ms = std::min(sleep_ms, left);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
     delay_ms = std::min(delay_ms * 2, options.max_retry_delay_ms);
   }
 }
@@ -255,7 +318,10 @@ ChannelPtr TcpListener::Accept() {
     if (ready == 0) continue;  // timeout: re-check closed_
     const int client = ::accept(fd_, nullptr, nullptr);
     if (client < 0) {
-      if (errno == EINTR) continue;
+      // EAGAIN happens when the listening socket was made non-blocking (a
+      // ReactorAcceptor used it earlier) and the connection vanished
+      // between poll and accept.
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
       return nullptr;
     }
     if (closed_.load(std::memory_order_acquire)) {
@@ -291,6 +357,10 @@ ChannelPtr TryTcpConnect(std::uint16_t port, const TcpConnectOptions& options) {
   const int fd = ConnectWithRetries(port, options);
   if (fd < 0) return nullptr;
   return std::make_shared<TcpChannel>(fd);
+}
+
+int TryTcpConnectFd(std::uint16_t port, const TcpConnectOptions& options) {
+  return ConnectWithRetries(port, options);
 }
 
 }  // namespace adlp::transport

@@ -30,6 +30,10 @@ class TcpListener {
   /// in the destructor, when no thread can still be polling it.
   void Close();
 
+  /// Raw listening socket, for callers that drive readiness themselves
+  /// (ReactorAcceptor). Owned by the listener; do not close.
+  int NativeHandle() const { return fd_; }
+
  private:
   int fd_ = -1;
   std::atomic<bool> closed_{false};
@@ -47,6 +51,15 @@ struct TcpConnectOptions {
   /// `max_retry_delay_ms`.
   std::int64_t retry_delay_ms = 50;
   std::int64_t max_retry_delay_ms = 1000;
+  /// Overall wall-clock budget across every attempt, retry sleep, and
+  /// EINTR-resumed wait. <= 0 means no overall bound (per-attempt timeouts
+  /// and the attempt count still apply). With a budget, each attempt's
+  /// connect timeout and each retry sleep are capped by the time remaining,
+  /// so the caller's deadline holds even when connect() keeps getting
+  /// interrupted or the route blackholes.
+  std::int64_t deadline_ms = 0;
+  /// Target address (IPv4 dotted quad).
+  std::string host = "127.0.0.1";
 };
 
 /// Connects to 127.0.0.1:`port`. Throws std::system_error on failure.
@@ -61,5 +74,10 @@ ChannelPtr TcpConnect(std::uint16_t port, const TcpConnectOptions& options);
 /// where a dead peer is an expected state rather than an error.
 ChannelPtr TryTcpConnect(std::uint16_t port,
                          const TcpConnectOptions& options = {});
+
+/// As TryTcpConnect but returns the raw connected socket (-1 once all
+/// attempts are exhausted), for callers that wrap the fd themselves
+/// (EpollChannel::Adopt). The caller owns the fd.
+int TryTcpConnectFd(std::uint16_t port, const TcpConnectOptions& options = {});
 
 }  // namespace adlp::transport

@@ -8,6 +8,7 @@
 #include "faults/behavior.h"
 #include "sim/app.h"
 #include "test_util.h"
+#include "transport/channel.h"
 
 namespace adlp {
 namespace {
@@ -142,27 +143,71 @@ TEST(EndToEndTest, TamperedLogStoreIsEvident) {
   EXPECT_FALSE(server.VerifyChain());
 }
 
-TEST(EndToEndTest, TcpTransportFullStack) {
-  // Two-component ADLP over real TCP sockets, audited clean.
+/// One ADLP fleet over real TCP in the given transport mode; returns the
+/// audit report of the run.
+audit::AuditReport RunTcpFleet(transport::TransportMode mode) {
   test::MiniSystem sys;
   proto::ComponentOptions opts = test::FastOptions();
   opts.transport = pubsub::TransportKind::kTcp;
+  opts.mode = mode;
   auto& pub = sys.Add("camera", opts);
   auto& sub = sys.Add("detector", opts);
   std::atomic<int> got{0};
   sub.Subscribe("image", [&](const pubsub::Message&) { got++; });
   auto& p = pub.Advertise("image");
-  ASSERT_TRUE(p.WaitForSubscribers(1));
+  EXPECT_TRUE(p.WaitForSubscribers(1));
   for (int i = 0; i < 10; ++i) p.Publish(Bytes{static_cast<std::uint8_t>(i)});
-  ASSERT_TRUE(test::WaitFor([&] { return got.load() == 10; }));
+  EXPECT_TRUE(test::WaitFor([&] { return got.load() == 10; }));
   pub.Shutdown();
   sub.Shutdown();
+  return audit::Auditor(sys.server.Keys())
+      .Audit(sys.server.Entries(), sys.master.Topology());
+}
 
-  const audit::AuditReport report = audit::Auditor(sys.server.Keys())
-                                        .Audit(sys.server.Entries(),
-                                               sys.master.Topology());
+/// The mode-invariant content of a report: every verdict field that does
+/// not embed a wall-clock timestamp, in audit order.
+std::string CanonicalReport(const audit::AuditReport& report) {
+  std::string out;
+  for (const auto& v : report.verdicts) {
+    out += v.topic + "#" + std::to_string(v.seq) + " " + v.publisher + "->" +
+           v.subscriber + " " + std::string(audit::FindingName(v.finding));
+    for (const auto& b : v.blamed) out += " blames:" + b;
+    out += "\n";
+  }
+  for (const auto& u : report.unfaithful) out += "unfaithful:" + u + "\n";
+  return out;
+}
+
+class TcpTransportFullStackTest
+    : public ::testing::TestWithParam<transport::TransportMode> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    BothModes, TcpTransportFullStackTest,
+    ::testing::Values(transport::TransportMode::kThreadPerConn,
+                      transport::TransportMode::kReactor),
+    [](const ::testing::TestParamInfo<transport::TransportMode>& info) {
+      return info.param == transport::TransportMode::kReactor
+                 ? "Reactor"
+                 : "ThreadPerConn";
+    });
+
+TEST_P(TcpTransportFullStackTest, AuditedClean) {
+  // Two-component ADLP over real TCP sockets, audited clean.
+  const audit::AuditReport report = RunTcpFleet(GetParam());
   EXPECT_EQ(report.verdicts.size(), 10u);
   EXPECT_TRUE(report.unfaithful.empty()) << report.Render();
+}
+
+TEST(EndToEndTest, TransportModesProduceIdenticalAuditReports) {
+  // The reactor is a transport substitution, invisible to the protocol: the
+  // same fleet run in both modes must audit to byte-identical reports
+  // (modulo wall-clock timestamps, which differ between any two runs).
+  const audit::AuditReport thread_report =
+      RunTcpFleet(transport::TransportMode::kThreadPerConn);
+  const audit::AuditReport reactor_report =
+      RunTcpFleet(transport::TransportMode::kReactor);
+  EXPECT_EQ(CanonicalReport(thread_report), CanonicalReport(reactor_report));
+  EXPECT_EQ(thread_report.TotalValid(), reactor_report.TotalValid());
 }
 
 TEST(EndToEndTest, StrictModeBlocksWireTampering) {

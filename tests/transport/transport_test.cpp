@@ -4,8 +4,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <set>
 #include <thread>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/clock.h"
@@ -307,6 +309,89 @@ TEST(TcpListenerTest, MultipleConnections) {
     seen.insert((*r)[0]);
   }
   EXPECT_EQ(seen.size(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// TcpConnect deadline: the caller's overall budget must hold no matter how
+// the attempts fail — blackholed routes (connect() hangs in EINPROGRESS
+// until the kernel gives up, minutes later) and refused ports alike.
+
+TEST(TcpConnectDeadlineTest, DeadlineBoundsBlackholedConnect) {
+  // A listener whose accept queue is saturated black-holes further connects:
+  // the kernel drops the SYN, the client retransmits, and connect() sits in
+  // EINPROGRESS — the same shape as an unroutable host, but deterministic on
+  // loopback (container networks often NAT "unroutable" test addresses).
+  // Without the deadline, attempts=3 with no per-attempt timeout would block
+  // on the kernel's own connect timeout (minutes).
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listen_fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(
+      ::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(::listen(listen_fd, 1), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(
+      ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  const std::uint16_t port = ntohs(addr.sin_port);
+
+  // Never accepted: a handful of connects saturates backlog=1, and every
+  // later SYN is dropped.
+  std::vector<int> fillers;
+  for (int i = 0; i < 8; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+    ASSERT_GE(fd, 0);
+    ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    fillers.push_back(fd);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  TcpConnectOptions options;
+  options.attempts = 3;
+  options.connect_timeout_ms = 0;  // deliberately unbounded per attempt
+  options.retry_delay_ms = 20;
+  options.deadline_ms = 200;
+
+  const Timestamp start = MonotonicNowNs();
+  const ChannelPtr channel = TryTcpConnect(port, options);
+  const std::int64_t elapsed_ms = (MonotonicNowNs() - start) / 1'000'000;
+
+  EXPECT_EQ(channel, nullptr);
+  // The attempt ran until the deadline (not an instant local failure)...
+  EXPECT_GE(elapsed_ms, 150);
+  // ...and the deadline cut it off (generous bound for loaded CI, still
+  // orders of magnitude under the kernel's connect timeout).
+  EXPECT_LT(elapsed_ms, 5000);
+
+  for (const int fd : fillers) ::close(fd);
+  ::close(listen_fd);
+}
+
+TEST(TcpConnectDeadlineTest, DeadlineCutsRetrySchedule) {
+  // A refused port fails instantly, so the retry sleeps dominate: 50
+  // attempts x 40 ms would take ~2 s. The deadline must cut the schedule
+  // short even though no single attempt ever blocks.
+  std::uint16_t dead_port = 0;
+  {
+    TcpListener listener(0);
+    dead_port = listener.Port();
+  }  // closed: connections are now refused
+
+  TcpConnectOptions options;
+  options.attempts = 50;
+  options.connect_timeout_ms = 100;
+  options.retry_delay_ms = 40;
+  options.max_retry_delay_ms = 40;
+  options.deadline_ms = 150;
+
+  const Timestamp start = MonotonicNowNs();
+  const ChannelPtr channel = TryTcpConnect(dead_port, options);
+  const std::int64_t elapsed_ms = (MonotonicNowNs() - start) / 1'000'000;
+
+  EXPECT_EQ(channel, nullptr);
+  EXPECT_GE(elapsed_ms, 100);  // it did retry up to the deadline
+  EXPECT_LT(elapsed_ms, 1500);  // and stopped ~150 ms in, not ~2 s
 }
 
 }  // namespace

@@ -1,13 +1,21 @@
 #!/usr/bin/env python3
-"""Schema check for the benchmark harness's JSON outputs.
+"""Schema and regression check for the benchmark harness's JSON outputs.
 
     check_bench_json.py FILE [FILE ...]
+    check_bench_json.py FILE --compare BASELINE [--max-regress 0.15]
 
-Validates BENCH_audit.json (audit_bench) and BENCH_obs.json (obs_bench):
-the file must parse, carry every expected field with the expected type, and
-its self-reported pass flag (all_reports_identical / within_budget) must be
-true. The schema is recognised from the document's contents, not the file
-name, so renamed artifacts still validate.
+Validates BENCH_audit.json (audit_bench), BENCH_obs.json (obs_bench), and
+BENCH_scale.json (scale_bench): the file must parse, carry every expected
+field with the expected type, and its self-reported pass flag
+(all_reports_identical / within_budget / scale_ok) must be true. The schema
+is recognised from the document's contents, not the file name, so renamed
+artifacts still validate.
+
+With --compare, exactly one FILE is checked against BASELINE (same schema):
+every gated metric in the baseline must be matched in the current file and
+must not regress by more than --max-regress (fraction, default 0.15).
+Throughput-style metrics (entries_per_sec, deliveries_per_sec) regress
+downward; cost-style metrics (ns_per_record) regress upward.
 
 Exit status: 0 = all files valid; 1 = a check failed; 2 = usage error.
 """
@@ -95,30 +103,170 @@ def check_obs(doc, name):
         raise SchemaError(f"{name}: within_budget is false")
 
 
-def check_file(path):
+def check_scale(doc, name):
+    config = require(doc, "config", dict, name)
+    require(config, "payload_bytes", int, f"{name}.config")
+    require(config, "min_speedup", (int, float), f"{name}.config")
+    require(config, "timeout_s", int, f"{name}.config")
+
+    results = require(doc, "results", list, name)
+    if not results:
+        raise SchemaError(f"{name}: empty results array")
+    for i, result in enumerate(results):
+        where = f"{name}.results[{i}]"
+        require(result, "subs", int, where)
+        mode = require(result, "mode", str, where)
+        if mode not in ("thread", "reactor"):
+            raise SchemaError(f"{where}: unknown mode '{mode}'")
+        require(result, "rounds", int, where)
+        require(result, "deliveries", int, where)
+        for field in ("wall_ms", "deliveries_per_sec", "p50_us", "p99_us"):
+            value = require(result, field, (int, float), where)
+            if value < 0:
+                raise SchemaError(f"{where}: '{field}' is negative: {value}")
+        if require(result, "timed_out", bool, where):
+            raise SchemaError(f"{where}: run timed out before finishing")
+
+    gate = require(doc, "gate", dict, name)
+    require(gate, "subs", int, f"{name}.gate")
+    require(gate, "speedup", (int, float), f"{name}.gate")
+    require(gate, "p99_ok", bool, f"{name}.gate")
+    require(gate, "evaluated", bool, f"{name}.gate")
+
+    if not require(doc, "scale_ok", bool, name):
+        raise SchemaError(f"{name}: scale_ok is false")
+
+
+# Schema name -> (row key fields, gated metrics). Each metric is
+# (field, direction): "up" = higher is better, "down" = lower is better.
+COMPARE_SPECS = {
+    "audit_bench": (("threads", "cache"), (("entries_per_sec", "up"),)),
+    "obs_bench": (("name",), (("ns_per_record", "down"),)),
+    "scale_bench": (("subs", "mode"), (("deliveries_per_sec", "up"),)),
+}
+
+
+def compare(doc, baseline, kind, name, base_name, max_regress):
+    key_fields, metrics = COMPARE_SPECS[kind]
+
+    def rows_by_key(document, where):
+        rows = {}
+        for row in require(document, "results", list, where):
+            rows[tuple(row.get(f) for f in key_fields)] = row
+        return rows
+
+    current = rows_by_key(doc, name)
+    base = rows_by_key(baseline, base_name)
+    failures = []
+    for key, base_row in base.items():
+        label = ",".join(f"{f}={v}" for f, v in zip(key_fields, key))
+        if key not in current:
+            failures.append(f"row ({label}) present in baseline but missing")
+            continue
+        for field, direction in metrics:
+            base_value = base_row.get(field)
+            cur_value = current[key].get(field)
+            if not isinstance(base_value, (int, float)) or base_value <= 0:
+                continue  # nothing meaningful to compare against
+            if not isinstance(cur_value, (int, float)):
+                failures.append(f"row ({label}): '{field}' missing")
+                continue
+            if direction == "up":
+                regress = (base_value - cur_value) / base_value
+            else:
+                regress = (cur_value - base_value) / base_value
+            if regress > max_regress:
+                failures.append(
+                    f"row ({label}): {field} regressed {regress:.1%} "
+                    f"(baseline {base_value:g}, current {cur_value:g}, "
+                    f"allowed {max_regress:.0%})"
+                )
+    if failures:
+        raise SchemaError(
+            f"{name} vs {base_name}: " + "; ".join(failures)
+        )
+    print(
+        f"{name}: no regression vs {base_name} "
+        f"({len(base)} rows, max {max_regress:.0%})"
+    )
+
+
+def load(path):
     with open(path, encoding="utf-8") as handle:
         doc = json.load(handle)
     if not isinstance(doc, dict):
         raise SchemaError(f"{path}: top level is not an object")
+    return doc
+
+
+def check_doc(doc, path):
+    """Validates `doc` and returns its recognised schema name."""
     if "all_reports_identical" in doc:
         check_audit(doc, path)
         kind = "audit_bench"
     elif "within_budget" in doc:
         check_obs(doc, path)
         kind = "obs_bench"
+    elif "scale_ok" in doc:
+        check_scale(doc, path)
+        kind = "scale_bench"
     else:
         raise SchemaError(f"{path}: unrecognised bench output")
     print(f"{path}: ok ({kind}, {len(doc['results'])} results)")
+    return kind
+
+
+def usage():
+    print(__doc__.strip(), file=sys.stderr)
+    return 2
 
 
 def main(argv):
-    if len(argv) < 2:
-        print(__doc__.strip(), file=sys.stderr)
+    files = []
+    baseline_path = None
+    max_regress = 0.15
+    i = 1
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--compare":
+            if i + 1 >= len(argv):
+                return usage()
+            baseline_path = argv[i + 1]
+            i += 2
+        elif arg == "--max-regress":
+            if i + 1 >= len(argv):
+                return usage()
+            try:
+                max_regress = float(argv[i + 1])
+            except ValueError:
+                return usage()
+            if max_regress < 0:
+                return usage()
+            i += 2
+        elif arg.startswith("-"):
+            return usage()
+        else:
+            files.append(arg)
+            i += 1
+    if not files:
+        return usage()
+    if baseline_path is not None and len(files) != 1:
+        print("--compare requires exactly one FILE", file=sys.stderr)
         return 2
+
     failed = False
-    for path in argv[1:]:
+    for path in files:
         try:
-            check_file(path)
+            doc = load(path)
+            kind = check_doc(doc, path)
+            if baseline_path is not None:
+                baseline = load(baseline_path)
+                base_kind = check_doc(baseline, baseline_path)
+                if base_kind != kind:
+                    raise SchemaError(
+                        f"{path} is {kind} but {baseline_path} is {base_kind}"
+                    )
+                compare(doc, baseline, kind, path, baseline_path, max_regress)
         except (OSError, json.JSONDecodeError, SchemaError) as err:
             print(f"FAIL {err}", file=sys.stderr)
             failed = True
