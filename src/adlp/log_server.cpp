@@ -9,7 +9,7 @@ void LogServer::RegisterKey(const crypto::ComponentId& id,
 
 void LogServer::Append(const LogEntry& entry) {
   Bytes record = SerializeLogEntry(entry);
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   chain_.Append(record);
   total_bytes_ += record.size();
   bytes_by_component_[entry.component] += record.size();
@@ -18,13 +18,13 @@ void LogServer::Append(const LogEntry& entry) {
 }
 
 std::vector<LogEntry> LogServer::Entries() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return entries_;
 }
 
 std::vector<LogEntry> LogServer::EntriesFor(
     const crypto::ComponentId& id) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::vector<LogEntry> out;
   for (const auto& e : entries_) {
     if (e.component == id) out.push_back(e);
@@ -33,38 +33,38 @@ std::vector<LogEntry> LogServer::EntriesFor(
 }
 
 std::size_t LogServer::EntryCount() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return entries_.size();
 }
 
 std::uint64_t LogServer::TotalBytes() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return total_bytes_;
 }
 
 std::uint64_t LogServer::BytesFor(const crypto::ComponentId& id) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const auto it = bytes_by_component_.find(id);
   return it == bytes_by_component_.end() ? 0 : it->second;
 }
 
 crypto::Digest LogServer::ChainHead() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return chain_.Head();
 }
 
 bool LogServer::VerifyChain() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return crypto::HashChain::Verify(records_, chain_.Head());
 }
 
 std::vector<Bytes> LogServer::SerializedRecords() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return records_;
 }
 
 bool LogServer::CorruptRecordForTest(std::size_t index) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (index >= records_.size() || records_[index].empty()) return false;
   records_[index][0] ^= 0x01;
   return true;

@@ -9,10 +9,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <vector>
 
 #include "adlp/log_entry.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "adlp/log_sink.h"
 #include "crypto/hashchain.h"
 #include "crypto/keystore.h"
@@ -50,13 +51,16 @@ class LogServer final : public LogSink {
   bool CorruptRecordForTest(std::size_t index);
 
  private:
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
+  // keys_ is internally synchronized (KeyStore has its own lock) and is
+  // handed out by Keys() without mu_, so it is deliberately not guarded.
   crypto::KeyStore keys_;
-  crypto::HashChain chain_;
-  std::vector<LogEntry> entries_;
-  std::vector<Bytes> records_;
-  std::uint64_t total_bytes_ = 0;
-  std::map<crypto::ComponentId, std::uint64_t> bytes_by_component_;
+  crypto::HashChain chain_ GUARDED_BY(mu_);
+  std::vector<LogEntry> entries_ GUARDED_BY(mu_);
+  std::vector<Bytes> records_ GUARDED_BY(mu_);
+  std::uint64_t total_bytes_ GUARDED_BY(mu_) = 0;
+  std::map<crypto::ComponentId, std::uint64_t> bytes_by_component_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace adlp::proto

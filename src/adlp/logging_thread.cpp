@@ -36,18 +36,18 @@ void LoggingThread::Run() {
                            std::memory_order_relaxed);
     cpu.Discard();
     {
-      std::lock_guard lock(flush_mu_);
+      MutexLock lock(flush_mu_);
       ++processed_;
     }
-    flush_cv_.notify_all();
+    flush_cv_.NotifyAll();
     cpu.Tick();
   }
 }
 
 void LoggingThread::Flush() {
   const std::uint64_t target = entered_.load(std::memory_order_relaxed);
-  std::unique_lock lock(flush_mu_);
-  flush_cv_.wait(lock, [&] { return processed_ >= target; });
+  MutexLock lock(flush_mu_);
+  while (processed_ < target) flush_cv_.Wait(lock);
 }
 
 void LoggingThread::Stop() {

@@ -4,13 +4,13 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
-#include <mutex>
 #include <thread>
 
 #include "adlp/log_sink.h"
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "common/queue.h"
+#include "common/thread_annotations.h"
 #include "crypto/rsa.h"
 
 namespace adlp::proto {
@@ -29,7 +29,7 @@ class LoggingThread final : public LogPipe {
   void Enter(LogEntry entry) override;
 
   /// Blocks until every entry entered so far has reached the sink.
-  void Flush();
+  void Flush() EXCLUDES(flush_mu_);
 
   /// Stops the worker after draining. Idempotent; called by the destructor.
   void Stop();
@@ -60,9 +60,9 @@ class LoggingThread final : public LogPipe {
   std::atomic<std::uint64_t> entered_{0};
   std::atomic<Timestamp> cpu_ns_{0};
   std::atomic<Timestamp> sink_cpu_ns_{0};
-  std::mutex flush_mu_;
-  std::condition_variable flush_cv_;
-  std::uint64_t processed_ = 0;  // guarded by flush_mu_
+  Mutex flush_mu_;
+  CondVar flush_cv_;
+  std::uint64_t processed_ GUARDED_BY(flush_mu_) = 0;
 };
 
 }  // namespace adlp::proto

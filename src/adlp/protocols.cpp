@@ -384,7 +384,7 @@ AdlpFactory::MakeSubscriberLink(const std::string& topic,
 void AdlpFactory::AddAggregatedAck(const std::string& topic,
                                    LogEntry entry_template,
                                    LogEntry::AckRecord ack) {
-  std::lock_guard lock(agg_mu_);
+  MutexLock lock(agg_mu_);
   auto& slot = aggregates_[topic];
   if (!slot) slot = std::make_unique<PendingAggregate>();
 
@@ -404,7 +404,7 @@ void AdlpFactory::AddAggregatedAck(const std::string& topic,
 }
 
 void AdlpFactory::FlushAggregated() {
-  std::lock_guard lock(agg_mu_);
+  MutexLock lock(agg_mu_);
   for (auto& [topic, slot] : aggregates_) {
     if (!slot) continue;
     for (auto& [seq, entry] : slot->open) {

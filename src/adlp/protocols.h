@@ -17,10 +17,11 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 
 #include "adlp/log_sink.h"
 #include "common/clock.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "crypto/keystore.h"
 #include "crypto/sig.h"
 #include "pubsub/protocol.h"
@@ -136,8 +137,9 @@ class AdlpFactory final : public pubsub::ProtocolFactory {
   const Clock& clock_;
   AdlpOptions options_;
 
-  std::mutex agg_mu_;
-  std::map<std::string, std::unique_ptr<PendingAggregate>> aggregates_;
+  Mutex agg_mu_;
+  std::map<std::string, std::unique_ptr<PendingAggregate>> aggregates_
+      GUARDED_BY(agg_mu_);
 
   std::atomic<std::uint64_t> rejected_{0};
 };

@@ -116,7 +116,7 @@ LogServerService::~LogServerService() { Shutdown(); }
 
 void LogServerService::AcceptLoop() {
   while (auto channel = listener_.Accept()) {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (shutting_down_.load()) {
       channel->Close();
       return;
@@ -147,7 +147,7 @@ void LogServerService::AdoptReactorChannel(
   // Runs on a reactor loop thread (the acceptor's callback). Safe to touch
   // `this`: Shutdown() closes the acceptor with its loop barrier before the
   // service is torn down, so no callback outlives the service.
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (shutting_down_.load()) {
     channel->Close();
     return;
@@ -179,7 +179,7 @@ void LogServerService::ReapFinishedLocked() {
 }
 
 std::size_t LogServerService::ActiveConnections() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   ReapFinishedLocked();
   return connections_.size();
 }
@@ -193,7 +193,7 @@ void LogServerService::Shutdown() {
   if (accept_thread_.joinable()) accept_thread_.join();
   std::vector<std::unique_ptr<Connection>> connections;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     connections.swap(connections_);
   }
   for (auto& c : connections) c->channel->Close();

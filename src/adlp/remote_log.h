@@ -19,6 +19,8 @@
 #include <vector>
 
 #include "adlp/log_server.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "adlp/log_sink.h"
 #include "transport/channel.h"
 #include "transport/epoll_channel.h"
@@ -87,8 +89,7 @@ class LogServerService {
   /// Registers one reactor-accepted channel and starts its async ingestion.
   void AdoptReactorChannel(std::shared_ptr<transport::EpollChannel> channel);
   /// Joins and erases connections whose ingestion loop has exited.
-  /// Caller holds mu_.
-  void ReapFinishedLocked();
+  void ReapFinishedLocked() REQUIRES(mu_);
 
   LogServer& server_;
   transport::TcpListener listener_;
@@ -96,8 +97,8 @@ class LogServerService {
   std::atomic<bool> shutting_down_{false};
   std::thread accept_thread_;                           // kThreadPerConn
   std::unique_ptr<transport::ReactorAcceptor> acceptor_;  // kReactor
-  std::mutex mu_;
-  std::vector<std::unique_ptr<Connection>> connections_;
+  Mutex mu_;
+  std::vector<std::unique_ptr<Connection>> connections_ GUARDED_BY(mu_);
 };
 
 }  // namespace adlp::proto

@@ -9,16 +9,16 @@
 namespace adlp::proto {
 
 struct ResilientLogSink::BackoffWait {
-  std::mutex mu;
-  std::condition_variable cv;
-  bool fired = false;
+  Mutex mu;
+  CondVar cv;
+  bool fired GUARDED_BY(mu) = false;
 
-  void Fire() {
+  void Fire() EXCLUDES(mu) {
     {
-      std::lock_guard lock(mu);
+      MutexLock lock(mu);
       fired = true;
     }
-    cv.notify_all();
+    cv.NotifyAll();
   }
 };
 
@@ -39,7 +39,7 @@ ResilientLogSink::ResilientLogSink(Connector connector, Options options)
 ResilientLogSink::~ResilientLogSink() {
   std::shared_ptr<BackoffWait> backoff;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
     // Unblocks a flusher stuck in send() on a full socket buffer.
     if (channel_) channel_->Close();
@@ -47,11 +47,14 @@ ResilientLogSink::~ResilientLogSink() {
   }
   // Unblocks a flusher parked on a reactor-timed backoff interval.
   if (backoff) backoff->Fire();
-  cv_.notify_all();
-  drain_cv_.notify_all();
+  cv_.NotifyAll();
+  drain_cv_.NotifyAll();
   if (flusher_.joinable()) flusher_.join();
   // Frames still spooled die with the sink; release them from the
-  // process-wide depth gauge so it tracks live sinks only.
+  // process-wide depth gauge so it tracks live sinks only. The flusher is
+  // joined, but the lock is still taken: spool_ is guarded by mu_ and the
+  // analysis (rightly) has no notion of "all other threads are dead".
+  MutexLock lock(mu_);
   if (!spool_.empty()) {
     obs::metric::SinkSpoolDepth().Sub(static_cast<std::int64_t>(spool_.size()));
   }
@@ -61,7 +64,7 @@ void ResilientLogSink::RegisterKey(const crypto::ComponentId& id,
                                    const crypto::PublicKey& key) {
   Bytes frame = SerializeLogUpload(id, key);
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     // Kept forever: every (re)connect replays all registrations so a logger
     // restarted with empty state can still verify the replayed entries.
     // LogServer::RegisterKey is idempotent, so duplicates are harmless.
@@ -75,26 +78,31 @@ void ResilientLogSink::Append(const LogEntry& entry) {
 }
 
 bool ResilientLogSink::Connected() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return channel_ != nullptr && channel_->IsOpen();
 }
 
 SinkStats ResilientLogSink::Stats() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   SinkStats stats = stats_;
   stats.entries_spooled = spool_.size();
   return stats;
 }
 
 bool ResilientLogSink::Drain(std::chrono::milliseconds timeout) {
-  std::unique_lock lock(mu_);
-  return drain_cv_.wait_for(lock, timeout,
-                            [&] { return spool_.empty() && !in_flight_; });
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  MutexLock lock(mu_);
+  while (!spool_.empty() || in_flight_) {
+    if (drain_cv_.WaitUntil(lock, deadline) == std::cv_status::timeout) {
+      return spool_.empty() && !in_flight_;
+    }
+  }
+  return true;
 }
 
 void ResilientLogSink::PushFrame(Bytes frame) {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (stop_) return;
     if (spool_.size() >= options_.spool_capacity) {
       // Oldest-drop: bounded memory during a long partition. The auditor
@@ -116,13 +124,13 @@ void ResilientLogSink::PushFrame(Bytes frame) {
         static_cast<std::int64_t>(spool_.size()));
     obs::TraceLog::Global().Record(obs::TraceKind::kSpool, "", spool_.size());
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 bool ResilientLogSink::ResendKeys(const transport::ChannelPtr& channel) {
   std::vector<Bytes> keys;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     keys = key_frames_;
   }
   for (const Bytes& frame : keys) {
@@ -136,14 +144,14 @@ void ResilientLogSink::FlusherLoop() {
   while (true) {
     transport::ChannelPtr channel;
     {
-      std::unique_lock lock(mu_);
+      MutexLock lock(mu_);
       if (stop_) return;
       channel = channel_;
     }
 
     if (channel == nullptr || !channel->IsOpen()) {
       transport::ChannelPtr fresh = connector_();
-      std::unique_lock lock(mu_);
+      MutexLock lock(mu_);
       if (stop_) {
         if (fresh) fresh->Close();
         return;
@@ -162,19 +170,24 @@ void ResilientLogSink::FlusherLoop() {
           // timer the destructor can fire early for prompt shutdown.
           auto wait = std::make_shared<BackoffWait>();
           backoff_wait_ = wait;
-          lock.unlock();
+          lock.Unlock();
           auto& reactor = transport::Reactor::Global();
           reactor.RunAfter(reactor.AssignLoop(), delay_ms,
                            [wait] { wait->Fire(); });
           {
-            std::unique_lock wait_lock(wait->mu);
-            wait->cv.wait(wait_lock, [&] { return wait->fired; });
+            MutexLock wait_lock(wait->mu);
+            while (!wait->fired) wait->cv.Wait(wait_lock);
           }
-          lock.lock();
+          lock.Lock();
           backoff_wait_.reset();
         } else {
-          cv_.wait_for(lock, std::chrono::milliseconds(delay_ms),
-                       [&] { return stop_; });
+          // Timed park, cut short by stop_: wait out the backoff interval
+          // unless the destructor wakes us first.
+          const auto deadline = std::chrono::steady_clock::now() +
+                                std::chrono::milliseconds(delay_ms);
+          while (!stop_ &&
+                 cv_.WaitUntil(lock, deadline) != std::cv_status::timeout) {
+          }
         }
         continue;
       }
@@ -188,12 +201,12 @@ void ResilientLogSink::FlusherLoop() {
         obs::TraceLog::Global().Record(obs::TraceKind::kReconnect, "",
                                        connects_);
       }
-      lock.unlock();
+      lock.Unlock();
       // Keys need re-registration only on REconnects: the first connection
       // gets them from the spool in their original order. (Re-sending them
       // here too would double-send nondeterministically.)
       if (is_reconnect && !ResendKeys(fresh)) {
-        std::lock_guard relock(mu_);
+        lock.Lock();
         if (channel_ == fresh) channel_.reset();
         continue;
       }
@@ -202,8 +215,8 @@ void ResilientLogSink::FlusherLoop() {
 
     Bytes frame;
     {
-      std::unique_lock lock(mu_);
-      cv_.wait(lock, [&] { return stop_ || !spool_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && spool_.empty()) cv_.Wait(lock);
       if (stop_) return;
       frame = std::move(spool_.front());
       spool_.pop_front();
@@ -212,7 +225,7 @@ void ResilientLogSink::FlusherLoop() {
 
     const bool sent = channel->Send(frame);
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       in_flight_ = false;
       if (sent) {
         ++stats_.entries_sent;
@@ -220,7 +233,7 @@ void ResilientLogSink::FlusherLoop() {
         obs::metric::SinkSpoolDepth().Sub(1);
         obs::TraceLog::Global().Record(obs::TraceKind::kFlush, "",
                                        spool_.size());
-        if (spool_.empty()) drain_cv_.notify_all();
+        if (spool_.empty()) drain_cv_.NotifyAll();
       } else {
         // Order-preserving retry: the failed frame goes back to the front
         // and is the first thing replayed after reconnection.

@@ -28,17 +28,17 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "adlp/log_sink.h"
+#include "common/mutex.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "transport/channel.h"
 #include "transport/reconnect.h"
 #include "transport/tcp.h"
@@ -101,13 +101,13 @@ class ResilientLogSink final : public LogSink {
                    const crypto::PublicKey& key) override;
   void Append(const LogEntry& entry) override;
 
-  bool Connected() const;
-  SinkStats Stats() const;
+  bool Connected() const EXCLUDES(mu_);
+  SinkStats Stats() const EXCLUDES(mu_);
 
   /// Blocks until every spooled frame has been written to a live connection
   /// (or `timeout` elapses). Returns true if fully drained. Intended for
   /// orderly shutdown; the data plane itself never calls this.
-  bool Drain(std::chrono::milliseconds timeout);
+  bool Drain(std::chrono::milliseconds timeout) EXCLUDES(mu_);
 
  private:
   /// One reactor-timed backoff interval: the flusher parks on the token's
@@ -116,26 +116,28 @@ class ResilientLogSink final : public LogSink {
   /// the sink died touches only the token.
   struct BackoffWait;
 
-  void PushFrame(Bytes frame);
-  void FlusherLoop();
+  void PushFrame(Bytes frame) EXCLUDES(mu_);
+  void FlusherLoop() EXCLUDES(mu_);
   /// Sends all known key-registration frames on `channel`. False on failure.
-  bool ResendKeys(const transport::ChannelPtr& channel);
+  bool ResendKeys(const transport::ChannelPtr& channel) EXCLUDES(mu_);
 
   Connector connector_;
   const Options options_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;        // wakes the flusher
-  std::condition_variable drain_cv_;  // wakes Drain()
-  std::deque<Bytes> spool_;
-  std::vector<Bytes> key_frames_;  // replayed on every (re)connect
-  transport::ChannelPtr channel_;
-  bool in_flight_ = false;  // a frame is popped but not yet sent
-  bool stop_ = false;
-  std::shared_ptr<BackoffWait> backoff_wait_;  // live only while backing off
-  std::uint64_t connects_ = 0;
-  SinkStats stats_;
-  Rng backoff_rng_;
+  mutable Mutex mu_;
+  CondVar cv_;        // wakes the flusher
+  CondVar drain_cv_;  // wakes Drain()
+  std::deque<Bytes> spool_ GUARDED_BY(mu_);
+  // Replayed on every (re)connect.
+  std::vector<Bytes> key_frames_ GUARDED_BY(mu_);
+  transport::ChannelPtr channel_ GUARDED_BY(mu_);
+  bool in_flight_ GUARDED_BY(mu_) = false;  // popped but not yet sent
+  bool stop_ GUARDED_BY(mu_) = false;
+  // Live only while backing off.
+  std::shared_ptr<BackoffWait> backoff_wait_ GUARDED_BY(mu_);
+  std::uint64_t connects_ GUARDED_BY(mu_) = 0;
+  SinkStats stats_ GUARDED_BY(mu_);
+  Rng backoff_rng_ GUARDED_BY(mu_);
 
   std::thread flusher_;
 };

@@ -5,7 +5,6 @@
 
 #include <compare>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>

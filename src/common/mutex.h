@@ -1,0 +1,114 @@
+// Annotated mutex / scoped-lock / condition-variable wrappers.
+//
+// Thin layers over std::mutex and std::condition_variable that carry the
+// Clang thread-safety capability attributes from thread_annotations.h, so
+// code written against them is checkable with -Wthread-safety. They add no
+// state and no behaviour beyond std:: — a Mutex is exactly a std::mutex the
+// analysis can name.
+//
+// Design notes for the analysis:
+//  - MutexLock operates on the underlying std::mutex (via friendship), so
+//    its *bodies* are invisible to the analysis and cannot self-warn; the
+//    interface attributes are what callers are checked against.
+//  - CondVar takes the MutexLock explicitly and requires the associated
+//    Mutex, mirroring std::condition_variable's unique_lock contract.
+//  - Predicate waits are deliberately not offered: Clang analyses lambda
+//    bodies with no held capabilities, so `cv.wait(lock, pred)` on guarded
+//    state cannot be annotated. Write explicit `while (!pred) cv.Wait(lock);`
+//    loops instead — the analysis then sees the guarded reads under the lock.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace adlp {
+
+class CondVar;
+class MutexLock;
+
+/// std::mutex with a capability attribute. Prefer MutexLock over manual
+/// Lock()/Unlock() pairs.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// RAII lock over Mutex, relockable: Unlock() releases early (e.g. around a
+/// blocking call that must not hold the lock), Lock() reacquires, and the
+/// destructor releases only if currently held. The analysis tracks all three
+/// through the SCOPED_CAPABILITY attributes.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu.mu_) { mu_.lock(); }
+  ~MutexLock() RELEASE() {
+    if (held_) mu_.unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void Unlock() RELEASE() {
+    held_ = false;
+    mu_.unlock();
+  }
+  void Lock() ACQUIRE() {
+    mu_.lock();
+    held_ = true;
+  }
+
+ private:
+  friend class CondVar;
+  std::mutex& mu_;
+  bool held_ = true;
+};
+
+/// Condition variable bound to a MutexLock at each wait. All waits require
+/// the lock's Mutex to be held; they release it while blocked and reacquire
+/// before returning, exactly like std::condition_variable.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(MutexLock& lock) {
+    std::unique_lock<std::mutex> ul(lock.mu_, std::adopt_lock);
+    cv_.wait(ul);
+    ul.release();  // ownership stays with `lock`
+  }
+
+  std::cv_status WaitUntil(MutexLock& lock,
+                           std::chrono::steady_clock::time_point deadline) {
+    std::unique_lock<std::mutex> ul(lock.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(ul, deadline);
+    ul.release();
+    return status;
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status WaitFor(MutexLock& lock,
+                         std::chrono::duration<Rep, Period> timeout) {
+    return WaitUntil(lock, std::chrono::steady_clock::now() + timeout);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace adlp

@@ -2,11 +2,12 @@
 // threads, node executors, and logging threads.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace adlp {
 
@@ -21,20 +22,20 @@ class ConcurrentQueue {
 
   /// Enqueues an item. Returns false (dropping the item) if the queue has
   /// been closed.
-  bool Push(T item) {
+  bool Push(T item) EXCLUDES(mu_) {
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       if (closed_) return false;
       items_.push_back(std::move(item));
     }
-    cv_.notify_one();
+    cv_.NotifyOne();
     return true;
   }
 
   /// Blocks until an item is available or the queue is closed and empty.
-  std::optional<T> Pop() {
-    std::unique_lock lock(mu_);
-    cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+  std::optional<T> Pop() EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    while (!closed_ && items_.empty()) cv_.Wait(lock);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -42,8 +43,8 @@ class ConcurrentQueue {
   }
 
   /// Non-blocking pop.
-  std::optional<T> TryPop() {
-    std::lock_guard lock(mu_);
+  std::optional<T> TryPop() EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -51,29 +52,29 @@ class ConcurrentQueue {
   }
 
   /// Closes the queue: further pushes are rejected, waiters drain and exit.
-  void Close() {
+  void Close() EXCLUDES(mu_) {
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       closed_ = true;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 
-  bool Closed() const {
-    std::lock_guard lock(mu_);
+  bool Closed() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return closed_;
   }
 
-  std::size_t Size() const {
-    std::lock_guard lock(mu_);
+  std::size_t Size() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return items_.size();
   }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<T> items_ GUARDED_BY(mu_);
+  bool closed_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace adlp

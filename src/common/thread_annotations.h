@@ -1,0 +1,63 @@
+// Clang thread-safety-analysis attribute macros (ABSL style).
+//
+// These annotate which mutex guards which field and which capabilities a
+// function acquires, releases, or requires, letting Clang's -Wthread-safety
+// pass prove lock discipline at compile time. Under any compiler without the
+// attributes (GCC, MSVC) every macro expands to nothing, so annotated code
+// stays portable. The analysis leg runs in CI with -DADLP_THREAD_SAFETY=ON.
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define ADLP_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef ADLP_THREAD_ANNOTATION
+#define ADLP_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+// Marks a type as a lockable capability ("mutex" names it in diagnostics).
+#define CAPABILITY(x) ADLP_THREAD_ANNOTATION(capability(x))
+
+// Marks an RAII type whose constructor acquires and destructor releases.
+#define SCOPED_CAPABILITY ADLP_THREAD_ANNOTATION(scoped_lockable)
+
+// Field may only be read or written while holding `x`.
+#define GUARDED_BY(x) ADLP_THREAD_ANNOTATION(guarded_by(x))
+
+// Pointer field: the *pointee* may only be accessed while holding `x`.
+#define PT_GUARDED_BY(x) ADLP_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Caller must hold the given capabilities (exclusively) before calling.
+#define REQUIRES(...) ADLP_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+// Caller must hold the given capabilities at least shared before calling.
+#define REQUIRES_SHARED(...) \
+  ADLP_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+// Function acquires the capabilities and holds them on return.
+#define ACQUIRE(...) ADLP_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+// Function releases the capabilities; caller must hold them on entry.
+#define RELEASE(...) ADLP_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+// Function acquires the capabilities iff it returns `b`.
+#define TRY_ACQUIRE(b, ...) \
+  ADLP_THREAD_ANNOTATION(try_acquire_capability(b, __VA_ARGS__))
+
+// Caller must NOT hold the given capabilities (deadlock / re-entrancy guard).
+#define EXCLUDES(...) ADLP_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Function returns a reference to the named capability.
+#define RETURN_CAPABILITY(x) ADLP_THREAD_ANNOTATION(lock_returned(x))
+
+// Runtime assertion that the capability is held (analysis trusts it).
+#define ASSERT_CAPABILITY(x) ADLP_THREAD_ANNOTATION(assert_capability(x))
+
+// Escape hatch: disables analysis for one function. Every use must carry a
+// comment stating the invariant that replaces the lock (enforced by review;
+// grep for NO_THREAD_SAFETY_ANALYSIS to audit the escapes).
+#define NO_THREAD_SAFETY_ANALYSIS \
+  ADLP_THREAD_ANNOTATION(no_thread_safety_analysis)

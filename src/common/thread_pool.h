@@ -10,13 +10,14 @@
 // of per-task allocation beyond the std::function itself.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace adlp {
 
@@ -36,10 +37,10 @@ class ThreadPool {
   /// caller into a lost-result bug.
   ~ThreadPool() {
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       stopping_ = true;
     }
-    work_cv_.notify_all();
+    work_cv_.NotifyAll();
     for (auto& w : workers_) w.join();
   }
 
@@ -51,21 +52,21 @@ class ThreadPool {
   /// Enqueues a task. Tasks must not themselves call Submit/Wait on the
   /// same pool (no nested parallelism — a worker blocked in Wait() would
   /// deadlock the pool).
-  void Submit(std::function<void()> task) {
+  void Submit(std::function<void()> task) EXCLUDES(mu_) {
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       ++outstanding_;
       tasks_.push_back(std::move(task));
     }
-    work_cv_.notify_one();
+    work_cv_.NotifyOne();
   }
 
   /// Blocks until every task submitted so far has finished. Exceptions
   /// escaping a task terminate (tasks are expected to be noexcept in
   /// spirit); audit tasks communicate failure through their result slots.
-  void Wait() {
-    std::unique_lock lock(mu_);
-    idle_cv_.wait(lock, [&] { return outstanding_ == 0; });
+  void Wait() EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    while (outstanding_ != 0) idle_cv_.Wait(lock);
   }
 
   /// Runs `fn(begin, end)` over [0, n) split into contiguous blocks, one
@@ -87,31 +88,31 @@ class ThreadPool {
   }
 
  private:
-  void WorkerLoop() {
+  void WorkerLoop() EXCLUDES(mu_) {
     for (;;) {
       std::function<void()> task;
       {
-        std::unique_lock lock(mu_);
-        work_cv_.wait(lock, [&] { return stopping_ || !tasks_.empty(); });
+        MutexLock lock(mu_);
+        while (!stopping_ && tasks_.empty()) work_cv_.Wait(lock);
         if (tasks_.empty()) return;  // stopping and drained
         task = std::move(tasks_.front());
         tasks_.pop_front();
       }
       task();
       {
-        std::lock_guard lock(mu_);
+        MutexLock lock(mu_);
         --outstanding_;
       }
-      idle_cv_.notify_all();
+      idle_cv_.NotifyAll();
     }
   }
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable idle_cv_;
-  std::deque<std::function<void()>> tasks_;
-  std::size_t outstanding_ = 0;
-  bool stopping_ = false;
+  Mutex mu_;
+  CondVar work_cv_;
+  CondVar idle_cv_;
+  std::deque<std::function<void()>> tasks_ GUARDED_BY(mu_);
+  std::size_t outstanding_ GUARDED_BY(mu_) = 0;
+  bool stopping_ GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -3,24 +3,24 @@
 namespace adlp::crypto {
 
 void KeyStore::Register(const ComponentId& id, const PublicKey& key) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   keys_[id] = key;
 }
 
 std::optional<PublicKey> KeyStore::Find(const ComponentId& id) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const auto it = keys_.find(id);
   if (it == keys_.end()) return std::nullopt;
   return it->second;
 }
 
 bool KeyStore::Contains(const ComponentId& id) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return keys_.contains(id);
 }
 
 std::vector<ComponentId> KeyStore::RegisteredIds() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::vector<ComponentId> ids;
   ids.reserve(keys_.size());
   for (const auto& [id, key] : keys_) ids.push_back(id);
@@ -28,7 +28,7 @@ std::vector<ComponentId> KeyStore::RegisteredIds() const {
 }
 
 std::size_t KeyStore::Size() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return keys_.size();
 }
 

@@ -7,11 +7,12 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "crypto/sig.h"
 
 namespace adlp::crypto {
@@ -28,14 +29,27 @@ class KeyStore {
 
   /// Movable (source locked during the move) so registries can be built by
   /// helper functions; not copyable.
-  KeyStore(KeyStore&& other) noexcept {
-    std::lock_guard lock(other.mu_);
+  ///
+  /// Two-instance locking is inexpressible to the capability analysis (it
+  /// tracks `mu_` and `other.mu_` as distinct unnamed capabilities across the
+  /// move), so both move operations opt out. Invariant replacing the check:
+  /// `other` is an expiring object — the caller guarantees no concurrent
+  /// access to it, and `*this` in the move constructor is not yet published.
+  KeyStore(KeyStore&& other) noexcept NO_THREAD_SAFETY_ANALYSIS {
+    MutexLock lock(other.mu_);
     keys_ = std::move(other.keys_);
   }
-  KeyStore& operator=(KeyStore&& other) noexcept {
+  KeyStore& operator=(KeyStore&& other) noexcept NO_THREAD_SAFETY_ANALYSIS {
     if (this != &other) {
-      std::scoped_lock lock(mu_, other.mu_);
+      // Address order gives a total lock order for the pair, the same
+      // deadlock-avoidance std::scoped_lock would provide.
+      Mutex* first = this < &other ? &mu_ : &other.mu_;
+      Mutex* second = this < &other ? &other.mu_ : &mu_;
+      first->Lock();
+      second->Lock();
       keys_ = std::move(other.keys_);
+      second->Unlock();
+      first->Unlock();
     }
     return *this;
   }
@@ -44,19 +58,19 @@ class KeyStore {
 
   /// Registers (or replaces) a component's public key. Re-registration is
   /// permitted to model component restarts; the auditor sees the latest key.
-  void Register(const ComponentId& id, const PublicKey& key);
+  void Register(const ComponentId& id, const PublicKey& key) EXCLUDES(mu_);
 
-  std::optional<PublicKey> Find(const ComponentId& id) const;
+  std::optional<PublicKey> Find(const ComponentId& id) const EXCLUDES(mu_);
 
-  bool Contains(const ComponentId& id) const;
+  bool Contains(const ComponentId& id) const EXCLUDES(mu_);
 
-  std::vector<ComponentId> RegisteredIds() const;
+  std::vector<ComponentId> RegisteredIds() const EXCLUDES(mu_);
 
-  std::size_t Size() const;
+  std::size_t Size() const EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<ComponentId, PublicKey> keys_;
+  mutable Mutex mu_;
+  std::map<ComponentId, PublicKey> keys_ GUARDED_BY(mu_);
 };
 
 }  // namespace adlp::crypto

@@ -91,6 +91,8 @@ void Sha256::Compress(const std::uint8_t block[64]) {
 }
 
 void Sha256::Update(BytesView data) {
+  // An empty view may carry data() == nullptr; memcpy(_, nullptr, 0) is UB.
+  if (data.empty()) return;
   bit_count_ += static_cast<std::uint64_t>(data.size()) * 8;
   std::size_t offset = 0;
   if (buffer_len_ > 0) {
@@ -150,7 +152,7 @@ Digest HmacSha256(BytesView key, BytesView data) {
   if (key.size() > 64) {
     const Digest kd = Sha256Digest(key);
     std::memcpy(k, kd.data(), kd.size());
-  } else {
+  } else if (!key.empty()) {  // empty view may carry data() == nullptr
     std::memcpy(k, key.data(), key.size());
   }
 

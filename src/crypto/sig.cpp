@@ -136,7 +136,7 @@ bool VerifyCache::Verify(const PublicKey& key, const Digest& digest,
   Shard& shard = *shards_[memo[0] % kShards];
   lookups_.fetch_add(1, std::memory_order_relaxed);
   {
-    std::lock_guard lock(shard.mu);
+    MutexLock lock(shard.mu);
     const auto it = shard.results.find(memo);
     if (it != shard.results.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
@@ -148,7 +148,7 @@ bool VerifyCache::Verify(const PublicKey& key, const Digest& digest,
   // every other triple in the shard behind one modexp.
   const bool ok = VerifyDigest(key, digest, signature);
   {
-    std::lock_guard lock(shard.mu);
+    MutexLock lock(shard.mu);
     shard.results.emplace(memo, ok);
   }
   return ok;
@@ -157,7 +157,7 @@ bool VerifyCache::Verify(const PublicKey& key, const Digest& digest,
 std::size_t VerifyCache::Size() const {
   std::size_t n = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard lock(shard->mu);
+    MutexLock lock(shard->mu);
     n += shard->results.size();
   }
   return n;

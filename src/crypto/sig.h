@@ -18,11 +18,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/rng.h"
 #include "crypto/ed25519.h"
 #include "crypto/rsa.h"
@@ -120,8 +121,8 @@ class VerifyCache {
   };
 
   struct Shard {
-    std::mutex mu;
-    std::unordered_map<Digest, bool, DigestHash> results;
+    Mutex mu;
+    std::unordered_map<Digest, bool, DigestHash> results GUARDED_BY(mu);
   };
 
   std::vector<std::unique_ptr<Shard>> shards_;

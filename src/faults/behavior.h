@@ -16,13 +16,14 @@
 #include <atomic>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "adlp/log_sink.h"
 #include "adlp/protocols.h"
+#include "common/mutex.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 
 namespace adlp::faults {
 
@@ -52,13 +53,15 @@ class UnfaithfulBehavior {
   /// pipe of a component (publisher and subscriber link threads both feed
   /// it), so concrete behaviours keep plain state and this wrapper
   /// serializes them.
-  std::optional<proto::LogEntry> Apply(proto::LogEntry entry) {
-    std::lock_guard lock(mu_);
+  std::optional<proto::LogEntry> Apply(proto::LogEntry entry) EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return OnEntry(std::move(entry));
   }
 
  private:
-  std::mutex mu_;
+  // Serializes OnEntry; concrete behaviours' own state is implicitly
+  // guarded because Apply is their only entry point.
+  Mutex mu_;
 };
 
 /// LogPipe wrapper installing a behaviour; plug into

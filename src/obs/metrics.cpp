@@ -58,7 +58,7 @@ MetricsRegistry& MetricsRegistry::Global() {
 
 Counter& MetricsRegistry::GetCounter(const std::string& name, Labels labels,
                                      const std::string& help) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto& entry = counters_[Key{name, std::move(labels)}];
   if (!entry.metric) {
     entry.metric = std::make_unique<Counter>();
@@ -69,7 +69,7 @@ Counter& MetricsRegistry::GetCounter(const std::string& name, Labels labels,
 
 Gauge& MetricsRegistry::GetGauge(const std::string& name, Labels labels,
                                  const std::string& help) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto& entry = gauges_[Key{name, std::move(labels)}];
   if (!entry.metric) {
     entry.metric = std::make_unique<Gauge>();
@@ -82,7 +82,7 @@ Histogram& MetricsRegistry::GetHistogram(const std::string& name,
                                          Labels labels,
                                          std::vector<std::uint64_t> bounds,
                                          const std::string& help) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto& entry = histograms_[Key{name, std::move(labels)}];
   if (!entry.metric) {
     entry.metric = std::make_unique<Histogram>(
@@ -93,7 +93,7 @@ Histogram& MetricsRegistry::GetHistogram(const std::string& name,
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   MetricsSnapshot snap;
   snap.counters.reserve(counters_.size());
   for (const auto& [key, entry] : counters_) {
@@ -116,7 +116,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [key, entry] : counters_) entry.metric->Reset();
   for (auto& [key, entry] : gauges_) entry.metric->Reset();
   for (auto& [key, entry] : histograms_) entry.metric->Reset();

@@ -28,11 +28,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace adlp::obs {
 
@@ -206,19 +208,19 @@ class MetricsRegistry {
   /// Finds or creates. The returned reference is valid for the registry's
   /// lifetime. `help` is recorded on first registration only.
   Counter& GetCounter(const std::string& name, Labels labels = {},
-                      const std::string& help = "");
+                      const std::string& help = "") EXCLUDES(mu_);
   Gauge& GetGauge(const std::string& name, Labels labels = {},
-                  const std::string& help = "");
+                  const std::string& help = "") EXCLUDES(mu_);
   /// `bounds` applies on first registration only; later calls with the same
   /// (name, labels) return the existing histogram unchanged.
   Histogram& GetHistogram(const std::string& name, Labels labels = {},
                           std::vector<std::uint64_t> bounds = {},
-                          const std::string& help = "");
+                          const std::string& help = "") EXCLUDES(mu_);
 
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const EXCLUDES(mu_);
 
   /// Zeroes every metric in place (handles stay valid). Test isolation only.
-  void Reset();
+  void Reset() EXCLUDES(mu_);
 
  private:
   struct Key {
@@ -235,10 +237,12 @@ class MetricsRegistry {
     std::string help;
   };
 
-  mutable std::mutex mu_;
-  std::map<Key, Entry<Counter>> counters_;
-  std::map<Key, Entry<Gauge>> gauges_;
-  std::map<Key, Entry<Histogram>> histograms_;
+  // mu_ guards the registration maps only; the metric objects the maps own
+  // are internally atomic and are updated by instrument sites without it.
+  mutable Mutex mu_;
+  std::map<Key, Entry<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<Key, Entry<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::map<Key, Entry<Histogram>> histograms_ GUARDED_BY(mu_);
 };
 
 /// Scoped wall-time measurement into a histogram of nanoseconds.

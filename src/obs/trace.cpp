@@ -45,13 +45,13 @@ void TraceLog::Record(TraceKind kind, std::string_view detail,
   std::copy_n(detail.begin(), n, event.detail.begin());
   event.detail[n] = '\0';
 
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   ring_[next_ % ring_.size()] = event;
   ++next_;
 }
 
 std::vector<TraceEvent> TraceLog::Snapshot() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::vector<TraceEvent> events;
   const std::size_t held = std::min<std::uint64_t>(next_, ring_.size());
   events.reserve(held);
@@ -63,12 +63,12 @@ std::vector<TraceEvent> TraceLog::Snapshot() const {
 }
 
 std::uint64_t TraceLog::RecordedCount() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return next_;
 }
 
 void TraceLog::Reset() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   next_ = 0;
 }
 

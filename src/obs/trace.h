@@ -16,10 +16,12 @@
 
 #include <array>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace adlp::obs {
 
@@ -68,22 +70,28 @@ class TraceLog {
   static TraceLog& Global();
 
   void Record(TraceKind kind, std::string_view detail = {},
-              std::uint64_t value = 0);
+              std::uint64_t value = 0) EXCLUDES(mu_);
 
   /// Events currently held, oldest first.
-  std::vector<TraceEvent> Snapshot() const;
+  std::vector<TraceEvent> Snapshot() const EXCLUDES(mu_);
 
   /// Total events ever recorded (dropped ones included).
-  std::uint64_t RecordedCount() const;
+  std::uint64_t RecordedCount() const EXCLUDES(mu_);
 
-  std::size_t Capacity() const { return ring_.size(); }
+  std::size_t Capacity() const EXCLUDES(mu_) {
+    // The ring never resizes after construction, but taking the lock keeps
+    // the field uniformly guarded; Capacity() is not on any hot path.
+    MutexLock lock(mu_);
+    return ring_.size();
+  }
 
-  void Reset();
+  void Reset() EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> ring_;
-  std::uint64_t next_ = 0;  // total recorded; next slot is next_ % capacity
+  mutable Mutex mu_;
+  std::vector<TraceEvent> ring_ GUARDED_BY(mu_);
+  // Total recorded; next slot is next_ % capacity.
+  std::uint64_t next_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace adlp::obs

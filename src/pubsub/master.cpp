@@ -35,7 +35,7 @@ void Master::Advertise(const std::string& topic,
   std::vector<PendingSubscription> to_connect;
   ConnectFn connect_copy;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     TopicState& state = topics_[topic];
     if (state.advertised) {
       throw std::logic_error("Master: topic '" + topic +
@@ -63,7 +63,7 @@ void Master::Subscribe(const std::string& topic,
   ConnectFn connect_copy;
   crypto::ComponentId publisher;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     TopicState& state = topics_[topic];
     if (!state.advertised) {
       state.pending.push_back({subscriber, std::move(on_connect)});
@@ -79,14 +79,14 @@ void Master::Subscribe(const std::string& topic,
 
 std::optional<crypto::ComponentId> Master::PublisherOf(
     const std::string& topic) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const auto it = topics_.find(topic);
   if (it == topics_.end() || !it->second.advertised) return std::nullopt;
   return it->second.publisher;
 }
 
 std::map<std::string, pubsub::TopicInfo> Master::Topology() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::map<std::string, pubsub::TopicInfo> out;
   for (const auto& [topic, state] : topics_) {
     if (!state.advertised) continue;

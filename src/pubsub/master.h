@@ -15,11 +15,12 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "crypto/keystore.h"
 #include "transport/channel.h"
 
@@ -110,8 +111,8 @@ class Master : public MasterApi {
     bool advertised = false;
   };
 
-  mutable std::mutex mu_;
-  std::map<std::string, TopicState> topics_;
+  mutable Mutex mu_;
+  std::map<std::string, TopicState> topics_ GUARDED_BY(mu_);
 };
 
 }  // namespace adlp::pubsub

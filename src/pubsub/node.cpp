@@ -222,7 +222,7 @@ Publisher::Publisher(Node* node, std::string topic)
 
 std::uint64_t Publisher::Publish(Bytes payload) {
   // Serialize publications so sequence numbers and link-queue order agree.
-  std::lock_guard publish_lock(publish_mu_);
+  MutexLock publish_lock(publish_mu_);
 
   Message msg;
   msg.header.topic = topic_;
@@ -244,7 +244,7 @@ std::uint64_t Publisher::Publish(Bytes payload) {
   obs::metric::PublishTotal().Add(1);
   obs::TraceLog::Global().Record(obs::TraceKind::kPublish, topic_, seq);
 
-  std::lock_guard lock(links_mu_);
+  MutexLock lock(links_mu_);
   for (auto& link : links_) {
     if (!link->Offer(encoded)) {
       link->dropped.fetch_add(1, std::memory_order_relaxed);
@@ -255,19 +255,24 @@ std::uint64_t Publisher::Publish(Bytes payload) {
 }
 
 std::size_t Publisher::SubscriberCount() const {
-  std::lock_guard lock(links_mu_);
+  MutexLock lock(links_mu_);
   return links_.size();
 }
 
 bool Publisher::WaitForSubscribers(std::size_t count,
                                    std::chrono::milliseconds timeout) const {
-  std::unique_lock lock(links_mu_);
-  return links_cv_.wait_for(lock, timeout,
-                            [&] { return links_.size() >= count; });
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  MutexLock lock(links_mu_);
+  while (links_.size() < count) {
+    if (links_cv_.WaitUntil(lock, deadline) == std::cv_status::timeout) {
+      return links_.size() >= count;
+    }
+  }
+  return true;
 }
 
 std::uint64_t Publisher::DroppedCount() const {
-  std::lock_guard lock(links_mu_);
+  MutexLock lock(links_mu_);
   std::uint64_t total = 0;
   for (const auto& link : links_) {
     total += link->dropped.load(std::memory_order_relaxed);
@@ -308,17 +313,27 @@ void Publisher::AddLink(const crypto::ComponentId& subscriber,
     Link* raw = link.get();
     link->thread = std::thread([raw] { raw->Run(); });
   }
+  bool closed;
   {
-    std::lock_guard lock(links_mu_);
-    links_.push_back(std::move(link));
+    MutexLock lock(links_mu_);
+    closed = links_closed_;
+    if (!closed) links_.push_back(std::move(link));
   }
-  links_cv_.notify_all();
+  if (closed) {
+    // Lost the race with Shutdown(): nobody will ever drain this link, so
+    // tear it down here (joins the just-spawned thread / detaches the
+    // reactor handlers) instead of leaking it.
+    link->Shutdown();
+    return;
+  }
+  links_cv_.NotifyAll();
 }
 
 void Publisher::Shutdown() {
   std::vector<std::unique_ptr<Link>> links;
   {
-    std::lock_guard lock(links_mu_);
+    MutexLock lock(links_mu_);
+    links_closed_ = true;
     links.swap(links_);
   }
   for (auto& link : links) link->Shutdown();
@@ -394,8 +409,9 @@ struct Node::TcpEndpoint {
   std::atomic<bool> shutting_down{false};
   // Connections accepted but not yet handshaken; owned here so Shutdown
   // can close them (and so the handshake handler can capture weakly).
-  std::mutex pending_mu;
-  std::vector<std::shared_ptr<transport::EpollChannel>> pending;
+  Mutex pending_mu;
+  std::vector<std::shared_ptr<transport::EpollChannel>> pending
+      GUARDED_BY(pending_mu);
 
   explicit TcpEndpoint(Node* owner) : listener(0), node(owner) {
     if (owner->Options().mode == transport::TransportMode::kReactor) {
@@ -434,7 +450,7 @@ struct Node::TcpEndpoint {
       return;
     }
     {
-      std::lock_guard lock(pending_mu);
+      MutexLock lock(pending_mu);
       pending.push_back(channel);
     }
     std::weak_ptr<transport::EpollChannel> weak = channel;
@@ -458,8 +474,9 @@ struct Node::TcpEndpoint {
         });
   }
 
-  void ErasePending(const std::shared_ptr<transport::EpollChannel>& channel) {
-    std::lock_guard lock(pending_mu);
+  void ErasePending(const std::shared_ptr<transport::EpollChannel>& channel)
+      EXCLUDES(pending_mu) {
+    MutexLock lock(pending_mu);
     for (auto it = pending.begin(); it != pending.end(); ++it) {
       if (*it == channel) {
         pending.erase(it);
@@ -476,7 +493,7 @@ struct Node::TcpEndpoint {
     listener.Close();
     std::vector<std::shared_ptr<transport::EpollChannel>> orphans;
     {
-      std::lock_guard lock(pending_mu);
+      MutexLock lock(pending_mu);
       orphans.swap(pending);
     }
     for (auto& channel : orphans) {
@@ -504,14 +521,19 @@ Node::~Node() { Shutdown(); }
 
 Publisher& Node::Advertise(const std::string& topic) {
   Publisher* pub;
+  std::uint16_t tcp_port = 0;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (shut_down_) throw std::logic_error("Node: already shut down");
     publishers_.push_back(
         std::unique_ptr<Publisher>(new Publisher(this, topic)));
     pub = publishers_.back().get();
-    if (options_.transport == TransportKind::kTcp && !tcp_) {
-      tcp_ = std::make_unique<TcpEndpoint>(this);
+    if (options_.transport == TransportKind::kTcp) {
+      if (!tcp_) tcp_ = std::make_unique<TcpEndpoint>(this);
+      // Read the port while still holding mu_: a concurrent Shutdown()
+      // swaps tcp_ out under the same lock, so an unlocked read here could
+      // dereference a null endpoint.
+      tcp_port = tcp_->listener.Port();
     }
   }
 
@@ -526,7 +548,7 @@ Publisher& Node::Advertise(const std::string& topic) {
     // TCP mode: announce the listener port so even a master in another
     // process (remote_master.h) can route subscribers here. The local
     // master synthesizes the connector from the port.
-    info.tcp_port = tcp_->listener.Port();
+    info.tcp_port = tcp_port;
   }
   master_.Advertise(topic, name_, std::move(info));
   return *pub;
@@ -537,7 +559,7 @@ void Node::AttachSubscriberLink(const std::string& topic,
                                 transport::ChannelPtr channel) {
   Publisher* pub = nullptr;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (shut_down_) return;
     for (auto& p : publishers_) {
       if (p->Topic() == topic) {
@@ -555,7 +577,7 @@ void Node::AttachSubscriberLink(const std::string& topic,
 
 void Node::Subscribe(const std::string& topic, Callback callback) {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (shut_down_) throw std::logic_error("Node: already shut down");
   }
   master_.Subscribe(
@@ -577,7 +599,7 @@ void Node::Subscribe(const std::string& topic, Callback callback) {
         }
         Subscription* raw = sub.get();
         {
-          std::lock_guard lock(mu_);
+          MutexLock lock(mu_);
           if (shut_down_) {
             sub->channel->Close();
             return;
@@ -601,7 +623,7 @@ void Node::Shutdown() {
   std::vector<std::unique_ptr<Subscription>> subs;
   std::unique_ptr<TcpEndpoint> tcp;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (shut_down_) return;
     shut_down_ = true;
     pubs.swap(publishers_);

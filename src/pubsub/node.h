@@ -5,17 +5,17 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "crypto/keystore.h"
 #include "pubsub/master.h"
 #include "pubsub/message.h"
@@ -70,23 +70,24 @@ class Publisher {
   /// Publishes `payload`: stamps a header, encodes once via the protocol
   /// factory, then hands the encoded publication to every subscriber link.
   /// Returns the assigned sequence number.
-  std::uint64_t Publish(Bytes payload);
+  std::uint64_t Publish(Bytes payload) EXCLUDES(publish_mu_, links_mu_);
 
   const std::string& Topic() const { return topic_; }
   std::uint64_t LastSeq() const {
     return seq_.load(std::memory_order_relaxed);
   }
-  std::size_t SubscriberCount() const;
+  std::size_t SubscriberCount() const EXCLUDES(links_mu_);
 
   /// Blocks until at least `count` subscriber links are attached (TCP
   /// connections attach asynchronously) or `timeout` elapses. Returns true
   /// when the count was reached.
   bool WaitForSubscribers(std::size_t count,
                           std::chrono::milliseconds timeout =
-                              std::chrono::milliseconds(5000)) const;
+                              std::chrono::milliseconds(5000)) const
+      EXCLUDES(links_mu_);
 
   /// Total messages dropped due to full per-link queues.
-  std::uint64_t DroppedCount() const;
+  std::uint64_t DroppedCount() const EXCLUDES(links_mu_);
 
  private:
   friend class Node;
@@ -95,17 +96,23 @@ class Publisher {
   Publisher(Node* node, std::string topic);
 
   void AddLink(const crypto::ComponentId& subscriber,
-               transport::ChannelPtr channel);
-  void Shutdown();
+               transport::ChannelPtr channel) EXCLUDES(links_mu_);
+  void Shutdown() EXCLUDES(links_mu_);
 
   Node* node_;
   std::string topic_;
-  std::mutex publish_mu_;
+  // Lock order: publish_mu_ before links_mu_ (Publish encodes under
+  // publish_mu_, then fans out under links_mu_). Never the reverse.
+  Mutex publish_mu_;
   std::atomic<std::uint64_t> seq_{0};
 
-  mutable std::mutex links_mu_;
-  mutable std::condition_variable links_cv_;
-  std::vector<std::unique_ptr<Link>> links_;
+  mutable Mutex links_mu_;
+  mutable CondVar links_cv_;
+  std::vector<std::unique_ptr<Link>> links_ GUARDED_BY(links_mu_);
+  // Set by Shutdown(); a late AddLink (TCP handshakes land asynchronously)
+  // must tear its link down instead of inserting it into a list nobody
+  // will ever drain again.
+  bool links_closed_ GUARDED_BY(links_mu_) = false;
 };
 
 class Node {
@@ -120,16 +127,16 @@ class Node {
 
   /// Advertises `topic`; throws std::logic_error if another publisher holds
   /// it. The returned handle stays valid until Shutdown.
-  Publisher& Advertise(const std::string& topic);
+  Publisher& Advertise(const std::string& topic) EXCLUDES(mu_);
 
   using Callback = std::function<void(const Message&)>;
 
   /// Subscribes to `topic`; `callback` runs on the connection's receive
   /// thread once a publisher is available.
-  void Subscribe(const std::string& topic, Callback callback);
+  void Subscribe(const std::string& topic, Callback callback) EXCLUDES(mu_);
 
   /// Closes all links and joins all threads. Idempotent.
-  void Shutdown();
+  void Shutdown() EXCLUDES(mu_);
 
   const crypto::ComponentId& Name() const { return name_; }
   const NodeOptions& Options() const { return options_; }
@@ -151,17 +158,17 @@ class Node {
   /// Publisher-side connection setup shared by both transports.
   void AttachSubscriberLink(const std::string& topic,
                             const crypto::ComponentId& subscriber,
-                            transport::ChannelPtr channel);
+                            transport::ChannelPtr channel) EXCLUDES(mu_);
 
   crypto::ComponentId name_;
   MasterApi& master_;
   NodeOptions options_;
 
-  std::mutex mu_;
-  bool shut_down_ = false;
-  std::vector<std::unique_ptr<Publisher>> publishers_;
-  std::vector<std::unique_ptr<Subscription>> subscriptions_;
-  std::unique_ptr<TcpEndpoint> tcp_;  // lazily created in TCP mode
+  Mutex mu_;
+  bool shut_down_ GUARDED_BY(mu_) = false;
+  std::vector<std::unique_ptr<Publisher>> publishers_ GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<Subscription>> subscriptions_ GUARDED_BY(mu_);
+  std::unique_ptr<TcpEndpoint> tcp_ GUARDED_BY(mu_);  // lazy, TCP mode only
   mutable std::atomic<Timestamp> cpu_ns_{0};
 };
 

@@ -138,7 +138,7 @@ MasterService::~MasterService() { Shutdown(); }
 
 void MasterService::AcceptLoop() {
   while (auto channel = listener_.Accept()) {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (shutting_down_.load()) {
       channel->Close();
       return;
@@ -159,7 +159,7 @@ void MasterService::AdoptReactorChannel(
     std::shared_ptr<transport::EpollChannel> channel) {
   // Runs on a reactor loop thread. Safe to touch `this`: Shutdown() closes
   // the acceptor with its loop barrier before tearing the service down.
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (shutting_down_.load()) {
     channel->Close();
     return;
@@ -196,7 +196,7 @@ Bytes MasterService::HandleRequest(BytesView frame_bytes,
           waiting;
       Frame response;
       {
-        std::lock_guard lock(mu_);
+        MutexLock lock(mu_);
         TopicState& state = topics_[request.topic];
         if (state.advertised) {
           response.type = kRspError;
@@ -233,7 +233,7 @@ Bytes MasterService::HandleRequest(BytesView frame_bytes,
       bool ready = false;
       Frame info;
       {
-        std::lock_guard lock(mu_);
+        MutexLock lock(mu_);
         TopicState& state = topics_[request.topic];
         if (state.advertised) {
           state.subscribers.push_back(request.component);
@@ -268,7 +268,7 @@ Bytes MasterService::HandleRequest(BytesView frame_bytes,
 }
 
 std::map<std::string, TopicInfo> MasterService::Topology() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::map<std::string, TopicInfo> out;
   for (const auto& [topic, state] : topics_) {
     if (!state.advertised) continue;
@@ -288,7 +288,7 @@ void MasterService::Shutdown() {
   std::vector<std::shared_ptr<transport::EpollChannel>> async_connections;
   std::vector<std::thread> threads;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     connections.swap(connections_);
     async_connections.swap(async_connections_);
     threads.swap(serve_threads_);
@@ -315,12 +315,12 @@ RemoteMaster::~RemoteMaster() { Close(); }
 
 void RemoteMaster::Close() {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (closed_) return;
     closed_ = true;
   }
   channel_->Close();
-  rpc_cv_.notify_all();
+  rpc_cv_.NotifyAll();
   if (reader_.joinable()) reader_.join();
 }
 
@@ -338,7 +338,7 @@ void RemoteMaster::ReaderLoop() {
       std::vector<std::pair<crypto::ComponentId, SubscriberConnectCb>>
           matched;
       {
-        std::lock_guard lock(mu_);
+        MutexLock lock(mu_);
         auto [begin, end] = pending_subs_.equal_range(frame.topic);
         for (auto it = begin; it != end; ++it) matched.push_back(it->second);
         pending_subs_.erase(begin, end);
@@ -361,47 +361,52 @@ void RemoteMaster::ReaderLoop() {
 
     // RPC response (ack / error / topology).
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       rpc_response_ = *frame_bytes;
       rpc_done_ = true;
     }
-    rpc_cv_.notify_all();
+    rpc_cv_.NotifyAll();
   }
   // Connection gone: unblock any waiting RPC — including one issued after
   // this thread exits (its send can still land in the kernel buffer before
   // the peer's RST, so it would otherwise wait forever).
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     reader_dead_ = true;
     rpc_done_ = true;
     rpc_response_.clear();
   }
-  rpc_cv_.notify_all();
+  rpc_cv_.NotifyAll();
 }
 
 Bytes RemoteMaster::Rpc(BytesView request) const {
-  std::unique_lock lock(mu_);
-  rpc_cv_.wait(lock, [&] { return !rpc_outstanding_ || closed_; });
+  MutexLock lock(mu_);
+  while (rpc_outstanding_ && !closed_) rpc_cv_.Wait(lock);
   if (closed_ || reader_dead_) {
     throw std::runtime_error("RemoteMaster: connection closed");
   }
   rpc_outstanding_ = true;
   rpc_done_ = false;
   rpc_response_.clear();
-  lock.unlock();
+  // Send without the lock: a blocking send while holding mu_ would stall
+  // ReaderLoop's response handoff and deadlock the RPC.
+  lock.Unlock();
 
   if (!channel_->Send(request)) {
-    std::lock_guard relock(mu_);
+    lock.Lock();
     rpc_outstanding_ = false;
+    // Wake queued callers waiting on rpc_outstanding_; without this a send
+    // failure would strand them until the next completed RPC.
+    rpc_cv_.NotifyAll();
     throw std::runtime_error("RemoteMaster: send failed");
   }
 
-  lock.lock();
-  rpc_cv_.wait(lock, [&] { return rpc_done_ || reader_dead_; });
+  lock.Lock();
+  while (!rpc_done_ && !reader_dead_) rpc_cv_.Wait(lock);
   Bytes response = std::move(rpc_response_);
   rpc_outstanding_ = false;
   rpc_done_ = false;
-  rpc_cv_.notify_all();
+  rpc_cv_.NotifyAll();
   if (response.empty()) {
     throw std::runtime_error("RemoteMaster: connection closed mid-RPC");
   }
@@ -429,7 +434,7 @@ void RemoteMaster::Subscribe(const std::string& topic,
                              const crypto::ComponentId& subscriber,
                              SubscriberConnectCb on_connect) {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     pending_subs_.emplace(topic, std::make_pair(subscriber, on_connect));
   }
   Frame request;

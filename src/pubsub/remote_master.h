@@ -19,14 +19,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "pubsub/master.h"
 #include "transport/epoll_channel.h"
 #include "transport/tcp.h"
@@ -82,11 +82,12 @@ class MasterService {
   std::thread accept_thread_;                           // kThreadPerConn
   std::unique_ptr<transport::ReactorAcceptor> acceptor_;  // kReactor
 
-  mutable std::mutex mu_;
-  std::map<std::string, TopicState> topics_;
-  std::vector<std::thread> serve_threads_;
-  std::vector<transport::ChannelPtr> connections_;
-  std::vector<std::shared_ptr<transport::EpollChannel>> async_connections_;
+  mutable Mutex mu_;
+  std::map<std::string, TopicState> topics_ GUARDED_BY(mu_);
+  std::vector<std::thread> serve_threads_ GUARDED_BY(mu_);
+  std::vector<transport::ChannelPtr> connections_ GUARDED_BY(mu_);
+  std::vector<std::shared_ptr<transport::EpollChannel>> async_connections_
+      GUARDED_BY(mu_);
 };
 
 /// The client side: a MasterApi backed by a MasterService in (possibly)
@@ -123,26 +124,26 @@ class RemoteMaster final : public MasterApi {
   struct PendingRpc;
 
   /// Sends a request and blocks for its ack/error/topology response.
-  Bytes Rpc(BytesView request) const;
-  void ReaderLoop();
+  Bytes Rpc(BytesView request) const EXCLUDES(mu_);
+  void ReaderLoop() EXCLUDES(mu_);
 
   transport::ChannelPtr channel_;
   std::thread reader_;
 
-  mutable std::mutex mu_;
-  mutable std::condition_variable rpc_cv_;
-  mutable bool rpc_outstanding_ = false;
-  mutable bool rpc_done_ = false;
-  mutable Bytes rpc_response_;
+  mutable Mutex mu_;
+  mutable CondVar rpc_cv_;
+  mutable bool rpc_outstanding_ GUARDED_BY(mu_) = false;
+  mutable bool rpc_done_ GUARDED_BY(mu_) = false;
+  mutable Bytes rpc_response_ GUARDED_BY(mu_);
   /// Set by ReaderLoop on exit: no further RPC response can ever arrive.
-  mutable bool reader_dead_ = false;
-  bool closed_ = false;
+  mutable bool reader_dead_ GUARDED_BY(mu_) = false;
+  bool closed_ GUARDED_BY(mu_) = false;
 
   // Subscriptions waiting for (or already matched to) connect_info pushes,
   // keyed by topic.
   std::multimap<std::string,
                 std::pair<crypto::ComponentId, SubscriberConnectCb>>
-      pending_subs_;
+      pending_subs_ GUARDED_BY(mu_);
 };
 
 }  // namespace adlp::pubsub

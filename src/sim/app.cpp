@@ -97,20 +97,20 @@ SelfDrivingApp::SelfDrivingApp(pubsub::MasterApi& master, proto::LogSink& sink,
   // estimate (the 20 Hz driver of the pipeline).
   planner.Subscribe("sign", [this](const pubsub::Message& m) {
     if (auto v = DecodeSign(m.payload)) {
-      std::lock_guard lock(plan_mu_);
+      MutexLock lock(plan_mu_);
       latest_sign_ = *v;
     }
   });
   planner.Subscribe("obstacle", [this](const pubsub::Message& m) {
     if (auto v = DecodeObstacle(m.payload)) {
-      std::lock_guard lock(plan_mu_);
+      MutexLock lock(plan_mu_);
       latest_obstacle_ = *v;
     }
   });
   planner.Subscribe("lane", [this](const pubsub::Message& m) {
     PlanCommand cmd;
     {
-      std::lock_guard lock(plan_mu_);
+      MutexLock lock(plan_mu_);
       if (auto v = DecodeLane(m.payload)) latest_lane_ = *v;
       cmd = Plan(latest_lane_, latest_sign_, latest_obstacle_,
                  options_.cruise_speed);

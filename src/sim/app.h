@@ -24,6 +24,8 @@
 
 #include "adlp/component.h"
 #include "adlp/log_server.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "pubsub/master.h"
 #include "sim/msgs.h"
 #include "sim/sensors.h"
@@ -108,10 +110,10 @@ class SelfDrivingApp {
   std::atomic<double> cmd_speed_{0.0};
 
   // Planner input cache.
-  std::mutex plan_mu_;
-  LaneEstimate latest_lane_;
-  SignDetection latest_sign_;
-  ObstacleReport latest_obstacle_;
+  Mutex plan_mu_;
+  LaneEstimate latest_lane_ GUARDED_BY(plan_mu_);
+  SignDetection latest_sign_ GUARDED_BY(plan_mu_);
+  ObstacleReport latest_obstacle_ GUARDED_BY(plan_mu_);
 
   // Counters.
   std::atomic<std::uint64_t> frames_{0}, scans_{0}, lane_msgs_{0},

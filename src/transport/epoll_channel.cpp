@@ -83,7 +83,7 @@ void EpollChannel::Register() {
     // Reactor stopped or epoll rejected the fd: surface as a dead channel.
     closed_.store(true, std::memory_order_release);
     rq_.Close();
-    std::lock_guard lock(close_mu_);
+    MutexLock lock(close_mu_);
     closed_done_ = true;
   }
 }
@@ -113,7 +113,7 @@ bool EpollChannel::Send(BytesView payload) {
   bool need_flush = false;
   bool overflow = false;
   {
-    std::lock_guard lock(wmu_);
+    MutexLock lock(wmu_);
     if (closed_.load(std::memory_order_acquire)) return false;
     if (wq_.empty() && !want_write_) {
       // Fast path: nothing buffered, so write straight from the caller's
@@ -251,9 +251,15 @@ void EpollChannel::StartAsyncOnLoop(FrameHandler on_frame,
 }
 
 bool EpollChannel::WaitClosed(std::int64_t timeout_ms) {
-  std::unique_lock lock(close_mu_);
-  return close_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
-                            [&] { return closed_done_; });
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  MutexLock lock(close_mu_);
+  while (!closed_done_) {
+    if (close_cv_.WaitUntil(lock, deadline) == std::cv_status::timeout) {
+      return closed_done_;
+    }
+  }
+  return true;
 }
 
 void EpollChannel::HandleEvents(std::uint32_t events) {
@@ -360,7 +366,7 @@ void EpollChannel::DeliverFrame(BytesView frame) {
 }
 
 void EpollChannel::FlushWrites() {
-  std::unique_lock lock(wmu_);
+  MutexLock lock(wmu_);
   if (torn_down_) return;
   while (!wq_.empty()) {
     const Bytes& front = wq_.front();
@@ -387,7 +393,7 @@ void EpollChannel::FlushWrites() {
       }
       return;
     }
-    lock.unlock();
+    lock.Unlock();
     TearDown();
     return;
   }
@@ -404,7 +410,7 @@ void EpollChannel::TearDown() {
   closed_.store(true, std::memory_order_release);
   reactor_.RemoveFd(loop_, fd_);
   {
-    std::lock_guard lock(wmu_);
+    MutexLock lock(wmu_);
     wq_.clear();
     wq_bytes_ = 0;
   }
@@ -419,10 +425,10 @@ void EpollChannel::TearDown() {
   on_closed_ = nullptr;
   if (closed) closed();
   {
-    std::lock_guard lock(close_mu_);
+    MutexLock lock(close_mu_);
     closed_done_ = true;
   }
-  close_cv_.notify_all();
+  close_cv_.NotifyAll();
 }
 
 // ---------------------------------------------------------------------------

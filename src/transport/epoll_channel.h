@@ -17,14 +17,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 
+#include "common/mutex.h"
 #include "common/queue.h"
+#include "common/thread_annotations.h"
 #include "transport/channel.h"
 #include "transport/reactor.h"
 
@@ -59,7 +59,7 @@ class EpollChannel final : public Channel,
   /// Never blocks: residue waits for EPOLLOUT. Returns false once closed,
   /// or if the peer stalls long enough to accumulate an unreasonable
   /// backlog (the channel then closes, mirroring a dead TCP peer).
-  bool Send(BytesView payload) override;
+  bool Send(BytesView payload) override EXCLUDES(wmu_);
 
   /// Blocking-compat receive; std::nullopt once closed and drained. Only
   /// meaningful before StartAsync() — afterwards frames go to the handler.
@@ -85,7 +85,7 @@ class EpollChannel final : public Channel,
   /// Blocks until the loop has finished tearing the connection down.
   /// Returns false on timeout. A torn-down channel's fd is still held
   /// until destruction (never recycled under an in-flight event).
-  bool WaitClosed(std::int64_t timeout_ms);
+  bool WaitClosed(std::int64_t timeout_ms) EXCLUDES(close_mu_);
 
   std::size_t LoopIndex() const { return loop_; }
 
@@ -99,15 +99,18 @@ class EpollChannel final : public Channel,
   bool IngestBytes(const std::uint8_t* data, std::size_t n);
   bool ParseFrames();
   void DeliverFrame(BytesView frame);
-  void FlushWrites();
+  void FlushWrites() EXCLUDES(wmu_);
   void StartAsyncOnLoop(FrameHandler on_frame, ClosedHandler on_closed);
-  void TearDown();
+  void TearDown() EXCLUDES(wmu_, close_mu_);
 
   Reactor& reactor_;
   const int fd_;
   const std::size_t loop_;
 
-  // Read-side state: loop thread only.
+  // Read-side state: loop-affine, no lock — every reader and writer of
+  // these fields runs on the owning loop's thread (HandleEvents, ReadReady,
+  // ParseFrames, StartAsyncOnLoop, TearDown), which is the reactor pattern
+  // the analysis cannot express. Deliberately unannotated.
   Bytes rbuf_;
   std::size_t rpos_ = 0;
   bool async_ = false;
@@ -119,19 +122,23 @@ class EpollChannel final : public Channel,
   ConcurrentQueue<Bytes> rq_;
 
   // Write-side state, shared between senders and the loop.
-  std::mutex wmu_;
-  std::deque<Bytes> wq_;
-  std::size_t wpos_ = 0;       // bytes of wq_.front() already written
-  std::size_t wq_bytes_ = 0;   // total buffered bytes
-  bool flush_armed_ = false;   // a flush task or EPOLLOUT will run
-  bool want_write_ = false;    // EPOLLOUT currently in the interest mask
+  Mutex wmu_;
+  std::deque<Bytes> wq_ GUARDED_BY(wmu_);
+  // Bytes of wq_.front() already written.
+  std::size_t wpos_ GUARDED_BY(wmu_) = 0;
+  // Total buffered bytes.
+  std::size_t wq_bytes_ GUARDED_BY(wmu_) = 0;
+  // A flush task or EPOLLOUT will run.
+  bool flush_armed_ GUARDED_BY(wmu_) = false;
+  // EPOLLOUT currently in the interest mask.
+  bool want_write_ GUARDED_BY(wmu_) = false;
 
   std::atomic<bool> closed_{false};
 
   // Teardown rendezvous.
-  std::mutex close_mu_;
-  std::condition_variable close_cv_;
-  bool closed_done_ = false;
+  Mutex close_mu_;
+  CondVar close_cv_;
+  bool closed_done_ GUARDED_BY(close_mu_) = false;
 };
 
 /// Accepts inbound connections on a reactor loop: registers the listener's

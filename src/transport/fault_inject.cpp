@@ -32,7 +32,7 @@ bool FaultInjectingChannel::Send(BytesView payload) {
   std::int64_t delay_ns = 0;
   bool duplicate = false;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (plan_.disconnect_after_frames != 0 &&
         stats_.forwarded >= plan_.disconnect_after_frames) {
       if (!stats_.disconnected) {
@@ -69,7 +69,7 @@ bool FaultInjectingChannel::Send(BytesView payload) {
   }
   if (!inner_->Send(frame)) return false;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.forwarded;
     if (duplicate) {
       ++stats_.duplicated;

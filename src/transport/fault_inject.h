@@ -20,9 +20,10 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 
+#include "common/mutex.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "transport/channel.h"
 
 namespace adlp::transport {
@@ -55,22 +56,22 @@ class FaultInjectingChannel final : public Channel {
   FaultInjectingChannel(ChannelPtr inner, FaultPlan plan, Rng rng)
       : inner_(std::move(inner)), plan_(plan), rng_(rng) {}
 
-  bool Send(BytesView payload) override;
+  bool Send(BytesView payload) override EXCLUDES(mu_);
   std::optional<Bytes> Receive() override { return inner_->Receive(); }
   void Close() override { inner_->Close(); }
   bool IsOpen() const override { return inner_->IsOpen(); }
 
-  FaultStats Stats() const {
-    std::lock_guard lock(mu_);
+  FaultStats Stats() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return stats_;
   }
 
  private:
   ChannelPtr inner_;
   FaultPlan plan_;
-  mutable std::mutex mu_;
-  Rng rng_;
-  FaultStats stats_;
+  mutable Mutex mu_;
+  Rng rng_ GUARDED_BY(mu_);
+  FaultStats stats_ GUARDED_BY(mu_);
 };
 
 /// Convenience wrapper keeping call sites terse.

@@ -144,10 +144,10 @@ struct Reactor::Loop {
 
   // Cross-thread state: pending tasks, timer wheel, fd handler table. The
   // mutex is held only for queue/table mutation, never across a callback.
-  std::mutex mu;
-  std::vector<Task> tasks;
-  TimerWheel wheel;
-  std::unordered_map<int, std::shared_ptr<FdHandler>> handlers;
+  Mutex mu;
+  std::vector<Task> tasks GUARDED_BY(mu);
+  TimerWheel wheel GUARDED_BY(mu);
+  std::unordered_map<int, std::shared_ptr<FdHandler>> handlers GUARDED_BY(mu);
   // Nanosecond stamp of the oldest unserviced wakeup signal (0 = none);
   // feeds the wakeup-latency histogram.
   std::atomic<std::int64_t> wake_signal_ns{0};
@@ -185,6 +185,8 @@ Reactor::~Reactor() { Stop(); }
 Reactor& Reactor::Global() {
   static Reactor instance = [] {
     ReactorOptions options;
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read once at first use, before
+    // worker threads exist; nothing in the process calls setenv.
     if (const char* env = std::getenv("ADLP_REACTOR_THREADS")) {
       const long n = std::strtol(env, nullptr, 10);
       if (n > 0 && n <= 64) options.threads = static_cast<std::size_t>(n);
@@ -210,7 +212,7 @@ void Reactor::Wake(Loop& loop) {
 void Reactor::Post(std::size_t loop_idx, Task task) {
   Loop& loop = *loops_[loop_idx];
   {
-    std::lock_guard lock(loop.mu);
+    MutexLock lock(loop.mu);
     loop.tasks.push_back(std::move(task));
   }
   if (!OnLoopThread(loop_idx)) Wake(loop);
@@ -221,7 +223,7 @@ Reactor::TimerId Reactor::RunAfter(std::size_t loop_idx, std::int64_t delay_ms,
   Loop& loop = *loops_[loop_idx];
   TimerId id{loop_idx, 0};
   {
-    std::lock_guard lock(loop.mu);
+    MutexLock lock(loop.mu);
     // Anchor the delay at the caller's clock, not the wheel's last advance
     // (the loop may not have turned for a while).
     id.id = loop.wheel.ScheduleAt(NowMs() + std::max<std::int64_t>(delay_ms, 0),
@@ -234,7 +236,7 @@ Reactor::TimerId Reactor::RunAfter(std::size_t loop_idx, std::int64_t delay_ms,
 bool Reactor::CancelTimer(TimerId id) {
   if (id.id == 0 || id.loop >= loops_.size()) return false;
   Loop& loop = *loops_[id.loop];
-  std::lock_guard lock(loop.mu);
+  MutexLock lock(loop.mu);
   return loop.wheel.Cancel(id.id);
 }
 
@@ -243,14 +245,14 @@ bool Reactor::AddFd(std::size_t loop_idx, int fd, std::uint32_t events,
   if (stopped_.load(std::memory_order_acquire)) return false;
   Loop& loop = *loops_[loop_idx];
   {
-    std::lock_guard lock(loop.mu);
+    MutexLock lock(loop.mu);
     loop.handlers[fd] = std::make_shared<FdHandler>(std::move(handler));
   }
   epoll_event ev{};
   ev.events = events;
   ev.data.fd = fd;
   if (::epoll_ctl(loop.epoll_fd, EPOLL_CTL_ADD, fd, &ev) < 0) {
-    std::lock_guard lock(loop.mu);
+    MutexLock lock(loop.mu);
     loop.handlers.erase(fd);
     return false;
   }
@@ -269,7 +271,7 @@ void Reactor::RemoveFd(std::size_t loop_idx, int fd) {
   Loop& loop = *loops_[loop_idx];
   bool removed = false;
   {
-    std::lock_guard lock(loop.mu);
+    MutexLock lock(loop.mu);
     removed = loop.handlers.erase(fd) > 0;
   }
   if (removed) {
@@ -287,7 +289,7 @@ void Reactor::Run(Loop& loop) {
     // force an immediate pass.
     int timeout_ms = -1;
     {
-      std::lock_guard lock(loop.mu);
+      MutexLock lock(loop.mu);
       if (!loop.tasks.empty()) {
         timeout_ms = 0;
       } else if (auto deadline = loop.wheel.NextDeadlineMs()) {
@@ -323,7 +325,7 @@ void Reactor::Run(Loop& loop) {
     // Cross-thread tasks, in posting order.
     std::vector<Task> tasks;
     {
-      std::lock_guard lock(loop.mu);
+      MutexLock lock(loop.mu);
       tasks.swap(loop.tasks);
     }
     for (Task& task : tasks) task();
@@ -332,7 +334,7 @@ void Reactor::Run(Loop& loop) {
     // Expired timers, in deadline order.
     std::vector<TimerWheel::Callback> due;
     {
-      std::lock_guard lock(loop.mu);
+      MutexLock lock(loop.mu);
       due = loop.wheel.Advance(NowMs());
     }
     if (!due.empty()) {
@@ -348,7 +350,7 @@ void Reactor::Run(Loop& loop) {
       if (fd == loop.event_fd) continue;
       std::shared_ptr<FdHandler> handler;
       {
-        std::lock_guard lock(loop.mu);
+        MutexLock lock(loop.mu);
         auto it = loop.handlers.find(fd);
         if (it != loop.handlers.end()) handler = it->second;
       }
@@ -367,7 +369,7 @@ void Reactor::Stop() {
     if (loop->thread.joinable()) loop->thread.join();
   }
   for (auto& loop : loops_) {
-    std::lock_guard lock(loop->mu);
+    MutexLock lock(loop->mu);
     const std::size_t watched = loop->handlers.size();
     if (watched > 0) {
       obs::metric::ReactorFdsWatched().Sub(

@@ -14,11 +14,12 @@
 #include <chrono>
 #include <limits>
 #include <cstring>
-#include <mutex>
 #include <system_error>
 #include <thread>
 
 #include "common/clock.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/instrument.h"
 #include "wire/wire.h"
 
@@ -78,8 +79,8 @@ class TcpChannel final : public Channel {
     ::close(fd_);
   }
 
-  bool Send(BytesView payload) override {
-    std::lock_guard lock(send_mu_);
+  bool Send(BytesView payload) override EXCLUDES(send_mu_) {
+    MutexLock lock(send_mu_);
     if (closed_.load(std::memory_order_acquire)) return false;
     const Bytes frame = wire::FramePayload(payload);
     if (!WriteAll(fd_, frame.data(), frame.size())) {
@@ -149,7 +150,9 @@ class TcpChannel final : public Channel {
   }
 
   int fd_;
-  std::mutex send_mu_;
+  // Serializes writers so interleaved frames never corrupt the stream; the
+  // socket itself (fd_) is kernel-synchronized and not guarded.
+  Mutex send_mu_;
   std::atomic<bool> closed_{false};
 };
 

@@ -1,0 +1,172 @@
+// Tests for the annotated Mutex/MutexLock/CondVar wrappers. The whole tree's
+// lock discipline sits on these, so they are covered directly: mutual
+// exclusion under contention, timed waits, scoped release/reacquire, and the
+// notify paths.
+#include "common/mutex.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace adlp {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(MutexTest, ContendedIncrementsDoNotRace) {
+  Mutex mu;
+  int counter = 0;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 10000;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        MutexLock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, kThreads * kIters);
+}
+
+TEST(MutexTest, TryLockFailsWhileHeldAndSucceedsAfter) {
+  Mutex mu;
+  mu.Lock();
+
+  bool acquired = true;
+  std::thread other([&] { acquired = mu.TryLock(); });
+  other.join();
+  EXPECT_FALSE(acquired);
+
+  mu.Unlock();
+  ASSERT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST(MutexLockTest, ScopedReleaseAndReacquire) {
+  Mutex mu;
+  MutexLock lock(mu);
+
+  // While Unlock()ed, another thread can take the mutex.
+  lock.Unlock();
+  {
+    bool acquired = false;
+    std::thread other([&] {
+      acquired = mu.TryLock();
+      if (acquired) mu.Unlock();
+    });
+    other.join();
+    EXPECT_TRUE(acquired);
+  }
+
+  // After Lock(), it is held again and the destructor releases it exactly
+  // once (no double-unlock — this test failing would abort under libstdc++).
+  lock.Lock();
+  bool acquired = true;
+  std::thread other([&] { acquired = mu.TryLock(); });
+  other.join();
+  EXPECT_FALSE(acquired);
+}
+
+TEST(MutexLockTest, DestructorSkipsReleaseWhenUnlocked) {
+  Mutex mu;
+  {
+    MutexLock lock(mu);
+    lock.Unlock();
+  }  // destructor must not unlock an unheld mutex
+  ASSERT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST(CondVarTest, WaitWakesOnNotify) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+
+  std::thread waker([&] {
+    std::this_thread::sleep_for(10ms);
+    {
+      MutexLock lock(mu);
+      ready = true;
+    }
+    cv.NotifyOne();
+  });
+
+  {
+    MutexLock lock(mu);
+    while (!ready) cv.Wait(lock);
+    EXPECT_TRUE(ready);
+  }
+  waker.join();
+}
+
+TEST(CondVarTest, WaitForTimesOutWithoutNotify) {
+  Mutex mu;
+  CondVar cv;
+  MutexLock lock(mu);
+  EXPECT_EQ(cv.WaitFor(lock, 5ms), std::cv_status::timeout);
+}
+
+TEST(CondVarTest, WaitUntilDeadlineLoopSeesPredicate) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+
+  std::thread waker([&] {
+    std::this_thread::sleep_for(10ms);
+    {
+      MutexLock lock(mu);
+      ready = true;
+    }
+    cv.NotifyAll();
+  });
+
+  // The deadline-loop idiom used across the tree for timed predicate waits.
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  bool observed;
+  {
+    MutexLock lock(mu);
+    while (!ready) {
+      if (cv.WaitUntil(lock, deadline) == std::cv_status::timeout) break;
+    }
+    observed = ready;
+  }
+  EXPECT_TRUE(observed);
+  waker.join();
+}
+
+TEST(CondVarTest, NotifyAllWakesEveryWaiter) {
+  Mutex mu;
+  CondVar cv;
+  bool go = false;
+  int awake = 0;
+
+  constexpr int kWaiters = 4;
+  std::vector<std::thread> waiters;
+  waiters.reserve(kWaiters);
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&] {
+      MutexLock lock(mu);
+      while (!go) cv.Wait(lock);
+      ++awake;
+    });
+  }
+
+  std::this_thread::sleep_for(10ms);
+  {
+    MutexLock lock(mu);
+    go = true;
+  }
+  cv.NotifyAll();
+  for (auto& th : waiters) th.join();
+  EXPECT_EQ(awake, kWaiters);
+}
+
+}  // namespace
+}  // namespace adlp

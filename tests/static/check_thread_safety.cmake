@@ -1,0 +1,57 @@
+# Negative-compile harness for the -Wthread-safety gate. Run as a ctest
+# entry via `cmake -P` with:
+#   -DCOMPILER=<clang++>   -DSRC_DIR=<tests/static>   -DINCLUDE_DIR=<src>
+#
+# Three assertions, in order:
+#  1. the correct fixture compiles WITH the gate        (flags are sane)
+#  2. the violating fixture compiles WITHOUT the gate   (it is legal C++)
+#  3. the violating fixture FAILS to compile WITH it    (the gate fires)
+# Any other outcome is a hard failure of this script (and so of the test).
+
+set(common_flags -std=c++20 -fsyntax-only "-I${INCLUDE_DIR}")
+set(gate_flags -Wthread-safety -Werror)
+
+function(compile src extra_flags out_ok out_log)
+  execute_process(
+    COMMAND "${COMPILER}" ${common_flags} ${${extra_flags}} "${SRC_DIR}/${src}"
+    RESULT_VARIABLE result
+    OUTPUT_VARIABLE output
+    ERROR_VARIABLE output)
+  if(result EQUAL 0)
+    set(${out_ok} TRUE PARENT_SCOPE)
+  else()
+    set(${out_ok} FALSE PARENT_SCOPE)
+  endif()
+  set(${out_log} "${output}" PARENT_SCOPE)
+endfunction()
+
+set(no_flags "")
+
+compile(thread_safety_ok.cpp gate_flags ok log)
+if(NOT ok)
+  message(FATAL_ERROR
+    "positive control failed: thread_safety_ok.cpp did not compile with "
+    "-Wthread-safety -Werror — the fixture flags or includes are broken:\n"
+    "${log}")
+endif()
+
+compile(thread_safety_violation.cpp no_flags ok log)
+if(NOT ok)
+  message(FATAL_ERROR
+    "fixture invalid: thread_safety_violation.cpp must be legal C++ without "
+    "the gate so its rejection is attributable to -Wthread-safety:\n${log}")
+endif()
+
+compile(thread_safety_violation.cpp gate_flags ok log)
+if(ok)
+  message(FATAL_ERROR
+    "gate did not fire: thread_safety_violation.cpp compiled despite the "
+    "unguarded write to a GUARDED_BY field under -Wthread-safety -Werror")
+endif()
+if(NOT log MATCHES "thread-safety|guarded_by|requires holding")
+  message(FATAL_ERROR
+    "violation fixture failed for the wrong reason (expected a thread-safety "
+    "diagnostic):\n${log}")
+endif()
+
+message(STATUS "thread-safety negative-compile check passed")

@@ -1,0 +1,29 @@
+// Positive control for the negative-compile fixture: the same guarded write
+// as thread_safety_violation.cpp but done correctly under a MutexLock. Must
+// compile cleanly with -Wthread-safety -Werror, proving a fixture failure
+// means the analysis found the violation — not that the fixture's includes
+// or flags are broken.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) EXCLUDES(mu_) {
+    adlp::MutexLock lock(mu_);
+    balance_ += amount;
+  }
+
+ private:
+  adlp::Mutex mu_;
+  int balance_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Negative-compile fixture: intentionally writes a GUARDED_BY field without
+// holding its mutex. Under -Wthread-safety -Werror this translation unit
+// MUST fail to compile; the harness (check_thread_safety.cmake) asserts
+// that, proving the CI gate actually fires. Without the warning flag it
+// compiles fine — the bug is invisible to the plain compiler, which is the
+// whole point of the gate.
+//
+// Not part of any build target; compiled only by the fixture's ctest entry.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    balance_ += amount;  // BUG: mu_ not held
+  }
+
+ private:
+  adlp::Mutex mu_;
+  int balance_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  return 0;
+}

@@ -1,0 +1,224 @@
+#!/usr/bin/env python3
+"""Project lint: invariants clang-tidy cannot express.
+
+Run from anywhere: paths resolve relative to the repository root (this
+file's parent directory). Exit status is the number of violation classes
+that fired; 0 means clean. CI runs this in the static-analysis job.
+
+Rules:
+  banned-call      rand(), strcpy(), and naked system() are forbidden in
+                   src/, tools/, and examples/. Use common/rng.h, bounded
+                   copies, and posix_spawn/explicit exec wrappers.
+  memcpy-guard     every memcpy/memmove whose length is not a sizeof/integer
+                   literal must sit in a function that checks emptiness
+                   (`empty(`) somewhere, or carry a `lint: memcpy-checked`
+                   waiver comment. An empty std::span/BytesView may carry
+                   data() == nullptr, and memcpy(_, nullptr, 0) is UB — the
+                   exact bug class PR 4's UBSan leg caught in sha512.
+  obs-includes     src/obs stays dependency-free: it may include only the
+                   C++ standard library, other obs/ headers, and the two
+                   annotation headers (common/thread_annotations.h,
+                   common/mutex.h). Anything else couples observability to
+                   the layers it observes.
+  metric-names     every "adlp_*" string literal in src/ must appear in
+                   tools/metric_names.txt, be registered at exactly one
+                   source location, and the registry itself must be sorted
+                   and free of duplicates and stale entries.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+REGISTRY = REPO / "tools" / "metric_names.txt"
+
+CXX_SUFFIXES = {".h", ".cpp", ".cc", ".hpp"}
+
+BANNED = [
+    (re.compile(r"(?<![\w:])rand\s*\("), "rand() — use common/rng.h"),
+    (re.compile(r"(?<![\w:])strcpy\s*\("), "strcpy() — use bounded copies"),
+    (re.compile(r"(?<![\w:.>])system\s*\("), "naked system()"),
+]
+
+OBS_INCLUDE_ALLOWED = re.compile(
+    r'#include\s+(<[^>]+>|"obs/[^"]+"'
+    r'|"common/thread_annotations\.h"|"common/mutex\.h")'
+)
+
+MEMCPY_CALL = re.compile(r"(?<![\w:])(?:std::)?(memcpy|memmove)\s*\(")
+MEMCPY_WAIVER = "lint: memcpy-checked"
+# Length arguments that cannot be a "zero bytes from an empty view" case:
+# sizeof(...) of a fixed type/array, or a plain integer literal.
+SAFE_LENGTH = re.compile(r"^\s*(sizeof\s*\(.*\)|\d+[uUlL]*)\s*$")
+
+METRIC_LITERAL = re.compile(r'"(adlp_[a-z0-9_]+)"')
+
+
+def cxx_files(*roots: str) -> list[Path]:
+    files: list[Path] = []
+    for root in roots:
+        base = REPO / root
+        if base.is_dir():
+            files.extend(
+                p for p in sorted(base.rglob("*")) if p.suffix in CXX_SUFFIXES
+            )
+    return files
+
+
+def strip_comments(line: str) -> str:
+    return line.split("//", 1)[0]
+
+
+def call_arguments(text: str, open_paren: int) -> list[str] | None:
+    """Splits the argument list of the call whose '(' is at open_paren."""
+    depth = 0
+    args: list[str] = []
+    start = open_paren + 1
+    for i in range(open_paren, len(text)):
+        c = text[i]
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+            if depth == 0:
+                args.append(text[start:i])
+                return args
+        elif c == "," and depth == 1:
+            args.append(text[start:i])
+            start = i + 1
+    return None  # unbalanced within the window
+
+
+def enclosing_function(lines: list[str], idx: int) -> str:
+    """Approximates the enclosing function body: the region between the
+    nearest column-0 '}' lines (namespace-scope definitions in this tree)."""
+    lo = idx
+    while lo > 0 and not lines[lo - 1].startswith("}"):
+        lo -= 1
+    hi = idx
+    while hi < len(lines) - 1 and not lines[hi].startswith("}"):
+        hi += 1
+    return "\n".join(lines[lo : hi + 1])
+
+
+def check_banned_calls(violations: list[str]) -> None:
+    for path in cxx_files("src", "tools", "examples"):
+        for n, raw in enumerate(path.read_text().splitlines(), 1):
+            line = strip_comments(raw)
+            for pattern, what in BANNED:
+                if pattern.search(line):
+                    violations.append(
+                        f"banned-call: {path.relative_to(REPO)}:{n}: {what}"
+                    )
+
+
+def check_memcpy_guards(violations: list[str]) -> None:
+    for path in cxx_files("src"):
+        lines = path.read_text().splitlines()
+        for n, raw in enumerate(lines, 1):
+            line = strip_comments(raw)
+            m = MEMCPY_CALL.search(line)
+            if not m:
+                continue
+            if MEMCPY_WAIVER in raw or (n >= 2 and MEMCPY_WAIVER in lines[n - 2]):
+                continue
+            # The call may span lines; join a short window for parsing.
+            window = " ".join(
+                strip_comments(l) for l in lines[n - 1 : n + 4]
+            )
+            call = MEMCPY_CALL.search(window)
+            args = call_arguments(window, call.end() - 1) if call else None
+            if args and len(args) == 3 and SAFE_LENGTH.match(args[2]):
+                continue
+            if "empty(" in enclosing_function(lines, n - 1):
+                continue
+            violations.append(
+                f"memcpy-guard: {path.relative_to(REPO)}:{n}: "
+                f"{m.group(1)} with a runtime length needs an emptiness "
+                f"guard in the enclosing function (empty views may carry "
+                f"data() == nullptr) or a '{MEMCPY_WAIVER}' comment"
+            )
+
+
+def check_obs_includes(violations: list[str]) -> None:
+    for path in cxx_files("src/obs"):
+        for n, raw in enumerate(path.read_text().splitlines(), 1):
+            line = strip_comments(raw)
+            if not line.lstrip().startswith("#include"):
+                continue
+            if not OBS_INCLUDE_ALLOWED.match(line.strip()):
+                violations.append(
+                    f"obs-includes: {path.relative_to(REPO)}:{n}: "
+                    f"{line.strip()} — src/obs may only include the standard "
+                    f"library, obs/ headers, common/thread_annotations.h, "
+                    f"and common/mutex.h"
+                )
+
+
+def check_metric_names(violations: list[str]) -> None:
+    registry: list[str] = []
+    for n, raw in enumerate(REGISTRY.read_text().splitlines(), 1):
+        entry = raw.split("#", 1)[0].strip()
+        if entry:
+            registry.append(entry)
+    if registry != sorted(registry):
+        violations.append("metric-names: tools/metric_names.txt is not sorted")
+    if len(registry) != len(set(registry)):
+        violations.append(
+            "metric-names: tools/metric_names.txt has duplicate entries"
+        )
+
+    seen: dict[str, str] = {}
+    used: set[str] = set()
+    for path in cxx_files("src"):
+        for n, raw in enumerate(path.read_text().splitlines(), 1):
+            for name in METRIC_LITERAL.findall(strip_comments(raw)):
+                where = f"{path.relative_to(REPO)}:{n}"
+                used.add(name)
+                if name not in set(registry):
+                    violations.append(
+                        f"metric-names: {where}: \"{name}\" is not in "
+                        f"tools/metric_names.txt"
+                    )
+                elif name in seen:
+                    violations.append(
+                        f"metric-names: {where}: \"{name}\" already "
+                        f"registered at {seen[name]} — metric names must be "
+                        f"registered at exactly one source location"
+                    )
+                else:
+                    seen[name] = where
+    for name in registry:
+        if name not in used:
+            violations.append(
+                f"metric-names: \"{name}\" is in tools/metric_names.txt but "
+                f"no longer used anywhere in src/ — remove the stale entry"
+            )
+
+
+def main() -> int:
+    violations: list[str] = []
+    checks = (
+        check_banned_calls,
+        check_memcpy_guards,
+        check_obs_includes,
+        check_metric_names,
+    )
+    failed_classes = 0
+    for check in checks:
+        before = len(violations)
+        check(violations)
+        if len(violations) > before:
+            failed_classes += 1
+    for v in violations:
+        print(v)
+    if not violations:
+        print(f"lint: clean ({len(checks)} rule classes)")
+    return failed_classes
+
+
+if __name__ == "__main__":
+    sys.exit(main())
