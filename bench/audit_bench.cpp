@@ -7,19 +7,29 @@
 // report is byte-identical to the serial one, and writes the measurements
 // to BENCH_audit.json.
 //
-//   audit_bench [--entries N] [--links L] [--rsa-bits B] [--reps R]
-//               [--max-threads T] [--out FILE]
+//   audit_bench [--alg rsa|ed25519] [--entries N] [--links L]
+//               [--rsa-bits B] [--reps R] [--max-threads T]
+//               [--min-parallel-ratio X] [--out FILE]
 //
 // Defaults: 51200 entries over 8 links, 512-bit RSA (the protocol logic is
 // key-size agnostic; --rsa-bits 1024 reproduces the paper's signature
 // sizes at ~4x the verification cost), 3 repetitions per configuration,
-// thread counts 1/2/4/8.
+// thread counts 1/2/4/8. --alg ed25519 signs the fleet with the
+// lightweight scheme instead, whose verification runs through the
+// combined-equation batch kernel.
+//
+// Every configuration's throughput is also checked against the serial row
+// of the same cache setting: parallel audit must never be slower than
+// serial beyond --min-parallel-ratio (noise tolerance). A violation fails
+// the run, making thread-scaling regressions (e.g. cold shard indexes
+// built inside the timed region) CI-visible.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
 #include <vector>
 
+#include "adlp/protocols.h"
 #include "audit/auditor.h"
 #include "audit/log_database.h"
 #include "audit/report_json.h"
@@ -44,6 +54,7 @@ struct Measurement {
   std::size_t cache_lookups = 0;
   std::size_t cache_hits = 0;
   bool identical = true;
+  bool monotone = true;  // not slower than the serial row (same cache)
 };
 
 struct Fleet {
@@ -57,7 +68,7 @@ struct Fleet {
 /// entries per transmission, exactly two signatures per entry — the
 /// worst-case verification load, since nothing short-circuits).
 Fleet BuildFleet(std::size_t target_entries, std::size_t links,
-                 std::size_t rsa_bits) {
+                 std::size_t rsa_bits, crypto::SigAlgorithm alg) {
   Fleet fleet;
   Rng rng(0xa0d17);
 
@@ -65,7 +76,7 @@ Fleet BuildFleet(std::size_t target_entries, std::size_t links,
   ids.reserve(links + 1);
   for (std::size_t i = 0; i <= links; ++i) {
     ids.push_back(
-        proto::MakeNodeIdentity("c" + std::to_string(i), rng, rsa_bits));
+        proto::MakeNodeIdentity("c" + std::to_string(i), rng, rsa_bits, alg));
     fleet.keys.Register(ids.back().id, ids.back().keys.pub);
   }
 
@@ -94,8 +105,9 @@ Fleet BuildFleet(std::size_t target_entries, std::size_t links,
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: audit_bench [--entries N] [--links L] [--rsa-bits B] "
-               "[--reps R] [--max-threads T] [--out FILE]\n");
+               "usage: audit_bench [--alg rsa|ed25519] [--entries N] "
+               "[--links L] [--rsa-bits B] [--reps R] [--max-threads T] "
+               "[--min-parallel-ratio X] [--out FILE]\n");
   return 3;
 }
 
@@ -107,6 +119,8 @@ int main(int argc, char** argv) {
   std::size_t rsa_bits = 512;
   std::size_t reps = 3;
   std::size_t max_threads = 8;
+  double min_parallel_ratio = 0.85;
+  crypto::SigAlgorithm alg = crypto::SigAlgorithm::kRsaPkcs1Sha256;
   std::string out_path = "BENCH_audit.json";
 
   for (int i = 1; i < argc; ++i) {
@@ -125,6 +139,19 @@ int main(int argc, char** argv) {
       if (!next(reps) || reps == 0) return Usage();
     } else if (std::strcmp(argv[i], "--max-threads") == 0) {
       if (!next(max_threads) || max_threads == 0) return Usage();
+    } else if (std::strcmp(argv[i], "--min-parallel-ratio") == 0 &&
+               i + 1 < argc) {
+      min_parallel_ratio = std::strtod(argv[++i], nullptr);
+      if (min_parallel_ratio <= 0.0) return Usage();
+    } else if (std::strcmp(argv[i], "--alg") == 0 && i + 1 < argc) {
+      const std::string name = argv[++i];
+      if (name == "rsa") {
+        alg = crypto::SigAlgorithm::kRsaPkcs1Sha256;
+      } else if (name == "ed25519") {
+        alg = crypto::SigAlgorithm::kEd25519;
+      } else {
+        return Usage();
+      }
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else {
@@ -133,10 +160,18 @@ int main(int argc, char** argv) {
   }
 
   bench::PrintHeader("audit pipeline: serial vs sharded-parallel");
-  std::printf("generating fleet: ~%zu entries, %zu links, RSA-%zu ...\n",
-              target_entries, links, rsa_bits);
-  const Fleet fleet = BuildFleet(target_entries, links, rsa_bits);
+  if (alg == crypto::SigAlgorithm::kRsaPkcs1Sha256) {
+    std::printf("generating fleet: ~%zu entries, %zu links, RSA-%zu ...\n",
+                target_entries, links, rsa_bits);
+  } else {
+    std::printf("generating fleet: ~%zu entries, %zu links, Ed25519 ...\n",
+                target_entries, links);
+  }
+  const Fleet fleet = BuildFleet(target_entries, links, rsa_bits, alg);
   const audit::LogDatabase db(fleet.entries, fleet.topology);
+  // The Shards() call below doubles as a warm-up: the shard index is lazily
+  // built on first use, and the parallel rows must not pay that one-time
+  // indexing cost inside a timed repetition.
   std::printf("database: %zu entries, %zu pairs, %zu shards\n",
               fleet.entries.size(), db.Pairs().size(), db.Shards().size());
 
@@ -155,6 +190,7 @@ int main(int argc, char** argv) {
 
   std::vector<Measurement> results;
   double serial_ms = 0.0;
+  double serial_eps[2] = {0.0, 0.0};  // entries/sec of threads=1, per cache
   std::printf("\n%8s %6s %12s %14s %10s %10s  %s\n", "threads", "cache",
               "mean ms", "entries/sec", "speedup", "hit-rate", "identical");
   bench::PrintRule();
@@ -188,6 +224,16 @@ int main(int argc, char** argv) {
     m.identical = (json == serial_json);
     if (config.threads == 1 && !config.cache) serial_ms = stats.mean;
     m.speedup = serial_ms > 0.0 ? serial_ms / stats.mean : 1.0;
+    // Thread-scaling assertion: a parallel configuration must reach at
+    // least min_parallel_ratio of the serial throughput measured under the
+    // same cache setting (the ratio absorbs timer noise and single-core
+    // boxes, where parallel can at best match serial).
+    double& serial_ref = serial_eps[config.cache ? 1 : 0];
+    if (config.threads == 1) {
+      serial_ref = m.entries_per_sec;
+    } else if (serial_ref > 0.0) {
+      m.monotone = m.entries_per_sec >= min_parallel_ratio * serial_ref;
+    }
     results.push_back(m);
     char hit_rate[16] = "-";
     if (m.cache_lookups > 0) {
@@ -195,13 +241,18 @@ int main(int argc, char** argv) {
                     100.0 * static_cast<double>(m.cache_hits) /
                         static_cast<double>(m.cache_lookups));
     }
-    std::printf("%8zu %6s %12.2f %14.0f %9.2fx %10s  %s\n", config.threads,
+    std::printf("%8zu %6s %12.2f %14.0f %9.2fx %10s  %s%s\n", config.threads,
                 config.cache ? "on" : "off", m.ms_mean, m.entries_per_sec,
-                m.speedup, hit_rate, m.identical ? "yes" : "NO (BUG)");
+                m.speedup, hit_rate, m.identical ? "yes" : "NO (BUG)",
+                m.monotone ? "" : "  [SLOWER THAN SERIAL]");
   }
 
   bool all_identical = true;
-  for (const Measurement& m : results) all_identical &= m.identical;
+  bool scaling_monotone = true;
+  for (const Measurement& m : results) {
+    all_identical &= m.identical;
+    scaling_monotone &= m.monotone;
+  }
 
   audit::JsonEmitter e(/*pretty=*/true);
   e.OpenObject();
@@ -210,6 +261,8 @@ int main(int argc, char** argv) {
   e.NumberField("pairs", db.Pairs().size());
   e.NumberField("shards", db.Shards().size());
   e.NumberField("links", links);
+  e.StringField("alg", alg == crypto::SigAlgorithm::kEd25519 ? "ed25519"
+                                                             : "rsa");
   e.NumberField("rsa_bits", rsa_bits);
   e.NumberField("reps", reps);
   e.CloseObject();
@@ -228,10 +281,12 @@ int main(int argc, char** argv) {
     e.NumberField("cache_lookups", m.cache_lookups);
     e.NumberField("cache_hits", m.cache_hits);
     e.Field("report_identical", m.identical ? "true" : "false");
+    e.Field("monotone_ok", m.monotone ? "true" : "false");
     e.CloseObject();
   }
   e.CloseArray();
   e.Field("all_reports_identical", all_identical ? "true" : "false");
+  e.Field("scaling_monotone", scaling_monotone ? "true" : "false");
   e.CloseObject();
 
   std::ofstream out(out_path);
@@ -244,6 +299,13 @@ int main(int argc, char** argv) {
                  "audit_bench: FAILURE — a parallel report diverged from "
                  "the serial reference\n");
     return 1;
+  }
+  if (!scaling_monotone) {
+    std::fprintf(stderr,
+                 "audit_bench: FAILURE — a parallel configuration ran "
+                 "slower than serial (below --min-parallel-ratio %.2f)\n",
+                 min_parallel_ratio);
+    return 2;
   }
   return 0;
 }

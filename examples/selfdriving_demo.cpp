@@ -4,9 +4,12 @@
 // logged accountably under ADLP.
 //
 //   build/examples/selfdriving_demo [sim_seconds] [--realtime]
+//                                   [--alg rsa|ed25519]
 //                                   [--metrics-out FILE]
 //
-// Default runs in fast (non-realtime) simulation. At the end the demo
+// Default runs in fast (non-realtime) simulation with RSA-1024 signatures
+// (paper parity); --alg ed25519 runs the whole fleet — signing and the
+// closing audit — on the Ed25519 suite instead. At the end the demo
 // prints pipeline statistics, the car's trajectory summary, the log
 // volume, and a clean audit report.
 #include <cstdio>
@@ -16,6 +19,7 @@
 
 #include "audit/auditor.h"
 #include "audit/causality.h"
+#include "crypto/sig.h"
 #include "obs/export.h"
 #include "sim/app.h"
 
@@ -25,11 +29,22 @@ int main(int argc, char** argv) {
   double sim_seconds = 20.0;
   bool realtime = false;
   std::string metrics_out;
+  crypto::SigAlgorithm alg = crypto::SigAlgorithm::kRsaPkcs1Sha256;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--realtime") == 0) {
       realtime = true;
     } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
       metrics_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--alg") == 0 && i + 1 < argc) {
+      const char* value = argv[++i];
+      if (std::strcmp(value, "rsa") == 0) {
+        alg = crypto::SigAlgorithm::kRsaPkcs1Sha256;
+      } else if (std::strcmp(value, "ed25519") == 0) {
+        alg = crypto::SigAlgorithm::kEd25519;
+      } else {
+        std::fprintf(stderr, "unknown --alg '%s' (rsa|ed25519)\n", value);
+        return 2;
+      }
     } else {
       sim_seconds = std::atof(argv[i]);
     }
@@ -40,12 +55,14 @@ int main(int argc, char** argv) {
 
   sim::AppOptions options;
   options.component.scheme = proto::LoggingScheme::kAdlp;
+  options.component.sig_algorithm = alg;
   options.component.rsa_bits = 1024;
   options.realtime = realtime;
   options.with_stop_sign = true;
 
-  std::printf("starting the self-driving application (%.0f s %s)...\n",
-              sim_seconds, realtime ? "realtime" : "fast-sim");
+  std::printf("starting the self-driving application (%.0f s %s, %s)...\n",
+              sim_seconds, realtime ? "realtime" : "fast-sim",
+              alg == crypto::SigAlgorithm::kEd25519 ? "ed25519" : "rsa-1024");
   sim::SelfDrivingApp app(master, log_server, options);
   app.Run(sim_seconds);
   app.Shutdown();

@@ -1,6 +1,7 @@
 #include "audit/auditor.h"
 
 #include <algorithm>
+#include <numeric>
 #include <optional>
 
 #include "audit/merge.h"
@@ -56,15 +57,35 @@ std::optional<crypto::Digest> ClaimedDigest(
                                               *payload_hash);
 }
 
-bool VerifySig(const std::optional<crypto::PublicKey>& key,
-               const std::optional<crypto::Digest>& digest, BytesView sig,
-               crypto::VerifyCache* cache) {
-  if (!key.has_value() || !digest.has_value() || sig.empty()) return false;
-  return cache != nullptr ? cache->Verify(*key, *digest, sig)
-                          : crypto::VerifyDigest(*key, *digest, sig);
-}
-
 }  // namespace
+
+/// Everything FinalizePair needs to turn batch verification results into a
+/// verdict. Holds owned copies of the resolved public keys: emitted
+/// VerifyRequests point into them, so a plan must stay put between
+/// EmitRequests and the batch call (the pipeline builds all plans for a
+/// chunk before emitting any requests).
+struct Auditor::PairPlan {
+  bool skip = false;  // base-scheme pair with include_base_scheme off
+  bool done = false;  // verdict decided without signature checks
+  PairVerdict verdict;
+  const PublisherEvidence* pub_ev = nullptr;
+  const proto::LogEntry* sub_entry = nullptr;
+  std::optional<crypto::PublicKey> pub_key;
+  std::optional<crypto::PublicKey> sub_key;
+  std::optional<crypto::Digest> pub_digest;
+  std::optional<crypto::Digest> sub_digest;
+  /// The ACK signature proves receipt only when the acknowledged payload
+  /// hash matches the publisher's claim; when false the ACK check is not
+  /// even emitted.
+  bool ack_gate = false;
+  // Indices into the chunk's request vector; -1 means the check is
+  // structurally false (missing key, unreconstructable digest, or empty
+  // signature) and no request was emitted.
+  std::ptrdiff_t pub_self = -1;
+  std::ptrdiff_t pub_ack = -1;
+  std::ptrdiff_t sub_self = -1;
+  std::ptrdiff_t sub_cross = -1;
+};
 
 std::string_view FindingName(Finding f) {
   switch (f) {
@@ -118,25 +139,58 @@ AuditReport Auditor::Audit(const LogDatabase& db,
   const std::size_t cache_lookups_before = cache ? cache->Lookups() : 0;
   const std::size_t cache_hits_before = cache ? cache->Hits() : 0;
 
-  auto evaluate = [&](std::size_t i) {
-    const auto& [key, evidence] = *pairs[i];
-    const bool is_base =
-        (!evidence.publisher.empty() &&
-         evidence.publisher.front().entry.scheme == LogScheme::kBase) ||
-        (!evidence.subscriber.empty() &&
-         evidence.subscriber.front().scheme == LogScheme::kBase);
-    if (is_base && !options_.include_base_scheme) return;
-    verdicts[i] = AuditPair(db, key, evidence, cache);
+  // Pairs are audited in chunks: each chunk prepares its plans, gathers
+  // every outstanding signature check into ONE VerifyDigestBatch call
+  // (duplicate triples verified once; Ed25519 checks collapse into a single
+  // combined-equation batch), then finalizes verdicts. Chunking changes
+  // only how many checks share a batch — every verdict is still the pure
+  // serial decision function of its own pair, so the report is
+  // byte-identical for any chunk size or schedule.
+  constexpr std::size_t kChunkPairs = 256;
+  auto evaluate_chunk = [&](const std::size_t* index, std::size_t count) {
+    std::vector<PairPlan> plans;
+    plans.reserve(count);
+    for (std::size_t j = 0; j < count; ++j) {
+      const auto& [key, evidence] = *pairs[index[j]];
+      const bool is_base =
+          (!evidence.publisher.empty() &&
+           evidence.publisher.front().entry.scheme == LogScheme::kBase) ||
+          (!evidence.subscriber.empty() &&
+           evidence.subscriber.front().scheme == LogScheme::kBase);
+      if (is_base && !options_.include_base_scheme) {
+        PairPlan skipped;
+        skipped.skip = true;
+        plans.push_back(std::move(skipped));
+        continue;
+      }
+      plans.push_back(PreparePair(db, key, evidence));
+    }
+    // Requests point into the plans, so emission starts only after every
+    // plan for the chunk is in place.
+    std::vector<crypto::VerifyRequest> requests;
+    requests.reserve(4 * count);
+    for (PairPlan& plan : plans) EmitRequests(plan, requests);
+    const std::vector<std::uint8_t> results =
+        crypto::VerifyDigestBatch(requests, cache);
+    for (std::size_t j = 0; j < count; ++j) {
+      if (plans[j].skip) continue;
+      verdicts[index[j]] = FinalizePair(plans[j], results);
+    }
   };
 
   if (exec.threads <= 1 && exec.pool == nullptr) {
-    for (std::size_t i = 0; i < pairs.size(); ++i) evaluate(i);
+    std::vector<std::size_t> order(pairs.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    for (std::size_t start = 0; start < order.size(); start += kChunkPairs) {
+      evaluate_chunk(order.data() + start,
+                     std::min(kChunkPairs, order.size() - start));
+    }
   } else {
     // Shard-parallel evaluation: each (publisher, subscriber, topic) shard
-    // is one task, so entries of one conversation stay on one worker (warm
-    // key material, no false sharing of adjacent verdict slots in
-    // practice). Workers write disjoint verdict slots; the merge below is
-    // the only aggregation and runs serially.
+    // is split into chunk tasks, so entries of one conversation stay on one
+    // worker (warm key material, no false sharing of adjacent verdict slots
+    // in practice). Workers write disjoint verdict slots; the merge below
+    // is the only aggregation and runs serially.
     const std::vector<PairShard>& shards = db.Shards();
     std::optional<ThreadPool> local_pool;
     ThreadPool* pool = exec.pool;
@@ -145,16 +199,21 @@ AuditReport Auditor::Audit(const LogDatabase& db,
       pool = &*local_pool;
     }
     for (const PairShard& shard : shards) {
-      pool->Submit([&evaluate, &shard] {
-        obs::TraceLog::Global().Record(obs::TraceKind::kAuditShardStart, "",
-                                       shard.pair_indices.size());
-        const Timestamp shard_start = MonotonicNowNs();
-        for (const std::size_t i : shard.pair_indices) evaluate(i);
-        obs::metric::AuditShardNs().Record(
-            static_cast<std::uint64_t>(MonotonicNowNs() - shard_start));
-        obs::TraceLog::Global().Record(obs::TraceKind::kAuditShardFinish, "",
-                                       shard.pair_indices.size());
-      });
+      const std::size_t* base = shard.pair_indices.data();
+      const std::size_t total = shard.pair_indices.size();
+      for (std::size_t start = 0; start < total; start += kChunkPairs) {
+        const std::size_t count = std::min(kChunkPairs, total - start);
+        pool->Submit([&evaluate_chunk, base, start, count] {
+          obs::TraceLog::Global().Record(obs::TraceKind::kAuditShardStart, "",
+                                         count);
+          const Timestamp shard_start = MonotonicNowNs();
+          evaluate_chunk(base + start, count);
+          obs::metric::AuditShardNs().Record(
+              static_cast<std::uint64_t>(MonotonicNowNs() - shard_start));
+          obs::TraceLog::Global().Record(obs::TraceKind::kAuditShardFinish, "",
+                                         count);
+        });
+      }
     }
     pool->Wait();
   }
@@ -175,10 +234,11 @@ AuditReport Auditor::Audit(const LogDatabase& db,
   return report;
 }
 
-PairVerdict Auditor::AuditPair(const LogDatabase& db, const PairKey& key,
-                               const PairEvidence& evidence,
-                               crypto::VerifyCache* cache) const {
-  PairVerdict v;
+Auditor::PairPlan Auditor::PreparePair(const LogDatabase& db,
+                                       const PairKey& key,
+                                       const PairEvidence& evidence) const {
+  PairPlan plan;
+  PairVerdict& v = plan.verdict;
   v.topic = key.topic;
   v.seq = key.seq;
   v.subscriber = key.subscriber;
@@ -193,9 +253,9 @@ PairVerdict Auditor::AuditPair(const LogDatabase& db, const PairKey& key,
     v.publisher = evidence.subscriber.front().peer;
   }
 
-  const PublisherEvidence* pub_ev =
+  const PublisherEvidence* pub_ev = plan.pub_ev =
       evidence.publisher.empty() ? nullptr : &evidence.publisher.front();
-  const LogEntry* sub_entry =
+  const LogEntry* sub_entry = plan.sub_entry =
       evidence.subscriber.empty() ? nullptr : &evidence.subscriber.front();
 
   // Replayed sequence numbers: extra entries for the same instance are
@@ -211,7 +271,8 @@ PairVerdict Auditor::AuditPair(const LogDatabase& db, const PairKey& key,
       v.subscriber_class = EntryClass::kInvalid;
     }
     v.detail = "multiple entries for one (topic, seq, direction, peer)";
-    return v;
+    plan.done = true;
+    return plan;
   }
 
   // An out-entry claiming a component other than the topic's unique
@@ -224,7 +285,8 @@ PairVerdict Auditor::AuditPair(const LogDatabase& db, const PairKey& key,
     v.blamed.push_back(pub_ev->entry.component);
     v.detail = "out-entry by '" + pub_ev->entry.component +
                "' for a topic published by '" + v.publisher + "'";
-    return v;
+    plan.done = true;
+    return plan;
   }
 
   const bool is_base =
@@ -251,21 +313,16 @@ PairVerdict Auditor::AuditPair(const LogDatabase& db, const PairKey& key,
       v.detail = "counterpart entry missing; hiding and fabrication are "
                  "indistinguishable under the naive scheme";
     }
-    return v;
+    plan.done = true;
+    return plan;
   }
 
-  // --- ADLP evaluation ---
-  const auto pub_key = keys_.Find(v.publisher);
-  const auto sub_key = keys_.Find(v.subscriber);
-
-  // Publisher-side evidence.
-  bool pub_self_ok = false;
-  bool pub_ack_ok = false;
-  std::optional<crypto::Digest> pub_digest;
+  // --- ADLP evaluation: resolve keys and digests; the signature checks
+  // themselves are deferred to the batch. ---
+  plan.pub_key = keys_.Find(v.publisher);
+  plan.sub_key = keys_.Find(v.subscriber);
   if (pub_ev != nullptr) {
-    pub_digest = ClaimedDigest(pub_ev->entry, v.publisher);
-    pub_self_ok =
-        VerifySig(pub_key, pub_digest, pub_ev->entry.self_signature, cache);
+    plan.pub_digest = ClaimedDigest(pub_ev->entry, v.publisher);
     // The ACK proves receipt of *this* publication only if the subscriber's
     // payload hash matches the publisher's claim AND the ACK signature
     // verifies over the digest rebound to this entry's header — a replayed
@@ -273,23 +330,61 @@ PairVerdict Auditor::AuditPair(const LogDatabase& db, const PairKey& key,
     // sequence number.
     const auto pub_payload_hash = ClaimedPayloadHash(pub_ev->entry);
     const auto ack_payload_hash = PayloadHashFromBytes(pub_ev->peer_data_hash);
-    pub_ack_ok = pub_digest.has_value() && pub_payload_hash.has_value() &&
-                 ack_payload_hash.has_value() &&
-                 *ack_payload_hash == *pub_payload_hash &&
-                 VerifySig(sub_key, pub_digest, pub_ev->peer_signature, cache);
+    plan.ack_gate = plan.pub_digest.has_value() &&
+                    pub_payload_hash.has_value() &&
+                    ack_payload_hash.has_value() &&
+                    *ack_payload_hash == *pub_payload_hash;
   }
-
-  // Subscriber-side evidence.
-  bool sub_self_ok = false;
-  bool sub_cross_ok = false;
-  std::optional<crypto::Digest> sub_digest;
   if (sub_entry != nullptr) {
-    sub_digest = ClaimedDigest(*sub_entry, v.publisher);
-    sub_self_ok =
-        VerifySig(sub_key, sub_digest, sub_entry->self_signature, cache);
-    sub_cross_ok =
-        VerifySig(pub_key, sub_digest, sub_entry->peer_signature, cache);
+    plan.sub_digest = ClaimedDigest(*sub_entry, v.publisher);
   }
+  return plan;
+}
+
+void Auditor::EmitRequests(PairPlan& plan,
+                           std::vector<crypto::VerifyRequest>& out) {
+  if (plan.skip || plan.done) return;
+  // A check with no key, no digest, or an empty signature is structurally
+  // false (the serial auditor's VerifySig precondition); its index stays -1.
+  const auto add = [&out](const std::optional<crypto::PublicKey>& key,
+                          const std::optional<crypto::Digest>& digest,
+                          BytesView sig) -> std::ptrdiff_t {
+    if (!key.has_value() || !digest.has_value() || sig.empty()) return -1;
+    out.push_back({&*key, *digest, sig});
+    return static_cast<std::ptrdiff_t>(out.size()) - 1;
+  };
+  if (plan.pub_ev != nullptr) {
+    plan.pub_self =
+        add(plan.pub_key, plan.pub_digest, plan.pub_ev->entry.self_signature);
+    if (plan.ack_gate) {
+      plan.pub_ack =
+          add(plan.sub_key, plan.pub_digest, plan.pub_ev->peer_signature);
+    }
+  }
+  if (plan.sub_entry != nullptr) {
+    plan.sub_self =
+        add(plan.sub_key, plan.sub_digest, plan.sub_entry->self_signature);
+    plan.sub_cross =
+        add(plan.pub_key, plan.sub_digest, plan.sub_entry->peer_signature);
+  }
+}
+
+PairVerdict Auditor::FinalizePair(PairPlan& plan,
+                                  const std::vector<std::uint8_t>& results) {
+  PairVerdict& v = plan.verdict;
+  if (plan.done) return std::move(v);
+
+  const auto ok = [&results](std::ptrdiff_t index) {
+    return index >= 0 && results[static_cast<std::size_t>(index)] != 0;
+  };
+  const bool pub_self_ok = ok(plan.pub_self);
+  const bool pub_ack_ok = ok(plan.pub_ack);
+  const bool sub_self_ok = ok(plan.sub_self);
+  const bool sub_cross_ok = ok(plan.sub_cross);
+  const PublisherEvidence* pub_ev = plan.pub_ev;
+  const LogEntry* sub_entry = plan.sub_entry;
+  const std::optional<crypto::Digest>& pub_digest = plan.pub_digest;
+  const std::optional<crypto::Digest>& sub_digest = plan.sub_digest;
 
   if (pub_ev != nullptr && sub_entry != nullptr) {
     if (!pub_self_ok) {
@@ -421,6 +516,15 @@ PairVerdict Auditor::AuditPair(const LogDatabase& db, const PairKey& key,
   v.finding = Finding::kConflictUnresolvable;
   v.detail = "no evidence";
   return v;
+}
+
+PairVerdict Auditor::AuditPair(const LogDatabase& db, const PairKey& key,
+                               const PairEvidence& evidence,
+                               crypto::VerifyCache* cache) const {
+  PairPlan plan = PreparePair(db, key, evidence);
+  std::vector<crypto::VerifyRequest> requests;
+  EmitRequests(plan, requests);
+  return FinalizePair(plan, crypto::VerifyDigestBatch(requests, cache));
 }
 
 }  // namespace adlp::audit

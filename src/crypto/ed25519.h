@@ -11,6 +11,7 @@
 #pragma once
 
 #include <array>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/rng.h"
@@ -50,5 +51,30 @@ Bytes Ed25519Sign(const Ed25519PrivateKey& key, BytesView message);
 /// Verifies a signature. Malformed points/scalars return false.
 bool Ed25519Verify(const Ed25519PublicKey& key, BytesView message,
                    BytesView signature);
+
+/// One signature in a batch. `key` must outlive the Ed25519VerifyBatch call;
+/// items may share keys (the batch kernel folds per-key work together).
+struct Ed25519BatchItem {
+  const Ed25519PublicKey* key = nullptr;
+  BytesView message;
+  BytesView signature;
+};
+
+/// Batch verification: returns one byte per item (1 = valid, 0 = invalid),
+/// item-for-item identical to calling Ed25519Verify on each.
+///
+/// The whole batch is checked with one randomized linear combination
+///   sum(z_i * (S_i*B - R_i - k_i*A_i)) == identity
+/// evaluated as a single Straus (interleaved windowed-NAF) multi-scalar
+/// multiplication, with 128-bit coefficients z_i derived deterministically
+/// from a SHA-512 transcript of the batch (so audits are reproducible and a
+/// signer cannot predict its coefficient without knowing its co-batched
+/// items). If the combined equation rejects, the kernel falls back to
+/// per-signature checks — reusing the decompressed points — to isolate
+/// exactly which items failed. Structurally invalid items (bad length,
+/// non-curve point, non-canonical s >= L) are screened out up front with the
+/// same rules as Ed25519Verify and never join the combined equation.
+std::vector<std::uint8_t> Ed25519VerifyBatch(
+    const std::vector<Ed25519BatchItem>& items);
 
 }  // namespace adlp::crypto

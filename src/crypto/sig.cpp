@@ -133,25 +133,29 @@ VerifyCache::VerifyCache() {
 bool VerifyCache::Verify(const PublicKey& key, const Digest& digest,
                          BytesView signature) {
   const Digest memo = MemoKey(key, digest, signature);
-  Shard& shard = *shards_[memo[0] % kShards];
-  lookups_.fetch_add(1, std::memory_order_relaxed);
-  {
-    MutexLock lock(shard.mu);
-    const auto it = shard.results.find(memo);
-    if (it != shard.results.end()) {
-      hits_.fetch_add(1, std::memory_order_relaxed);
-      return it->second;
-    }
-  }
+  if (const std::optional<bool> hit = Lookup(memo)) return *hit;
   // Verify outside the shard lock: a second thread racing on the same triple
   // redundantly verifies (harmless, same pure result) instead of serializing
   // every other triple in the shard behind one modexp.
   const bool ok = VerifyDigest(key, digest, signature);
-  {
-    MutexLock lock(shard.mu);
-    shard.results.emplace(memo, ok);
-  }
+  Store(memo, ok);
   return ok;
+}
+
+std::optional<bool> VerifyCache::Lookup(const Digest& memo) {
+  Shard& shard = *shards_[memo[0] % kShards];
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  MutexLock lock(shard.mu);
+  const auto it = shard.results.find(memo);
+  if (it == shard.results.end()) return std::nullopt;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+void VerifyCache::Store(const Digest& memo, bool ok) {
+  Shard& shard = *shards_[memo[0] % kShards];
+  MutexLock lock(shard.mu);
+  shard.results.emplace(memo, ok);
 }
 
 std::size_t VerifyCache::Size() const {
@@ -166,23 +170,74 @@ std::size_t VerifyCache::Size() const {
 std::vector<std::uint8_t> VerifyDigestBatch(
     const std::vector<VerifyRequest>& requests, VerifyCache* cache) {
   std::vector<std::uint8_t> results(requests.size(), 0);
-  // Dedup within the batch: first occurrence verifies, the rest copy.
-  std::unordered_map<Digest, bool, MemoKeyHash> seen;
-  seen.reserve(requests.size());
+
+  // Pass 1 — dedup by memo key and resolve cache hits. Each distinct
+  // (key, digest, signature) triple gets one slot; only the first
+  // occurrence consults the shared cache.
+  struct Slot {
+    std::size_t first;  // canonical request index for this triple
+    Digest memo;
+    int result = -1;  // -1 = needs verification
+  };
+  std::vector<Slot> slots;
+  slots.reserve(requests.size());
+  std::unordered_map<Digest, std::size_t, MemoKeyHash> slot_of;
+  slot_of.reserve(requests.size());
+  constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> request_slot(requests.size(), kNoSlot);
+
   for (std::size_t i = 0; i < requests.size(); ++i) {
     const VerifyRequest& req = requests[i];
     if (req.key == nullptr || req.signature.empty()) continue;
     const Digest memo = MemoKey(*req.key, req.digest, req.signature);
-    const auto it = seen.find(memo);
-    if (it != seen.end()) {
-      results[i] = it->second ? 1 : 0;
+    const auto [it, fresh] = slot_of.try_emplace(memo, slots.size());
+    if (fresh) {
+      Slot slot{i, memo, -1};
+      if (cache != nullptr) {
+        if (const std::optional<bool> hit = cache->Lookup(memo)) {
+          slot.result = *hit ? 1 : 0;
+        }
+      }
+      slots.push_back(slot);
+    }
+    request_slot[i] = it->second;
+  }
+
+  // Pass 2 — group the unresolved slots by algorithm. Ed25519 goes through
+  // the combined-equation batch kernel; RSA keeps the per-signature path
+  // (paper parity — its verification is a cheap public-exponent modexp).
+  std::vector<std::size_t> ed_slots;
+  for (Slot& slot : slots) {
+    if (slot.result != -1) continue;
+    const VerifyRequest& req = requests[slot.first];
+    if (req.key->alg == SigAlgorithm::kEd25519) {
+      ed_slots.push_back(&slot - slots.data());
       continue;
     }
-    const bool ok = cache != nullptr
-                        ? cache->Verify(*req.key, req.digest, req.signature)
-                        : VerifyDigest(*req.key, req.digest, req.signature);
-    seen.emplace(memo, ok);
-    results[i] = ok ? 1 : 0;
+    slot.result = VerifyDigest(*req.key, req.digest, req.signature) ? 1 : 0;
+    if (cache != nullptr) cache->Store(slot.memo, slot.result == 1);
+  }
+  if (!ed_slots.empty()) {
+    std::vector<Ed25519BatchItem> items;
+    items.reserve(ed_slots.size());
+    for (const std::size_t s : ed_slots) {
+      const VerifyRequest& req = requests[slots[s].first];
+      items.push_back({&req.key->ed25519,
+                       BytesView(req.digest.data(), req.digest.size()),
+                       req.signature});
+    }
+    const std::vector<std::uint8_t> verdicts = Ed25519VerifyBatch(items);
+    for (std::size_t j = 0; j < ed_slots.size(); ++j) {
+      Slot& slot = slots[ed_slots[j]];
+      slot.result = verdicts[j];
+      if (cache != nullptr) cache->Store(slot.memo, slot.result == 1);
+    }
+  }
+
+  // Pass 3 — fan slot verdicts out to every request.
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (request_slot[i] == kNoSlot) continue;
+    results[i] = slots[request_slot[i]].result == 1 ? 1 : 0;
   }
   return results;
 }
@@ -194,9 +249,18 @@ PublicKey ParsePublicKey(BytesView data) {
   wire::WireType type;
   while (r.NextField(field, type)) {
     switch (field) {
-      case kFieldAlg:
-        key.alg = static_cast<SigAlgorithm>(r.GetU64Value());
+      case kFieldAlg: {
+        const std::uint64_t raw = r.GetU64Value();
+        switch (raw) {
+          case static_cast<std::uint64_t>(SigAlgorithm::kRsaPkcs1Sha256):
+          case static_cast<std::uint64_t>(SigAlgorithm::kEd25519):
+            key.alg = static_cast<SigAlgorithm>(raw);
+            break;
+          default:
+            throw wire::WireError("public key: unknown algorithm");
+        }
         break;
+      }
       case kFieldRsaModulus:
         key.rsa.n = BigInt::FromBytesBE(r.GetBytesValue());
         break;

@@ -18,6 +18,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -102,6 +103,14 @@ class VerifyCache {
   /// VerifyDigest with memoization.
   bool Verify(const PublicKey& key, const Digest& digest, BytesView signature);
 
+  /// Batch-path primitives keyed by a precomputed memo key (the SHA-256
+  /// over the wire-encoded key, digest, and signature). VerifyDigestBatch
+  /// uses these to resolve cache hits up front and store batch-kernel
+  /// verdicts afterwards; a Lookup counts toward Lookups()/Hits() exactly
+  /// like a Verify.
+  std::optional<bool> Lookup(const Digest& memo);
+  void Store(const Digest& memo, bool ok);
+
   std::size_t Lookups() const { return lookups_.load(); }
   std::size_t Hits() const { return hits_.load(); }
   /// Distinct (key, digest, signature) triples verified so far.
@@ -144,6 +153,13 @@ struct VerifyRequest {
 /// turns the auditor's two checks of every acknowledgement signature (once
 /// in the publisher's entry, once in the subscriber's) into one modexp.
 /// With `cache` non-null, results are also memoized across batches.
+///
+/// After dedup and cache resolution the remaining requests are grouped by
+/// algorithm: Ed25519 requests go through Ed25519VerifyBatch (one combined
+/// linear-combination equation for the whole group, with per-signature
+/// fallback on rejection), while RSA keeps the per-signature path for
+/// parity with the paper's prototype. Results are identical to calling
+/// VerifyDigest on every request.
 std::vector<std::uint8_t> VerifyDigestBatch(
     const std::vector<VerifyRequest>& requests, VerifyCache* cache = nullptr);
 

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "adlp/protocols.h"
 #include "audit/auditor.h"
 #include "audit/report_json.h"
 #include "common/thread_pool.h"
@@ -109,6 +110,55 @@ TEST(AuditParallelTest, EveryConfigurationMatchesSerialByteForByte) {
             << " cache=" << cache;
         EXPECT_EQ(report.unfaithful, serial.unfaithful) << name;
       }
+    }
+  }
+}
+
+TEST(AuditParallelTest, Ed25519FleetMatchesSerialByteForByte) {
+  // Lightweight-crypto fleet: every verification runs through the Ed25519
+  // combined-equation batch kernel, including one tampered signature that
+  // exercises the per-signature fallback. Serial and parallel reports must
+  // still be byte-identical under every configuration.
+  Rng rng(0xed255);
+  std::vector<proto::NodeIdentity> ids;
+  crypto::KeyStore keys;
+  for (int i = 0; i < 4; ++i) {
+    ids.push_back(proto::MakeNodeIdentity("ed-c" + std::to_string(i), rng, 512,
+                                          crypto::SigAlgorithm::kEd25519));
+    keys.Register(ids.back().id, ids.back().keys.pub);
+  }
+  std::vector<proto::LogEntry> entries;
+  audit::Topology topology;
+  for (std::size_t link = 0; link + 1 < ids.size(); ++link) {
+    const std::string topic = "ed-t" + std::to_string(link);
+    topology[topic] =
+        pubsub::Master::TopicInfo{ids[link].id, {ids[link + 1].id}};
+    for (std::uint64_t s = 1; s <= 6; ++s) {
+      const faults::ForgedPair pair = test::MakeFaithfulPair(
+          ids[link], ids[link + 1], topic, s, rng.RandomBytes(24),
+          static_cast<Timestamp>(s * 1000 + link * 10));
+      entries.push_back(pair.publisher_entry);
+      entries.push_back(pair.subscriber_entry);
+    }
+  }
+  ASSERT_FALSE(entries[5].self_signature.empty());
+  entries[5].self_signature[8] ^= 0x20;  // one forged item in the batch
+
+  const audit::LogDatabase db(entries, topology);
+  const audit::Auditor auditor(keys);
+  const audit::AuditReport serial = auditor.Audit(db);
+  const std::string serial_json = FullJson(serial);
+  EXPECT_FALSE(serial.unfaithful.empty())
+      << "the tampered entry went unnoticed";
+
+  for (const std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    for (const bool cache : {false, true}) {
+      audit::AuditOptions exec;
+      exec.threads = threads;
+      exec.cache = cache;
+      EXPECT_EQ(FullJson(auditor.Audit(db, exec)), serial_json)
+          << "ed25519 diverged at threads=" << threads << " cache=" << cache;
     }
   }
 }

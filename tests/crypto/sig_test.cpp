@@ -88,6 +88,26 @@ TEST(SigCrossTest, ParseRejectsBadEd25519Length) {
   EXPECT_THROW(ParsePublicKey(w.Data()), wire::WireError);
 }
 
+TEST(SigCrossTest, ParseRejectsUnknownAlgorithm) {
+  // The alg field is attacker-controlled wire input; any value outside the
+  // enum must throw instead of being cast into a SigAlgorithm nothing
+  // handles.
+  for (const std::uint64_t bad :
+       {std::uint64_t{2}, std::uint64_t{255}, ~std::uint64_t{0}}) {
+    wire::Writer w;
+    w.PutU64(1, bad);
+    w.PutBytes(4, Bytes(32, 1));
+    EXPECT_THROW(ParsePublicKey(w.Data()), wire::WireError) << bad;
+  }
+  // The known values still parse.
+  for (const SigAlgorithm good :
+       {SigAlgorithm::kRsaPkcs1Sha256, SigAlgorithm::kEd25519}) {
+    wire::Writer w;
+    w.PutU64(1, static_cast<std::uint64_t>(good));
+    EXPECT_EQ(ParsePublicKey(w.Data()).alg, good);
+  }
+}
+
 TEST(SigCrossTest, AlgorithmNames) {
   EXPECT_EQ(SigAlgorithmName(SigAlgorithm::kRsaPkcs1Sha256),
             "rsa-pkcs1-sha256");
@@ -132,6 +152,27 @@ TEST(VerifyCacheTest, DistinguishesKeyDigestAndSignature) {
   EXPECT_FALSE(cache.Verify(b.pub, d1, sig_a1));
   EXPECT_FALSE(cache.Verify(a.pub, d2, sig_a1));
   EXPECT_EQ(cache.Size(), 3u);
+  EXPECT_EQ(cache.Hits(), 0u);
+}
+
+TEST(VerifyCacheTest, MemoKeyDomainSeparatesAlgorithm) {
+  // Regression guard: the memo key hashes the wire-encoded public key,
+  // whose first field is the algorithm tag. Two keys identical in every
+  // byte of key material but differing in `alg` must occupy distinct memo
+  // slots — a cached Ed25519 "valid" may never answer for the same bytes
+  // reinterpreted under another algorithm.
+  Rng rng(9);
+  const SigKeyPair ed = GenerateSigKeyPair(rng, SigAlgorithm::kEd25519);
+  const Digest digest = Sha256Digest(BytesOf("alg-domain"));
+  const Bytes sig = SignDigest(ed.priv, digest);
+
+  PublicKey cross = ed.pub;
+  cross.alg = SigAlgorithm::kRsaPkcs1Sha256;  // same struct bytes, other alg
+
+  VerifyCache cache;
+  EXPECT_TRUE(cache.Verify(ed.pub, digest, sig));
+  EXPECT_FALSE(cache.Verify(cross, digest, sig));
+  EXPECT_EQ(cache.Size(), 2u) << "triples collided across algorithms";
   EXPECT_EQ(cache.Hits(), 0u);
 }
 
@@ -190,6 +231,41 @@ TEST(VerifyBatchTest, MatchesIndividualVerification) {
   EXPECT_EQ(results[3], 1);
   EXPECT_EQ(results[4], 0);
   EXPECT_EQ(results[5], 0);
+}
+
+TEST(VerifyBatchTest, MixedAlgorithmBatchGroupsCorrectly) {
+  // RSA and Ed25519 requests in one batch: the Ed25519 group runs through
+  // the combined-equation kernel, RSA stays per-signature, and every
+  // verdict matches VerifyDigest.
+  Rng rng(8);
+  const SigKeyPair rsa =
+      GenerateSigKeyPair(rng, SigAlgorithm::kRsaPkcs1Sha256, 512);
+  const SigKeyPair ed = GenerateSigKeyPair(rng, SigAlgorithm::kEd25519);
+  const Digest d1 = Sha256Digest(BytesOf("m1"));
+  const Digest d2 = Sha256Digest(BytesOf("m2"));
+  const Bytes rsa_sig = SignDigest(rsa.priv, d1);
+  const Bytes ed_sig1 = SignDigest(ed.priv, d1);
+  const Bytes ed_sig2 = SignDigest(ed.priv, d2);
+  Bytes ed_forged = ed_sig2;
+  ed_forged[10] ^= 0x04;
+
+  std::vector<VerifyRequest> requests;
+  requests.push_back({&rsa.pub, d1, rsa_sig});    // valid RSA
+  requests.push_back({&ed.pub, d1, ed_sig1});     // valid Ed25519
+  requests.push_back({&rsa.pub, d2, rsa_sig});    // RSA wrong digest
+  requests.push_back({&ed.pub, d2, ed_forged});   // forged Ed25519
+  requests.push_back({&ed.pub, d2, ed_sig2});     // valid Ed25519
+  requests.push_back({&ed.pub, d1, ed_sig1});     // duplicate of [1]
+
+  const std::vector<std::uint8_t> results = VerifyDigestBatch(requests);
+  const std::vector<std::uint8_t> expected{1, 1, 0, 0, 1, 1};
+  EXPECT_EQ(results, expected);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(results[i] != 0,
+              VerifyDigest(*requests[i].key, requests[i].digest,
+                           requests[i].signature))
+        << i;
+  }
 }
 
 TEST(VerifyBatchTest, SharesAnExternalCache) {

@@ -227,6 +227,22 @@ TEST_P(WireFuzzTest, PublicKeyParserHostileBytes) {
     ExpectNoCrash([](BytesView b) { crypto::ParsePublicKey(b); },
                   rng.RandomBytes(rng.UniformBelow(200)));
   }
+  // Frames whose algorithm tag is outside the enum: the parser must throw
+  // WireError (caught by ExpectNoCrash) for every hostile value rather than
+  // casting it into a SigAlgorithm.
+  for (int i = 0; i < 30; ++i) {
+    wire::Writer w;
+    w.PutU64(1, 2 + rng.UniformBelow(1000));  // alg tag: always unknown
+    if (rng.UniformBelow(2) == 0) {
+      w.PutBytes(4, rng.RandomBytes(rng.UniformBelow(64)));
+    } else {
+      w.PutBytes(2, rng.RandomBytes(rng.UniformBelow(64)));
+      w.PutBytes(3, rng.RandomBytes(rng.UniformBelow(8)));
+    }
+    const Bytes frame = std::move(w).Take();
+    ExpectNoCrash([](BytesView b) { crypto::ParsePublicKey(b); }, frame);
+    EXPECT_THROW(crypto::ParsePublicKey(frame), wire::WireError);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzzTest,

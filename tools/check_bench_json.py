@@ -47,6 +47,9 @@ def check_audit(doc, name):
     config = require(doc, "config", dict, name)
     for field in ("entries", "pairs", "shards", "links", "rsa_bits", "reps"):
         require(config, field, int, f"{name}.config")
+    alg = require(config, "alg", str, f"{name}.config")
+    if alg not in ("rsa", "ed25519"):
+        raise SchemaError(f"{name}.config: unknown alg '{alg}'")
 
     results = require(doc, "results", list, name)
     if not results:
@@ -63,9 +66,15 @@ def check_audit(doc, name):
         require(result, "cache_hits", int, where)
         if not require(result, "report_identical", bool, where):
             raise SchemaError(f"{where}: parallel report diverged from serial")
+        if not require(result, "monotone_ok", bool, where):
+            raise SchemaError(
+                f"{where}: parallel configuration slower than serial"
+            )
 
     if not require(doc, "all_reports_identical", bool, name):
         raise SchemaError(f"{name}: all_reports_identical is false")
+    if not require(doc, "scaling_monotone", bool, name):
+        raise SchemaError(f"{name}: scaling_monotone is false")
 
 
 def check_obs(doc, name):
@@ -148,6 +157,15 @@ COMPARE_SPECS = {
 
 def compare(doc, baseline, kind, name, base_name, max_regress):
     key_fields, metrics = COMPARE_SPECS[kind]
+
+    if kind == "audit_bench":
+        cur_alg = doc.get("config", {}).get("alg")
+        base_alg = baseline.get("config", {}).get("alg")
+        if cur_alg != base_alg:
+            raise SchemaError(
+                f"{name} is alg={cur_alg} but {base_name} is "
+                f"alg={base_alg}; compare like with like"
+            )
 
     def rows_by_key(document, where):
         rows = {}
