@@ -20,13 +20,26 @@
 //
 // Every configuration's throughput is also checked against the serial row
 // of the same cache setting: parallel audit must never be slower than
-// serial beyond --min-parallel-ratio (noise tolerance). A violation fails
-// the run, making thread-scaling regressions (e.g. cold shard indexes
-// built inside the timed region) CI-visible.
+// serial beyond --min-parallel-ratio (noise tolerance). Two measures keep
+// this gate meaningful rather than flaky on shared or small CI runners:
+//   - The gate compares best-of-reps throughput (fastest repetition on
+//     both sides) rather than the mean. Contention only ever adds time,
+//     so the fastest sample is the low-noise estimate, and one unlucky
+//     scheduling burst in a repetition cannot fail the job.
+//   - Only thread counts the hardware can actually run in parallel
+//     (threads <= hardware_concurrency) are gated. Oversubscribed rows —
+//     e.g. threads=4 on a 2-core runner, where parallel physically cannot
+//     beat serial and pool overhead makes it slower — are measured and
+//     reported but exempt from the gate.
+// A violation fails the run, making thread-scaling regressions (e.g. cold
+// shard indexes built inside the timed region) CI-visible. The mean is
+// still what gets reported and baseline-compared.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "adlp/protocols.h"
@@ -50,6 +63,7 @@ struct Measurement {
   Config config;
   double ms_mean = 0.0;
   double entries_per_sec = 0.0;
+  double eps_best = 0.0;  // throughput of the fastest repetition
   double speedup = 1.0;
   std::size_t cache_lookups = 0;
   std::size_t cache_hits = 0;
@@ -188,6 +202,15 @@ int main(int argc, char** argv) {
     configs.push_back({t, true});
   }
 
+  const std::size_t hw_threads =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  if (hw_threads < max_threads) {
+    std::printf(
+        "note: %zu hardware thread(s) — scaling gate covers threads <= %zu; "
+        "oversubscribed rows are reported but not gated\n",
+        hw_threads, hw_threads);
+  }
+
   std::vector<Measurement> results;
   double serial_ms = 0.0;
   double serial_eps[2] = {0.0, 0.0};  // entries/sec of threads=1, per cache
@@ -221,18 +244,23 @@ int main(int argc, char** argv) {
     m.ms_mean = stats.mean;
     m.entries_per_sec =
         static_cast<double>(fleet.entries.size()) / (stats.mean / 1e3);
+    m.eps_best =
+        static_cast<double>(fleet.entries.size()) / (stats.min / 1e3);
     m.identical = (json == serial_json);
     if (config.threads == 1 && !config.cache) serial_ms = stats.mean;
     m.speedup = serial_ms > 0.0 ? serial_ms / stats.mean : 1.0;
     // Thread-scaling assertion: a parallel configuration must reach at
     // least min_parallel_ratio of the serial throughput measured under the
-    // same cache setting (the ratio absorbs timer noise and single-core
-    // boxes, where parallel can at best match serial).
+    // same cache setting. Both sides use best-of-reps: scheduler noise on
+    // a shared runner only inflates samples, so the fastest repetition is
+    // the robust estimate, and a single preempted rep cannot fail the
+    // gate. Rows oversubscribing the hardware (threads > cores) cannot be
+    // expected to beat serial, so they are reported but not gated.
     double& serial_ref = serial_eps[config.cache ? 1 : 0];
     if (config.threads == 1) {
-      serial_ref = m.entries_per_sec;
-    } else if (serial_ref > 0.0) {
-      m.monotone = m.entries_per_sec >= min_parallel_ratio * serial_ref;
+      serial_ref = m.eps_best;
+    } else if (serial_ref > 0.0 && config.threads <= hw_threads) {
+      m.monotone = m.eps_best >= min_parallel_ratio * serial_ref;
     }
     results.push_back(m);
     char hit_rate[16] = "-";
@@ -265,6 +293,7 @@ int main(int argc, char** argv) {
                                                              : "rsa");
   e.NumberField("rsa_bits", rsa_bits);
   e.NumberField("reps", reps);
+  e.NumberField("hardware_concurrency", hw_threads);
   e.CloseObject();
   e.OpenArray("results");
   char buf[64];
@@ -276,6 +305,8 @@ int main(int argc, char** argv) {
     e.Field("ms_mean", buf);
     std::snprintf(buf, sizeof(buf), "%.0f", m.entries_per_sec);
     e.Field("entries_per_sec", buf);
+    std::snprintf(buf, sizeof(buf), "%.0f", m.eps_best);
+    e.Field("entries_per_sec_best", buf);
     std::snprintf(buf, sizeof(buf), "%.3f", m.speedup);
     e.Field("speedup_vs_serial", buf);
     e.NumberField("cache_lookups", m.cache_lookups);

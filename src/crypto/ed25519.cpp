@@ -625,17 +625,27 @@ ExpandedKey Expand(const Ed25519PrivateKey& key) {
   return out;
 }
 
-/// True iff S*B == R + k*A, evaluated as S*B + (8L - k)*A == R in one
-/// double-scalar ladder. Substituting 8L - k for -k is exact for every
-/// curve point — 8L is the full group order — so the check agrees with the
-/// textbook equation even for keys with a small-order component.
+/// [8]P via three doublings: annihilates the 8-torsion component, leaving
+/// only the prime-order part of the point.
+Point MulBy8(const Point& p) {
+  return PointDouble(PointDouble(PointDouble(p)));
+}
+
+/// Cofactored RFC 8032 check: true iff [8](S*B) == [8]R + [8](k*A),
+/// evaluated as S*B + (8L - k)*A in one double-scalar ladder, then three
+/// doublings on each side. Substituting 8L - k for -k is exact for every
+/// curve point — 8L is the full group order. RFC 8032 permits either the
+/// cofactored or the cofactorless equation; the cofactored form is the only
+/// one a batch verifier can agree with on adversarial inputs (see
+/// Ed25519VerifyBatch), so single verification uses it too and the two
+/// paths decide every input identically.
 bool CheckSignatureEquation(const Point& r_point, const NafTable& a_table,
                             const BigInt& s, const BigInt& k) {
   std::vector<MsmTerm> terms;
   terms.reserve(2);
   terms.push_back(MakeMsmTerm(s, BaseNafTable()));
   terms.push_back(MakeMsmTerm(C().order8 - k, a_table));
-  return PointsEqualAffine(MultiScalarMul(terms), r_point);
+  return PointsEqualAffine(MulBy8(MultiScalarMul(terms)), MulBy8(r_point));
 }
 
 }  // namespace
@@ -764,24 +774,39 @@ std::vector<std::uint8_t> Ed25519VerifyBatch(
 
   // 128-bit coefficients z_i, derived deterministically from a transcript
   // of the batch so audit runs are reproducible and need no entropy source.
-  // Each z_i is forced odd so that a lone small-order discrepancy cannot
-  // cancel out of the combined equation.
+  // The transcript frames each field — candidate count up front, message
+  // length before each variable-length message (signature and key are
+  // fixed-size) — so distinct batches can never serialize identically.
+  const auto update_u64_le = [](Sha512& h, std::uint64_t v) {
+    std::uint8_t le[8];
+    for (int b = 0; b < 8; ++b) le[b] = static_cast<std::uint8_t>(v >> (8 * b));
+    h.Update(BytesView(le, 8));
+  };
   Sha512 transcript;
-  transcript.Update(BytesOf("adlp-ed25519-batch-v1"));
+  transcript.Update(BytesOf("adlp-ed25519-batch-v2"));
+  update_u64_le(transcript, candidates.size());
   for (const Candidate& c : candidates) {
     const Ed25519BatchItem& item = items[c.item];
     transcript.Update(item.signature);
     transcript.Update(
         BytesView(item.key->bytes.data(), item.key->bytes.size()));
+    update_u64_le(transcript, item.message.size());
     transcript.Update(item.message);
   }
   const Digest512 seed = transcript.Finish();
 
-  // Combined check: sum(z_i * (S_i*B - R_i - k_i*A_i)) == identity,
-  // evaluated as beta*B + sum(z_i*R_i) + sum(alpha_j*A_j) == identity with
-  // beta = -sum(z_i*S_i) and alpha_j = sum over key j of z_i*k_i, both
-  // reduced mod 8L (exact for every point, small-order components
-  // included).
+  // Combined cofactored check: [8]*sum(z_i * (S_i*B - R_i - k_i*A_i)) ==
+  // identity, evaluated as beta*B + sum(z_i*R_i) + sum(alpha_j*A_j) in one
+  // MSM — with beta = -sum(z_i*S_i) and alpha_j = sum over key j of
+  // z_i*k_i, both reduced mod 8L, which is exact for every point — then
+  // three doublings of the result. Multiplying by the cofactor annihilates
+  // all 8-torsion, so the equation lives entirely in the prime-order
+  // subgroup, where a nontrivial relation between the transcript-derived
+  // 128-bit z_i is computationally out of reach. Without the cofactor,
+  // defects of order 2 smuggled into R or A cancel pairwise under ANY odd
+  // z_i, letting a malicious signer split batch and single verdicts;
+  // CheckSignatureEquation multiplies by 8 identically, so the two paths
+  // agree item for item on every input, honest or hostile.
   std::vector<MsmTerm> terms;
   terms.reserve(candidates.size() + keys.size() + 1);
   BigInt s_sum;
@@ -789,13 +814,8 @@ std::vector<std::uint8_t> Ed25519VerifyBatch(
     Candidate& c = candidates[i];
     Sha512 h;
     h.Update(BytesView(seed.data(), seed.size()));
-    std::uint8_t index_le[8];
-    for (int b = 0; b < 8; ++b) {
-      index_le[b] = static_cast<std::uint8_t>(i >> (8 * b));
-    }
-    h.Update(BytesView(index_le, 8));
-    Digest512 z_bytes = h.Finish();
-    z_bytes[0] |= 1;
+    update_u64_le(h, i);
+    const Digest512 z_bytes = h.Finish();
     c.z = ScalarFromLe(BytesView(z_bytes.data(), 16));
     s_sum = s_sum + c.z * c.s;
     c.key->k_sum = c.key->k_sum + c.z * c.k;
@@ -809,7 +829,7 @@ std::vector<std::uint8_t> Ed25519VerifyBatch(
   const BigInt beta = (C().order8 - (s_sum % C().order8)) % C().order8;
   terms.push_back(MakeMsmTerm(beta, BaseNafTable()));
 
-  if (PointIsIdentity(MultiScalarMul(terms))) {
+  if (PointIsIdentity(MulBy8(MultiScalarMul(terms)))) {
     for (const Candidate& c : candidates) results[c.item] = 1;
     return results;
   }

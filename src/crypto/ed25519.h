@@ -48,7 +48,13 @@ Ed25519KeyPair Ed25519KeyPairFromSeed(
 /// Returns the 64-byte signature R || S.
 Bytes Ed25519Sign(const Ed25519PrivateKey& key, BytesView message);
 
-/// Verifies a signature. Malformed points/scalars return false.
+/// Verifies a signature with the cofactored RFC 8032 group equation
+/// [8][S]B == [8]R + [8][k]A'. Malformed points and non-canonical scalars
+/// (s >= L) return false. RFC 8032 permits either the cofactored or the
+/// cofactorless check; the cofactored form is the one under which batch and
+/// single verification provably agree on every input — torsion components
+/// are annihilated by the cofactor instead of cancelling across a batch —
+/// so this library uses it on both paths.
 bool Ed25519Verify(const Ed25519PublicKey& key, BytesView message,
                    BytesView signature);
 
@@ -64,16 +70,21 @@ struct Ed25519BatchItem {
 /// item-for-item identical to calling Ed25519Verify on each.
 ///
 /// The whole batch is checked with one randomized linear combination
-///   sum(z_i * (S_i*B - R_i - k_i*A_i)) == identity
+///   [8] * sum(z_i * (S_i*B - R_i - k_i*A_i)) == identity
 /// evaluated as a single Straus (interleaved windowed-NAF) multi-scalar
-/// multiplication, with 128-bit coefficients z_i derived deterministically
-/// from a SHA-512 transcript of the batch (so audits are reproducible and a
-/// signer cannot predict its coefficient without knowing its co-batched
-/// items). If the combined equation rejects, the kernel falls back to
-/// per-signature checks — reusing the decompressed points — to isolate
-/// exactly which items failed. Structurally invalid items (bad length,
-/// non-curve point, non-canonical s >= L) are screened out up front with the
-/// same rules as Ed25519Verify and never join the combined equation.
+/// multiplication plus three doublings, with 128-bit coefficients z_i
+/// derived deterministically from a length-framed SHA-512 transcript of the
+/// batch (so audits are reproducible and a signer cannot predict its
+/// coefficient without knowing its co-batched items). The cofactor
+/// multiplication confines the equation to the prime-order subgroup, which
+/// is what makes batch acceptance equivalent to per-item acceptance even
+/// for hostile keys or R points carrying small-order components —
+/// Ed25519Verify applies the same cofactored equation. If the combined
+/// equation rejects, the kernel falls back to per-signature checks —
+/// reusing the decompressed points — to isolate exactly which items failed.
+/// Structurally invalid items (bad length, non-curve point, non-canonical
+/// s >= L) are screened out up front with the same rules as Ed25519Verify
+/// and never join the combined equation.
 std::vector<std::uint8_t> Ed25519VerifyBatch(
     const std::vector<Ed25519BatchItem>& items);
 

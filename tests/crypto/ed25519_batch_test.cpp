@@ -161,6 +161,47 @@ TEST(Ed25519BatchTest, MalformedItemsScreenedWithoutPoisoningBatch) {
   EXPECT_EQ(verdicts, (std::vector<std::uint8_t>{1, 0, 0, 0, 0, 0}));
 }
 
+TEST(Ed25519BatchTest, TorsionDefectsCannotSplitBatchAndSingleVerdicts) {
+  // Regression for the cofactorless-batch soundness hole: a signature whose
+  // defect S*B - R - k*A is a small-order point is invisible to a combined
+  // equation whenever the torsion contributions cancel — two order-2
+  // defects cancel under ANY pair of odd z_i — so an uncofactored batch
+  // accepted what uncofactored single verification rejected, and audit
+  // verdicts depended on chunk composition. Both paths now use the
+  // cofactored RFC 8032 equation, which annihilates torsion up front.
+  //
+  // Key and R below are the order-2 point (x = 0, y = p - 1) and S = 0, so
+  // the defect is (k + 1)*T with k = H(R || A || M): the order-2 point T
+  // when k is even, identity when k is odd. Random messages hit both
+  // parities; batch and single must agree on every item either way, and
+  // under cofactored semantics both accept.
+  const Bytes order2 = FromHex(
+      "ecffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff7f");
+  Ed25519PublicKey torsion_key;
+  std::copy(order2.begin(), order2.end(), torsion_key.bytes.begin());
+  Bytes torsion_sig = order2;                    // R = the order-2 point
+  torsion_sig.resize(kEd25519SignatureSize, 0);  // S = 0 (canonical)
+
+  Rng rng(26);
+  const auto honest = GenerateEd25519KeyPair(rng);
+  for (int round = 0; round < 16; ++round) {
+    Batch batch;
+    batch.Add(torsion_key, rng.RandomBytes(32), torsion_sig);
+    batch.Add(torsion_key, rng.RandomBytes(32), torsion_sig);
+    const Bytes msg = rng.RandomBytes(32);
+    batch.Add(honest.pub, msg, Ed25519Sign(honest.priv, msg));
+    const auto verdicts = batch.Verify();
+    ASSERT_EQ(verdicts.size(), 3u);
+    for (std::size_t i = 0; i < verdicts.size(); ++i) {
+      EXPECT_EQ(verdicts[i] != 0,
+                Ed25519Verify(batch.keys[i], batch.messages[i],
+                              batch.signatures[i]))
+          << "round " << round << " item " << i;
+      EXPECT_EQ(verdicts[i], 1) << "round " << round << " item " << i;
+    }
+  }
+}
+
 TEST(Ed25519BatchTest, RandomizedBatchAgreesWithSingleVerify) {
   // Fuzz agreement: mixed batches of valid, tampered, wrong-key, and
   // malformed signatures must reproduce Ed25519Verify item by item.

@@ -62,6 +62,15 @@ def check_audit(doc, name):
             value = require(result, field, (int, float), where)
             if value <= 0:
                 raise SchemaError(f"{where}: '{field}' must be positive, got {value}")
+        # Optional (added after the first committed baselines): the fastest
+        # repetition's throughput. Validated when present.
+        best = result.get("entries_per_sec_best")
+        if best is not None and (
+            not isinstance(best, (int, float)) or best <= 0
+        ):
+            raise SchemaError(
+                f"{where}: 'entries_per_sec_best' must be positive, got {best}"
+            )
         require(result, "cache_lookups", int, where)
         require(result, "cache_hits", int, where)
         if not require(result, "report_identical", bool, where):
@@ -154,6 +163,13 @@ COMPARE_SPECS = {
     "scale_bench": (("subs", "mode"), (("deliveries_per_sec", "up"),)),
 }
 
+# When both rows carry the preferred variant of a metric, compare that
+# instead: best-of-reps throughput is the low-noise estimate on shared
+# runners (contention only ever inflates samples), while the mean of a few
+# repetitions can swing past any reasonable tolerance on a preempted box.
+# Baselines recorded before the field existed fall back to the mean.
+PREFERRED_FIELDS = {"entries_per_sec": "entries_per_sec_best"}
+
 
 def compare(doc, baseline, kind, name, base_name, max_regress):
     key_fields, metrics = COMPARE_SPECS[kind]
@@ -182,6 +198,13 @@ def compare(doc, baseline, kind, name, base_name, max_regress):
             failures.append(f"row ({label}) present in baseline but missing")
             continue
         for field, direction in metrics:
+            preferred = PREFERRED_FIELDS.get(field)
+            if (
+                preferred is not None
+                and isinstance(base_row.get(preferred), (int, float))
+                and isinstance(current[key].get(preferred), (int, float))
+            ):
+                field = preferred
             base_value = base_row.get(field)
             cur_value = current[key].get(field)
             if not isinstance(base_value, (int, float)) or base_value <= 0:
