@@ -28,3 +28,4 @@ adlp_bench(bench_ablation_lightweight_crypto)
 adlp_bench(audit_bench)
 adlp_bench(obs_bench)
 adlp_bench(scale_bench)
+adlp_bench(streaming_bench)

@@ -4,7 +4,17 @@ namespace adlp::proto {
 
 void LogServer::RegisterKey(const crypto::ComponentId& id,
                             const crypto::PublicKey& key) {
+  // Register before publishing the event so a consumer that pops it is
+  // guaranteed to find the key in Keys().
   keys_.Register(id, key);
+  MutexLock lock(mu_);
+  if (tap_ != nullptr) {
+    TapEvent event;
+    event.kind = TapEvent::Kind::kKey;
+    event.component = id;
+    event.key = key;
+    tap_->Push(std::move(event));
+  }
 }
 
 void LogServer::Append(const LogEntry& entry) {
@@ -15,6 +25,22 @@ void LogServer::Append(const LogEntry& entry) {
   bytes_by_component_[entry.component] += record.size();
   entries_.push_back(entry);
   records_.push_back(std::move(record));
+  if (tap_ != nullptr) {
+    // Inside the critical section so tap order is exactly arrival order —
+    // the streaming auditor sees the same sequence a later Entries() batch
+    // read would. A kBlock tap therefore throttles ingestion here; the
+    // data plane's publisher ACKs are unaffected (logging is out-of-band).
+    TapEvent event;
+    event.kind = TapEvent::Kind::kEntry;
+    event.entry = entry;
+    event.index = entries_.size() - 1;
+    tap_->Push(std::move(event));
+  }
+}
+
+void LogServer::AttachTap(LogTapQueue* tap) {
+  MutexLock lock(mu_);
+  tap_ = tap;
 }
 
 std::vector<LogEntry> LogServer::Entries() const {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "adlp/log_entry.h"
+#include "adlp/log_tap.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "adlp/log_sink.h"
@@ -50,6 +51,15 @@ class LogServer final : public LogSink {
   /// demonstrate tamper evidence. Returns false if out of range.
   bool CorruptRecordForTest(std::size_t index);
 
+  // --- Online consumers ---
+  /// Attaches a tap that observes every subsequent key registration and
+  /// appended entry in the server's arrival order (entry events are pushed
+  /// inside the append critical section, so tap order == Entries() order).
+  /// The queue must outlive the server or be detached first; pass nullptr
+  /// to detach. The tap's overflow policy decides what a lagging consumer
+  /// costs: kDropNewest loses events, kBlock slows ingestion.
+  void AttachTap(LogTapQueue* tap);
+
  private:
   mutable Mutex mu_;
   // keys_ is internally synchronized (KeyStore has its own lock) and is
@@ -61,6 +71,7 @@ class LogServer final : public LogSink {
   std::uint64_t total_bytes_ GUARDED_BY(mu_) = 0;
   std::map<crypto::ComponentId, std::uint64_t> bytes_by_component_
       GUARDED_BY(mu_);
+  LogTapQueue* tap_ GUARDED_BY(mu_) = nullptr;
 };
 
 }  // namespace adlp::proto

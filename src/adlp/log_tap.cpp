@@ -1,0 +1,66 @@
+#include "adlp/log_tap.h"
+
+#include "obs/instrument.h"
+
+namespace adlp::proto {
+
+bool LogTapQueue::Push(TapEvent event) {
+  MutexLock lock(mu_);
+  if (policy_ == TapOverflowPolicy::kBlock) {
+    while (!closed_ && queue_.size() >= capacity_) not_full_.Wait(lock);
+  }
+  if (closed_) return false;
+  if (queue_.size() >= capacity_) {
+    ++stats_.dropped;
+    obs::metric::TapDroppedTotal().Add(1);
+    return false;
+  }
+  queue_.push_back(std::move(event));
+  ++stats_.pushed;
+  if (queue_.size() > stats_.high_water) {
+    stats_.high_water = queue_.size();
+    obs::metric::TapHighWater().SetMax(
+        static_cast<std::int64_t>(stats_.high_water));
+  }
+  obs::metric::TapPushedTotal().Add(1);
+  obs::metric::TapDepth().Set(static_cast<std::int64_t>(queue_.size()));
+  not_empty_.NotifyOne();
+  return true;
+}
+
+std::optional<TapEvent> LogTapQueue::Pop(std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  MutexLock lock(mu_);
+  while (queue_.empty()) {
+    if (closed_) return std::nullopt;
+    if (not_empty_.WaitUntil(lock, deadline) == std::cv_status::timeout &&
+        queue_.empty()) {
+      return std::nullopt;
+    }
+  }
+  TapEvent event = std::move(queue_.front());
+  queue_.pop_front();
+  ++stats_.popped;
+  obs::metric::TapDepth().Set(static_cast<std::int64_t>(queue_.size()));
+  not_full_.NotifyOne();
+  return event;
+}
+
+void LogTapQueue::Close() {
+  MutexLock lock(mu_);
+  closed_ = true;
+  not_empty_.NotifyAll();
+  not_full_.NotifyAll();
+}
+
+std::size_t LogTapQueue::Depth() const {
+  MutexLock lock(mu_);
+  return queue_.size();
+}
+
+TapStats LogTapQueue::Stats() const {
+  MutexLock lock(mu_);
+  return stats_;
+}
+
+}  // namespace adlp::proto

@@ -5,87 +5,15 @@
 #include <optional>
 
 #include "audit/merge.h"
+#include "audit/pair_eval.h"
 #include "common/clock.h"
 #include "common/thread_pool.h"
 #include "crypto/sig.h"
 #include "obs/instrument.h"
-#include "pubsub/message.h"
 
 namespace adlp::audit {
 
-namespace {
-
-using proto::Direction;
-using proto::LogEntry;
 using proto::LogScheme;
-
-/// Parses a raw 32-byte payload-hash field (h(D)).
-std::optional<crypto::Digest> PayloadHashFromBytes(BytesView bytes) {
-  if (bytes.size() != crypto::kSha256DigestSize) return std::nullopt;
-  crypto::Digest d;
-  std::copy(bytes.begin(), bytes.end(), d.begin());
-  return d;
-}
-
-pubsub::MessageHeader HeaderOf(const LogEntry& entry,
-                               const crypto::ComponentId& publisher) {
-  pubsub::MessageHeader header;
-  header.topic = entry.topic;
-  header.publisher = publisher;
-  header.seq = entry.seq;
-  header.stamp = entry.message_stamp;
-  return header;
-}
-
-/// h(D) the entry commits to: stored directly (hash-storing subscriber) or
-/// recomputed from the stored data.
-std::optional<crypto::Digest> ClaimedPayloadHash(const LogEntry& entry) {
-  if (!entry.data_hash.empty()) return PayloadHashFromBytes(entry.data_hash);
-  return pubsub::PayloadHash(entry.data);
-}
-
-/// Reconstructs the signed digest h(header || h(D)) an entry commits to.
-/// The header is rebuilt from the entry's own fields — this is what rebinds
-/// a stored payload hash to THIS topic/seq/stamp, defeating replays.
-/// `publisher` is the topic's unique publisher (the entry owner for
-/// out-entries, the recorded peer or manifest publisher for in-entries).
-std::optional<crypto::Digest> ClaimedDigest(
-    const LogEntry& entry, const crypto::ComponentId& publisher) {
-  const auto payload_hash = ClaimedPayloadHash(entry);
-  if (!payload_hash) return std::nullopt;
-  return pubsub::MessageDigestFromPayloadHash(HeaderOf(entry, publisher),
-                                              *payload_hash);
-}
-
-}  // namespace
-
-/// Everything FinalizePair needs to turn batch verification results into a
-/// verdict. Holds owned copies of the resolved public keys: emitted
-/// VerifyRequests point into them, so a plan must stay put between
-/// EmitRequests and the batch call (the pipeline builds all plans for a
-/// chunk before emitting any requests).
-struct Auditor::PairPlan {
-  bool skip = false;  // base-scheme pair with include_base_scheme off
-  bool done = false;  // verdict decided without signature checks
-  PairVerdict verdict;
-  const PublisherEvidence* pub_ev = nullptr;
-  const proto::LogEntry* sub_entry = nullptr;
-  std::optional<crypto::PublicKey> pub_key;
-  std::optional<crypto::PublicKey> sub_key;
-  std::optional<crypto::Digest> pub_digest;
-  std::optional<crypto::Digest> sub_digest;
-  /// The ACK signature proves receipt only when the acknowledged payload
-  /// hash matches the publisher's claim; when false the ACK check is not
-  /// even emitted.
-  bool ack_gate = false;
-  // Indices into the chunk's request vector; -1 means the check is
-  // structurally false (missing key, unreconstructable digest, or empty
-  // signature) and no request was emitted.
-  std::ptrdiff_t pub_self = -1;
-  std::ptrdiff_t pub_ack = -1;
-  std::ptrdiff_t sub_self = -1;
-  std::ptrdiff_t sub_cross = -1;
-};
 
 std::string_view FindingName(Finding f) {
   switch (f) {
@@ -163,18 +91,18 @@ AuditReport Auditor::Audit(const LogDatabase& db,
         plans.push_back(std::move(skipped));
         continue;
       }
-      plans.push_back(PreparePair(db, key, evidence));
+      plans.push_back(PreparePair(keys_, db.topology(), key, evidence));
     }
     // Requests point into the plans, so emission starts only after every
     // plan for the chunk is in place.
     std::vector<crypto::VerifyRequest> requests;
     requests.reserve(4 * count);
-    for (PairPlan& plan : plans) EmitRequests(plan, requests);
+    for (PairPlan& plan : plans) EmitPairRequests(plan, requests);
     const std::vector<std::uint8_t> results =
         crypto::VerifyDigestBatch(requests, cache);
     for (std::size_t j = 0; j < count; ++j) {
       if (plans[j].skip) continue;
-      verdicts[index[j]] = FinalizePair(plans[j], results);
+      verdicts[index[j]] = FinalizePairPlan(plans[j], results);
     }
   };
 
@@ -234,297 +162,13 @@ AuditReport Auditor::Audit(const LogDatabase& db,
   return report;
 }
 
-Auditor::PairPlan Auditor::PreparePair(const LogDatabase& db,
-                                       const PairKey& key,
-                                       const PairEvidence& evidence) const {
-  PairPlan plan;
-  PairVerdict& v = plan.verdict;
-  v.topic = key.topic;
-  v.seq = key.seq;
-  v.subscriber = key.subscriber;
-
-  // Resolve the topic's unique publisher: from the manifest, else from the
-  // out-entry owner, else from the in-entry's recorded peer.
-  if (auto p = db.PublisherOf(key.topic)) {
-    v.publisher = *p;
-  } else if (!evidence.publisher.empty()) {
-    v.publisher = evidence.publisher.front().entry.component;
-  } else if (!evidence.subscriber.empty()) {
-    v.publisher = evidence.subscriber.front().peer;
-  }
-
-  const PublisherEvidence* pub_ev = plan.pub_ev =
-      evidence.publisher.empty() ? nullptr : &evidence.publisher.front();
-  const LogEntry* sub_entry = plan.sub_entry =
-      evidence.subscriber.empty() ? nullptr : &evidence.subscriber.front();
-
-  // Replayed sequence numbers: extra entries for the same instance are
-  // invalid on sight.
-  if (evidence.publisher.size() > 1 || evidence.subscriber.size() > 1) {
-    v.finding = Finding::kDuplicateEntry;
-    if (evidence.publisher.size() > 1) {
-      v.blamed.push_back(evidence.publisher.front().entry.component);
-      v.publisher_class = EntryClass::kInvalid;
-    }
-    if (evidence.subscriber.size() > 1) {
-      v.blamed.push_back(evidence.subscriber.front().component);
-      v.subscriber_class = EntryClass::kInvalid;
-    }
-    v.detail = "multiple entries for one (topic, seq, direction, peer)";
-    plan.done = true;
-    return plan;
-  }
-
-  // An out-entry claiming a component other than the topic's unique
-  // publisher is an impersonation attempt: the type label identifies the
-  // publisher uniquely.
-  if (pub_ev != nullptr && !v.publisher.empty() &&
-      pub_ev->entry.component != v.publisher) {
-    v.finding = Finding::kPublisherSelfAuthFailed;
-    v.publisher_class = EntryClass::kInvalid;
-    v.blamed.push_back(pub_ev->entry.component);
-    v.detail = "out-entry by '" + pub_ev->entry.component +
-               "' for a topic published by '" + v.publisher + "'";
-    plan.done = true;
-    return plan;
-  }
-
-  const bool is_base =
-      (pub_ev != nullptr && pub_ev->entry.scheme == LogScheme::kBase) ||
-      (sub_entry != nullptr && sub_entry->scheme == LogScheme::kBase);
-  if (is_base) {
-    // Naive scheme: nothing is provable (Section III-B). Report only
-    // consistency.
-    if (pub_ev != nullptr && sub_entry != nullptr) {
-      const bool agree = pub_ev->entry.data == sub_entry->data &&
-                         sub_entry->data_hash.empty();
-      v.finding =
-          agree ? Finding::kUnprovableConsistent : Finding::kUnprovableConflict;
-      v.publisher_class = EntryClass::kValid;
-      v.subscriber_class = EntryClass::kValid;
-      if (!agree) {
-        v.detail = "entries conflict; the naive scheme cannot determine "
-                   "whose log is correct";
-      }
-    } else {
-      v.finding = Finding::kUnprovableMissing;
-      if (pub_ev != nullptr) v.publisher_class = EntryClass::kValid;
-      if (sub_entry != nullptr) v.subscriber_class = EntryClass::kValid;
-      v.detail = "counterpart entry missing; hiding and fabrication are "
-                 "indistinguishable under the naive scheme";
-    }
-    plan.done = true;
-    return plan;
-  }
-
-  // --- ADLP evaluation: resolve keys and digests; the signature checks
-  // themselves are deferred to the batch. ---
-  plan.pub_key = keys_.Find(v.publisher);
-  plan.sub_key = keys_.Find(v.subscriber);
-  if (pub_ev != nullptr) {
-    plan.pub_digest = ClaimedDigest(pub_ev->entry, v.publisher);
-    // The ACK proves receipt of *this* publication only if the subscriber's
-    // payload hash matches the publisher's claim AND the ACK signature
-    // verifies over the digest rebound to this entry's header — a replayed
-    // ACK from an older seq fails because the rebound digest embeds the
-    // sequence number.
-    const auto pub_payload_hash = ClaimedPayloadHash(pub_ev->entry);
-    const auto ack_payload_hash = PayloadHashFromBytes(pub_ev->peer_data_hash);
-    plan.ack_gate = plan.pub_digest.has_value() &&
-                    pub_payload_hash.has_value() &&
-                    ack_payload_hash.has_value() &&
-                    *ack_payload_hash == *pub_payload_hash;
-  }
-  if (sub_entry != nullptr) {
-    plan.sub_digest = ClaimedDigest(*sub_entry, v.publisher);
-  }
-  return plan;
-}
-
-void Auditor::EmitRequests(PairPlan& plan,
-                           std::vector<crypto::VerifyRequest>& out) {
-  if (plan.skip || plan.done) return;
-  // A check with no key, no digest, or an empty signature is structurally
-  // false (the serial auditor's VerifySig precondition); its index stays -1.
-  const auto add = [&out](const std::optional<crypto::PublicKey>& key,
-                          const std::optional<crypto::Digest>& digest,
-                          BytesView sig) -> std::ptrdiff_t {
-    if (!key.has_value() || !digest.has_value() || sig.empty()) return -1;
-    out.push_back({&*key, *digest, sig});
-    return static_cast<std::ptrdiff_t>(out.size()) - 1;
-  };
-  if (plan.pub_ev != nullptr) {
-    plan.pub_self =
-        add(plan.pub_key, plan.pub_digest, plan.pub_ev->entry.self_signature);
-    if (plan.ack_gate) {
-      plan.pub_ack =
-          add(plan.sub_key, plan.pub_digest, plan.pub_ev->peer_signature);
-    }
-  }
-  if (plan.sub_entry != nullptr) {
-    plan.sub_self =
-        add(plan.sub_key, plan.sub_digest, plan.sub_entry->self_signature);
-    plan.sub_cross =
-        add(plan.pub_key, plan.sub_digest, plan.sub_entry->peer_signature);
-  }
-}
-
-PairVerdict Auditor::FinalizePair(PairPlan& plan,
-                                  const std::vector<std::uint8_t>& results) {
-  PairVerdict& v = plan.verdict;
-  if (plan.done) return std::move(v);
-
-  const auto ok = [&results](std::ptrdiff_t index) {
-    return index >= 0 && results[static_cast<std::size_t>(index)] != 0;
-  };
-  const bool pub_self_ok = ok(plan.pub_self);
-  const bool pub_ack_ok = ok(plan.pub_ack);
-  const bool sub_self_ok = ok(plan.sub_self);
-  const bool sub_cross_ok = ok(plan.sub_cross);
-  const PublisherEvidence* pub_ev = plan.pub_ev;
-  const LogEntry* sub_entry = plan.sub_entry;
-  const std::optional<crypto::Digest>& pub_digest = plan.pub_digest;
-  const std::optional<crypto::Digest>& sub_digest = plan.sub_digest;
-
-  if (pub_ev != nullptr && sub_entry != nullptr) {
-    if (!pub_self_ok) {
-      v.finding = Finding::kPublisherSelfAuthFailed;
-      v.publisher_class = EntryClass::kInvalid;
-      v.blamed.push_back(v.publisher);
-      v.subscriber_class = (sub_self_ok && sub_cross_ok) ? EntryClass::kValid
-                                                         : EntryClass::kInvalid;
-      if (v.subscriber_class == EntryClass::kInvalid) {
-        v.blamed.push_back(v.subscriber);
-      }
-      return v;
-    }
-    if (!sub_self_ok) {
-      v.finding = Finding::kSubscriberSelfAuthFailed;
-      v.subscriber_class = EntryClass::kInvalid;
-      v.blamed.push_back(v.subscriber);
-      v.publisher_class =
-          pub_ack_ok ? EntryClass::kValid : EntryClass::kInvalid;
-      if (v.publisher_class == EntryClass::kInvalid) {
-        v.blamed.push_back(v.publisher);
-      }
-      return v;
-    }
-
-    const bool agree = pub_digest.has_value() && sub_digest.has_value() &&
-                       *pub_digest == *sub_digest;
-    if (agree && (sub_cross_ok || pub_ack_ok)) {
-      v.finding = Finding::kOk;
-      v.publisher_class = EntryClass::kValid;
-      v.subscriber_class = EntryClass::kValid;
-      if (!sub_cross_ok) {
-        v.detail = "subscriber entry carries a non-verifying publisher "
-                   "signature, but the publisher's ACK evidence proves the "
-                   "transmission";
-      } else if (!pub_ack_ok) {
-        v.detail = "publisher entry carries non-verifying ACK evidence, but "
-                   "the subscriber's entry proves the transmission";
-      }
-      return v;
-    }
-    if (!agree && sub_cross_ok) {
-      // Subscriber provably received what the publisher signed; the
-      // publisher's entry says otherwise (Lemma 3 (i)).
-      v.finding = Finding::kPublisherFalsified;
-      v.publisher_class = EntryClass::kInvalid;
-      v.subscriber_class = EntryClass::kValid;
-      v.blamed.push_back(v.publisher);
-      v.detail = "publisher signed the data the subscriber reports, yet its "
-                 "own entry claims different data";
-      return v;
-    }
-    if (!agree && pub_ack_ok) {
-      // The subscriber acknowledged the publisher's data, then logged
-      // something else (Lemma 3 (ii)).
-      v.finding = Finding::kSubscriberFalsified;
-      v.publisher_class = EntryClass::kValid;
-      v.subscriber_class = EntryClass::kInvalid;
-      v.blamed.push_back(v.subscriber);
-      v.detail = "subscriber acknowledged the publisher's data but logged "
-                 "different data it cannot prove";
-      return v;
-    }
-    // Neither side holds provable counterpart evidence: impossible for a
-    // non-colluding pair under the protocol.
-    v.finding = Finding::kConflictUnresolvable;
-    v.publisher_class = EntryClass::kInvalid;
-    v.subscriber_class = EntryClass::kInvalid;
-    v.detail = "no cross-evidence verifies on either side; indicates "
-               "collusion or joint fabrication";
-    return v;
-  }
-
-  if (pub_ev != nullptr) {
-    // Publisher entry alone.
-    if (!pub_self_ok) {
-      v.finding = Finding::kPublisherSelfAuthFailed;
-      v.publisher_class = EntryClass::kInvalid;
-      v.blamed.push_back(v.publisher);
-      return v;
-    }
-    if (pub_ack_ok) {
-      // The ACK proves the subscriber received the data and then entered no
-      // log (Lemma 2).
-      v.finding = Finding::kSubscriberHidEntry;
-      v.publisher_class = EntryClass::kValid;
-      v.subscriber_class = EntryClass::kHidden;
-      v.blamed.push_back(v.subscriber);
-      v.detail = "subscriber's valid ACK found in the publisher's entry, but "
-                 "the subscriber entered no log entry";
-      return v;
-    }
-    // No provable ACK: the publication cannot be proven (Lemma 1).
-    v.finding = Finding::kPublisherFabricated;
-    v.publisher_class = EntryClass::kInvalid;
-    v.blamed.push_back(v.publisher);
-    v.detail = "publisher entry without a provable subscriber "
-               "acknowledgement";
-    return v;
-  }
-
-  if (sub_entry != nullptr) {
-    // Subscriber entry alone.
-    if (!sub_self_ok) {
-      v.finding = Finding::kSubscriberSelfAuthFailed;
-      v.subscriber_class = EntryClass::kInvalid;
-      v.blamed.push_back(v.subscriber);
-      return v;
-    }
-    if (sub_cross_ok) {
-      // The publisher's signature proves it published; no publisher entry
-      // exists (Lemma 2).
-      v.finding = Finding::kPublisherHidEntry;
-      v.subscriber_class = EntryClass::kValid;
-      v.publisher_class = EntryClass::kHidden;
-      v.blamed.push_back(v.publisher);
-      v.detail = "publisher's valid signature found in the subscriber's "
-                 "entry, but the publisher entered no log entry";
-      return v;
-    }
-    v.finding = Finding::kSubscriberFabricated;
-    v.subscriber_class = EntryClass::kInvalid;
-    v.blamed.push_back(v.subscriber);
-    v.detail = "subscriber entry without a verifying publisher signature";
-    return v;
-  }
-
-  // No evidence at all (should not occur: pairs are built from entries).
-  v.finding = Finding::kConflictUnresolvable;
-  v.detail = "no evidence";
-  return v;
-}
-
 PairVerdict Auditor::AuditPair(const LogDatabase& db, const PairKey& key,
                                const PairEvidence& evidence,
                                crypto::VerifyCache* cache) const {
-  PairPlan plan = PreparePair(db, key, evidence);
+  PairPlan plan = PreparePair(keys_, db.topology(), key, evidence);
   std::vector<crypto::VerifyRequest> requests;
-  EmitRequests(plan, requests);
-  return FinalizePair(plan, crypto::VerifyDigestBatch(requests, cache));
+  EmitPairRequests(plan, requests);
+  return FinalizePairPlan(plan, crypto::VerifyDigestBatch(requests, cache));
 }
 
 }  // namespace adlp::audit

@@ -70,20 +70,10 @@ class Auditor {
                     Topology topology) const;
 
  private:
-  /// The audit of one pair, split into a prepare / verify / finalize
-  /// pipeline so many pairs can share one signature-verification batch:
-  /// PreparePair resolves evidence and digests and decides every verdict
-  /// that needs no signature checks; EmitRequests appends the pair's
-  /// outstanding verification requests to a batch; FinalizePair turns the
-  /// batch results into the verdict with exactly the serial decision tree.
-  struct PairPlan;
-
-  PairPlan PreparePair(const LogDatabase& db, const PairKey& key,
-                       const PairEvidence& evidence) const;
-  static void EmitRequests(PairPlan& plan,
-                           std::vector<crypto::VerifyRequest>& out);
-  static PairVerdict FinalizePair(PairPlan& plan,
-                                  const std::vector<std::uint8_t>& results);
+  // Pair evaluation itself — the PreparePair / EmitPairRequests /
+  // FinalizePairPlan pipeline — lives in audit/pair_eval.h, shared with the
+  // StreamingAuditor so both produce byte-identical verdicts by running the
+  // same code.
 
   /// Reference single-pair audit: prepare, verify, finalize in one call.
   PairVerdict AuditPair(const LogDatabase& db, const PairKey& key,

@@ -6,8 +6,7 @@
 
 namespace adlp::audit {
 
-void MergeVerdict(AuditReport& report, PairVerdict verdict,
-                  const PairEvidence& evidence) {
+void MergeVerdict(AuditReport& report, PairVerdict verdict, MergeSides sides) {
   auto account = [&](const crypto::ComponentId& id, EntryClass cls) {
     ComponentStats& s = report.stats[id];
     switch (cls) {
@@ -19,12 +18,12 @@ void MergeVerdict(AuditReport& report, PairVerdict verdict,
   // A side is accounted when its entry exists, or when the audit proved
   // the entry should exist but was hidden.
   if (!verdict.publisher.empty() &&
-      (!evidence.publisher.empty() ||
+      (sides.has_publisher ||
        verdict.finding == Finding::kPublisherHidEntry)) {
     account(verdict.publisher, verdict.publisher_class);
   }
   if (!verdict.subscriber.empty() &&
-      (!evidence.subscriber.empty() ||
+      (sides.has_subscriber ||
        verdict.finding == Finding::kSubscriberHidEntry)) {
     account(verdict.subscriber, verdict.subscriber_class);
   }
@@ -33,6 +32,13 @@ void MergeVerdict(AuditReport& report, PairVerdict verdict,
     ++report.stats[id].blamed;
   }
   report.verdicts.push_back(std::move(verdict));
+}
+
+void MergeVerdict(AuditReport& report, PairVerdict verdict,
+                  const PairEvidence& evidence) {
+  MergeVerdict(report, std::move(verdict),
+               MergeSides{!evidence.publisher.empty(),
+                          !evidence.subscriber.empty()});
 }
 
 std::size_t AuditReport::TotalValid() const {

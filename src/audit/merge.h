@@ -14,11 +14,21 @@
 
 namespace adlp::audit {
 
+/// Which sides of a pair actually had entries. The batch path derives this
+/// from the live PairEvidence; the streaming path from the entry counts it
+/// retained after discarding the entries themselves.
+struct MergeSides {
+  bool has_publisher = false;
+  bool has_subscriber = false;
+};
+
 /// Folds one pair's verdict into the report: per-component entry
-/// classification counts, blame set, and the verdict list itself.
-/// `evidence` is the pair's evidence — a side is accounted only when its
-/// entry exists, or when the audit proved the entry should exist but was
-/// hidden.
+/// classification counts, blame set, and the verdict list itself. A side is
+/// accounted only when its entry exists (`sides`), or when the audit proved
+/// the entry should exist but was hidden.
+void MergeVerdict(AuditReport& report, PairVerdict verdict, MergeSides sides);
+
+/// Convenience overload reading the sides off the pair's evidence.
 void MergeVerdict(AuditReport& report, PairVerdict verdict,
                   const PairEvidence& evidence);
 

@@ -1,0 +1,141 @@
+// Pure per-pair audit evaluation — the executable decision tree of
+// Lemmas 1-3 factored out of the batch Auditor so every audit pipeline
+// (serial, sharded-parallel, streaming) runs the exact same code and is
+// byte-identical by construction.
+//
+// The pipeline has three stages:
+//
+//   PreparePair       resolves evidence, keys, and digests, and decides every
+//                     verdict that needs no signature check (duplicates,
+//                     impersonation, base scheme);
+//   EmitPairRequests  appends the pair's outstanding signature checks to a
+//                     batch of VerifyRequests;
+//   FinalizePairPlan  turns the batch results into the verdict.
+//
+// The structural part of the decision tree (DecideStructural) and the
+// final decision tree (FinalizePairPlan) are deliberately expressed over
+// plain facts and booleans rather than over evidence pointers: the
+// StreamingAuditor re-derives those facts from compact per-pair residue
+// after the original entries were discarded, and feeding them through the
+// same functions is what makes its final report provably identical to the
+// batch auditor's.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "audit/log_database.h"
+#include "audit/verdict.h"
+#include "crypto/keystore.h"
+#include "crypto/sig.h"
+
+namespace adlp::audit {
+
+/// Parses a raw 32-byte payload-hash field (h(D)). nullopt when the field
+/// is malformed (wrong size).
+std::optional<crypto::Digest> PayloadHashFromBytes(BytesView bytes);
+
+/// h(D) the entry commits to: stored directly (hash-storing subscriber) or
+/// recomputed from the stored data. nullopt when the stored hash field is
+/// malformed (wrong size).
+std::optional<crypto::Digest> ClaimedPayloadHash(const proto::LogEntry& entry);
+
+/// Reconstructs the signed digest h(header || h(D)) an entry commits to.
+/// The header is rebuilt from the entry's own fields — this is what rebinds
+/// a stored payload hash to THIS topic/seq/stamp, defeating replays.
+/// `publisher` is the topic's unique publisher (the entry owner for
+/// out-entries, the recorded peer or manifest publisher for in-entries).
+std::optional<crypto::Digest> ClaimedDigest(const proto::LogEntry& entry,
+                                            const crypto::ComponentId& publisher);
+
+/// The same signed digest rebuilt from retained parts instead of a live
+/// entry (streaming pipeline: the entry is gone, its payload hash and
+/// message stamp were kept). Identical to ClaimedDigest for the entry the
+/// parts came from.
+crypto::Digest DigestFromParts(const std::string& topic,
+                               const crypto::ComponentId& publisher,
+                               std::uint64_t seq, Timestamp message_stamp,
+                               const crypto::Digest& payload_hash);
+
+/// Publisher of `topic` per the manifest, if listed.
+std::optional<crypto::ComponentId> TopologyPublisherOf(
+    const Topology& topology, const std::string& topic);
+
+/// Evidence-shape facts the structural decision tree runs on. The batch
+/// path fills this from PairEvidence; the streaming path from its compact
+/// per-pair residue.
+struct PairFacts {
+  /// Resolved publisher (manifest, else out-entry owner, else in-entry
+  /// peer; empty when nothing names one).
+  crypto::ComponentId publisher;
+  std::size_t pub_count = 0;
+  std::size_t sub_count = 0;
+  crypto::ComponentId pub_first_component;
+  crypto::ComponentId sub_first_component;
+  bool pub_base = false;  // first publisher entry uses the base scheme
+  bool sub_base = false;  // first subscriber entry uses the base scheme
+  /// Base-scheme consistency: publisher data equals subscriber data and the
+  /// subscriber stored raw data (no hash). Only consulted when both sides
+  /// exist and either is base-scheme.
+  bool base_agree = false;
+};
+
+/// Everything FinalizePairPlan needs to turn batch verification results
+/// into a verdict. Holds owned copies of the resolved public keys: emitted
+/// VerifyRequests point into them, so a plan must stay put between
+/// EmitPairRequests and the batch call (the pipeline builds all plans for a
+/// chunk before emitting any requests).
+struct PairPlan {
+  bool skip = false;  // base-scheme pair with include_base_scheme off
+  bool done = false;  // verdict decided without signature checks
+  PairVerdict verdict;
+  bool has_publisher = false;
+  bool has_subscriber = false;
+  // Evidence-backed plans only (batch pipeline); the streaming pipeline
+  // leaves these null and sets the booleans + digests directly.
+  const PublisherEvidence* pub_ev = nullptr;
+  const proto::LogEntry* sub_entry = nullptr;
+  std::optional<crypto::PublicKey> pub_key;
+  std::optional<crypto::PublicKey> sub_key;
+  std::optional<crypto::Digest> pub_digest;
+  std::optional<crypto::Digest> sub_digest;
+  /// The ACK signature proves receipt only when the acknowledged payload
+  /// hash matches the publisher's claim; when false the ACK check is not
+  /// even emitted.
+  bool ack_gate = false;
+  // Indices into the chunk's request vector; -1 means the check is
+  // structurally false (missing key, unreconstructable digest, or empty
+  // signature) and no request was emitted.
+  std::ptrdiff_t pub_self = -1;
+  std::ptrdiff_t pub_ack = -1;
+  std::ptrdiff_t sub_self = -1;
+  std::ptrdiff_t sub_cross = -1;
+};
+
+/// The signature-free prefix of the decision tree: replayed sequence
+/// numbers (duplicates), impersonated out-entries, and the base scheme's
+/// unprovable outcomes. Fills plan.verdict's identity fields from `key` and
+/// `facts.publisher`, and decides the verdict (plan.done) when one of those
+/// branches fires. Returns plan.done.
+bool DecideStructural(PairPlan& plan, const PairKey& key,
+                      const PairFacts& facts);
+
+/// Builds the evidence facts exactly as the serial auditor reads them.
+PairFacts FactsFromEvidence(const Topology& topology, const PairKey& key,
+                            const PairEvidence& evidence);
+
+/// Stage 1: resolve evidence and digests; decide every verdict that needs
+/// no signature checks.
+PairPlan PreparePair(const crypto::KeyStore& keys, const Topology& topology,
+                     const PairKey& key, const PairEvidence& evidence);
+
+/// Stage 2: append the pair's outstanding verification requests to a batch.
+void EmitPairRequests(PairPlan& plan,
+                      std::vector<crypto::VerifyRequest>& out);
+
+/// Stage 3: turn the batch results into the verdict with exactly the
+/// serial decision tree.
+PairVerdict FinalizePairPlan(PairPlan& plan,
+                             const std::vector<std::uint8_t>& results);
+
+}  // namespace adlp::audit

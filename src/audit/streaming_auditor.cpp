@@ -1,0 +1,476 @@
+#include "audit/streaming_auditor.h"
+
+#include <deque>
+#include <utility>
+
+#include "audit/merge.h"
+#include "audit/pair_eval.h"
+#include "obs/instrument.h"
+#include "pubsub/message.h"
+
+namespace adlp::audit {
+
+using proto::Direction;
+using proto::LogEntry;
+using proto::LogScheme;
+
+StreamingAuditor::StreamingAuditor(const crypto::KeyStore& keys,
+                                   Topology topology, StreamingOptions options)
+    : keys_(keys),
+      topology_(std::move(topology)),
+      options_(std::move(options)) {}
+
+void StreamingAuditor::OnEntry(const LogEntry& entry) {
+  const Timestamp now = MonotonicNowNs();
+  std::vector<FlaggedVerdict> flagged;
+  {
+    MutexLock lock(mu_);
+    ++stats_.entries;
+    obs::metric::StreamingEntriesTotal().Add(1);
+
+    // Expand the entry into per-pair contributions exactly as LogDatabase
+    // does: in-entries key on their owner; aggregated out-entries fan out
+    // one contribution per AckRecord; plain out-entries key on their peer;
+    // peerless out-entries attach to every manifest subscriber (or to the
+    // empty-subscriber pair for unknown topics).
+    if (entry.direction == Direction::kIn) {
+      ApplyLocked(PairKey{entry.topic, entry.seq, entry.component}, entry,
+                  /*publisher_side=*/false, {}, {}, now);
+    } else if (!entry.acks.empty()) {
+      for (const auto& ack : entry.acks) {
+        ApplyLocked(PairKey{entry.topic, entry.seq, ack.subscriber}, entry,
+                    /*publisher_side=*/true, ack.data_hash, ack.signature,
+                    now);
+      }
+    } else if (!entry.peer.empty()) {
+      ApplyLocked(PairKey{entry.topic, entry.seq, entry.peer}, entry,
+                  /*publisher_side=*/true, entry.peer_data_hash,
+                  entry.peer_signature, now);
+    } else {
+      const auto it = topology_.find(entry.topic);
+      if (it != topology_.end() && !it->second.subscribers.empty()) {
+        for (const auto& sub : it->second.subscribers) {
+          ApplyLocked(PairKey{entry.topic, entry.seq, sub}, entry,
+                      /*publisher_side=*/true, entry.peer_data_hash,
+                      entry.peer_signature, now);
+        }
+      } else {
+        ApplyLocked(PairKey{entry.topic, entry.seq, {}}, entry,
+                    /*publisher_side=*/true, entry.peer_data_hash,
+                    entry.peer_signature, now);
+      }
+    }
+
+    if (fresh_checks_ >= options_.chunk_checks) FlushLocked();
+    if (options_.max_open_pairs != 0 &&
+        open_pairs_ > options_.max_open_pairs) {
+      EvictLocked(now, flagged);
+    }
+    UpdateGaugesLocked();
+  }
+  FireCallbacks(std::move(flagged));
+}
+
+void StreamingAuditor::ApplyLocked(const PairKey& key, const LogEntry& entry,
+                                   bool publisher_side, BytesView ack_hash,
+                                   BytesView ack_sig, Timestamp now) {
+  const auto [it, created] = pairs_.try_emplace(key);
+  PairState& st = it->second;
+  if (created) {
+    ++stats_.pairs;
+    st.first_arrival_ns = now;
+    if (const auto p = TopologyPublisherOf(topology_, key.topic)) {
+      st.publisher = *p;
+      st.manifest_publisher = true;
+    }
+    OpenPairLocked(key, st);
+  } else if (!st.open) {
+    // An entry for an already-sealed pair: count it, re-open, and let the
+    // next seal re-audit — the verdict is re-derived from the updated
+    // facts, so the late entry is flagged (e.g. as a duplicate) rather
+    // than silently merged.
+    ++stats_.late_entries;
+    obs::metric::StreamingLateEntriesTotal().Add(1);
+    OpenPairLocked(key, st);
+  }
+  st.shard->last_touch = ++touch_counter_;
+
+  SideState& side = publisher_side ? st.pub : st.sub;
+  ++side.count;
+  // Only the FIRST entry of a side feeds the decision tree (extra entries
+  // make the pair a duplicate, decided from the count alone) — exactly the
+  // batch auditor's evidence.front() reads.
+  if (side.count > 1) return;
+  side.first_component = entry.component;
+  side.base = entry.scheme == LogScheme::kBase;
+  side.message_stamp = entry.message_stamp;
+  side.data_sha = pubsub::PayloadHash(entry.data);
+  if (const auto ph = ClaimedPayloadHash(entry)) {
+    side.has_payload_hash = true;
+    side.payload_hash = *ph;
+  }
+
+  if (publisher_side) {
+    // A live out-entry pins the publisher resolution for good (manifest
+    // permitting). If a subscriber entry arrived first on an off-manifest
+    // topic, its checks were issued under the provisional peer-derived
+    // publisher and must be re-verified under this one.
+    if (!st.manifest_publisher && st.publisher != entry.component) {
+      st.publisher = entry.component;
+      RehomeLocked(key, st);
+      RecomputeSubChecksLocked(key, st);
+    }
+    const std::optional<crypto::Digest> digest =
+        side.has_payload_hash
+            ? std::optional<crypto::Digest>(
+                  DigestFromParts(key.topic, st.publisher, key.seq,
+                                  side.message_stamp, side.payload_hash))
+            : std::nullopt;
+    SetCheckLocked(key, st, kPubSelf, digest, st.publisher,
+                   entry.self_signature);
+    // The ACK proves receipt of *this* publication only if the subscriber's
+    // acknowledged payload hash matches the publisher's claim (the batch
+    // auditor's ack_gate); otherwise the ACK check is structurally false.
+    const auto ack_payload = PayloadHashFromBytes(ack_hash);
+    st.ack_gate = digest.has_value() && ack_payload.has_value() &&
+                  *ack_payload == side.payload_hash;
+    if (st.ack_gate) {
+      SetCheckLocked(key, st, kPubAck, digest, key.subscriber, ack_sig);
+    }
+  } else {
+    st.sub_peer = entry.peer;
+    st.sub_data_hash_empty = entry.data_hash.empty();
+    if (!st.manifest_publisher && st.pub.count == 0) {
+      st.publisher = entry.peer;
+      RehomeLocked(key, st);
+    }
+    const std::optional<crypto::Digest> digest =
+        side.has_payload_hash
+            ? std::optional<crypto::Digest>(
+                  DigestFromParts(key.topic, st.publisher, key.seq,
+                                  side.message_stamp, side.payload_hash))
+            : std::nullopt;
+    SetCheckLocked(key, st, kSubSelf, digest, key.subscriber,
+                   entry.self_signature);
+    SetCheckLocked(key, st, kSubCross, digest, st.publisher,
+                   entry.peer_signature);
+    if (!topology_.contains(key.topic)) {
+      // Off-manifest: a late publisher entry can re-resolve the publisher;
+      // keep the signatures so the checks can be re-issued then.
+      st.retained = std::make_unique<RetainedSubSigs>();
+      st.retained->self_signature = entry.self_signature;
+      st.retained->cross_signature = entry.peer_signature;
+    }
+  }
+}
+
+void StreamingAuditor::SetCheckLocked(
+    const PairKey& key, PairState& st, int index,
+    const std::optional<crypto::Digest>& digest,
+    const crypto::ComponentId& signer, BytesView signature) {
+  if (st.pending && st.pending->spec[static_cast<std::size_t>(index)]) {
+    st.pending->spec[static_cast<std::size_t>(index)].reset();
+    --unresolved_checks_;
+  }
+  if (!digest.has_value() || signature.empty()) {
+    st.checks[static_cast<std::size_t>(index)] = Check::kAbsent;
+    return;
+  }
+  if (!st.pending) st.pending = std::make_unique<PendingChecks>();
+  st.pending->spec[static_cast<std::size_t>(index)] =
+      CheckSpec{signer, *digest, Bytes(signature.begin(), signature.end())};
+  st.checks[static_cast<std::size_t>(index)] = Check::kPending;
+  ++unresolved_checks_;
+  ++fresh_checks_;
+  if (!st.queued) {
+    st.queued = true;
+    verify_queue_.push_back(key);
+  }
+}
+
+void StreamingAuditor::RecomputeSubChecksLocked(const PairKey& key,
+                                                PairState& st) {
+  if (st.sub.count == 0) return;
+  static const Bytes kNoSig;
+  const Bytes& self_sig =
+      st.retained != nullptr ? st.retained->self_signature : kNoSig;
+  const Bytes& cross_sig =
+      st.retained != nullptr ? st.retained->cross_signature : kNoSig;
+  const std::optional<crypto::Digest> digest =
+      st.sub.has_payload_hash
+          ? std::optional<crypto::Digest>(
+                DigestFromParts(key.topic, st.publisher, key.seq,
+                                st.sub.message_stamp, st.sub.payload_hash))
+          : std::nullopt;
+  SetCheckLocked(key, st, kSubSelf, digest, key.subscriber, self_sig);
+  SetCheckLocked(key, st, kSubCross, digest, st.publisher, cross_sig);
+}
+
+void StreamingAuditor::OpenPairLocked(const PairKey& key, PairState& st) {
+  st.open = true;
+  ++open_pairs_;
+  ShardState& shard =
+      shards_[ShardKey{st.publisher, key.subscriber, key.topic}];
+  st.shard = &shard;
+  if (shard.open++ == 0) ++open_shards_;
+  shard.open_pairs.push_back(key);
+}
+
+void StreamingAuditor::RehomeLocked(const PairKey& key, PairState& st) {
+  ShardState& shard =
+      shards_[ShardKey{st.publisher, key.subscriber, key.topic}];
+  if (st.shard == &shard) return;
+  if (st.open) {
+    if (--st.shard->open == 0) --open_shards_;
+    if (shard.open++ == 0) ++open_shards_;
+    shard.open_pairs.push_back(key);
+    // The old shard's list entry becomes a tombstone; seal iteration skips
+    // pairs whose current shard no longer matches.
+  }
+  st.shard = &shard;
+}
+
+void StreamingAuditor::FlushLocked() {
+  fresh_checks_ = 0;
+  if (verify_queue_.empty()) return;
+  std::vector<PairKey> queue;
+  queue.swap(verify_queue_);
+
+  // Requests reference the specs' owned signatures and key copies in a
+  // deque (stable addresses under push_back) — alive until the batch call
+  // returns.
+  std::deque<crypto::PublicKey> key_scratch;
+  std::vector<crypto::VerifyRequest> requests;
+  struct Slot {
+    PairState* st;
+    int index;
+  };
+  std::vector<Slot> slots;
+  for (const PairKey& key : queue) {
+    const auto it = pairs_.find(key);
+    if (it == pairs_.end()) continue;
+    PairState& st = it->second;
+    st.queued = false;
+    if (!st.pending) continue;
+    for (int i = 0; i < 4; ++i) {
+      const auto& spec = st.pending->spec[static_cast<std::size_t>(i)];
+      if (!spec) continue;
+      auto pk = keys_.Find(spec->signer);
+      // Unregistered signer: keep the check pending and retry at the next
+      // flush, so a key that registers later still resolves before
+      // Finalize — the batch auditor sees the final keystore state too.
+      if (!pk) continue;
+      key_scratch.push_back(std::move(*pk));
+      requests.push_back(
+          crypto::VerifyRequest{&key_scratch.back(), spec->digest,
+                                spec->signature});
+      slots.push_back(Slot{&st, i});
+    }
+  }
+
+  if (!requests.empty()) {
+    const std::vector<std::uint8_t> results =
+        crypto::VerifyDigestBatch(requests, options_.verify_cache);
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      PairState& st = *slots[i].st;
+      const auto index = static_cast<std::size_t>(slots[i].index);
+      st.checks[index] = results[i] != 0 ? Check::kPass : Check::kFail;
+      st.pending->spec[index].reset();
+      --unresolved_checks_;
+    }
+  }
+
+  // Free empty spec blocks; re-queue pairs still waiting on a key.
+  for (const PairKey& key : queue) {
+    const auto it = pairs_.find(key);
+    if (it == pairs_.end()) continue;
+    PairState& st = it->second;
+    if (!st.pending) continue;
+    bool any = false;
+    for (const auto& spec : st.pending->spec) any = any || spec.has_value();
+    if (!any) {
+      st.pending.reset();
+      continue;
+    }
+    if (!st.queued) {
+      st.queued = true;
+      verify_queue_.push_back(key);
+    }
+  }
+}
+
+StreamingAuditor::Outcome StreamingAuditor::ComputeVerdictLocked(
+    const PairKey& key, const PairState& st) const {
+  Outcome out;
+  if ((st.pub.base || st.sub.base) && !options_.include_base_scheme) {
+    out.skipped = true;
+    return out;
+  }
+
+  PairFacts facts;
+  facts.publisher = st.publisher;
+  facts.pub_count = st.pub.count;
+  facts.sub_count = st.sub.count;
+  facts.pub_first_component = st.pub.first_component;
+  facts.sub_first_component = st.sub.first_component;
+  facts.pub_base = st.pub.base;
+  facts.sub_base = st.sub.base;
+  if (st.pub.count > 0 && st.sub.count > 0) {
+    // Base-scheme agreement compares raw data fields; equal SHA-256 of the
+    // retained data stands in for the batch auditor's byte comparison.
+    facts.base_agree =
+        st.pub.data_sha == st.sub.data_sha && st.sub_data_hash_empty;
+  }
+
+  PairPlan plan;
+  std::vector<std::uint8_t> results;
+  if (!DecideStructural(plan, key, facts)) {
+    if (st.pub.has_payload_hash) {
+      plan.pub_digest = DigestFromParts(key.topic, st.publisher, key.seq,
+                                        st.pub.message_stamp,
+                                        st.pub.payload_hash);
+    }
+    if (st.sub.has_payload_hash) {
+      plan.sub_digest = DigestFromParts(key.topic, st.publisher, key.seq,
+                                        st.sub.message_stamp,
+                                        st.sub.payload_hash);
+    }
+    // Bind resolved check outcomes as single-element batch results; a check
+    // still pending here (signer key never registered) is structurally
+    // false, matching the batch auditor's missing-key treatment.
+    const auto bind = [&results](Check c) -> std::ptrdiff_t {
+      if (c != Check::kPass && c != Check::kFail) return -1;
+      results.push_back(c == Check::kPass ? 1 : 0);
+      return static_cast<std::ptrdiff_t>(results.size()) - 1;
+    };
+    plan.pub_self = bind(st.checks[kPubSelf]);
+    plan.pub_ack = bind(st.checks[kPubAck]);
+    plan.sub_self = bind(st.checks[kSubSelf]);
+    plan.sub_cross = bind(st.checks[kSubCross]);
+  }
+  out.verdict = FinalizePairPlan(plan, results);
+  return out;
+}
+
+void StreamingAuditor::SealPairLocked(const PairKey& key, PairState& st,
+                                      Timestamp now,
+                                      std::vector<FlaggedVerdict>& flagged) {
+  st.open = false;
+  --open_pairs_;
+  if (--st.shard->open == 0) --open_shards_;
+
+  Outcome out = ComputeVerdictLocked(key, st);
+  if (out.skipped || st.flagged || out.verdict.finding == Finding::kOk) {
+    return;
+  }
+  st.flagged = true;
+  ++stats_.flagged;
+  obs::metric::StreamingFlaggedTotal().Add(1);
+  const Timestamp detect = now > st.first_arrival_ns
+                               ? now - st.first_arrival_ns
+                               : Timestamp{0};
+  obs::metric::StreamingDetectNs().Record(static_cast<std::uint64_t>(detect));
+  flagged.push_back(FlaggedVerdict{std::move(out.verdict), detect});
+}
+
+void StreamingAuditor::SealShardLocked(ShardState& shard, Timestamp now,
+                                       std::vector<FlaggedVerdict>& flagged) {
+  std::vector<PairKey> keys;
+  keys.swap(shard.open_pairs);
+  for (const PairKey& key : keys) {
+    const auto it = pairs_.find(key);
+    if (it == pairs_.end()) continue;
+    PairState& st = it->second;
+    if (!st.open || st.shard != &shard) continue;  // tombstone
+    SealPairLocked(key, st, now, flagged);
+  }
+}
+
+void StreamingAuditor::EvictLocked(Timestamp now,
+                                   std::vector<FlaggedVerdict>& flagged) {
+  FlushLocked();
+  const std::size_t target = options_.max_open_pairs / 2;
+  while (open_pairs_ > target) {
+    ShardState* victim = nullptr;
+    for (auto& [shard_key, shard] : shards_) {
+      if (shard.open == 0) continue;
+      if (victim == nullptr || shard.last_touch < victim->last_touch) {
+        victim = &shard;
+      }
+    }
+    if (victim == nullptr) break;
+    const std::size_t before = open_pairs_;
+    SealShardLocked(*victim, now, flagged);
+    const std::size_t sealed = before - open_pairs_;
+    stats_.evicted_pairs += sealed;
+    obs::metric::StreamingEvictedPairsTotal().Add(sealed);
+  }
+}
+
+void StreamingAuditor::SealEpoch() {
+  const Timestamp now = MonotonicNowNs();
+  std::vector<FlaggedVerdict> flagged;
+  {
+    MutexLock lock(mu_);
+    FlushLocked();
+    for (auto& [shard_key, shard] : shards_) {
+      if (shard.open > 0) SealShardLocked(shard, now, flagged);
+    }
+    ++stats_.epochs;
+    obs::metric::StreamingEpochsTotal().Add(1);
+    UpdateGaugesLocked();
+  }
+  FireCallbacks(std::move(flagged));
+}
+
+AuditReport StreamingAuditor::Finalize() {
+  const Timestamp now = MonotonicNowNs();
+  std::vector<FlaggedVerdict> flagged;
+  AuditReport report;
+  {
+    MutexLock lock(mu_);
+    // Final flush retries checks whose signer key registered late, then the
+    // implicit final seal flags anything still open.
+    FlushLocked();
+    for (auto& [shard_key, shard] : shards_) {
+      if (shard.open > 0) SealShardLocked(shard, now, flagged);
+    }
+    // Fold verdicts in PairKey order — the LogDatabase pair-iteration order
+    // the batch auditor merges in — re-deriving each verdict from the
+    // retained facts (pure, no crypto: every check already resolved).
+    for (const auto& [key, st] : pairs_) {
+      Outcome out = ComputeVerdictLocked(key, st);
+      if (out.skipped) continue;
+      MergeVerdict(report, std::move(out.verdict),
+                   MergeSides{st.pub.count > 0, st.sub.count > 0});
+    }
+    UpdateGaugesLocked();
+  }
+  FireCallbacks(std::move(flagged));
+  return report;
+}
+
+StreamingStats StreamingAuditor::Stats() const {
+  MutexLock lock(mu_);
+  StreamingStats s = stats_;
+  s.open_pairs = open_pairs_;
+  s.open_shards = open_shards_;
+  s.unresolved_checks = unresolved_checks_;
+  return s;
+}
+
+void StreamingAuditor::UpdateGaugesLocked() {
+  obs::metric::StreamingOpenPairs().Set(
+      static_cast<std::int64_t>(open_pairs_));
+  obs::metric::StreamingOpenShards().Set(
+      static_cast<std::int64_t>(open_shards_));
+}
+
+void StreamingAuditor::FireCallbacks(std::vector<FlaggedVerdict> flagged) {
+  if (!options_.on_finding) return;
+  for (const FlaggedVerdict& f : flagged) {
+    options_.on_finding(f.verdict, f.detect_ns);
+  }
+}
+
+}  // namespace adlp::audit

@@ -272,4 +272,92 @@ inline Counter& VerifyCacheHitsTotal() {
   return c;
 }
 
+// --- streaming audit --------------------------------------------------------
+
+inline Counter& StreamingEntriesTotal() {
+  static Counter& c = MetricsRegistry::Global().GetCounter(
+      "adlp_streaming_entries_total", {},
+      "Log entries consumed by streaming auditors");
+  return c;
+}
+
+inline Counter& StreamingEpochsTotal() {
+  static Counter& c = MetricsRegistry::Global().GetCounter(
+      "adlp_streaming_epochs_total", {},
+      "Epochs sealed by streaming auditors");
+  return c;
+}
+
+inline Counter& StreamingFlaggedTotal() {
+  static Counter& c = MetricsRegistry::Global().GetCounter(
+      "adlp_streaming_flagged_total", {},
+      "Pairs flagged online with a non-ok verdict at seal time");
+  return c;
+}
+
+inline Counter& StreamingLateEntriesTotal() {
+  static Counter& c = MetricsRegistry::Global().GetCounter(
+      "adlp_streaming_late_entries_total", {},
+      "Entries that re-opened an already-sealed pair");
+  return c;
+}
+
+inline Counter& StreamingEvictedPairsTotal() {
+  static Counter& c = MetricsRegistry::Global().GetCounter(
+      "adlp_streaming_evicted_pairs_total", {},
+      "Open pairs force-sealed at the streaming memory bound");
+  return c;
+}
+
+inline Histogram& StreamingDetectNs() {
+  static Histogram& h = MetricsRegistry::Global().GetHistogram(
+      "adlp_streaming_detect_ns", {}, {},
+      "Online detection latency: first entry arrival to flagged seal");
+  return h;
+}
+
+inline Gauge& StreamingOpenPairs() {
+  static Gauge& g = MetricsRegistry::Global().GetGauge(
+      "adlp_streaming_open_pairs", {},
+      "Pairs currently open (unsealed) across streaming auditors");
+  return g;
+}
+
+inline Gauge& StreamingOpenShards() {
+  static Gauge& g = MetricsRegistry::Global().GetGauge(
+      "adlp_streaming_open_shards", {},
+      "Shards with at least one open pair across streaming auditors");
+  return g;
+}
+
+// --- log server upload tap --------------------------------------------------
+
+inline Counter& TapPushedTotal() {
+  static Counter& c = MetricsRegistry::Global().GetCounter(
+      "adlp_log_tap_pushed_total", {},
+      "Upload events admitted to log-server tap queues");
+  return c;
+}
+
+inline Counter& TapDroppedTotal() {
+  static Counter& c = MetricsRegistry::Global().GetCounter(
+      "adlp_log_tap_dropped_total", {},
+      "Upload events dropped by full tap queues (drop-newest policy)");
+  return c;
+}
+
+inline Gauge& TapDepth() {
+  static Gauge& g = MetricsRegistry::Global().GetGauge(
+      "adlp_log_tap_depth", {},
+      "Events waiting in log-server tap queues");
+  return g;
+}
+
+inline Gauge& TapHighWater() {
+  static Gauge& g = MetricsRegistry::Global().GetGauge(
+      "adlp_log_tap_high_water", {},
+      "Maximum tap-queue depth observed");
+  return g;
+}
+
 }  // namespace adlp::obs::metric

@@ -1,0 +1,214 @@
+// LogTapQueue semantics and the backpressure regression: the log server's
+// upload tap is the bounded handoff between ingestion and an online
+// consumer, and a slow (or outright wedged) consumer must never be able to
+// stall the data plane — publisher acknowledgements complete regardless of
+// tap policy, because logging is out-of-band by design.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "adlp/log_server.h"
+#include "adlp/log_tap.h"
+#include "obs/metrics.h"
+#include "test_util.h"
+
+namespace adlp {
+namespace {
+
+using test::MiniSystem;
+using test::TestIdentity;
+using test::WaitFor;
+
+proto::TapEvent EntryEvent(std::uint64_t seq) {
+  proto::TapEvent event;
+  event.kind = proto::TapEvent::Kind::kEntry;
+  event.entry.seq = seq;
+  return event;
+}
+
+TEST(LogTapQueueTest, FifoOrderAndStats) {
+  proto::LogTapQueue tap(8, proto::TapOverflowPolicy::kDropNewest);
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(tap.Push(EntryEvent(i)));
+  }
+  EXPECT_EQ(tap.Depth(), 3u);
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    const auto event = tap.Pop(std::chrono::milliseconds(100));
+    ASSERT_TRUE(event.has_value());
+    EXPECT_EQ(event->entry.seq, i);
+  }
+  const proto::TapStats stats = tap.Stats();
+  EXPECT_EQ(stats.pushed, 3u);
+  EXPECT_EQ(stats.popped, 3u);
+  EXPECT_EQ(stats.dropped, 0u);
+  EXPECT_EQ(stats.high_water, 3u);
+  EXPECT_FALSE(tap.Pop(std::chrono::milliseconds(1)).has_value());
+}
+
+TEST(LogTapQueueTest, DropNewestOverflow) {
+  proto::LogTapQueue tap(2, proto::TapOverflowPolicy::kDropNewest);
+  EXPECT_TRUE(tap.Push(EntryEvent(0)));
+  EXPECT_TRUE(tap.Push(EntryEvent(1)));
+  EXPECT_FALSE(tap.Push(EntryEvent(2)));  // full: dropped, not blocked
+  EXPECT_EQ(tap.Stats().dropped, 1u);
+  EXPECT_EQ(tap.Pop(std::chrono::milliseconds(100))->entry.seq, 0u);
+  EXPECT_EQ(tap.Pop(std::chrono::milliseconds(100))->entry.seq, 1u);
+}
+
+TEST(LogTapQueueTest, BlockPolicyWaitsForSpace) {
+  proto::LogTapQueue tap(1, proto::TapOverflowPolicy::kBlock);
+  EXPECT_TRUE(tap.Push(EntryEvent(0)));
+  std::atomic<bool> second_pushed{false};
+  std::thread pusher([&] {
+    EXPECT_TRUE(tap.Push(EntryEvent(1)));
+    second_pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(second_pushed.load());  // still blocked on the full queue
+  EXPECT_EQ(tap.Pop(std::chrono::milliseconds(100))->entry.seq, 0u);
+  EXPECT_TRUE(WaitFor([&] { return second_pushed.load(); }));
+  pusher.join();
+  EXPECT_EQ(tap.Pop(std::chrono::milliseconds(100))->entry.seq, 1u);
+  EXPECT_EQ(tap.Stats().dropped, 0u);
+}
+
+TEST(LogTapQueueTest, CloseWakesBlockedPusherAndDrains) {
+  proto::LogTapQueue tap(1, proto::TapOverflowPolicy::kBlock);
+  EXPECT_TRUE(tap.Push(EntryEvent(0)));
+  std::atomic<bool> push_returned{false};
+  std::atomic<bool> push_result{true};
+  std::thread pusher([&] {
+    push_result = tap.Push(EntryEvent(1));
+    push_returned = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  tap.Close();
+  EXPECT_TRUE(WaitFor([&] { return push_returned.load(); }));
+  pusher.join();
+  EXPECT_FALSE(push_result.load());  // refused, not enqueued
+  // Already-queued events survive the close; then the queue reports empty.
+  EXPECT_EQ(tap.Pop(std::chrono::milliseconds(100))->entry.seq, 0u);
+  EXPECT_FALSE(tap.Pop(std::chrono::milliseconds(100)).has_value());
+}
+
+TEST(LogTapQueueTest, ServerTapObservesUploadsInArrivalOrder) {
+  proto::LogServer server;
+  proto::LogTapQueue tap(64, proto::TapOverflowPolicy::kBlock);
+  server.AttachTap(&tap);
+
+  const proto::NodeIdentity& id = TestIdentity("tap-observe");
+  server.RegisterKey(id.id, id.keys.pub);
+  for (std::uint64_t seq = 1; seq <= 3; ++seq) {
+    proto::LogEntry entry;
+    entry.component = id.id;
+    entry.topic = "t";
+    entry.seq = seq;
+    server.Append(entry);
+  }
+
+  const auto key_event = tap.Pop(std::chrono::milliseconds(100));
+  ASSERT_TRUE(key_event.has_value());
+  EXPECT_EQ(key_event->kind, proto::TapEvent::Kind::kKey);
+  EXPECT_EQ(key_event->component, id.id);
+  ASSERT_TRUE(key_event->key.has_value());
+
+  const std::vector<proto::LogEntry> stored = server.Entries();
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    const auto event = tap.Pop(std::chrono::milliseconds(100));
+    ASSERT_TRUE(event.has_value());
+    EXPECT_EQ(event->kind, proto::TapEvent::Kind::kEntry);
+    EXPECT_EQ(event->index, i);
+    EXPECT_EQ(event->entry, stored[i]);  // tap order == Entries() order
+  }
+  server.AttachTap(nullptr);
+  server.Append(proto::LogEntry{});
+  EXPECT_EQ(tap.Depth(), 0u);  // detached: no further events
+}
+
+std::uint64_t CounterTotal(const obs::MetricsSnapshot& snap,
+                           std::string_view name) {
+  std::uint64_t total = 0;
+  for (const auto& c : snap.counters) {
+    if (c.name == name) total += c.value;
+  }
+  return total;
+}
+
+/// The regression the tap was built around: a consumer that never drains a
+/// drop-policy tap costs dropped events, NOT data-plane progress. Every
+/// publication is acknowledged and every entry reaches the logger while the
+/// tap sits full the whole run.
+TEST(LogTapBackpressureTest, WedgedDropPolicyConsumerCannotStallAcks) {
+  obs::MetricsRegistry::Global().Reset();
+  constexpr int kMessages = 6;
+
+  proto::LogTapQueue tap(1, proto::TapOverflowPolicy::kDropNewest);
+  MiniSystem sys;
+  auto& camera = sys.Add("tap-camera");
+  auto& detector = sys.Add("tap-detector");
+  sys.server.AttachTap(&tap);
+
+  std::atomic<int> got{0};
+  detector.Subscribe("image", [&](const pubsub::Message&) { got++; });
+  auto& publisher = camera.Advertise("image");
+  for (int i = 0; i < kMessages; ++i) {
+    publisher.Publish(Bytes{static_cast<std::uint8_t>(i)});
+  }
+  EXPECT_TRUE(WaitFor([&] { return got.load() == kMessages; }));
+  EXPECT_TRUE(WaitFor(
+      [&] { return sys.server.EntryCount() == 2u * kMessages; }));
+  sys.ShutdownAll();
+
+  // Acks all arrived, the logger stored everything, and the overflowing tap
+  // was the only casualty.
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(CounterTotal(snap, "adlp_ack_received_total"),
+            static_cast<std::uint64_t>(kMessages));
+  EXPECT_GT(tap.Stats().dropped, 0u);
+  sys.server.AttachTap(nullptr);
+}
+
+/// Same regression at the other policy extreme: a kBlock tap with a wedged
+/// consumer freezes log *ingestion* (that is its contract), yet publisher
+/// acknowledgements still complete — logging is asynchronous and spooled,
+/// so the data plane never waits on the logger. Closing the tap releases
+/// the ingestion path and every entry lands.
+TEST(LogTapBackpressureTest, BlockedTapStallsIngestionButNeverAcks) {
+  obs::MetricsRegistry::Global().Reset();
+  constexpr int kMessages = 5;
+
+  proto::LogTapQueue tap(1, proto::TapOverflowPolicy::kBlock);
+  MiniSystem sys;
+  auto& camera = sys.Add("bp-camera");
+  auto& detector = sys.Add("bp-detector");
+  // Attach after construction: key registrations happen at component
+  // creation, and a capacity-1 blocking tap would wedge the second one.
+  sys.server.AttachTap(&tap);
+
+  std::atomic<int> got{0};
+  detector.Subscribe("image", [&](const pubsub::Message&) { got++; });
+  auto& publisher = camera.Advertise("image");
+  for (int i = 0; i < kMessages; ++i) {
+    publisher.Publish(Bytes{static_cast<std::uint8_t>(i)});
+  }
+
+  // Data plane completes while ingestion is blocked on the full tap.
+  EXPECT_TRUE(WaitFor([&] { return got.load() == kMessages; }));
+  EXPECT_TRUE(WaitFor([&] {
+    return CounterTotal(obs::MetricsRegistry::Global().Snapshot(),
+                        "adlp_ack_received_total") ==
+           static_cast<std::uint64_t>(kMessages);
+  }));
+
+  // Release the tap; the ingestion backlog drains and nothing was lost.
+  tap.Close();
+  EXPECT_TRUE(WaitFor(
+      [&] { return sys.server.EntryCount() == 2u * kMessages; }));
+  sys.ShutdownAll();
+  sys.server.AttachTap(nullptr);
+}
+
+}  // namespace
+}  // namespace adlp

@@ -110,4 +110,157 @@ inline void ApplyBehavior(std::vector<proto::LogEntry>& entries,
   entries = std::move(out);
 }
 
+// --- Shared misbehaved-fleet builder ----------------------------------------
+//
+// The full misbehavior matrix (the fault classes of misbehavior_matrix_test)
+// packaged as a reusable generator, so every auditor implementation — batch,
+// parallel, streaming — can be driven through the identical fleets and
+// compared cell by cell.
+
+enum class MisbehaviorClass : int {
+  kClean = 0,
+  kHiding,
+  kFalsification,
+  kFabrication,
+  kReplay,
+  kImpersonation,
+  kTiming,
+};
+
+inline constexpr MisbehaviorClass kAllMisbehaviorClasses[] = {
+    MisbehaviorClass::kClean,         MisbehaviorClass::kHiding,
+    MisbehaviorClass::kFalsification, MisbehaviorClass::kFabrication,
+    MisbehaviorClass::kReplay,        MisbehaviorClass::kImpersonation,
+    MisbehaviorClass::kTiming,
+};
+
+inline const char* MisbehaviorClassName(MisbehaviorClass cls) {
+  switch (cls) {
+    case MisbehaviorClass::kClean: return "clean";
+    case MisbehaviorClass::kHiding: return "hiding";
+    case MisbehaviorClass::kFalsification: return "falsification";
+    case MisbehaviorClass::kFabrication: return "fabrication";
+    case MisbehaviorClass::kReplay: return "replay";
+    case MisbehaviorClass::kImpersonation: return "impersonation";
+    case MisbehaviorClass::kTiming: return "timing";
+  }
+  return "?";
+}
+
+struct MisbehavedFleet {
+  ChainFleet fleet;
+  MisbehaviorClass cls = MisbehaviorClass::kClean;
+  /// The mutated component (empty for kClean).
+  crypto::ComponentId attacker;
+  /// Whether the pairwise auditor is expected to produce a non-kOk verdict.
+  /// False for kClean (nothing wrong) and kTiming (timestamps are outside
+  /// the signed digest; only the causality checker sees those).
+  bool expects_pairwise_finding = false;
+};
+
+/// Builds a seed-randomized chain fleet with exactly one unfaithful
+/// component misbehaving per `cls` — the same mutations the misbehavior
+/// matrix applies, factored out so equivalence tests can replay them.
+inline MisbehavedFleet MakeMisbehavedFleet(MisbehaviorClass cls,
+                                           std::uint64_t seed,
+                                           const std::string& label = "eq") {
+  Rng rng(seed * 0x9e37'79b9'7f4a'7c15ull + static_cast<std::uint64_t>(cls));
+  MisbehavedFleet out;
+  out.cls = cls;
+  const std::size_t links = 2 + rng.UniformBelow(3);  // 2..4 hops
+  const std::size_t seqs = 3 + rng.UniformBelow(4);   // 3..6 per hop
+  out.fleet = MakeChainFleet(links, seqs, label);
+  ChainFleet& fleet = out.fleet;
+  if (cls == MisbehaviorClass::kClean) return out;
+
+  const std::size_t a = cls == MisbehaviorClass::kImpersonation
+                            ? 1 + rng.UniformBelow(fleet.links)  // a subscriber
+                            : rng.UniformBelow(fleet.links + 1);
+  out.attacker = fleet.Node(a).id;
+  // A hop the attacker actually participates in, and its role there.
+  const bool in_side = a == fleet.links || (a > 0 && rng.Chance(0.5));
+  faults::FaultFilter filter;
+  filter.topic = in_side ? fleet.Topic(a - 1) : fleet.Topic(a);
+  filter.direction = in_side ? proto::Direction::kIn : proto::Direction::kOut;
+
+  switch (cls) {
+    case MisbehaviorClass::kClean:
+      break;
+    case MisbehaviorClass::kHiding: {
+      faults::HidingBehavior hide(filter, seed + 11);
+      ApplyBehavior(fleet.entries, out.attacker, hide);
+      out.expects_pairwise_finding = true;
+      break;
+    }
+    case MisbehaviorClass::kFalsification: {
+      faults::FalsificationBehavior falsify(
+          filter, std::make_shared<proto::NodeIdentity>(fleet.Node(a)),
+          /*mutate=*/nullptr, seed + 22);
+      ApplyBehavior(fleet.entries, out.attacker, falsify);
+      out.expects_pairwise_finding = true;
+      break;
+    }
+    case MisbehaviorClass::kFabrication: {
+      faults::FabricationSpec spec;
+      spec.seq = fleet.seqs + 1 + rng.UniformBelow(4);
+      spec.timestamp = static_cast<Timestamp>(spec.seq * 1000);
+      spec.message_stamp = spec.timestamp - 1;
+      spec.data = rng.RandomBytes(24);
+      Rng forge_rng(seed + 33);
+      if (in_side) {
+        spec.topic = fleet.Topic(a - 1);
+        spec.peer = fleet.Node(a - 1).id;
+        fleet.entries.push_back(
+            faults::FabricateSubscriberEntry(fleet.Node(a), spec, forge_rng));
+      } else {
+        spec.topic = fleet.Topic(a);
+        spec.peer = fleet.Node(a + 1).id;
+        fleet.entries.push_back(
+            faults::FabricatePublisherEntry(fleet.Node(a), spec, forge_rng));
+      }
+      out.expects_pairwise_finding = true;
+      break;
+    }
+    case MisbehaviorClass::kReplay: {
+      const std::uint64_t old_seq = 1 + rng.UniformBelow(fleet.seqs);
+      const proto::LogEntry* genuine = nullptr;
+      for (const auto& entry : fleet.entries) {
+        if (entry.component == out.attacker && entry.topic == filter.topic &&
+            entry.direction == filter.direction && entry.seq == old_seq) {
+          genuine = &entry;
+          break;
+        }
+      }
+      const std::uint64_t new_seq = fleet.seqs + 1 + rng.UniformBelow(4);
+      fleet.entries.push_back(faults::FabricateByReplay(
+          fleet.Node(a), *genuine, new_seq,
+          static_cast<Timestamp>(new_seq * 1000)));
+      out.expects_pairwise_finding = true;
+      break;
+    }
+    case MisbehaviorClass::kImpersonation: {
+      const proto::NodeIdentity& shadow = TestIdentity(label + "-shadow");
+      fleet.keys.Register(shadow.id, shadow.keys.pub);
+      faults::FaultFilter in_filter;
+      in_filter.topic = fleet.Topic(a - 1);
+      in_filter.direction = proto::Direction::kIn;
+      faults::ImpersonationBehavior impersonate(in_filter, shadow.id,
+                                                seed + 55);
+      ApplyBehavior(fleet.entries, out.attacker, impersonate);
+      out.expects_pairwise_finding = true;
+      break;
+    }
+    case MisbehaviorClass::kTiming: {
+      const Timestamp delta =
+          a == fleet.links ? static_cast<Timestamp>(-500'000'000)
+                           : static_cast<Timestamp>(500'000'000);
+      faults::FaultFilter any;
+      faults::TimingDisruptionBehavior skew(any, delta, seed + 66);
+      ApplyBehavior(fleet.entries, out.attacker, skew);
+      break;
+    }
+  }
+  return out;
+}
+
 }  // namespace adlp::test

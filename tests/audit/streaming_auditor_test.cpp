@@ -1,0 +1,203 @@
+// Epoch-finalization edge cases of the streaming auditor: empty epochs,
+// single-entry epochs, entries arriving after their epoch sealed (must be
+// counted and re-audited, never silently merged), eviction at the memory
+// bound, publisher re-resolution for off-manifest topics, and base-scheme
+// inclusion parity. Every case's end state is checked against the batch
+// auditor — the edge cases may not cost a byte of fidelity.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "audit/auditor.h"
+#include "audit/report_json.h"
+#include "audit/streaming_auditor.h"
+#include "fleet_gen.h"
+#include "test_util.h"
+
+namespace adlp {
+namespace {
+
+using test::MakeFaithfulPair;
+using test::OneTopicTopology;
+using test::TestIdentity;
+
+std::string Render(const audit::AuditReport& report) {
+  audit::JsonOptions json;
+  json.pretty = false;
+  return audit::RenderReportJson(report, json);
+}
+
+std::string BatchJson(const crypto::KeyStore& keys,
+                      const std::vector<proto::LogEntry>& entries,
+                      audit::Topology topology,
+                      bool include_base = true) {
+  const audit::Auditor auditor(keys, audit::AuditorOptions{include_base});
+  return Render(auditor.Audit(entries, std::move(topology)));
+}
+
+struct OnePairFleet {
+  crypto::KeyStore keys;
+  audit::Topology topology;
+  proto::LogEntry pub_entry;
+  proto::LogEntry sub_entry;
+};
+
+OnePairFleet MakeOnePair(const std::string& label) {
+  const proto::NodeIdentity& pub = TestIdentity(label + "-pub");
+  const proto::NodeIdentity& sub = TestIdentity(label + "-sub");
+  OnePairFleet fleet;
+  fleet.keys.Register(pub.id, pub.keys.pub);
+  fleet.keys.Register(sub.id, sub.keys.pub);
+  fleet.topology = OneTopicTopology("tp", pub.id, {sub.id});
+  Rng rng(0x5eed);
+  const faults::ForgedPair pair =
+      MakeFaithfulPair(pub, sub, "tp", 1, rng.RandomBytes(16));
+  fleet.pub_entry = pair.publisher_entry;
+  fleet.sub_entry = pair.subscriber_entry;
+  return fleet;
+}
+
+TEST(StreamingAuditorTest, EmptyEpochsAreSafe) {
+  const OnePairFleet fleet = MakeOnePair("se-empty");
+  audit::StreamingAuditor streaming(fleet.keys, fleet.topology);
+  streaming.SealEpoch();
+  streaming.SealEpoch();
+  const audit::StreamingStats stats = streaming.Stats();
+  EXPECT_EQ(stats.epochs, 2u);
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.flagged, 0u);
+  EXPECT_EQ(Render(streaming.Finalize()),
+            BatchJson(fleet.keys, {}, fleet.topology));
+}
+
+TEST(StreamingAuditorTest, SingleEntryEpochFlagsHiddenCounterpart) {
+  const OnePairFleet fleet = MakeOnePair("se-single");
+  std::optional<audit::PairVerdict> flagged;
+  Timestamp detect_ns = -1;
+  audit::StreamingOptions options;
+  options.on_finding = [&](const audit::PairVerdict& v, Timestamp ns) {
+    flagged = v;
+    detect_ns = ns;
+  };
+  audit::StreamingAuditor streaming(fleet.keys, fleet.topology, options);
+  streaming.OnEntry(fleet.pub_entry);
+  streaming.SealEpoch();
+
+  // The publisher entry carries the subscriber's valid ACK, so an epoch
+  // with no subscriber entry is a provable receipt-hiding — flagged online.
+  ASSERT_TRUE(flagged.has_value());
+  EXPECT_EQ(flagged->finding, audit::Finding::kSubscriberHidEntry);
+  EXPECT_GE(detect_ns, 0);
+  EXPECT_EQ(streaming.Stats().flagged, 1u);
+  EXPECT_EQ(Render(streaming.Finalize()),
+            BatchJson(fleet.keys, {fleet.pub_entry}, fleet.topology));
+}
+
+TEST(StreamingAuditorTest, LateEntryReopensSealedPairNotSilentlyMerged) {
+  const OnePairFleet fleet = MakeOnePair("se-late");
+  std::size_t flags = 0;
+  audit::StreamingOptions options;
+  options.on_finding = [&](const audit::PairVerdict&, Timestamp) { ++flags; };
+  audit::StreamingAuditor streaming(fleet.keys, fleet.topology, options);
+
+  streaming.OnEntry(fleet.pub_entry);
+  streaming.SealEpoch();
+  EXPECT_EQ(flags, 1u);  // provisionally hidden, as above
+
+  // The counterpart arrives after its epoch sealed: it must be accounted as
+  // late and the pair re-opened and re-audited — the provisional verdict is
+  // withdrawn, not merged into.
+  streaming.OnEntry(fleet.sub_entry);
+  const audit::StreamingStats stats = streaming.Stats();
+  EXPECT_EQ(stats.late_entries, 1u);
+  EXPECT_EQ(stats.open_pairs, 1u);
+
+  const audit::AuditReport report = streaming.Finalize();
+  ASSERT_EQ(report.verdicts.size(), 1u);
+  EXPECT_EQ(report.verdicts[0].finding, audit::Finding::kOk);
+  EXPECT_EQ(Render(report),
+            BatchJson(fleet.keys, {fleet.pub_entry, fleet.sub_entry},
+                      fleet.topology));
+  EXPECT_EQ(flags, 1u) << "converged pair must not re-fire on_finding";
+}
+
+TEST(StreamingAuditorTest, EvictionHonorsBoundAndKeepsFidelity) {
+  const test::ChainFleet fleet = test::MakeChainFleet(3, 6, "se-evict");
+  audit::StreamingOptions options;
+  options.max_open_pairs = 4;
+  audit::StreamingAuditor streaming(fleet.keys, fleet.topology, options);
+  std::size_t peak_open = 0;
+  for (const auto& entry : fleet.entries) {
+    streaming.OnEntry(entry);
+    peak_open = std::max(peak_open, streaming.Stats().open_pairs);
+  }
+  EXPECT_LE(peak_open, options.max_open_pairs);
+  const audit::StreamingStats stats = streaming.Stats();
+  EXPECT_GT(stats.evicted_pairs, 0u);
+  EXPECT_EQ(stats.pairs, fleet.links * fleet.seqs);
+  const audit::LogDatabase db(fleet.entries, fleet.topology);
+  EXPECT_EQ(Render(streaming.Finalize()),
+            Render(audit::Auditor(fleet.keys).Audit(db)));
+}
+
+TEST(StreamingAuditorTest, OffManifestPublisherReResolution) {
+  // No manifest entry for the topic: a subscriber entry arriving first
+  // resolves the publisher provisionally from its recorded peer; the
+  // publisher's own entry later confirms (or changes) the resolution and
+  // the retained subscriber signatures are re-checked under the re-derived
+  // digest. Both arrival orders must match the batch answer byte for byte.
+  const OnePairFleet fleet = MakeOnePair("se-offman");
+  const audit::Topology empty_topology;
+  for (const bool sub_first : {true, false}) {
+    SCOPED_TRACE(sub_first ? "sub-first" : "pub-first");
+    const std::vector<proto::LogEntry> order =
+        sub_first ? std::vector<proto::LogEntry>{fleet.sub_entry,
+                                                 fleet.pub_entry}
+                  : std::vector<proto::LogEntry>{fleet.pub_entry,
+                                                 fleet.sub_entry};
+    audit::StreamingAuditor streaming(fleet.keys, empty_topology);
+    streaming.OnEntry(order[0]);
+    streaming.SealEpoch();
+    streaming.OnEntry(order[1]);
+    EXPECT_EQ(Render(streaming.Finalize()),
+              BatchJson(fleet.keys, order, empty_topology));
+  }
+}
+
+TEST(StreamingAuditorTest, BaseSchemeInclusionParity) {
+  OnePairFleet fleet = MakeOnePair("se-base");
+  fleet.pub_entry.scheme = proto::LogScheme::kBase;
+  fleet.sub_entry.scheme = proto::LogScheme::kBase;
+  const std::vector<proto::LogEntry> entries{fleet.pub_entry,
+                                             fleet.sub_entry};
+  for (const bool include_base : {true, false}) {
+    SCOPED_TRACE(include_base ? "included" : "excluded");
+    audit::StreamingOptions options;
+    options.include_base_scheme = include_base;
+    audit::StreamingAuditor streaming(fleet.keys, fleet.topology, options);
+    for (const auto& entry : entries) streaming.OnEntry(entry);
+    const audit::AuditReport report = streaming.Finalize();
+    EXPECT_EQ(Render(report),
+              BatchJson(fleet.keys, entries, fleet.topology, include_base));
+    EXPECT_EQ(report.verdicts.size(), include_base ? 1u : 0u);
+  }
+}
+
+TEST(StreamingAuditorTest, ChunkBoundaryFlushesMatchBatch) {
+  // chunk_checks = 1 forces a VerifyDigestBatch flush on nearly every
+  // entry — the opposite extreme from one big final batch. Identity must
+  // survive both.
+  const test::ChainFleet fleet = test::MakeChainFleet(2, 4, "se-chunk");
+  audit::StreamingOptions options;
+  options.chunk_checks = 1;
+  audit::StreamingAuditor streaming(fleet.keys, fleet.topology, options);
+  for (const auto& entry : fleet.entries) streaming.OnEntry(entry);
+  const audit::LogDatabase db(fleet.entries, fleet.topology);
+  EXPECT_EQ(Render(streaming.Finalize()),
+            Render(audit::Auditor(fleet.keys).Audit(db)));
+}
+
+}  // namespace
+}  // namespace adlp

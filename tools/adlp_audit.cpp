@@ -2,6 +2,7 @@
 //
 //   adlp_audit <log-file> <manifest-file> [--json] [--verdicts]
 //              [--threads N] [--cache] [--metrics-out FILE]
+//              [--streaming] [--epoch N]
 //              [--trace <topic> <seq> <subscriber>]
 //
 // Loads a tamper-evident log file and a system manifest (see
@@ -9,6 +10,14 @@
 // chain, audits every transmission, and prints either the human-readable
 // report or a JSON exhibit. With --trace, also prints the provenance
 // ancestry of one transmission instance.
+//
+// With --streaming, the evidence is replayed through the online
+// StreamingAuditor instead — entries feed in file order, an epoch is sealed
+// every N entries (--epoch, default 256), and each misbehaving pair is
+// announced at the epoch that flags it rather than at the end. The final
+// report is byte-identical to the batch auditor's (that equivalence is the
+// streaming auditor's contract), so exit codes and JSON output carry the
+// same meaning in both modes.
 //
 // Exit status: 0 = chain verifies and no component implicated;
 //              1 = unfaithful components identified;
@@ -23,6 +32,7 @@
 #include "audit/manifest.h"
 #include "audit/provenance.h"
 #include "audit/report_json.h"
+#include "audit/streaming_auditor.h"
 #include "obs/export.h"
 
 using namespace adlp;
@@ -33,6 +43,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: adlp_audit <log-file> <manifest-file> [--json] "
                "[--verdicts] [--threads N] [--cache] [--metrics-out FILE] "
+               "[--streaming] [--epoch N] "
                "[--trace <topic> <seq> <subscriber>]\n");
   return 3;
 }
@@ -46,6 +57,8 @@ int main(int argc, char** argv) {
   bool json = false;
   bool verdicts = false;
   bool trace = false;
+  bool streaming = false;
+  std::size_t epoch_entries = 256;
   std::string metrics_out;
   audit::AuditOptions exec;
   audit::PairKey trace_key;
@@ -59,6 +72,11 @@ int main(int argc, char** argv) {
       if (exec.threads == 0) return Usage();
     } else if (std::strcmp(argv[i], "--cache") == 0) {
       exec.cache = true;
+    } else if (std::strcmp(argv[i], "--streaming") == 0) {
+      streaming = true;
+    } else if (std::strcmp(argv[i], "--epoch") == 0 && i + 1 < argc) {
+      epoch_entries = std::strtoull(argv[++i], nullptr, 10);
+      if (epoch_entries == 0) return Usage();
     } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
       metrics_out = argv[++i];
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 3 < argc) {
@@ -91,8 +109,44 @@ int main(int argc, char** argv) {
   }
 
   audit::LogDatabase db(log.entries, manifest.topology);
-  audit::Auditor auditor(manifest.keys);
-  const audit::AuditReport report = auditor.Audit(db, exec);
+  audit::AuditReport report;
+  if (streaming) {
+    // Online replay: findings are announced at the epoch that seals them,
+    // then the finalized report takes the batch report's place verbatim.
+    audit::StreamingOptions options;
+    std::size_t epoch = 0;
+    if (!json) {
+      options.on_finding = [&epoch](const audit::PairVerdict& v,
+                                    Timestamp /*detect_ns*/) {
+        std::printf("epoch %zu: [%s] %s#%llu -> %s\n", epoch,
+                    std::string(audit::FindingName(v.finding)).c_str(),
+                    v.topic.c_str(), static_cast<unsigned long long>(v.seq),
+                    v.subscriber.c_str());
+      };
+    }
+    audit::StreamingAuditor online(manifest.keys, manifest.topology, options);
+    std::size_t since_seal = 0;
+    for (const auto& entry : log.entries) {
+      online.OnEntry(entry);
+      if (++since_seal == epoch_entries) {
+        online.SealEpoch();
+        since_seal = 0;
+        ++epoch;
+      }
+    }
+    online.SealEpoch();
+    report = online.Finalize();
+    if (!json) {
+      const audit::StreamingStats stats = online.Stats();
+      std::printf("streaming: %zu entries, %zu epochs, %zu pairs flagged "
+                  "online, %zu late entries\n",
+                  stats.entries, stats.epochs, stats.flagged,
+                  stats.late_entries);
+    }
+  } else {
+    const audit::Auditor auditor(manifest.keys);
+    report = auditor.Audit(db, exec);
+  }
 
   if (json) {
     audit::JsonOptions options;

@@ -4,10 +4,11 @@
     check_bench_json.py FILE [FILE ...]
     check_bench_json.py FILE --compare BASELINE [--max-regress 0.15]
 
-Validates BENCH_audit.json (audit_bench), BENCH_obs.json (obs_bench), and
-BENCH_scale.json (scale_bench): the file must parse, carry every expected
-field with the expected type, and its self-reported pass flag
-(all_reports_identical / within_budget / scale_ok) must be true. The schema
+Validates BENCH_audit.json (audit_bench), BENCH_obs.json (obs_bench),
+BENCH_scale.json (scale_bench), and BENCH_streaming.json (streaming_bench):
+the file must parse, carry every expected field with the expected type, and
+its self-reported pass flag (all_reports_identical / within_budget /
+scale_ok / streaming_ok) must be true. The schema
 is recognised from the document's contents, not the file name, so renamed
 artifacts still validate.
 
@@ -155,12 +156,72 @@ def check_scale(doc, name):
         raise SchemaError(f"{name}: scale_ok is false")
 
 
+def check_streaming(doc, name):
+    config = require(doc, "config", dict, name)
+    for field in (
+        "entries",
+        "transmissions",
+        "links",
+        "flagged_pairs",
+        "epoch_transmissions",
+        "rsa_bits",
+        "reps",
+    ):
+        require(config, field, int, f"{name}.config")
+    require(config, "min_detect_speedup", (int, float), f"{name}.config")
+
+    results = require(doc, "results", list, name)
+    seen = set()
+    for i, result in enumerate(results):
+        where = f"{name}.results[{i}]"
+        mode = require(result, "mode", str, where)
+        if mode not in ("streaming", "batch"):
+            raise SchemaError(f"{where}: unknown mode '{mode}'")
+        seen.add(mode)
+        require(result, "flags", int, where)
+        for field in (
+            "wall_ms",
+            "entries_per_sec",
+            "entries_per_sec_best",
+            "detect_p50_ms",
+            "detect_p99_ms",
+        ):
+            value = require(result, field, (int, float), where)
+            if value <= 0:
+                raise SchemaError(
+                    f"{where}: '{field}' must be positive, got {value}"
+                )
+    missing = {"streaming", "batch"} - seen
+    if missing:
+        raise SchemaError(f"{name}: missing modes {sorted(missing)}")
+
+    gate = require(doc, "gate", dict, name)
+    speedup = require(gate, "detect_speedup_p99", (int, float), f"{name}.gate")
+    if speedup < config["min_detect_speedup"]:
+        raise SchemaError(
+            f"{name}.gate: detection speedup {speedup} below the "
+            f"{config['min_detect_speedup']}x gate"
+        )
+    if not require(gate, "identical", bool, f"{name}.gate"):
+        raise SchemaError(
+            f"{name}.gate: streaming report diverged from the batch reference"
+        )
+    if not require(gate, "flags_complete", bool, f"{name}.gate"):
+        raise SchemaError(f"{name}.gate: not every misbehaving pair flagged")
+
+    if not require(doc, "streaming_ok", bool, name):
+        raise SchemaError(f"{name}: streaming_ok is false")
+
+
 # Schema name -> (row key fields, gated metrics). Each metric is
 # (field, direction): "up" = higher is better, "down" = lower is better.
 COMPARE_SPECS = {
     "audit_bench": (("threads", "cache"), (("entries_per_sec", "up"),)),
     "obs_bench": (("name",), (("ns_per_record", "down"),)),
     "scale_bench": (("subs", "mode"), (("deliveries_per_sec", "up"),)),
+    # Detection-latency absolutes are machine-dependent; the latency *ratio*
+    # is gated in-run by the bench itself, so only throughput regresses here.
+    "streaming_bench": (("mode",), (("entries_per_sec", "up"),)),
 }
 
 # When both rows carry the preferred variant of a metric, compare that
@@ -251,6 +312,9 @@ def check_doc(doc, path):
     elif "scale_ok" in doc:
         check_scale(doc, path)
         kind = "scale_bench"
+    elif "streaming_ok" in doc:
+        check_streaming(doc, path)
+        kind = "streaming_bench"
     else:
         raise SchemaError(f"{path}: unrecognised bench output")
     print(f"{path}: ok ({kind}, {len(doc['results'])} results)")
