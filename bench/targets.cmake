@@ -29,3 +29,4 @@ adlp_bench(audit_bench)
 adlp_bench(obs_bench)
 adlp_bench(scale_bench)
 adlp_bench(streaming_bench)
+adlp_bench(replication_bench)

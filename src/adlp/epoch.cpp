@@ -1,0 +1,146 @@
+#include "adlp/epoch.h"
+
+#include "common/rng.h"
+#include "wire/wire.h"
+
+namespace adlp::proto {
+
+namespace {
+
+// Field numbers for the EpochRoot wire message.
+constexpr std::uint32_t kFieldEpoch = 1;
+constexpr std::uint32_t kFieldTreeSize = 2;
+constexpr std::uint32_t kFieldRoot = 3;
+constexpr std::uint32_t kFieldPrevRootHash = 4;
+constexpr std::uint32_t kFieldSealedAt = 5;
+constexpr std::uint32_t kFieldLogger = 6;
+constexpr std::uint32_t kFieldSignature = 7;
+
+/// Domain separation for the signed digest: an epoch-seal signature must
+/// not be confusable with a log-entry or acknowledgement signature made by
+/// the same key.
+constexpr std::string_view kEpochSigDomain = "adlp-epoch-root-v1";
+
+void SerializeUnsigned(const EpochRoot& root, wire::Writer& w) {
+  w.PutU64(kFieldEpoch, root.epoch);
+  w.PutU64(kFieldTreeSize, root.tree_size);
+  w.PutBytes(kFieldRoot, BytesView(root.root.data(), root.root.size()));
+  w.PutBytes(kFieldPrevRootHash,
+             BytesView(root.prev_root_hash.data(), root.prev_root_hash.size()));
+  w.PutI64(kFieldSealedAt, root.sealed_at);
+  w.PutString(kFieldLogger, root.logger);
+}
+
+crypto::Digest DigestField(wire::Reader& r, const char* name) {
+  const Bytes b = r.GetBytesValue();
+  if (b.size() != crypto::kSha256DigestSize) {
+    throw wire::WireError(std::string("EpochRoot: bad digest length for ") +
+                          name);
+  }
+  crypto::Digest d;
+  std::copy(b.begin(), b.end(), d.begin());
+  return d;
+}
+
+}  // namespace
+
+crypto::Digest EpochRootDigest(const EpochRoot& root) {
+  wire::Writer w;
+  SerializeUnsigned(root, w);
+  crypto::Sha256 h;
+  h.Update(BytesView(
+      reinterpret_cast<const std::uint8_t*>(kEpochSigDomain.data()),
+      kEpochSigDomain.size()));
+  h.Update(w.Data());
+  return h.Finish();
+}
+
+crypto::Digest EpochGenesis() {
+  return crypto::Sha256Digest(BytesOf("adlp-epoch-genesis-v1"));
+}
+
+Bytes SerializeEpochRoot(const EpochRoot& root) {
+  wire::Writer w;
+  SerializeUnsigned(root, w);
+  w.PutBytes(kFieldSignature, root.signature);
+  return std::move(w).Take();
+}
+
+EpochRoot ParseEpochRoot(BytesView wire_bytes) {
+  wire::Reader r(wire_bytes);
+  EpochRoot root;
+  bool have_root = false;
+  bool have_prev = false;
+  std::uint32_t field = 0;
+  wire::WireType type = wire::WireType::kVarint;
+  while (r.NextField(field, type)) {
+    switch (field) {
+      case kFieldEpoch:
+        root.epoch = r.GetU64Value();
+        break;
+      case kFieldTreeSize:
+        root.tree_size = r.GetU64Value();
+        break;
+      case kFieldRoot:
+        root.root = DigestField(r, "root");
+        have_root = true;
+        break;
+      case kFieldPrevRootHash:
+        root.prev_root_hash = DigestField(r, "prev_root_hash");
+        have_prev = true;
+        break;
+      case kFieldSealedAt:
+        root.sealed_at = r.GetI64Value();
+        break;
+      case kFieldLogger:
+        root.logger = r.GetStringValue();
+        break;
+      case kFieldSignature:
+        root.signature = r.GetBytesValue();
+        break;
+      default:
+        r.SkipValue(type);
+        break;
+    }
+  }
+  if (!have_root || !have_prev) {
+    throw wire::WireError("EpochRoot: missing digest field");
+  }
+  if (root.logger.empty()) {
+    throw wire::WireError("EpochRoot: missing logger id");
+  }
+  if (root.signature.empty()) {
+    throw wire::WireError("EpochRoot: missing signature");
+  }
+  return root;
+}
+
+bool VerifyEpochRootSignature(const EpochRoot& root,
+                              const crypto::PublicKey& key) {
+  return crypto::VerifyDigest(key, EpochRootDigest(root), root.signature);
+}
+
+std::size_t VerifyEpochChain(const std::vector<EpochRoot>& roots,
+                             const crypto::PublicKey& key) {
+  crypto::Digest prev = EpochGenesis();
+  std::uint64_t prev_size = 0;
+  for (std::size_t i = 0; i < roots.size(); ++i) {
+    const EpochRoot& r = roots[i];
+    if (r.epoch != i) return i;
+    // Strictly increasing: the logger never seals an empty epoch, so even
+    // the first seal covers at least one record.
+    if (r.tree_size <= prev_size) return i;
+    if (r.prev_root_hash != prev) return i;
+    if (!VerifyEpochRootSignature(r, key)) return i;
+    prev = EpochRootDigest(r);
+    prev_size = r.tree_size;
+  }
+  return roots.size();
+}
+
+crypto::SigKeyPair EpochSealKeys(std::uint64_t seed) {
+  Rng rng(seed);
+  return crypto::GenerateSigKeyPair(rng, crypto::SigAlgorithm::kEd25519);
+}
+
+}  // namespace adlp::proto

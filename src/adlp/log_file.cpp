@@ -1,5 +1,6 @@
 #include "adlp/log_file.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <memory>
@@ -15,6 +16,11 @@ namespace {
 
 constexpr char kMagic[] = "ADLPLOG1";
 constexpr char kTrailerTag[] = "HEAD";
+constexpr char kEpochTag[] = "EPOC";
+
+bool HasTag(const Bytes& frame, const char* tag) {
+  return frame.size() >= 4 && StringOf(BytesView(frame.data(), 4)) == tag;
+}
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -52,7 +58,8 @@ bool ReadFrame(std::FILE* f, Bytes& payload) {
 
 void WriteLogRecords(const std::string& path,
                      const std::vector<Bytes>& records,
-                     const crypto::Digest& chain_head) {
+                     const crypto::Digest& chain_head,
+                     const std::vector<EpochRoot>& epoch_roots) {
   FilePtr f(std::fopen(path.c_str(), "wb"));
   if (!f) {
     throw std::system_error(errno, std::generic_category(),
@@ -65,6 +72,12 @@ void WriteLogRecords(const std::string& path,
   Append(trailer, BytesView(chain_head.data(), chain_head.size()));
   WriteFrame(f.get(), trailer);
 
+  for (const auto& root : epoch_roots) {
+    Bytes frame = BytesOf(kEpochTag);
+    Append(frame, SerializeEpochRoot(root));
+    WriteFrame(f.get(), frame);
+  }
+
   if (std::fflush(f.get()) != 0) {
     throw std::system_error(errno, std::generic_category(),
                             "log file: flush failed");
@@ -72,7 +85,8 @@ void WriteLogRecords(const std::string& path,
 }
 
 void WriteLogFile(const std::string& path, const LogServer& server) {
-  WriteLogRecords(path, server.SerializedRecords(), server.ChainHead());
+  WriteLogRecords(path, server.SerializedRecords(), server.ChainHead(),
+                  server.EpochRoots());
 }
 
 LoadedLog ReadLogFile(const std::string& path) {
@@ -87,10 +101,25 @@ LoadedLog ReadLogFile(const std::string& path) {
     throw std::runtime_error("log file: bad magic");
   }
 
-  // The trailer is by construction the final frame; no payload sniffing.
+  // Epoch frames (if any) sit at the very end, after the trailer — pop
+  // them first, then the trailer is the final frame as it always was. Tag
+  // sniffing is safe here: only post-trailer frames are candidates, and
+  // the trailer's fixed 4+32 length disambiguates it from any EPOC frame.
   LoadedLog out;
   std::vector<Bytes> frames;
   while (ReadFrame(f.get(), frame)) frames.push_back(frame);
+  while (!frames.empty() && HasTag(frames.back(), kEpochTag)) {
+    const Bytes& payload = frames.back();
+    try {
+      out.epoch_roots.push_back(
+          ParseEpochRoot(BytesView(payload.data() + 4, payload.size() - 4)));
+    } catch (const wire::WireError& e) {
+      throw std::runtime_error(std::string("log file: bad epoch frame: ") +
+                               e.what());
+    }
+    frames.pop_back();
+  }
+  std::reverse(out.epoch_roots.begin(), out.epoch_roots.end());
   if (frames.empty() ||
       frames.back().size() != 4 + crypto::kSha256DigestSize ||
       StringOf(BytesView(frames.back().data(), 4)) != kTrailerTag) {

@@ -13,10 +13,15 @@
 //   [frame: "ADLPLOG1" magic record]
 //   [frame: record 0] [frame: record 1] ...
 //   [frame: trailer = "HEAD" || chain head (32 bytes)]
+//   [frame: "EPOC" || serialized EpochRoot] ...        (optional)
 //
 // The chain head makes the file self-checking: any modification of a
 // record, reordering, truncation before the trailer, or insertion is
-// detected on load.
+// detected on load. Sealed epoch roots ride AFTER the trailer (tagged
+// "EPOC") so files written before epoch sealing existed — and readers that
+// predate it — keep working: the reader pops trailing EPOC frames first,
+// then expects the HEAD trailer exactly as before. The roots themselves
+// are individually signed, so they need no coverage by the chain head.
 #pragma once
 
 #include <string>
@@ -35,7 +40,8 @@ void WriteLogFile(const std::string& path, const LogServer& server);
 /// Writes raw serialized records (already chain-ordered) with their head.
 void WriteLogRecords(const std::string& path,
                      const std::vector<Bytes>& records,
-                     const crypto::Digest& chain_head);
+                     const crypto::Digest& chain_head,
+                     const std::vector<EpochRoot>& epoch_roots = {});
 
 struct LoadedLog {
   std::vector<LogEntry> entries;
@@ -46,6 +52,11 @@ struct LoadedLog {
   bool chain_verified = false;
   /// Records that no longer parse as log entries (tampering artifacts).
   std::size_t malformed_records = 0;
+  /// Sealed epoch roots, in epoch order (empty for pre-sealing files).
+  /// Signature/chain validity is the replica cross-checker's job, except
+  /// that an EPOC frame which does not parse at all is structural
+  /// corruption and throws like any other framing damage.
+  std::vector<EpochRoot> epoch_roots;
 };
 
 /// Loads and verifies a log file. Throws std::runtime_error on structural

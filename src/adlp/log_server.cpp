@@ -1,6 +1,13 @@
 #include "adlp/log_server.h"
 
+#include "common/rng.h"
+#include "obs/instrument.h"
+
 namespace adlp::proto {
+
+LogServer::LogServer(LogServerOptions options)
+    : options_(std::move(options)),
+      seal_keys_(EpochSealKeys(options_.seal_key_seed)) {}
 
 void LogServer::RegisterKey(const crypto::ComponentId& id,
                             const crypto::PublicKey& key) {
@@ -21,6 +28,7 @@ void LogServer::Append(const LogEntry& entry) {
   Bytes record = SerializeLogEntry(entry);
   MutexLock lock(mu_);
   chain_.Append(record);
+  tree_.Append(record);
   total_bytes_ += record.size();
   bytes_by_component_[entry.component] += record.size();
   entries_.push_back(entry);
@@ -36,6 +44,84 @@ void LogServer::Append(const LogEntry& entry) {
     event.index = entries_.size() - 1;
     tap_->Push(std::move(event));
   }
+  MaybeSealLocked();
+}
+
+void LogServer::MaybeSealLocked() {
+  if (options_.seal_every == 0 && options_.seal_interval_ms == 0) return;
+  const std::uint64_t unsealed = tree_.Size() - sealed_size_;
+  if (unsealed == 0) return;
+  bool due =
+      options_.seal_every != 0 && unsealed >= options_.seal_every;
+  if (!due && options_.seal_interval_ms != 0) {
+    const Clock* clock =
+        options_.clock != nullptr ? options_.clock : &WallClock::Instance();
+    due = clock->Now() - last_seal_at_ >=
+          options_.seal_interval_ms * 1'000'000;
+  }
+  if (due) SealLocked();
+}
+
+std::optional<EpochRoot> LogServer::SealLocked() {
+  if (tree_.Size() == sealed_size_) return std::nullopt;
+  const Clock* clock =
+      options_.clock != nullptr ? options_.clock : &WallClock::Instance();
+  EpochRoot root;
+  root.epoch = epoch_roots_.size();
+  root.tree_size = tree_.Size();
+  root.root = tree_.Root();
+  root.prev_root_hash = epoch_roots_.empty()
+                            ? EpochGenesis()
+                            : EpochRootDigest(epoch_roots_.back());
+  root.sealed_at = clock->Now();
+  root.logger = options_.logger_id;
+  root.signature = crypto::SignDigest(seal_keys_.priv, EpochRootDigest(root));
+  epoch_roots_.push_back(root);
+  sealed_size_ = root.tree_size;
+  last_seal_at_ = root.sealed_at;
+  obs::metric::EpochSealedTotal().Add();
+  if (tap_ != nullptr) {
+    TapEvent event;
+    event.kind = TapEvent::Kind::kEpochRoot;
+    event.epoch_root = root;
+    tap_->Push(std::move(event));
+  }
+  return root;
+}
+
+std::optional<EpochRoot> LogServer::SealEpoch() {
+  MutexLock lock(mu_);
+  return SealLocked();
+}
+
+std::vector<EpochRoot> LogServer::EpochRoots() const {
+  MutexLock lock(mu_);
+  return epoch_roots_;
+}
+
+crypto::Digest LogServer::MerkleRoot() const {
+  MutexLock lock(mu_);
+  return tree_.Root();
+}
+
+std::vector<crypto::Digest> LogServer::InclusionProof(
+    std::uint64_t index, std::uint64_t size) const {
+  MutexLock lock(mu_);
+  return tree_.InclusionProof(index, size);
+}
+
+bool LogServer::NoteUploadSeq(const std::string& sink_id, std::uint64_t seq) {
+  MutexLock lock(mu_);
+  std::uint64_t& watermark = upload_watermarks_[sink_id];
+  if (seq <= watermark) return false;
+  watermark = seq;
+  return true;
+}
+
+std::uint64_t LogServer::UploadWatermark(const std::string& sink_id) const {
+  MutexLock lock(mu_);
+  const auto it = upload_watermarks_.find(sink_id);
+  return it == upload_watermarks_.end() ? 0 : it->second;
 }
 
 void LogServer::AttachTap(LogTapQueue* tap) {

@@ -5,24 +5,59 @@
 // the auditor works from. It has no back-channel to the nodes: entries are
 // pushed in, so a logger failure never interrupts the data plane (no
 // single-point failure for the pub/sub system).
+//
+// Beyond the linear hash chain the server maintains an RFC 6962 Merkle tree
+// over the same serialized records and periodically seals it into signed
+// `EpochRoot`s (every `seal_every` appends and/or `seal_interval_ms` of
+// wall time, checked lazily on append). Sealed roots are what replicas of
+// the logger can be cross-audited against: divergent roots for the same
+// epoch are logger equivocation, and sampled records verify in O(log n)
+// with inclusion proofs instead of a full chain walk.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <optional>
+#include <string>
 #include <vector>
 
+#include "adlp/epoch.h"
 #include "adlp/log_entry.h"
 #include "adlp/log_tap.h"
+#include "common/clock.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "adlp/log_sink.h"
 #include "crypto/hashchain.h"
 #include "crypto/keystore.h"
+#include "crypto/merkle.h"
+#include "crypto/sig.h"
 
 namespace adlp::proto {
 
+struct LogServerOptions {
+  /// Seal an epoch once this many records accumulated since the last seal
+  /// (0 disables count-triggered sealing).
+  std::uint64_t seal_every = 0;
+  /// Seal when this much wall time passed since the last seal, checked
+  /// lazily on append (0 disables time-triggered sealing). A quiet logger
+  /// seals on its next append, not on a timer thread.
+  std::int64_t seal_interval_ms = 0;
+  /// Identity the sealed roots carry (the replica's name in a fleet).
+  crypto::ComponentId logger_id = "logger";
+  /// Seed for the deterministic Ed25519 sealing key. Replicas of one
+  /// logical logger share a seed so an auditor can verify the whole fleet
+  /// under one public key.
+  std::uint64_t seal_key_seed = 0x5ea1;
+  /// Time source for `sealed_at` (nullptr = wall clock).
+  const Clock* clock = nullptr;
+};
+
 class LogServer final : public LogSink {
  public:
+  LogServer() : LogServer(LogServerOptions{}) {}
+  explicit LogServer(LogServerOptions options);
+
   // --- LogSink ---
   void RegisterKey(const crypto::ComponentId& id,
                    const crypto::PublicKey& key) override;
@@ -51,6 +86,33 @@ class LogServer final : public LogSink {
   /// demonstrate tamper evidence. Returns false if out of range.
   bool CorruptRecordForTest(std::size_t index);
 
+  // --- Epoch sealing ---
+  /// Forces a seal over everything appended so far. Returns nullopt when
+  /// nothing new was appended since the last seal (epochs never repeat a
+  /// tree size).
+  std::optional<EpochRoot> SealEpoch();
+  /// All seals so far, in epoch order.
+  std::vector<EpochRoot> EpochRoots() const;
+  /// Current Merkle root (may be ahead of the last seal).
+  crypto::Digest MerkleRoot() const;
+  /// Inclusion proof for record `index` against the first `size` records
+  /// (a sealed epoch's tree_size). Empty when out of range.
+  std::vector<crypto::Digest> InclusionProof(std::uint64_t index,
+                                             std::uint64_t size) const;
+  /// Public half of the sealing key (what the auditor verifies roots with).
+  const crypto::PublicKey& SealKey() const { return seal_keys_.pub; }
+
+  // --- Replicated upload dedup ---
+  /// Records that upload `seq` from `sink_id` is being applied. Returns
+  /// false when the (cumulatively acked) sequence was already applied —
+  /// the caller must skip the frame. Sound because each sink's frames
+  /// arrive FIFO per connection and a reconnect replays from the first
+  /// unacked frame in order, so "seq <= watermark" exactly identifies
+  /// retransmissions.
+  bool NoteUploadSeq(const std::string& sink_id, std::uint64_t seq);
+  /// Highest applied upload seq for `sink_id` (0 = none).
+  std::uint64_t UploadWatermark(const std::string& sink_id) const;
+
   // --- Online consumers ---
   /// Attaches a tap that observes every subsequent key registration and
   /// appended entry in the server's arrival order (entry events are pushed
@@ -61,16 +123,27 @@ class LogServer final : public LogSink {
   void AttachTap(LogTapQueue* tap);
 
  private:
+  std::optional<EpochRoot> SealLocked() REQUIRES(mu_);
+  void MaybeSealLocked() REQUIRES(mu_);
+
+  const LogServerOptions options_;
+  const crypto::SigKeyPair seal_keys_;  // immutable after construction
+
   mutable Mutex mu_;
   // keys_ is internally synchronized (KeyStore has its own lock) and is
   // handed out by Keys() without mu_, so it is deliberately not guarded.
   crypto::KeyStore keys_;
   crypto::HashChain chain_ GUARDED_BY(mu_);
+  crypto::MerkleTree tree_ GUARDED_BY(mu_);
   std::vector<LogEntry> entries_ GUARDED_BY(mu_);
   std::vector<Bytes> records_ GUARDED_BY(mu_);
   std::uint64_t total_bytes_ GUARDED_BY(mu_) = 0;
   std::map<crypto::ComponentId, std::uint64_t> bytes_by_component_
       GUARDED_BY(mu_);
+  std::vector<EpochRoot> epoch_roots_ GUARDED_BY(mu_);
+  std::uint64_t sealed_size_ GUARDED_BY(mu_) = 0;
+  Timestamp last_seal_at_ GUARDED_BY(mu_) = 0;
+  std::map<std::string, std::uint64_t> upload_watermarks_ GUARDED_BY(mu_);
   LogTapQueue* tap_ GUARDED_BY(mu_) = nullptr;
 };
 

@@ -28,6 +28,7 @@
 #include <deque>
 #include <optional>
 
+#include "adlp/epoch.h"
 #include "adlp/log_entry.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
@@ -36,9 +37,10 @@
 
 namespace adlp::proto {
 
-/// One observed upload: a key registration or an appended entry.
+/// One observed upload: a key registration, an appended entry, or an epoch
+/// seal.
 struct TapEvent {
-  enum class Kind : std::uint8_t { kKey, kEntry };
+  enum class Kind : std::uint8_t { kKey, kEntry, kEpochRoot };
   Kind kind = Kind::kEntry;
 
   // kKey
@@ -49,6 +51,10 @@ struct TapEvent {
   LogEntry entry;
   /// Arrival index in the logger's entry order (Entries()[index] == entry).
   std::uint64_t index = 0;
+
+  // kEpochRoot: pushed inside the seal critical section, so the event
+  // stream interleaves seals with entries exactly where they happened.
+  std::optional<EpochRoot> epoch_root;
 };
 
 enum class TapOverflowPolicy : std::uint8_t { kDropNewest, kBlock };

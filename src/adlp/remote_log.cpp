@@ -9,16 +9,24 @@ namespace adlp::proto {
 namespace {
 
 enum : std::uint32_t {
-  kFieldKind = 1,       // 1 = key registration, 2 = log entry
+  kFieldKind = 1,       // 1 = key registration, 2 = log entry, 3 = ack
   kFieldComponent = 2,
   kFieldKeyBlob = 3,    // crypto::SerializePublicKey encoding
   kFieldEntry = 5,
+  kFieldSinkId = 6,     // uploader identity (acked replication mode)
+  kFieldSeq = 7,        // per-sink upload seq / cumulative acked seq
 };
 
 enum : std::uint64_t {
   kKindKey = 1,
   kKindEntry = 2,
+  kKindAck = 3,
 };
+
+void PutAckTag(wire::Writer& w, std::string_view sink_id, std::uint64_t seq) {
+  w.PutString(kFieldSinkId, sink_id);
+  w.PutU64(kFieldSeq, seq);
+}
 
 }  // namespace
 
@@ -31,6 +39,17 @@ Bytes SerializeLogUpload(const crypto::ComponentId& id,
   return std::move(w).Take();
 }
 
+Bytes SerializeLogUpload(const crypto::ComponentId& id,
+                         const crypto::PublicKey& key,
+                         std::string_view sink_id, std::uint64_t seq) {
+  wire::Writer w;
+  w.PutU64(kFieldKind, kKindKey);
+  w.PutString(kFieldComponent, id);
+  w.PutBytes(kFieldKeyBlob, crypto::SerializePublicKey(key));
+  PutAckTag(w, sink_id, seq);
+  return std::move(w).Take();
+}
+
 Bytes SerializeLogUpload(const LogEntry& entry) {
   wire::Writer w;
   w.PutU64(kFieldKind, kKindEntry);
@@ -38,11 +57,19 @@ Bytes SerializeLogUpload(const LogEntry& entry) {
   return std::move(w).Take();
 }
 
-void ApplyLogUpload(BytesView frame, LogSink& sink) {
+Bytes SerializeLogUpload(const LogEntry& entry, std::string_view sink_id,
+                         std::uint64_t seq) {
+  wire::Writer w;
+  w.PutU64(kFieldKind, kKindEntry);
+  w.PutBytes(kFieldEntry, SerializeLogEntry(entry));
+  PutAckTag(w, sink_id, seq);
+  return std::move(w).Take();
+}
+
+LogUploadFrame ParseLogUpload(BytesView frame) {
   wire::Reader r(frame);
   std::uint64_t kind = 0;
-  crypto::ComponentId component;
-  Bytes key_blob, entry_bytes;
+  LogUploadFrame out;
 
   std::uint32_t field;
   wire::WireType type;
@@ -52,13 +79,19 @@ void ApplyLogUpload(BytesView frame, LogSink& sink) {
         kind = r.GetU64Value();
         break;
       case kFieldComponent:
-        component = r.GetStringValue();
+        out.component = r.GetStringValue();
         break;
       case kFieldKeyBlob:
-        key_blob = r.GetBytesValue();
+        out.key_blob = r.GetBytesValue();
         break;
       case kFieldEntry:
-        entry_bytes = r.GetBytesValue();
+        out.entry_bytes = r.GetBytesValue();
+        break;
+      case kFieldSinkId:
+        out.sink_id = r.GetStringValue();
+        break;
+      case kFieldSeq:
+        out.seq = r.GetU64Value();
         break;
       default:
         r.SkipValue(type);
@@ -67,12 +100,53 @@ void ApplyLogUpload(BytesView frame, LogSink& sink) {
   }
 
   if (kind == kKindKey) {
-    sink.RegisterKey(component, crypto::ParsePublicKey(key_blob));
-  } else if (kind == kKindEntry) {
-    sink.Append(DeserializeLogEntry(entry_bytes));
-  } else {
+    out.is_key = true;
+  } else if (kind != kKindEntry) {
     throw wire::WireError("log upload: unknown kind");
   }
+  return out;
+}
+
+void ApplyLogUpload(const LogUploadFrame& upload, LogSink& sink) {
+  if (upload.is_key) {
+    sink.RegisterKey(upload.component, crypto::ParsePublicKey(upload.key_blob));
+  } else {
+    sink.Append(DeserializeLogEntry(upload.entry_bytes));
+  }
+}
+
+void ApplyLogUpload(BytesView frame, LogSink& sink) {
+  ApplyLogUpload(ParseLogUpload(frame), sink);
+}
+
+Bytes SerializeLogAck(std::uint64_t seq) {
+  wire::Writer w;
+  w.PutU64(kFieldKind, kKindAck);
+  w.PutU64(kFieldSeq, seq);
+  return std::move(w).Take();
+}
+
+std::uint64_t ParseLogAck(BytesView frame) {
+  wire::Reader r(frame);
+  std::uint64_t kind = 0;
+  std::uint64_t seq = 0;
+  std::uint32_t field;
+  wire::WireType type;
+  while (r.NextField(field, type)) {
+    switch (field) {
+      case kFieldKind:
+        kind = r.GetU64Value();
+        break;
+      case kFieldSeq:
+        seq = r.GetU64Value();
+        break;
+      default:
+        r.SkipValue(type);
+        break;
+    }
+  }
+  if (kind != kKindAck) throw wire::WireError("log ack: wrong kind");
+  return seq;
 }
 
 // --- RemoteLogSink -----------------------------------------------------------
@@ -129,12 +203,7 @@ void LogServerService::AcceptLoop() {
     Connection* raw = conn.get();
     conn->thread = std::thread([this, raw, channel] {
       while (auto frame = channel->Receive()) {
-        try {
-          ApplyLogUpload(*frame, server_);
-        } catch (const wire::WireError&) {
-          // Malformed upload: drop the frame, keep the connection. The
-          // logger is append-only and trusts nothing it cannot parse.
-        }
+        IngestFrame(*frame, *channel);
       }
       raw->done.store(true, std::memory_order_release);
     });
@@ -157,17 +226,35 @@ void LogServerService::AdoptReactorChannel(
   conn->channel = channel;
   conn->async = channel;
   Connection* raw = conn.get();
+  transport::EpollChannel* raw_channel = channel.get();
   channel->StartAsync(
-      [this](BytesView frame) {
-        try {
-          ApplyLogUpload(frame, server_);
-        } catch (const wire::WireError&) {
-          // Malformed upload: drop the frame, keep the connection (same
-          // policy as the thread path).
-        }
+      [this, raw_channel](BytesView frame) {
+        IngestFrame(frame, *raw_channel);
       },
       [raw] { raw->done.store(true, std::memory_order_release); });
   connections_.push_back(std::move(conn));
+}
+
+void LogServerService::IngestFrame(BytesView frame,
+                                   transport::Channel& channel) {
+  try {
+    const LogUploadFrame upload = ParseLogUpload(frame);
+    if (!upload.sink_id.empty() && upload.seq != 0) {
+      // Acked replication mode: skip retransmitted frames (the per-sink
+      // watermark is exact because delivery is FIFO per connection and a
+      // reconnect replays from the first unacked frame in order), then ack
+      // the seq either way so the uploader can release its spool.
+      if (server_.NoteUploadSeq(upload.sink_id, upload.seq)) {
+        ApplyLogUpload(upload, server_);
+      }
+      (void)channel.Send(SerializeLogAck(upload.seq));
+    } else {
+      ApplyLogUpload(upload, server_);
+    }
+  } catch (const wire::WireError&) {
+    // Malformed upload: drop the frame, keep the connection. The logger is
+    // append-only and trusts nothing it cannot parse.
+  }
 }
 
 void LogServerService::ReapFinishedLocked() {

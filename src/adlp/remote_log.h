@@ -28,13 +28,45 @@
 
 namespace adlp::proto {
 
-/// Wire encoding of one logger upload (key registration or entry).
+/// Wire encoding of one logger upload (key registration or entry). The
+/// (sink_id, seq) overloads tag the frame with the uploader's identity and
+/// a monotone per-sink sequence number; a tagged frame asks the server to
+/// acknowledge it (quorum-committed replication), an untagged one keeps the
+/// original fire-and-forget contract.
 Bytes SerializeLogUpload(const crypto::ComponentId& id,
                          const crypto::PublicKey& key);
+Bytes SerializeLogUpload(const crypto::ComponentId& id,
+                         const crypto::PublicKey& key,
+                         std::string_view sink_id, std::uint64_t seq);
 Bytes SerializeLogUpload(const LogEntry& entry);
+Bytes SerializeLogUpload(const LogEntry& entry, std::string_view sink_id,
+                         std::uint64_t seq);
 
-/// Applies one upload frame to a sink. Throws wire::WireError on garbage.
+/// Decoded upload frame. `sink_id`/`seq` are empty/0 for untagged frames.
+struct LogUploadFrame {
+  bool is_key = false;
+  crypto::ComponentId component;  // key registrations
+  Bytes key_blob;                 // key registrations
+  Bytes entry_bytes;              // entries (still serialized)
+  std::string sink_id;
+  std::uint64_t seq = 0;
+};
+
+/// Parses an upload frame. Throws wire::WireError on garbage.
+LogUploadFrame ParseLogUpload(BytesView frame);
+
+/// Applies a parsed upload to a sink (key parse / entry parse included).
+/// Throws wire::WireError when the nested payload is garbage.
+void ApplyLogUpload(const LogUploadFrame& upload, LogSink& sink);
+
+/// Parse + apply in one step (fire-and-forget ingestion path).
 void ApplyLogUpload(BytesView frame, LogSink& sink);
+
+/// Logger-to-uploader acknowledgement: every seq <= `seq` received on this
+/// connection has been applied (or deduplicated).
+Bytes SerializeLogAck(std::uint64_t seq);
+/// Throws wire::WireError unless `frame` is an ack.
+std::uint64_t ParseLogAck(BytesView frame);
 
 class RemoteLogSink final : public LogSink {
  public:
@@ -86,6 +118,10 @@ class LogServerService {
   };
 
   void AcceptLoop();
+  /// Ingests one upload frame: parse, dedup acked-mode retransmissions via
+  /// the server's per-sink watermark, apply, and acknowledge tagged frames
+  /// on `channel`. Malformed frames are dropped, the connection kept.
+  void IngestFrame(BytesView frame, transport::Channel& channel);
   /// Registers one reactor-accepted channel and starts its async ingestion.
   void AdoptReactorChannel(std::shared_ptr<transport::EpollChannel> channel);
   /// Joins and erases connections whose ingestion loop has exited.

@@ -5,6 +5,7 @@
 #include "adlp/remote_log.h"
 #include "obs/instrument.h"
 #include "transport/reactor.h"
+#include "wire/wire.h"
 
 namespace adlp::proto {
 
@@ -62,19 +63,57 @@ ResilientLogSink::~ResilientLogSink() {
 
 void ResilientLogSink::RegisterKey(const crypto::ComponentId& id,
                                    const crypto::PublicKey& key) {
-  Bytes frame = SerializeLogUpload(id, key);
+  (void)RegisterKeyAcked(id, key);
+}
+
+std::uint64_t ResilientLogSink::RegisterKeyAcked(const crypto::ComponentId& id,
+                                                 const crypto::PublicKey& key) {
+  if (!AckedMode()) {
+    Bytes frame = SerializeLogUpload(id, key);
+    {
+      MutexLock lock(mu_);
+      // Kept forever: every (re)connect replays all registrations so a
+      // logger restarted with empty state can still verify the replayed
+      // entries. LogServer::RegisterKey is idempotent, so duplicates are
+      // harmless.
+      key_frames_.push_back(frame);
+    }
+    PushFrame(std::move(frame));
+    return 0;
+  }
+  std::uint64_t seq = 0;
   {
     MutexLock lock(mu_);
-    // Kept forever: every (re)connect replays all registrations so a logger
-    // restarted with empty state can still verify the replayed entries.
-    // LogServer::RegisterKey is idempotent, so duplicates are harmless.
+    if (stop_) return 0;
+    // The seq is part of the frame bytes, so assignment and serialization
+    // stay under one lock hold — spool order is seq order by construction.
+    seq = ++last_seq_;
+    Bytes frame = SerializeLogUpload(id, key, options_.sink_id, seq);
     key_frames_.push_back(frame);
+    PushLocked(seq, std::move(frame));
   }
-  PushFrame(std::move(frame));
+  cv_.NotifyOne();
+  return seq;
 }
 
 void ResilientLogSink::Append(const LogEntry& entry) {
-  PushFrame(SerializeLogUpload(entry));
+  (void)AppendAcked(entry);
+}
+
+std::uint64_t ResilientLogSink::AppendAcked(const LogEntry& entry) {
+  if (!AckedMode()) {
+    PushFrame(SerializeLogUpload(entry));
+    return 0;
+  }
+  std::uint64_t seq = 0;
+  {
+    MutexLock lock(mu_);
+    if (stop_) return 0;
+    seq = ++last_seq_;
+    PushLocked(seq, SerializeLogUpload(entry, options_.sink_id, seq));
+  }
+  cv_.NotifyOne();
+  return seq;
 }
 
 bool ResilientLogSink::Connected() const {
@@ -86,6 +125,8 @@ SinkStats ResilientLogSink::Stats() const {
   MutexLock lock(mu_);
   SinkStats stats = stats_;
   stats.entries_spooled = spool_.size();
+  stats.acked_seq = acked_seq_;
+  stats.last_seq = last_seq_;
   return stats;
 }
 
@@ -104,27 +145,69 @@ void ResilientLogSink::PushFrame(Bytes frame) {
   {
     MutexLock lock(mu_);
     if (stop_) return;
-    if (spool_.size() >= options_.spool_capacity) {
-      // Oldest-drop: bounded memory during a long partition. The auditor
-      // sees the evicted entries as hidden, which is the honest verdict for
-      // entries that truly never reached the logger.
-      spool_.pop_front();
-      ++stats_.entries_dropped;
-      obs::metric::SinkDroppedTotal().Add(1);
-      obs::metric::SinkSpoolDepth().Sub(1);
-      obs::TraceLog::Global().Record(obs::TraceKind::kSpoolDrop, "",
-                                     spool_.size());
-    }
-    spool_.push_back(std::move(frame));
-    stats_.spool_high_water =
-        std::max<std::uint64_t>(stats_.spool_high_water, spool_.size());
-    obs::metric::SinkSpooledTotal().Add(1);
-    obs::metric::SinkSpoolDepth().Add(1);
-    obs::metric::SinkSpoolHighWater().SetMax(
-        static_cast<std::int64_t>(spool_.size()));
-    obs::TraceLog::Global().Record(obs::TraceKind::kSpool, "", spool_.size());
+    PushLocked(0, std::move(frame));
   }
   cv_.NotifyOne();
+}
+
+void ResilientLogSink::PushLocked(std::uint64_t seq, Bytes frame) {
+  if (spool_.size() >= options_.spool_capacity) {
+    // Oldest-drop: bounded memory during a long partition. The auditor
+    // sees the evicted entries as hidden, which is the honest verdict for
+    // entries that truly never reached the logger. In acked mode the
+    // evicted frame may have been sent already; the send cursor tracks the
+    // shifted indices either way.
+    spool_.pop_front();
+    if (next_send_ > 0) --next_send_;
+    ++stats_.entries_dropped;
+    obs::metric::SinkDroppedTotal().Add(1);
+    obs::metric::SinkSpoolDepth().Sub(1);
+    obs::TraceLog::Global().Record(obs::TraceKind::kSpoolDrop, "",
+                                   spool_.size());
+  }
+  spool_.push_back(SpooledFrame{seq, std::move(frame)});
+  stats_.spool_high_water =
+      std::max<std::uint64_t>(stats_.spool_high_water, spool_.size());
+  stats_.last_seq = last_seq_;
+  obs::metric::SinkSpooledTotal().Add(1);
+  obs::metric::SinkSpoolDepth().Add(1);
+  obs::metric::SinkSpoolHighWater().SetMax(
+      static_cast<std::int64_t>(spool_.size()));
+  obs::TraceLog::Global().Record(obs::TraceKind::kSpool, "", spool_.size());
+}
+
+void ResilientLogSink::AckReaderLoop(transport::ChannelPtr channel) {
+  while (auto frame = channel->Receive()) {
+    std::uint64_t seq = 0;
+    try {
+      seq = ParseLogAck(*frame);
+    } catch (const wire::WireError&) {
+      continue;  // not an ack; the logger sends nothing else, but be lenient
+    }
+    std::uint64_t cumulative = 0;
+    {
+      MutexLock lock(mu_);
+      if (seq <= acked_seq_) continue;  // stale duplicate
+      acked_seq_ = seq;
+      stats_.acked_seq = seq;
+      std::size_t popped = 0;
+      while (!spool_.empty() && spool_.front().seq != 0 &&
+             spool_.front().seq <= seq) {
+        spool_.pop_front();
+        ++popped;
+      }
+      next_send_ = next_send_ > popped ? next_send_ - popped : 0;
+      if (popped > 0) {
+        stats_.entries_acked += popped;
+        obs::metric::SinkAckedTotal().Add(popped);
+        obs::metric::SinkSpoolDepth().Sub(static_cast<std::int64_t>(popped));
+      }
+      cumulative = acked_seq_;
+      if (spool_.empty()) drain_cv_.NotifyAll();
+    }
+    // Outside mu_: the callback may take the replicated sink's own lock.
+    if (options_.on_ack) options_.on_ack(cumulative);
+  }
 }
 
 bool ResilientLogSink::ResendKeys(const transport::ChannelPtr& channel) {
@@ -141,20 +224,34 @@ bool ResilientLogSink::ResendKeys(const transport::ChannelPtr& channel) {
 
 void ResilientLogSink::FlusherLoop() {
   unsigned failures = 0;
+  // Acked mode: the flusher owns the ack reader of the current channel —
+  // started after every (re)connect, joined (after closing its channel)
+  // before the channel is replaced and on every exit path. Joining happens
+  // outside mu_: the reader takes mu_ while releasing acked frames.
+  std::thread ack_reader;
+  transport::ChannelPtr reader_channel;
+  const auto stop_reader = [&ack_reader, &reader_channel] {
+    if (reader_channel) reader_channel->Close();
+    if (ack_reader.joinable()) ack_reader.join();
+    reader_channel.reset();
+  };
   while (true) {
     transport::ChannelPtr channel;
     {
       MutexLock lock(mu_);
-      if (stop_) return;
+      if (stop_) break;
       channel = channel_;
     }
 
     if (channel == nullptr || !channel->IsOpen()) {
+      // The previous channel (if any) is dead: retire its reader first so
+      // exactly one reader is ever alive.
+      stop_reader();
       transport::ChannelPtr fresh = connector_();
       MutexLock lock(mu_);
       if (stop_) {
         if (fresh) fresh->Close();
-        return;
+        break;
       }
       if (fresh == nullptr) {
         ++stats_.connect_failures;
@@ -194,6 +291,9 @@ void ResilientLogSink::FlusherLoop() {
       failures = 0;
       channel_ = fresh;
       ++connects_;
+      // Everything sent-but-unacked on the dead channel goes again: the
+      // server's seq watermark swallows whatever did arrive.
+      next_send_ = 0;
       const bool is_reconnect = connects_ > 1;
       if (is_reconnect) {
         ++stats_.reconnects;
@@ -202,9 +302,16 @@ void ResilientLogSink::FlusherLoop() {
                                        connects_);
       }
       lock.Unlock();
+      if (AckedMode()) {
+        reader_channel = fresh;
+        ack_reader = std::thread(
+            [this, fresh] { AckReaderLoop(fresh); });
+      }
       // Keys need re-registration only on REconnects: the first connection
       // gets them from the spool in their original order. (Re-sending them
-      // here too would double-send nondeterministically.)
+      // here too would double-send nondeterministically; in acked mode the
+      // double-send is harmless — the server dedups by seq — but the spool
+      // replay already covers the unacked ones.)
       if (is_reconnect && !ResendKeys(fresh)) {
         lock.Lock();
         if (channel_ == fresh) channel_.reset();
@@ -214,13 +321,24 @@ void ResilientLogSink::FlusherLoop() {
     }
 
     Bytes frame;
+    std::uint64_t sent_seq = 0;
     {
       MutexLock lock(mu_);
-      while (!stop_ && spool_.empty()) cv_.Wait(lock);
-      if (stop_) return;
-      frame = std::move(spool_.front());
-      spool_.pop_front();
-      in_flight_ = true;
+      if (AckedMode()) {
+        // Frames stay spooled until acked; the cursor walks the unsent
+        // suffix. An ack can only shrink the pending suffix, so no wake is
+        // needed beyond PushLocked's.
+        while (!stop_ && next_send_ >= spool_.size()) cv_.Wait(lock);
+        if (stop_) break;
+        frame = spool_[next_send_].frame;  // copy: retained until acked
+        sent_seq = spool_[next_send_].seq;
+      } else {
+        while (!stop_ && spool_.empty()) cv_.Wait(lock);
+        if (stop_) break;
+        frame = std::move(spool_.front().frame);
+        spool_.pop_front();
+        in_flight_ = true;
+      }
     }
 
     const bool sent = channel->Send(frame);
@@ -230,18 +348,38 @@ void ResilientLogSink::FlusherLoop() {
       if (sent) {
         ++stats_.entries_sent;
         obs::metric::SinkSentTotal().Add(1);
-        obs::metric::SinkSpoolDepth().Sub(1);
         obs::TraceLog::Global().Record(obs::TraceKind::kFlush, "",
                                        spool_.size());
-        if (spool_.empty()) drain_cv_.NotifyAll();
+        if (AckedMode()) {
+          // The ack reader may have already released this frame (and, on a
+          // retransmit run, even later unsent ones) while we were sending;
+          // advance only past the frame we actually sent.
+          if (next_send_ < spool_.size() &&
+              spool_[next_send_].seq == sent_seq) {
+            ++next_send_;
+          }
+        } else {
+          obs::metric::SinkSpoolDepth().Sub(1);
+          if (spool_.empty()) drain_cv_.NotifyAll();
+        }
       } else {
-        // Order-preserving retry: the failed frame goes back to the front
-        // and is the first thing replayed after reconnection.
-        spool_.push_front(std::move(frame));
-        if (channel_ == channel) channel_.reset();
+        if (AckedMode()) {
+          // The frame is still spooled at the cursor; a reconnect replays
+          // from the first unacked frame anyway.
+          if (channel_ == channel) channel_.reset();
+          lock.Unlock();
+          channel->Close();  // make sure the ack reader unblocks
+          lock.Lock();
+        } else {
+          // Order-preserving retry: the failed frame goes back to the
+          // front and is the first thing replayed after reconnection.
+          spool_.push_front(SpooledFrame{0, std::move(frame)});
+          if (channel_ == channel) channel_.reset();
+        }
       }
     }
   }
+  stop_reader();
 }
 
 }  // namespace adlp::proto

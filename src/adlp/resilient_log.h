@@ -25,6 +25,17 @@
 // before ingesting them (TCP gives no application-level ack, and adding one
 // would reintroduce the back-pressure the paper excludes). See DESIGN.md
 // §"Failure model and log-delivery guarantees".
+//
+// Acked mode (`sink_id` non-empty) closes that gap for replicated loggers:
+// every frame is tagged (sink_id, seq) and retained in the spool until the
+// server's cumulative acknowledgement covers it; a reconnect retransmits
+// all unacked frames in order and the server deduplicates by per-sink seq
+// watermark, so each frame is applied exactly once. The data plane is still
+// never blocked — acks ride back on the same connection and are consumed by
+// a background reader. The one caveat: a spool overflow in acked mode drops
+// the oldest unacked frame, after which the watermark is optimistic about
+// that frame; size the spool for the expected outage window (the
+// replication tests and bench use ample spools).
 #pragma once
 
 #include <chrono>
@@ -59,6 +70,12 @@ struct SinkStats {
   std::uint64_t reconnects = 0;
   /// Failed connection attempts.
   std::uint64_t connect_failures = 0;
+  /// Acked mode only: frames released from the spool by server acks.
+  std::uint64_t entries_acked = 0;
+  /// Acked mode only: highest cumulative seq the server acknowledged.
+  std::uint64_t acked_seq = 0;
+  /// Acked mode only: highest seq assigned to an upload.
+  std::uint64_t last_seq = 0;
 };
 
 struct ResilientLogSinkOptions {
@@ -74,6 +91,14 @@ struct ResilientLogSinkOptions {
   /// wheel instead of a timed condition-variable wait. The BackoffPolicy
   /// (delays, jitter stream) is identical either way.
   transport::TransportMode mode = transport::TransportMode::kThreadPerConn;
+  /// Non-empty switches the sink to acked mode: frames are tagged
+  /// (sink_id, seq), retained until acknowledged, and retransmitted on
+  /// reconnect. Replicas of one uploader must see the same sink_id.
+  std::string sink_id;
+  /// Acked mode: called (off the data plane, on the ack-reader thread) with
+  /// the cumulative acked seq each time it advances. Must not call back
+  /// into the sink.
+  std::function<void(std::uint64_t)> on_ack;
 };
 
 class ResilientLogSink final : public LogSink {
@@ -101,6 +126,12 @@ class ResilientLogSink final : public LogSink {
                    const crypto::PublicKey& key) override;
   void Append(const LogEntry& entry) override;
 
+  /// Acked-mode variants returning the assigned seq (0 in legacy mode, or
+  /// when the sink is already stopping). Append/RegisterKey delegate here.
+  std::uint64_t RegisterKeyAcked(const crypto::ComponentId& id,
+                                 const crypto::PublicKey& key) EXCLUDES(mu_);
+  std::uint64_t AppendAcked(const LogEntry& entry) EXCLUDES(mu_);
+
   bool Connected() const EXCLUDES(mu_);
   SinkStats Stats() const EXCLUDES(mu_);
 
@@ -116,8 +147,19 @@ class ResilientLogSink final : public LogSink {
   /// the sink died touches only the token.
   struct BackoffWait;
 
+  /// One spooled upload. `seq` is 0 in legacy mode.
+  struct SpooledFrame {
+    std::uint64_t seq = 0;
+    Bytes frame;
+  };
+
+  bool AckedMode() const { return !options_.sink_id.empty(); }
   void PushFrame(Bytes frame) EXCLUDES(mu_);
+  void PushLocked(std::uint64_t seq, Bytes frame) REQUIRES(mu_);
   void FlusherLoop() EXCLUDES(mu_);
+  /// Drains acknowledgement frames from `channel` until it closes,
+  /// releasing covered frames from the spool (acked mode only).
+  void AckReaderLoop(transport::ChannelPtr channel) EXCLUDES(mu_);
   /// Sends all known key-registration frames on `channel`. False on failure.
   bool ResendKeys(const transport::ChannelPtr& channel) EXCLUDES(mu_);
 
@@ -127,11 +169,16 @@ class ResilientLogSink final : public LogSink {
   mutable Mutex mu_;
   CondVar cv_;        // wakes the flusher
   CondVar drain_cv_;  // wakes Drain()
-  std::deque<Bytes> spool_ GUARDED_BY(mu_);
+  std::deque<SpooledFrame> spool_ GUARDED_BY(mu_);
   // Replayed on every (re)connect.
   std::vector<Bytes> key_frames_ GUARDED_BY(mu_);
   transport::ChannelPtr channel_ GUARDED_BY(mu_);
   bool in_flight_ GUARDED_BY(mu_) = false;  // popped but not yet sent
+  // Acked mode: spool index of the first not-yet-sent frame (everything
+  // before it is sent but unacked; reset to 0 on reconnect to retransmit).
+  std::size_t next_send_ GUARDED_BY(mu_) = 0;
+  std::uint64_t last_seq_ GUARDED_BY(mu_) = 0;
+  std::uint64_t acked_seq_ GUARDED_BY(mu_) = 0;
   bool stop_ GUARDED_BY(mu_) = false;
   // Live only while backing off.
   std::shared_ptr<BackoffWait> backoff_wait_ GUARDED_BY(mu_);

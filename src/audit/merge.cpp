@@ -88,6 +88,16 @@ std::string AuditReport::Render() const {
     for (const auto& id : unfaithful) out += " " + id;
     out += "\n";
   }
+  // Fleet findings appear only when there are any: an honest replicated
+  // fleet renders byte-identically to a single-logger audit.
+  if (!replica_verdicts.empty()) {
+    out += "replica findings:\n";
+    for (const auto& v : replica_verdicts) {
+      out += "  [" + std::string(ReplicaFindingName(v.finding)) + "] " +
+             v.replica + " epoch " + std::to_string(v.epoch) + ": " +
+             v.detail + "\n";
+    }
+  }
   return out;
 }
 

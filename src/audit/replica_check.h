@@ -1,0 +1,90 @@
+// Cross-replica audit of the logger fleet's signed epoch roots.
+//
+// The pair-level audit (auditor.h) holds *components* accountable but
+// trusts the logger's record of history. With a replicated logger that
+// trust becomes checkable: every replica independently seals the upload
+// stream into signed Merkle epoch roots (adlp/epoch.h), and because the
+// replicated sink fans out the identical frame sequence to every replica
+// (replicated_log.h), honest replicas MUST seal identical roots at
+// identical tree sizes. This module runs that check:
+//
+//   per replica —
+//     * seal signatures verify under the fleet sealing key;
+//     * the seal chain is structurally sound (contiguous epochs, linked
+//       prev-root hashes, strictly growing tree sizes);
+//     * each sealed root matches a root recomputed from the replica's own
+//       stored records, spot-checked with SAMPLED O(log n) inclusion
+//       proofs rather than a full chain walk;
+//   across replicas —
+//     * same epoch, different root => logger equivocation (a finding about
+//       the logger, not any pub/sub component);
+//     * a replica whose seals are a proper prefix of the fleet's is merely
+//       BEHIND (it crashed or was partitioned) — informational, never a
+//       finding, so a killed-and-restarted replica leaves the audit report
+//       byte-identical to a single-logger run.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "adlp/epoch.h"
+#include "audit/verdict.h"
+#include "common/bytes.h"
+#include "crypto/sig.h"
+
+namespace adlp::audit {
+
+/// One replica's exported evidence.
+struct ReplicaEvidence {
+  /// Label findings refer to (typically the log-file name).
+  std::string name;
+  /// Serialized records in log order (LoadedLog::records). Leaves of the
+  /// replica's Merkle tree. Ignored when `roots_only` is set.
+  std::vector<Bytes> records;
+  /// Sealed epoch roots in epoch order (LoadedLog::epoch_roots).
+  std::vector<proto::EpochRoot> roots;
+  /// Streaming mode: no record store available — run only the signature,
+  /// chain, and cross-replica checks.
+  bool roots_only = false;
+};
+
+struct ReplicaCheckOptions {
+  /// Fleet sealing public key (proto::EpochSealKeys(seed).pub).
+  crypto::PublicKey seal_key;
+  /// Inclusion proofs sampled per sealed epoch (capped at the epoch's
+  /// tree size). 0 disables sampling.
+  std::size_t samples_per_epoch = 4;
+  /// Seed of the deterministic sample-index stream, so two auditors agree
+  /// on which records they spot-checked.
+  std::uint64_t sample_seed = 0x5a3d'0a1b;
+};
+
+struct ReplicaCheckResult {
+  /// Deterministic order: per-replica findings in input order, then
+  /// equivocation findings in ascending epoch order.
+  std::vector<ReplicaVerdict> verdicts;
+  /// Logger identities named by equivocating seals — the components an
+  /// AuditReport blames for equivocation.
+  std::set<crypto::ComponentId> equivocating;
+  /// Informational: replica name -> epochs short of the fleet maximum.
+  std::map<std::string, std::uint64_t> behind;
+  /// Sampled inclusion proofs that verified (work the audit skipped a full
+  /// chain walk for).
+  std::size_t proofs_checked = 0;
+
+  bool Clean() const { return verdicts.empty(); }
+};
+
+ReplicaCheckResult CheckReplicas(const std::vector<ReplicaEvidence>& replicas,
+                                 const ReplicaCheckOptions& options);
+
+/// Folds fleet findings into a report: appends the verdicts, blames the
+/// equivocating logger identities (they join `unfaithful` — equivocation is
+/// proof of logger misbehavior), and bumps the replica-findings metric.
+/// A Clean() result leaves the report untouched byte-for-byte.
+void ApplyReplicaFindings(AuditReport& report, ReplicaCheckResult result);
+
+}  // namespace adlp::audit

@@ -66,6 +66,24 @@ std::string RenderReportJson(const AuditReport& report,
   for (const auto& id : report.unfaithful) e.ArrayString(id);
   e.CloseArray();
 
+  // Emitted only when non-empty so honest-fleet JSON stays byte-identical
+  // to a single-logger audit's.
+  if (!report.replica_verdicts.empty()) {
+    e.OpenArray("replica_findings");
+    for (const auto& v : report.replica_verdicts) {
+      e.OpenObject();
+      e.StringField("replica", v.replica);
+      e.NumberField("epoch", v.epoch);
+      e.StringField("finding", ReplicaFindingName(v.finding));
+      e.OpenArray("implicated");
+      for (const auto& name : v.implicated) e.ArrayString(name);
+      e.CloseArray();
+      if (!v.detail.empty()) e.StringField("detail", v.detail);
+      e.CloseObject();
+    }
+    e.CloseArray();
+  }
+
   if (options.include_verdicts) {
     e.OpenArray("verdicts");
     for (const auto& v : report.verdicts) {

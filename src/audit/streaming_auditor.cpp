@@ -5,6 +5,7 @@
 
 #include "audit/merge.h"
 #include "audit/pair_eval.h"
+#include "audit/replica_check.h"
 #include "obs/instrument.h"
 #include "pubsub/message.h"
 
@@ -445,9 +446,32 @@ AuditReport StreamingAuditor::Finalize() {
                    MergeSides{st.pub.count > 0, st.sub.count > 0});
     }
     UpdateGaugesLocked();
+    // Fleet cross-check over accumulated roots (roots-only: the streaming
+    // auditor holds no record store). Honest fleets contribute nothing, so
+    // the batch byte-identity contract is untouched.
+    if (options_.seal_key.has_value() && !replica_roots_.empty()) {
+      std::vector<ReplicaEvidence> fleet;
+      fleet.reserve(replica_roots_.size());
+      for (const auto& [name, roots] : replica_roots_) {
+        ReplicaEvidence evidence;
+        evidence.name = name;
+        evidence.roots = roots;
+        evidence.roots_only = true;
+        fleet.push_back(std::move(evidence));
+      }
+      ReplicaCheckOptions check;
+      check.seal_key = *options_.seal_key;
+      ApplyReplicaFindings(report, CheckReplicas(fleet, check));
+    }
   }
   FireCallbacks(std::move(flagged));
   return report;
+}
+
+void StreamingAuditor::OnEpochRoot(const std::string& replica,
+                                   const proto::EpochRoot& root) {
+  MutexLock lock(mu_);
+  replica_roots_[replica].push_back(root);
 }
 
 StreamingStats StreamingAuditor::Stats() const {

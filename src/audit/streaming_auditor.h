@@ -41,8 +41,10 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "adlp/epoch.h"
 #include "audit/log_database.h"
 #include "audit/verdict.h"
 #include "common/clock.h"
@@ -70,6 +72,13 @@ struct StreamingOptions {
 
   /// Optional externally owned verification memo cache.
   crypto::VerifyCache* verify_cache = nullptr;
+
+  /// Fleet sealing key for OnEpochRoot cross-checking. When set and roots
+  /// were fed, Finalize() appends replica findings (roots-only checks:
+  /// seal signatures, chain linkage, cross-replica equivocation) to the
+  /// report. Honest fleets contribute nothing, preserving the batch
+  /// byte-identity contract.
+  std::optional<crypto::PublicKey> seal_key;
 
   /// Online detection hook: invoked once per pair, at the first seal whose
   /// verdict is not kOk, with the verdict and the detection latency
@@ -100,6 +109,12 @@ class StreamingAuditor {
 
   /// Consumes one uploaded log entry, in server arrival order. Thread-safe.
   void OnEntry(const proto::LogEntry& entry) EXCLUDES(mu_);
+
+  /// Observes one replica's sealed epoch root (e.g. a kEpochRoot tap
+  /// event). Accumulated per replica and cross-checked at Finalize when
+  /// `StreamingOptions::seal_key` is set. Thread-safe.
+  void OnEpochRoot(const std::string& replica, const proto::EpochRoot& root)
+      EXCLUDES(mu_);
 
   /// Closes the current epoch: flushes outstanding checks, seals every open
   /// pair, and fires on_finding for newly flagged ones. A pair receiving an
@@ -220,6 +235,9 @@ class StreamingAuditor {
 
   mutable Mutex mu_;
   std::map<PairKey, PairState> pairs_ GUARDED_BY(mu_);
+  /// Replica name -> sealed roots in feed order (OnEpochRoot).
+  std::map<std::string, std::vector<proto::EpochRoot>> replica_roots_
+      GUARDED_BY(mu_);
   std::map<ShardKey, ShardState> shards_ GUARDED_BY(mu_);
   std::vector<PairKey> verify_queue_ GUARDED_BY(mu_);
   std::size_t open_pairs_ GUARDED_BY(mu_) = 0;

@@ -69,6 +69,40 @@ enum class Finding : std::uint8_t {
 
 std::string_view FindingName(Finding f);
 
+/// Findings about the LOGGER fleet itself — a class of misbehavior the
+/// per-pair model above cannot express, because there the logger is the
+/// trusted referee. Cross-checking the replicas' signed epoch roots makes
+/// the referee accountable too (see audit/replica_check.h).
+enum class ReplicaFinding : std::uint8_t {
+  /// An epoch root's seal signature fails under the fleet's sealing key.
+  kSealInvalid,
+  /// Epoch numbering, prev-root hash linkage, or tree-size monotonicity
+  /// broken: seals were dropped, reordered, or forged.
+  kRootChainBroken,
+  /// A sealed root does not match the root recomputed over the replica's
+  /// own stored records: the store was rewritten after sealing.
+  kRootMismatch,
+  /// A sampled record's inclusion proof fails against its sealed root.
+  kInclusionInvalid,
+  /// Replicas sealed DIVERGENT roots for the same epoch: the logger
+  /// presented different histories to different parties — equivocation.
+  kEquivocation,
+};
+
+std::string_view ReplicaFindingName(ReplicaFinding f);
+
+/// Verdict over logger-replica evidence, distinct from component
+/// PairVerdicts.
+struct ReplicaVerdict {
+  /// Replica the finding is anchored to (log-file label / fleet member).
+  std::string replica;
+  std::uint64_t epoch = 0;
+  ReplicaFinding finding = ReplicaFinding::kEquivocation;
+  /// All replicas involved (for equivocation: every divergent sealer).
+  std::vector<std::string> implicated;
+  std::string detail;
+};
+
 /// Verdict for one transmission instance D_{x->y} at one sequence number.
 struct PairVerdict {
   std::string topic;
@@ -98,6 +132,10 @@ struct AuditReport {
   /// Components blamed by at least one verdict (Theorem 2: in a
   /// collusion-free system this is exactly the unfaithful set).
   std::set<crypto::ComponentId> unfaithful;
+  /// Logger-fleet findings (audit/replica_check.h). Empty on honest fleets
+  /// — and rendered only when non-empty, so single-logger reports and
+  /// honest replicated reports stay byte-identical.
+  std::vector<ReplicaVerdict> replica_verdicts;
 
   std::size_t TotalValid() const;
   std::size_t TotalInvalid() const;

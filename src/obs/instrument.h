@@ -165,6 +165,43 @@ inline Counter& SinkConnectFailTotal() {
   return c;
 }
 
+// --- replicated logger ------------------------------------------------------
+
+inline Counter& EpochSealedTotal() {
+  static Counter& c = MetricsRegistry::Global().GetCounter(
+      "adlp_epoch_sealed_total", {},
+      "Merkle epochs sealed and signed by log servers");
+  return c;
+}
+
+inline Counter& SinkAckedTotal() {
+  static Counter& c = MetricsRegistry::Global().GetCounter(
+      "adlp_sink_acked_total", {},
+      "Spooled frames released by cumulative logger acks");
+  return c;
+}
+
+inline Counter& ReplCommittedTotal() {
+  static Counter& c = MetricsRegistry::Global().GetCounter(
+      "adlp_repl_committed_total", {},
+      "Upload frames acknowledged by a write quorum of replicas");
+  return c;
+}
+
+inline Histogram& ReplCommitNs() {
+  static Histogram& h = MetricsRegistry::Global().GetHistogram(
+      "adlp_repl_commit_ns", {}, {},
+      "Append to quorum acknowledgement latency");
+  return h;
+}
+
+inline Counter& ReplicaFindingsTotal() {
+  static Counter& c = MetricsRegistry::Global().GetCounter(
+      "adlp_replica_findings_total", {},
+      "Replica-level audit findings (divergence, bad seals, equivocation)");
+  return c;
+}
+
 // --- transport --------------------------------------------------------------
 
 inline Counter& TransportBytes(const char* kind, const char* dir) {

@@ -1,0 +1,205 @@
+// Quorum-commit semantics of ReplicatedLogSink over an in-process replica
+// fleet: majority defaults, commit stalls below quorum, retransmission
+// after a replica drop with exactly-once application, and per-replica
+// watermark accounting.
+#include "adlp/replicated_log.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "adlp/remote_log.h"
+#include "test_util.h"
+#include "transport/fault_inject.h"
+
+namespace adlp::proto {
+namespace {
+
+using test::WaitFor;
+
+LogEntry EntryWithSeq(std::uint64_t seq) {
+  LogEntry e;
+  e.component = "node";
+  e.topic = "t";
+  e.seq = seq;
+  return e;
+}
+
+/// Per-leg options tuned for tests: tiny backoff so reconnects happen in ms.
+ResilientLogSinkOptions FastLegOptions() {
+  ResilientLogSinkOptions options;
+  options.backoff = transport::BackoffPolicy{2, 50, 2.0, 0.25};
+  options.connect = transport::TcpConnectOptions{1, 200, 10, 50};
+  return options;
+}
+
+/// An in-process replica fleet: N independent LogServers, each behind its
+/// own TCP service.
+struct Fleet {
+  explicit Fleet(std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      servers.push_back(std::make_unique<LogServer>());
+      services.push_back(std::make_unique<LogServerService>(*servers[i], 0));
+    }
+  }
+  ~Fleet() {
+    for (auto& s : services) {
+      if (s) s->Shutdown();
+    }
+  }
+
+  std::vector<ReplicatedLogSink::Connector> Connectors() const {
+    std::vector<ReplicatedLogSink::Connector> out;
+    for (const auto& s : services) {
+      const std::uint16_t port = s->Port();
+      out.push_back([port]() {
+        return transport::TryTcpConnect(
+            port, transport::TcpConnectOptions{1, 200, 10, 50});
+      });
+    }
+    return out;
+  }
+
+  std::vector<std::unique_ptr<LogServer>> servers;
+  std::vector<std::unique_ptr<LogServerService>> services;
+};
+
+TEST(ReplicatedLogSinkTest, QuorumDefaultsToMajorityAndClamps) {
+  // Connectors that never connect: quorum math needs no live fleet.
+  auto down = []() -> transport::ChannelPtr { return nullptr; };
+  {
+    ReplicatedLogSink sink({down, down, down},
+                           {.replica = FastLegOptions()});
+    EXPECT_EQ(sink.ReplicaCount(), 3u);
+    EXPECT_EQ(sink.Quorum(), 2u);
+  }
+  {
+    ReplicatedLogSink sink({down, down, down, down, down},
+                           {.replica = FastLegOptions()});
+    EXPECT_EQ(sink.Quorum(), 3u);
+  }
+  {
+    ReplicatedLogSink sink({down, down, down},
+                           {.quorum = 7, .replica = FastLegOptions()});
+    EXPECT_EQ(sink.Quorum(), 3u) << "quorum larger than fleet clamps to N";
+  }
+}
+
+TEST(ReplicatedLogSinkTest, CommitsOnFullFleetAndDeliversEverywhere) {
+  Fleet fleet(3);
+  ReplicatedLogSink sink(fleet.Connectors(), {.replica = FastLegOptions()});
+
+  Rng rng(21);
+  const auto kp = crypto::GenerateSigKeyPair(
+      rng, crypto::SigAlgorithm::kRsaPkcs1Sha256, 256);
+  sink.RegisterKey("node", kp.pub);
+  for (std::uint64_t i = 0; i < 5; ++i) sink.Append(EntryWithSeq(i));
+
+  ASSERT_TRUE(sink.DrainCommitted(std::chrono::seconds(5)));
+  EXPECT_EQ(sink.LastSeq(), 6u);  // 1 key + 5 entries
+  EXPECT_GE(sink.CommittedSeq(), 6u);
+
+  // Quorum is 2 of 3, but with a healthy fleet every replica converges.
+  for (auto& server : fleet.servers) {
+    EXPECT_TRUE(WaitFor([&] { return server->EntryCount() == 5; }));
+    EXPECT_TRUE(server->Keys().Contains("node"));
+    EXPECT_TRUE(server->VerifyChain());
+  }
+
+  const ReplicatedSinkStats stats = sink.Stats();
+  ASSERT_EQ(stats.replica_acked.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(WaitFor([&] { return sink.Stats().replica_acked[i] == 6; }))
+        << "replica " << i << " must ack the full stream";
+  }
+}
+
+TEST(ReplicatedLogSinkTest, CommitStallsBelowQuorumThenRecovers) {
+  Fleet fleet(3);
+  // Replicas 1 and 2 are unreachable until flipped up.
+  std::atomic<bool> up1{false};
+  std::atomic<bool> up2{false};
+  auto base = fleet.Connectors();
+  std::vector<ReplicatedLogSink::Connector> connectors;
+  connectors.push_back(base[0]);
+  connectors.push_back([&, c = base[1]]() -> transport::ChannelPtr {
+    return up1.load() ? c() : nullptr;
+  });
+  connectors.push_back([&, c = base[2]]() -> transport::ChannelPtr {
+    return up2.load() ? c() : nullptr;
+  });
+  ReplicatedLogSink sink(std::move(connectors),
+                         {.replica = FastLegOptions()});
+
+  for (std::uint64_t i = 0; i < 3; ++i) sink.Append(EntryWithSeq(i));
+
+  // One ack of three is below the write quorum of two: nothing commits,
+  // even though replica 0 has durably ingested everything.
+  ASSERT_TRUE(
+      WaitFor([&] { return fleet.servers[0]->EntryCount() == 3; }));
+  EXPECT_FALSE(sink.WaitCommitted(3, std::chrono::milliseconds(200)));
+  EXPECT_EQ(sink.CommittedSeq(), 0u);
+
+  // A second replica coming up completes the quorum.
+  up1.store(true);
+  EXPECT_TRUE(sink.DrainCommitted(std::chrono::seconds(5)));
+  EXPECT_EQ(sink.CommittedSeq(), 3u);
+  EXPECT_TRUE(WaitFor([&] { return fleet.servers[1]->EntryCount() == 3; }));
+  EXPECT_EQ(fleet.servers[2]->EntryCount(), 0u);
+}
+
+TEST(ReplicatedLogSinkTest, ReplicaDropRetransmitsExactlyOnce) {
+  Fleet fleet(3);
+  // Replica 2's first connection dies after 3 frames; the leg reconnects
+  // and retransmits every unacked frame. The server-side per-sink seq
+  // watermark must collapse the overlap to exactly-once application.
+  auto base = fleet.Connectors();
+  std::atomic<int> connections{0};
+  std::vector<ReplicatedLogSink::Connector> connectors;
+  connectors.push_back(base[0]);
+  connectors.push_back(base[1]);
+  connectors.push_back([&, c = base[2]]() -> transport::ChannelPtr {
+    auto inner = c();
+    if (!inner) return nullptr;
+    transport::FaultPlan plan;
+    if (connections.fetch_add(1) == 0) plan.disconnect_after_frames = 3;
+    return transport::WrapWithFaults(std::move(inner), plan, Rng(7));
+  });
+  // Quorum of 3: DrainCommitted below proves even the faulty replica
+  // acknowledged the entire stream.
+  ReplicatedLogSink sink(std::move(connectors),
+                         {.quorum = 3, .replica = FastLegOptions()});
+
+  Rng rng(22);
+  const auto kp = crypto::GenerateSigKeyPair(
+      rng, crypto::SigAlgorithm::kRsaPkcs1Sha256, 256);
+  sink.RegisterKey("node", kp.pub);
+  for (std::uint64_t i = 0; i < 10; ++i) sink.Append(EntryWithSeq(i));
+
+  ASSERT_TRUE(sink.DrainCommitted(std::chrono::seconds(5)));
+  for (std::size_t r = 0; r < 3; ++r) {
+    ASSERT_EQ(fleet.servers[r]->EntryCount(), 10u)
+        << "replica " << r << ": retransmission must not duplicate entries";
+    const auto entries = fleet.servers[r]->Entries();
+    for (std::uint64_t i = 0; i < 10; ++i) EXPECT_EQ(entries[i].seq, i);
+    EXPECT_TRUE(fleet.servers[r]->VerifyChain());
+    EXPECT_TRUE(fleet.servers[r]->Keys().Contains("node"));
+  }
+  EXPECT_GE(sink.ReplicaStats(2).reconnects, 1u);
+  EXPECT_EQ(sink.ReplicaStats(2).acked_seq, 11u);
+}
+
+TEST(ReplicatedLogSinkTest, SingleReplicaDegeneratesToAckedSink) {
+  Fleet fleet(1);
+  ReplicatedLogSink sink(fleet.Connectors(), {.replica = FastLegOptions()});
+  EXPECT_EQ(sink.Quorum(), 1u);
+  for (std::uint64_t i = 0; i < 4; ++i) sink.Append(EntryWithSeq(i));
+  EXPECT_TRUE(sink.DrainCommitted(std::chrono::seconds(5)));
+  EXPECT_EQ(fleet.servers[0]->EntryCount(), 4u);
+  EXPECT_EQ(sink.CommittedSeq(), 4u);
+}
+
+}  // namespace
+}  // namespace adlp::proto

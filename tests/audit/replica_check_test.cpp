@@ -1,0 +1,224 @@
+// Cross-replica epoch-root audit: honest fleets are clean (and leave the
+// report byte-identical), lagging replicas are informational, and every
+// tamper class — divergent roots, rewritten stores, forged seals, dropped
+// seals — maps to its distinct ReplicaFinding.
+#include "audit/replica_check.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "adlp/log_server.h"
+#include "audit/streaming_auditor.h"
+
+namespace adlp::audit {
+namespace {
+
+proto::LogEntry MakeEntry(std::uint64_t seq, const std::string& payload) {
+  proto::LogEntry e;
+  e.component = "node";
+  e.topic = "topic";
+  e.seq = seq;
+  e.timestamp = static_cast<Timestamp>(1000 + seq);
+  e.data = BytesOf(payload);
+  return e;
+}
+
+proto::LogServerOptions SealEvery(std::uint64_t k) {
+  proto::LogServerOptions options;
+  options.seal_every = k;
+  return options;
+}
+
+ReplicaEvidence EvidenceOf(const std::string& name,
+                           const proto::LogServer& server) {
+  ReplicaEvidence evidence;
+  evidence.name = name;
+  evidence.records = server.SerializedRecords();
+  evidence.roots = server.EpochRoots();
+  return evidence;
+}
+
+ReplicaCheckOptions FleetKey() {
+  ReplicaCheckOptions options;
+  options.seal_key = proto::EpochSealKeys(proto::LogServerOptions{}.seal_key_seed).pub;
+  return options;
+}
+
+TEST(ReplicaCheckTest, HonestFleetIsClean) {
+  std::deque<proto::LogServer> fleet;
+  for (int i = 0; i < 3; ++i) fleet.emplace_back(SealEvery(4));
+  for (std::uint64_t seq = 0; seq < 13; ++seq) {
+    for (auto& server : fleet) {
+      server.Append(MakeEntry(seq, "payload-" + std::to_string(seq)));
+    }
+  }
+  std::vector<ReplicaEvidence> evidence;
+  for (int i = 0; i < 3; ++i) {
+    evidence.push_back(EvidenceOf("replica-" + std::to_string(i), fleet[i]));
+  }
+  const ReplicaCheckResult result = CheckReplicas(evidence, FleetKey());
+  EXPECT_TRUE(result.Clean());
+  EXPECT_TRUE(result.equivocating.empty());
+  EXPECT_TRUE(result.behind.empty());
+  EXPECT_GT(result.proofs_checked, 0u);
+
+  // Folding a clean result changes nothing — the byte-identity guarantee
+  // the replication chaos test depends on.
+  AuditReport report;
+  const std::string before = report.Render();
+  ApplyReplicaFindings(report, result);
+  EXPECT_EQ(report.Render(), before);
+  EXPECT_TRUE(report.replica_verdicts.empty());
+}
+
+TEST(ReplicaCheckTest, LaggingReplicaIsInformationalNotAFinding) {
+  std::deque<proto::LogServer> fleet;
+  for (int i = 0; i < 3; ++i) fleet.emplace_back(SealEvery(4));
+  for (std::uint64_t seq = 0; seq < 12; ++seq) {
+    for (int i = 0; i < 3; ++i) {
+      // Replica 2 "crashed" after 5 entries (one sealed epoch).
+      if (i == 2 && seq >= 5) continue;
+      fleet[i].Append(MakeEntry(seq, "payload-" + std::to_string(seq)));
+    }
+  }
+  std::vector<ReplicaEvidence> evidence;
+  for (int i = 0; i < 3; ++i) {
+    evidence.push_back(EvidenceOf("replica-" + std::to_string(i), fleet[i]));
+  }
+  const ReplicaCheckResult result = CheckReplicas(evidence, FleetKey());
+  EXPECT_TRUE(result.Clean()) << "a prefix history is honest";
+  ASSERT_TRUE(result.behind.contains("replica-2"));
+  EXPECT_EQ(result.behind.at("replica-2"), 2u);  // 3 fleet epochs, has 1
+}
+
+TEST(ReplicaCheckTest, DivergentRootsAreEquivocationAndBlameTheLogger) {
+  std::deque<proto::LogServer> fleet;
+  for (int i = 0; i < 3; ++i) fleet.emplace_back(SealEvery(4));
+  for (std::uint64_t seq = 0; seq < 8; ++seq) {
+    for (int i = 0; i < 3; ++i) {
+      // Replica 2 is shown a different entry 6: two correctly signed yet
+      // divergent histories — equivocation, not store tampering.
+      const bool forked = i == 2 && seq == 6;
+      fleet[i].Append(
+          MakeEntry(seq, forked ? "forged" : "payload-" + std::to_string(seq)));
+    }
+  }
+  std::vector<ReplicaEvidence> evidence;
+  for (int i = 0; i < 3; ++i) {
+    evidence.push_back(EvidenceOf("replica-" + std::to_string(i), fleet[i]));
+  }
+  const ReplicaCheckResult result = CheckReplicas(evidence, FleetKey());
+  ASSERT_FALSE(result.Clean());
+  // Epoch 0 (records 0..3) agrees; epoch 1 (records 0..7) diverges.
+  ASSERT_EQ(result.verdicts.size(), 1u);
+  const ReplicaVerdict& v = result.verdicts[0];
+  EXPECT_EQ(v.finding, ReplicaFinding::kEquivocation);
+  EXPECT_EQ(v.epoch, 1u);
+  EXPECT_EQ(v.implicated,
+            (std::vector<std::string>{"replica-0", "replica-1", "replica-2"}));
+  EXPECT_TRUE(result.equivocating.contains("logger"));
+
+  AuditReport report;
+  ApplyReplicaFindings(report, result);
+  EXPECT_TRUE(report.Blames("logger"));
+  EXPECT_NE(report.Render().find("logger-equivocation"), std::string::npos);
+}
+
+TEST(ReplicaCheckTest, RewrittenStoreIsRootMismatch) {
+  proto::LogServer server(SealEvery(4));
+  for (std::uint64_t seq = 0; seq < 8; ++seq) {
+    server.Append(MakeEntry(seq, "payload-" + std::to_string(seq)));
+  }
+  ReplicaEvidence evidence = EvidenceOf("replica-0", server);
+  evidence.records[1][0] ^= 0x01;  // rewrite one stored record post-seal
+  const ReplicaCheckResult result =
+      CheckReplicas({std::move(evidence)}, FleetKey());
+  ASSERT_FALSE(result.Clean());
+  for (const ReplicaVerdict& v : result.verdicts) {
+    EXPECT_EQ(v.finding, ReplicaFinding::kRootMismatch);
+  }
+  EXPECT_TRUE(result.equivocating.empty())
+      << "store tampering is not equivocation";
+}
+
+TEST(ReplicaCheckTest, StoreShorterThanSealIsRootMismatch) {
+  proto::LogServer server(SealEvery(4));
+  for (std::uint64_t seq = 0; seq < 8; ++seq) {
+    server.Append(MakeEntry(seq, "payload-" + std::to_string(seq)));
+  }
+  ReplicaEvidence evidence = EvidenceOf("replica-0", server);
+  evidence.records.resize(6);  // drop records the second seal covers
+  const ReplicaCheckResult result =
+      CheckReplicas({std::move(evidence)}, FleetKey());
+  ASSERT_EQ(result.verdicts.size(), 1u);
+  EXPECT_EQ(result.verdicts[0].finding, ReplicaFinding::kRootMismatch);
+  EXPECT_EQ(result.verdicts[0].epoch, 1u);
+}
+
+TEST(ReplicaCheckTest, ForgedSealIsSealInvalid) {
+  proto::LogServer server(SealEvery(4));
+  for (std::uint64_t seq = 0; seq < 8; ++seq) {
+    server.Append(MakeEntry(seq, "payload-" + std::to_string(seq)));
+  }
+  ReplicaEvidence evidence = EvidenceOf("replica-0", server);
+  evidence.roots[1].signature[0] ^= 0x01;
+  const ReplicaCheckResult result =
+      CheckReplicas({std::move(evidence)}, FleetKey());
+  ASSERT_FALSE(result.Clean());
+  EXPECT_EQ(result.verdicts[0].finding, ReplicaFinding::kSealInvalid);
+  EXPECT_EQ(result.verdicts[0].epoch, 1u);
+}
+
+TEST(ReplicaCheckTest, DroppedSealIsChainBroken) {
+  proto::LogServer server(SealEvery(4));
+  for (std::uint64_t seq = 0; seq < 12; ++seq) {
+    server.Append(MakeEntry(seq, "payload-" + std::to_string(seq)));
+  }
+  ReplicaEvidence evidence = EvidenceOf("replica-0", server);
+  evidence.roots.erase(evidence.roots.begin() + 1);  // suppress epoch 1
+  const ReplicaCheckResult result =
+      CheckReplicas({std::move(evidence)}, FleetKey());
+  ASSERT_FALSE(result.Clean());
+  EXPECT_EQ(result.verdicts[0].finding, ReplicaFinding::kRootChainBroken);
+}
+
+TEST(ReplicaCheckTest, StreamingAuditorCrossChecksFedRoots) {
+  // Two correctly signed but divergent histories, fed as roots only.
+  proto::LogServer a(SealEvery(4));
+  proto::LogServer b(SealEvery(4));
+  for (std::uint64_t seq = 0; seq < 4; ++seq) {
+    a.Append(MakeEntry(seq, "payload"));
+    b.Append(MakeEntry(seq, seq == 2 ? "forged" : "payload"));
+  }
+
+  crypto::KeyStore keys;
+  StreamingOptions options;
+  options.seal_key = FleetKey().seal_key;
+  {
+    // Honest case first: identical roots add nothing to the report.
+    StreamingAuditor online(keys, Topology{}, options);
+    for (const auto& root : a.EpochRoots()) {
+      online.OnEpochRoot("replica-a", root);
+      online.OnEpochRoot("replica-b", root);
+    }
+    const AuditReport report = online.Finalize();
+    EXPECT_TRUE(report.replica_verdicts.empty());
+    EXPECT_TRUE(report.unfaithful.empty());
+  }
+  {
+    StreamingAuditor online(keys, Topology{}, options);
+    for (const auto& root : a.EpochRoots()) online.OnEpochRoot("replica-a", root);
+    for (const auto& root : b.EpochRoots()) online.OnEpochRoot("replica-b", root);
+    const AuditReport report = online.Finalize();
+    ASSERT_EQ(report.replica_verdicts.size(), 1u);
+    EXPECT_EQ(report.replica_verdicts[0].finding,
+              ReplicaFinding::kEquivocation);
+    EXPECT_TRUE(report.Blames("logger"));
+  }
+}
+
+}  // namespace
+}  // namespace adlp::audit

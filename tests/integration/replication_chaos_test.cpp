@@ -1,0 +1,264 @@
+// Chaos test for the replicated logger fleet: a camera -> detector fleet
+// logs through a quorum-acked ReplicatedLogSink to three LogServer
+// replicas while one replica is killed mid-run (and optionally restarted).
+// The acceptance bar is byte-identity: the audit report over the surviving
+// fleet — fleet cross-check included — must render byte-for-byte the same
+// as an uninterrupted single-logger baseline. A replica that equivocates
+// (inserts a record the fleet never uploaded) must instead be flagged with
+// the distinct logger-equivocation verdict class, blaming the logger.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adlp/component.h"
+#include "adlp/remote_log.h"
+#include "adlp/replicated_log.h"
+#include "audit/auditor.h"
+#include "audit/replica_check.h"
+#include "audit/report_json.h"
+#include "test_util.h"
+
+namespace adlp {
+namespace {
+
+using test::WaitFor;
+
+constexpr int kMessagesBeforeKill = 4;
+constexpr int kMessagesAfterKill = 3;
+constexpr int kTotalMessages = kMessagesBeforeKill + kMessagesAfterKill;
+constexpr std::size_t kExpectedEntries = 2u * kTotalMessages;
+constexpr std::uint64_t kSealEvery = 4;
+constexpr std::size_t kReplicas = 3;
+
+proto::LogServerOptions FleetServerOptions() {
+  proto::LogServerOptions options;
+  options.seal_every = kSealEvery;
+  return options;
+}
+
+proto::ResilientLogSinkOptions FastLegOptions() {
+  proto::ResilientLogSinkOptions options;
+  options.backoff = transport::BackoffPolicy{2, 50, 2.0, 0.25};
+  options.connect = transport::TcpConnectOptions{1, 200, 10, 50};
+  return options;
+}
+
+audit::ReplicaCheckOptions FleetKey() {
+  audit::ReplicaCheckOptions options;
+  options.seal_key =
+      proto::EpochSealKeys(proto::LogServerOptions{}.seal_key_seed).pub;
+  return options;
+}
+
+struct RunOutcome {
+  audit::AuditReport report;
+  std::string rendered;
+  std::string json;
+  std::size_t proofs_checked = 0;
+};
+
+/// The uninterrupted single-logger reference: same fleet, same messages,
+/// one logger, plain resilient delivery shared by both components.
+RunOutcome RunSingleLoggerBaseline() {
+  proto::LogServer server(FleetServerOptions());
+  proto::LogServerService service(server, 0);
+  proto::ResilientLogSink sink(service.Port(), FastLegOptions());
+
+  pubsub::Master master;
+  Rng rng(20260806);
+  proto::Component camera("camera", master, sink, rng, test::FastOptions());
+  proto::Component detector("detector", master, sink, rng,
+                            test::FastOptions());
+  std::atomic<int> got{0};
+  detector.Subscribe("image", [&](const pubsub::Message&) { got++; });
+  auto& publisher = camera.Advertise("image");
+  for (int i = 0; i < kTotalMessages; ++i) {
+    publisher.Publish(Bytes{static_cast<std::uint8_t>(i)});
+  }
+  EXPECT_TRUE(WaitFor([&] { return got.load() == kTotalMessages; }));
+  camera.Shutdown();
+  detector.Shutdown();
+  EXPECT_TRUE(sink.Drain(std::chrono::seconds(10)));
+  EXPECT_TRUE(WaitFor([&] { return server.EntryCount() == kExpectedEntries; }));
+  server.SealEpoch();
+
+  RunOutcome outcome;
+  outcome.report = audit::Auditor(server.Keys())
+                       .Audit(server.Entries(), master.Topology());
+  // The honest single logger passes its own store/seal self-check without
+  // contributing anything to the report.
+  audit::ReplicaEvidence self;
+  self.name = "replica-0";
+  self.records = server.SerializedRecords();
+  self.roots = server.EpochRoots();
+  audit::ReplicaCheckResult check = audit::CheckReplicas({self}, FleetKey());
+  EXPECT_TRUE(check.Clean());
+  audit::ApplyReplicaFindings(outcome.report, std::move(check));
+  outcome.rendered = outcome.report.Render();
+  outcome.json = audit::RenderReportJson(outcome.report);
+  service.Shutdown();
+  return outcome;
+}
+
+enum class Scenario {
+  kKillOneReplica,            // replica 2 dies mid-run and stays down
+  kKillAndRestartReplica,     // replica 2 dies mid-run, comes back, catches up
+  kEquivocatingReplica,       // replica 2 inserts a record nobody uploaded
+};
+
+RunOutcome RunReplicatedFleet(Scenario scenario) {
+  std::deque<proto::LogServer> servers;
+  std::vector<std::unique_ptr<proto::LogServerService>> services;
+  std::vector<proto::ReplicatedLogSink::Connector> connectors;
+  for (std::size_t i = 0; i < kReplicas; ++i) {
+    servers.emplace_back(FleetServerOptions());
+    services.push_back(
+        std::make_unique<proto::LogServerService>(servers[i], 0));
+    const std::uint16_t port = services[i]->Port();
+    connectors.push_back([port]() {
+      return transport::TryTcpConnect(
+          port, transport::TcpConnectOptions{1, 200, 10, 50});
+    });
+  }
+  const std::uint16_t killed_port = services[2]->Port();
+
+  // ONE sink shared by both components: the fan-out lock gives every
+  // replica the identical frame order, which is what makes cross-replica
+  // root comparison meaningful.
+  proto::ReplicatedLogSinkOptions options;
+  options.sink_id = "fleet-sink";
+  options.replica = FastLegOptions();
+  proto::ReplicatedLogSink sink(std::move(connectors), options);
+
+  pubsub::Master master;
+  Rng rng(20260806);
+  proto::Component camera("camera", master, sink, rng, test::FastOptions());
+  proto::Component detector("detector", master, sink, rng,
+                            test::FastOptions());
+  std::atomic<int> got{0};
+  detector.Subscribe("image", [&](const pubsub::Message&) { got++; });
+  auto& publisher = camera.Advertise("image");
+
+  for (int i = 0; i < kMessagesBeforeKill; ++i) {
+    publisher.Publish(Bytes{static_cast<std::uint8_t>(i)});
+  }
+  EXPECT_TRUE(WaitFor([&] { return got.load() == kMessagesBeforeKill; }));
+  // Every replica ingested the pre-kill prefix.
+  for (auto& server : servers) {
+    EXPECT_TRUE(WaitFor(
+        [&] { return server.EntryCount() == 2u * kMessagesBeforeKill; }));
+  }
+
+  if (scenario != Scenario::kEquivocatingReplica) {
+    services[2]->Shutdown();
+    services[2].reset();
+  } else {
+    // The malicious replica slips in a record the fleet never uploaded.
+    proto::LogEntry forged;
+    forged.component = "ghost";
+    forged.topic = "image";
+    forged.seq = 999;
+    forged.data = BytesOf("forged");
+    servers[2].Append(forged);
+  }
+
+  for (int i = kMessagesBeforeKill; i < kTotalMessages; ++i) {
+    publisher.Publish(Bytes{static_cast<std::uint8_t>(i)});
+  }
+  EXPECT_TRUE(WaitFor([&] { return got.load() == kTotalMessages; }));
+
+  if (scenario == Scenario::kKillAndRestartReplica) {
+    // Same port, same server state: only the ingestion front-end crashed.
+    // The leg reconnects and retransmits every unacked frame; the server's
+    // per-sink watermark collapses the overlap to exactly-once.
+    services[2] =
+        std::make_unique<proto::LogServerService>(servers[2], killed_port);
+  }
+
+  camera.Shutdown();
+  detector.Shutdown();
+  // Quorum commit: the two healthy replicas acknowledge everything even
+  // while replica 2 is down.
+  EXPECT_TRUE(sink.DrainCommitted(std::chrono::seconds(10)));
+  for (std::size_t i = 0; i < kReplicas; ++i) {
+    if (i == 2 && scenario == Scenario::kKillOneReplica) continue;
+    EXPECT_TRUE(WaitFor(
+        [&] { return servers[i].EntryCount() >= kExpectedEntries; }));
+  }
+  for (auto& server : servers) server.SealEpoch();
+
+  RunOutcome outcome;
+  outcome.report = audit::Auditor(servers[0].Keys())
+                       .Audit(servers[0].Entries(), master.Topology());
+  std::vector<audit::ReplicaEvidence> fleet;
+  for (std::size_t i = 0; i < kReplicas; ++i) {
+    audit::ReplicaEvidence evidence;
+    evidence.name = "replica-" + std::to_string(i);
+    evidence.records = servers[i].SerializedRecords();
+    evidence.roots = servers[i].EpochRoots();
+    fleet.push_back(std::move(evidence));
+  }
+  audit::ReplicaCheckResult check = audit::CheckReplicas(fleet, FleetKey());
+  outcome.proofs_checked = check.proofs_checked;
+  audit::ApplyReplicaFindings(outcome.report, std::move(check));
+  outcome.rendered = outcome.report.Render();
+  outcome.json = audit::RenderReportJson(outcome.report);
+  for (auto& service : services) {
+    if (service) service->Shutdown();
+  }
+  return outcome;
+}
+
+TEST(ReplicationChaosTest, KilledReplicaKeepsReportByteIdentical) {
+  const RunOutcome baseline = RunSingleLoggerBaseline();
+  ASSERT_TRUE(baseline.report.unfaithful.empty());
+  ASSERT_EQ(baseline.report.TotalValid(), kExpectedEntries);
+
+  const RunOutcome chaos = RunReplicatedFleet(Scenario::kKillOneReplica);
+  // A dead replica is merely behind — the fleet cross-check adds nothing,
+  // so the report is byte-for-byte the single-logger report.
+  EXPECT_TRUE(chaos.report.replica_verdicts.empty());
+  EXPECT_EQ(chaos.rendered, baseline.rendered);
+  EXPECT_EQ(chaos.json, baseline.json);
+  EXPECT_GT(chaos.proofs_checked, 0u);
+}
+
+TEST(ReplicationChaosTest, RestartedReplicaConvergesAndReportIsIdentical) {
+  const RunOutcome baseline = RunSingleLoggerBaseline();
+  const RunOutcome chaos =
+      RunReplicatedFleet(Scenario::kKillAndRestartReplica);
+  // The restarted replica replayed the spool, deduplicated retransmissions,
+  // and sealed the same roots: nothing to report, nothing behind.
+  EXPECT_TRUE(chaos.report.replica_verdicts.empty());
+  EXPECT_EQ(chaos.rendered, baseline.rendered);
+  EXPECT_EQ(chaos.json, baseline.json);
+}
+
+TEST(ReplicationChaosTest, EquivocatingReplicaFlaggedWithDistinctVerdict) {
+  const RunOutcome baseline = RunSingleLoggerBaseline();
+  const RunOutcome chaos = RunReplicatedFleet(Scenario::kEquivocatingReplica);
+
+  // The component-level verdicts are untouched (replica 0's history is the
+  // audited one), but the fleet cross-check flags the divergent replica
+  // with the logger-equivocation class and blames the logger identity.
+  ASSERT_FALSE(chaos.report.replica_verdicts.empty());
+  for (const auto& v : chaos.report.replica_verdicts) {
+    EXPECT_EQ(v.finding, audit::ReplicaFinding::kEquivocation);
+    EXPECT_NE(std::find(v.implicated.begin(), v.implicated.end(),
+                        "replica-2"),
+              v.implicated.end());
+  }
+  EXPECT_TRUE(chaos.report.Blames("logger"));
+  EXPECT_FALSE(baseline.report.Blames("logger"));
+  EXPECT_EQ(chaos.report.verdicts.size(), baseline.report.verdicts.size());
+  EXPECT_NE(chaos.rendered, baseline.rendered);
+  EXPECT_NE(chaos.rendered.find("logger-equivocation"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adlp

@@ -3,6 +3,7 @@
 //   adlp_audit <log-file> <manifest-file> [--json] [--verdicts]
 //              [--threads N] [--cache] [--metrics-out FILE]
 //              [--streaming] [--epoch N]
+//              [--replica FILE]... [--seal-key-seed N]
 //              [--trace <topic> <seq> <subscriber>]
 //
 // Loads a tamper-evident log file and a system manifest (see
@@ -19,18 +20,32 @@
 // streaming auditor's contract), so exit codes and JSON output carry the
 // same meaning in both modes.
 //
+// Each --replica adds another fleet member's log file. The sealed epoch
+// roots of every file (including the primary) are then cross-audited: seal
+// signatures under the fleet key (regenerated from --seal-key-seed, default
+// 0x5ea1 — the LogServer default), per-replica chain linkage, sealed roots
+// against roots recomputed from each file's records (spot-checked with
+// sampled inclusion proofs), and cross-replica root agreement. Divergent
+// roots for one epoch are logger equivocation: the logger identity joins
+// the unfaithful set. An honest fleet adds nothing to the report, so its
+// output is byte-identical to a single-logger audit's.
+//
 // Exit status: 0 = chain verifies and no component implicated;
 //              1 = unfaithful components identified;
-//              2 = evidence tampered or unreadable;
+//              2 = evidence tampered or unreadable (including replica
+//                  store/seal findings short of equivocation);
 //              3 = usage error.
 #include <cstdio>
 #include <cstring>
 #include <string>
 
+#include <vector>
+
 #include "adlp/log_file.h"
 #include "audit/auditor.h"
 #include "audit/manifest.h"
 #include "audit/provenance.h"
+#include "audit/replica_check.h"
 #include "audit/report_json.h"
 #include "audit/streaming_auditor.h"
 #include "obs/export.h"
@@ -44,6 +59,7 @@ int Usage() {
                "usage: adlp_audit <log-file> <manifest-file> [--json] "
                "[--verdicts] [--threads N] [--cache] [--metrics-out FILE] "
                "[--streaming] [--epoch N] "
+               "[--replica FILE]... [--seal-key-seed N] "
                "[--trace <topic> <seq> <subscriber>]\n");
   return 3;
 }
@@ -59,6 +75,8 @@ int main(int argc, char** argv) {
   bool trace = false;
   bool streaming = false;
   std::size_t epoch_entries = 256;
+  std::vector<std::string> replica_paths;
+  std::uint64_t seal_key_seed = 0x5ea1;
   std::string metrics_out;
   audit::AuditOptions exec;
   audit::PairKey trace_key;
@@ -77,6 +95,10 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--epoch") == 0 && i + 1 < argc) {
       epoch_entries = std::strtoull(argv[++i], nullptr, 10);
       if (epoch_entries == 0) return Usage();
+    } else if (std::strcmp(argv[i], "--replica") == 0 && i + 1 < argc) {
+      replica_paths.push_back(argv[++i]);
+    } else if (std::strcmp(argv[i], "--seal-key-seed") == 0 && i + 1 < argc) {
+      seal_key_seed = std::strtoull(argv[++i], nullptr, 0);
     } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
       metrics_out = argv[++i];
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 3 < argc) {
@@ -107,6 +129,28 @@ int main(int argc, char** argv) {
                  log.records.size(), log.malformed_records);
     return 2;
   }
+
+  // Fleet evidence: the primary file plus every --replica file. Entries are
+  // audited from the primary; the epoch roots of all members cross-check.
+  std::vector<audit::ReplicaEvidence> fleet;
+  fleet.push_back({log_path, log.records, log.epoch_roots, false});
+  for (const std::string& path : replica_paths) {
+    try {
+      proto::LoadedLog replica = proto::ReadLogFile(path);
+      if (!replica.chain_verified) {
+        std::fprintf(stderr, "adlp_audit: HASH CHAIN BROKEN in replica %s\n",
+                     path.c_str());
+        return 2;
+      }
+      fleet.push_back({path, std::move(replica.records),
+                       std::move(replica.epoch_roots), false});
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "adlp_audit: %s\n", e.what());
+      return 2;
+    }
+  }
+  bool any_roots = false;
+  for (const auto& member : fleet) any_roots |= !member.roots.empty();
 
   audit::LogDatabase db(log.entries, manifest.topology);
   audit::AuditReport report;
@@ -148,6 +192,25 @@ int main(int argc, char** argv) {
     report = auditor.Audit(db, exec);
   }
 
+  if (any_roots) {
+    audit::ReplicaCheckOptions check;
+    check.seal_key = proto::EpochSealKeys(seal_key_seed).pub;
+    audit::ReplicaCheckResult fleet_result =
+        audit::CheckReplicas(fleet, check);
+    if (!json) {
+      std::printf("fleet: %zu member(s), %zu epoch-root finding(s), "
+                  "%zu inclusion proof(s) verified\n",
+                  fleet.size(), fleet_result.verdicts.size(),
+                  fleet_result.proofs_checked);
+      for (const auto& [name, epochs] : fleet_result.behind) {
+        std::printf("fleet: %s is %llu epoch(s) behind (crash or "
+                    "partition, not a finding)\n",
+                    name.c_str(), static_cast<unsigned long long>(epochs));
+      }
+    }
+    audit::ApplyReplicaFindings(report, std::move(fleet_result));
+  }
+
   if (json) {
     audit::JsonOptions options;
     options.include_verdicts = verdicts;
@@ -181,5 +244,8 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  return report.unfaithful.empty() ? 0 : 1;
+  if (!report.unfaithful.empty()) return 1;
+  // Replica findings short of equivocation (store rewritten after sealing,
+  // forged seals) are evidence tampering.
+  return report.replica_verdicts.empty() ? 0 : 2;
 }

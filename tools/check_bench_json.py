@@ -5,10 +5,11 @@
     check_bench_json.py FILE --compare BASELINE [--max-regress 0.15]
 
 Validates BENCH_audit.json (audit_bench), BENCH_obs.json (obs_bench),
-BENCH_scale.json (scale_bench), and BENCH_streaming.json (streaming_bench):
-the file must parse, carry every expected field with the expected type, and
-its self-reported pass flag (all_reports_identical / within_budget /
-scale_ok / streaming_ok) must be true. The schema
+BENCH_scale.json (scale_bench), BENCH_streaming.json (streaming_bench), and
+BENCH_replication.json (replication_bench): the file must parse, carry
+every expected field with the expected type, and its self-reported pass
+flag (all_reports_identical / within_budget / scale_ok / streaming_ok /
+replication_ok) must be true. The schema
 is recognised from the document's contents, not the file name, so renamed
 artifacts still validate.
 
@@ -213,6 +214,49 @@ def check_streaming(doc, name):
         raise SchemaError(f"{name}: streaming_ok is false")
 
 
+def check_replication(doc, name):
+    config = require(doc, "config", dict, name)
+    for field in ("entries", "reps", "payload_bytes"):
+        require(config, field, int, f"{name}.config")
+
+    results = require(doc, "results", list, name)
+    if not results:
+        raise SchemaError(f"{name}: empty results array")
+    for i, result in enumerate(results):
+        where = f"{name}.results[{i}]"
+        replicas = require(result, "replicas", int, where)
+        quorum = require(result, "quorum", int, where)
+        if not 1 <= quorum <= replicas:
+            raise SchemaError(
+                f"{where}: quorum {quorum} outside [1, {replicas}]"
+            )
+        for field in (
+            "wall_ms",
+            "entries_per_sec",
+            "entries_per_sec_best",
+            "commit_p50_us",
+            "commit_p99_us",
+        ):
+            value = require(result, field, (int, float), where)
+            if value <= 0:
+                raise SchemaError(
+                    f"{where}: '{field}' must be positive, got {value}"
+                )
+        if not require(result, "committed", bool, where):
+            raise SchemaError(f"{where}: quorum commit timed out")
+        if not require(result, "converged", bool, where):
+            raise SchemaError(f"{where}: a replica failed to converge")
+
+    gate = require(doc, "gate", dict, name)
+    if not require(gate, "all_committed", bool, f"{name}.gate"):
+        raise SchemaError(f"{name}.gate: all_committed is false")
+    if not require(gate, "all_converged", bool, f"{name}.gate"):
+        raise SchemaError(f"{name}.gate: all_converged is false")
+
+    if not require(doc, "replication_ok", bool, name):
+        raise SchemaError(f"{name}: replication_ok is false")
+
+
 # Schema name -> (row key fields, gated metrics). Each metric is
 # (field, direction): "up" = higher is better, "down" = lower is better.
 COMPARE_SPECS = {
@@ -222,6 +266,9 @@ COMPARE_SPECS = {
     # Detection-latency absolutes are machine-dependent; the latency *ratio*
     # is gated in-run by the bench itself, so only throughput regresses here.
     "streaming_bench": (("mode",), (("entries_per_sec", "up"),)),
+    # Commit-latency absolutes are machine-dependent (they include localhost
+    # TCP and thread scheduling); only committed throughput regresses.
+    "replication_bench": (("replicas",), (("entries_per_sec", "up"),)),
 }
 
 # When both rows carry the preferred variant of a metric, compare that
@@ -315,6 +362,9 @@ def check_doc(doc, path):
     elif "streaming_ok" in doc:
         check_streaming(doc, path)
         kind = "streaming_bench"
+    elif "replication_ok" in doc:
+        check_replication(doc, path)
+        kind = "replication_bench"
     else:
         raise SchemaError(f"{path}: unrecognised bench output")
     print(f"{path}: ok ({kind}, {len(doc['results'])} results)")
