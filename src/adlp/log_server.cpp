@@ -7,7 +7,13 @@ namespace adlp::proto {
 
 LogServer::LogServer(LogServerOptions options)
     : options_(std::move(options)),
-      seal_keys_(EpochSealKeys(options_.seal_key_seed)) {}
+      seal_keys_(EpochSealKeys(options_.seal_key_seed)),
+      // The interval trigger measures from construction (then from the last
+      // seal), not from the clock's epoch 0: otherwise the very first append
+      // under a wall clock always seals a 1-record epoch immediately.
+      last_seal_at_(
+          (options_.clock != nullptr ? options_.clock : &WallClock::Instance())
+              ->Now()) {}
 
 void LogServer::RegisterKey(const crypto::ComponentId& id,
                             const crypto::PublicKey& key) {

@@ -39,9 +39,10 @@ struct LogServerOptions {
   /// Seal an epoch once this many records accumulated since the last seal
   /// (0 disables count-triggered sealing).
   std::uint64_t seal_every = 0;
-  /// Seal when this much wall time passed since the last seal, checked
-  /// lazily on append (0 disables time-triggered sealing). A quiet logger
-  /// seals on its next append, not on a timer thread.
+  /// Seal when this much wall time passed since the last seal (or since
+  /// construction, before any seal), checked lazily on append (0 disables
+  /// time-triggered sealing). A quiet logger seals on its next append, not
+  /// on a timer thread.
   std::int64_t seal_interval_ms = 0;
   /// Identity the sealed roots carry (the replica's name in a fleet).
   crypto::ComponentId logger_id = "logger";

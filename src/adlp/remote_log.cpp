@@ -243,9 +243,22 @@ void LogServerService::IngestFrame(BytesView frame,
       // Acked replication mode: skip retransmitted frames (the per-sink
       // watermark is exact because delivery is FIFO per connection and a
       // reconnect replays from the first unacked frame in order), then ack
-      // the seq either way so the uploader can release its spool.
-      if (server_.NoteUploadSeq(upload.sink_id, upload.seq)) {
-        ApplyLogUpload(upload, server_);
+      // the seq so the uploader can release its spool. The nested payload
+      // is deserialized BEFORE the watermark moves: a malformed frame that
+      // advanced the watermark but failed to apply would be deduplicated on
+      // every retransmission and never acked — the sink would be wedged and
+      // a hostile uploader could spoof (sink_id, huge seq) to suppress all
+      // future honest frames for that sink.
+      if (upload.is_key) {
+        const crypto::PublicKey key = crypto::ParsePublicKey(upload.key_blob);
+        if (server_.NoteUploadSeq(upload.sink_id, upload.seq)) {
+          server_.RegisterKey(upload.component, key);
+        }
+      } else {
+        const LogEntry entry = DeserializeLogEntry(upload.entry_bytes);
+        if (server_.NoteUploadSeq(upload.sink_id, upload.seq)) {
+          server_.Append(entry);
+        }
       }
       (void)channel.Send(SerializeLogAck(upload.seq));
     } else {

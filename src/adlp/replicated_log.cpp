@@ -1,6 +1,7 @@
 #include "adlp/replicated_log.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "obs/instrument.h"
 
@@ -8,7 +9,13 @@ namespace adlp::proto {
 
 ReplicatedLogSink::ReplicatedLogSink(std::vector<Connector> replicas,
                                      Options options) {
-  const std::size_t n = replicas.empty() ? 1 : replicas.size();
+  if (replicas.empty()) {
+    // A sink with zero replicas would "commit" every append at seq 0 while
+    // logging nothing — misconfiguration must be loud, not evidence-free.
+    throw std::invalid_argument(
+        "ReplicatedLogSink: at least one replica is required");
+  }
+  const std::size_t n = replicas.size();
   quorum_ = options.quorum == 0 ? n / 2 + 1 : std::min(options.quorum, n);
   acked_.assign(replicas.size(), 0);
   sinks_.reserve(replicas.size());

@@ -58,7 +58,9 @@ class ReplicatedLogSink final : public LogSink {
   using Options = ReplicatedLogSinkOptions;
   using Connector = ResilientLogSink::Connector;
 
-  /// One connector per replica. At least one replica is required.
+  /// One connector per replica. At least one replica is required: an empty
+  /// fleet throws std::invalid_argument (a zero-replica sink would commit
+  /// everything while logging nothing).
   explicit ReplicatedLogSink(std::vector<Connector> replicas,
                              Options options = {});
   ~ReplicatedLogSink() override;

@@ -76,7 +76,7 @@ std::uint64_t ResilientLogSink::RegisterKeyAcked(const crypto::ComponentId& id,
       // logger restarted with empty state can still verify the replayed
       // entries. LogServer::RegisterKey is idempotent, so duplicates are
       // harmless.
-      key_frames_.push_back(frame);
+      key_frames_.push_back(SpooledFrame{0, frame});
     }
     PushFrame(std::move(frame));
     return 0;
@@ -89,7 +89,7 @@ std::uint64_t ResilientLogSink::RegisterKeyAcked(const crypto::ComponentId& id,
     // stay under one lock hold — spool order is seq order by construction.
     seq = ++last_seq_;
     Bytes frame = SerializeLogUpload(id, key, options_.sink_id, seq);
-    key_frames_.push_back(frame);
+    key_frames_.push_back(SpooledFrame{seq, frame});
     PushLocked(seq, std::move(frame));
   }
   cv_.NotifyOne();
@@ -214,7 +214,15 @@ bool ResilientLogSink::ResendKeys(const transport::ChannelPtr& channel) {
   std::vector<Bytes> keys;
   {
     MutexLock lock(mu_);
-    keys = key_frames_;
+    for (const SpooledFrame& kf : key_frames_) {
+      // Acked mode: only key frames the server already acknowledged have
+      // left the spool and need this replay. An unacked key frame is still
+      // spooled and must go out in seq order with the other unacked frames;
+      // sending it here first would advance the server's per-sink watermark
+      // past lower-seq unacked entries, whose cumulative ack would then
+      // release them from the spool without ever being applied.
+      if (kf.seq == 0 || kf.seq <= acked_seq_) keys.push_back(kf.frame);
+    }
   }
   for (const Bytes& frame : keys) {
     if (!channel->Send(frame)) return false;
@@ -308,10 +316,10 @@ void ResilientLogSink::FlusherLoop() {
             [this, fresh] { AckReaderLoop(fresh); });
       }
       // Keys need re-registration only on REconnects: the first connection
-      // gets them from the spool in their original order. (Re-sending them
-      // here too would double-send nondeterministically; in acked mode the
-      // double-send is harmless — the server dedups by seq — but the spool
-      // replay already covers the unacked ones.)
+      // gets them from the spool in their original order. ResendKeys skips
+      // any key frame the spool replay still covers — replaying an unacked
+      // key frame out of seq order would trick the server's watermark into
+      // acking lower-seq unacked entries away (see ResendKeys).
       if (is_reconnect && !ResendKeys(fresh)) {
         lock.Lock();
         if (channel_ == fresh) channel_.reset();

@@ -32,7 +32,10 @@
 // all unacked frames in order and the server deduplicates by per-sink seq
 // watermark, so each frame is applied exactly once. The data plane is still
 // never blocked — acks ride back on the same connection and are consumed by
-// a background reader. The one caveat: a spool overflow in acked mode drops
+// a background reader. Key re-registration on reconnect covers only the
+// already-acked registrations; an unacked one is still spooled and replays
+// strictly in seq order with the other unacked frames (out-of-order replay
+// would advance the watermark past unacked entries and lose them). The one caveat: a spool overflow in acked mode drops
 // the oldest unacked frame, after which the watermark is optimistic about
 // that frame; size the spool for the expected outage window (the
 // replication tests and bench use ample spools).
@@ -160,7 +163,12 @@ class ResilientLogSink final : public LogSink {
   /// Drains acknowledgement frames from `channel` until it closes,
   /// releasing covered frames from the spool (acked mode only).
   void AckReaderLoop(transport::ChannelPtr channel) EXCLUDES(mu_);
-  /// Sends all known key-registration frames on `channel`. False on failure.
+  /// Sends the key-registration frames a fresh logger needs but the spool
+  /// replay will not deliver: all of them in legacy mode, only the acked
+  /// ones in acked mode (an unacked key frame is still spooled, and sending
+  /// it early would advance the server's per-sink watermark past lower-seq
+  /// unacked entries — the cumulative ack would then release those entries
+  /// unapplied). False on send failure.
   bool ResendKeys(const transport::ChannelPtr& channel) EXCLUDES(mu_);
 
   Connector connector_;
@@ -170,8 +178,12 @@ class ResilientLogSink final : public LogSink {
   CondVar cv_;        // wakes the flusher
   CondVar drain_cv_;  // wakes Drain()
   std::deque<SpooledFrame> spool_ GUARDED_BY(mu_);
-  // Replayed on every (re)connect.
-  std::vector<Bytes> key_frames_ GUARDED_BY(mu_);
+  // Replayed on every reconnect so a logger restarted with empty state can
+  // still verify replayed entries. In acked mode only the already-acked
+  // frames (seq <= acked_seq_) are replayed from here: unacked ones are
+  // still in the spool and MUST go out in seq order with the other unacked
+  // frames (see ResendKeys).
+  std::vector<SpooledFrame> key_frames_ GUARDED_BY(mu_);
   transport::ChannelPtr channel_ GUARDED_BY(mu_);
   bool in_flight_ GUARDED_BY(mu_) = false;  // popped but not yet sent
   // Acked mode: spool index of the first not-yet-sent frame (everything

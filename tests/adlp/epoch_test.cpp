@@ -160,6 +160,25 @@ TEST(LogServerSealTest, TimeTriggeredSealOnNextAppend) {
   EXPECT_EQ(roots[0].tree_size, 2u);
 }
 
+TEST(LogServerSealTest, IntervalMeasuredFromConstructionNotClockEpoch) {
+  // Regression: with only seal_interval_ms configured and a clock that does
+  // not start at zero (i.e. any wall clock), the first append must not seal
+  // a 1-record epoch immediately — the interval runs from construction.
+  LogServerOptions options;
+  options.seal_interval_ms = 10;
+  SimClock clock(5'000'000'000, 0);  // only Advance() moves time
+  options.clock = &clock;
+  LogServer server(options);
+
+  server.Append(MakeEntry("pub", 0));
+  EXPECT_TRUE(server.EpochRoots().empty())
+      << "first append sealed immediately despite a fresh interval";
+  clock.Advance(11 * 1'000'000);
+  server.Append(MakeEntry("pub", 1));
+  ASSERT_EQ(server.EpochRoots().size(), 1u);
+  EXPECT_EQ(server.EpochRoots()[0].tree_size, 2u);
+}
+
 TEST(LogServerSealTest, ManualSealAndEmptyEpochSuppression) {
   LogServer server;  // sealing disabled by default
   EXPECT_FALSE(server.SealEpoch().has_value());  // nothing appended

@@ -122,5 +122,35 @@ TEST(RemoteLogTest, MalformedUploadIgnoredConnectionSurvives) {
   service.Shutdown();
 }
 
+TEST(RemoteLogTest, MalformedTaggedUploadDoesNotAdvanceWatermark) {
+  // Regression: a tagged frame whose outer envelope parses but whose nested
+  // payload is garbage must not burn its (sink_id, seq). If it advanced the
+  // watermark, every honest retransmission of that seq would be deduped and
+  // never acked — wedging the sink — and a hostile uploader could spoof
+  // (sink_id, huge seq) to suppress all future honest frames for that sink.
+  LogServer server;
+  LogServerService service(server, 0);
+  auto channel = transport::TcpConnect(service.Port());
+
+  // Field tags mirror remote_log.cpp's wire layout: 1=kind (2=entry),
+  // 5=nested entry bytes, 6=sink_id, 7=seq.
+  wire::Writer w;
+  w.PutU64(1, 2);
+  w.PutBytes(5, Bytes(16, 0xff));  // nested entry: garbage
+  w.PutString(6, "sink-a");
+  w.PutU64(7, 1);
+  ASSERT_TRUE(channel->Send(std::move(w).Take()));
+
+  // The same seq carrying a well-formed entry must still be applied.
+  LogEntry e;
+  e.component = "node";
+  e.topic = "t";
+  ASSERT_TRUE(channel->Send(SerializeLogUpload(e, "sink-a", 1)));
+  EXPECT_TRUE(WaitFor([&] { return server.EntryCount() == 1; }));
+  EXPECT_EQ(server.UploadWatermark("sink-a"), 1u);
+  channel->Close();
+  service.Shutdown();
+}
+
 }  // namespace
 }  // namespace adlp::proto

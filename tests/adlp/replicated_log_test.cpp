@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "adlp/remote_log.h"
@@ -65,6 +66,12 @@ struct Fleet {
   std::vector<std::unique_ptr<LogServer>> servers;
   std::vector<std::unique_ptr<LogServerService>> services;
 };
+
+TEST(ReplicatedLogSinkTest, EmptyFleetIsRejected) {
+  // A zero-replica sink would "commit" every append while logging nothing;
+  // the misconfiguration must be loud instead of silently evidence-free.
+  EXPECT_THROW(ReplicatedLogSink({}, {}), std::invalid_argument);
+}
 
 TEST(ReplicatedLogSinkTest, QuorumDefaultsToMajorityAndClamps) {
   // Connectors that never connect: quorum math needs no live fleet.
@@ -189,6 +196,53 @@ TEST(ReplicatedLogSinkTest, ReplicaDropRetransmitsExactlyOnce) {
   }
   EXPECT_GE(sink.ReplicaStats(2).reconnects, 1u);
   EXPECT_EQ(sink.ReplicaStats(2).acked_seq, 11u);
+}
+
+TEST(ReplicatedLogSinkTest, ReconnectMustNotReplayUnackedKeyAheadOfEntries) {
+  // Regression: a key registered AFTER unacked entries gets a higher seq.
+  // If a reconnect re-sent that key frame ahead of the spool replay, the
+  // server's per-sink watermark would jump past the unacked entries and the
+  // cumulative ack would release them from the spool unapplied — silent
+  // log-entry loss that later reads as replica divergence.
+  Fleet fleet(1);
+  LogServer& server = *fleet.servers[0];
+  const std::uint16_t port = fleet.services[0]->Port();
+  std::atomic<int> connections{0};
+  ResilientLogSink::Connector connector = [&]() -> transport::ChannelPtr {
+    auto inner = transport::TryTcpConnect(
+        port, transport::TcpConnectOptions{1, 200, 10, 50});
+    if (!inner) return nullptr;
+    if (connections.fetch_add(1) == 0) {
+      // Connection 1 dies after forwarding one frame: entry seq 1 reaches
+      // the server; entry seq 2 and the key (seq 3) stay spooled unacked.
+      transport::FaultPlan plan;
+      plan.disconnect_after_frames = 1;
+      return transport::WrapWithFaults(std::move(inner), plan, Rng(7));
+    }
+    return inner;
+  };
+  ResilientLogSinkOptions options = FastLegOptions();
+  options.sink_id = "sink-a";
+  ResilientLogSink sink(connector, options);
+
+  EXPECT_EQ(sink.AppendAcked(EntryWithSeq(0)), 1u);
+  EXPECT_EQ(sink.AppendAcked(EntryWithSeq(1)), 2u);
+  Rng rng(23);
+  const auto kp = crypto::GenerateSigKeyPair(
+      rng, crypto::SigAlgorithm::kRsaPkcs1Sha256, 256);
+  EXPECT_EQ(sink.RegisterKeyAcked("node", kp.pub), 3u);
+
+  // Acked-mode Drain == everything acknowledged by the server.
+  ASSERT_TRUE(sink.Drain(std::chrono::seconds(5)));
+  ASSERT_EQ(server.EntryCount(), 2u)
+      << "reconnect replay lost an unacked entry below the key's seq";
+  const auto entries = server.Entries();
+  EXPECT_EQ(entries[0].seq, 0u);
+  EXPECT_EQ(entries[1].seq, 1u);
+  EXPECT_TRUE(server.Keys().Contains("node"));
+  EXPECT_TRUE(server.VerifyChain());
+  EXPECT_EQ(sink.Stats().acked_seq, 3u);
+  EXPECT_GE(sink.Stats().reconnects, 1u);
 }
 
 TEST(ReplicatedLogSinkTest, SingleReplicaDegeneratesToAckedSink) {
