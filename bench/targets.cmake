@@ -30,3 +30,4 @@ adlp_bench(obs_bench)
 adlp_bench(scale_bench)
 adlp_bench(streaming_bench)
 adlp_bench(replication_bench)
+adlp_bench(repair_bench)

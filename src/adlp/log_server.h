@@ -82,6 +82,10 @@ class LogServer final : public LogSink {
   bool VerifyChain() const;
   /// Serialized records, e.g. for offline verification.
   std::vector<Bytes> SerializedRecords() const;
+  /// Serialized records [first, first + count), clamped to what is stored
+  /// (the sync protocol's range fetch).
+  std::vector<Bytes> RecordRange(std::uint64_t first,
+                                 std::uint64_t count) const;
 
   /// Test-only: corrupts the stored record at `index` (flips one byte) to
   /// demonstrate tamper evidence. Returns false if out of range.
@@ -92,14 +96,30 @@ class LogServer final : public LogSink {
   /// nothing new was appended since the last seal (epochs never repeat a
   /// tree size).
   std::optional<EpochRoot> SealEpoch();
+  /// Seals exactly the first `tree_size` records — the repair path uses
+  /// this to reproduce a peer's epoch boundaries so both replicas map epoch
+  /// -> (size, root) identically. Returns nullopt unless
+  /// sealed_size < tree_size <= current size.
+  std::optional<EpochRoot> SealEpochAt(std::uint64_t tree_size);
   /// All seals so far, in epoch order.
   std::vector<EpochRoot> EpochRoots() const;
+  /// Seals with epoch >= `epoch`, in epoch order (the sync protocol's
+  /// frontier fetch).
+  std::vector<EpochRoot> EpochRootsSince(std::uint64_t epoch) const;
   /// Current Merkle root (may be ahead of the last seal).
   crypto::Digest MerkleRoot() const;
   /// Inclusion proof for record `index` against the first `size` records
   /// (a sealed epoch's tree_size). Empty when out of range.
   std::vector<crypto::Digest> InclusionProof(std::uint64_t index,
                                              std::uint64_t size) const;
+  /// Consistency proof between the trees over the first `old_size` and
+  /// first `new_size` records. Empty when out of range
+  /// (old_size > new_size or new_size > current size).
+  std::vector<crypto::Digest> ConsistencyProof(std::uint64_t old_size,
+                                               std::uint64_t new_size) const;
+  /// Merkle root over the first `size` records (a past epoch's view).
+  /// Returns nullopt when size > current size.
+  std::optional<crypto::Digest> MerkleRootAt(std::uint64_t size) const;
   /// Public half of the sealing key (what the auditor verifies roots with).
   const crypto::PublicKey& SealKey() const { return seal_keys_.pub; }
 
@@ -111,8 +131,67 @@ class LogServer final : public LogSink {
   /// unacked frame in order, so "seq <= watermark" exactly identifies
   /// retransmissions.
   bool NoteUploadSeq(const std::string& sink_id, std::uint64_t seq);
+  /// NoteUploadSeq with gap detection: kGap (watermark untouched) when
+  /// `seq` skips past watermark + 1. A gap means the uploader's spool
+  /// evicted unacked frames past its horizon — applying the frame anyway
+  /// would append out of order and the replica's log would stop being a
+  /// prefix of the fleet's, making Merkle-consistency-gated repair
+  /// impossible forever. The server instead refuses the frame and waits
+  /// for anti-entropy repair (repair.h) to fill the gap from a peer.
+  /// Used by key-registration frames; entry frames go through
+  /// ApplyTaggedEntry so watermark and record move atomically.
+  enum class UploadSeqOutcome { kFresh, kDuplicate, kGap };
+  UploadSeqOutcome NoteUploadSeqGapChecked(const std::string& sink_id,
+                                           std::uint64_t seq);
+  /// Gap-checked watermark advance + entry append + seal triggers in ONE
+  /// critical section. Atomicity is what keeps the per-seal watermark
+  /// snapshot exact: a seal can never observe a watermark covering a seq
+  /// whose record is not yet in the tree (a repaired replica merging such a
+  /// snapshot would dedup that frame forever and diverge).
+  UploadSeqOutcome ApplyTaggedEntry(const std::string& sink_id,
+                                    std::uint64_t seq, const LogEntry& entry);
   /// Highest applied upload seq for `sink_id` (0 = none).
   std::uint64_t UploadWatermark(const std::string& sink_id) const;
+  /// The per-sink watermarks captured when epoch `epoch` was sealed (empty
+  /// when out of range). Exact fleet-wide pairing: the replicated sink fans
+  /// out one frame order, so "first tree_size records" and "uploads up to
+  /// these seqs" name the same state on every honest replica.
+  std::map<std::string, std::uint64_t> UploadWatermarksAtSeal(
+      std::uint64_t epoch) const;
+
+  // --- Anti-entropy repair commit ---
+  enum class RepairAppendResult {
+    kOk,
+    /// The batch does not bridge the current tree size to
+    /// `peer_root.tree_size`, or the epoch index does not extend the local
+    /// seal chain (a bad request — or a concurrent upload won the race;
+    /// the agent recomputes and retries).
+    kBadRange,
+    /// Some record does not deserialize as a LogEntry.
+    kBadRecord,
+    /// The resulting tree would NOT have root `peer_root.root` — a forged
+    /// or rewritten range. Nothing is committed.
+    kRootMismatch,
+  };
+  /// Verify-then-commit of one repaired epoch, atomically: stage `records`
+  /// against a scratch tree, and only if the root at `peer_root.tree_size`
+  /// equals the peer's SIGNED root, append them, max-merge
+  /// `peer_watermarks` into the upload dedup table, and seal locally at the
+  /// peer's exact boundary (so epoch -> (size, root) matches fleet-wide).
+  /// On any non-kOk outcome the store is untouched — a hostile peer cannot
+  /// poison it. With `records` empty this adopts a seal the local log
+  /// already covers (tree_size <= current size, root verified against the
+  /// local tree). The local seal snapshot stores `peer_watermarks`, the
+  /// exact coverage at that boundary, not the possibly-further-along local
+  /// table.
+  RepairAppendResult CommitRepairedEpoch(
+      const std::vector<Bytes>& records, const EpochRoot& peer_root,
+      const std::map<std::string, std::uint64_t>& peer_watermarks);
+  /// Const dry run of CommitRepairedEpoch's verification (nothing is ever
+  /// committed) — the repair agent classifies a bad batch before it spends
+  /// proof fetches on it.
+  RepairAppendResult VerifyRepairBatch(const std::vector<Bytes>& records,
+                                       const EpochRoot& peer_root) const;
 
   // --- Online consumers ---
   /// Attaches a tap that observes every subsequent key registration and
@@ -125,7 +204,15 @@ class LogServer final : public LogSink {
 
  private:
   std::optional<EpochRoot> SealLocked() REQUIRES(mu_);
+  /// Seals the first `tree_size` records. `watermark_snapshot` overrides
+  /// the stored per-seal watermark snapshot (repair passes the peer's
+  /// at-seal values; nullptr snapshots the live table).
+  std::optional<EpochRoot> SealAtLocked(
+      std::uint64_t tree_size,
+      const std::map<std::string, std::uint64_t>* watermark_snapshot = nullptr)
+      REQUIRES(mu_);
   void MaybeSealLocked() REQUIRES(mu_);
+  void AppendRecordLocked(LogEntry entry, Bytes record) REQUIRES(mu_);
 
   const LogServerOptions options_;
   const crypto::SigKeyPair seal_keys_;  // immutable after construction
@@ -142,6 +229,10 @@ class LogServer final : public LogSink {
   std::map<crypto::ComponentId, std::uint64_t> bytes_by_component_
       GUARDED_BY(mu_);
   std::vector<EpochRoot> epoch_roots_ GUARDED_BY(mu_);
+  /// Per-seal snapshot of upload_watermarks_, parallel to epoch_roots_
+  /// (the sync protocol's seal-info payload).
+  std::vector<std::map<std::string, std::uint64_t>> watermarks_at_seal_
+      GUARDED_BY(mu_);
   std::uint64_t sealed_size_ GUARDED_BY(mu_) = 0;
   Timestamp last_seal_at_ GUARDED_BY(mu_) = 0;
   std::map<std::string, std::uint64_t> upload_watermarks_ GUARDED_BY(mu_);

@@ -1,6 +1,8 @@
 #include "adlp/remote_log.h"
 
+#include "adlp/sync_msgs.h"
 #include "crypto/bigint.h"
+#include "obs/instrument.h"
 #include "transport/reactor.h"
 #include "wire/wire.h"
 
@@ -238,6 +240,12 @@ void LogServerService::AdoptReactorChannel(
 void LogServerService::IngestFrame(BytesView frame,
                                    transport::Channel& channel) {
   try {
+    // Read-side sync protocol (repair agents, wire auditors) shares the
+    // connection format with uploads; requests are answered in order.
+    if (auto response = HandleSyncRequest(frame, server_)) {
+      (void)channel.Send(*response);
+      return;
+    }
     const LogUploadFrame upload = ParseLogUpload(frame);
     if (!upload.sink_id.empty() && upload.seq != 0) {
       // Acked replication mode: skip retransmitted frames (the per-sink
@@ -249,16 +257,30 @@ void LogServerService::IngestFrame(BytesView frame,
       // every retransmission and never acked — the sink would be wedged and
       // a hostile uploader could spoof (sink_id, huge seq) to suppress all
       // future honest frames for that sink.
+      //
+      // A frame that SKIPS past watermark + 1 is held, unacked, and the
+      // connection is closed: the uploader's spool evicted unacked frames
+      // past its horizon, and applying the survivors out of order would
+      // fork this replica off the fleet's record order permanently. The
+      // close sends the leg back into reconnect-with-backoff; once the
+      // repair agent fills the gap from a peer (advancing the watermark),
+      // the replay applies cleanly as duplicates or successors.
+      LogServer::UploadSeqOutcome outcome;
       if (upload.is_key) {
         const crypto::PublicKey key = crypto::ParsePublicKey(upload.key_blob);
-        if (server_.NoteUploadSeq(upload.sink_id, upload.seq)) {
+        outcome = server_.NoteUploadSeqGapChecked(upload.sink_id, upload.seq);
+        if (outcome == LogServer::UploadSeqOutcome::kFresh) {
           server_.RegisterKey(upload.component, key);
         }
       } else {
         const LogEntry entry = DeserializeLogEntry(upload.entry_bytes);
-        if (server_.NoteUploadSeq(upload.sink_id, upload.seq)) {
-          server_.Append(entry);
-        }
+        outcome =
+            server_.ApplyTaggedEntry(upload.sink_id, upload.seq, entry);
+      }
+      if (outcome == LogServer::UploadSeqOutcome::kGap) {
+        obs::metric::RepairGapHeldTotal().Add(1);
+        channel.Close();
+        return;
       }
       (void)channel.Send(SerializeLogAck(upload.seq));
     } else {

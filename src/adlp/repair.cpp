@@ -1,0 +1,329 @@
+#include "adlp/repair.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/rng.h"
+#include "crypto/merkle.h"
+#include "obs/instrument.h"
+#include "wire/wire.h"
+
+namespace adlp::proto {
+
+std::string_view RepairFindingName(RepairFinding f) {
+  switch (f) {
+    case RepairFinding::kBadSeal: return "bad-seal";
+    case RepairFinding::kChainMismatch: return "chain-mismatch";
+    case RepairFinding::kStaleFrontier: return "stale-frontier";
+    case RepairFinding::kForkDetected: return "fork-detected";
+    case RepairFinding::kRangeTruncated: return "range-truncated";
+    case RepairFinding::kRangeMismatch: return "range-mismatch";
+    case RepairFinding::kRecordUndecodable: return "record-undecodable";
+    case RepairFinding::kProofInvalid: return "proof-invalid";
+  }
+  return "unknown";
+}
+
+RepairPeer TcpRepairPeer(std::string name, std::uint16_t port) {
+  RepairPeer peer;
+  peer.name = std::move(name);
+  peer.connect = [port]() -> std::unique_ptr<PeerSync> {
+    return SyncClient::Dial(port, transport::TcpConnectOptions{1, 200, 10, 50});
+  };
+  return peer;
+}
+
+RepairAgent::RepairAgent(LogServer& local, RepairAgentOptions options)
+    : local_(local), options_(std::move(options)) {}
+
+RepairAgent::~RepairAgent() { Stop(); }
+
+void RepairAgent::Start() {
+  MutexLock lock(mu_);
+  if (started_ || stop_) return;
+  started_ = true;
+  thread_ = std::thread([this] {
+    for (;;) {
+      {
+        MutexLock lock(mu_);
+        if (stop_) return;
+      }
+      RunOnce();
+      MutexLock lock(mu_);
+      if (stop_) return;
+      stop_cv_.WaitUntil(
+          lock, std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(options_.poll_interval_ms));
+    }
+  });
+}
+
+void RepairAgent::Stop() {
+  {
+    MutexLock lock(mu_);
+    if (stop_) {
+      if (!thread_.joinable()) return;
+    }
+    stop_ = true;
+  }
+  stop_cv_.NotifyAll();
+  if (thread_.joinable()) thread_.join();
+}
+
+std::uint64_t RepairAgent::RunOnce() {
+  std::uint64_t appended = 0;
+  for (const RepairPeer& peer : options_.peers) {
+    std::unique_ptr<PeerSync> session = peer.connect ? peer.connect() : nullptr;
+    if (!session) {
+      NotePeerFailure();
+      continue;
+    }
+    appended += RepairFromPeer(peer, *session);
+  }
+  {
+    MutexLock lock(mu_);
+    ++stats_.rounds;
+  }
+  obs::metric::RepairRoundsTotal().Add(1);
+  return appended;
+}
+
+std::uint64_t RepairAgent::RepairFromPeer(const RepairPeer& peer,
+                                          PeerSync& session) {
+  const std::vector<EpochRoot> local_roots = local_.EpochRoots();
+  const std::uint64_t since = local_roots.size();
+  const auto fetched = session.FetchRootsSince(since);
+  if (!fetched) {
+    NotePeerFailure();
+    return 0;
+  }
+  if (fetched->empty()) return 0;  // peer is not ahead of us
+
+  // The advertisement must EXTEND the local frontier: contiguous epochs
+  // from our next index, strictly growing tree sizes, internally
+  // hash-linked, every signature valid under the fleet key. Linkage is
+  // checked WITHIN the fetched chain only — honest replicas seal
+  // independently (each with its own sealed_at), so cross-replica digest
+  // chains differ even when content agrees; CONTENT agreement is what the
+  // consistency-proof gate and the signed-root commit checks enforce.
+  std::uint64_t prev_size =
+      local_roots.empty() ? 0 : local_roots.back().tree_size;
+  std::uint64_t expected_epoch = since;
+  const EpochRoot* prev_root = nullptr;
+  for (const EpochRoot& r : *fetched) {
+    if (r.epoch != expected_epoch || r.tree_size <= prev_size) {
+      Report(peer, r.epoch, RepairFinding::kStaleFrontier,
+             "advertised epoch " + std::to_string(r.epoch) + " (tree size " +
+                 std::to_string(r.tree_size) +
+                 ") does not extend the local frontier (epoch " +
+                 std::to_string(since) + ", size " + std::to_string(prev_size) +
+                 ")");
+      return 0;
+    }
+    if (prev_root != nullptr &&
+        r.prev_root_hash != EpochRootDigest(*prev_root)) {
+      Report(peer, r.epoch, RepairFinding::kChainMismatch,
+             "advertised seal chain is not internally hash-linked");
+      return 0;
+    }
+    if (!VerifyEpochRootSignature(r, options_.seal_key)) {
+      Report(peer, r.epoch, RepairFinding::kBadSeal,
+             "seal signature fails under the fleet key");
+      return 0;
+    }
+    prev_root = &r;
+    prev_size = r.tree_size;
+    ++expected_epoch;
+  }
+
+  std::uint64_t appended = 0;
+  for (const EpochRoot& r : *fetched) {
+    if (!RepairEpoch(peer, session, r, appended)) break;
+  }
+  return appended;
+}
+
+bool RepairAgent::RepairEpoch(const RepairPeer& peer, PeerSync& session,
+                              const EpochRoot& root, std::uint64_t& appended) {
+  const std::uint64_t local_size = local_.EntryCount();
+
+  std::vector<Bytes> batch;
+  if (root.tree_size > local_size) {
+    // Consistency gate BEFORE any record is fetched: the peer must prove
+    // our current tree is a prefix of its claimed root, or its history
+    // forked from ours and nothing it serves can be appended. (An empty
+    // local log is trivially a prefix; RFC 6962 defines no proof for it.)
+    if (local_size > 0) {
+      const auto local_root = local_.MerkleRootAt(local_size);
+      const auto proof =
+          session.FetchConsistencyProof(local_size, root.tree_size);
+      if (!proof || !local_root) {
+        NotePeerFailure();
+        return false;
+      }
+      if (!crypto::MerkleTree::VerifyConsistency(local_size, root.tree_size,
+                                                 *local_root, root.root,
+                                                 *proof)) {
+        Report(peer, root.epoch, RepairFinding::kForkDetected,
+               "peer cannot prove the local log is a prefix of its sealed "
+               "root at size " +
+                   std::to_string(root.tree_size));
+        return false;
+      }
+    }
+
+    // Fetch the missing range [local_size, tree_size) in bounded batches.
+    std::uint64_t next = local_size;
+    while (next < root.tree_size) {
+      const std::uint64_t want =
+          std::min(options_.batch_records, root.tree_size - next);
+      const auto got = session.FetchRecords(next, want);
+      if (!got) {
+        NotePeerFailure();
+        return false;
+      }
+      if (got->first != next || got->records.empty() ||
+          got->records.size() > want) {
+        Report(peer, root.epoch, RepairFinding::kRangeTruncated,
+               "asked for records [" + std::to_string(next) + ", " +
+                   std::to_string(next + want) + ") backing its seal, got " +
+                   std::to_string(got->records.size()) + " at " +
+                   std::to_string(got->first));
+        return false;
+      }
+      for (const Bytes& record : got->records) batch.push_back(record);
+      next += got->records.size();
+    }
+  }
+
+  // Classify the batch against the SIGNED root before spending proof
+  // fetches: a forged or rewritten range dies here, deterministically.
+  switch (local_.VerifyRepairBatch(batch, root)) {
+    case LogServer::RepairAppendResult::kOk:
+      break;
+    case LogServer::RepairAppendResult::kBadRecord:
+      Report(peer, root.epoch, RepairFinding::kRecordUndecodable,
+             "a fetched record does not deserialize as a log entry");
+      return false;
+    case LogServer::RepairAppendResult::kRootMismatch:
+      if (batch.empty()) {
+        // Adopting a seal we already hold the records for, and they
+        // disagree — the histories forked.
+        Report(peer, root.epoch, RepairFinding::kForkDetected,
+               "local records diverge from the peer's sealed root");
+      } else {
+        Report(peer, root.epoch, RepairFinding::kRangeMismatch,
+               "fetched range does not reproduce the signed epoch root");
+      }
+      return false;
+    case LogServer::RepairAppendResult::kBadRange:
+      return false;  // lost a race with live ingestion; retry next round
+  }
+
+  // Sampled inclusion-proof spot checks, also against the signed root and
+  // also before commit: a peer whose records are honest but whose proof
+  // service lies (e.g. proofs computed against some other root) is rejected
+  // without poisoning anything.
+  if (!batch.empty() && options_.samples_per_epoch > 0) {
+    Rng rng(options_.sample_seed ^ root.epoch);
+    const std::uint64_t range = root.tree_size - local_size;
+    const std::size_t samples =
+        std::min<std::size_t>(options_.samples_per_epoch, range);
+    for (std::size_t s = 0; s < samples; ++s) {
+      const std::uint64_t index = local_size + rng.UniformBelow(range);
+      const auto proof = session.FetchInclusionProof(index, root.tree_size);
+      if (!proof) {
+        NotePeerFailure();
+        return false;
+      }
+      if (!crypto::MerkleTree::VerifyInclusion(batch[index - local_size],
+                                               index, root.tree_size, *proof,
+                                               root.root)) {
+        Report(peer, root.epoch, RepairFinding::kProofInvalid,
+               "sampled record " + std::to_string(index) +
+                   " fails its inclusion proof against the signed root");
+        return false;
+      }
+    }
+  }
+
+  // The at-seal watermarks and key registry ride with the epoch: without
+  // them the repaired replica could not resume deduplicating live uploads,
+  // so no commit happens unless they arrive and parse.
+  const auto info = session.FetchSealInfo(root.epoch);
+  if (!info) {
+    NotePeerFailure();
+    return false;
+  }
+  std::vector<std::pair<crypto::ComponentId, crypto::PublicKey>> keys;
+  for (const auto& [id, blob] : info->keys) {
+    if (local_.Keys().Contains(id)) continue;
+    try {
+      keys.emplace_back(id, crypto::ParsePublicKey(blob));
+    } catch (const wire::WireError&) {
+      Report(peer, root.epoch, RepairFinding::kRecordUndecodable,
+             "key registration for '" + id + "' does not parse");
+      return false;
+    }
+  }
+
+  switch (local_.CommitRepairedEpoch(batch, root, info->watermarks)) {
+    case LogServer::RepairAppendResult::kOk:
+      break;
+    case LogServer::RepairAppendResult::kRootMismatch:
+      // Live ingestion appended between verification and commit and the
+      // result no longer matches — only possible on divergence, which the
+      // next round's consistency gate will pin on someone.
+      Report(peer, root.epoch, RepairFinding::kRangeMismatch,
+             "batch stopped matching the sealed root at commit");
+      return false;
+    default:
+      return false;  // raced with live ingestion; retry next round
+  }
+  for (const auto& [id, key] : keys) local_.RegisterKey(id, key);
+
+  {
+    MutexLock lock(mu_);
+    ++stats_.epochs_repaired;
+    if (batch.empty()) ++stats_.seals_adopted;
+    stats_.records_repaired += batch.size();
+    for (const Bytes& record : batch) stats_.bytes_repaired += record.size();
+  }
+  obs::metric::RepairEpochsTotal().Add(1);
+  if (!batch.empty()) {
+    obs::metric::RepairRecordsTotal().Add(
+        static_cast<std::int64_t>(batch.size()));
+  }
+  appended += batch.size();
+  return true;
+}
+
+void RepairAgent::Report(const RepairPeer& peer, std::uint64_t epoch,
+                         RepairFinding f, std::string detail) {
+  {
+    MutexLock lock(mu_);
+    ++stats_.rejects;
+    if (findings_.size() < options_.max_findings) {
+      findings_.push_back(
+          RepairVerdict{peer.name, epoch, f, std::move(detail)});
+    }
+  }
+  obs::metric::RepairRejectsTotal().Add(1);
+}
+
+void RepairAgent::NotePeerFailure() {
+  MutexLock lock(mu_);
+  ++stats_.peer_failures;
+}
+
+RepairStats RepairAgent::Stats() const {
+  MutexLock lock(mu_);
+  return stats_;
+}
+
+std::vector<RepairVerdict> RepairAgent::Findings() const {
+  MutexLock lock(mu_);
+  return findings_;
+}
+
+}  // namespace adlp::proto

@@ -1,0 +1,175 @@
+// Replica-to-replica anti-entropy repair for the replicated trusted logger.
+//
+// A replica that was down past its upload leg's spool horizon can never be
+// made whole by retransmission: the frames are gone from every spool. PR 8's
+// quorum keeps committing around it, but the replica stays behind forever
+// and silently shrinks the effective quorum. The RepairAgent closes that
+// gap replica-to-replica, with no publisher involvement:
+//
+//   1. gossip — each round it asks a peer for signed epoch roots past its
+//      own sealed frontier (pull-based anti-entropy);
+//   2. verify the advertisement — the fetched seal chain must extend the
+//      local frontier (contiguous epochs, internally linked prev-root
+//      hashes, growing tree sizes) under valid fleet-key signatures;
+//   3. gate on a consistency proof — before fetching a single record, the
+//      peer must prove the LOCAL tree is a prefix of its claimed root, so a
+//      peer trying to launder a rewritten history is rejected up front;
+//   4. fetch the missing record range and spot-check sampled inclusion
+//      proofs against the SIGNED root;
+//   5. commit verify-then-append (LogServer::CommitRepairedEpoch): the
+//      batch must reproduce the signed root exactly or nothing is written —
+//      then re-seal locally at the peer's exact boundary and merge the
+//      peer's at-seal upload watermarks, so the repaired replica converges
+//      to byte-identical epoch -> (size, root) and resumes deduplicating
+//      live uploads at the right spot.
+//
+// Trust model: peers are only trusted to the extent their claims carry the
+// fleet sealing signature; everything appended is re-verified locally. A
+// peer serving forged ranges, stale frontiers, or proofs that do not verify
+// is rejected and reported as a repair-class finding (the adversary matrix
+// in tests/adlp/repair_test.cpp walks every case). A peer that SIGNS a
+// divergent history holds the shared seal key and is an equivocator — that
+// is exactly what the cross-replica audit (audit/replica_check.h) convicts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "adlp/log_server.h"
+#include "adlp/sync_msgs.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "crypto/sig.h"
+
+namespace adlp::proto {
+
+/// Why a peer's offered repair material was rejected. Each adversary in the
+/// repair matrix lands on a distinct finding.
+enum class RepairFinding : std::uint8_t {
+  /// A fetched seal's signature fails under the fleet key.
+  kBadSeal,
+  /// The fetched seal chain is not internally hash-linked (honest replicas
+  /// seal independently, so it is never required to link onto the LOCAL
+  /// digest chain — content agreement is enforced by the consistency gate).
+  kChainMismatch,
+  /// The advertisement does not extend the requested frontier (wrong epoch
+  /// indices or non-growing tree sizes) — a stale or replayed frontier.
+  kStaleFrontier,
+  /// The peer cannot prove the local tree is a prefix of its claimed root:
+  /// its history forked from ours.
+  kForkDetected,
+  /// The fetched record range is shorter (or longer) than the peer's own
+  /// sealed claim requires.
+  kRangeTruncated,
+  /// The fetched range does not reproduce the signed epoch root.
+  kRangeMismatch,
+  /// A fetched record does not deserialize as a LogEntry.
+  kRecordUndecodable,
+  /// A sampled inclusion proof fails against the signed epoch root.
+  kProofInvalid,
+};
+
+std::string_view RepairFindingName(RepairFinding f);
+
+/// One rejection event, kept for audit/tests (bounded; see RepairStats).
+struct RepairVerdict {
+  std::string peer;
+  std::uint64_t epoch = 0;
+  RepairFinding finding = RepairFinding::kBadSeal;
+  std::string detail;
+};
+
+struct RepairStats {
+  std::uint64_t rounds = 0;
+  /// Rounds where a peer was unreachable or died mid-session (transport
+  /// failure, not an adversarial finding).
+  std::uint64_t peer_failures = 0;
+  std::uint64_t epochs_repaired = 0;
+  std::uint64_t records_repaired = 0;
+  std::uint64_t bytes_repaired = 0;
+  /// Seals adopted for records the local log already held.
+  std::uint64_t seals_adopted = 0;
+  /// Rejections (== findings recorded, even once the buffer capped).
+  std::uint64_t rejects = 0;
+};
+
+/// A repairable peer: a name for findings plus a session factory (nullptr =
+/// unreachable this round). Tests interpose hostile PeerSync
+/// implementations here; production peers dial SyncClient over TCP.
+struct RepairPeer {
+  std::string name;
+  std::function<std::unique_ptr<PeerSync>()> connect;
+};
+
+/// A TCP peer serving the sync protocol at 127.0.0.1:`port`.
+RepairPeer TcpRepairPeer(std::string name, std::uint16_t port);
+
+struct RepairAgentOptions {
+  std::vector<RepairPeer> peers;
+  /// Fleet sealing public key (EpochSealKeys(seed).pub).
+  crypto::PublicKey seal_key;
+  /// Background poll cadence.
+  std::int64_t poll_interval_ms = 25;
+  /// Records fetched per range request (<= kMaxSyncRecordsPerBatch).
+  std::uint64_t batch_records = 256;
+  /// Inclusion proofs spot-checked per repaired epoch (sampled from the
+  /// fetched range, verified against the signed root, BEFORE commit).
+  std::size_t samples_per_epoch = 2;
+  /// Seed of the deterministic sample stream.
+  std::uint64_t sample_seed = 0x4e7a'11fd;
+  /// Findings kept in memory (older ones are dropped; `rejects` still
+  /// counts them).
+  std::size_t max_findings = 256;
+};
+
+class RepairAgent {
+ public:
+  RepairAgent(LogServer& local, RepairAgentOptions options);
+  ~RepairAgent();
+
+  RepairAgent(const RepairAgent&) = delete;
+  RepairAgent& operator=(const RepairAgent&) = delete;
+
+  /// Starts the background repair thread (idempotent). Tests that want
+  /// deterministic single steps call RunOnce() instead and never Start().
+  void Start();
+  /// Stops and joins the background thread (idempotent; destructor calls).
+  void Stop();
+
+  /// One gossip + repair round over all peers. Returns the number of
+  /// records appended. Safe to call concurrently with live ingestion (a
+  /// lost append race is retried next round), but not with itself.
+  std::uint64_t RunOnce();
+
+  RepairStats Stats() const;
+  std::vector<RepairVerdict> Findings() const;
+
+ private:
+  /// Repairs from one peer session. Returns records appended.
+  std::uint64_t RepairFromPeer(const RepairPeer& peer, PeerSync& session);
+  /// Verifies and commits one epoch from `session`. False stops this
+  /// peer's round (finding reported or peer failed).
+  bool RepairEpoch(const RepairPeer& peer, PeerSync& session,
+                   const EpochRoot& root, std::uint64_t& appended);
+  void Report(const RepairPeer& peer, std::uint64_t epoch, RepairFinding f,
+              std::string detail);
+  void NotePeerFailure();
+
+  LogServer& local_;
+  const RepairAgentOptions options_;
+
+  mutable Mutex mu_;
+  RepairStats stats_ GUARDED_BY(mu_);
+  std::vector<RepairVerdict> findings_ GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
+  bool started_ GUARDED_BY(mu_) = false;
+  CondVar stop_cv_;
+
+  std::thread thread_;
+};
+
+}  // namespace adlp::proto

@@ -157,6 +157,16 @@ void ResilientLogSink::PushLocked(std::uint64_t seq, Bytes frame) {
     // entries that truly never reached the logger. In acked mode the
     // evicted frame may have been sent already; the send cursor tracks the
     // shifted indices either way.
+    // Surface evictions the server never acknowledged instead of folding
+    // them into the generic drop count: these frames are gone from every
+    // spool, so the server's watermark will show a GAP at replay time and
+    // only anti-entropy repair can close it. (A spooled frame with a seq is
+    // necessarily unacked — the ack reader pops acked frames — but guard on
+    // acked_seq_ anyway so a reordered release can never undercount.)
+    if (spool_.front().seq != 0 && spool_.front().seq > acked_seq_) {
+      ++stats_.entries_evicted_unacked;
+      obs::metric::SinkEvictedUnackedTotal().Add(1);
+    }
     spool_.pop_front();
     if (next_send_ > 0) --next_send_;
     ++stats_.entries_dropped;
@@ -207,6 +217,18 @@ void ResilientLogSink::AckReaderLoop(transport::ChannelPtr channel) {
     }
     // Outside mu_: the callback may take the replicated sink's own lock.
     if (options_.on_ack) options_.on_ack(cumulative);
+  }
+  // The server hung up — e.g. the gap-hold guard closed an out-of-sync
+  // replay. Frames already written into the dead socket will never be
+  // acked: if this channel is still current, retire it, rewind the send
+  // cursor, and wake the flusher so it reconnects and replays from the
+  // first unacked frame. Without this a fully-sent spool parks forever
+  // waiting on acks that cannot arrive.
+  MutexLock lock(mu_);
+  if (channel_ == channel) {
+    channel_.reset();
+    next_send_ = 0;
+    cv_.NotifyAll();
   }
 }
 

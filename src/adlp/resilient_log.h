@@ -35,10 +35,14 @@
 // a background reader. Key re-registration on reconnect covers only the
 // already-acked registrations; an unacked one is still spooled and replays
 // strictly in seq order with the other unacked frames (out-of-order replay
-// would advance the watermark past unacked entries and lose them). The one caveat: a spool overflow in acked mode drops
-// the oldest unacked frame, after which the watermark is optimistic about
-// that frame; size the spool for the expected outage window (the
-// replication tests and bench use ample spools).
+// would advance the watermark past unacked entries and lose them). The one
+// caveat: a spool overflow in acked mode drops the oldest unacked frame —
+// the spool horizon has passed and no retransmission can ever deliver it.
+// Such evictions are surfaced in SinkStats::entries_evicted_unacked (and
+// adlp_sink_evicted_unacked_total); the server holds the post-eviction
+// replay (its seq skips the watermark) until replica anti-entropy repair
+// (repair.h) fills the gap from a peer. Size the spool for the expected
+// outage window; repair is the backstop, not the plan.
 #pragma once
 
 #include <chrono>
@@ -69,6 +73,13 @@ struct SinkStats {
   std::uint64_t spool_high_water = 0;
   /// Frames evicted by the oldest-drop overflow policy.
   std::uint64_t entries_dropped = 0;
+  /// Acked mode only: evicted frames the server had NOT acknowledged — the
+  /// spool horizon passed and retransmission can never deliver them, so
+  /// only replica anti-entropy repair (repair.h) can make the server whole.
+  /// Always <= entries_dropped; in acked mode the two are equal (the ack
+  /// reader releases acked frames from the front, so anything still
+  /// spooled with a seq is unacked).
+  std::uint64_t entries_evicted_unacked = 0;
   /// Successful connections after the first (i.e. re-establishments).
   std::uint64_t reconnects = 0;
   /// Failed connection attempts.

@@ -189,6 +189,77 @@ ReplicaCheckResult CheckReplicas(const std::vector<ReplicaEvidence>& replicas,
   return result;
 }
 
+std::optional<ReplicaEvidence> FetchReplicaEvidence(proto::PeerSync& sync,
+                                                    std::string name) {
+  auto roots = sync.FetchRootsSince(0);
+  if (!roots) return std::nullopt;
+  ReplicaEvidence evidence;
+  evidence.name = std::move(name);
+  evidence.roots = std::move(*roots);
+  evidence.roots_only = true;
+  return evidence;
+}
+
+void CheckReplicaWireProofs(proto::PeerSync& sync,
+                            const ReplicaEvidence& replica,
+                            const ReplicaCheckOptions& options,
+                            ReplicaCheckResult& result) {
+  // Same valid-prefix rule as CheckReplicas: seals after the first broken
+  // one are rooted in the damage and earn no spot checks. The prefix walk
+  // duplicates CheckReplicaSeals WITHOUT emitting verdicts — those were
+  // already recorded when this evidence went through CheckReplicas.
+  std::vector<proto::EpochRoot> seals;
+  crypto::Digest prev = proto::EpochGenesis();
+  std::uint64_t prev_size = 0;
+  for (std::size_t i = 0; i < replica.roots.size(); ++i) {
+    const proto::EpochRoot& r = replica.roots[i];
+    if (r.epoch != i || r.tree_size <= prev_size ||
+        r.prev_root_hash != prev ||
+        !proto::VerifyEpochRootSignature(r, options.seal_key)) {
+      break;
+    }
+    seals.push_back(r);
+    prev = proto::EpochRootDigest(r);
+    prev_size = r.tree_size;
+  }
+
+  for (const proto::EpochRoot& seal : seals) {
+    // Identical sample stream to CheckReplicaStore, so the wire audit and
+    // the exported-file audit spot-check the same records.
+    Rng rng(options.sample_seed ^ seal.epoch);
+    const std::size_t samples =
+        std::min<std::size_t>(options.samples_per_epoch, seal.tree_size);
+    for (std::size_t s = 0; s < samples; ++s) {
+      const std::uint64_t index = rng.UniformBelow(seal.tree_size);
+      ReplicaVerdict bad;
+      bad.replica = replica.name;
+      bad.epoch = seal.epoch;
+      bad.finding = ReplicaFinding::kInclusionInvalid;
+      bad.implicated = {replica.name};
+      const auto record = sync.FetchRecords(index, 1);
+      const auto proof = sync.FetchInclusionProof(index, seal.tree_size);
+      if (!record || record->first != index || record->records.size() != 1 ||
+          !proof) {
+        // The replica SIGNED this seal; refusing to serve the evidence
+        // behind it is indistinguishable from not having it.
+        bad.detail = "record " + std::to_string(index) +
+                     " could not be fetched for its sealed epoch";
+        result.verdicts.push_back(std::move(bad));
+        continue;
+      }
+      if (!crypto::MerkleTree::VerifyInclusion(record->records.front(), index,
+                                               seal.tree_size, *proof,
+                                               seal.root)) {
+        bad.detail =
+            "record " + std::to_string(index) + " fails its inclusion proof";
+        result.verdicts.push_back(std::move(bad));
+      } else {
+        ++result.proofs_checked;
+      }
+    }
+  }
+}
+
 void ApplyReplicaFindings(AuditReport& report, ReplicaCheckResult result) {
   if (!result.verdicts.empty()) {
     obs::metric::ReplicaFindingsTotal().Add(result.verdicts.size());

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "adlp/epoch.h"
+#include "adlp/sync_msgs.h"
 #include "audit/verdict.h"
 #include "common/bytes.h"
 #include "crypto/sig.h"
@@ -80,6 +81,32 @@ struct ReplicaCheckResult {
 
 ReplicaCheckResult CheckReplicas(const std::vector<ReplicaEvidence>& replicas,
                                  const ReplicaCheckOptions& options);
+
+// --- Wire-native auditing (continuous fleet monitoring) ----------------------
+//
+// `adlp_audit --replica-addr HOST:PORT` audits LIVE replicas over the same
+// sync protocol the repair agents use, instead of exported log files. The
+// fetched evidence is roots-only (the signed seal chain); store integrity
+// is spot-checked with wire-served sampled records + inclusion proofs
+// verified against the signed roots. On an honest fleet the resulting
+// report is byte-identical to the exported-file path.
+
+/// Fetches a live replica's sealed roots into roots-only evidence.
+/// std::nullopt when the peer is unreachable or serves garbage.
+std::optional<ReplicaEvidence> FetchReplicaEvidence(proto::PeerSync& sync,
+                                                    std::string name);
+
+/// Wire-served sampled spot checks for one live replica: for every
+/// structurally valid seal (same validation as CheckReplicas), fetch
+/// sampled records and their inclusion proofs over the wire and verify
+/// them against the SIGNED sealed root — the same deterministic sample
+/// stream as the offline store check. A replica that cannot (or will not)
+/// serve verifying evidence for its own signed seal earns a
+/// kInclusionInvalid verdict.
+void CheckReplicaWireProofs(proto::PeerSync& sync,
+                            const ReplicaEvidence& replica,
+                            const ReplicaCheckOptions& options,
+                            ReplicaCheckResult& result);
 
 /// Folds fleet findings into a report: appends the verdicts, blames the
 /// equivocating logger identities (they join `unfaithful` — equivocation is

@@ -202,6 +202,52 @@ inline Counter& ReplicaFindingsTotal() {
   return c;
 }
 
+inline Counter& SinkEvictedUnackedTotal() {
+  static Counter& c = MetricsRegistry::Global().GetCounter(
+      "adlp_sink_evicted_unacked_total", {},
+      "Acked-mode spool evictions of frames the logger never acknowledged "
+      "(past the spool horizon; only anti-entropy repair can recover them)");
+  return c;
+}
+
+// --- anti-entropy repair ----------------------------------------------------
+
+inline Counter& RepairRoundsTotal() {
+  static Counter& c = MetricsRegistry::Global().GetCounter(
+      "adlp_repair_rounds_total", {},
+      "Anti-entropy gossip rounds run by repair agents");
+  return c;
+}
+
+inline Counter& RepairEpochsTotal() {
+  static Counter& c = MetricsRegistry::Global().GetCounter(
+      "adlp_repair_epochs_total", {},
+      "Epochs repaired or adopted from peers after Merkle verification");
+  return c;
+}
+
+inline Counter& RepairRecordsTotal() {
+  static Counter& c = MetricsRegistry::Global().GetCounter(
+      "adlp_repair_records_total", {},
+      "Records appended by verified peer repair");
+  return c;
+}
+
+inline Counter& RepairRejectsTotal() {
+  static Counter& c = MetricsRegistry::Global().GetCounter(
+      "adlp_repair_rejects_total", {},
+      "Peer-served repair material rejected by verification");
+  return c;
+}
+
+inline Counter& RepairGapHeldTotal() {
+  static Counter& c = MetricsRegistry::Global().GetCounter(
+      "adlp_repair_gap_held_total", {},
+      "Tagged upload frames refused because their seq skips the per-sink "
+      "watermark (post-eviction replay held until repair fills the gap)");
+  return c;
+}
+
 // --- transport --------------------------------------------------------------
 
 inline Counter& TransportBytes(const char* kind, const char* dir) {

@@ -134,7 +134,32 @@ TEST(ResilientLogSinkTest, SpoolOverflowDropsOldestAndCounts) {
   EXPECT_TRUE(WaitFor([&] { return server.EntryCount() == 4; }));
   const auto entries = server.Entries();
   for (std::uint64_t i = 0; i < 4; ++i) EXPECT_EQ(entries[i].seq, i + 6);
+
+  // Legacy (unacked) mode: an evicted frame was never going to be
+  // retransmitted anyway, so the unacked-eviction counter stays zero.
+  EXPECT_EQ(sink.Stats().entries_evicted_unacked, 0u);
   service->Shutdown();
+}
+
+TEST(ResilientLogSinkTest, AckedModeSurfacesEvictedUnackedFrames) {
+  // Regression: an acked-mode spool overflow silently discarded frames the
+  // server had NOT acknowledged — past the spool horizon no retransmission
+  // can ever deliver them, which is exactly the condition anti-entropy
+  // repair exists for, yet SinkStats gave operators no way to see it.
+  auto connector = []() -> transport::ChannelPtr { return nullptr; };
+  ResilientLogSink::Options options = FastSinkOptions();
+  options.spool_capacity = 4;
+  options.sink_id = "sink-a";
+  ResilientLogSink sink(connector, options);
+
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    EXPECT_GT(sink.AppendAcked(EntryWithSeq(i)), 0u);
+  }
+  const SinkStats stats = sink.Stats();
+  EXPECT_EQ(stats.entries_dropped, 6u);
+  // Nothing was ever acked, so every eviction lost an unacked frame.
+  EXPECT_EQ(stats.entries_evicted_unacked, 6u);
+  EXPECT_EQ(stats.acked_seq, 0u);
 }
 
 TEST(ResilientLogSinkTest, KeysReRegisteredOnFreshLoggerState) {

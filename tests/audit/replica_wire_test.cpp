@@ -1,0 +1,168 @@
+// Wire-native replica auditing: `adlp_audit --replica-addr` audits LIVE
+// replicas over the repair sync protocol. Honest replicas serve evidence
+// whose audit report is byte-identical to the exported-file path; a replica
+// whose store diverges from its own signed seals earns kInclusionInvalid
+// over the wire. Suite is named Repair* so the repair-chaos CI wall
+// (`ctest -R Repair`) exercises it under repeat-until-fail.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adlp/log_server.h"
+#include "adlp/remote_log.h"
+#include "adlp/sync_msgs.h"
+#include "audit/replica_check.h"
+
+namespace adlp::audit {
+namespace {
+
+proto::LogEntry MakeEntry(std::uint64_t seq) {
+  proto::LogEntry e;
+  e.component = "node";
+  e.topic = "topic";
+  e.seq = seq;
+  e.timestamp = static_cast<Timestamp>(1000 + seq);
+  e.data = BytesOf("payload-" + std::to_string(seq));
+  return e;
+}
+
+proto::LogServerOptions SealEvery(std::uint64_t k) {
+  proto::LogServerOptions options;
+  options.seal_every = k;
+  return options;
+}
+
+ReplicaCheckOptions FleetKey() {
+  ReplicaCheckOptions options;
+  options.seal_key =
+      proto::EpochSealKeys(proto::LogServerOptions{}.seal_key_seed).pub;
+  return options;
+}
+
+ReplicaEvidence ExportedEvidence(const std::string& name,
+                                 const proto::LogServer& server) {
+  ReplicaEvidence evidence;
+  evidence.name = name;
+  evidence.records = server.SerializedRecords();
+  evidence.roots = server.EpochRoots();
+  return evidence;
+}
+
+TEST(RepairWireAuditTest, FetchedEvidenceMatchesExportedRoots) {
+  proto::LogServer server(SealEvery(4));
+  for (std::uint64_t seq = 0; seq < 10; ++seq) server.Append(MakeEntry(seq));
+  server.SealEpoch();
+  ASSERT_GE(server.EpochRoots().size(), 3u);
+
+  proto::LogServerService service(server, 0);
+  auto client = proto::SyncClient::Dial(service.Port());
+  ASSERT_NE(client, nullptr);
+
+  const auto evidence = FetchReplicaEvidence(*client, "replica-0");
+  ASSERT_TRUE(evidence.has_value());
+  EXPECT_EQ(evidence->name, "replica-0");
+  EXPECT_TRUE(evidence->roots_only);
+  EXPECT_TRUE(evidence->records.empty());
+  EXPECT_EQ(evidence->roots, server.EpochRoots());
+  service.Shutdown();
+}
+
+TEST(RepairWireAuditTest, HonestReplicaIsCleanAndReportUntouched) {
+  proto::LogServer server(SealEvery(4));
+  for (std::uint64_t seq = 0; seq < 13; ++seq) server.Append(MakeEntry(seq));
+  server.SealEpoch();
+
+  proto::LogServerService service(server, 0);
+  auto client = proto::SyncClient::Dial(service.Port());
+  ASSERT_NE(client, nullptr);
+  const auto evidence = FetchReplicaEvidence(*client, "replica-0");
+  ASSERT_TRUE(evidence.has_value());
+
+  const ReplicaCheckOptions options = FleetKey();
+  ReplicaCheckResult result = CheckReplicas({*evidence}, options);
+  EXPECT_TRUE(result.Clean());
+  CheckReplicaWireProofs(*client, *evidence, options, result);
+  EXPECT_TRUE(result.Clean());
+  // One sampled spot check per sealed epoch at minimum: the wire path
+  // actually verified store evidence, it did not just trust the seals.
+  EXPECT_GE(result.proofs_checked, server.EpochRoots().size());
+
+  AuditReport report;
+  const std::string before = report.Render();
+  ApplyReplicaFindings(report, std::move(result));
+  EXPECT_EQ(report.Render(), before);
+  service.Shutdown();
+}
+
+TEST(RepairWireAuditTest, WireReportByteIdenticalToExportedFilePath) {
+  // The same honest replica audited two ways — exported full evidence vs
+  // live wire fetch + wire-served proofs — must render byte-identical
+  // reports (both clean, so both identical to the untouched report).
+  proto::LogServer server(SealEvery(4));
+  for (std::uint64_t seq = 0; seq < 12; ++seq) server.Append(MakeEntry(seq));
+
+  const ReplicaCheckOptions options = FleetKey();
+  AuditReport file_report;
+  ApplyReplicaFindings(
+      file_report, CheckReplicas({ExportedEvidence("replica-0", server)},
+                                 options));
+
+  proto::LogServerService service(server, 0);
+  auto client = proto::SyncClient::Dial(service.Port());
+  ASSERT_NE(client, nullptr);
+  const auto evidence = FetchReplicaEvidence(*client, "replica-0");
+  ASSERT_TRUE(evidence.has_value());
+  ReplicaCheckResult wire_result = CheckReplicas({*evidence}, options);
+  CheckReplicaWireProofs(*client, *evidence, options, wire_result);
+  AuditReport wire_report;
+  ApplyReplicaFindings(wire_report, std::move(wire_result));
+
+  EXPECT_EQ(wire_report.Render(), file_report.Render());
+  service.Shutdown();
+}
+
+TEST(RepairWireAuditTest, CorruptStoreEarnsInclusionInvalidOverWire) {
+  // The replica's seals are honest, but its record store was rewritten
+  // after sealing. Roots-only evidence alone cannot see that; the
+  // wire-served sampled inclusion checks must.
+  proto::LogServer server(SealEvery(2));
+  server.Append(MakeEntry(0));
+  server.Append(MakeEntry(1));
+  ASSERT_EQ(server.EpochRoots().size(), 1u);
+  // Corrupt every record so the sampled indices are guaranteed to hit one.
+  ASSERT_TRUE(server.CorruptRecordForTest(0));
+  ASSERT_TRUE(server.CorruptRecordForTest(1));
+
+  proto::LogServerService service(server, 0);
+  auto client = proto::SyncClient::Dial(service.Port());
+  ASSERT_NE(client, nullptr);
+  const auto evidence = FetchReplicaEvidence(*client, "replica-0");
+  ASSERT_TRUE(evidence.has_value());
+
+  const ReplicaCheckOptions options = FleetKey();
+  ReplicaCheckResult result = CheckReplicas({*evidence}, options);
+  ASSERT_TRUE(result.Clean()) << "seal chain itself is still honest";
+  CheckReplicaWireProofs(*client, *evidence, options, result);
+  ASSERT_FALSE(result.verdicts.empty());
+  for (const ReplicaVerdict& v : result.verdicts) {
+    EXPECT_EQ(v.finding, ReplicaFinding::kInclusionInvalid);
+    EXPECT_EQ(v.replica, "replica-0");
+  }
+  service.Shutdown();
+}
+
+TEST(RepairWireAuditTest, DeadReplicaYieldsNoEvidence) {
+  proto::LogServer server(SealEvery(4));
+  for (std::uint64_t seq = 0; seq < 4; ++seq) server.Append(MakeEntry(seq));
+  auto service = std::make_unique<proto::LogServerService>(server, 0);
+  auto client = proto::SyncClient::Dial(service->Port());
+  ASSERT_NE(client, nullptr);
+  service->Shutdown();
+  service.reset();
+  EXPECT_FALSE(FetchReplicaEvidence(*client, "replica-0").has_value());
+}
+
+}  // namespace
+}  // namespace adlp::audit

@@ -9,6 +9,7 @@
 #include "adlp/epoch.h"
 #include "adlp/log_entry.h"
 #include "adlp/remote_log.h"
+#include "adlp/sync_msgs.h"
 #include "adlp/wire_msgs.h"
 #include "audit/manifest.h"
 #include "common/rng.h"
@@ -392,6 +393,94 @@ TEST_P(WireFuzzTest, TaggedUploadFramesHostile) {
           [](BytesView b) {
             proto::LogServer sink;
             proto::ApplyLogUpload(b, sink);
+          },
+          mutated);
+    }
+  }
+}
+
+TEST_P(WireFuzzTest, SyncProtocolFramesHostile) {
+  Rng rng(GetParam() ^ 0x5fc);
+  // One valid frame of every sync message kind; corpora derive from frames
+  // the parsers provably accept.
+  proto::SyncRoots roots;
+  roots.roots.push_back(FuzzEpochRoot(rng));
+  roots.roots.push_back(FuzzEpochRoot(rng));
+  proto::SyncRecords records;
+  records.first = rng.UniformBelow(100);
+  for (int i = 0; i < 3; ++i) records.records.push_back(rng.RandomBytes(40));
+  proto::SyncProof proof;
+  for (int i = 0; i < 4; ++i) {
+    crypto::Digest d;
+    const Bytes b = rng.RandomBytes(d.size());
+    std::copy(b.begin(), b.end(), d.begin());
+    proof.proof.push_back(d);
+  }
+  proto::SyncSealInfo info;
+  info.epoch = rng.UniformBelow(10);
+  info.watermarks["sink-a"] = rng.UniformBelow(1000);
+  info.keys.emplace_back("component-x",
+                         crypto::SerializePublicKey(FuzzRsaKey(rng)));
+
+  const std::vector<Bytes> corpus = {
+      proto::SerializeSyncGetRoots({rng.UniformBelow(100)}),
+      proto::SerializeSyncRoots(roots),
+      proto::SerializeSyncGetRecords(
+          {rng.UniformBelow(100), rng.UniformBelow(100)}),
+      proto::SerializeSyncRecords(records),
+      proto::SerializeSyncGetProof(
+          {rng.UniformBelow(100), 1 + rng.UniformBelow(100)}),
+      proto::SerializeSyncInclusionProof(proof),
+      proto::SerializeSyncGetConsistency(
+          {rng.UniformBelow(50), 50 + rng.UniformBelow(50)}),
+      proto::SerializeSyncConsistencyProof(proof),
+      proto::SerializeSyncGetSealInfo({rng.UniformBelow(10)}),
+      proto::SerializeSyncSealInfo(info),
+  };
+  const auto parsers = {
+      +[](BytesView b) { proto::ParseSyncGetRoots(b); },
+      +[](BytesView b) { proto::ParseSyncRoots(b); },
+      +[](BytesView b) { proto::ParseSyncGetRecords(b); },
+      +[](BytesView b) { proto::ParseSyncRecords(b); },
+      +[](BytesView b) { proto::ParseSyncGetProof(b); },
+      +[](BytesView b) { proto::ParseSyncInclusionProof(b); },
+      +[](BytesView b) { proto::ParseSyncGetConsistency(b); },
+      +[](BytesView b) { proto::ParseSyncConsistencyProof(b); },
+      +[](BytesView b) { proto::ParseSyncGetSealInfo(b); },
+      +[](BytesView b) { proto::ParseSyncSealInfo(b); },
+  };
+
+  for (const Bytes& valid : corpus) {
+    // Truncations at every boundary, against EVERY parser (a frame of one
+    // kind fed to another parser must throw, not crash) and against the
+    // server dispatch (which parses whatever claims to be a request).
+    for (std::size_t len = 0; len < valid.size(); ++len) {
+      const BytesView prefix(valid.data(), len);
+      for (const auto& parse : parsers) ExpectNoCrash(parse, prefix);
+      ExpectNoCrash(
+          [](BytesView b) {
+            proto::LogServer server;
+            proto::HandleSyncRequest(b, server);
+          },
+          prefix);
+    }
+    // Bit flips, random junk, oversized tails.
+    for (int i = 0; i < 30; ++i) {
+      Bytes mutated = valid;
+      const int flips = 1 + static_cast<int>(rng.UniformBelow(6));
+      for (int f = 0; f < flips; ++f) {
+        mutated[rng.UniformBelow(mutated.size())] ^=
+            static_cast<std::uint8_t>(1u << rng.UniformBelow(8));
+      }
+      if (rng.Chance(0.25)) {
+        const Bytes tail = rng.RandomBytes(512);
+        mutated.insert(mutated.end(), tail.begin(), tail.end());
+      }
+      for (const auto& parse : parsers) ExpectNoCrash(parse, mutated);
+      ExpectNoCrash(
+          [](BytesView b) {
+            proto::LogServer server;
+            proto::HandleSyncRequest(b, server);
           },
           mutated);
     }

@@ -3,7 +3,8 @@
 //   adlp_audit <log-file> <manifest-file> [--json] [--verdicts]
 //              [--threads N] [--cache] [--metrics-out FILE]
 //              [--streaming] [--epoch N]
-//              [--replica FILE]... [--seal-key-seed N]
+//              [--replica FILE]... [--replica-addr HOST:PORT]...
+//              [--seal-key-seed N]
 //              [--trace <topic> <seq> <subscriber>]
 //
 // Loads a tamper-evident log file and a system manifest (see
@@ -30,18 +31,32 @@
 // the unfaithful set. An honest fleet adds nothing to the report, so its
 // output is byte-identical to a single-logger audit's.
 //
+// Each --replica-addr HOST:PORT (or just PORT) audits a LIVE replica over
+// the wire instead of an exported file: the auditor dials the replica's
+// upload port, fetches its signed epoch roots through the read-side sync
+// protocol (adlp/sync_msgs.h), and cross-audits them with the file
+// evidence exactly as above. Store integrity is spot-checked by fetching
+// sampled records plus their inclusion proofs over the same connection and
+// verifying them against the signed roots — no log file ever leaves the
+// replica. On an honest fleet the resulting report is byte-identical to
+// the exported-file path. An unreachable replica is missing evidence
+// (exit 2), not a silent skip.
+//
 // Exit status: 0 = chain verifies and no component implicated;
 //              1 = unfaithful components identified;
 //              2 = evidence tampered or unreadable (including replica
 //                  store/seal findings short of equivocation);
 //              3 = usage error.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
-
+#include <utility>
 #include <vector>
 
 #include "adlp/log_file.h"
+#include "adlp/sync_msgs.h"
 #include "audit/auditor.h"
 #include "audit/manifest.h"
 #include "audit/provenance.h"
@@ -59,9 +74,30 @@ int Usage() {
                "usage: adlp_audit <log-file> <manifest-file> [--json] "
                "[--verdicts] [--threads N] [--cache] [--metrics-out FILE] "
                "[--streaming] [--epoch N] "
-               "[--replica FILE]... [--seal-key-seed N] "
+               "[--replica FILE]... [--replica-addr HOST:PORT]... "
+               "[--seal-key-seed N] "
                "[--trace <topic> <seq> <subscriber>]\n");
   return 3;
+}
+
+/// "HOST:PORT" or bare "PORT" (host defaults to 127.0.0.1). False on a
+/// malformed port.
+bool ParseReplicaAddr(const std::string& addr, std::string& host,
+                      std::uint16_t& port) {
+  host = "127.0.0.1";
+  std::string port_str = addr;
+  if (const std::size_t colon = addr.rfind(':'); colon != std::string::npos) {
+    host = addr.substr(0, colon);
+    port_str = addr.substr(colon + 1);
+  }
+  if (host.empty() || port_str.empty()) return false;
+  char* end = nullptr;
+  const unsigned long value = std::strtoul(port_str.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || value == 0 || value > 65535) {
+    return false;
+  }
+  port = static_cast<std::uint16_t>(value);
+  return true;
 }
 
 }  // namespace
@@ -76,6 +112,7 @@ int main(int argc, char** argv) {
   bool streaming = false;
   std::size_t epoch_entries = 256;
   std::vector<std::string> replica_paths;
+  std::vector<std::string> replica_addrs;
   std::uint64_t seal_key_seed = 0x5ea1;
   std::string metrics_out;
   audit::AuditOptions exec;
@@ -97,6 +134,8 @@ int main(int argc, char** argv) {
       if (epoch_entries == 0) return Usage();
     } else if (std::strcmp(argv[i], "--replica") == 0 && i + 1 < argc) {
       replica_paths.push_back(argv[++i]);
+    } else if (std::strcmp(argv[i], "--replica-addr") == 0 && i + 1 < argc) {
+      replica_addrs.push_back(argv[++i]);
     } else if (std::strcmp(argv[i], "--seal-key-seed") == 0 && i + 1 < argc) {
       seal_key_seed = std::strtoull(argv[++i], nullptr, 0);
     } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
@@ -149,6 +188,30 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  // Live replicas join the same fleet as roots-only members; their store
+  // spot checks run over the wire after the cross-audit. Clients stay open
+  // so the proof fetches reuse the root-fetch connection.
+  std::vector<std::pair<std::size_t, std::unique_ptr<proto::SyncClient>>>
+      wire_replicas;
+  for (const std::string& addr : replica_addrs) {
+    std::string host;
+    std::uint16_t port = 0;
+    if (!ParseReplicaAddr(addr, host, port)) return Usage();
+    transport::TcpConnectOptions connect;
+    connect.host = host;
+    connect.attempts = 3;
+    connect.connect_timeout_ms = 1000;
+    auto client = proto::SyncClient::Dial(port, connect);
+    auto evidence =
+        client ? audit::FetchReplicaEvidence(*client, addr) : std::nullopt;
+    if (!evidence) {
+      std::fprintf(stderr, "adlp_audit: replica %s unreachable\n",
+                   addr.c_str());
+      return 2;
+    }
+    fleet.push_back(std::move(*evidence));
+    wire_replicas.emplace_back(fleet.size() - 1, std::move(client));
+  }
   bool any_roots = false;
   for (const auto& member : fleet) any_roots |= !member.roots.empty();
 
@@ -197,6 +260,10 @@ int main(int argc, char** argv) {
     check.seal_key = proto::EpochSealKeys(seal_key_seed).pub;
     audit::ReplicaCheckResult fleet_result =
         audit::CheckReplicas(fleet, check);
+    for (auto& [index, client] : wire_replicas) {
+      audit::CheckReplicaWireProofs(*client, fleet[index], check,
+                                    fleet_result);
+    }
     if (!json) {
       std::printf("fleet: %zu member(s), %zu epoch-root finding(s), "
                   "%zu inclusion proof(s) verified\n",

@@ -5,11 +5,12 @@
     check_bench_json.py FILE --compare BASELINE [--max-regress 0.15]
 
 Validates BENCH_audit.json (audit_bench), BENCH_obs.json (obs_bench),
-BENCH_scale.json (scale_bench), BENCH_streaming.json (streaming_bench), and
-BENCH_replication.json (replication_bench): the file must parse, carry
+BENCH_scale.json (scale_bench), BENCH_streaming.json (streaming_bench),
+BENCH_replication.json (replication_bench), and BENCH_repair.json
+(repair_bench): the file must parse, carry
 every expected field with the expected type, and its self-reported pass
 flag (all_reports_identical / within_budget / scale_ok / streaming_ok /
-replication_ok) must be true. The schema
+replication_ok / repair_ok) must be true. The schema
 is recognised from the document's contents, not the file name, so renamed
 artifacts still validate.
 
@@ -257,6 +258,50 @@ def check_replication(doc, name):
         raise SchemaError(f"{name}: replication_ok is false")
 
 
+def check_repair(doc, name):
+    config = require(doc, "config", dict, name)
+    for field in ("entries", "reps", "payload_bytes", "seal_every", "replicas"):
+        require(config, field, int, f"{name}.config")
+
+    results = require(doc, "results", list, name)
+    if not results:
+        raise SchemaError(f"{name}: empty results array")
+    for i, result in enumerate(results):
+        where = f"{name}.results[{i}]"
+        behind = require(result, "behind", int, where)
+        if not 1 <= behind < config["replicas"]:
+            raise SchemaError(
+                f"{where}: behind {behind} outside [1, {config['replicas']})"
+            )
+        require(result, "records_repaired", int, where)
+        for field in (
+            "wall_ms",
+            "repair_records_per_sec",
+            "repair_records_per_sec_best",
+            "reconverge_ms",
+        ):
+            value = require(result, field, (int, float), where)
+            if value <= 0:
+                raise SchemaError(
+                    f"{where}: '{field}' must be positive, got {value}"
+                )
+        if not require(result, "converged", bool, where):
+            raise SchemaError(f"{where}: a replica failed to converge")
+        if not require(result, "clean", bool, where):
+            raise SchemaError(
+                f"{where}: repair produced findings against honest peers"
+            )
+
+    gate = require(doc, "gate", dict, name)
+    if not require(gate, "all_converged", bool, f"{name}.gate"):
+        raise SchemaError(f"{name}.gate: all_converged is false")
+    if not require(gate, "no_findings", bool, f"{name}.gate"):
+        raise SchemaError(f"{name}.gate: no_findings is false")
+
+    if not require(doc, "repair_ok", bool, name):
+        raise SchemaError(f"{name}: repair_ok is false")
+
+
 # Schema name -> (row key fields, gated metrics). Each metric is
 # (field, direction): "up" = higher is better, "down" = lower is better.
 COMPARE_SPECS = {
@@ -269,6 +314,9 @@ COMPARE_SPECS = {
     # Commit-latency absolutes are machine-dependent (they include localhost
     # TCP and thread scheduling); only committed throughput regresses.
     "replication_bench": (("replicas",), (("entries_per_sec", "up"),)),
+    # Reconvergence absolutes include localhost TCP round trips and thread
+    # scheduling; only verified-repair throughput regresses.
+    "repair_bench": (("behind",), (("repair_records_per_sec", "up"),)),
 }
 
 # When both rows carry the preferred variant of a metric, compare that
@@ -276,7 +324,10 @@ COMPARE_SPECS = {
 # runners (contention only ever inflates samples), while the mean of a few
 # repetitions can swing past any reasonable tolerance on a preempted box.
 # Baselines recorded before the field existed fall back to the mean.
-PREFERRED_FIELDS = {"entries_per_sec": "entries_per_sec_best"}
+PREFERRED_FIELDS = {
+    "entries_per_sec": "entries_per_sec_best",
+    "repair_records_per_sec": "repair_records_per_sec_best",
+}
 
 
 def compare(doc, baseline, kind, name, base_name, max_regress):
@@ -365,6 +416,9 @@ def check_doc(doc, path):
     elif "replication_ok" in doc:
         check_replication(doc, path)
         kind = "replication_bench"
+    elif "repair_ok" in doc:
+        check_repair(doc, path)
+        kind = "repair_bench"
     else:
         raise SchemaError(f"{path}: unrecognised bench output")
     print(f"{path}: ok ({kind}, {len(doc['results'])} results)")
