@@ -24,6 +24,7 @@
 #include "audit/report_json.h"
 #include "audit/streaming_auditor.h"
 #include "fleet_gen.h"
+#include "test_util/hostile_mutations.h"
 #include "wire/wire.h"
 
 namespace adlp {
@@ -65,10 +66,9 @@ TEST_P(StreamingFuzzTest, AdversarialUploadStream) {
     stream.push_back(frame);
     if (rng.Chance(0.12)) stream.push_back(frame);  // duplicate
     if (rng.Chance(0.10)) {
-      stream.back().resize(stream.back().size() / 2);  // truncate
-    } else if (rng.Chance(0.08) && !stream.back().empty()) {
-      Bytes& b = stream.back();
-      b[rng.UniformBelow(b.size())] ^= 0x40;  // corrupt
+      stream.back() = test::TruncatedAtRandom(rng, stream.back());
+    } else if (rng.Chance(0.08)) {
+      stream.back() = test::BitFlipped(rng, stream.back(), 1);
     }
   }
   // Bounded-window reorder across the whole stream: interleaves key and

@@ -1,0 +1,32 @@
+# Regenerates the fuzz seed corpus into SCRATCH with SEED_GEN and diffs it
+# against the COMMITTED tree. fuzz_seed_gen is deterministic (fixed Rng
+# seed), so any difference means either a serializer changed without the
+# corpus being regenerated, or a seed file was edited by hand. Fix by
+# running:  fuzz_seed_gen tests/fuzz/seeds  and committing the result.
+file(REMOVE_RECURSE "${SCRATCH}")
+execute_process(COMMAND "${SEED_GEN}" "${SCRATCH}" RESULT_VARIABLE gen_rc)
+if(NOT gen_rc EQUAL 0)
+  message(FATAL_ERROR "fuzz_seed_gen failed (rc=${gen_rc})")
+endif()
+
+file(GLOB_RECURSE committed_files RELATIVE "${COMMITTED}" "${COMMITTED}/*.bin")
+file(GLOB_RECURSE regen_files RELATIVE "${SCRATCH}" "${SCRATCH}/*.bin")
+list(SORT committed_files)
+list(SORT regen_files)
+if(NOT committed_files STREQUAL regen_files)
+  message(FATAL_ERROR
+    "seed corpus file sets differ: committed [${committed_files}] vs "
+    "regenerated [${regen_files}] — run fuzz_seed_gen tests/fuzz/seeds "
+    "and commit the result")
+endif()
+
+foreach(rel ${committed_files})
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+    "${COMMITTED}/${rel}" "${SCRATCH}/${rel}" RESULT_VARIABLE diff_rc)
+  if(NOT diff_rc EQUAL 0)
+    message(FATAL_ERROR
+      "seed ${rel} differs from regenerated output — run "
+      "fuzz_seed_gen tests/fuzz/seeds and commit the result")
+  endif()
+endforeach()
+message(STATUS "seed corpus matches fuzz_seed_gen output (${committed_files})")

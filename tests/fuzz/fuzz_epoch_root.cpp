@@ -1,0 +1,17 @@
+// Fuzz target: the epoch-seal decoder. Digest fields are fixed 32-byte
+// arrays — hostile lengths must throw before smearing into them.
+#include <cstddef>
+#include <cstdint>
+
+#include "adlp/epoch.h"
+#include "wire/wire.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const adlp::BytesView input(data, size);
+  try {
+    adlp::proto::ParseEpochRoot(input);
+  } catch (const adlp::wire::WireError&) {
+  }
+  return 0;
+}

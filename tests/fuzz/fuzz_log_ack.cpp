@@ -1,0 +1,17 @@
+// Fuzz target: the quorum-ack frame parser (kKindAck). A frame of any other
+// kind, or garbage, must throw WireError rather than yield a bogus ack seq.
+#include <cstddef>
+#include <cstdint>
+
+#include "adlp/remote_log.h"
+#include "wire/wire.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const adlp::BytesView input(data, size);
+  try {
+    adlp::proto::ParseLogAck(input);
+  } catch (const adlp::wire::WireError&) {
+  }
+  return 0;
+}

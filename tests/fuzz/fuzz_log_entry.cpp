@@ -1,0 +1,18 @@
+// Fuzz target: the ADLP log-entry decoder. Hostile bytes must either parse
+// or throw WireError — any other exception, crash, or hang is a finding.
+#include <cstddef>
+#include <cstdint>
+
+#include "adlp/log_entry.h"
+#include "wire/wire.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const adlp::BytesView input(data, size);
+  try {
+    adlp::proto::DeserializeLogEntry(input);
+  } catch (const adlp::wire::WireError&) {
+    // the only acceptable rejection path
+  }
+  return 0;
+}

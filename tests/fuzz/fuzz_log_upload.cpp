@@ -1,0 +1,24 @@
+// Fuzz target: the log-upload ingestion path (kKindKey + kKindEntry, both
+// plain and quorum-tagged). Exercises both the pure parser and the full
+// server-side apply, which is what a hostile publisher actually reaches.
+#include <cstddef>
+#include <cstdint>
+
+#include "adlp/log_server.h"
+#include "adlp/remote_log.h"
+#include "wire/wire.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const adlp::BytesView input(data, size);
+  try {
+    adlp::proto::ParseLogUpload(input);
+  } catch (const adlp::wire::WireError&) {
+  }
+  try {
+    adlp::proto::LogServer sink;
+    adlp::proto::ApplyLogUpload(input, sink);
+  } catch (const adlp::wire::WireError&) {
+  }
+  return 0;
+}

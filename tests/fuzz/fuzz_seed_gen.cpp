@@ -1,0 +1,255 @@
+// Seed-corpus generator for the fuzz harnesses. Emits, per parser family,
+// a handful of structurally valid frames built with the real serializers
+// plus hostile derivatives made with the shared mutation helpers
+// (tests/test_util/hostile_mutations.h) — the same shapes the gtest fuzz
+// sweeps use. Deterministic: a fixed Rng seed means regenerating into a
+// clean directory reproduces the committed corpus byte-for-byte.
+//
+//   fuzz_seed_gen <output-root>
+//
+// writes <output-root>/<family>/<name>.bin for families: wire_frames,
+// sync_msgs, epoch_root, log_entry, log_upload, log_ack. The committed
+// corpora live in tests/fuzz/seeds/ and double as the ctest replay inputs
+// for the standalone harness builds.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "adlp/epoch.h"
+#include "adlp/log_entry.h"
+#include "adlp/remote_log.h"
+#include "adlp/sync_msgs.h"
+#include "adlp/wire_msgs.h"
+#include "audit/manifest.h"
+#include "common/rng.h"
+#include "crypto/keystore.h"
+#include "crypto/sig.h"
+#include "pubsub/message.h"
+#include "test_util/hostile_mutations.h"
+
+namespace adlp {
+namespace {
+
+using test::BitFlipped;
+using test::LengthBombed;
+using test::TruncatedAtRandom;
+using test::WithOversizedTail;
+
+class SeedWriter {
+ public:
+  SeedWriter(std::filesystem::path root, std::string family)
+      : dir_(root / family) {
+    std::filesystem::create_directories(dir_);
+  }
+
+  void Put(const std::string& name, BytesView frame) {
+    std::ofstream out(dir_ / (name + ".bin"), std::ios::binary);
+    out.write(reinterpret_cast<const char*>(frame.data()),
+              static_cast<std::streamsize>(frame.size()));
+  }
+
+  /// The standard hostile spread derived from one valid frame.
+  void PutWithMutations(const std::string& name, const Bytes& valid,
+                        Rng& rng) {
+    Put(name, valid);
+    Put(name + "-flip", BitFlipped(rng, valid, 3));
+    Put(name + "-bomb", LengthBombed(rng, valid, 8));
+    Put(name + "-cut", TruncatedAtRandom(rng, valid));
+    Put(name + "-tail", WithOversizedTail(rng, valid, 256));
+  }
+
+ private:
+  std::filesystem::path dir_;
+};
+
+proto::LogEntry SeedEntry(Rng& rng) {
+  proto::LogEntry entry;
+  entry.scheme = proto::LogScheme::kAdlp;
+  entry.component = "camera";
+  entry.topic = "image";
+  entry.direction = proto::Direction::kOut;
+  entry.seq = rng.UniformBelow(1000);
+  entry.timestamp = static_cast<Timestamp>(rng.NextU64() >> 1);
+  entry.message_stamp = entry.timestamp - 1;
+  entry.data = rng.RandomBytes(64);
+  entry.self_signature = rng.RandomBytes(64);
+  entry.peer_signature = rng.RandomBytes(64);
+  entry.peer = "planner";
+  entry.peer_data_hash = rng.RandomBytes(32);
+  entry.acks.push_back({"planner", rng.RandomBytes(32), rng.RandomBytes(64)});
+  return entry;
+}
+
+crypto::PublicKey SeedRsaKey(Rng& rng) {
+  crypto::PublicKey key;
+  key.alg = crypto::SigAlgorithm::kRsaPkcs1Sha256;
+  key.rsa.n = crypto::BigInt::FromBytesBE(rng.RandomBytes(64));
+  key.rsa.e = crypto::BigInt::FromBytesBE(Bytes{0x01, 0x00, 0x01});
+  return key;
+}
+
+proto::EpochRoot SeedEpochRoot(Rng& rng) {
+  proto::EpochRoot root;
+  root.epoch = rng.UniformBelow(100);
+  root.tree_size = 1 + rng.UniformBelow(1000);
+  const Bytes r = rng.RandomBytes(root.root.size());
+  std::copy(r.begin(), r.end(), root.root.begin());
+  const Bytes p = rng.RandomBytes(root.prev_root_hash.size());
+  std::copy(p.begin(), p.end(), root.prev_root_hash.begin());
+  root.sealed_at = static_cast<Timestamp>(rng.NextU64() >> 1);
+  root.logger = "logger-0";
+  root.signature = rng.RandomBytes(64);
+  return root;
+}
+
+void EmitLogEntry(const std::filesystem::path& root, Rng& rng) {
+  SeedWriter w(root, "log_entry");
+  w.PutWithMutations("entry", proto::SerializeLogEntry(SeedEntry(rng)), rng);
+  proto::LogEntry base = SeedEntry(rng);
+  base.scheme = proto::LogScheme::kBase;
+  base.acks.clear();
+  w.PutWithMutations("entry-base", proto::SerializeLogEntry(base), rng);
+  w.Put("junk", rng.RandomBytes(96));
+}
+
+void EmitLogUpload(const std::filesystem::path& root, Rng& rng) {
+  SeedWriter w(root, "log_upload");
+  w.PutWithMutations("upload-entry",
+                     proto::SerializeLogUpload(SeedEntry(rng)), rng);
+  w.PutWithMutations(
+      "upload-key", proto::SerializeLogUpload("camera", SeedRsaKey(rng)),
+      rng);
+  w.PutWithMutations(
+      "upload-entry-tagged",
+      proto::SerializeLogUpload(SeedEntry(rng), "sink-0",
+                                rng.UniformBelow(1000)),
+      rng);
+  w.PutWithMutations(
+      "upload-key-tagged",
+      proto::SerializeLogUpload("camera", SeedRsaKey(rng), "sink-0",
+                                rng.UniformBelow(1000)),
+      rng);
+  w.Put("junk", rng.RandomBytes(96));
+}
+
+void EmitLogAck(const std::filesystem::path& root, Rng& rng) {
+  SeedWriter w(root, "log_ack");
+  w.PutWithMutations("ack", proto::SerializeLogAck(rng.NextU64() >> 1), rng);
+  w.PutWithMutations("ack-zero", proto::SerializeLogAck(0), rng);
+  // Cross-kind confusion: an upload frame is never an ack.
+  w.Put("not-an-ack", proto::SerializeLogUpload(SeedEntry(rng)));
+  w.Put("junk", rng.RandomBytes(48));
+}
+
+void EmitEpochRoot(const std::filesystem::path& root, Rng& rng) {
+  SeedWriter w(root, "epoch_root");
+  w.PutWithMutations("seal", proto::SerializeEpochRoot(SeedEpochRoot(rng)),
+                     rng);
+  proto::EpochRoot genesis = SeedEpochRoot(rng);
+  genesis.epoch = 0;
+  genesis.prev_root_hash.fill(0);
+  w.PutWithMutations("seal-genesis", proto::SerializeEpochRoot(genesis), rng);
+  w.Put("junk", rng.RandomBytes(96));
+}
+
+void EmitSyncMsgs(const std::filesystem::path& root, Rng& rng) {
+  SeedWriter w(root, "sync_msgs");
+  proto::SyncRoots roots;
+  roots.roots.push_back(SeedEpochRoot(rng));
+  roots.roots.push_back(SeedEpochRoot(rng));
+  proto::SyncRecords records;
+  records.first = rng.UniformBelow(100);
+  for (int i = 0; i < 3; ++i) records.records.push_back(rng.RandomBytes(40));
+  proto::SyncProof proof;
+  for (int i = 0; i < 4; ++i) {
+    crypto::Digest d;
+    const Bytes b = rng.RandomBytes(d.size());
+    std::copy(b.begin(), b.end(), d.begin());
+    proof.proof.push_back(d);
+  }
+  proto::SyncSealInfo info;
+  info.epoch = rng.UniformBelow(10);
+  info.watermarks["sink-0"] = rng.UniformBelow(1000);
+  info.keys.emplace_back("camera",
+                         crypto::SerializePublicKey(SeedRsaKey(rng)));
+
+  w.PutWithMutations("get-roots",
+                     proto::SerializeSyncGetRoots({rng.UniformBelow(100)}),
+                     rng);
+  w.PutWithMutations("roots", proto::SerializeSyncRoots(roots), rng);
+  w.PutWithMutations(
+      "get-records",
+      proto::SerializeSyncGetRecords(
+          {rng.UniformBelow(100), rng.UniformBelow(100)}),
+      rng);
+  w.PutWithMutations("records", proto::SerializeSyncRecords(records), rng);
+  w.PutWithMutations(
+      "get-proof",
+      proto::SerializeSyncGetProof(
+          {rng.UniformBelow(100), 1 + rng.UniformBelow(100)}),
+      rng);
+  w.PutWithMutations("inclusion-proof",
+                     proto::SerializeSyncInclusionProof(proof), rng);
+  w.PutWithMutations(
+      "get-consistency",
+      proto::SerializeSyncGetConsistency(
+          {rng.UniformBelow(50), 50 + rng.UniformBelow(50)}),
+      rng);
+  w.PutWithMutations("consistency-proof",
+                     proto::SerializeSyncConsistencyProof(proof), rng);
+  w.PutWithMutations("get-seal-info",
+                     proto::SerializeSyncGetSealInfo({rng.UniformBelow(10)}),
+                     rng);
+  w.PutWithMutations("seal-info", proto::SerializeSyncSealInfo(info), rng);
+  w.Put("junk", rng.RandomBytes(96));
+}
+
+void EmitWireFrames(const std::filesystem::path& root, Rng& rng) {
+  SeedWriter w(root, "wire_frames");
+  pubsub::Message msg;
+  msg.header.topic = "image";
+  msg.header.publisher = "camera";
+  msg.header.seq = 42;
+  msg.header.stamp = 1234;
+  msg.payload = rng.RandomBytes(100);
+  w.PutWithMutations("pubsub-msg", pubsub::SerializeMessage(msg), rng);
+  w.PutWithMutations("data-msg",
+                     proto::SerializeDataMessage(msg, rng.RandomBytes(128)),
+                     rng);
+  proto::AckMessage ack;
+  ack.seq = 42;
+  ack.subscriber = "planner";
+  ack.data_hash = rng.RandomBytes(32);
+  ack.signature = rng.RandomBytes(64);
+  w.PutWithMutations("ack-msg", proto::SerializeAckMessage(ack), rng);
+  crypto::KeyStore keys;
+  keys.Register("camera", SeedRsaKey(rng));
+  w.PutWithMutations("manifest",
+                     audit::SerializeManifest(audit::Topology{}, keys), rng);
+  w.PutWithMutations("public-key",
+                     crypto::SerializePublicKey(SeedRsaKey(rng)), rng);
+  w.Put("junk", rng.RandomBytes(128));
+}
+
+}  // namespace
+}  // namespace adlp
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <output-root>\n", argv[0]);
+    return 2;
+  }
+  const std::filesystem::path root(argv[1]);
+  // Fixed seed: the committed corpus is reproducible byte-for-byte.
+  adlp::Rng rng(0x5eed'c0de);
+  adlp::EmitLogEntry(root, rng);
+  adlp::EmitLogUpload(root, rng);
+  adlp::EmitLogAck(root, rng);
+  adlp::EmitEpochRoot(root, rng);
+  adlp::EmitSyncMsgs(root, rng);
+  adlp::EmitWireFrames(root, rng);
+  std::printf("seed corpora written under %s\n", root.c_str());
+  return 0;
+}

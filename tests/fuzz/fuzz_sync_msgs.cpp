@@ -1,0 +1,45 @@
+// Fuzz target: the replica-sync protocol (kKindGetRoots … kKindSealInfo).
+// Every message parser sees every input — a frame of one kind fed to
+// another kind's parser must throw, not crash — and the server dispatch
+// sees it too, which is the path a hostile peer actually reaches.
+#include <cstddef>
+#include <cstdint>
+
+#include "adlp/log_server.h"
+#include "adlp/sync_msgs.h"
+#include "wire/wire.h"
+
+namespace {
+
+template <typename Fn>
+void Probe(Fn&& parse, adlp::BytesView input) {
+  try {
+    parse(input);
+  } catch (const adlp::wire::WireError&) {
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  namespace proto = adlp::proto;
+  const adlp::BytesView input(data, size);
+  Probe([](adlp::BytesView b) { proto::ParseSyncGetRoots(b); }, input);
+  Probe([](adlp::BytesView b) { proto::ParseSyncRoots(b); }, input);
+  Probe([](adlp::BytesView b) { proto::ParseSyncGetRecords(b); }, input);
+  Probe([](adlp::BytesView b) { proto::ParseSyncRecords(b); }, input);
+  Probe([](adlp::BytesView b) { proto::ParseSyncGetProof(b); }, input);
+  Probe([](adlp::BytesView b) { proto::ParseSyncInclusionProof(b); }, input);
+  Probe([](adlp::BytesView b) { proto::ParseSyncGetConsistency(b); }, input);
+  Probe([](adlp::BytesView b) { proto::ParseSyncConsistencyProof(b); }, input);
+  Probe([](adlp::BytesView b) { proto::ParseSyncGetSealInfo(b); }, input);
+  Probe([](adlp::BytesView b) { proto::ParseSyncSealInfo(b); }, input);
+  Probe(
+      [](adlp::BytesView b) {
+        proto::LogServer server;
+        proto::HandleSyncRequest(b, server);
+      },
+      input);
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Fuzz target: the base wire-frame decoders — pubsub messages, ADLP
+// data/ack protocol messages, audit manifests, and serialized public keys.
+// One harness for the family: they share the wire::Reader substrate, so a
+// coverage-guided corpus cross-pollinates between them.
+#include <cstddef>
+#include <cstdint>
+
+#include "adlp/wire_msgs.h"
+#include "audit/manifest.h"
+#include "crypto/sig.h"
+#include "pubsub/message.h"
+#include "wire/wire.h"
+
+namespace {
+
+template <typename Fn>
+void Probe(Fn&& parse, adlp::BytesView input) {
+  try {
+    parse(input);
+  } catch (const adlp::wire::WireError&) {
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const adlp::BytesView input(data, size);
+  Probe([](adlp::BytesView b) { adlp::pubsub::DeserializeMessage(b); }, input);
+  Probe([](adlp::BytesView b) { adlp::proto::ParseDataMessage(b); }, input);
+  Probe([](adlp::BytesView b) { adlp::proto::ParseAckMessage(b); }, input);
+  Probe([](adlp::BytesView b) { adlp::audit::ParseManifest(b); }, input);
+  Probe([](adlp::BytesView b) { adlp::crypto::ParsePublicKey(b); }, input);
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Replay driver for fuzz targets built without -fsanitize=fuzzer (the
+// default GCC build). Each harness defines only LLVMFuzzerTestOneInput;
+// under ADLP_FUZZERS libFuzzer supplies main() and drives coverage-guided
+// mutation, while this driver makes the same harness a plain executable
+// that replays every file (or directory of files) named on the command
+// line. ctest runs each harness over its committed seed corpus this way,
+// so the fuzz entry points are exercised on every local test run, not just
+// in the Clang fuzz CI job.
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+bool ReplayFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return false;
+  }
+  const std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                                std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                         bytes.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::filesystem::path> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path arg(argv[i]);
+    if (std::filesystem::is_directory(arg)) {
+      for (const auto& entry : std::filesystem::directory_iterator(arg)) {
+        if (entry.is_regular_file()) inputs.push_back(entry.path());
+      }
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr, "usage: %s <seed-file-or-dir>...\n", argv[0]);
+    return 2;
+  }
+  std::size_t ran = 0;
+  for (const auto& path : inputs) {
+    if (!ReplayFile(path)) return 2;
+    ++ran;
+  }
+  std::printf("replayed %zu inputs\n", ran);
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Probe fixture: known-bad lock discipline the blocking-under-lock pass
+// MUST flag, plus the legitimate patterns it must NOT flag. Never
+// compiled — analyzed only.
+#include "common/mutex.h"
+
+namespace adlp {
+
+class Prober {
+ public:
+  void BlockingSendUnderLock() {
+    MutexLock lock(mu_);
+    channel_.Send(payload_);  // VIOLATION: Send while mu_ is held
+  }
+
+  void SleepInRequiresFunction() REQUIRES(mu_) {
+    std::this_thread::sleep_for(delay_);  // VIOLATION: caller holds mu_
+  }
+
+  void RelockWindowIsFine() {
+    MutexLock lock(mu_);
+    lock.Unlock();
+    channel_.Send(payload_);  // OK: inside the Unlock()...Lock() window
+    lock.Lock();
+  }
+
+  void SpawnedThreadIsFine() {
+    MutexLock lock(mu_);
+    worker_ = std::thread([this] {
+      channel_.Receive();  // OK: runs on the spawned thread, not under mu_
+    });
+  }
+
+  void CondVarWaitIsFine() {
+    MutexLock lock(mu_);
+    cv_.Wait(lock);  // OK: Wait releases the lock while blocked
+  }
+
+ private:
+  Mutex mu_;
+  CondVar cv_;
+  FakeChannel channel_;
+  Bytes payload_;
+  std::thread worker_;
+  Duration delay_;
+};
+
+}  // namespace adlp

@@ -1,0 +1,46 @@
+// Probe fixture: a tree all three passes must accept — the positive half
+// of the analyzer-of-the-analyzer harness (a checker that flags everything
+// is as useless as one that flags nothing). Never compiled — analyzed only.
+#include <cstring>
+
+namespace adlp::proto {
+
+constexpr int kKindProbe = 1;
+
+// Bounds-checked parser: the size() guard precedes every raw access, and
+// the kind tag is verified — covers the parser leg of kKindProbe.
+int ParseProbe(BytesView frame) {
+  if (frame.size() < 2) throw wire::WireError("short probe frame");
+  if (frame[0] != kKindProbe) throw wire::WireError("wrong kind");
+  return frame[1];
+}
+
+// Serializer leg of kKindProbe.
+Bytes SerializeProbe(int value) {
+  Bytes out;
+  out.push_back(kKindProbe);
+  out.push_back(value);
+  return out;
+}
+
+// Dispatch leg: a function named like the real dispatchers that routes a
+// frame to the kind's parser.
+int HandleSyncRequest(BytesView frame) {
+  return ParseProbe(frame);
+}
+
+// A justified waiver must suppress its finding (and only its finding).
+// Waivers anchor to the flagged statement: on its line, or in the comment
+// block immediately above it.
+int ParseWaived(BytesView frame) {
+  // analyzer: allow(parser-bounds): offset 0 of a probe frame is readable
+  // by protocol contract; this fixture proves justified waivers suppress.
+  return frame[0];
+}
+
+// Blocking call with no lock held: fine.
+void SendUnlocked(FakeChannel& channel, const Bytes& payload) {
+  channel.Send(payload);
+}
+
+}  // namespace adlp::proto

@@ -1,0 +1,7 @@
+// Fuzz leg of kKindProbe for the ok fixture: referencing the kind's parser
+// here satisfies the wire-kinds fuzz-coverage requirement.
+extern "C" int LLVMFuzzerTestOneInput(const unsigned char* data,
+                                      unsigned long size) {
+  adlp::proto::ParseProbe(adlp::BytesView(data, size));
+  return 0;
+}

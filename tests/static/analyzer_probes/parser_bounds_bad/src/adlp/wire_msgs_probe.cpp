@@ -1,0 +1,45 @@
+// Probe fixture: known-bad parser code the parser-bounds pass MUST flag.
+// Never compiled — analyzed only (analyzer-of-the-analyzer, mirroring the
+// thread-safety negative-compile harness). Paths mirror the real tree so
+// the pass's file scoping applies unchanged.
+#include <cstring>
+
+namespace adlp::proto {
+
+// VIOLATION: subscript on an untrusted span with no size()/empty() check.
+int ParseUncheckedSubscript(BytesView frame) {
+  return frame[0];
+}
+
+// VIOLATION: subspan before any bounds check.
+BytesView ParseUncheckedSubspan(BytesView frame) {
+  return frame.subspan(4);
+}
+
+// VIOLATION: memcpy out of an unchecked span.
+void ParseUncheckedMemcpy(BytesView frame) {
+  char buf[8];
+  std::memcpy(buf, frame.data(), 8);
+  (void)frame;
+}
+
+// OK: the subscript is guarded by a size() comparison first.
+int ParseCheckedSubscript(BytesView frame) {
+  if (frame.size() < 1) throw wire::WireError("short");
+  return frame[0];
+}
+
+// OK: Take() validates the requested length by construction.
+int ParseTakeValidated(wire::Reader& r) {
+  BytesView raw = r.Take(8);
+  return raw[7];
+}
+
+// VIOLATION (waiver rejected): the waiver below has no justification, so
+// it must be reported instead of suppressing the finding.
+// analyzer: allow(parser-bounds):
+int ParseBadWaiver(BytesView frame) {
+  return frame[1];
+}
+
+}  // namespace adlp::proto

@@ -1,0 +1,11 @@
+// Probe fixture: known-bad wire-kind hygiene the wire-kinds pass MUST
+// flag. Never compiled — analyzed only.
+namespace adlp::proto {
+
+enum : int {
+  kKindOrphan = 1,        // VIOLATION: no serializer/parser/dispatch/fuzz
+  kKindUnregistered = 2,  // VIOLATION: absent from tools/wire_kinds.txt
+  kKindClash = 2,         // VIOLATION: reuses wire value 2
+};
+
+}  // namespace adlp::proto

@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/analyzer/adlp_analyze.py.
+
+Covers the pieces whose failure would silently neuter the analyzer: waiver
+parsing (justification mandatory, unknown passes rejected, comment-block
+anchoring), wire-kind registry staleness in both directions, and one
+golden-output test per pass over the committed probe fixtures — if a pass
+stops firing on its known-bad fixture, the golden diff fails here and the
+ctest harness fails independently.
+
+Run from the repo root (ctest does):  python3 tests/static/analyzer_test.py
+Pass --frontend=clang via ADLP_ANALYZER_FRONTEND to exercise the clang
+frontend where python3-clang is installed (the CI analyzer job does).
+"""
+
+import io
+import os
+import sys
+import unittest
+from contextlib import redirect_stderr, redirect_stdout
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO / "tools" / "analyzer"))
+
+import adlp_analyze  # noqa: E402
+
+PROBES = REPO / "tests" / "static" / "analyzer_probes"
+FRONTEND = os.environ.get("ADLP_ANALYZER_FRONTEND", "lex")
+
+
+def run_analyzer(*argv: str) -> tuple[int, str]:
+    out = io.StringIO()
+    err = io.StringIO()
+    with redirect_stdout(out), redirect_stderr(err):
+        rc = adlp_analyze.main(list(argv) + [f"--frontend={FRONTEND}"])
+    return rc, out.getvalue()
+
+
+class WaiverParsingTest(unittest.TestCase):
+    def test_trailing_waiver_covers_its_own_line(self):
+        text = "int x = frame[0];  // analyzer: allow(parser-bounds): ok\n"
+        waivers, findings = adlp_analyze.scan_waivers(text, "f.cpp")
+        self.assertEqual(findings, [])
+        self.assertTrue(waivers.covers("parser-bounds", 1))
+        self.assertFalse(waivers.covers("parser-bounds", 2))
+
+    def test_comment_block_waiver_covers_next_code_line(self):
+        text = ("// analyzer: allow(blocking-under-lock): thread already\n"
+                "// exited, join is an instant reap\n"
+                "t.join();\n")
+        waivers, findings = adlp_analyze.scan_waivers(text, "f.cpp")
+        self.assertEqual(findings, [])
+        self.assertTrue(waivers.covers("blocking-under-lock", 3))
+        self.assertFalse(waivers.covers("blocking-under-lock", 1))
+
+    def test_waiver_without_justification_is_a_finding(self):
+        text = "frame[0];  // analyzer: allow(parser-bounds):\n"
+        waivers, findings = adlp_analyze.scan_waivers(text, "f.cpp")
+        self.assertEqual(waivers.entries, {})
+        self.assertEqual(len(findings), 1)
+        self.assertIn("without justification", findings[0].message)
+        self.assertEqual(findings[0].pass_name, "parser-bounds")
+
+    def test_justification_may_continue_on_next_comment_line(self):
+        text = ("// analyzer: allow(wire-kinds):\n"
+                "// retired kind kept for log replay compatibility\n"
+                "constexpr int kKindOld = 9;\n")
+        waivers, findings = adlp_analyze.scan_waivers(text, "f.cpp")
+        self.assertEqual(findings, [])
+        self.assertTrue(waivers.covers("wire-kinds", 3))
+
+    def test_unknown_pass_name_is_a_finding(self):
+        text = "// analyzer: allow(made-up-pass): because\n"
+        _waivers, findings = adlp_analyze.scan_waivers(text, "f.cpp")
+        self.assertEqual(len(findings), 1)
+        self.assertIn("unknown pass", findings[0].message)
+
+    def test_waiver_does_not_cover_other_pass(self):
+        text = "x.Send(b);  // analyzer: allow(parser-bounds): wrong pass\n"
+        waivers, _ = adlp_analyze.scan_waivers(text, "f.cpp")
+        self.assertFalse(waivers.covers("blocking-under-lock", 1))
+
+
+class RegistryStalenessTest(unittest.TestCase):
+    """Both staleness directions, on the committed wire_kinds_bad fixture."""
+
+    def run_pass(self) -> str:
+        rc, out = run_analyzer(
+            "--root", str(PROBES / "wire_kinds_bad"), "--passes",
+            "wire-kinds")
+        self.assertEqual(rc, 1, out)
+        return out
+
+    def test_kind_without_registry_entry_is_flagged(self):
+        self.assertIn("kKindUnregistered missing from tools/wire_kinds.txt",
+                      self.run_pass())
+
+    def test_registry_entry_without_kind_is_flagged(self):
+        self.assertIn("stale registry entry kKindStale", self.run_pass())
+
+    def test_duplicate_wire_value_is_flagged(self):
+        self.assertIn("reuses wire value 2", self.run_pass())
+
+
+class GoldenOutputTest(unittest.TestCase):
+    """One golden-output comparison per pass over its bad fixture."""
+
+    maxDiff = None
+
+    def check_golden(self, fixture: str, pass_name: str):
+        rc, out = run_analyzer(
+            "--root", str(PROBES / fixture), "--passes", pass_name)
+        self.assertEqual(rc, 1, out)
+        golden = (PROBES.parent / "analyzer_probes" /
+                  f"{fixture}.golden").read_text()
+        self.assertEqual(out, golden,
+                         f"{fixture}: output diverged from committed golden "
+                         f"— if the change is intentional, regenerate with "
+                         f"adlp_analyze.py --root tests/static/"
+                         f"analyzer_probes/{fixture} --passes {pass_name} "
+                         f"> .../{fixture}.golden")
+
+    def test_parser_bounds_golden(self):
+        self.check_golden("parser_bounds_bad", "parser-bounds")
+
+    def test_blocking_under_lock_golden(self):
+        self.check_golden("blocking_bad", "blocking-under-lock")
+
+    def test_wire_kinds_golden(self):
+        self.check_golden("wire_kinds_bad", "wire-kinds")
+
+
+class OkFixtureTest(unittest.TestCase):
+    def test_ok_fixture_is_clean_under_all_passes(self):
+        rc, out = run_analyzer("--root", str(PROBES / "ok"))
+        self.assertEqual(rc, 0, out)
+        self.assertEqual(out, "")
+
+
+class RealTreeTest(unittest.TestCase):
+    def test_repo_tree_is_clean(self):
+        rc, out = run_analyzer("--root", str(REPO))
+        self.assertEqual(rc, 0, out)
+
+
+class LexFrontendTest(unittest.TestCase):
+    """Function discovery on the constructs the passes depend on."""
+
+    def functions(self, code: str):
+        return adlp_analyze.lex_functions(adlp_analyze.tokenize(code),
+                                          "t.cpp")
+
+    def test_method_with_initializer_list(self):
+        fns = self.functions(
+            "Foo::Foo(int x) : a_(x), b_{x} { Use(a_); }")
+        self.assertEqual([f.qualified for f in fns], ["Foo::Foo"])
+
+    def test_requires_annotated_definition(self):
+        fns = self.functions(
+            "void Foo::Bar() REQUIRES(mu_) { DoThing(); }")
+        self.assertEqual([f.qualified for f in fns], ["Foo::Bar"])
+
+    def test_control_flow_is_not_a_function(self):
+        fns = self.functions(
+            "void F() { if (x) { } while (y) { } switch (z) { } }")
+        self.assertEqual([f.name for f in fns], ["F"])
+
+    def test_take_initialized_local_is_validated(self):
+        spans, validated = adlp_analyze._body_span_locals(
+            adlp_analyze.tokenize("BytesView raw = r.Take(8); use(raw[7]);"))
+        self.assertEqual(spans, {"raw"})
+        self.assertEqual(validated, {"raw"})
+
+
+if __name__ == "__main__":
+    unittest.main()

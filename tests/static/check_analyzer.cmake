@@ -1,0 +1,61 @@
+# Analyzer-of-the-analyzer harness for tools/analyzer/adlp_analyze.py. Run
+# as a ctest entry via `cmake -P` with:
+#   -DPYTHON=<python3>  -DREPO_ROOT=<repo>  -DFRONTEND=<lex|clang>
+#
+# Assertions, in order (mirroring check_thread_safety.cmake):
+#  1. the ok fixture is clean under every pass       (flags/model are sane)
+#  2. each pass FAILS loudly on its bad fixture with the expected findings
+#     (golden-compared, so the pass can neither stop firing nor drift)
+#  3. the real tree is clean under every pass        (the enforced gate)
+# Any other outcome is a hard failure of this script (and so of the test).
+
+set(analyzer "${REPO_ROOT}/tools/analyzer/adlp_analyze.py")
+set(probes "${REPO_ROOT}/tests/static/analyzer_probes")
+
+function(run_analyzer out_rc out_log)
+  execute_process(
+    COMMAND "${PYTHON}" "${analyzer}" --frontend=${FRONTEND} ${ARGN}
+    RESULT_VARIABLE result
+    OUTPUT_VARIABLE output
+    ERROR_VARIABLE errout)
+  set(${out_rc} "${result}" PARENT_SCOPE)
+  set(${out_log} "${output}" PARENT_SCOPE)
+endfunction()
+
+# 1. Positive control: the ok fixture is clean.
+run_analyzer(rc log --root "${probes}/ok")
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "positive control failed: the ok fixture was flagged (rc=${rc}):\n${log}")
+endif()
+
+# 2. Each pass fires on its bad fixture, with golden-identical output.
+foreach(case
+    "parser_bounds_bad;parser-bounds"
+    "blocking_bad;blocking-under-lock"
+    "wire_kinds_bad;wire-kinds")
+  list(GET case 0 fixture)
+  list(GET case 1 pass)
+  run_analyzer(rc log --root "${probes}/${fixture}" --passes "${pass}")
+  if(rc EQUAL 0)
+    message(FATAL_ERROR
+      "pass ${pass} did not fire on its known-bad fixture ${fixture} — the "
+      "analyzer is no longer protecting anything")
+  endif()
+  file(READ "${probes}/${fixture}.golden" golden)
+  if(NOT log STREQUAL golden)
+    message(FATAL_ERROR
+      "pass ${pass} output diverged from ${fixture}.golden — if intentional, "
+      "regenerate the golden file.\n--- got ---\n${log}\n--- want ---\n"
+      "${golden}")
+  endif()
+endforeach()
+
+# 3. The gate itself: the real tree must be clean.
+run_analyzer(rc log --root "${REPO_ROOT}")
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "adlp_analyze found violations in the tree (rc=${rc}):\n${log}")
+endif()
+
+message(STATUS "analyzer checks passed (${FRONTEND} frontend)")

@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Probe tests for tools/lint.py — every rule class must fire on a
+known-bad fixture and stay quiet on a clean one.
+
+Each test builds a throwaway tree under a tempdir, points lint.run() at it
+with --root semantics, and asserts the expected violation class (and only
+that class) fires. The final test is the enforced gate: the real tree is
+clean. If a rule stops firing on its probe, the lint is no longer
+protecting anything and this test fails before CI ever would.
+"""
+
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO / "tools"))
+
+import lint  # noqa: E402
+
+
+class ProbeTree:
+    """A throwaway fixture tree: write(relpath, text), then lint it."""
+
+    def __init__(self, tmp: Path):
+        self.root = tmp
+
+    def write(self, rel: str, text: str) -> None:
+        path = self.root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+
+    def lint(self):
+        return lint.run(self.root)
+
+
+class LintProbeTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.tree = ProbeTree(Path(self._tmp.name))
+        self.addCleanup(self._tmp.cleanup)
+
+    def assert_fires(self, rule: str, *needles: str):
+        failed, violations = self.tree.lint()
+        matching = [v for v in violations if v.startswith(f"{rule}:")]
+        self.assertTrue(matching,
+                        f"{rule} did not fire; got: {violations}")
+        for needle in needles:
+            self.assertTrue(any(needle in v for v in matching),
+                            f"no {rule} violation mentions {needle!r}: "
+                            f"{matching}")
+        other = [v for v in violations if not v.startswith(f"{rule}:")]
+        self.assertEqual(other, [], "unrelated rule classes fired")
+        self.assertEqual(failed, 1)
+
+    def assert_clean(self):
+        failed, violations = self.tree.lint()
+        self.assertEqual(violations, [])
+        self.assertEqual(failed, 0)
+
+    # --- banned-call ---
+
+    def test_banned_call_fires_on_rand(self):
+        self.tree.write("src/a.cpp", "int x = rand();\n")
+        self.assert_fires("banned-call", "rand()")
+
+    def test_banned_call_ignores_comments_and_qualified_names(self):
+        self.tree.write("src/a.cpp",
+                        "// rand() is banned\n"
+                        "int y = my::rand(3);\n")
+        self.assert_clean()
+
+    # --- memcpy-guard ---
+
+    def test_memcpy_guard_fires_on_unguarded_runtime_length(self):
+        self.tree.write("src/a.cpp",
+                        "void F(BytesView v, char* d) {\n"
+                        "  memcpy(d, v.data(), v.size());\n"
+                        "}\n")
+        self.assert_fires("memcpy-guard", "memcpy")
+
+    def test_memcpy_guard_accepts_empty_check_and_sizeof(self):
+        self.tree.write("src/a.cpp",
+                        "void F(BytesView v, char* d) {\n"
+                        "  if (v.empty()) return;\n"
+                        "  memcpy(d, v.data(), v.size());\n"
+                        "}\n"
+                        "void G(char* d, const Hdr& h) {\n"
+                        "  memcpy(d, &h, sizeof(Hdr));\n"
+                        "}\n")
+        self.assert_clean()
+
+    # --- obs-includes ---
+
+    def test_obs_includes_fires_on_layer_violation(self):
+        self.tree.write("src/obs/metrics.h",
+                        '#include "wire/frame.h"\n')
+        self.assert_fires("obs-includes", "wire/frame.h")
+
+    def test_obs_includes_accepts_allowed_set(self):
+        self.tree.write("src/obs/metrics.h",
+                        "#include <string>\n"
+                        '#include "obs/counter.h"\n'
+                        '#include "common/mutex.h"\n'
+                        '#include "common/thread_annotations.h"\n')
+        self.assert_clean()
+
+    # --- metric-names ---
+
+    def test_metric_names_fires_on_unregistered_literal(self):
+        self.tree.write("tools/metric_names.txt", "adlp_known\n")
+        self.tree.write("src/a.cpp",
+                        'Reg("adlp_known");\n'
+                        'Reg("adlp_rogue");\n')
+        self.assert_fires("metric-names", "adlp_rogue")
+
+    def test_metric_names_fires_on_stale_registry_entry(self):
+        self.tree.write("tools/metric_names.txt", "adlp_gone\nadlp_used\n")
+        self.tree.write("src/a.cpp", 'Reg("adlp_used");\n')
+        self.assert_fires("metric-names", "adlp_gone", "stale")
+
+    def test_metric_names_fires_on_unsorted_registry(self):
+        self.tree.write("tools/metric_names.txt", "adlp_b\nadlp_a\n")
+        self.tree.write("src/a.cpp", 'Reg("adlp_a");\nReg("adlp_b");\n')
+        self.assert_fires("metric-names", "not sorted")
+
+    # --- naked-mutex ---
+
+    def test_naked_mutex_fires_on_std_mutex_member(self):
+        self.tree.write("src/core/server.h",
+                        "class S { std::mutex mu_; };\n")
+        self.assert_fires("naked-mutex", "std::mutex", "common/mutex.h")
+
+    def test_naked_mutex_fires_on_lock_guard_and_condvar(self):
+        self.tree.write("src/core/server.cpp",
+                        "void S::F() { std::lock_guard<std::mutex> l(mu_); }\n")
+        self.tree.write("src/core/queue.h",
+                        "std::condition_variable cv_;\n")
+        self.assert_fires("naked-mutex", "std::lock_guard",
+                          "std::condition_variable")
+
+    def test_naked_mutex_exempts_the_wrapper_header_and_comments(self):
+        self.tree.write("src/common/mutex.h",
+                        "class Mutex { std::mutex mu_; };\n")
+        self.tree.write("src/crypto/keystore.h",
+                        "// deadlock-avoidance std::scoped_lock mention\n"
+                        "Mutex mu_;\n")
+        self.assert_clean()
+
+    def test_naked_mutex_covers_tools_and_examples(self):
+        self.tree.write("examples/demo.cpp",
+                        "std::unique_lock<std::mutex> l(m);\n")
+        self.assert_fires("naked-mutex", "std::unique_lock")
+
+
+class RealTreeTest(unittest.TestCase):
+    def test_repo_tree_is_clean(self):
+        failed, violations = lint.run(REPO)
+        self.assertEqual(violations, [], "\n".join(violations))
+        self.assertEqual(failed, 0)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,87 @@
+// Shared hostile-mutation helpers for parser-robustness tests and fuzz
+// seed generation. Every decoder that touches network- or log-derived bytes
+// is exercised with the same adversarial corpus shapes: truncation at every
+// byte boundary (mid-tag, mid-varint, mid-payload), single-bit flips, whole
+// byte smashes, 0xff length bombs (varint length prefixes that decode as
+// enormous claimed lengths and must be rejected before any allocation of
+// that size), and valid frames with kilobytes of trailing garbage.
+//
+// These started as private helpers duplicated between
+// tests/wire/wire_fuzz_test.cpp and tests/audit/streaming_fuzz_test.cpp;
+// tests/fuzz/ reuses them to derive the committed libFuzzer seed corpora,
+// so the gtest sweeps and the coverage-guided fuzzers start from the same
+// hostile shapes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+
+namespace adlp::test {
+
+/// Calls `probe` with every strict prefix of `valid`, including the empty
+/// one: a decoder must reject cleanly no matter where the cut lands.
+template <typename Fn>
+void ForEveryTruncation(BytesView valid, Fn&& probe) {
+  for (std::size_t len = 0; len < valid.size(); ++len) {
+    probe(BytesView(valid.data(), len));
+  }
+}
+
+/// `frame` with `flips` random single-bit flips. Empty frames pass through.
+inline Bytes BitFlipped(Rng& rng, BytesView frame, int flips) {
+  Bytes mutated(frame.begin(), frame.end());
+  if (mutated.empty()) return mutated;
+  for (int f = 0; f < flips; ++f) {
+    mutated[rng.UniformBelow(mutated.size())] ^=
+        static_cast<std::uint8_t>(1u << rng.UniformBelow(8));
+  }
+  return mutated;
+}
+
+/// `frame` with `count` random bytes replaced wholesale (not just one bit).
+inline Bytes ByteSmashed(Rng& rng, BytesView frame, int count) {
+  Bytes mutated(frame.begin(), frame.end());
+  if (mutated.empty()) return mutated;
+  for (int c = 0; c < count; ++c) {
+    mutated[rng.UniformBelow(mutated.size())] =
+        static_cast<std::uint8_t>(rng.NextU64());
+  }
+  return mutated;
+}
+
+/// `frame` with a run of up to `run` 0xff bytes starting at a random
+/// offset: wherever the run lands on a varint length prefix it decodes as
+/// an absurd claimed length, which the decoder must reject before
+/// allocating or subviewing that much.
+inline Bytes LengthBombed(Rng& rng, BytesView frame, std::size_t run) {
+  Bytes bomb(frame.begin(), frame.end());
+  if (bomb.empty()) return bomb;
+  const std::size_t at = rng.UniformBelow(bomb.size());
+  for (std::size_t j = 0; j < run && at + j < bomb.size(); ++j) {
+    bomb[at + j] = 0xff;
+  }
+  return bomb;
+}
+
+/// A valid frame followed by `tail_len` bytes of random garbage: decoders
+/// that track their own length must not read into the tail, and decoders
+/// that consume to end-of-input must reject the trailing junk cleanly.
+inline Bytes WithOversizedTail(Rng& rng, BytesView frame,
+                               std::size_t tail_len) {
+  Bytes oversized(frame.begin(), frame.end());
+  const Bytes tail = rng.RandomBytes(tail_len);
+  oversized.insert(oversized.end(), tail.begin(), tail.end());
+  return oversized;
+}
+
+/// A random strict prefix of `frame` (empty frames pass through).
+inline Bytes TruncatedAtRandom(Rng& rng, BytesView frame) {
+  Bytes cut(frame.begin(), frame.end());
+  if (!cut.empty()) cut.resize(rng.UniformBelow(cut.size()));
+  return cut;
+}
+
+}  // namespace adlp::test

@@ -15,10 +15,17 @@
 #include "common/rng.h"
 #include "crypto/sig.h"
 #include "pubsub/message.h"
+#include "test_util/hostile_mutations.h"
 #include "wire/wire.h"
 
 namespace adlp {
 namespace {
+
+using test::BitFlipped;
+using test::ByteSmashed;
+using test::ForEveryTruncation;
+using test::LengthBombed;
+using test::WithOversizedTail;
 
 class WireFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
 
@@ -60,14 +67,10 @@ TEST_P(WireFuzzTest, MutatedValidMessagesNeverCrash) {
   const Bytes valid = proto::SerializeDataMessage(msg, rng.RandomBytes(128));
 
   for (int i = 0; i < 100; ++i) {
-    Bytes mutated = valid;
-    const int mutations = 1 + static_cast<int>(rng.UniformBelow(4));
-    for (int m = 0; m < mutations; ++m) {
-      const std::size_t pos = rng.UniformBelow(mutated.size());
-      mutated[pos] = static_cast<std::uint8_t>(rng.NextU64());
-    }
+    Bytes mutated =
+        ByteSmashed(rng, valid, 1 + static_cast<int>(rng.UniformBelow(4)));
     if (rng.Chance(0.3) && mutated.size() > 4) {
-      mutated.resize(rng.UniformBelow(mutated.size()));  // truncate
+      mutated = test::TruncatedAtRandom(rng, mutated);
     }
     ExpectNoCrash([](BytesView b) { proto::ParseDataMessage(b); }, mutated);
     ExpectNoCrash([](BytesView b) { pubsub::DeserializeMessage(b); }, mutated);
@@ -156,10 +159,9 @@ TEST_P(WireFuzzTest, LogEntryFrameTruncationsAtEveryBoundary) {
   const Bytes valid = proto::SerializeLogEntry(FuzzEntry(rng));
   // Every prefix of a valid frame: decoders must reject cleanly no matter
   // where the cut lands (mid-tag, mid-length, mid-payload).
-  for (std::size_t len = 0; len < valid.size(); ++len) {
-    const BytesView prefix(valid.data(), len);
+  ForEveryTruncation(valid, [](BytesView prefix) {
     ExpectNoCrash([](BytesView b) { proto::DeserializeLogEntry(b); }, prefix);
-  }
+  });
 }
 
 TEST_P(WireFuzzTest, LogEntryFramesBitFlippedAndOversized) {
@@ -167,30 +169,20 @@ TEST_P(WireFuzzTest, LogEntryFramesBitFlippedAndOversized) {
   const Bytes valid = proto::SerializeLogEntry(FuzzEntry(rng));
 
   for (int i = 0; i < 100; ++i) {
-    Bytes mutated = valid;
-    const int flips = 1 + static_cast<int>(rng.UniformBelow(8));
-    for (int f = 0; f < flips; ++f) {
-      mutated[rng.UniformBelow(mutated.size())] ^=
-          static_cast<std::uint8_t>(1u << rng.UniformBelow(8));
-    }
+    const Bytes mutated =
+        BitFlipped(rng, valid, 1 + static_cast<int>(rng.UniformBelow(8)));
     ExpectNoCrash([](BytesView b) { proto::DeserializeLogEntry(b); }, mutated);
   }
 
   // Oversized corpora: a valid frame with kilobytes of trailing garbage, and
   // length-prefix bombs (0xff runs decode as enormous claimed lengths that
   // must be rejected before any allocation of that size).
-  Bytes oversized = valid;
-  const Bytes tail = rng.RandomBytes(4096);
-  oversized.insert(oversized.end(), tail.begin(), tail.end());
-  ExpectNoCrash([](BytesView b) { proto::DeserializeLogEntry(b); }, oversized);
+  ExpectNoCrash([](BytesView b) { proto::DeserializeLogEntry(b); },
+                WithOversizedTail(rng, valid, 4096));
 
   for (std::size_t run = 1; run <= 16; ++run) {
-    Bytes bomb = valid;
-    const std::size_t at = rng.UniformBelow(bomb.size());
-    for (std::size_t j = 0; j < run && at + j < bomb.size(); ++j) {
-      bomb[at + j] = 0xff;
-    }
-    ExpectNoCrash([](BytesView b) { proto::DeserializeLogEntry(b); }, bomb);
+    ExpectNoCrash([](BytesView b) { proto::DeserializeLogEntry(b); },
+                  LengthBombed(rng, valid, run));
   }
 }
 
@@ -202,26 +194,19 @@ TEST_P(WireFuzzTest, LogUploadFramesHostile) {
 
   for (const Bytes& valid : {entry_frame, key_frame}) {
     // Truncations at every boundary.
-    for (std::size_t len = 0; len < valid.size(); ++len) {
+    ForEveryTruncation(valid, [](BytesView prefix) {
       ExpectNoCrash(
           [](BytesView b) {
             proto::LogServer sink;
             proto::ApplyLogUpload(b, sink);
           },
-          BytesView(valid.data(), len));
-    }
+          prefix);
+    });
     // Random corruption.
     for (int i = 0; i < 60; ++i) {
-      Bytes mutated = valid;
-      const int flips = 1 + static_cast<int>(rng.UniformBelow(6));
-      for (int f = 0; f < flips; ++f) {
-        mutated[rng.UniformBelow(mutated.size())] =
-            static_cast<std::uint8_t>(rng.NextU64());
-      }
-      if (rng.Chance(0.25)) {
-        const Bytes tail = rng.RandomBytes(1024);
-        mutated.insert(mutated.end(), tail.begin(), tail.end());
-      }
+      Bytes mutated =
+          ByteSmashed(rng, valid, 1 + static_cast<int>(rng.UniformBelow(6)));
+      if (rng.Chance(0.25)) mutated = WithOversizedTail(rng, mutated, 1024);
       ExpectNoCrash(
           [](BytesView b) {
             proto::LogServer sink;
@@ -235,14 +220,11 @@ TEST_P(WireFuzzTest, LogUploadFramesHostile) {
 TEST_P(WireFuzzTest, PublicKeyParserHostileBytes) {
   Rng rng(GetParam() ^ 0x4b3);
   const Bytes valid = crypto::SerializePublicKey(FuzzRsaKey(rng));
-  for (std::size_t len = 0; len < valid.size(); ++len) {
-    ExpectNoCrash([](BytesView b) { crypto::ParsePublicKey(b); },
-                  BytesView(valid.data(), len));
-  }
+  ForEveryTruncation(valid, [](BytesView prefix) {
+    ExpectNoCrash([](BytesView b) { crypto::ParsePublicKey(b); }, prefix);
+  });
   for (int i = 0; i < 60; ++i) {
-    Bytes mutated = valid;
-    mutated[rng.UniformBelow(mutated.size())] =
-        static_cast<std::uint8_t>(rng.NextU64());
+    const Bytes mutated = ByteSmashed(rng, valid, 1);
     ExpectNoCrash([](BytesView b) { crypto::ParsePublicKey(b); }, mutated);
     ExpectNoCrash([](BytesView b) { crypto::ParsePublicKey(b); },
                   rng.RandomBytes(rng.UniformBelow(200)));
@@ -273,36 +255,25 @@ TEST_P(WireFuzzTest, EpochRootFramesHostile) {
   EXPECT_NO_THROW(proto::ParseEpochRoot(valid));
 
   // Truncation at every boundary: mid-tag, mid-varint, mid-digest.
-  for (std::size_t len = 0; len < valid.size(); ++len) {
-    ExpectNoCrash([](BytesView b) { proto::ParseEpochRoot(b); },
-                  BytesView(valid.data(), len));
-  }
+  ForEveryTruncation(valid, [](BytesView prefix) {
+    ExpectNoCrash([](BytesView b) { proto::ParseEpochRoot(b); }, prefix);
+  });
 
   // Bit flips and random junk.
   for (int i = 0; i < 100; ++i) {
-    Bytes mutated = valid;
-    const int flips = 1 + static_cast<int>(rng.UniformBelow(8));
-    for (int f = 0; f < flips; ++f) {
-      mutated[rng.UniformBelow(mutated.size())] ^=
-          static_cast<std::uint8_t>(1u << rng.UniformBelow(8));
-    }
+    const Bytes mutated =
+        BitFlipped(rng, valid, 1 + static_cast<int>(rng.UniformBelow(8)));
     ExpectNoCrash([](BytesView b) { proto::ParseEpochRoot(b); }, mutated);
     ExpectNoCrash([](BytesView b) { proto::ParseEpochRoot(b); },
                   rng.RandomBytes(rng.UniformBelow(300)));
   }
 
   // Oversized frame and 0xff length-prefix bombs.
-  Bytes oversized = valid;
-  const Bytes tail = rng.RandomBytes(4096);
-  oversized.insert(oversized.end(), tail.begin(), tail.end());
-  ExpectNoCrash([](BytesView b) { proto::ParseEpochRoot(b); }, oversized);
+  ExpectNoCrash([](BytesView b) { proto::ParseEpochRoot(b); },
+                WithOversizedTail(rng, valid, 4096));
   for (std::size_t run = 1; run <= 16; ++run) {
-    Bytes bomb = valid;
-    const std::size_t at = rng.UniformBelow(bomb.size());
-    for (std::size_t j = 0; j < run && at + j < bomb.size(); ++j) {
-      bomb[at + j] = 0xff;
-    }
-    ExpectNoCrash([](BytesView b) { proto::ParseEpochRoot(b); }, bomb);
+    ExpectNoCrash([](BytesView b) { proto::ParseEpochRoot(b); },
+                  LengthBombed(rng, valid, run));
   }
 
   // Digests of hostile length: both hash fields must be exactly 32 bytes,
@@ -334,17 +305,12 @@ TEST_P(WireFuzzTest, QuorumAckFramesHostile) {
   const Bytes valid = proto::SerializeLogAck(rng.NextU64() >> 1);
   EXPECT_NO_THROW(proto::ParseLogAck(valid));
 
-  for (std::size_t len = 0; len < valid.size(); ++len) {
-    ExpectNoCrash([](BytesView b) { proto::ParseLogAck(b); },
-                  BytesView(valid.data(), len));
-  }
+  ForEveryTruncation(valid, [](BytesView prefix) {
+    ExpectNoCrash([](BytesView b) { proto::ParseLogAck(b); }, prefix);
+  });
   for (int i = 0; i < 100; ++i) {
-    Bytes mutated = valid;
-    const int flips = 1 + static_cast<int>(rng.UniformBelow(6));
-    for (int f = 0; f < flips; ++f) {
-      mutated[rng.UniformBelow(mutated.size())] ^=
-          static_cast<std::uint8_t>(1u << rng.UniformBelow(8));
-    }
+    const Bytes mutated =
+        BitFlipped(rng, valid, 1 + static_cast<int>(rng.UniformBelow(6)));
     ExpectNoCrash([](BytesView b) { proto::ParseLogAck(b); }, mutated);
     ExpectNoCrash([](BytesView b) { proto::ParseLogAck(b); },
                   rng.RandomBytes(rng.UniformBelow(100)));
@@ -368,8 +334,7 @@ TEST_P(WireFuzzTest, TaggedUploadFramesHostile) {
   EXPECT_NO_THROW(proto::ParseLogUpload(key_frame));
 
   for (const Bytes& valid : {entry_frame, key_frame}) {
-    for (std::size_t len = 0; len < valid.size(); ++len) {
-      const BytesView prefix(valid.data(), len);
+    ForEveryTruncation(valid, [](BytesView prefix) {
       ExpectNoCrash([](BytesView b) { proto::ParseLogUpload(b); }, prefix);
       ExpectNoCrash(
           [](BytesView b) {
@@ -377,18 +342,11 @@ TEST_P(WireFuzzTest, TaggedUploadFramesHostile) {
             proto::ApplyLogUpload(b, sink);
           },
           prefix);
-    }
+    });
     for (int i = 0; i < 60; ++i) {
-      Bytes mutated = valid;
-      const int flips = 1 + static_cast<int>(rng.UniformBelow(6));
-      for (int f = 0; f < flips; ++f) {
-        mutated[rng.UniformBelow(mutated.size())] =
-            static_cast<std::uint8_t>(rng.NextU64());
-      }
-      if (rng.Chance(0.25)) {
-        const Bytes tail = rng.RandomBytes(1024);
-        mutated.insert(mutated.end(), tail.begin(), tail.end());
-      }
+      Bytes mutated =
+          ByteSmashed(rng, valid, 1 + static_cast<int>(rng.UniformBelow(6)));
+      if (rng.Chance(0.25)) mutated = WithOversizedTail(rng, mutated, 1024);
       ExpectNoCrash(
           [](BytesView b) {
             proto::LogServer sink;
@@ -454,8 +412,7 @@ TEST_P(WireFuzzTest, SyncProtocolFramesHostile) {
     // Truncations at every boundary, against EVERY parser (a frame of one
     // kind fed to another parser must throw, not crash) and against the
     // server dispatch (which parses whatever claims to be a request).
-    for (std::size_t len = 0; len < valid.size(); ++len) {
-      const BytesView prefix(valid.data(), len);
+    ForEveryTruncation(valid, [&parsers](BytesView prefix) {
       for (const auto& parse : parsers) ExpectNoCrash(parse, prefix);
       ExpectNoCrash(
           [](BytesView b) {
@@ -463,19 +420,12 @@ TEST_P(WireFuzzTest, SyncProtocolFramesHostile) {
             proto::HandleSyncRequest(b, server);
           },
           prefix);
-    }
+    });
     // Bit flips, random junk, oversized tails.
     for (int i = 0; i < 30; ++i) {
-      Bytes mutated = valid;
-      const int flips = 1 + static_cast<int>(rng.UniformBelow(6));
-      for (int f = 0; f < flips; ++f) {
-        mutated[rng.UniformBelow(mutated.size())] ^=
-            static_cast<std::uint8_t>(1u << rng.UniformBelow(8));
-      }
-      if (rng.Chance(0.25)) {
-        const Bytes tail = rng.RandomBytes(512);
-        mutated.insert(mutated.end(), tail.begin(), tail.end());
-      }
+      Bytes mutated =
+          BitFlipped(rng, valid, 1 + static_cast<int>(rng.UniformBelow(6)));
+      if (rng.Chance(0.25)) mutated = WithOversizedTail(rng, mutated, 512);
       for (const auto& parse : parsers) ExpectNoCrash(parse, mutated);
       ExpectNoCrash(
           [](BytesView b) {

@@ -2,8 +2,9 @@
 """Project lint: invariants clang-tidy cannot express.
 
 Run from anywhere: paths resolve relative to the repository root (this
-file's parent directory). Exit status is the number of violation classes
-that fired; 0 means clean. CI runs this in the static-analysis job.
+file's parent directory; override with --root for probe fixtures). Exit
+status is the number of violation classes that fired; 0 means clean. CI
+runs this in the static-analysis job.
 
 Rules:
   banned-call      rand(), strcpy(), and naked system() are forbidden in
@@ -24,16 +25,23 @@ Rules:
                    tools/metric_names.txt, be registered at exactly one
                    source location, and the registry itself must be sorted
                    and free of duplicates and stale entries.
+  naked-mutex      std::mutex / std::lock_guard / std::unique_lock /
+                   std::scoped_lock / std::condition_variable are forbidden
+                   in src/, tools/, and examples/ outside common/mutex.h:
+                   the annotated Mutex/MutexLock/CondVar wrappers are the
+                   only lock primitives Clang's thread-safety analysis can
+                   see, so a naked std:: primitive is an invisible lock —
+                   exactly the regression PR 5's sweep removed.
 """
 
 from __future__ import annotations
 
+import argparse
 import re
 import sys
 from pathlib import Path
 
-REPO = Path(__file__).resolve().parent.parent
-REGISTRY = REPO / "tools" / "metric_names.txt"
+DEFAULT_REPO = Path(__file__).resolve().parent.parent
 
 CXX_SUFFIXES = {".h", ".cpp", ".cc", ".hpp"}
 
@@ -56,11 +64,19 @@ SAFE_LENGTH = re.compile(r"^\s*(sizeof\s*\(.*\)|\d+[uUlL]*)\s*$")
 
 METRIC_LITERAL = re.compile(r'"(adlp_[a-z0-9_]+)"')
 
+NAKED_MUTEX = re.compile(
+    r"std::(mutex|recursive_mutex|timed_mutex|shared_mutex|lock_guard"
+    r"|unique_lock|scoped_lock|condition_variable(?:_any)?)\b"
+)
+# The one place allowed to touch the std:: primitives: the annotated
+# wrappers themselves.
+NAKED_MUTEX_ALLOWED = ("src/common/mutex.h",)
 
-def cxx_files(*roots: str) -> list[Path]:
+
+def cxx_files(repo: Path, *roots: str) -> list[Path]:
     files: list[Path] = []
     for root in roots:
-        base = REPO / root
+        base = repo / root
         if base.is_dir():
             files.extend(
                 p for p in sorted(base.rglob("*")) if p.suffix in CXX_SUFFIXES
@@ -104,19 +120,19 @@ def enclosing_function(lines: list[str], idx: int) -> str:
     return "\n".join(lines[lo : hi + 1])
 
 
-def check_banned_calls(violations: list[str]) -> None:
-    for path in cxx_files("src", "tools", "examples"):
+def check_banned_calls(repo: Path, violations: list[str]) -> None:
+    for path in cxx_files(repo, "src", "tools", "examples"):
         for n, raw in enumerate(path.read_text().splitlines(), 1):
             line = strip_comments(raw)
             for pattern, what in BANNED:
                 if pattern.search(line):
                     violations.append(
-                        f"banned-call: {path.relative_to(REPO)}:{n}: {what}"
+                        f"banned-call: {path.relative_to(repo)}:{n}: {what}"
                     )
 
 
-def check_memcpy_guards(violations: list[str]) -> None:
-    for path in cxx_files("src"):
+def check_memcpy_guards(repo: Path, violations: list[str]) -> None:
+    for path in cxx_files(repo, "src"):
         lines = path.read_text().splitlines()
         for n, raw in enumerate(lines, 1):
             line = strip_comments(raw)
@@ -136,34 +152,36 @@ def check_memcpy_guards(violations: list[str]) -> None:
             if "empty(" in enclosing_function(lines, n - 1):
                 continue
             violations.append(
-                f"memcpy-guard: {path.relative_to(REPO)}:{n}: "
+                f"memcpy-guard: {path.relative_to(repo)}:{n}: "
                 f"{m.group(1)} with a runtime length needs an emptiness "
                 f"guard in the enclosing function (empty views may carry "
                 f"data() == nullptr) or a '{MEMCPY_WAIVER}' comment"
             )
 
 
-def check_obs_includes(violations: list[str]) -> None:
-    for path in cxx_files("src/obs"):
+def check_obs_includes(repo: Path, violations: list[str]) -> None:
+    for path in cxx_files(repo, "src/obs"):
         for n, raw in enumerate(path.read_text().splitlines(), 1):
             line = strip_comments(raw)
             if not line.lstrip().startswith("#include"):
                 continue
             if not OBS_INCLUDE_ALLOWED.match(line.strip()):
                 violations.append(
-                    f"obs-includes: {path.relative_to(REPO)}:{n}: "
+                    f"obs-includes: {path.relative_to(repo)}:{n}: "
                     f"{line.strip()} — src/obs may only include the standard "
                     f"library, obs/ headers, common/thread_annotations.h, "
                     f"and common/mutex.h"
                 )
 
 
-def check_metric_names(violations: list[str]) -> None:
+def check_metric_names(repo: Path, violations: list[str]) -> None:
+    registry_path = repo / "tools" / "metric_names.txt"
     registry: list[str] = []
-    for n, raw in enumerate(REGISTRY.read_text().splitlines(), 1):
-        entry = raw.split("#", 1)[0].strip()
-        if entry:
-            registry.append(entry)
+    if registry_path.is_file():
+        for raw in registry_path.read_text().splitlines():
+            entry = raw.split("#", 1)[0].strip()
+            if entry:
+                registry.append(entry)
     if registry != sorted(registry):
         violations.append("metric-names: tools/metric_names.txt is not sorted")
     if len(registry) != len(set(registry)):
@@ -173,10 +191,10 @@ def check_metric_names(violations: list[str]) -> None:
 
     seen: dict[str, str] = {}
     used: set[str] = set()
-    for path in cxx_files("src"):
+    for path in cxx_files(repo, "src"):
         for n, raw in enumerate(path.read_text().splitlines(), 1):
             for name in METRIC_LITERAL.findall(strip_comments(raw)):
-                where = f"{path.relative_to(REPO)}:{n}"
+                where = f"{path.relative_to(repo)}:{n}"
                 used.add(name)
                 if name not in set(registry):
                     violations.append(
@@ -199,24 +217,53 @@ def check_metric_names(violations: list[str]) -> None:
             )
 
 
-def main() -> int:
+def check_naked_mutex(repo: Path, violations: list[str]) -> None:
+    for path in cxx_files(repo, "src", "tools", "examples"):
+        rel = path.relative_to(repo).as_posix()
+        if rel in NAKED_MUTEX_ALLOWED:
+            continue
+        for n, raw in enumerate(path.read_text().splitlines(), 1):
+            m = NAKED_MUTEX.search(strip_comments(raw))
+            if m:
+                violations.append(
+                    f"naked-mutex: {rel}:{n}: std::{m.group(1)} — use the "
+                    f"annotated Mutex/MutexLock/CondVar wrappers from "
+                    f"common/mutex.h (naked primitives are invisible to the "
+                    f"thread-safety analysis)"
+                )
+
+
+CHECKS = (
+    check_banned_calls,
+    check_memcpy_guards,
+    check_obs_includes,
+    check_metric_names,
+    check_naked_mutex,
+)
+
+
+def run(repo: Path) -> tuple[int, list[str]]:
     violations: list[str] = []
-    checks = (
-        check_banned_calls,
-        check_memcpy_guards,
-        check_obs_includes,
-        check_metric_names,
-    )
     failed_classes = 0
-    for check in checks:
+    for check in CHECKS:
         before = len(violations)
-        check(violations)
+        check(repo, violations)
         if len(violations) > before:
             failed_classes += 1
+    return failed_classes, violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=Path, default=DEFAULT_REPO,
+                        help="tree to lint (default: this repository; probe "
+                             "tests point it at known-bad fixtures)")
+    args = parser.parse_args(argv)
+    failed_classes, violations = run(args.root.resolve())
     for v in violations:
         print(v)
     if not violations:
-        print(f"lint: clean ({len(checks)} rule classes)")
+        print(f"lint: clean ({len(CHECKS)} rule classes)")
     return failed_classes
 
 
